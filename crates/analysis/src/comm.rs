@@ -1,0 +1,143 @@
+//! Communication cost — equation (9) and the Naive counterpart (A.1);
+//! Figures 10 and 11.
+//!
+//! The VB-tree ships, per query: the returned attribute values, one
+//! signed digest per filtered attribute (`D_P`), the boundary digests of
+//! the enveloping subtree (`D_S` — independent of the table size!), and
+//! the top digest. Naive instead ships a signed tuple digest per result
+//! row plus the filtered-attribute digests.
+
+use crate::params::Params;
+use crate::tree::{envelope_height, vbtree_fanout};
+
+/// Maximum number of digests in `D_S` for a contiguous range of `n_q`
+/// tuples: up to `f − 1` digests in the top node and in the leftmost and
+/// rightmost nodes of each level below it (Section 4.2).
+pub fn ds_count(p: &Params, n_q: u64) -> u64 {
+    if n_q == 0 {
+        return vbtree_fanout(p) as u64 - 1; // proof of emptiness: one node
+    }
+    let h_env = envelope_height(p, n_q) as u64;
+    let boundary_nodes = 2 * (h_env - 1) + 1;
+    boundary_nodes * (vbtree_fanout(p) as u64 - 1)
+}
+
+/// Number of digests in `D_P`: one per filtered attribute per result
+/// tuple.
+pub fn dp_count(p: &Params, n_q: u64) -> u64 {
+    n_q * p.filtered_cols() as u64
+}
+
+/// VB-tree communication cost in bytes (equation (9)):
+/// result values + `D_P` + `D_S` + the top digest.
+pub fn vbtree_comm(p: &Params, selectivity: f64) -> f64 {
+    let n_q = p.result_size(selectivity);
+    let values = n_q as f64 * p.q_c as f64 * p.attr_size;
+    let d_p = dp_count(p, n_q) as f64 * p.digest_len as f64;
+    let d_s = ds_count(p, n_q) as f64 * p.digest_len as f64;
+    values + d_p + d_s + p.digest_len as f64
+}
+
+/// Naive communication cost in bytes (equation (A.1)): per result row,
+/// a signed tuple digest + the returned values + one signed digest per
+/// filtered attribute.
+pub fn naive_comm(p: &Params, selectivity: f64) -> f64 {
+    let n_q = p.result_size(selectivity) as f64;
+    n_q * (p.digest_len as f64
+        + p.q_c as f64 * p.attr_size
+        + p.filtered_cols() as f64 * p.digest_len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_shape() {
+        // Naive always ships one more digest per row than the VB-tree's
+        // amortised boundary digests -> Naive is strictly above VB-tree
+        // for any non-trivial selectivity, and the gap grows linearly.
+        for q_c in [2usize, 5, 8] {
+            let p = Params {
+                q_c,
+                ..Params::default()
+            };
+            let mut prev_gap = 0.0;
+            for sel in [0.2, 0.4, 0.6, 0.8, 1.0] {
+                let naive = naive_comm(&p, sel);
+                let vb = vbtree_comm(&p, sel);
+                assert!(naive > vb, "q_c {q_c} sel {sel}");
+                let gap = naive - vb;
+                assert!(gap > prev_gap, "gap must grow with selectivity");
+                prev_gap = gap;
+            }
+        }
+    }
+
+    #[test]
+    fn figure10_reference_magnitudes() {
+        // Q_C = 2, 100% selectivity, defaults: Naive = 1M×(16+40+128)
+        // = 184 MB; the figure's y-axis tops out at 200×10^6.
+        let p = Params {
+            q_c: 2,
+            ..Params::default()
+        };
+        let naive = naive_comm(&p, 1.0);
+        assert!((naive - 184e6).abs() < 1e3);
+        let vb = vbtree_comm(&p, 1.0);
+        assert!((vb - 168e6).abs() < 1e5, "vb = {vb}");
+    }
+
+    #[test]
+    fn vo_independent_of_table_size() {
+        // The headline: D_S depends on N_Q, not N_R.
+        let mk = |n_r: u64| Params {
+            n_r,
+            ..Params::default()
+        };
+        let n_q = 10_000u64;
+        let a = ds_count(&mk(1_000_000), n_q);
+        let b = ds_count(&mk(100_000_000), n_q);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn naive_grows_linearly() {
+        let p = Params::default();
+        let c1 = naive_comm(&p, 0.25);
+        let c2 = naive_comm(&p, 0.5);
+        let c4 = naive_comm(&p, 1.0);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9);
+        assert!((c4 / c2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure11_convergence() {
+        // As attribute size grows (2^a × |D|), the two schemes converge
+        // relatively but keep an absolute gap (Section 4.2's analysis).
+        let sel = 0.2;
+        let mut prev_ratio = f64::INFINITY;
+        for a in 0..=6 {
+            let p = Params {
+                attr_size: (1u64 << a) as f64 * 16.0,
+                q_c: 10,
+                ..Params::default()
+            };
+            let naive = naive_comm(&p, sel);
+            let vb = vbtree_comm(&p, sel);
+            let ratio = naive / vb;
+            assert!(ratio < prev_ratio, "relative gap must shrink");
+            prev_ratio = ratio;
+            // Absolute gap stays ≈ N_Q × |D| ≈ 3.2 MB (paper: "at least
+            // 3 MB more for selectivity factor of 20%").
+            assert!(naive - vb > 3.0e6, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn empty_result_small_vo() {
+        let p = Params::default();
+        let c = vbtree_comm(&p, 0.0);
+        assert!(c < 10_000.0, "empty result VO stays near one node: {c}");
+    }
+}

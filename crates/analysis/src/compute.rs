@@ -1,0 +1,174 @@
+//! Client computation cost — equation (10) and the Naive counterpart
+//! (A.2); Figures 12 and 13. Costs are expressed in units of `Cost_h1`
+//! (one attribute-digest hash).
+
+use crate::comm::{dp_count, ds_count};
+use crate::params::Params;
+
+/// Breakdown of a verification's primitive operations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeBreakdown {
+    /// Attribute digests recomputed from returned values (`Cost_h1`).
+    pub hashes: f64,
+    /// Digest combinations (`Cost_h2`).
+    pub combines: f64,
+    /// Signature verifications (`Cost_s = X · Cost_h1`).
+    pub verifies: f64,
+}
+
+impl ComputeBreakdown {
+    /// Total in units of `Cost_h1`.
+    pub fn total(&self, p: &Params) -> f64 {
+        self.hashes + self.combines * p.combine_ratio + self.verifies * p.x
+    }
+}
+
+/// VB-tree verification cost (equation (10)): hash `N_Q · Q_C` returned
+/// attributes, verify + combine every digest in `D_P` and `D_S`, verify
+/// the top digest, combine everything once.
+pub fn vbtree_breakdown(p: &Params, selectivity: f64) -> ComputeBreakdown {
+    let n_q = p.result_size(selectivity);
+    let dp = dp_count(p, n_q) as f64;
+    let ds = ds_count(p, n_q) as f64;
+    let hashed = n_q as f64 * p.q_c as f64;
+    ComputeBreakdown {
+        hashes: hashed,
+        combines: hashed + dp + ds,
+        verifies: dp + ds + 1.0,
+    }
+}
+
+/// VB-tree total cost in units of `Cost_h1`.
+pub fn vbtree_compute(p: &Params, selectivity: f64) -> f64 {
+    vbtree_breakdown(p, selectivity).total(p)
+}
+
+/// Naive verification cost (equation (A.2)): per row, hash the returned
+/// attributes, verify + combine the filtered-attribute digests, combine
+/// into the tuple digest and verify it — one signature verification per
+/// row minimum, the term that sinks Naive in Figure 12.
+pub fn naive_breakdown(p: &Params, selectivity: f64) -> ComputeBreakdown {
+    let n_q = p.result_size(selectivity) as f64;
+    let filtered = p.filtered_cols() as f64;
+    ComputeBreakdown {
+        hashes: n_q * p.q_c as f64,
+        combines: n_q * p.n_c as f64,
+        verifies: n_q * (1.0 + filtered),
+    }
+}
+
+/// Naive total cost in units of `Cost_h1`.
+pub fn naive_compute(p: &Params, selectivity: f64) -> f64 {
+    naive_breakdown(p, selectivity).total(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_reference_magnitudes() {
+        // Defaults (Q_C = N_C = 10), 100% selectivity.
+        // Naive: 10M hashes + 10M×0.5 combines + 1M×X verifies.
+        // X = 10 → 25×10^6 (Figure 12(b)'s peak);
+        // X = 5  → 20×10^6 (12(a)); X = 100 → 115×10^6 (12(c)).
+        for (x, expected) in [(5.0, 20e6), (10.0, 25e6), (100.0, 115e6)] {
+            let p = Params {
+                x,
+                ..Params::default()
+            };
+            let naive = naive_compute(&p, 1.0);
+            assert!(
+                (naive - expected).abs() / expected < 0.01,
+                "X = {x}: naive = {naive}"
+            );
+            // VB-tree ≈ 15×10^6 for all X (verifications are O(D_S)).
+            let vb = vbtree_compute(&p, 1.0);
+            assert!((vb - 15e6).abs() / 15e6 < 0.01, "X = {x}: vb = {vb}");
+            assert!(naive > vb);
+        }
+    }
+
+    #[test]
+    fn gap_widens_with_x() {
+        let p5 = Params {
+            x: 5.0,
+            ..Params::default()
+        };
+        let p100 = Params {
+            x: 100.0,
+            ..Params::default()
+        };
+        let gap5 = naive_compute(&p5, 0.5) - vbtree_compute(&p5, 0.5);
+        let gap100 = naive_compute(&p100, 0.5) - vbtree_compute(&p100, 0.5);
+        assert!(gap100 > 10.0 * gap5);
+    }
+
+    #[test]
+    fn figure13a_gap_constant_in_combine_ratio() {
+        // Section 4.3: "the difference in the cost components comes
+        // largely from the cost of decrypting the signatures which is
+        // independent of Cost_h2 and Cost_h1".
+        let gap_at = |r: f64, sel: f64| {
+            let p = Params {
+                combine_ratio: r,
+                ..Params::default()
+            };
+            naive_compute(&p, sel) - vbtree_compute(&p, sel)
+        };
+        for sel in [0.2, 0.8] {
+            let g0 = gap_at(0.0, sel);
+            let g3 = gap_at(3.0, sel);
+            // With Q_C = N_C both schemes do the same per-row combines;
+            // only the VB-tree's O(f · height) boundary combines differ,
+            // so the gap is constant to well under 1% ("almost
+            // constant" in the paper's words).
+            assert!((g0 - g3).abs() / g0 < 0.01, "sel {sel}: {g0} vs {g3}");
+        }
+    }
+
+    #[test]
+    fn figure13b_gap_constant_in_qc() {
+        // Same argument for the Q_C sweep: the dominant N_Q × X term
+        // never changes.
+        let gap_at = |q_c: usize, sel: f64| {
+            let p = Params {
+                q_c,
+                ..Params::default()
+            };
+            naive_compute(&p, sel) - vbtree_compute(&p, sel)
+        };
+        for sel in [0.2, 0.8] {
+            let gaps: Vec<f64> = (1..=10).map(|q| gap_at(q, sel)).collect();
+            let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = gaps.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                (max - min) / max < 0.05,
+                "sel {sel}: gap must stay within 5%: {gaps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vbtree_roughly_linear_in_result() {
+        // Section 4.3: Cost_q = O(N_Q · Q_C) for large queries.
+        let p = Params::default();
+        let c1 = vbtree_compute(&p, 0.25);
+        let c2 = vbtree_compute(&p, 0.5);
+        let ratio = c2 / c1;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn projection_shifts_cost_to_verifies() {
+        let p_all = Params::default();
+        let p_proj = Params {
+            q_c: 2,
+            ..Params::default()
+        };
+        let b_all = vbtree_breakdown(&p_all, 0.5);
+        let b_proj = vbtree_breakdown(&p_proj, 0.5);
+        assert!(b_proj.hashes < b_all.hashes);
+        assert!(b_proj.verifies > b_all.verifies);
+    }
+}

@@ -1,0 +1,298 @@
+//! Series generators for every figure in the paper's evaluation.
+//!
+//! Each function returns the exact x-axis sweep the paper plots, with
+//! one [`SeriesPoint`] per x value carrying the curves of that figure.
+//! The `repro` binary (`vbx-bench`) prints them side-by-side with
+//! measurements from the real implementation.
+
+use crate::comm::{naive_comm, vbtree_comm};
+use crate::compute::{naive_compute, vbtree_compute};
+use crate::params::Params;
+use crate::tree;
+
+/// One x-position of a figure, with named curves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// X-axis value (meaning depends on the figure).
+    pub x: f64,
+    /// `(curve label, y value)` pairs.
+    pub curves: Vec<(String, f64)>,
+}
+
+/// A complete figure: identifier, axis labels, and points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureSeries {
+    /// Figure identifier, e.g. `"fig8"`.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Y-axis label.
+    pub y_label: &'static str,
+    /// The data.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Figure 8: index fan-out versus key length (`log2 |K| ∈ 0..=8`).
+pub fn figure8(base: &Params) -> FigureSeries {
+    let mut points = Vec::new();
+    for log_k in 0..=8u32 {
+        let p = Params {
+            key_len: 1usize << log_k,
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: log_k as f64,
+            curves: vec![
+                ("B-tree".into(), tree::btree_fanout(&p) as f64),
+                ("VB-tree".into(), tree::vbtree_fanout(&p) as f64),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig8",
+        title: "Index Tree Fan-Out versus Key Length",
+        x_label: "log2 |K| (bytes)",
+        y_label: "fan-out",
+        points,
+    }
+}
+
+/// Figure 9: index height versus key length.
+pub fn figure9(base: &Params) -> FigureSeries {
+    let mut points = Vec::new();
+    for log_k in 0..=8u32 {
+        let p = Params {
+            key_len: 1usize << log_k,
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: log_k as f64,
+            curves: vec![
+                ("B-tree".into(), tree::btree_height(&p) as f64),
+                ("VB-tree".into(), tree::vbtree_height(&p) as f64),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig9",
+        title: "Index Tree Height versus Key Length",
+        x_label: "log2 |K| (bytes)",
+        y_label: "tree height",
+        points,
+    }
+}
+
+/// Figure 10 (a–c): communication cost versus selectivity for
+/// `Q_C ∈ {2, 5, 8}`.
+pub fn figure10(base: &Params, q_c: usize) -> FigureSeries {
+    let mut points = Vec::new();
+    for pct in (0..=100).step_by(5) {
+        let sel = pct as f64 / 100.0;
+        let p = Params {
+            q_c,
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: pct as f64,
+            curves: vec![
+                ("Naive".into(), naive_comm(&p, sel)),
+                ("VB-tree".into(), vbtree_comm(&p, sel)),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig10",
+        title: "Query — Communication Cost",
+        x_label: "selectivity (%)",
+        y_label: "bytes",
+        points,
+    }
+}
+
+/// Figure 11: communication versus attribute size (`2^a · |D|`,
+/// `a ∈ 0..=6`) at 20% and 80% selectivity.
+pub fn figure11(base: &Params) -> FigureSeries {
+    let mut points = Vec::new();
+    for a in 0..=6u32 {
+        let p = Params {
+            attr_size: (1u64 << a) as f64 * base.digest_len as f64,
+            q_c: base.n_c, // the paper keeps all attributes returned here
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: a as f64,
+            curves: vec![
+                ("Naive(20%)".into(), naive_comm(&p, 0.2)),
+                ("Naive(80%)".into(), naive_comm(&p, 0.8)),
+                ("VB-tree(20%)".into(), vbtree_comm(&p, 0.2)),
+                ("VB-tree(80%)".into(), vbtree_comm(&p, 0.8)),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig11",
+        title: "Communication Cost versus Attribute Size (2^a · |D|)",
+        x_label: "attrFactor a",
+        y_label: "bytes",
+        points,
+    }
+}
+
+/// Figure 12 (a–c): computation cost versus selectivity for
+/// `X ∈ {5, 10, 100}`.
+pub fn figure12(base: &Params, x: f64) -> FigureSeries {
+    let mut points = Vec::new();
+    for pct in (0..=100).step_by(5) {
+        let sel = pct as f64 / 100.0;
+        let p = Params { x, ..base.clone() };
+        points.push(SeriesPoint {
+            x: pct as f64,
+            curves: vec![
+                ("Naive".into(), naive_compute(&p, sel)),
+                ("VB-tree".into(), vbtree_compute(&p, sel)),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig12",
+        title: "Query — Computation Cost",
+        x_label: "selectivity (%)",
+        y_label: "cost (units of Cost_h1)",
+        points,
+    }
+}
+
+/// Figure 13(a): effect of `Cost_h2/Cost_h1 ∈ [0, 3]` at 20% and 80%
+/// selectivity.
+pub fn figure13a(base: &Params) -> FigureSeries {
+    let mut points = Vec::new();
+    for step in 0..=12u32 {
+        let ratio = step as f64 * 0.25;
+        let p = Params {
+            combine_ratio: ratio,
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: ratio,
+            curves: vec![
+                ("Naive(20%)".into(), naive_compute(&p, 0.2)),
+                ("Naive(80%)".into(), naive_compute(&p, 0.8)),
+                ("VB-tree(20%)".into(), vbtree_compute(&p, 0.2)),
+                ("VB-tree(80%)".into(), vbtree_compute(&p, 0.8)),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig13a",
+        title: "Effect of Cost_h2 / Cost_h1",
+        x_label: "Cost_h2 / Cost_h1",
+        y_label: "cost (units of Cost_h1)",
+        points,
+    }
+}
+
+/// Figure 13(b): effect of `Q_C ∈ 0..=10` at 20% and 80% selectivity.
+pub fn figure13b(base: &Params) -> FigureSeries {
+    let mut points = Vec::new();
+    for q_c in 0..=10usize {
+        let p = Params {
+            q_c: q_c.max(1), // zero returned columns degenerates; clamp
+            ..base.clone()
+        };
+        points.push(SeriesPoint {
+            x: q_c as f64,
+            curves: vec![
+                ("Naive(20%)".into(), naive_compute(&p, 0.2)),
+                ("Naive(80%)".into(), naive_compute(&p, 0.8)),
+                ("VB-tree(20%)".into(), vbtree_compute(&p, 0.2)),
+                ("VB-tree(80%)".into(), vbtree_compute(&p, 0.8)),
+            ],
+        });
+    }
+    FigureSeries {
+        id: "fig13b",
+        title: "Effect of Q_C",
+        x_label: "Q_C",
+        y_label: "cost (units of Cost_h1)",
+        points,
+    }
+}
+
+/// Render a figure as an aligned text table (the repro binary's output).
+pub fn render_table(fig: &FigureSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} [{}]\n", fig.title, fig.id));
+    let labels: Vec<&str> = fig.points[0]
+        .curves
+        .iter()
+        .map(|(l, _)| l.as_str())
+        .collect();
+    out.push_str(&format!("{:>12}", fig.x_label));
+    for l in &labels {
+        out.push_str(&format!(" {l:>16}"));
+    }
+    out.push('\n');
+    for pt in &fig.points {
+        out.push_str(&format!("{:>12.2}", pt.x));
+        for (_, y) in &pt.curves {
+            out.push_str(&format!(" {y:>16.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figures_generate() {
+        let p = Params::default();
+        assert_eq!(figure8(&p).points.len(), 9);
+        assert_eq!(figure9(&p).points.len(), 9);
+        assert_eq!(figure10(&p, 5).points.len(), 21);
+        assert_eq!(figure11(&p).points.len(), 7);
+        assert_eq!(figure12(&p, 10.0).points.len(), 21);
+        assert_eq!(figure13a(&p).points.len(), 13);
+        assert_eq!(figure13b(&p).points.len(), 11);
+    }
+
+    #[test]
+    fn curves_consistent_across_points() {
+        let p = Params::default();
+        for fig in [figure10(&p, 2), figure11(&p), figure13a(&p)] {
+            let n = fig.points[0].curves.len();
+            assert!(fig.points.iter().all(|pt| pt.curves.len() == n));
+        }
+    }
+
+    #[test]
+    fn fig8_fanouts_decrease_with_key_len() {
+        let fig = figure8(&Params::default());
+        for w in fig.points.windows(2) {
+            let f0 = w[0].curves[1].1;
+            let f1 = w[1].curves[1].1;
+            assert!(f1 <= f0, "fan-out must fall as keys grow");
+        }
+    }
+
+    #[test]
+    fn fig9_heights_rise_with_key_len() {
+        let fig = figure9(&Params::default());
+        let first = fig.points.first().unwrap().curves[1].1;
+        let last = fig.points.last().unwrap().curves[1].1;
+        assert!(last > first);
+    }
+
+    #[test]
+    fn render_table_contains_headers_and_rows() {
+        let fig = figure8(&Params::default());
+        let table = render_table(&fig);
+        assert!(table.contains("B-tree"));
+        assert!(table.contains("VB-tree"));
+        assert!(table.lines().count() >= 11);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vbx-analysis — the paper's analytical cost model (Section 4)
+//!
+//! Every closed-form expression from the evaluation section as a
+//! documented pure function over [`Params`] (Table 1), plus series
+//! generators that regenerate each figure:
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`params`] | Table 1 parameter defaults |
+//! | [`tree`] | fan-out (6), tree height (7), enveloping-subtree height (8), Figures 8–9 |
+//! | [`comm`] | communication cost (9) and the Naive counterpart (A.1), Figures 10–11 |
+//! | [`compute`] | computation cost (10) and (A.2), Figures 12–13 |
+//! | [`update`] | insert (11) and delete (12) costs |
+//! | [`figures`] | the exact x/y series of every figure |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod compute;
+pub mod figures;
+pub mod params;
+pub mod tree;
+pub mod update;
+
+pub use figures::{FigureSeries, SeriesPoint};
+pub use params::Params;

@@ -1,0 +1,134 @@
+//! Tree geometry (Section 4.1): fan-out (6), height (7), enveloping-
+//! subtree height (8) — Figures 8 and 9.
+
+use crate::params::Params;
+use vbx_storage::Geometry;
+
+/// B+-tree fan-out for the given parameters (formula (6)'s baseline).
+pub fn btree_fanout(p: &Params) -> usize {
+    p.geometry().btree_fanout()
+}
+
+/// VB-tree fan-out (formula (6)): each entry additionally carries a
+/// signed digest.
+pub fn vbtree_fanout(p: &Params) -> usize {
+    p.geometry().vbtree_fanout()
+}
+
+/// Height of a fully-packed B+-tree over `N_R` tuples (formula (7)).
+pub fn btree_height(p: &Params) -> u32 {
+    Geometry::packed_height(btree_fanout(p), p.n_r)
+}
+
+/// Height of a fully-packed VB-tree over `N_R` tuples (formula (7)).
+pub fn vbtree_height(p: &Params) -> u32 {
+    Geometry::packed_height(vbtree_fanout(p), p.n_r)
+}
+
+/// Height of the enveloping subtree for `n_q` contiguous result tuples
+/// (formula (8)): the smallest subtree of a fully-packed VB-tree whose
+/// leaf span covers them.
+pub fn envelope_height(p: &Params, n_q: u64) -> u32 {
+    Geometry::packed_height(vbtree_fanout(p), n_q.max(1))
+}
+
+/// Per-table storage overhead of the signed attribute digests
+/// (Section 4.1): `N_R · N_C · |D|` bytes.
+pub fn base_table_overhead(p: &Params) -> u64 {
+    p.n_r * p.n_c as u64 * p.digest_len as u64
+}
+
+/// Per-node storage overhead of the VB-tree over the plain B+-tree:
+/// one digest per entry.
+pub fn node_overhead(p: &Params) -> usize {
+    p.geometry().node_digest_overhead()
+}
+
+/// Total node count of a fully-packed tree with fan-out `f` over `n`
+/// leaf entries (used for index storage cost).
+pub fn packed_node_count(fanout: usize, n: u64) -> u64 {
+    assert!(fanout >= 2);
+    if n == 0 {
+        return 1;
+    }
+    let mut level = n.div_ceil(fanout as u64);
+    let mut total = level;
+    while level > 1 {
+        level = level.div_ceil(fanout as u64);
+        total += level;
+    }
+    total
+}
+
+/// Index storage in bytes for the VB-tree (nodes × block size).
+pub fn vbtree_index_bytes(p: &Params) -> u64 {
+    packed_node_count(vbtree_fanout(p), p.n_r) * p.block_size as u64
+}
+
+/// Index storage in bytes for the plain B+-tree.
+pub fn btree_index_bytes(p: &Params) -> u64 {
+    packed_node_count(btree_fanout(p), p.n_r) * p.block_size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_reference_points() {
+        // |K| = 16 (Table 1): B-tree 205, VB-tree 114.
+        let p = Params::default();
+        assert_eq!(btree_fanout(&p), 205);
+        assert_eq!(vbtree_fanout(&p), 114);
+        // |K| = 1: VB-tree fan-out ≈ (4096+1)/21 = 195.
+        let p1 = Params {
+            key_len: 1,
+            ..Params::default()
+        };
+        assert_eq!(vbtree_fanout(&p1), 195);
+        assert!(btree_fanout(&p1) > 500, "B-tree fan-out explodes for tiny keys");
+    }
+
+    #[test]
+    fn figure9_reference_points() {
+        // 1M rows at default geometry: both heights are 3.
+        let p = Params::default();
+        assert_eq!(btree_height(&p), 3);
+        assert_eq!(vbtree_height(&p), 3);
+        // |K| = 256: fan-outs drop, heights rise — and VB-tree needs one
+        // more level than the B-tree at this point (Figure 9's divergence).
+        let p256 = Params {
+            key_len: 256,
+            ..Params::default()
+        };
+        assert!(vbtree_height(&p256) >= btree_height(&p256));
+        assert!(vbtree_height(&p256) >= 4);
+    }
+
+    #[test]
+    fn envelope_height_grows_with_result() {
+        let p = Params::default();
+        assert_eq!(envelope_height(&p, 1), 1);
+        let h_small = envelope_height(&p, 1_000);
+        let h_large = envelope_height(&p, 900_000);
+        assert!(h_small <= h_large);
+        assert!(h_large <= vbtree_height(&p));
+    }
+
+    #[test]
+    fn storage_overheads() {
+        let p = Params::default();
+        // 1M × 10 × 16 bytes = 160 MB of attribute digests.
+        assert_eq!(base_table_overhead(&p), 160_000_000);
+        assert_eq!(node_overhead(&p), 114 * 16);
+        assert!(vbtree_index_bytes(&p) > btree_index_bytes(&p));
+    }
+
+    #[test]
+    fn packed_node_count_small_cases() {
+        assert_eq!(packed_node_count(4, 0), 1);
+        assert_eq!(packed_node_count(4, 4), 1);
+        assert_eq!(packed_node_count(4, 16), 5); // 4 leaves + root
+        assert_eq!(packed_node_count(4, 17), 8); // 5 leaves + 2 internal + root
+    }
+}

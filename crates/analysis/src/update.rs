@@ -1,0 +1,112 @@
+//! Update costs — insert (equation (11)) and delete (equation (12)).
+//!
+//! Both run at the central server. Insert is incremental: hash the new
+//! tuple's attributes, combine into the tuple digest, then combine once
+//! into each node digest on the root-to-leaf path (plus re-signing).
+//! Range deletion must *recompute* boundary-node digests and every
+//! ancestor digest up to the root.
+
+use crate::params::Params;
+use crate::tree::{envelope_height, vbtree_fanout, vbtree_height};
+
+/// Breakdown of an update's primitive operations (units of `Cost_h1`
+/// when weighted via [`update_total`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateBreakdown {
+    /// Attribute digests computed.
+    pub hashes: f64,
+    /// Digest combinations.
+    pub combines: f64,
+    /// Fresh signatures issued.
+    pub signs: f64,
+}
+
+/// Weight a breakdown into `Cost_h1` units.
+pub fn update_total(p: &Params, b: &UpdateBreakdown) -> f64 {
+    b.hashes + b.combines * p.combine_ratio + b.signs * p.sign_ratio
+}
+
+/// Insert cost (equation (11)): `N_C` attribute hashes, `N_C` combines
+/// into the tuple digest, one combine per path node
+/// (`⌈log_f N_R⌉` of them), and a fresh signature for each changed
+/// digest (attributes + tuple + path nodes).
+pub fn insert_breakdown(p: &Params) -> UpdateBreakdown {
+    let path = vbtree_height(p) as f64;
+    UpdateBreakdown {
+        hashes: p.n_c as f64,
+        combines: p.n_c as f64 + path,
+        signs: p.n_c as f64 + 1.0 + path,
+    }
+}
+
+/// Range-delete cost for `n_d` contiguous tuples (equation (12)):
+/// the `2·H_env + 1` boundary nodes of the enveloping subtree recompute
+/// up to `f − 1` combines each, and every node from the subtree's top to
+/// the root recomputes up to `f` combines; all recomputed digests are
+/// re-signed.
+pub fn delete_breakdown(p: &Params, n_d: u64) -> UpdateBreakdown {
+    let f = vbtree_fanout(p) as f64;
+    let h = vbtree_height(p) as f64;
+    let h_env = envelope_height(p, n_d) as f64;
+    let boundary = 2.0 * h_env + 1.0;
+    let upper = (h - h_env).max(0.0);
+    UpdateBreakdown {
+        hashes: 0.0,
+        combines: boundary * (f - 1.0) + upper * f,
+        signs: boundary + upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_path_local() {
+        // Insert cost is O(N_C + height) — independent of N_R except
+        // through the logarithmic height.
+        let small = Params {
+            n_r: 10_000,
+            ..Params::default()
+        };
+        let large = Params {
+            n_r: 100_000_000,
+            ..Params::default()
+        };
+        let bs = insert_breakdown(&small);
+        let bl = insert_breakdown(&large);
+        // Heights: 10^4 -> 2 levels, 10^8 -> 4 levels at fan-out 114.
+        assert!(bl.combines - bs.combines <= 3.0);
+        assert!(bl.signs - bs.signs <= 3.0);
+    }
+
+    #[test]
+    fn delete_grows_with_envelope_not_range_size() {
+        let p = Params::default();
+        let d_small = delete_breakdown(&p, 100);
+        let d_large = delete_breakdown(&p, 100_000);
+        // Larger ranges have taller envelopes -> more boundary work, but
+        // the cost is O(f · height), never O(n_d).
+        assert!(d_large.combines >= d_small.combines);
+        assert!(d_large.combines < 10_000.0);
+    }
+
+    #[test]
+    fn signing_dominates_totals() {
+        // The paper cites signing ≈ 10000 × hashing: the sign term must
+        // dominate the weighted insert cost.
+        let p = Params::default();
+        let b = insert_breakdown(&p);
+        let total = update_total(&p, &b);
+        let sign_part = b.signs * p.sign_ratio;
+        assert!(sign_part / total > 0.99);
+    }
+
+    #[test]
+    fn delete_weighted_total_positive() {
+        let p = Params::default();
+        for n_d in [1u64, 10, 1_000, 500_000] {
+            assert!(update_total(&p, &delete_breakdown(&p, n_d)) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! A Devanbu-style Merkle hash tree baseline (paper Section 2, Figure 1).
+//!
+//! A binary SHA-256 hash tree over the table in key order with a single
+//! signed root. Range queries return the matching tuples, the *boundary*
+//! tuples immediately outside the range, and the hashes of every maximal
+//! subtree not touched by the range — enough for the client to recompute
+//! the signed root.
+//!
+//! Properties the paper contrasts with the VB-tree:
+//!
+//! * the VO reaches the root, so it carries `O(log N_R)` hashes — it
+//!   grows with the database;
+//! * projection cannot be done at the server (a leaf hash covers the
+//!   whole tuple), so full tuples must be shipped;
+//! * completeness *is* provable (an advantage!) but requires exposing
+//!   boundary tuples, in tension with access control.
+
+use vbx_crypto::hash::sha256;
+use vbx_crypto::{SigVerifier, Signature, Signer};
+use vbx_storage::{Schema, Table, Tuple};
+
+/// Verification failures for the Merkle baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MerkleError {
+    /// The reconstructed root is not authenticated by the signature —
+    /// either the contents were tampered with or the key is wrong.
+    RootMismatch,
+    /// Rows unsorted / outside the range.
+    BadRowSet,
+    /// The proof structure is inconsistent with the tree size.
+    MalformedProof,
+    /// Boundary tuples fail to demonstrate completeness.
+    BadBoundary,
+}
+
+impl core::fmt::Display for MerkleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MerkleError::RootMismatch => {
+                write!(f, "reconstructed root not authenticated (tamper or wrong key)")
+            }
+            MerkleError::BadRowSet => write!(f, "rows unsorted or out of range"),
+            MerkleError::MalformedProof => write!(f, "malformed proof"),
+            MerkleError::BadBoundary => write!(f, "boundary tuples do not prove completeness"),
+        }
+    }
+}
+
+impl std::error::Error for MerkleError {}
+
+fn leaf_hash(schema: &Schema, tuple: &Tuple) -> [u8; 32] {
+    // Domain-separated leaf encoding: schema fingerprint ‖ tuple bytes.
+    let mut data = Vec::with_capacity(tuple.wire_len() + 34);
+    data.push(0x00); // leaf tag
+    data.extend_from_slice(&sha256(&schema.fingerprint_bytes()));
+    tuple.encode_into(&mut data);
+    sha256(&data)
+}
+
+fn inner_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut data = [0u8; 65];
+    data[0] = 0x01; // inner tag
+    data[1..33].copy_from_slice(left);
+    data[33..].copy_from_slice(right);
+    sha256(&data)
+}
+
+/// The authenticated store: tuples in key order plus the full hash tree.
+pub struct MerkleAuthStore {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// `levels[0]` = leaf hashes; `levels.last()` = `[root]`.
+    levels: Vec<Vec<[u8; 32]>>,
+    root_sig: Signature,
+    key_version: u32,
+}
+
+/// A range answer with its Merkle proof.
+#[derive(Clone, Debug)]
+pub struct MerkleResponse {
+    /// Matching tuples (full tuples — the scheme cannot project).
+    pub rows: Vec<Tuple>,
+    /// Tuple immediately left of the range, if any (completeness).
+    pub left_boundary: Option<Tuple>,
+    /// Tuple immediately right of the range, if any.
+    pub right_boundary: Option<Tuple>,
+    /// Index of the first returned leaf (including boundaries).
+    pub first_leaf: usize,
+    /// Hashes of maximal subtrees outside the returned leaf range, in
+    /// deterministic traversal order.
+    pub proof: Vec<[u8; 32]>,
+    /// Total leaves in the tree (needed to re-derive the tree shape).
+    pub n_leaves: usize,
+    /// Signed root.
+    pub root_sig: Signature,
+    /// Key version for registry lookup.
+    pub key_version: u32,
+}
+
+impl MerkleResponse {
+    /// Wire size: tuples + boundaries + 32-byte hashes + signature.
+    pub fn wire_bytes(&self) -> usize {
+        self.rows.iter().map(Tuple::wire_len).sum::<usize>()
+            + self
+                .left_boundary
+                .iter()
+                .chain(self.right_boundary.iter())
+                .map(Tuple::wire_len)
+                .sum::<usize>()
+            + self.proof.len() * 32
+            + self.root_sig.len()
+            + 24
+    }
+
+    /// Number of hash digests in the proof (the `O(log N)` term).
+    pub fn proof_hashes(&self) -> usize {
+        self.proof.len()
+    }
+}
+
+impl MerkleAuthStore {
+    /// Build from a table and sign the root.
+    pub fn build(table: &Table, signer: &dyn Signer) -> Self {
+        let schema = table.schema().clone();
+        let tuples: Vec<Tuple> = table.iter().cloned().collect();
+        let mut levels = Vec::new();
+        let leaves: Vec<[u8; 32]> = tuples.iter().map(|t| leaf_hash(&schema, t)).collect();
+        let mut current = if leaves.is_empty() {
+            vec![sha256(b"empty-merkle-tree")]
+        } else {
+            leaves
+        };
+        levels.push(current.clone());
+        while current.len() > 1 {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(inner_hash(&pair[0], &pair[1]));
+                } else {
+                    // Odd node promoted unchanged (Bitcoin-style trees
+                    // duplicate instead; promotion avoids the duplication
+                    // ambiguity).
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next.clone());
+            current = next;
+        }
+        let root = *levels.last().unwrap().first().unwrap();
+        let root_sig = signer.sign(&root_msg(&schema, &root));
+        Self {
+            schema,
+            tuples,
+            levels,
+            root_sig,
+            key_version: signer.key_version(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> [u8; 32] {
+        *self.levels.last().unwrap().first().unwrap()
+    }
+
+    /// Answer a key-range query with a completeness-proving VO.
+    pub fn query(&self, lo: u64, hi: u64) -> MerkleResponse {
+        // Returned window: matching tuples plus one boundary tuple on
+        // each side (where they exist).
+        let start = self.tuples.partition_point(|t| t.key < lo);
+        let end = self.tuples.partition_point(|t| t.key <= hi);
+        let first_leaf = start.saturating_sub(1);
+        let last_leaf_excl = (end + 1).min(self.tuples.len());
+
+        let rows = self.tuples[start..end].to_vec();
+        let left_boundary = (start > 0).then(|| self.tuples[start - 1].clone());
+        let right_boundary = (end < self.tuples.len()).then(|| self.tuples[end].clone());
+
+        let mut proof = Vec::new();
+        if !self.tuples.is_empty() && first_leaf < last_leaf_excl {
+            self.collect_proof(0, first_leaf, last_leaf_excl, &mut proof);
+        } else if !self.tuples.is_empty() {
+            // Degenerate: nothing returned at all (empty table handled
+            // by n_leaves == 0). Prove the whole tree via the root only.
+            proof.push(self.root());
+        }
+        MerkleResponse {
+            rows,
+            left_boundary,
+            right_boundary,
+            first_leaf,
+            proof,
+            n_leaves: self.tuples.len(),
+            root_sig: self.root_sig.clone(),
+            key_version: self.key_version,
+        }
+    }
+
+    /// Emit hashes of maximal subtrees at `level` whose leaf span does
+    /// not intersect `[lo, hi)`, left-to-right, descending into partial
+    /// overlaps. `levels` are counted from the top: we recurse from the
+    /// root instead for simplicity.
+    fn collect_proof(&self, _level_unused: usize, lo: usize, hi: usize, out: &mut Vec<[u8; 32]>) {
+        let top = self.levels.len() - 1;
+        self.walk(top, 0, lo, hi, out);
+    }
+
+    fn walk(&self, level: usize, index: usize, lo: usize, hi: usize, out: &mut Vec<[u8; 32]>) {
+        let span = 1usize << level; // leaves covered by a node at `level`
+        let first = index * span;
+        let last = (first + span).min(self.levels[0].len());
+        if first >= last {
+            return; // phantom node beyond the last leaf
+        }
+        if last <= lo || first >= hi {
+            out.push(self.levels[level][index]);
+            return;
+        }
+        if lo <= first && last <= hi {
+            return; // fully covered by returned tuples: client recomputes
+        }
+        debug_assert!(level > 0, "leaf must be fully in or out");
+        // Descend. The right child may not exist (odd promotion).
+        let child_level = level - 1;
+        let left = 2 * index;
+        let right = left + 1;
+        self.walk(child_level, left, lo, hi, out);
+        if right < self.levels[child_level].len() {
+            self.walk(child_level, right, lo, hi, out);
+        }
+    }
+
+    /// Client-side verification: recompute the window's leaf hashes,
+    /// merge with the proof hashes, rebuild the root, check the
+    /// signature, and check range completeness via the boundaries.
+    pub fn verify(
+        schema: &Schema,
+        verifier: &dyn SigVerifier,
+        lo: u64,
+        hi: u64,
+        resp: &MerkleResponse,
+    ) -> Result<(), MerkleError> {
+        // 1. Row sanity.
+        let mut prev = None;
+        for t in &resp.rows {
+            if t.key < lo || t.key > hi || prev.is_some_and(|p| t.key <= p) {
+                return Err(MerkleError::BadRowSet);
+            }
+            prev = Some(t.key);
+        }
+        // 2. Boundary sanity: boundaries must be strictly outside.
+        if let Some(b) = &resp.left_boundary {
+            if b.key >= lo {
+                return Err(MerkleError::BadBoundary);
+            }
+        }
+        if let Some(b) = &resp.right_boundary {
+            if b.key <= hi {
+                return Err(MerkleError::BadBoundary);
+            }
+        }
+
+        // 3. Rebuild the window of leaf hashes.
+        let window: Vec<&Tuple> = resp
+            .left_boundary
+            .iter()
+            .chain(resp.rows.iter())
+            .chain(resp.right_boundary.iter())
+            .collect();
+        // Window keys must themselves be sorted (boundary adjacency).
+        for w in window.windows(2) {
+            if w[0].key >= w[1].key {
+                return Err(MerkleError::BadBoundary);
+            }
+        }
+        if resp.n_leaves == 0 {
+            if !window.is_empty() {
+                return Err(MerkleError::MalformedProof);
+            }
+            let root = sha256(b"empty-merkle-tree");
+            return check_root(schema, verifier, &root, &resp.root_sig);
+        }
+        let window_hashes: Vec<[u8; 32]> =
+            window.iter().map(|t| leaf_hash(schema, t)).collect();
+
+        // 4. Recompute the root by mirroring the server's traversal.
+        let mut proof_iter = resp.proof.iter();
+        let mut leaf_iter = window_hashes.iter();
+        let wlo = resp.first_leaf;
+        let whi = resp.first_leaf + window_hashes.len();
+        if whi > resp.n_leaves {
+            return Err(MerkleError::MalformedProof);
+        }
+        let height = levels_for(resp.n_leaves);
+        let root = rebuild(
+            height - 1,
+            0,
+            resp.n_leaves,
+            wlo,
+            whi,
+            &mut proof_iter,
+            &mut leaf_iter,
+        )
+        .ok_or(MerkleError::MalformedProof)?;
+        if proof_iter.next().is_some() || leaf_iter.next().is_some() {
+            return Err(MerkleError::MalformedProof);
+        }
+        check_root(schema, verifier, &root, &resp.root_sig)?;
+
+        // 5. Completeness: the window must cover [lo, hi] contiguously —
+        // guaranteed because the proof pinned `first_leaf .. whi` as
+        // consecutive leaves and boundaries are strictly outside. The
+        // only remaining hole: missing boundary when the range does not
+        // touch the table edge. Detect via first_leaf/window shape.
+        if resp.left_boundary.is_none() && resp.first_leaf != 0 {
+            return Err(MerkleError::BadBoundary);
+        }
+        if resp.right_boundary.is_none() && whi != resp.n_leaves {
+            return Err(MerkleError::BadBoundary);
+        }
+        Ok(())
+    }
+}
+
+fn root_msg(schema: &Schema, root: &[u8; 32]) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(64);
+    msg.extend_from_slice(b"vbx-merkle-root");
+    msg.extend_from_slice(&sha256(&schema.fingerprint_bytes()));
+    msg.extend_from_slice(root);
+    msg
+}
+
+fn check_root(
+    schema: &Schema,
+    verifier: &dyn SigVerifier,
+    root: &[u8; 32],
+    sig: &Signature,
+) -> Result<(), MerkleError> {
+    if verifier.verify(&root_msg(schema, root), sig) {
+        Ok(())
+    } else {
+        Err(MerkleError::RootMismatch)
+    }
+}
+
+/// Number of levels in a tree over `n` leaves (≥ 1).
+fn levels_for(n: usize) -> usize {
+    let mut levels = 1;
+    let mut width = n.max(1);
+    while width > 1 {
+        width = width.div_ceil(2);
+        levels += 1;
+    }
+    levels
+}
+
+/// Mirror of the server's `walk`, consuming proof hashes for untouched
+/// subtrees and window leaf hashes for covered leaves.
+fn rebuild<'a>(
+    level: usize,
+    index: usize,
+    n_leaves: usize,
+    lo: usize,
+    hi: usize,
+    proof: &mut core::slice::Iter<'a, [u8; 32]>,
+    leaves: &mut core::slice::Iter<'a, [u8; 32]>,
+) -> Option<[u8; 32]> {
+    let span = 1usize << level;
+    let first = index * span;
+    let last = (first + span).min(n_leaves);
+    if first >= last {
+        return None; // phantom
+    }
+    if last <= lo || first >= hi {
+        return proof.next().copied();
+    }
+    if level == 0 {
+        return leaves.next().copied();
+    }
+    if lo <= first && last <= hi && level == 0 {
+        return leaves.next().copied();
+    }
+    let left = rebuild(level - 1, 2 * index, n_leaves, lo, hi, proof, leaves)?;
+    match rebuild(level - 1, 2 * index + 1, n_leaves, lo, hi, proof, leaves) {
+        Some(right) => Some(inner_hash(&left, &right)),
+        None => Some(left), // odd promotion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_crypto::signer::MockSigner;
+    use vbx_storage::workload::WorkloadSpec;
+
+    fn store(rows: u64) -> (MerkleAuthStore, MockSigner) {
+        let table = WorkloadSpec::new(rows, 3, 8).build();
+        let signer = MockSigner::new(8);
+        (MerkleAuthStore::build(&table, &signer), signer)
+    }
+
+    #[test]
+    fn roundtrip_various_ranges() {
+        let (s, signer) = store(50);
+        let v = signer.verifier();
+        for (lo, hi) in [(0u64, 49u64), (10, 20), (0, 0), (49, 49), (25, 100), (60, 70)] {
+            let resp = s.query(lo, hi);
+            MerkleAuthStore::verify(s.schema(), v.as_ref(), lo, hi, &resp)
+                .unwrap_or_else(|e| panic!("range [{lo},{hi}]: {e}"));
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let (s, signer) = store(0);
+        let resp = s.query(0, 10);
+        assert!(resp.rows.is_empty());
+        MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 0, 10, &resp).unwrap();
+    }
+
+    #[test]
+    fn single_tuple_table() {
+        let (s, signer) = store(1);
+        let resp = s.query(0, 0);
+        assert_eq!(resp.rows.len(), 1);
+        MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 0, 0, &resp).unwrap();
+    }
+
+    #[test]
+    fn odd_sized_trees() {
+        for n in [1u64, 2, 3, 5, 7, 11, 17, 31, 33] {
+            let (s, signer) = store(n);
+            let hi = n.saturating_sub(1);
+            let resp = s.query(0, hi);
+            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 0, hi, &resp)
+                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tampered_tuple_detected() {
+        let (s, signer) = store(30);
+        let mut resp = s.query(5, 15);
+        resp.rows[2].values[0] = vbx_storage::Value::from("evil");
+        let err =
+            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+                .unwrap_err();
+        assert_eq!(err, MerkleError::RootMismatch);
+    }
+
+    #[test]
+    fn dropped_tuple_detected() {
+        // Unlike Naive and the VB-tree, the Merkle range proof *does*
+        // catch dropped tuples.
+        let (s, signer) = store(30);
+        let mut resp = s.query(5, 15);
+        resp.rows.remove(3);
+        let err =
+            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            MerkleError::RootMismatch | MerkleError::MalformedProof
+        ));
+    }
+
+    #[test]
+    fn missing_boundary_detected() {
+        let (s, signer) = store(30);
+        let mut resp = s.query(5, 15);
+        resp.left_boundary = None;
+        let err =
+            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            MerkleError::BadBoundary | MerkleError::RootMismatch | MerkleError::MalformedProof
+        ));
+    }
+
+    #[test]
+    fn proof_grows_with_log_n() {
+        // The paper's critique: MHT VOs grow with the table size.
+        let q = (100u64, 119u64);
+        let mut hashes = Vec::new();
+        for rows in [200u64, 1600, 12800] {
+            let (s, _) = store(rows);
+            let resp = s.query(q.0, q.1);
+            assert_eq!(resp.rows.len(), 20);
+            hashes.push(resp.proof_hashes());
+        }
+        assert!(
+            hashes[0] < hashes[1] && hashes[1] < hashes[2],
+            "proof sizes {hashes:?} must grow with N"
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (s, _) = store(20);
+        let wrong = MockSigner::new(1234);
+        let resp = s.query(0, 5);
+        let err = MerkleAuthStore::verify(s.schema(), wrong.verifier().as_ref(), 0, 5, &resp)
+            .unwrap_err();
+        assert_eq!(err, MerkleError::RootMismatch);
+    }
+}

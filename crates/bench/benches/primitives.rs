@@ -1,0 +1,67 @@
+//! Cryptographic primitive costs — the basis of the paper's `X` ratio
+//! (`Cost_s / Cost_h1`) and its claim, citing [15], that hashing is
+//! ~100× faster than signature verification and ~10000× faster than
+//! signing. Compare `sha256_64B` with `rsa1024_verify` / `rsa1024_sign`
+//! in the report to see the measured ratios on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vbx_crypto::accum::exp_from_seed;
+use vbx_crypto::rsa;
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::{md5, sha1, sha256, Acc256};
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = vec![0xABu8; 64];
+    c.bench_function("sha256_64B", |b| b.iter(|| sha256(black_box(&data))));
+    c.bench_function("sha1_64B", |b| b.iter(|| sha1(black_box(&data))));
+    c.bench_function("md5_64B", |b| b.iter(|| md5(black_box(&data))));
+    let big = vec![0xCDu8; 4096];
+    c.bench_function("sha256_4KB", |b| b.iter(|| sha256(black_box(&big))));
+}
+
+fn bench_accumulator(c: &mut Criterion) {
+    let acc = Acc256::test_default();
+    let x = exp_from_seed(&acc, 1);
+    let y = exp_from_seed(&acc, 2);
+    c.bench_function("accum_exp_from_bytes", |b| {
+        b.iter(|| acc.exp_from_bytes(black_box(b"attribute digest input")))
+    });
+    c.bench_function("accum_combine", |b| {
+        b.iter(|| acc.combine(black_box(&x), black_box(&y)))
+    });
+    c.bench_function("accum_lift_g_pow_e", |b| b.iter(|| acc.lift(black_box(&x))));
+    c.bench_function("accum_uncombine", |b| {
+        b.iter(|| acc.uncombine(black_box(&x), black_box(&y)))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let msg = b"node digest payload for signing benchmarks";
+    let rsa512 = rsa::fixture_keypair_512();
+    let rsa1024 = rsa::fixture_keypair_1024();
+    let mock = MockSigner::new(7);
+
+    c.bench_function("rsa512_sign", |b| b.iter(|| rsa512.sign(black_box(msg))));
+    let sig512 = rsa512.sign(msg);
+    let v512 = rsa512.verifier();
+    c.bench_function("rsa512_verify", |b| {
+        b.iter(|| v512.verify(black_box(msg), black_box(&sig512)))
+    });
+
+    c.bench_function("rsa1024_sign", |b| b.iter(|| rsa1024.sign(black_box(msg))));
+    let sig1024 = rsa1024.sign(msg);
+    let v1024 = rsa1024.verifier();
+    c.bench_function("rsa1024_verify", |b| {
+        b.iter(|| v1024.verify(black_box(msg), black_box(&sig1024)))
+    });
+
+    c.bench_function("mock_sign", |b| b.iter(|| mock.sign(black_box(msg))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashes, bench_accumulator, bench_signatures
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! The query path end-to-end: VO construction at the edge (Figures
+//! 10/11's server side) and client verification (Figures 12/13), for the
+//! VB-tree against both baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vbx_baselines::{MerkleAuthStore, NaiveAuthStore};
+use vbx_bench::fixture;
+use vbx_core::{execute, ClientVerifier, RangeQuery};
+use vbx_crypto::Signer;
+
+fn bench_vo_construction(c: &mut Criterion) {
+    let fix = fixture(10_000, 10, 20, None);
+    let mut g = c.benchmark_group("vo_construction");
+    for sel_pct in [1u64, 10, 50] {
+        let hi = fix.table.len() as u64 * sel_pct / 100 - 1;
+        let q = RangeQuery::select_all(0, hi);
+        g.bench_with_input(BenchmarkId::new("vbtree", sel_pct), &q, |b, q| {
+            b.iter(|| execute(black_box(&fix.tree), black_box(q), None))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", sel_pct), &hi, |b, &hi| {
+            b.iter(|| fix.naive.query(0, black_box(hi), None, None))
+        });
+        g.bench_with_input(BenchmarkId::new("merkle", sel_pct), &hi, |b, &hi| {
+            b.iter(|| fix.merkle.query(0, black_box(hi)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let fix = fixture(10_000, 10, 20, None);
+    let verifier = fix.signer.verifier();
+    let mut g = c.benchmark_group("client_verify");
+    g.sample_size(10);
+    for sel_pct in [1u64, 10] {
+        let hi = fix.table.len() as u64 * sel_pct / 100 - 1;
+        let q = RangeQuery::select_all(0, hi);
+        let resp = execute(&fix.tree, &q, None);
+        g.bench_with_input(BenchmarkId::new("vbtree", sel_pct), &resp, |b, resp| {
+            let client = ClientVerifier::new(&fix.acc, fix.table.schema());
+            b.iter(|| {
+                client
+                    .verify(verifier.as_ref(), black_box(&q), black_box(resp))
+                    .unwrap()
+            })
+        });
+        let naive_resp = fix.naive.query(0, hi, None, None);
+        g.bench_with_input(
+            BenchmarkId::new("naive", sel_pct),
+            &naive_resp,
+            |b, resp| {
+                b.iter(|| {
+                    NaiveAuthStore::verify(
+                        &fix.acc,
+                        fix.table.schema(),
+                        verifier.as_ref(),
+                        0,
+                        hi,
+                        None,
+                        black_box(resp),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let merkle_resp = fix.merkle.query(0, hi);
+        g.bench_with_input(
+            BenchmarkId::new("merkle", sel_pct),
+            &merkle_resp,
+            |b, resp| {
+                b.iter(|| {
+                    MerkleAuthStore::verify(
+                        fix.table.schema(),
+                        verifier.as_ref(),
+                        0,
+                        hi,
+                        black_box(resp),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    // Projection trades result bytes for D_P verification work.
+    let fix = fixture(10_000, 10, 20, None);
+    let verifier = fix.signer.verifier();
+    let mut g = c.benchmark_group("projection_verify");
+    g.sample_size(10);
+    for q_c in [2usize, 5, 10] {
+        let q = RangeQuery {
+            lo: 0,
+            hi: 499,
+            projection: vbx_bench::projection(10, q_c),
+        };
+        let resp = execute(&fix.tree, &q, None);
+        g.bench_with_input(BenchmarkId::new("vbtree", q_c), &resp, |b, resp| {
+            let client = ClientVerifier::new(&fix.acc, fix.table.schema());
+            b.iter(|| {
+                client
+                    .verify(verifier.as_ref(), black_box(&q), black_box(resp))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_vo_construction, bench_verification, bench_projection
+}
+criterion_main!(benches);

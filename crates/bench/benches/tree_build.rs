@@ -1,0 +1,44 @@
+//! Central-server build costs: bulk-loading VB-trees and the baselines
+//! over growing tables (the one-off cost the paper's Section 4.1 storage
+//! analysis amortises).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vbx_baselines::{MerkleAuthStore, NaiveAuthStore};
+use vbx_core::{VbTree, VbTreeConfig};
+use vbx_crypto::signer::MockSigner;
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk_load");
+    g.sample_size(10);
+    for rows in [1_000u64, 4_000] {
+        let table = WorkloadSpec::new(rows, 10, 20).build();
+        let signer = MockSigner::new(3);
+        g.throughput(Throughput::Elements(rows));
+        g.bench_with_input(BenchmarkId::new("vbtree", rows), &table, |b, t| {
+            b.iter(|| {
+                VbTree::<4>::bulk_load(
+                    t,
+                    VbTreeConfig::default(),
+                    Acc256::test_default(),
+                    &signer,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", rows), &table, |b, t| {
+            b.iter(|| NaiveAuthStore::<4>::build(t, Acc256::test_default(), &signer))
+        });
+        g.bench_with_input(BenchmarkId::new("merkle", rows), &table, |b, t| {
+            b.iter(|| MerkleAuthStore::build(t, &signer))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build
+}
+criterion_main!(benches);

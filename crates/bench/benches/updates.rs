@@ -1,0 +1,146 @@
+//! Update transactions (Section 3.4 / 4.4): incremental insert, point
+//! delete (recompute vs the uncombine extension), and batch range
+//! delete. Mock signer isolates the tree machinery; one RSA variant
+//! shows the end-to-end cost with real signatures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use vbx_bench::fixture;
+use vbx_core::{VbTree, VbTreeConfig};
+use vbx_crypto::rsa;
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert");
+    g.sample_size(20);
+    let spec = WorkloadSpec::new(5_000, 10, 20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    g.bench_function("mock_signer", |b| {
+        let fix = fixture(5_000, 10, 20, None);
+        let schema = fix.table.schema().clone();
+        let mut next_key = 1_000_000u64;
+        b.iter_batched(
+            || {
+                next_key += 1;
+                (fix.tree.clone(), spec.make_tuple(&schema, next_key, &mut rng))
+            },
+            |(mut tree, tuple)| tree.insert(tuple, &fix.signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("rsa512_signer", |b| {
+        let table = WorkloadSpec::new(500, 10, 20).build();
+        let signer = rsa::fixture_keypair_512();
+        let tree: VbTree<4> = VbTree::bulk_load(
+            &table,
+            VbTreeConfig::default(),
+            Acc256::test_default(),
+            &signer,
+        );
+        let schema = table.schema().clone();
+        let mut next_key = 1_000_000u64;
+        b.iter_batched(
+            || {
+                next_key += 1;
+                (tree.clone(), spec.make_tuple(&schema, next_key, &mut rng))
+            },
+            |(mut tree, tuple)| tree.insert(tuple, &signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_batch_insert(c: &mut Criterion) {
+    // Ablation: signature amortisation of insert_batch vs 100 single
+    // inserts (signing dominates update cost per equation (11)).
+    let mut g = c.benchmark_group("batch_insert");
+    g.sample_size(10);
+    let spec = WorkloadSpec::new(2_000, 10, 20);
+    let fix = fixture(2_000, 10, 20, None);
+    let schema = fix.table.schema().clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let batch: Vec<_> = (1_000_000..1_000_100u64)
+        .map(|k| spec.make_tuple(&schema, k, &mut rng))
+        .collect();
+
+    g.bench_function("batch_100_rsa512", |b| {
+        let signer = rsa::fixture_keypair_512();
+        let tree: VbTree<4> = VbTree::bulk_load(
+            &WorkloadSpec::new(500, 10, 20).build(),
+            VbTreeConfig::default(),
+            Acc256::test_default(),
+            &fix.signer,
+        );
+        b.iter_batched(
+            || (tree.clone(), batch.clone()),
+            |(mut tree, batch)| tree.insert_batch(batch, &signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pointwise_100_rsa512", |b| {
+        let signer = rsa::fixture_keypair_512();
+        let tree: VbTree<4> = VbTree::bulk_load(
+            &WorkloadSpec::new(500, 10, 20).build(),
+            VbTreeConfig::default(),
+            Acc256::test_default(),
+            &fix.signer,
+        );
+        b.iter_batched(
+            || (tree.clone(), batch.clone()),
+            |(mut tree, batch)| {
+                for t in batch {
+                    tree.insert(t, &signer).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delete");
+    g.sample_size(20);
+    let fix = fixture(5_000, 10, 20, None);
+
+    g.bench_function("recompute", |b| {
+        b.iter_batched(
+            || fix.tree.clone(),
+            |mut tree| tree.delete(2_500, &fix.signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("uncombine_extension", |b| {
+        b.iter_batched(
+            || fix.tree.clone(),
+            |mut tree| tree.delete_uncombine(2_500, &fix.signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("range_100", |b| {
+        b.iter_batched(
+            || fix.tree.clone(),
+            |mut tree| tree.delete_range(1_000, 1_099, &fix.signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("range_1000", |b| {
+        b.iter_batched(
+            || fix.tree.clone(),
+            |mut tree| tree.delete_range(1_000, 1_999, &fix.signer).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_batch_insert, bench_delete
+}
+criterion_main!(benches);

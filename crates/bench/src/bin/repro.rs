@@ -1,0 +1,344 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! For each experiment the analytical model (Section 4, at the paper's
+//! 1M-row scale) is printed next to measurements from the real
+//! implementation (at a laptop-scale row count, reported inline).
+//!
+//! ```text
+//! cargo run -p vbx-bench --bin repro --release            # everything
+//! cargo run -p vbx-bench --bin repro --release -- fig10   # one section
+//! cargo run -p vbx-bench --bin repro --release -- all 50000  # more rows
+//! ```
+
+use vbx_analysis::figures::{self, render_table};
+use vbx_analysis::{tree, update, Params};
+use vbx_bench::{fixture, measured_comm, measured_compute, measured_updates, measured_vo_growth};
+use vbx_core::{VbTree, VbTreeConfig};
+use vbx_crypto::signer::MockSigner;
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::Geometry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let section = args.first().map(String::as_str).unwrap_or("all");
+    let rows: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    let run = |name: &str| section == "all" || section == name;
+    let p = Params::default();
+
+    if run("params") {
+        print_params(&p, rows);
+    }
+    if run("fig8") {
+        fig8(&p, rows);
+    }
+    if run("fig9") {
+        fig9(&p, rows);
+    }
+    if run("fig10") {
+        fig10(&p, rows);
+    }
+    if run("fig11") {
+        fig11(&p, rows);
+    }
+    if run("fig12") {
+        fig12(&p, rows);
+    }
+    if run("fig13a") {
+        println!("{}", render_table(&figures::figure13a(&p)));
+    }
+    if run("fig13b") {
+        println!("{}", render_table(&figures::figure13b(&p)));
+    }
+    if run("storage") {
+        storage(&p, rows);
+    }
+    if run("update") {
+        update_costs(&p, rows);
+    }
+    if run("merkle") {
+        merkle_extension();
+    }
+    if run("ablate") {
+        ablations(rows);
+    }
+}
+
+/// Design-choice ablations beyond the paper's figures: fan-out vs VO
+/// size, and accumulator group width vs verification work.
+fn ablations(rows: u64) {
+    use vbx_core::{execute, ClientVerifier, RangeQuery};
+    use vbx_crypto::Acc512;
+    use vbx_crypto::Signer as _;
+
+    println!("# Ablation — fan-out vs VO size (rows = {rows}, 100-row result)");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12}",
+        "fanout", "height", "D_S digests", "VO bytes"
+    );
+    let table = WorkloadSpec::new(rows, 4, 10).build();
+    let signer = MockSigner::new(1);
+    let q = RangeQuery::select_all(rows / 2, rows / 2 + 99);
+    for fanout in [8usize, 32, 114, 256] {
+        let tree: VbTree<4> = VbTree::bulk_load(
+            &table,
+            VbTreeConfig {
+                geometry: Geometry::default(),
+                fanout_override: Some(fanout),
+            },
+            Acc256::test_default(),
+            &signer,
+        );
+        let resp = execute(&tree, &q, None);
+        let size = vbx_core::measure_response(&resp);
+        println!(
+            "{:>8} {:>8} {:>12} {:>12}",
+            fanout,
+            tree.height(),
+            resp.vo.d_s.len(),
+            size.vo_bytes
+        );
+    }
+
+    println!();
+    println!("# Ablation — accumulator group width (2k rows, 200-row result)");
+    let table = WorkloadSpec::new(2_000, 4, 10).build();
+    let q = RangeQuery::select_all(500, 699);
+    {
+        let acc = Acc256::test_default();
+        let tree: VbTree<4> =
+            VbTree::bulk_load(&table, VbTreeConfig::default(), acc.clone(), &signer);
+        let resp = execute(&tree, &q, None);
+        let t0 = std::time::Instant::now();
+        ClientVerifier::new(&acc, table.schema())
+            .verify(signer.verifier().as_ref(), &q, &resp)
+            .unwrap();
+        println!(
+            "256-bit group: verify {} rows in {:?}, VO {} B",
+            resp.rows.len(),
+            t0.elapsed(),
+            vbx_core::measure_response(&resp).vo_bytes
+        );
+    }
+    {
+        let acc = Acc512::test_default_512();
+        let tree: VbTree<8> =
+            VbTree::bulk_load(&table, VbTreeConfig::default(), acc.clone(), &signer);
+        let resp = execute(&tree, &q, None);
+        let t0 = std::time::Instant::now();
+        ClientVerifier::new(&acc, table.schema())
+            .verify(signer.verifier().as_ref(), &q, &resp)
+            .unwrap();
+        println!(
+            "512-bit group: verify {} rows in {:?}, VO {} B",
+            resp.rows.len(),
+            t0.elapsed(),
+            vbx_core::measure_response(&resp).vo_bytes
+        );
+    }
+    println!();
+}
+
+fn print_params(p: &Params, rows: u64) {
+    println!("# Table 1 — parameters");
+    println!("|D| digest len      : {} B", p.digest_len);
+    println!("|K| key len         : {} B", p.key_len);
+    println!("|P| pointer len     : {} B", p.ptr_len);
+    println!("|B| block size      : {} B", p.block_size);
+    println!("N_R rows (model)    : {}", p.n_r);
+    println!("N_R rows (measured) : {rows}");
+    println!("N_C columns         : {}", p.n_c);
+    println!("Q_C result columns  : {}", p.q_c);
+    println!("attr size           : {} B", p.attr_size);
+    println!("X = Cost_s/Cost_h1  : {}", p.x);
+    println!("Cost_h2/Cost_h1     : {}", p.combine_ratio);
+    println!();
+}
+
+fn fig8(p: &Params, rows: u64) {
+    println!("{}", render_table(&figures::figure8(p)));
+    println!("## measured fan-out / height of real trees ({rows} rows, mock signer)");
+    println!(
+        "{:>12} {:>16} {:>16} {:>16}",
+        "log2|K|", "fanout(model)", "fanout(real)", "height(real)"
+    );
+    let table = WorkloadSpec::new(rows, 4, 10).build();
+    let signer = MockSigner::new(1);
+    for log_k in 0..=8u32 {
+        let geometry = Geometry {
+            key_len: 1usize << log_k,
+            ..Geometry::default()
+        };
+        let config = VbTreeConfig {
+            geometry,
+            fanout_override: None,
+        };
+        let t: VbTree<4> = VbTree::bulk_load(&table, config, Acc256::test_default(), &signer);
+        let s = t.stats();
+        println!(
+            "{:>12} {:>16} {:>16} {:>16}",
+            log_k,
+            geometry.vbtree_fanout(),
+            s.fanout,
+            s.height
+        );
+    }
+    println!();
+}
+
+fn fig9(p: &Params, rows: u64) {
+    println!("{}", render_table(&figures::figure9(p)));
+    println!("## model heights at the measured scale ({rows} rows)");
+    println!("{:>12} {:>16} {:>16}", "log2|K|", "B-tree", "VB-tree");
+    for log_k in 0..=8u32 {
+        let ps = Params {
+            key_len: 1usize << log_k,
+            n_r: rows,
+            ..p.clone()
+        };
+        println!(
+            "{:>12} {:>16} {:>16}",
+            log_k,
+            tree::btree_height(&ps),
+            tree::vbtree_height(&ps)
+        );
+    }
+    println!();
+}
+
+fn fig10(p: &Params, rows: u64) {
+    for q_c in [2usize, 5, 8] {
+        println!("{}", render_table(&figures::figure10(p, q_c)));
+    }
+    println!("## measured bytes on the wire ({rows} rows)");
+    let fix = fixture(rows, 10, 20, None);
+    println!(
+        "{:>6} {:>4} {:>14} {:>14} {:>14} {:>14}",
+        "sel%", "Q_C", "naive", "vbtree", "vb result", "vb VO"
+    );
+    for q_c in [2usize, 5, 8] {
+        for pct in [10u32, 20, 40, 60, 80, 100] {
+            let (naive, vb, result, vo) = measured_comm(&fix, q_c, pct as f64 / 100.0);
+            println!("{pct:>6} {q_c:>4} {naive:>14} {vb:>14} {result:>14} {vo:>14}");
+        }
+    }
+    println!();
+}
+
+fn fig11(p: &Params, rows: u64) {
+    println!("{}", render_table(&figures::figure11(p)));
+    println!("## measured bytes vs attribute size ({rows} rows, all columns)");
+    println!(
+        "{:>12} {:>6} {:>14} {:>14}",
+        "attrFactor", "sel%", "naive", "vbtree"
+    );
+    for a in 0..=4u32 {
+        let attr = (1usize << a) * 16;
+        let fix = fixture(rows, 10, attr, None);
+        for pct in [20u32, 80] {
+            let (naive, vb, _, _) = measured_comm(&fix, 10, pct as f64 / 100.0);
+            println!("{a:>12} {pct:>6} {naive:>14} {vb:>14}");
+        }
+    }
+    println!();
+}
+
+fn fig12(p: &Params, rows: u64) {
+    for x in [5.0f64, 10.0, 100.0] {
+        println!("{}", render_table(&figures::figure12(p, x)));
+    }
+    println!("## measured verification cost ({rows} rows, units of Cost_h1)");
+    let fix = fixture(rows, 10, 20, None);
+    println!(
+        "{:>6} {:>6} {:>16} {:>16} {:>10} {:>10} {:>10}",
+        "X", "sel%", "naive", "vbtree", "vb hash", "vb comb", "vb verify"
+    );
+    for x in [5.0f64, 10.0, 100.0] {
+        let ps = Params { x, ..p.clone() };
+        for pct in [20u32, 60, 100] {
+            let (naive, vb, meter) = measured_compute(&fix, 10, pct as f64 / 100.0, &ps);
+            println!(
+                "{x:>6} {pct:>6} {naive:>16.0} {vb:>16.0} {:>10} {:>10} {:>10}",
+                meter.hash_ops, meter.combine_ops, meter.verify_ops
+            );
+        }
+    }
+    println!();
+}
+
+fn storage(p: &Params, rows: u64) {
+    println!("# Section 4.1 — storage costs");
+    println!("base-table digest overhead (model, 1M rows): {} B", tree::base_table_overhead(p));
+    println!("per-node digest overhead: {} B", tree::node_overhead(p));
+    println!(
+        "index bytes: B-tree {} / VB-tree {}",
+        tree::btree_index_bytes(p),
+        tree::vbtree_index_bytes(p)
+    );
+    let fix = fixture(rows, 10, 20, None);
+    let stats = fix.tree.stats();
+    println!("## measured ({rows} rows)");
+    println!("tree height          : {}", stats.height);
+    println!("nodes                : {}", stats.nodes);
+    println!("leaves               : {}", stats.leaves);
+    println!("fan-out              : {}", stats.fanout);
+    println!("logical index bytes  : {}", stats.logical_bytes);
+    println!("actual digest bytes  : {}", stats.digest_bytes);
+    println!("base table bytes     : {}", fix.table.data_bytes());
+    println!();
+}
+
+fn update_costs(p: &Params, rows: u64) {
+    println!("# Section 4.4 — update costs (equations (11), (12))");
+    let ins = update::insert_breakdown(p);
+    println!(
+        "insert (model, 1M rows): hashes {} combines {} signs {} -> {:.0} Cost_h1",
+        ins.hashes,
+        ins.combines,
+        ins.signs,
+        update::update_total(p, &ins)
+    );
+    for n_d in [100u64, 10_000] {
+        let del = update::delete_breakdown(p, n_d);
+        println!(
+            "delete {n_d} rows (model): combines {:.0} signs {:.0} -> {:.0} Cost_h1",
+            del.combines,
+            del.signs,
+            update::update_total(p, &del)
+        );
+    }
+    let scaled = Params {
+        n_r: rows,
+        ..p.clone()
+    };
+    let (ins_m, del_m, range_m) = measured_updates(rows, 100);
+    let ins_model = update::insert_breakdown(&scaled);
+    println!("## measured ({rows} rows)");
+    println!(
+        "insert: measured [{}] vs model signs {:.0}",
+        ins_m, ins_model.signs
+    );
+    println!("point delete: measured [{del_m}]");
+    let del_model = update::delete_breakdown(&scaled, 100);
+    println!(
+        "range delete (100 rows): measured [{range_m}] vs model combines {:.0} signs {:.0}",
+        del_model.combines, del_model.signs
+    );
+    println!();
+}
+
+fn merkle_extension() {
+    println!("# Extension — VO growth: VB-tree vs Merkle root-anchored proofs");
+    println!(
+        "{:>10} {:>20} {:>20}",
+        "rows", "VB-tree VO digests", "Merkle proof hashes"
+    );
+    for (rows, vb, mk) in measured_vo_growth(&[500, 2_000, 8_000, 32_000]) {
+        println!("{rows:>10} {vb:>20} {mk:>20}");
+    }
+    println!();
+}

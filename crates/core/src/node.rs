@@ -1,0 +1,203 @@
+//! VB-tree node types (Figure 3 of the paper).
+//!
+//! * Leaf nodes hold `(key, tuple, D_T)` entries: the tuple, its signed
+//!   per-attribute digests (formula (1)) and its signed tuple digest
+//!   (formula (2)).
+//! * Internal nodes hold separator keys and child pointers; each child's
+//!   signed digest (formula (3)) lives with the pointer.
+//!
+//! Nodes live in an arena ([`crate::tree::VbTree`]) and refer to each
+//! other by [`NodeId`].
+
+use vbx_crypto::accum::SignedDigest;
+use vbx_storage::Tuple;
+
+/// Arena index of a node.
+pub type NodeId = usize;
+
+/// A leaf entry: one tuple plus its digest materialisation.
+#[derive(Clone, Debug)]
+pub struct TupleEntry<const L: usize> {
+    /// The tuple itself (the VB-tree is a primary, clustered index).
+    pub tuple: Tuple,
+    /// Signed digest per attribute, in schema column order
+    /// (formula (1)); these are what `D_P` entries are drawn from.
+    pub attr_digests: Vec<SignedDigest<L>>,
+    /// Signed tuple digest (formula (2)): exponent is the product of the
+    /// attribute exponents; these are what leaf-level `D_S` entries are
+    /// drawn from.
+    pub tuple_digest: SignedDigest<L>,
+}
+
+impl<const L: usize> TupleEntry<L> {
+    /// The primary key.
+    pub fn key(&self) -> u64 {
+        self.tuple.key
+    }
+}
+
+/// A leaf node.
+#[derive(Clone, Debug)]
+pub struct LeafNode<const L: usize> {
+    /// Entries sorted by key.
+    pub entries: Vec<TupleEntry<L>>,
+    /// Signed node digest (formula (3)): exponent is the product of the
+    /// tuple exponents in this leaf.
+    pub digest: SignedDigest<L>,
+}
+
+/// An internal node.
+#[derive(Clone, Debug)]
+pub struct InternalNode<const L: usize> {
+    /// Separator keys: `keys[i]` is the smallest key reachable under
+    /// `children[i + 1]`; `children[i]` covers keys `< keys[i]`.
+    pub keys: Vec<u64>,
+    /// Child node ids (`keys.len() + 1` of them).
+    pub children: Vec<NodeId>,
+    /// Signed node digest: exponent is the product of the child
+    /// exponents, which by induction equals the product of all tuple
+    /// exponents under this node.
+    pub digest: SignedDigest<L>,
+}
+
+impl<const L: usize> InternalNode<L> {
+    /// Index of the child that covers `key`.
+    pub fn child_index(&self, key: u64) -> usize {
+        self.keys.partition_point(|&s| s <= key)
+    }
+
+    /// The inclusive key interval `[lo, hi]` intersected with child `i`'s
+    /// coverage; `None` when they do not overlap.
+    pub fn child_overlaps(&self, i: usize, lo: u64, hi: u64) -> bool {
+        let child_lo = if i == 0 { None } else { Some(self.keys[i - 1]) };
+        let child_hi_excl = self.keys.get(i).copied();
+        let starts_ok = child_hi_excl.is_none_or(|h| lo < h);
+        let ends_ok = child_lo.is_none_or(|l| hi >= l);
+        starts_ok && ends_ok
+    }
+}
+
+/// A VB-tree node.
+#[derive(Clone, Debug)]
+pub enum Node<const L: usize> {
+    /// Leaf level.
+    Leaf(LeafNode<L>),
+    /// Internal level.
+    Internal(InternalNode<L>),
+}
+
+impl<const L: usize> Node<L> {
+    /// The node's signed digest.
+    pub fn digest(&self) -> &SignedDigest<L> {
+        match self {
+            Node::Leaf(n) => &n.digest,
+            Node::Internal(n) => &n.digest,
+        }
+    }
+
+    /// Replace the node's signed digest.
+    pub fn set_digest(&mut self, d: SignedDigest<L>) {
+        match self {
+            Node::Leaf(n) => n.digest = d,
+            Node::Internal(n) => n.digest = d,
+        }
+    }
+
+    /// Number of entries (tuples or children).
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Node::Leaf(n) => n.entries.len(),
+            Node::Internal(n) => n.children.len(),
+        }
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Borrow as leaf (panics on internal).
+    pub fn as_leaf(&self) -> &LeafNode<L> {
+        match self {
+            Node::Leaf(n) => n,
+            Node::Internal(_) => panic!("expected leaf"),
+        }
+    }
+
+    /// Borrow as internal (panics on leaf).
+    pub fn as_internal(&self) -> &InternalNode<L> {
+        match self {
+            Node::Internal(n) => n,
+            Node::Leaf(_) => panic!("expected internal"),
+        }
+    }
+
+    /// Mutable leaf access.
+    pub fn as_leaf_mut(&mut self) -> &mut LeafNode<L> {
+        match self {
+            Node::Leaf(n) => n,
+            Node::Internal(_) => panic!("expected leaf"),
+        }
+    }
+
+    /// Mutable internal access.
+    pub fn as_internal_mut(&mut self) -> &mut InternalNode<L> {
+        match self {
+            Node::Internal(n) => n,
+            Node::Leaf(_) => panic!("expected internal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_crypto::accum::DigestRole;
+    use vbx_crypto::Signature;
+    use vbx_mathx::Uint;
+
+    fn dummy_digest() -> SignedDigest<4> {
+        SignedDigest {
+            exp: Uint::from_u64(3),
+            role: DigestRole::Node,
+            sig: Signature(vec![0; 4]),
+        }
+    }
+
+    fn internal(keys: Vec<u64>) -> InternalNode<4> {
+        let children = (0..=keys.len()).collect();
+        InternalNode {
+            keys,
+            children,
+            digest: dummy_digest(),
+        }
+    }
+
+    #[test]
+    fn child_index_routing() {
+        let n = internal(vec![10, 20, 30]);
+        assert_eq!(n.child_index(0), 0);
+        assert_eq!(n.child_index(9), 0);
+        assert_eq!(n.child_index(10), 1); // separator key belongs right
+        assert_eq!(n.child_index(19), 1);
+        assert_eq!(n.child_index(20), 2);
+        assert_eq!(n.child_index(35), 3);
+    }
+
+    #[test]
+    fn child_overlap_ranges() {
+        let n = internal(vec![10, 20]);
+        // child 0 covers (..10), child 1 [10,20), child 2 [20..)
+        assert!(n.child_overlaps(0, 0, 5));
+        assert!(n.child_overlaps(0, 9, 100));
+        assert!(!n.child_overlaps(0, 10, 100));
+        assert!(n.child_overlaps(1, 10, 10));
+        assert!(!n.child_overlaps(1, 20, 25));
+        assert!(n.child_overlaps(2, 20, 25));
+        assert!(!n.child_overlaps(2, 0, 19));
+        // full-range query overlaps every child
+        for i in 0..3 {
+            assert!(n.child_overlaps(i, 0, u64::MAX));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Where signed digests come from during tree mutation.
+//!
+//! Only the central DBMS holds the private key (Section 3.4: "update
+//! operations have to be channeled back to the central database server
+//! … only the central server possesses the private key for signing new
+//! digests"). Yet every edge replica's VB-tree must end up with the same
+//! signed digests. [`DigestSource`] abstracts the difference:
+//!
+//! * [`SigningSource`] — the central server: signs fresh digests;
+//! * [`Capture`] — the central server while *recording* an update
+//!   delta: signs and remembers every digest in issue order;
+//! * [`ReplaySource`] — an edge server applying a received delta: pops
+//!   the pre-signed digests in the same deterministic order, checking
+//!   that the locally recomputed exponents match (any divergence means
+//!   a corrupt replica or a forged delta).
+
+use crate::CoreError;
+use std::collections::VecDeque;
+use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
+use vbx_crypto::Signer;
+use vbx_mathx::Uint;
+
+/// Issues signed digests during tree mutations.
+pub trait DigestSource<const L: usize> {
+    /// Produce the signed digest for `exp` under `role`.
+    fn issue(
+        &mut self,
+        acc: &Accumulator<L>,
+        role: DigestRole,
+        exp: &Uint<L>,
+    ) -> Result<SignedDigest<L>, CoreError>;
+
+    /// Key version of the digests this source issues.
+    fn key_version(&self) -> u32;
+
+    /// Whether an issue counts as a signature operation in the cost
+    /// meter (replay and deferred sources do not sign).
+    fn counts_as_sign(&self) -> bool {
+        true
+    }
+}
+
+/// Signs fresh digests with the central server's key.
+pub struct SigningSource<'a> {
+    signer: &'a dyn Signer,
+}
+
+impl<'a> SigningSource<'a> {
+    /// Wrap a signer.
+    pub fn new(signer: &'a dyn Signer) -> Self {
+        Self { signer }
+    }
+}
+
+impl<const L: usize> DigestSource<L> for SigningSource<'_> {
+    fn issue(
+        &mut self,
+        acc: &Accumulator<L>,
+        role: DigestRole,
+        exp: &Uint<L>,
+    ) -> Result<SignedDigest<L>, CoreError> {
+        Ok(acc.sign_digest(self.signer, role, exp))
+    }
+
+    fn key_version(&self) -> u32 {
+        self.signer.key_version()
+    }
+}
+
+/// Signs and records every issued digest, in order — producing the
+/// payload of an update delta for edge replicas.
+pub struct Capture<'a, const L: usize> {
+    signer: &'a dyn Signer,
+    /// Digests in issue order.
+    pub captured: Vec<SignedDigest<L>>,
+}
+
+impl<'a, const L: usize> Capture<'a, L> {
+    /// Wrap a signer, capturing issued digests.
+    pub fn new(signer: &'a dyn Signer) -> Self {
+        Self {
+            signer,
+            captured: Vec::new(),
+        }
+    }
+
+    /// Consume and return the captured digests.
+    pub fn into_digests(self) -> Vec<SignedDigest<L>> {
+        self.captured
+    }
+}
+
+impl<const L: usize> DigestSource<L> for Capture<'_, L> {
+    fn issue(
+        &mut self,
+        acc: &Accumulator<L>,
+        role: DigestRole,
+        exp: &Uint<L>,
+    ) -> Result<SignedDigest<L>, CoreError> {
+        let d = acc.sign_digest(self.signer, role, exp);
+        self.captured.push(d.clone());
+        Ok(d)
+    }
+
+    fn key_version(&self) -> u32 {
+        self.signer.key_version()
+    }
+}
+
+/// Replays pre-signed digests on an edge replica, checking that the
+/// locally computed exponent and role match the shipped digest.
+pub struct ReplaySource<const L: usize> {
+    digests: VecDeque<SignedDigest<L>>,
+    key_version: u32,
+}
+
+impl<const L: usize> ReplaySource<L> {
+    /// Create from a delta's digest list and the key version it was
+    /// signed under.
+    pub fn new(digests: Vec<SignedDigest<L>>, key_version: u32) -> Self {
+        Self {
+            digests: digests.into(),
+            key_version,
+        }
+    }
+
+    /// Digests not yet consumed (must be 0 after a successful replay).
+    pub fn remaining(&self) -> usize {
+        self.digests.len()
+    }
+}
+
+impl<const L: usize> DigestSource<L> for ReplaySource<L> {
+    fn counts_as_sign(&self) -> bool {
+        false // replicas replay signatures; they never create them
+    }
+
+    fn issue(
+        &mut self,
+        _acc: &Accumulator<L>,
+        role: DigestRole,
+        exp: &Uint<L>,
+    ) -> Result<SignedDigest<L>, CoreError> {
+        let d = self.digests.pop_front().ok_or_else(|| {
+            CoreError::ReplicaDivergence("delta exhausted: replica issued more digests".into())
+        })?;
+        if d.role != role {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "delta role {:?} != local {:?}",
+                d.role, role
+            )));
+        }
+        if &d.exp != exp {
+            return Err(CoreError::ReplicaDivergence(
+                "delta exponent differs from locally recomputed digest".into(),
+            ));
+        }
+        Ok(d)
+    }
+
+    fn key_version(&self) -> u32 {
+        self.key_version
+    }
+}
+
+/// Defers signing entirely: issues digests with **empty** signatures so
+/// that a batch of structural updates can be applied first and every
+/// dirty digest signed once in a final sweep — the signature-amortised
+/// batch insert of [`crate::VbTree::insert_batch`].
+pub struct DeferredSource {
+    key_version: u32,
+}
+
+impl DeferredSource {
+    /// Create a deferred source stamping the given key version.
+    pub fn new(key_version: u32) -> Self {
+        Self { key_version }
+    }
+}
+
+impl<const L: usize> DigestSource<L> for DeferredSource {
+    fn counts_as_sign(&self) -> bool {
+        false // signing happens in the final sweep
+    }
+
+    fn issue(
+        &mut self,
+        _acc: &Accumulator<L>,
+        role: DigestRole,
+        exp: &Uint<L>,
+    ) -> Result<SignedDigest<L>, CoreError> {
+        Ok(SignedDigest {
+            exp: *exp,
+            role,
+            sig: vbx_crypto::Signature(Vec::new()),
+        })
+    }
+
+    fn key_version(&self) -> u32 {
+        self.key_version
+    }
+}

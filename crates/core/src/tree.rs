@@ -1,0 +1,1078 @@
+//! The Verifiable B-tree.
+//!
+//! A B+-tree over tuples keyed by primary key, where every attribute,
+//! tuple and node carries a digest signed by the central DBMS
+//! (Section 3.2, Figure 3). Digest exponents compose multiplicatively in
+//! `Z_q`, so:
+//!
+//! * a node's exponent equals the product of **all** tuple exponents in
+//!   its subtree (the flattening that makes Lemma 1/2's equations work);
+//! * inserting a tuple multiplies its exponent into every node on the
+//!   root-to-leaf path and nothing else (Section 3.4);
+//! * splits never change an ancestor's exponent (the product is
+//!   preserved), so only the two halves are re-signed.
+//!
+//! Mutations are parameterised by a [`DigestSource`]: the central server
+//! signs fresh digests, edge replicas replay pre-signed digests from
+//! update deltas (they have no private key — Section 3.4).
+
+use crate::meter::CostMeter;
+use crate::node::{InternalNode, LeafNode, Node, NodeId, TupleEntry};
+use crate::source::{DeferredSource, DigestSource, SigningSource};
+use crate::CoreError;
+use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
+use vbx_crypto::{SigVerifier, Signer};
+use vbx_mathx::Uint;
+use vbx_storage::{Geometry, Schema, Table, Tuple};
+
+/// Construction parameters.
+#[derive(Clone, Debug, Default)]
+pub struct VbTreeConfig {
+    /// Byte-level node geometry (Table 1 defaults).
+    pub geometry: Geometry,
+    /// Override the geometric fan-out (tests use small fan-outs to get
+    /// deep trees from few tuples).
+    pub fanout_override: Option<usize>,
+}
+
+impl VbTreeConfig {
+    /// Effective fan-out (maximum entries per node).
+    pub fn fanout(&self) -> usize {
+        let f = self
+            .fanout_override
+            .unwrap_or_else(|| self.geometry.vbtree_fanout());
+        assert!(f >= 2, "fan-out must be at least 2");
+        f
+    }
+
+    /// Config with an explicit small fan-out (testing helper).
+    pub fn with_fanout(fanout: usize) -> Self {
+        Self {
+            geometry: Geometry::default(),
+            fanout_override: Some(fanout),
+        }
+    }
+}
+
+/// Aggregate shape statistics (used by the Figure 8/9 measurements and
+/// the storage report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VbTreeStats {
+    /// Height in levels (1 = single leaf).
+    pub height: u32,
+    /// Total node count.
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Tuple count.
+    pub tuples: u64,
+    /// Effective fan-out used.
+    pub fanout: usize,
+    /// Logical index size: `nodes × block_size` (the paper's storage
+    /// accounting).
+    pub logical_bytes: usize,
+    /// Actual bytes of signed digests held in nodes and tuples.
+    pub digest_bytes: usize,
+}
+
+/// The Verifiable B-tree.
+#[derive(Clone)]
+pub struct VbTree<const L: usize> {
+    pub(crate) schema: Schema,
+    pub(crate) config: VbTreeConfig,
+    pub(crate) acc: Accumulator<L>,
+    pub(crate) nodes: Vec<Option<Node<L>>>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) height: u32,
+    pub(crate) len: u64,
+    /// Monotone version, bumped on every successful update.
+    pub(crate) version: u64,
+    /// Version of the signing key the digests are currently under.
+    pub(crate) key_version: u32,
+    pub(crate) meter: CostMeter,
+}
+
+impl<const L: usize> VbTree<L> {
+    /// Empty tree.
+    pub fn new(
+        schema: Schema,
+        config: VbTreeConfig,
+        acc: Accumulator<L>,
+        signer: &dyn Signer,
+    ) -> Self {
+        assert!(
+            schema.num_columns() >= 1,
+            "VB-tree requires at least one payload attribute"
+        );
+        let mut tree = Self {
+            schema,
+            config,
+            acc,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            height: 1,
+            len: 0,
+            version: 0,
+            key_version: signer.key_version(),
+            meter: CostMeter::new(),
+        };
+        let mut src = SigningSource::new(signer);
+        let identity = tree.acc.identity();
+        let digest = tree
+            .issue_node(identity, &mut src)
+            .expect("signing cannot fail");
+        tree.root = tree.alloc(Node::Leaf(LeafNode {
+            entries: Vec::new(),
+            digest,
+        }));
+        tree
+    }
+
+    /// Bulk-load from a [`Table`] (fully packed, as the paper's analysis
+    /// assumes).
+    pub fn bulk_load(
+        table: &Table,
+        config: VbTreeConfig,
+        acc: Accumulator<L>,
+        signer: &dyn Signer,
+    ) -> Self {
+        let mut tree = Self::new(table.schema().clone(), config, acc, signer);
+        let mut src = SigningSource::new(signer);
+        let fanout = tree.config.fanout();
+
+        let entries: Vec<TupleEntry<L>> = table
+            .iter()
+            .map(|t| {
+                tree.make_entry_with(t.clone(), &mut src)
+                    .expect("signing cannot fail")
+            })
+            .collect();
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len() as u64;
+
+        // Free the placeholder empty leaf.
+        tree.dealloc(tree.root);
+
+        // Level 0: pack leaves.
+        let mut level: Vec<(u64, NodeId, Uint<L>)> = Vec::new(); // (min_key, id, exp)
+        let mut chunk: Vec<TupleEntry<L>> = Vec::with_capacity(fanout);
+        let flush = |tree: &mut Self,
+                     src: &mut SigningSource<'_>,
+                     chunk: &mut Vec<TupleEntry<L>>,
+                     level: &mut Vec<(u64, NodeId, Uint<L>)>| {
+            if chunk.is_empty() {
+                return;
+            }
+            let entries = std::mem::take(chunk);
+            let min_key = entries[0].key();
+            let exp = tree.product_of_tuples(&entries);
+            let digest = tree.issue_node(exp, src).expect("signing cannot fail");
+            let id = tree.alloc(Node::Leaf(LeafNode { entries, digest }));
+            level.push((min_key, id, exp));
+        };
+        for e in entries {
+            chunk.push(e);
+            if chunk.len() == fanout {
+                flush(&mut tree, &mut src, &mut chunk, &mut level);
+            }
+        }
+        flush(&mut tree, &mut src, &mut chunk, &mut level);
+
+        // Upper levels.
+        let mut height = 1u32;
+        while level.len() > 1 {
+            let mut next: Vec<(u64, NodeId, Uint<L>)> = Vec::new();
+            for group in level.chunks(fanout) {
+                let min_key = group[0].0;
+                let keys: Vec<u64> = group[1..].iter().map(|(k, _, _)| *k).collect();
+                let children: Vec<NodeId> = group.iter().map(|(_, id, _)| *id).collect();
+                let mut exp = tree.acc.identity();
+                for (_, _, e) in group {
+                    exp = tree.acc.combine(&exp, e);
+                    tree.meter.combine_ops += 1;
+                }
+                let digest = tree.issue_node(exp, &mut src).expect("signing cannot fail");
+                let id = tree.alloc(Node::Internal(InternalNode {
+                    keys,
+                    children,
+                    digest,
+                }));
+                next.push((min_key, id, exp));
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The schema this tree indexes.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The digest algebra.
+    pub fn accumulator(&self) -> &Accumulator<L> {
+        &self.acc
+    }
+
+    /// Tree configuration.
+    pub fn config(&self) -> &VbTreeConfig {
+        &self.config
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height in levels (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Root node id (used by the VO builder and lock manager).
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    /// Update version (bumped by every insert/delete).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Version of the signing key the tree's digests are under.
+    pub fn key_version(&self) -> u32 {
+        self.key_version
+    }
+
+    /// The root's signed digest.
+    pub fn root_digest(&self) -> &SignedDigest<L> {
+        self.node(self.root).digest()
+    }
+
+    /// Cumulative maintenance costs (build + updates so far).
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Reset the maintenance meter and return its previous value.
+    pub fn take_meter(&mut self) -> CostMeter {
+        std::mem::take(&mut self.meter)
+    }
+
+    /// Node ids on the root-to-leaf path for `key` — the digests an
+    /// update transaction X-locks (Section 3.4).
+    pub fn path_node_ids(&self, key: u64) -> Vec<NodeId> {
+        let (leaf, path) = self.descend(key);
+        path.iter().map(|&(id, _)| id).chain([leaf]).collect()
+    }
+
+    /// Node ids of the enveloping subtree a query S-locks: the top node
+    /// covering `[lo, hi]` plus everything under it that overlaps.
+    pub fn envelope_node_ids(&self, lo: u64, hi: u64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_envelope(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn collect_envelope(&self, id: NodeId, lo: u64, hi: u64, out: &mut Vec<NodeId>) {
+        out.push(id);
+        if let Node::Internal(n) = self.node(id) {
+            for i in 0..n.children.len() {
+                if n.child_overlaps(i, lo, hi) {
+                    self.collect_envelope(n.children[i], lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// Borrow a node by id.
+    pub(crate) fn node(&self, id: NodeId) -> &Node<L> {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<L> {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    // ------------------------------------------------------------------
+    // Digest helpers
+    // ------------------------------------------------------------------
+
+    fn issue_node(
+        &mut self,
+        exp: Uint<L>,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<SignedDigest<L>, CoreError> {
+        if src.counts_as_sign() {
+            self.meter.sign_ops += 1;
+        }
+        self.key_version = src.key_version();
+        src.issue(&self.acc, DigestRole::Node, &exp)
+    }
+
+    fn product_of_tuples(&mut self, entries: &[TupleEntry<L>]) -> Uint<L> {
+        let mut acc = self.acc.identity();
+        for e in entries {
+            acc = self.acc.combine(&acc, &e.tuple_digest.exp);
+            self.meter.combine_ops += 1;
+        }
+        acc
+    }
+
+    fn product_of_children(&mut self, children: &[NodeId]) -> Uint<L> {
+        let mut acc = self.acc.identity();
+        for &c in children {
+            let e = self.node(c).digest().exp;
+            acc = self.acc.combine(&acc, &e);
+            self.meter.combine_ops += 1;
+        }
+        acc
+    }
+
+    /// Build the full digest materialisation for a tuple with a signer
+    /// (central-server path).
+    pub fn make_entry(&mut self, tuple: Tuple, signer: &dyn Signer) -> TupleEntry<L> {
+        self.make_entry_with(tuple, &mut SigningSource::new(signer))
+            .expect("signing cannot fail")
+    }
+
+    /// Build the digest materialisation through an arbitrary source:
+    /// per-attribute signed digests (formula (1)) and the signed tuple
+    /// digest (formula (2)).
+    pub fn make_entry_with(
+        &mut self,
+        tuple: Tuple,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<TupleEntry<L>, CoreError> {
+        let mut attr_digests = Vec::with_capacity(tuple.values.len());
+        let mut tuple_exp = self.acc.identity();
+        for (col, value) in tuple.values.iter().enumerate() {
+            let input = self.schema.attribute_digest_input(col, tuple.key, value);
+            let e = self.acc.exp_from_bytes(&input);
+            self.meter.hash_ops += 1;
+            tuple_exp = self.acc.combine(&tuple_exp, &e);
+            self.meter.combine_ops += 1;
+            attr_digests.push(src.issue(&self.acc, DigestRole::Attribute, &e)?);
+            if src.counts_as_sign() {
+                self.meter.sign_ops += 1;
+            }
+        }
+        let tuple_digest = src.issue(&self.acc, DigestRole::Tuple, &tuple_exp)?;
+        if src.counts_as_sign() {
+            self.meter.sign_ops += 1;
+        }
+        Ok(TupleEntry {
+            tuple,
+            attr_digests,
+            tuple_digest,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Arena
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, node: Node<L>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            self.nodes.len() - 1
+        }
+    }
+
+    fn dealloc(&mut self, id: NodeId) {
+        self.nodes[id] = None;
+        self.free.push(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Leaf id containing (or that would contain) `key`, plus the
+    /// root-to-leaf path as `(node, child_index)` pairs.
+    pub(crate) fn descend(&self, key: u64) -> (NodeId, Vec<(NodeId, usize)>) {
+        let mut path = Vec::with_capacity(self.height as usize);
+        let mut id = self.root;
+        loop {
+            match self.node(id) {
+                Node::Internal(n) => {
+                    let ci = n.child_index(key);
+                    path.push((id, ci));
+                    id = n.children[ci];
+                }
+                Node::Leaf(_) => return (id, path),
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<&Tuple> {
+        let (leaf_id, _) = self.descend(key);
+        let leaf = self.node(leaf_id).as_leaf();
+        leaf.entries
+            .binary_search_by_key(&key, |e| e.key())
+            .ok()
+            .map(|i| &leaf.entries[i].tuple)
+    }
+
+    /// All tuples with keys in `[lo, hi]`, in key order.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<&Tuple> {
+        let mut out = Vec::new();
+        self.collect_range(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn collect_range<'a>(&'a self, id: NodeId, lo: u64, hi: u64, out: &mut Vec<&'a Tuple>) {
+        match self.node(id) {
+            Node::Leaf(n) => {
+                for e in &n.entries {
+                    if e.key() >= lo && e.key() <= hi {
+                        out.push(&e.tuple);
+                    }
+                }
+            }
+            Node::Internal(n) => {
+                for i in 0..n.children.len() {
+                    if n.child_overlaps(i, lo, hi) {
+                        self.collect_range(n.children[i], lo, hi, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (Section 3.4)
+    // ------------------------------------------------------------------
+
+    /// Insert a tuple, signing fresh digests (central-server path).
+    pub fn insert(&mut self, tuple: Tuple, signer: &dyn Signer) -> Result<(), CoreError> {
+        self.insert_with_source(tuple, &mut SigningSource::new(signer))
+    }
+
+    /// Insert through an arbitrary digest source. Digest maintenance is
+    /// the paper's incremental update: each node digest on the
+    /// root-to-leaf path absorbs the new tuple exponent
+    /// (`D'_N = h(h^{-1}(D_N) | d_T)` in exponent space), and splits
+    /// re-sign only the two halves.
+    pub fn insert_with_source(
+        &mut self,
+        tuple: Tuple,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<(), CoreError> {
+        self.schema
+            .check_row(&tuple.values)
+            .map_err(CoreError::Storage)?;
+        if self.get(tuple.key).is_some() {
+            return Err(CoreError::DuplicateKey(tuple.key));
+        }
+        let key = tuple.key;
+        let entry = self.make_entry_with(tuple, src)?;
+        let e_t = entry.tuple_digest.exp;
+
+        let (leaf_id, path) = self.descend(key);
+
+        // 1. Insert into the leaf and absorb e_t into its digest.
+        {
+            let leaf = self.node_mut(leaf_id).as_leaf_mut();
+            let pos = leaf.entries.partition_point(|e| e.key() < key);
+            leaf.entries.insert(pos, entry);
+        }
+        self.absorb_exponent(leaf_id, &e_t, src)?;
+
+        // 2. Absorb e_t into every ancestor (any order — commutative).
+        for &(anc, _) in &path {
+            self.absorb_exponent(anc, &e_t, src)?;
+        }
+
+        // 3. Resolve overflows bottom-up.
+        let fanout = self.config.fanout();
+        let mut stack = path;
+        let mut current = leaf_id;
+        while self.node(current).entry_count() > fanout {
+            let (sep, right) = self.split(current, src)?;
+            match stack.pop() {
+                Some((pid, ci)) => {
+                    let parent = self.node_mut(pid).as_internal_mut();
+                    parent.keys.insert(ci, sep);
+                    parent.children.insert(ci + 1, right);
+                    current = pid;
+                }
+                None => {
+                    // Root split: new root over the two halves. Its
+                    // exponent is the product of the halves' exponents
+                    // (== all tuples), freshly signed.
+                    let exp = self.product_of_children(&[current, right]);
+                    let digest = self.issue_node(exp, src)?;
+                    let new_root = self.alloc(Node::Internal(InternalNode {
+                        keys: vec![sep],
+                        children: vec![current, right],
+                        digest,
+                    }));
+                    self.root = new_root;
+                    self.height += 1;
+                    break;
+                }
+            }
+        }
+
+        self.len += 1;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Batch insert with **signature amortisation** (extension over the
+    /// paper's per-tuple insert): all tuples are inserted structurally
+    /// with deferred (empty) signatures, then every dirty digest is
+    /// signed exactly once in a final sweep. `k` inserts sharing
+    /// root-to-leaf paths thus cost `O(dirty nodes)` signatures instead
+    /// of `O(k · height)` — signing is the dominant update cost
+    /// (equation (11) weights it ≈ 10⁴ × a hash).
+    ///
+    /// The batch is atomic with respect to validation: duplicate keys
+    /// (among the batch or with existing tuples) and schema mismatches
+    /// are rejected before any mutation.
+    pub fn insert_batch(
+        &mut self,
+        tuples: Vec<Tuple>,
+        signer: &dyn Signer,
+    ) -> Result<usize, CoreError> {
+        // Validate everything up front so the batch never half-applies.
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &tuples {
+            self.schema.check_row(&t.values).map_err(CoreError::Storage)?;
+            if !seen.insert(t.key) || self.get(t.key).is_some() {
+                return Err(CoreError::DuplicateKey(t.key));
+            }
+        }
+        let n = tuples.len();
+        let mut deferred = DeferredSource::new(signer.key_version());
+        for t in tuples {
+            self.insert_with_source(t, &mut deferred)?;
+        }
+        // Signing sweep: every digest left unsigned by the deferred
+        // source gets one fresh signature.
+        let ids: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .collect();
+        for id in ids {
+            let node_exp = {
+                let node = self.node(id);
+                node.digest().sig.is_empty().then(|| node.digest().exp)
+            };
+            if let Some(exp) = node_exp {
+                self.meter.sign_ops += 1;
+                let d = self.acc.sign_digest(signer, DigestRole::Node, &exp);
+                self.node_mut(id).set_digest(d);
+            }
+            // Leaf entries inserted by this batch carry unsigned
+            // attribute/tuple digests too.
+            let mut fixes: Vec<(usize, Vec<Uint<L>>, Uint<L>)> = Vec::new();
+            if let Node::Leaf(leaf) = self.node(id) {
+                for (i, e) in leaf.entries.iter().enumerate() {
+                    if e.tuple_digest.sig.is_empty() {
+                        fixes.push((
+                            i,
+                            e.attr_digests.iter().map(|d| d.exp).collect(),
+                            e.tuple_digest.exp,
+                        ));
+                    }
+                }
+            }
+            for (i, attr_exps, tuple_exp) in fixes {
+                let attr_digests: Vec<SignedDigest<L>> = attr_exps
+                    .iter()
+                    .map(|e| {
+                        self.meter.sign_ops += 1;
+                        self.acc.sign_digest(signer, DigestRole::Attribute, e)
+                    })
+                    .collect();
+                self.meter.sign_ops += 1;
+                let tuple_digest = self.acc.sign_digest(signer, DigestRole::Tuple, &tuple_exp);
+                let leaf = self.node_mut(id).as_leaf_mut();
+                leaf.entries[i].attr_digests = attr_digests;
+                leaf.entries[i].tuple_digest = tuple_digest;
+            }
+        }
+        Ok(n)
+    }
+
+    fn absorb_exponent(
+        &mut self,
+        id: NodeId,
+        e: &Uint<L>,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<(), CoreError> {
+        let old = self.node(id).digest().exp;
+        let new = self.acc.combine(&old, e);
+        self.meter.combine_ops += 1;
+        let digest = self.issue_node(new, src)?;
+        self.node_mut(id).set_digest(digest);
+        Ok(())
+    }
+
+    /// Split an over-full node; returns `(separator_key, right_id)`.
+    fn split(
+        &mut self,
+        id: NodeId,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<(u64, NodeId), CoreError> {
+        let node = self.nodes[id].take().expect("live node");
+        match node {
+            Node::Leaf(mut leaf) => {
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let sep = right_entries[0].key();
+                let left_exp = self.product_of_tuples(&leaf.entries);
+                let right_exp = self.product_of_tuples(&right_entries);
+                leaf.digest = self.issue_node(left_exp, src)?;
+                let right_digest = self.issue_node(right_exp, src)?;
+                self.nodes[id] = Some(Node::Leaf(leaf));
+                let right = self.alloc(Node::Leaf(LeafNode {
+                    entries: right_entries,
+                    digest: right_digest,
+                }));
+                Ok((sep, right))
+            }
+            Node::Internal(mut int) => {
+                let mid = int.children.len() / 2;
+                let right_children = int.children.split_off(mid);
+                let right_keys = int.keys.split_off(mid);
+                let sep = int.keys.pop().expect("separator for promoted key");
+                let left_exp = self.product_of_children(&int.children);
+                let right_exp = self.product_of_children(&right_children);
+                int.digest = self.issue_node(left_exp, src)?;
+                let right_digest = self.issue_node(right_exp, src)?;
+                self.nodes[id] = Some(Node::Internal(int));
+                let right = self.alloc(Node::Internal(InternalNode {
+                    keys: right_keys,
+                    children: right_children,
+                    digest: right_digest,
+                }));
+                Ok((sep, right))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (Section 3.4)
+    // ------------------------------------------------------------------
+
+    /// Delete one tuple, signing fresh digests (central-server path).
+    pub fn delete(&mut self, key: u64, signer: &dyn Signer) -> Result<Tuple, CoreError> {
+        self.delete_with_source(key, &mut SigningSource::new(signer))
+    }
+
+    /// Delete one tuple through an arbitrary digest source, recomputing
+    /// digests bottom-up along the path — the paper's delete transaction
+    /// ("the tuples' contribution … cannot be reversed out immediately;
+    /// … re-calculate the digests back up to the root"). Nodes are
+    /// removed only when empty, following the paper's citation of [9].
+    pub fn delete_with_source(
+        &mut self,
+        key: u64,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<Tuple, CoreError> {
+        let (leaf_id, path) = self.descend(key);
+        let removed = {
+            let leaf = self.node_mut(leaf_id).as_leaf_mut();
+            match leaf.entries.binary_search_by_key(&key, |e| e.key()) {
+                Ok(i) => leaf.entries.remove(i),
+                Err(_) => return Err(CoreError::KeyNotFound(key)),
+            }
+        };
+
+        // Recompute the leaf digest from surviving entries.
+        let leaf_entries = match self.node(leaf_id) {
+            Node::Leaf(n) => n.entries.clone(),
+            _ => unreachable!(),
+        };
+        let exp = self.product_of_tuples(&leaf_entries);
+        let digest = self.issue_node(exp, src)?;
+        self.node_mut(leaf_id).set_digest(digest);
+
+        // Walk back up: drop emptied children, recompute ancestor digests.
+        let mut child_id = leaf_id;
+        for &(pid, ci) in path.iter().rev() {
+            let child_empty = self.node(child_id).entry_count() == 0;
+            if child_empty {
+                let parent = self.node_mut(pid).as_internal_mut();
+                parent.children.remove(ci);
+                if parent.keys.is_empty() {
+                    // Parent had a single child; root-shrink handles it.
+                } else if ci == 0 {
+                    parent.keys.remove(0);
+                } else {
+                    parent.keys.remove(ci - 1);
+                }
+                self.dealloc(child_id);
+            }
+            let children = match self.node(pid) {
+                Node::Internal(n) => n.children.clone(),
+                _ => unreachable!(),
+            };
+            let exp = self.product_of_children(&children);
+            let digest = self.issue_node(exp, src)?;
+            self.node_mut(pid).set_digest(digest);
+            child_id = pid;
+        }
+
+        self.shrink_root();
+        self.len -= 1;
+        self.version += 1;
+        Ok(removed.tuple)
+    }
+
+    /// Fast-path delete using the field structure of `Z_q`: the tuple's
+    /// exponent is *divided out* of every path digest instead of
+    /// recomputing products (an extension over the paper; see DESIGN.md).
+    pub fn delete_uncombine(&mut self, key: u64, signer: &dyn Signer) -> Result<Tuple, CoreError> {
+        let mut src = SigningSource::new(signer);
+        let (leaf_id, path) = self.descend(key);
+        let removed = {
+            let leaf = self.node_mut(leaf_id).as_leaf_mut();
+            match leaf.entries.binary_search_by_key(&key, |e| e.key()) {
+                Ok(i) => leaf.entries.remove(i),
+                Err(_) => return Err(CoreError::KeyNotFound(key)),
+            }
+        };
+        let e_t = removed.tuple_digest.exp;
+        for id in path
+            .iter()
+            .map(|&(pid, _)| pid)
+            .chain(std::iter::once(leaf_id))
+        {
+            let old = self.node(id).digest().exp;
+            let new = self.acc.uncombine(&old, &e_t);
+            self.meter.combine_ops += 1;
+            let digest = self.issue_node(new, &mut src)?;
+            self.node_mut(id).set_digest(digest);
+        }
+        // Structural cleanup of emptied nodes.
+        let mut child_id = leaf_id;
+        for &(pid, ci) in path.iter().rev() {
+            if self.node(child_id).entry_count() == 0 {
+                let parent = self.node_mut(pid).as_internal_mut();
+                parent.children.remove(ci);
+                if !parent.keys.is_empty() {
+                    if ci == 0 {
+                        parent.keys.remove(0);
+                    } else {
+                        parent.keys.remove(ci - 1);
+                    }
+                }
+                self.dealloc(child_id);
+            }
+            child_id = pid;
+        }
+        self.shrink_root();
+        self.len -= 1;
+        self.version += 1;
+        Ok(removed.tuple)
+    }
+
+    /// Batch range delete with fresh signing (central-server path).
+    pub fn delete_range(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        signer: &dyn Signer,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        self.delete_range_with_source(lo, hi, &mut SigningSource::new(signer))
+    }
+
+    /// Batch range delete — the transaction priced by equation (12):
+    /// empties out interior nodes of the enveloping subtree and
+    /// recomputes digests along the boundary paths up to the root.
+    pub fn delete_range_with_source(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<Vec<Tuple>, CoreError> {
+        let mut removed = Vec::new();
+        let root = self.root;
+        let emptied = self.prune(root, lo, hi, &mut removed, src)?;
+        if emptied {
+            // The whole tree was emptied: reset to a single empty leaf.
+            self.dealloc(root);
+            let identity = self.acc.identity();
+            let digest = self.issue_node(identity, src)?;
+            self.root = self.alloc(Node::Leaf(LeafNode {
+                entries: Vec::new(),
+                digest,
+            }));
+            self.height = 1;
+        } else {
+            self.shrink_root();
+        }
+        self.len -= removed.len() as u64;
+        if !removed.is_empty() {
+            self.version += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Recursively remove `[lo, hi]` under `id`; returns true when the
+    /// node ended up empty (caller deallocates).
+    fn prune(
+        &mut self,
+        id: NodeId,
+        lo: u64,
+        hi: u64,
+        removed: &mut Vec<Tuple>,
+        src: &mut dyn DigestSource<L>,
+    ) -> Result<bool, CoreError> {
+        match self.node(id) {
+            Node::Leaf(_) => {
+                let leaf = self.node_mut(id).as_leaf_mut();
+                let before = leaf.entries.len();
+                let mut kept = Vec::with_capacity(before);
+                for e in leaf.entries.drain(..) {
+                    if e.key() >= lo && e.key() <= hi {
+                        removed.push(e.tuple);
+                    } else {
+                        kept.push(e);
+                    }
+                }
+                let changed = kept.len() != before;
+                leaf.entries = kept;
+                let entries = self.node(id).as_leaf().entries.clone();
+                if entries.is_empty() {
+                    return Ok(true);
+                }
+                if changed {
+                    let exp = self.product_of_tuples(&entries);
+                    let digest = self.issue_node(exp, src)?;
+                    self.node_mut(id).set_digest(digest);
+                }
+                Ok(false)
+            }
+            Node::Internal(n) => {
+                let child_ids = n.children.clone();
+                let overlaps: Vec<bool> = (0..child_ids.len())
+                    .map(|i| n.child_overlaps(i, lo, hi))
+                    .collect();
+                let mut emptied = vec![false; child_ids.len()];
+                let mut any_overlap = false;
+                for (i, &cid) in child_ids.iter().enumerate() {
+                    if overlaps[i] {
+                        any_overlap = true;
+                        emptied[i] = self.prune(cid, lo, hi, removed, src)?;
+                    }
+                }
+                // Remove emptied children (right to left to keep indices
+                // stable) and their separators.
+                for i in (0..child_ids.len()).rev() {
+                    if emptied[i] {
+                        let parent = self.node_mut(id).as_internal_mut();
+                        parent.children.remove(i);
+                        if !parent.keys.is_empty() {
+                            if i == 0 {
+                                parent.keys.remove(0);
+                            } else {
+                                parent.keys.remove(i - 1);
+                            }
+                        }
+                        self.dealloc(child_ids[i]);
+                    }
+                }
+                let children = self.node(id).as_internal().children.clone();
+                if children.is_empty() {
+                    return Ok(true);
+                }
+                if any_overlap {
+                    let exp = self.product_of_children(&children);
+                    let digest = self.issue_node(exp, src)?;
+                    self.node_mut(id).set_digest(digest);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn shrink_root(&mut self) {
+        while let Node::Internal(n) = self.node(self.root) {
+            if n.children.len() == 1 {
+                let child = n.children[0];
+                let old = self.root;
+                self.root = child;
+                self.dealloc(old);
+                self.height -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection & invariants
+    // ------------------------------------------------------------------
+
+    /// Shape statistics.
+    pub fn stats(&self) -> VbTreeStats {
+        let mut nodes = 0usize;
+        let mut leaves = 0usize;
+        let mut digest_bytes = 0usize;
+        for n in self.nodes.iter().flatten() {
+            nodes += 1;
+            digest_bytes += n.digest().wire_len();
+            match n {
+                Node::Leaf(l) => {
+                    leaves += 1;
+                    for e in &l.entries {
+                        digest_bytes += e.tuple_digest.wire_len();
+                        digest_bytes += e.attr_digests.iter().map(|d| d.wire_len()).sum::<usize>();
+                    }
+                }
+                Node::Internal(_) => {}
+            }
+        }
+        VbTreeStats {
+            height: self.height,
+            nodes,
+            leaves,
+            tuples: self.len,
+            fanout: self.config.fanout(),
+            logical_bytes: nodes * self.config.geometry.block_size,
+            digest_bytes,
+        }
+    }
+
+    /// Exhaustive invariant check (tests and property tests):
+    /// key order, separator correctness, uniform depth, digest
+    /// consistency, and (optionally) every signature.
+    pub fn check_integrity(&self, verifier: Option<&dyn SigVerifier>) -> Result<(), CoreError> {
+        let mut count = 0u64;
+        let depth = self.check_node(self.root, None, None, verifier, &mut count)?;
+        if depth != self.height {
+            return Err(CoreError::InvariantViolation(format!(
+                "height mismatch: computed {depth}, stored {}",
+                self.height
+            )));
+        }
+        if count != self.len {
+            return Err(CoreError::InvariantViolation(format!(
+                "tuple count mismatch: computed {count}, stored {}",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        verifier: Option<&dyn SigVerifier>,
+        count: &mut u64,
+    ) -> Result<u32, CoreError> {
+        let viol = |m: String| Err(CoreError::InvariantViolation(m));
+        let node = self.node(id);
+        if let Some(v) = verifier {
+            if !self.acc.verify_digest(v, node.digest()) {
+                return viol(format!("node {id}: bad digest signature"));
+            }
+        }
+        match node {
+            Node::Leaf(n) => {
+                let mut expected = self.acc.identity();
+                let mut prev: Option<u64> = None;
+                for e in &n.entries {
+                    let k = e.key();
+                    if let Some(p) = prev {
+                        if k <= p {
+                            return viol(format!("leaf {id}: keys out of order ({p} !< {k})"));
+                        }
+                    }
+                    if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                        return viol(format!("leaf {id}: key {k} outside separator bounds"));
+                    }
+                    prev = Some(k);
+                    // Recompute the tuple digest from raw values.
+                    let mut te = self.acc.identity();
+                    for (col, val) in e.tuple.values.iter().enumerate() {
+                        let input = self.schema.attribute_digest_input(col, k, val);
+                        let ea = self.acc.exp_from_bytes(&input);
+                        if ea != e.attr_digests[col].exp {
+                            return viol(format!(
+                                "leaf {id}: attr digest mismatch key {k} col {col}"
+                            ));
+                        }
+                        te = self.acc.combine(&te, &ea);
+                    }
+                    if te != e.tuple_digest.exp {
+                        return viol(format!("leaf {id}: tuple digest mismatch key {k}"));
+                    }
+                    if let Some(v) = verifier {
+                        if !self.acc.verify_digest(v, &e.tuple_digest) {
+                            return viol(format!("leaf {id}: bad tuple signature key {k}"));
+                        }
+                        for d in &e.attr_digests {
+                            if !self.acc.verify_digest(v, d) {
+                                return viol(format!("leaf {id}: bad attr signature key {k}"));
+                            }
+                        }
+                    }
+                    expected = self.acc.combine(&expected, &e.tuple_digest.exp);
+                    *count += 1;
+                }
+                if expected != n.digest.exp {
+                    return viol(format!("leaf {id}: node digest mismatch"));
+                }
+                Ok(1)
+            }
+            Node::Internal(n) => {
+                if n.children.len() != n.keys.len() + 1 {
+                    return viol(format!("internal {id}: arity mismatch"));
+                }
+                if n.children.is_empty() {
+                    return viol(format!("internal {id}: no children"));
+                }
+                let mut expected = self.acc.identity();
+                let mut depth: Option<u32> = None;
+                for (i, &c) in n.children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(n.keys[i - 1]) };
+                    let chi = if i == n.keys.len() { hi } else { Some(n.keys[i]) };
+                    if let (Some(a), Some(b)) = (clo, chi) {
+                        if a >= b {
+                            return viol(format!("internal {id}: separators not increasing"));
+                        }
+                    }
+                    let d = self.check_node(c, clo, chi, verifier, count)?;
+                    if let Some(prev) = depth {
+                        if prev != d {
+                            return viol(format!("internal {id}: ragged depth"));
+                        }
+                    }
+                    depth = Some(d);
+                    expected = self.acc.combine(&expected, &self.node(c).digest().exp);
+                }
+                if expected != n.digest.exp {
+                    return viol(format!("internal {id}: node digest mismatch"));
+                }
+                Ok(depth.unwrap() + 1)
+            }
+        }
+    }
+}

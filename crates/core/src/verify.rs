@@ -1,0 +1,210 @@
+//! Client-side verification — Lemmas 1 and 2 of the paper.
+//!
+//! The client recomputes the attribute digests of the values it received
+//! (formula (1)), multiplies in every signed digest from `D_P` (filtered
+//! attributes) and `D_S` (filtered tuples / non-overlapping branches) in
+//! arbitrary order, lifts the total exponent through `h(x) = g^x mod p`,
+//! and compares with the signed digest of the enveloping subtree's top
+//! node. Any tampering with values, any spurious tuple, or any dropped
+//! digest breaks the equation.
+
+use crate::meter::CostMeter;
+use crate::vo::{QueryResponse, RangeQuery};
+use vbx_crypto::accum::{Accumulator, DigestRole};
+use vbx_crypto::SigVerifier;
+use vbx_storage::Schema;
+
+/// Why a response failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Result rows are not strictly sorted by key.
+    RowsUnsorted,
+    /// A result key lies outside the queried range.
+    RowOutOfRange {
+        /// The offending key.
+        key: u64,
+    },
+    /// A row does not have one value per returned column.
+    WrongArity {
+        /// The offending key.
+        key: u64,
+    },
+    /// `D_P` does not contain exactly one digest per filtered attribute.
+    ProjectionCountMismatch {
+        /// Digests expected (`rows × filtered columns`).
+        expected: usize,
+        /// Digests present.
+        actual: usize,
+    },
+    /// A signature in the VO failed to verify.
+    BadSignature {
+        /// Which part of the VO was bad ("top", "D_S", "D_P").
+        part: &'static str,
+    },
+    /// A digest appears under the wrong role.
+    WrongRole {
+        /// Which part of the VO was bad.
+        part: &'static str,
+    },
+    /// The reconstructed digest does not match the signed top digest —
+    /// the result was tampered with.
+    DigestMismatch,
+    /// The projection in the query references an unknown column.
+    BadProjection,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::RowsUnsorted => write!(f, "result rows not sorted by key"),
+            VerifyError::RowOutOfRange { key } => write!(f, "result key {key} outside range"),
+            VerifyError::WrongArity { key } => write!(f, "row {key} has wrong arity"),
+            VerifyError::ProjectionCountMismatch { expected, actual } => write!(
+                f,
+                "D_P has {actual} digests, expected {expected}"
+            ),
+            VerifyError::BadSignature { part } => write!(f, "bad signature in {part}"),
+            VerifyError::WrongRole { part } => write!(f, "wrong digest role in {part}"),
+            VerifyError::DigestMismatch => write!(f, "digest mismatch: result tampered"),
+            VerifyError::BadProjection => write!(f, "projection references unknown column"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Successful verification report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Rows verified.
+    pub rows: usize,
+    /// Signatures checked (`Cost_s` events — the dominant client cost in
+    /// the paper's model).
+    pub signatures_checked: usize,
+    /// Primitive-operation counts.
+    pub meter: CostMeter,
+}
+
+/// The client-side verifier: the public knowledge a client needs —
+/// digest algebra parameters and the schema (names feed formula (1)).
+pub struct ClientVerifier<'a, const L: usize> {
+    /// Digest algebra (public group parameters).
+    pub acc: &'a Accumulator<L>,
+    /// Schema of the queried table.
+    pub schema: &'a Schema,
+}
+
+impl<'a, const L: usize> ClientVerifier<'a, L> {
+    /// Create a verifier context.
+    pub fn new(acc: &'a Accumulator<L>, schema: &'a Schema) -> Self {
+        Self { acc, schema }
+    }
+
+    /// Verify a response against the query the client itself issued.
+    ///
+    /// `verifier` must be the public key obtained from the key registry
+    /// for `resp.vo.key_version` — the caller decides whether that
+    /// version is *currently* acceptable (see `vbx_crypto::keyreg`).
+    pub fn verify(
+        &self,
+        verifier: &dyn SigVerifier,
+        query: &RangeQuery,
+        resp: &QueryResponse<L>,
+    ) -> Result<VerifyReport, VerifyError> {
+        let mut meter = CostMeter::new();
+        let num_cols = self.schema.num_columns();
+        let returned = query.returned_columns(num_cols);
+        if returned.iter().any(|&c| c >= num_cols) {
+            return Err(VerifyError::BadProjection);
+        }
+
+        // --- structural checks on the rows ---
+        let mut prev: Option<u64> = None;
+        for row in &resp.rows {
+            if row.key < query.lo || row.key > query.hi {
+                return Err(VerifyError::RowOutOfRange { key: row.key });
+            }
+            if let Some(p) = prev {
+                if row.key <= p {
+                    return Err(VerifyError::RowsUnsorted);
+                }
+            }
+            prev = Some(row.key);
+            if row.values.len() != returned.len() {
+                return Err(VerifyError::WrongArity { key: row.key });
+            }
+        }
+
+        let filtered_cols = num_cols - returned.len();
+        let expected_dp = resp.rows.len() * filtered_cols;
+        if resp.vo.d_p.len() != expected_dp {
+            return Err(VerifyError::ProjectionCountMismatch {
+                expected: expected_dp,
+                actual: resp.vo.d_p.len(),
+            });
+        }
+
+        // --- recompute attribute digests from returned values ---
+        let mut total = self.acc.identity();
+        for row in &resp.rows {
+            for (slot, &col) in returned.iter().enumerate() {
+                let input = self
+                    .schema
+                    .attribute_digest_input(col, row.key, &row.values[slot]);
+                let e = self.acc.exp_from_bytes(&input);
+                meter.hash_ops += 1;
+                total = self.acc.combine(&total, &e);
+                meter.combine_ops += 1;
+            }
+        }
+
+        // --- D_P: filtered attributes ---
+        for d in &resp.vo.d_p {
+            if d.role != DigestRole::Attribute {
+                return Err(VerifyError::WrongRole { part: "D_P" });
+            }
+            meter.verify_ops += 1;
+            if !self.acc.verify_digest(verifier, d) {
+                return Err(VerifyError::BadSignature { part: "D_P" });
+            }
+            total = self.acc.combine(&total, &d.exp);
+            meter.combine_ops += 1;
+        }
+
+        // --- D_S: filtered tuples and non-overlapping branches ---
+        for d in &resp.vo.d_s {
+            if d.role != DigestRole::Tuple && d.role != DigestRole::Node {
+                return Err(VerifyError::WrongRole { part: "D_S" });
+            }
+            meter.verify_ops += 1;
+            if !self.acc.verify_digest(verifier, d) {
+                return Err(VerifyError::BadSignature { part: "D_S" });
+            }
+            total = self.acc.combine(&total, &d.exp);
+            meter.combine_ops += 1;
+        }
+
+        // --- the signed top digest ---
+        if resp.vo.top.role != DigestRole::Node {
+            return Err(VerifyError::WrongRole { part: "top" });
+        }
+        meter.verify_ops += 1;
+        if !self.acc.verify_digest(verifier, &resp.vo.top) {
+            return Err(VerifyError::BadSignature { part: "top" });
+        }
+
+        // --- Lemma 1/2: compare in the value domain, h(x) = g^x mod p ---
+        let lifted = self.acc.lift(&total);
+        let expected = self.acc.lift(&resp.vo.top.exp);
+        meter.lift_ops += 2;
+        if lifted != expected {
+            return Err(VerifyError::DigestMismatch);
+        }
+
+        Ok(VerifyReport {
+            rows: resp.rows.len(),
+            signatures_checked: meter.verify_ops as usize,
+            meter,
+        })
+    }
+}

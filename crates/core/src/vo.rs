@@ -1,0 +1,203 @@
+//! Query execution at the edge server: results + verification objects.
+//!
+//! Section 3.3: for a selection, the edge server finds the **enveloping
+//! subtree** — the smallest subtree covering all result tuples — and
+//! returns, besides the result, a VO containing
+//!
+//! * `D_N`: the signed digest of the node at the top of that subtree,
+//! * `D_S`: the signed digests of every branch/tuple inside the subtree
+//!   that does not overlap the result (including in-range tuples filtered
+//!   out by non-key predicates — the "gaps"),
+//! * `D_P`: for projections, the signed digests of the filtered
+//!   attributes.
+//!
+//! Thanks to the commutative digest algebra, `D_S` and `D_P` are *flat,
+//! unordered multisets* — no structural information is shipped, which is
+//! the paper's headline advantage over root-anchored Merkle VOs.
+
+use crate::node::{Node, NodeId};
+use crate::tree::VbTree;
+use vbx_crypto::accum::SignedDigest;
+use vbx_storage::{Tuple, Value};
+
+/// A range selection with optional projection.
+///
+/// `projection: None` means `SELECT *`; otherwise the listed column
+/// indices are returned and every other attribute is represented in the
+/// VO by its signed digest (`D_P`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Inclusive lower key bound.
+    pub lo: u64,
+    /// Inclusive upper key bound.
+    pub hi: u64,
+    /// Columns to return (schema indices), or `None` for all.
+    pub projection: Option<Vec<usize>>,
+}
+
+impl RangeQuery {
+    /// Select every column of `[lo, hi]`.
+    pub fn select_all(lo: u64, hi: u64) -> Self {
+        Self {
+            lo,
+            hi,
+            projection: None,
+        }
+    }
+
+    /// Select a projection of `[lo, hi]`.
+    pub fn project(lo: u64, hi: u64, columns: Vec<usize>) -> Self {
+        Self {
+            lo,
+            hi,
+            projection: Some(columns),
+        }
+    }
+
+    /// The returned column indices given a schema width.
+    pub fn returned_columns(&self, num_columns: usize) -> Vec<usize> {
+        match &self.projection {
+            Some(cols) => cols.clone(),
+            None => (0..num_columns).collect(),
+        }
+    }
+}
+
+/// One result row: the key plus the projected values, in query
+/// projection order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultRow {
+    /// Primary key (always returned — it is part of every digest input).
+    pub key: u64,
+    /// Projected attribute values.
+    pub values: Vec<Value>,
+}
+
+/// The verification object of Section 3.3.
+#[derive(Clone, Debug)]
+pub struct VerificationObject<const L: usize> {
+    /// `D_N` — signed digest of the enveloping subtree's top node.
+    pub top: SignedDigest<L>,
+    /// `D_S` — signed digests of non-overlapping branches and filtered
+    /// tuples (flat multiset; order carries no meaning).
+    pub d_s: Vec<SignedDigest<L>>,
+    /// `D_P` — signed digests of projected-away attributes (flat
+    /// multiset; no per-tuple attribution).
+    pub d_p: Vec<SignedDigest<L>>,
+    /// Key version the digests were signed under (checked against the
+    /// key registry for freshness).
+    pub key_version: u32,
+}
+
+impl<const L: usize> VerificationObject<L> {
+    /// Number of digests in the VO (the paper's VO-size metric).
+    pub fn digest_count(&self) -> usize {
+        1 + self.d_s.len() + self.d_p.len()
+    }
+}
+
+/// A query answer as shipped from edge server to client.
+#[derive(Clone, Debug)]
+pub struct QueryResponse<const L: usize> {
+    /// Result rows in key order.
+    pub rows: Vec<ResultRow>,
+    /// The verification object.
+    pub vo: VerificationObject<L>,
+}
+
+/// Execute a range selection (+ optional non-key predicate + projection)
+/// against a VB-tree, producing the result and its VO.
+///
+/// The predicate models selection on non-key attributes: in-range tuples
+/// that fail it are "gaps" covered by their signed tuple digests in
+/// `D_S`.
+pub fn execute<const L: usize>(
+    tree: &VbTree<L>,
+    query: &RangeQuery,
+    predicate: Option<&dyn Fn(&Tuple) -> bool>,
+) -> QueryResponse<L> {
+    assert!(query.lo <= query.hi, "empty key interval");
+    let num_cols = tree.schema().num_columns();
+    let returned = query.returned_columns(num_cols);
+    for &c in &returned {
+        assert!(c < num_cols, "projection column {c} out of range");
+    }
+
+    // 1. Locate the top of the enveloping subtree: descend while exactly
+    //    one child overlaps the query range.
+    let mut top_id = tree.root_id();
+    while let Node::Internal(n) = tree.node(top_id) {
+        let overlapping: Vec<usize> = (0..n.children.len())
+            .filter(|&i| n.child_overlaps(i, query.lo, query.hi))
+            .collect();
+        if overlapping.len() == 1 {
+            top_id = n.children[overlapping[0]];
+        } else {
+            break;
+        }
+    }
+
+    // 2. Walk the subtree, partitioning into result rows and D_S.
+    let mut rows = Vec::new();
+    let mut d_s = Vec::new();
+    let mut d_p = Vec::new();
+    walk(
+        tree, top_id, query, predicate, &returned, &mut rows, &mut d_s, &mut d_p,
+    );
+
+    let top = tree.node(top_id).digest().clone();
+    QueryResponse {
+        rows,
+        vo: VerificationObject {
+            top,
+            d_s,
+            d_p,
+            key_version: tree.key_version(),
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk<const L: usize>(
+    tree: &VbTree<L>,
+    id: NodeId,
+    query: &RangeQuery,
+    predicate: Option<&dyn Fn(&Tuple) -> bool>,
+    returned: &[usize],
+    rows: &mut Vec<ResultRow>,
+    d_s: &mut Vec<SignedDigest<L>>,
+    d_p: &mut Vec<SignedDigest<L>>,
+) {
+    match tree.node(id) {
+        Node::Leaf(n) => {
+            for e in &n.entries {
+                let k = e.key();
+                let in_range = k >= query.lo && k <= query.hi;
+                let matches = in_range && predicate.is_none_or(|p| p(&e.tuple));
+                if matches {
+                    let values: Vec<Value> =
+                        returned.iter().map(|&c| e.tuple.values[c].clone()).collect();
+                    rows.push(ResultRow { key: k, values });
+                    // Filtered attributes -> D_P.
+                    for (c, d) in e.attr_digests.iter().enumerate() {
+                        if !returned.contains(&c) {
+                            d_p.push(d.clone());
+                        }
+                    }
+                } else {
+                    // Out-of-range or predicate-filtered tuple -> D_S.
+                    d_s.push(e.tuple_digest.clone());
+                }
+            }
+        }
+        Node::Internal(n) => {
+            for (i, &child) in n.children.iter().enumerate() {
+                if n.child_overlaps(i, query.lo, query.hi) {
+                    walk(tree, child, query, predicate, returned, rows, d_s, d_p);
+                } else {
+                    d_s.push(tree.node(child).digest().clone());
+                }
+            }
+        }
+    }
+}

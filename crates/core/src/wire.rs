@@ -1,0 +1,176 @@
+//! Wire encoding of query responses.
+//!
+//! The communication-cost experiments (Figures 10 and 11) charge the
+//! exact serialized size of `result + VO`. This module defines that
+//! format and measures it. The encoding is self-describing enough for the
+//! client to decode without the schema; all authentication happens later
+//! in [`crate::verify`].
+
+use crate::vo::{QueryResponse, ResultRow, VerificationObject};
+use crate::CoreError;
+use bytes::{Buf, BufMut};
+use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
+use vbx_crypto::Signature;
+use vbx_storage::Value;
+
+const MAGIC: &[u8; 4] = b"VBX1";
+
+fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
+    out.push(d.role.to_tag());
+    out.extend_from_slice(&d.exp.to_be_bytes());
+    out.put_u16(d.sig.len() as u16);
+    out.extend_from_slice(d.sig.as_bytes());
+}
+
+fn get_digest<const L: usize>(
+    buf: &mut &[u8],
+    acc: &Accumulator<L>,
+) -> Result<SignedDigest<L>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 1 + L * 8 + 2 {
+        return Err(corrupt("digest truncated"));
+    }
+    let role = DigestRole::from_tag(buf.get_u8()).ok_or_else(|| corrupt("bad role tag"))?;
+    let exp_bytes = &buf[..L * 8];
+    let exp = acc
+        .exp_from_canonical(exp_bytes)
+        .ok_or_else(|| corrupt("exponent out of range"))?;
+    buf.advance(L * 8);
+    let sig_len = buf.get_u16() as usize;
+    if buf.remaining() < sig_len {
+        return Err(corrupt("signature truncated"));
+    }
+    let sig = Signature(buf[..sig_len].to_vec());
+    buf.advance(sig_len);
+    Ok(SignedDigest { exp, role, sig })
+}
+
+/// Serialize a full response (rows + VO).
+pub fn encode_response<const L: usize>(resp: &QueryResponse<L>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+
+    // rows
+    out.put_u32(resp.rows.len() as u32);
+    for row in &resp.rows {
+        out.put_u64(row.key);
+        out.put_u16(row.values.len() as u16);
+        for v in &row.values {
+            v.encode_into(&mut out);
+        }
+    }
+
+    // VO
+    put_digest(&mut out, &resp.vo.top);
+    out.put_u32(resp.vo.d_s.len() as u32);
+    for d in &resp.vo.d_s {
+        put_digest(&mut out, d);
+    }
+    out.put_u32(resp.vo.d_p.len() as u32);
+    for d in &resp.vo.d_p {
+        put_digest(&mut out, d);
+    }
+    out.put_u32(resp.vo.key_version);
+    out
+}
+
+/// Decode a response. `acc` supplies the group width and validates
+/// exponent ranges.
+pub fn decode_response<const L: usize>(
+    bytes: &[u8],
+    acc: &Accumulator<L>,
+) -> Result<QueryResponse<L>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 8 || &buf[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    buf.advance(4);
+
+    let n_rows = buf.get_u32() as usize;
+    let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+    for _ in 0..n_rows {
+        if buf.remaining() < 10 {
+            return Err(corrupt("row truncated"));
+        }
+        let key = buf.get_u64();
+        let arity = buf.get_u16() as usize;
+        let mut values = Vec::with_capacity(arity.min(1 << 16));
+        for _ in 0..arity {
+            values.push(Value::decode(&mut buf).map_err(CoreError::Storage)?);
+        }
+        rows.push(ResultRow { key, values });
+    }
+
+    let top = get_digest(&mut buf, acc)?;
+    if buf.remaining() < 4 {
+        return Err(corrupt("D_S header truncated"));
+    }
+    let n_ds = buf.get_u32() as usize;
+    let mut d_s = Vec::with_capacity(n_ds.min(1 << 20));
+    for _ in 0..n_ds {
+        d_s.push(get_digest(&mut buf, acc)?);
+    }
+    if buf.remaining() < 4 {
+        return Err(corrupt("D_P header truncated"));
+    }
+    let n_dp = buf.get_u32() as usize;
+    let mut d_p = Vec::with_capacity(n_dp.min(1 << 20));
+    for _ in 0..n_dp {
+        d_p.push(get_digest(&mut buf, acc)?);
+    }
+    if buf.remaining() < 4 {
+        return Err(corrupt("key version truncated"));
+    }
+    let key_version = buf.get_u32();
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(QueryResponse {
+        rows,
+        vo: VerificationObject {
+            top,
+            d_s,
+            d_p,
+            key_version,
+        },
+    })
+}
+
+/// Byte-size breakdown of a response — the quantities plotted in
+/// Figures 10 and 11.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseSize {
+    /// Serialized result rows.
+    pub result_bytes: usize,
+    /// Serialized verification object.
+    pub vo_bytes: usize,
+    /// Framing overhead (magic, counters).
+    pub framing_bytes: usize,
+}
+
+impl ResponseSize {
+    /// Total bytes on the wire.
+    pub fn total(&self) -> usize {
+        self.result_bytes + self.vo_bytes + self.framing_bytes
+    }
+}
+
+/// Measure a response without keeping the serialized buffer.
+pub fn measure_response<const L: usize>(resp: &QueryResponse<L>) -> ResponseSize {
+    let result_bytes: usize = resp
+        .rows
+        .iter()
+        .map(|r| 10 + r.values.iter().map(Value::wire_len).sum::<usize>())
+        .sum();
+    let digest_len = |d: &SignedDigest<L>| 1 + L * 8 + 2 + d.sig.len();
+    let vo_bytes = digest_len(&resp.vo.top)
+        + resp.vo.d_s.iter().map(digest_len).sum::<usize>()
+        + resp.vo.d_p.iter().map(digest_len).sum::<usize>()
+        + 4; // key version
+    ResponseSize {
+        result_bytes,
+        vo_bytes,
+        framing_bytes: 4 + 4 + 4 + 4, // magic + row count + D_S/D_P counters
+    }
+}

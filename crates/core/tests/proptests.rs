@@ -1,0 +1,193 @@
+//! Property-based tests of the VB-tree invariants.
+//!
+//! These exercise the guarantees the paper's proofs rely on:
+//! commutativity of the digest algebra, digest consistency under random
+//! update interleavings, verifiability of arbitrary range queries, and —
+//! most importantly — *no false accepts*: random corruption of a wire
+//! response must never verify.
+
+use proptest::prelude::*;
+use vbx_core::{
+    decode_response, encode_response, execute, ClientVerifier, RangeQuery, VbTree, VbTreeConfig,
+};
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::{Tuple, Value};
+
+fn build_tree(rows: u64, fanout: usize) -> (VbTree<4>, MockSigner) {
+    let table = WorkloadSpec::new(rows, 3, 6).build();
+    let signer = MockSigner::new(42);
+    let tree = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(fanout),
+        Acc256::test_default(),
+        &signer,
+    );
+    (tree, signer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any range query over any tree shape verifies.
+    #[test]
+    fn any_range_query_verifies(
+        rows in 1u64..120,
+        fanout in 3usize..9,
+        lo in 0u64..150,
+        span in 0u64..150,
+    ) {
+        let (tree, signer) = build_tree(rows, fanout);
+        let hi = lo.saturating_add(span);
+        let q = RangeQuery::select_all(lo, hi);
+        let resp = execute(&tree, &q, None);
+        let schema = tree.schema().clone();
+        let acc = tree.accumulator().clone();
+        let client = ClientVerifier::new(&acc, &schema);
+        let report = client.verify(signer.verifier().as_ref(), &q, &resp).unwrap();
+        let expected = tree.range(lo, hi).len();
+        prop_assert_eq!(report.rows, expected);
+    }
+
+    /// Random projections verify and D_P counts are exact.
+    #[test]
+    fn any_projection_verifies(
+        rows in 1u64..80,
+        keep0 in proptest::bool::ANY,
+        keep1 in proptest::bool::ANY,
+        keep2 in proptest::bool::ANY,
+    ) {
+        let (tree, signer) = build_tree(rows, 4);
+        let mut cols = Vec::new();
+        for (i, keep) in [keep0, keep1, keep2].into_iter().enumerate() {
+            if keep { cols.push(i); }
+        }
+        if cols.is_empty() { cols.push(0); }
+        let filtered = 3 - cols.len();
+        let q = RangeQuery::project(0, rows, cols);
+        let resp = execute(&tree, &q, None);
+        prop_assert_eq!(resp.vo.d_p.len(), resp.rows.len() * filtered);
+        let schema = tree.schema().clone();
+        let acc = tree.accumulator().clone();
+        ClientVerifier::new(&acc, &schema)
+            .verify(signer.verifier().as_ref(), &q, &resp)
+            .unwrap();
+    }
+
+    /// Insert/delete interleavings preserve every structural and digest
+    /// invariant, and the root digest equals a freshly-built tree over
+    /// the same final contents.
+    #[test]
+    fn update_interleavings_preserve_integrity(
+        ops in proptest::collection::vec((0u64..60, proptest::bool::ANY), 1..40),
+        fanout in 3usize..7,
+    ) {
+        let spec = WorkloadSpec::new(0, 3, 6);
+        let signer = MockSigner::new(42);
+        let mut tree: VbTree<4> = VbTree::new(
+            spec.schema(),
+            VbTreeConfig::with_fanout(fanout),
+            Acc256::test_default(),
+            &signer,
+        );
+        let schema = tree.schema().clone();
+        let mut reference = std::collections::BTreeMap::new();
+        for (key, is_insert) in ops {
+            if is_insert {
+                let t = Tuple::new(&schema, key, vec![
+                    Value::from(format!("x{key}")),
+                    Value::from(format!("y{key}")),
+                    Value::from(key as i64),
+                ]).unwrap();
+                match tree.insert(t.clone(), &signer) {
+                    Ok(()) => { reference.insert(key, t); }
+                    Err(vbx_core::CoreError::DuplicateKey(_)) => {
+                        prop_assert!(reference.contains_key(&key));
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            } else {
+                match tree.delete(key, &signer) {
+                    Ok(t) => {
+                        prop_assert_eq!(reference.remove(&key).map(|r| r.key), Some(t.key));
+                    }
+                    Err(vbx_core::CoreError::KeyNotFound(_)) => {
+                        prop_assert!(!reference.contains_key(&key));
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+        }
+        tree.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+        prop_assert_eq!(tree.len() as usize, reference.len());
+        // Root exponent equals product over final contents, independent
+        // of the path taken.
+        let mut rebuilt = VbTree::<4>::new(
+            schema.clone(),
+            VbTreeConfig::with_fanout(fanout),
+            Acc256::test_default(),
+            &signer,
+        );
+        for t in reference.values() {
+            rebuilt.insert(t.clone(), &signer).unwrap();
+        }
+        prop_assert_eq!(tree.root_digest().exp, rebuilt.root_digest().exp);
+    }
+
+    /// Corrupting any single byte of a serialized response must never
+    /// produce a verifying answer with different contents (no false
+    /// accepts).
+    #[test]
+    fn no_false_accepts_under_corruption(
+        pos_seed in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let (tree, signer) = build_tree(40, 4);
+        let q = RangeQuery::project(5, 25, vec![0, 2]);
+        let resp = execute(&tree, &q, None);
+        let mut bytes = encode_response(&resp);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        let schema = tree.schema().clone();
+        let acc = tree.accumulator().clone();
+        match decode_response(&bytes, &acc) {
+            Err(_) => {} // rejected at the wire layer: fine
+            Ok(decoded) => {
+                let client = ClientVerifier::new(&acc, &schema);
+                match client.verify(signer.verifier().as_ref(), &q, &decoded) {
+                    Err(_) => {} // rejected by verification: fine
+                    Ok(_) => {
+                        // Verification passed — the corruption must have
+                        // been semantically neutral (identical rows).
+                        prop_assert_eq!(decoded.rows.len(), resp.rows.len());
+                        for (a, b) in decoded.rows.iter().zip(&resp.rows) {
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// delete_range equals the same deletions applied one by one.
+    #[test]
+    fn batch_delete_equals_pointwise(
+        rows in 10u64..80,
+        lo in 0u64..80,
+        span in 0u64..40,
+        fanout in 3usize..7,
+    ) {
+        let (mut batch, signer) = build_tree(rows, fanout);
+        let (mut point, _) = build_tree(rows, fanout);
+        let hi = lo.saturating_add(span);
+        let removed = batch.delete_range(lo, hi, &signer).unwrap();
+        for t in &removed {
+            point.delete(t.key, &signer).unwrap();
+        }
+        batch.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+        point.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+        prop_assert_eq!(batch.len(), point.len());
+        prop_assert_eq!(batch.root_digest().exp, point.root_digest().exp);
+    }
+}

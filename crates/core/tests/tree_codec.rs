@@ -1,0 +1,113 @@
+//! Tree serialization: distribution bundles as bytes.
+
+use vbx_core::{decode_tree, encode_tree, execute, ClientVerifier, RangeQuery, VbTree, VbTreeConfig};
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+
+fn tree(rows: u64, fanout: usize) -> (VbTree<4>, MockSigner) {
+    let table = WorkloadSpec::new(rows, 3, 8).build();
+    let signer = MockSigner::new(6);
+    let t = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(fanout),
+        Acc256::test_default(),
+        &signer,
+    );
+    (t, signer)
+}
+
+#[test]
+fn roundtrip_preserves_everything() {
+    let (t, signer) = tree(150, 5);
+    let bytes = encode_tree(&t);
+    let back = decode_tree(&bytes, Acc256::test_default()).unwrap();
+    assert_eq!(back.len(), t.len());
+    assert_eq!(back.height(), t.height());
+    assert_eq!(back.version(), t.version());
+    assert_eq!(back.key_version(), t.key_version());
+    assert_eq!(back.root_digest().exp, t.root_digest().exp);
+    assert_eq!(back.schema(), t.schema());
+    // Full audit including every signature.
+    back.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn decoded_replica_serves_verifiable_queries() {
+    let (t, signer) = tree(200, 6);
+    let back = decode_tree(&encode_tree(&t), Acc256::test_default()).unwrap();
+    let q = RangeQuery::project(20, 120, vec![0, 2]);
+    let resp = execute(&back, &q, None);
+    let schema = t.schema().clone();
+    let acc = Acc256::test_default();
+    ClientVerifier::new(&acc, &schema)
+        .verify(signer.verifier().as_ref(), &q, &resp)
+        .unwrap();
+}
+
+#[test]
+fn empty_and_tiny_trees_roundtrip() {
+    for rows in [0u64, 1, 2] {
+        let (t, _) = tree(rows, 4);
+        let back = decode_tree(&encode_tree(&t), Acc256::test_default()).unwrap();
+        assert_eq!(back.len(), rows);
+    }
+}
+
+#[test]
+fn updates_after_decode_work() {
+    let (t, signer) = tree(60, 4);
+    let mut back = decode_tree(&encode_tree(&t), Acc256::test_default()).unwrap();
+    let schema = back.schema().clone();
+    let tuple = vbx_storage::Tuple::new(
+        &schema,
+        1_000,
+        vec![
+            vbx_storage::Value::from("x"),
+            vbx_storage::Value::from("y"),
+            vbx_storage::Value::from(1i64),
+        ],
+    )
+    .unwrap();
+    back.insert(tuple, &signer).unwrap();
+    back.delete(10, &signer).unwrap();
+    back.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn corruption_rejected_not_panicking() {
+    let (t, _) = tree(80, 4);
+    let bytes = encode_tree(&t);
+    // Every truncation either errors cleanly or (never) panics.
+    for cut in (0..bytes.len()).step_by(97) {
+        assert!(decode_tree(&bytes[..cut], Acc256::test_default()).is_err());
+    }
+    // Bit flips anywhere must be rejected by parsing or by the
+    // integrity audit — decode_tree never returns a broken tree.
+    for pos in (0..bytes.len()).step_by(211) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        match decode_tree(&bad, Acc256::test_default()) {
+            Err(_) => {}
+            Ok(tree) => {
+                // The flip must have hit a non-semantic byte (e.g. a
+                // signature byte — integrity check without verifier does
+                // not inspect signatures). Structure must still be sound.
+                tree.check_integrity(None).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn wrong_group_rejected() {
+    // Exponents valid under the build group may exceed q of another
+    // group; decode validates ranges.
+    let (t, _) = tree(40, 4);
+    let bytes = encode_tree(&t);
+    let other = vbx_crypto::Accumulator::new(vbx_mathx::groups::test_group_128());
+    // Different width entirely: parse must fail (digest width mismatch).
+    assert!(vbx_core::decode_tree::<2>(&bytes, other).is_err());
+}

@@ -1,0 +1,417 @@
+//! Structural tests of the VB-tree: build, lookup, insert, delete,
+//! digest maintenance, invariants.
+
+use vbx_core::{VbTree, VbTreeConfig};
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::Acc256;
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::{Table, Tuple, Value};
+
+fn small_tree(rows: u64, fanout: usize) -> (VbTree<4>, MockSigner, Table) {
+    let table = WorkloadSpec::new(rows, 3, 8).build();
+    let signer = MockSigner::new(1);
+    let tree = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(fanout),
+        Acc256::test_default(),
+        &signer,
+    );
+    (tree, signer, table)
+}
+
+#[test]
+fn bulk_load_shapes() {
+    let (tree, signer, table) = small_tree(100, 4);
+    assert_eq!(tree.len(), 100);
+    // 100 tuples at fan-out 4: 25 leaves, 7 internals, 2 internals, 1 root
+    assert_eq!(tree.height(), 4);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+    assert_eq!(tree.schema(), table.schema());
+}
+
+#[test]
+fn bulk_load_single_leaf() {
+    let (tree, signer, _) = small_tree(3, 8);
+    assert_eq!(tree.height(), 1);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn empty_tree_valid() {
+    let spec = WorkloadSpec::new(0, 2, 8);
+    let signer = MockSigner::new(2);
+    let tree: VbTree<4> = VbTree::new(
+        spec.schema(),
+        VbTreeConfig::with_fanout(4),
+        Acc256::test_default(),
+        &signer,
+    );
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+    assert!(tree.get(0).is_none());
+    assert!(tree.range(0, u64::MAX).is_empty());
+}
+
+#[test]
+fn point_lookup() {
+    let (tree, _, table) = small_tree(64, 4);
+    for row in table.iter() {
+        assert_eq!(tree.get(row.key), Some(row));
+    }
+    assert!(tree.get(1_000_000).is_none());
+}
+
+#[test]
+fn range_scan_matches_table() {
+    let (tree, _, table) = small_tree(64, 4);
+    for (lo, hi) in [(0u64, 63u64), (5, 5), (10, 20), (60, 200), (64, 70)] {
+        let from_tree: Vec<u64> = tree.range(lo, hi).iter().map(|t| t.key).collect();
+        let from_table: Vec<u64> = table.range(lo, hi).map(|t| t.key).collect();
+        assert_eq!(from_tree, from_table, "range [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn insert_incremental_and_valid() {
+    let spec = WorkloadSpec::new(0, 3, 8);
+    let signer = MockSigner::new(3);
+    let mut tree: VbTree<4> = VbTree::new(
+        spec.schema(),
+        VbTreeConfig::with_fanout(4),
+        Acc256::test_default(),
+        &signer,
+    );
+    let schema = tree.schema().clone();
+    // Insert in a shuffled-ish order to exercise splits everywhere.
+    let keys: Vec<u64> = (0..60).map(|i| (i * 37) % 120).collect();
+    for &k in &keys {
+        let t = Tuple::new(
+            &schema,
+            k,
+            vec![
+                Value::from(format!("v{k}")),
+                Value::from(format!("w{k}")),
+                Value::from(k as i64),
+            ],
+        )
+        .unwrap();
+        tree.insert(t, &signer).unwrap();
+        tree.check_integrity(Some(signer.verifier().as_ref()))
+            .unwrap();
+    }
+    assert_eq!(tree.len(), 60);
+    assert!(tree.height() >= 3, "fan-out 4 over 60 keys must be deep");
+}
+
+#[test]
+fn insert_duplicate_rejected() {
+    let (mut tree, signer, table) = small_tree(10, 4);
+    let existing = table.iter().next().unwrap().clone();
+    let err = tree.insert(existing, &signer).unwrap_err();
+    assert!(matches!(err, vbx_core::CoreError::DuplicateKey(_)));
+    assert_eq!(tree.len(), 10);
+}
+
+#[test]
+fn insert_bumps_versions() {
+    let (mut tree, signer, _) = small_tree(4, 4);
+    let v0 = tree.version();
+    let schema = tree.schema().clone();
+    let t = Tuple::new(
+        &schema,
+        1000,
+        vec![
+            Value::from("x"),
+            Value::from("y"),
+            Value::from(1i64),
+        ],
+    )
+    .unwrap();
+    tree.insert(t, &signer).unwrap();
+    assert_eq!(tree.version(), v0 + 1);
+}
+
+#[test]
+fn delete_recompute_and_valid() {
+    let (mut tree, signer, _) = small_tree(50, 4);
+    // Delete every third key, validating as we go.
+    for k in (0..50).step_by(3) {
+        let removed = tree.delete(k, &signer).unwrap();
+        assert_eq!(removed.key, k);
+        tree.check_integrity(Some(signer.verifier().as_ref()))
+            .unwrap();
+    }
+    assert!(tree.get(0).is_none());
+    assert!(tree.get(1).is_some());
+    assert!(matches!(
+        tree.delete(0, &signer),
+        Err(vbx_core::CoreError::KeyNotFound(0))
+    ));
+}
+
+#[test]
+fn delete_everything_then_reuse() {
+    let (mut tree, signer, _) = small_tree(30, 4);
+    for k in 0..30 {
+        tree.delete(k, &signer).unwrap();
+    }
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+    // Tree remains usable.
+    let schema = tree.schema().clone();
+    let t = Tuple::new(
+        &schema,
+        7,
+        vec![Value::from("a"), Value::from("b"), Value::from(7i64)],
+    )
+    .unwrap();
+    tree.insert(t, &signer).unwrap();
+    assert_eq!(tree.len(), 1);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn delete_uncombine_matches_recompute() {
+    let (mut a, signer, _) = small_tree(40, 4);
+    let (mut b, _, _) = small_tree(40, 4);
+    for k in [3u64, 17, 20, 39, 0] {
+        a.delete(k, &signer).unwrap();
+        b.delete_uncombine(k, &signer).unwrap();
+        a.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+        b.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+        assert_eq!(
+            a.root_digest().exp,
+            b.root_digest().exp,
+            "uncombine delete must produce identical digests"
+        );
+    }
+}
+
+#[test]
+fn delete_range_batch() {
+    let (mut tree, signer, _) = small_tree(100, 4);
+    let removed = tree.delete_range(20, 59, &signer).unwrap();
+    assert_eq!(removed.len(), 40);
+    assert_eq!(tree.len(), 60);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+    assert!(tree.get(20).is_none());
+    assert!(tree.get(59).is_none());
+    assert!(tree.get(19).is_some());
+    assert!(tree.get(60).is_some());
+    // Deleting an empty range is a no-op.
+    let v = tree.version();
+    let none = tree.delete_range(200, 300, &signer).unwrap();
+    assert!(none.is_empty());
+    assert_eq!(tree.version(), v);
+}
+
+#[test]
+fn delete_range_everything() {
+    let (mut tree, signer, _) = small_tree(30, 4);
+    let removed = tree.delete_range(0, 1_000_000, &signer).unwrap();
+    assert_eq!(removed.len(), 30);
+    assert!(tree.is_empty());
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn root_digest_equals_product_of_all_tuples() {
+    // The flattening property: the root exponent is the product of every
+    // tuple exponent, independent of tree shape.
+    let (t4, signer, _) = small_tree(50, 4);
+    let (t8, _, _) = small_tree(50, 8);
+    let (t3, _, _) = small_tree(50, 3);
+    assert_eq!(t4.root_digest().exp, t8.root_digest().exp);
+    assert_eq!(t4.root_digest().exp, t3.root_digest().exp);
+    let _ = signer;
+}
+
+#[test]
+fn incremental_insert_equals_rebuild() {
+    // Build 0..40 by bulk load vs. by 40 inserts: same root exponent.
+    let table = WorkloadSpec::new(40, 3, 8).build();
+    let signer = MockSigner::new(1);
+    let bulk: VbTree<4> = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(4),
+        Acc256::test_default(),
+        &signer,
+    );
+    let mut incr: VbTree<4> = VbTree::new(
+        table.schema().clone(),
+        VbTreeConfig::with_fanout(4),
+        Acc256::test_default(),
+        &signer,
+    );
+    for row in table.iter() {
+        incr.insert(row.clone(), &signer).unwrap();
+    }
+    assert_eq!(bulk.root_digest().exp, incr.root_digest().exp);
+}
+
+#[test]
+fn meter_counts_build_work() {
+    let (mut tree, _, _) = small_tree(20, 4);
+    let m = tree.take_meter();
+    // 20 tuples × 3 attributes hashed.
+    assert_eq!(m.hash_ops, 60);
+    // Each attribute signed + each tuple signed + nodes.
+    assert!(m.sign_ops >= 60 + 20);
+    assert!(m.combine_ops > 0);
+    // Meter resets.
+    assert_eq!(tree.meter().hash_ops, 0);
+}
+
+#[test]
+fn stats_shape() {
+    let (tree, _, _) = small_tree(64, 4);
+    let s = tree.stats();
+    assert_eq!(s.tuples, 64);
+    assert_eq!(s.leaves, 16);
+    assert_eq!(s.height, 3);
+    assert_eq!(s.fanout, 4);
+    assert!(s.nodes > 16 + 4);
+    assert_eq!(s.logical_bytes, s.nodes * 4096);
+    assert!(s.digest_bytes > 0);
+}
+
+#[test]
+fn geometric_fanout_used_by_default() {
+    let table = WorkloadSpec::new(500, 2, 8).build();
+    let signer = MockSigner::new(4);
+    let tree: VbTree<4> = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::default(),
+        Acc256::test_default(),
+        &signer,
+    );
+    // Default geometry fan-out is 114: 500 tuples → 5 leaves, height 2.
+    assert_eq!(tree.stats().fanout, 114);
+    assert_eq!(tree.height(), 2);
+}
+
+#[test]
+fn key_version_tracks_signer() {
+    let table = WorkloadSpec::new(5, 2, 8).build();
+    let signer_v1 = MockSigner::with_version(9, 1);
+    let mut tree: VbTree<4> = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(4),
+        Acc256::test_default(),
+        &signer_v1,
+    );
+    assert_eq!(tree.key_version(), 1);
+    let signer_v2 = MockSigner::with_version(9, 2);
+    let schema = tree.schema().clone();
+    let t = Tuple::new(&schema, 99, vec![Value::from("a"), Value::from(1i64)]).unwrap();
+    tree.insert(t, &signer_v2).unwrap();
+    assert_eq!(tree.key_version(), 2);
+}
+
+#[test]
+fn batch_insert_matches_pointwise_with_fewer_signatures() {
+    let (mut point, signer, _) = small_tree(50, 4);
+    let (mut batch, _, _) = small_tree(50, 4);
+    let schema = point.schema().clone();
+    let make = |k: u64| {
+        Tuple::new(
+            &schema,
+            k,
+            vec![
+                Value::from(format!("b{k}")),
+                Value::from(format!("c{k}")),
+                Value::from(k as i64),
+            ],
+        )
+        .unwrap()
+    };
+    let keys: Vec<u64> = (1_000..1_100).collect();
+
+    point.take_meter();
+    for &k in &keys {
+        point.insert(make(k), &signer).unwrap();
+    }
+    let point_signs = point.take_meter().sign_ops;
+
+    batch.take_meter();
+    let n = batch
+        .insert_batch(keys.iter().map(|&k| make(k)).collect(), &signer)
+        .unwrap();
+    let batch_signs = batch.take_meter().sign_ops;
+
+    assert_eq!(n, 100);
+    assert_eq!(point.len(), batch.len());
+    assert_eq!(point.root_digest().exp, batch.root_digest().exp);
+    batch
+        .check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+    // Amortisation: shared path digests signed once, not per insert.
+    assert!(
+        batch_signs * 2 < point_signs,
+        "batch {batch_signs} signs vs pointwise {point_signs}"
+    );
+}
+
+#[test]
+fn batch_insert_validates_before_mutating() {
+    let (mut tree, signer, table) = small_tree(20, 4);
+    let schema = tree.schema().clone();
+    let exp_before = tree.root_digest().exp;
+    let good = Tuple::new(
+        &schema,
+        500,
+        vec![Value::from("a"), Value::from("b"), Value::from(1i64)],
+    )
+    .unwrap();
+    let dup = table.iter().next().unwrap().clone();
+    let err = tree.insert_batch(vec![good.clone(), dup], &signer).unwrap_err();
+    assert!(matches!(err, vbx_core::CoreError::DuplicateKey(_)));
+    // Nothing applied.
+    assert_eq!(tree.len(), 20);
+    assert_eq!(tree.root_digest().exp, exp_before);
+    assert!(tree.get(500).is_none());
+    // Duplicate *within* the batch also rejected up front.
+    let err2 = tree
+        .insert_batch(vec![good.clone(), good], &signer)
+        .unwrap_err();
+    assert!(matches!(err2, vbx_core::CoreError::DuplicateKey(500)));
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
+}
+
+#[test]
+fn batch_insert_result_verifies_end_to_end() {
+    let (mut tree, signer, _) = small_tree(30, 4);
+    let schema = tree.schema().clone();
+    let batch: Vec<Tuple> = (100..160)
+        .map(|k| {
+            Tuple::new(
+                &schema,
+                k,
+                vec![
+                    Value::from(format!("x{k}")),
+                    Value::from(format!("y{k}")),
+                    Value::from(k as i64),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    tree.insert_batch(batch, &signer).unwrap();
+    let q = vbx_core::RangeQuery::select_all(90, 140);
+    let resp = vbx_core::execute(&tree, &q, None);
+    let acc = tree.accumulator().clone();
+    vbx_core::ClientVerifier::new(&acc, &schema)
+        .verify(signer.verifier().as_ref(), &q, &resp)
+        .unwrap();
+    assert_eq!(resp.rows.len(), 41);
+}

@@ -1,0 +1,178 @@
+//! Versioned public keys with validity windows.
+//!
+//! Section 3.4: when updates are propagated to edge servers with a delay,
+//! "the central server can include the timestamp or version number in its
+//! public key, and make available to users the validity period of each
+//! public key at a well-known location. This would ensure that edge
+//! servers cannot masquerade out-of-date data, signed with an old private
+//! key, as the latest data without being detected."
+//!
+//! [`KeyRegistry`] is that well-known location: an append-only map from
+//! key version to `(verifier, validity window)`. Clients consult it to
+//! decide whether a VO signed under version `v` is acceptable *now*.
+
+use crate::signer::SigVerifier;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Logical timestamps (the reproduction uses update sequence numbers
+/// rather than wall-clock time; the mechanism is identical).
+pub type Timestamp = u64;
+
+/// A key version identifier.
+pub type KeyVersion = u32;
+
+/// Inclusive-start, exclusive-end validity period of a key version.
+/// `end == None` means "current".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidityWindow {
+    /// First timestamp at which the key is valid.
+    pub start: Timestamp,
+    /// Timestamp at which the key was retired, if any.
+    pub end: Option<Timestamp>,
+}
+
+impl ValidityWindow {
+    /// Does the window contain `t`?
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && self.end.is_none_or(|e| t < e)
+    }
+}
+
+struct Entry {
+    verifier: Arc<dyn SigVerifier>,
+    window: ValidityWindow,
+}
+
+/// The authenticated directory of public-key versions.
+///
+/// In a deployment this would live behind a PKI; here it is an in-memory
+/// structure owned by the trusted side and handed to clients by value.
+#[derive(Default)]
+pub struct KeyRegistry {
+    entries: BTreeMap<KeyVersion, Entry>,
+}
+
+impl KeyRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a new key version starting at `start`, retiring the
+    /// previous current version at the same instant.
+    ///
+    /// # Panics
+    /// Panics if the version is not strictly greater than all published
+    /// versions (the registry is append-only).
+    pub fn publish(&mut self, verifier: Arc<dyn SigVerifier>, start: Timestamp) {
+        let version = verifier.key_version();
+        if let Some((&last, _)) = self.entries.iter().next_back() {
+            assert!(version > last, "key versions must increase");
+        }
+        if let Some(entry) = self.entries.values_mut().next_back() {
+            if entry.window.end.is_none() {
+                entry.window.end = Some(start);
+            }
+        }
+        self.entries.insert(
+            version,
+            Entry {
+                verifier,
+                window: ValidityWindow { start, end: None },
+            },
+        );
+    }
+
+    /// Verifier for a version, if published.
+    pub fn verifier(&self, version: KeyVersion) -> Option<Arc<dyn SigVerifier>> {
+        self.entries.get(&version).map(|e| Arc::clone(&e.verifier))
+    }
+
+    /// Validity window of a version, if published.
+    pub fn window(&self, version: KeyVersion) -> Option<ValidityWindow> {
+        self.entries.get(&version).map(|e| e.window)
+    }
+
+    /// The currently-valid version, if any.
+    pub fn current(&self) -> Option<KeyVersion> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, e)| e.window.end.is_none())
+            .map(|(&v, _)| v)
+    }
+
+    /// Is `version` acceptable for data observed at time `now`?
+    ///
+    /// A client enforcing freshness accepts only the current key; a
+    /// client replaying history may accept any version whose window
+    /// contains the data's timestamp.
+    pub fn is_acceptable(&self, version: KeyVersion, now: Timestamp) -> bool {
+        self.entries
+            .get(&version)
+            .map(|e| e.window.contains(now))
+            .unwrap_or(false)
+    }
+
+    /// Number of published versions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signer::{MockSigner, Signer};
+
+    #[test]
+    fn publish_and_rotate() {
+        let mut reg = KeyRegistry::new();
+        let k1 = MockSigner::with_version(1, 1);
+        let k2 = MockSigner::with_version(1, 2);
+        reg.publish(k1.verifier(), 0);
+        assert_eq!(reg.current(), Some(1));
+        assert!(reg.is_acceptable(1, 5));
+
+        reg.publish(k2.verifier(), 10);
+        assert_eq!(reg.current(), Some(2));
+        // old key valid only before the rotation instant
+        assert!(reg.is_acceptable(1, 9));
+        assert!(!reg.is_acceptable(1, 10));
+        assert!(reg.is_acceptable(2, 10));
+        assert_eq!(reg.window(1), Some(ValidityWindow { start: 0, end: Some(10) }));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let reg = KeyRegistry::new();
+        assert!(!reg.is_acceptable(7, 0));
+        assert!(reg.verifier(7).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn versions_must_increase() {
+        let mut reg = KeyRegistry::new();
+        reg.publish(MockSigner::with_version(1, 5).verifier(), 0);
+        reg.publish(MockSigner::with_version(1, 5).verifier(), 1);
+    }
+
+    #[test]
+    fn window_containment() {
+        let w = ValidityWindow { start: 5, end: Some(10) };
+        assert!(!w.contains(4));
+        assert!(w.contains(5));
+        assert!(w.contains(9));
+        assert!(!w.contains(10));
+        let open = ValidityWindow { start: 0, end: None };
+        assert!(open.contains(u64::MAX));
+    }
+}

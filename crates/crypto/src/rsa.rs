@@ -1,0 +1,247 @@
+//! Textbook RSA signatures over `vbx-mathx`.
+//!
+//! This is the paper's digital signature scheme: the central DBMS signs
+//! digests with its private key (`s(·)`), anyone with the public key can
+//! recover/verify them (`s^{-1}(·)`). Signing is hash-then-pad-then-
+//! exponentiate:
+//!
+//! ```text
+//! EM  = 0x01 ‖ 0xFF…FF ‖ 0x00 ‖ SHA-256(msg)     (modulus_len - 1 bytes)
+//! sig = EM^d mod n,     verify: sig^e mod n == EM
+//! ```
+//!
+//! The padding is a deterministic PKCS#1 v1.5-style encoding (without the
+//! ASN.1 `DigestInfo`, which adds nothing in a closed system). Key
+//! generation uses two random primes of half the modulus width and
+//! `d = e^{-1} mod λ(n)`.
+
+use crate::hash::sha256;
+use crate::signer::{SigVerifier, Signature, Signer};
+use rand::Rng;
+use std::sync::Arc;
+use vbx_mathx::{modular, prime, MontCtx, Uint};
+
+/// RSA public key: `(n, e)` plus a Montgomery context for fast verify.
+#[derive(Clone)]
+pub struct RsaPublicKey<const L: usize> {
+    n: Uint<L>,
+    e: Uint<L>,
+    mont: MontCtx<L>,
+    version: u32,
+}
+
+/// RSA key pair. The private exponent never leaves this struct.
+#[derive(Clone)]
+pub struct RsaKeyPair<const L: usize> {
+    public: RsaPublicKey<L>,
+    d: Uint<L>,
+}
+
+/// Standard public exponent.
+pub const RSA_E: u64 = 65_537;
+
+impl<const L: usize> RsaPublicKey<L> {
+    fn new(n: Uint<L>, version: u32) -> Self {
+        Self {
+            n,
+            e: Uint::from_u64(RSA_E),
+            mont: MontCtx::new(n),
+            version,
+        }
+    }
+
+    /// Modulus length in bytes == signature length.
+    pub fn modulus_len(&self) -> usize {
+        L * 8
+    }
+
+    /// The modulus.
+    pub fn n(&self) -> &Uint<L> {
+        &self.n
+    }
+
+    fn encode(&self, msg: &[u8]) -> Uint<L> {
+        // EM has modulus_len - 1 bytes so the integer is < n. For small
+        // (test-sized) moduli the hash is truncated; we insist on at
+        // least 16 hash bytes, so moduli must be >= 192 bits.
+        let em_len = self.modulus_len() - 1;
+        let digest = sha256(msg);
+        let hash_len = digest.len().min(em_len - 2);
+        assert!(hash_len >= 16, "modulus too small for padding");
+        let mut em = vec![0xFFu8; em_len];
+        em[0] = 0x01;
+        let ps_end = em_len - hash_len;
+        em[ps_end - 1] = 0x00;
+        em[ps_end..].copy_from_slice(&digest[..hash_len]);
+        Uint::from_be_bytes(&em).expect("EM fits the modulus width")
+    }
+}
+
+impl<const L: usize> RsaKeyPair<L> {
+    /// Generate a fresh key with a modulus of exactly `L*64` bits.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, version: u32) -> Self {
+        let half_bits = L * 32;
+        loop {
+            let p: Uint<L> = prime::random_prime(half_bits, rng);
+            let q: Uint<L> = prime::random_prime(half_bits, rng);
+            if p == q {
+                continue;
+            }
+            let n = match p.checked_mul(&q) {
+                Some(n) if n.bits() == L * 64 => n,
+                _ => continue,
+            };
+            let one = Uint::<L>::ONE;
+            let p1 = p.wrapping_sub(&one);
+            let q1 = q.wrapping_sub(&one);
+            let g = modular::gcd(&p1, &q1);
+            let (lam, _) = p1.checked_mul(&q1).expect("fits: (p-1)(q-1) < n").div_rem(&g);
+            let e = Uint::from_u64(RSA_E);
+            let Some(d) = modular::inv_mod(&e, &lam) else {
+                continue;
+            };
+            return Self {
+                public: RsaPublicKey::new(n, version),
+                d,
+            };
+        }
+    }
+
+    /// Build from known `(n, d)` values (used for the deterministic test
+    /// fixtures in [`vbx_mathx::groups::rsa_fixtures`]).
+    pub fn from_parts(n: Uint<L>, d: Uint<L>, version: u32) -> Self {
+        Self {
+            public: RsaPublicKey::new(n, version),
+            d,
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> RsaPublicKey<L> {
+        self.public.clone()
+    }
+}
+
+impl<const L: usize> Signer for RsaKeyPair<L> {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        let em = self.public.encode(msg);
+        let sig = self.public.mont.pow_mod(&em, &self.d);
+        Signature(sig.to_be_bytes())
+    }
+
+    fn signature_len(&self) -> usize {
+        self.public.modulus_len()
+    }
+
+    fn key_version(&self) -> u32 {
+        self.public.version
+    }
+
+    fn verifier(&self) -> Arc<dyn SigVerifier> {
+        Arc::new(self.public.clone())
+    }
+}
+
+impl<const L: usize> SigVerifier for RsaPublicKey<L> {
+    fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let Some(s) = Uint::<L>::from_be_bytes(sig.as_bytes()) else {
+            return false;
+        };
+        if s >= self.n {
+            return false;
+        }
+        let recovered = self.mont.pow_mod(&s, &self.e);
+        recovered == self.encode(msg)
+    }
+
+    fn signature_len(&self) -> usize {
+        self.modulus_len()
+    }
+
+    fn key_version(&self) -> u32 {
+        self.version
+    }
+}
+
+/// The deterministic 512-bit fixture key (fast; tests only).
+pub fn fixture_keypair_512() -> RsaKeyPair<8> {
+    use vbx_mathx::groups::rsa_fixtures as fx;
+    RsaKeyPair::from_parts(fx::n_512(), fx::d_512(), 1)
+}
+
+/// The deterministic 1024-bit fixture key.
+pub fn fixture_keypair_1024() -> RsaKeyPair<16> {
+    use vbx_mathx::groups::rsa_fixtures as fx;
+    RsaKeyPair::from_parts(fx::n_1024(), fx::d_1024(), 1)
+}
+
+/// The deterministic 2048-bit fixture key.
+pub fn fixture_keypair_2048() -> RsaKeyPair<32> {
+    use vbx_mathx::groups::rsa_fixtures as fx;
+    RsaKeyPair::from_parts(fx::n_2048(), fx::d_2048(), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_sign_verify_512() {
+        let kp = fixture_keypair_512();
+        let v = kp.verifier();
+        let sig = kp.sign(b"attribute digest payload");
+        assert_eq!(sig.len(), 64);
+        assert!(v.verify(b"attribute digest payload", &sig));
+        assert!(!v.verify(b"attribute digest payloaD", &sig));
+    }
+
+    #[test]
+    fn fixture_sign_verify_1024() {
+        let kp = fixture_keypair_1024();
+        let v = kp.verifier();
+        let sig = kp.sign(b"m");
+        assert_eq!(sig.len(), 128);
+        assert!(v.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = fixture_keypair_512();
+        let v = kp.verifier();
+        let mut sig = kp.sign(b"m");
+        sig.0[10] ^= 0x40;
+        assert!(!v.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn oversized_signature_rejected() {
+        let kp = fixture_keypair_512();
+        let v = kp.verifier();
+        assert!(!v.verify(b"m", &Signature(vec![0xFF; 65])));
+        assert!(!v.verify(b"m", &Signature(vec![])));
+    }
+
+    #[test]
+    fn generated_key_roundtrip() {
+        let mut rng = rand::thread_rng();
+        // 256-bit modulus: fast enough for debug-mode tests.
+        let kp: RsaKeyPair<4> = RsaKeyPair::generate(&mut rng, 7);
+        let v = kp.verifier();
+        let sig = kp.sign(b"fresh key");
+        assert!(v.verify(b"fresh key", &sig));
+        assert_eq!(kp.key_version(), 7);
+        assert_eq!(v.key_version(), 7);
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let kp = fixture_keypair_512();
+        assert_eq!(kp.sign(b"x").as_bytes(), kp.sign(b"x").as_bytes());
+    }
+
+    #[test]
+    fn distinct_messages_distinct_signatures() {
+        let kp = fixture_keypair_512();
+        assert_ne!(kp.sign(b"x").as_bytes(), kp.sign(b"y").as_bytes());
+    }
+}

@@ -1,0 +1,176 @@
+//! Object-safe signing traits.
+//!
+//! The paper's `s(·)` encrypts a digest with the central DBMS's private
+//! key and `s^{-1}(·)` decrypts with the public key (Section 3.2). We
+//! model this as conventional sign/verify so the upper layers do not care
+//! about key sizes or algorithms: the central server holds a [`Signer`],
+//! clients hold a [`SigVerifier`].
+
+use crate::hash::sha256;
+use std::fmt;
+use std::sync::Arc;
+
+/// A detached signature (opaque bytes; length depends on the scheme).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Signature(pub Vec<u8>);
+
+impl Signature {
+    /// Signature length in bytes (the paper's `|D|` for signed digests).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty (never produced by a real signer).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex: String = self.0.iter().take(8).map(|b| format!("{b:02x}")).collect();
+        write!(f, "Signature({hex}…, {} bytes)", self.0.len())
+    }
+}
+
+/// Produces signatures over byte messages. Held only by the trusted
+/// central DBMS.
+pub trait Signer: Send + Sync {
+    /// Sign a message.
+    fn sign(&self, msg: &[u8]) -> Signature;
+    /// Length in bytes of signatures this signer produces.
+    fn signature_len(&self) -> usize;
+    /// Key version identifier (see [`crate::keyreg`]).
+    fn key_version(&self) -> u32;
+    /// The matching verifier, distributable to clients.
+    fn verifier(&self) -> Arc<dyn SigVerifier>;
+}
+
+/// Verifies signatures. Distributed to clients through an authenticated
+/// channel (the paper assumes a PKI).
+pub trait SigVerifier: Send + Sync {
+    /// Check a signature over a message.
+    fn verify(&self, msg: &[u8], sig: &Signature) -> bool;
+    /// Length in bytes of signatures this verifier accepts.
+    fn signature_len(&self) -> usize;
+    /// Key version identifier.
+    fn key_version(&self) -> u32;
+}
+
+/// A fast symmetric test double: `sign = SHA-256(secret ‖ len ‖ msg)`.
+///
+/// **Not a public-key scheme** — the verifier shares the secret, so a
+/// "verifier" could forge. It exists so that large structural tests and
+/// benchmarks of the tree machinery are not dominated by RSA time. All
+/// security-facing tests use [`crate::rsa`].
+#[derive(Clone)]
+pub struct MockSigner {
+    secret: [u8; 32],
+    version: u32,
+}
+
+impl MockSigner {
+    /// Create from an arbitrary seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_version(seed, 1)
+    }
+
+    /// Create with an explicit key version.
+    pub fn with_version(seed: u64, version: u32) -> Self {
+        let mut secret = [0u8; 32];
+        secret[..8].copy_from_slice(&seed.to_le_bytes());
+        secret[8..12].copy_from_slice(&version.to_le_bytes());
+        Self { secret, version }
+    }
+
+    fn mac(&self, msg: &[u8]) -> Signature {
+        let mut h = crate::hash::Sha256::new();
+        h.update(&self.secret);
+        h.update(&(msg.len() as u64).to_le_bytes());
+        h.update(msg);
+        Signature(h.finalize().to_vec())
+    }
+}
+
+impl Signer for MockSigner {
+    fn sign(&self, msg: &[u8]) -> Signature {
+        self.mac(msg)
+    }
+
+    fn signature_len(&self) -> usize {
+        32
+    }
+
+    fn key_version(&self) -> u32 {
+        self.version
+    }
+
+    fn verifier(&self) -> Arc<dyn SigVerifier> {
+        Arc::new(MockVerifier {
+            inner: self.clone(),
+        })
+    }
+}
+
+/// Verifier half of [`MockSigner`].
+#[derive(Clone)]
+pub struct MockVerifier {
+    inner: MockSigner,
+}
+
+impl SigVerifier for MockVerifier {
+    fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        // Constant-time-ish comparison via hashing both sides.
+        sha256(self.inner.mac(msg).as_bytes()) == sha256(sig.as_bytes())
+    }
+
+    fn signature_len(&self) -> usize {
+        32
+    }
+
+    fn key_version(&self) -> u32 {
+        self.inner.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_roundtrip() {
+        let s = MockSigner::new(42);
+        let v = s.verifier();
+        let sig = s.sign(b"hello");
+        assert!(v.verify(b"hello", &sig));
+        assert!(!v.verify(b"hellO", &sig));
+        assert!(!v.verify(b"hello", &Signature(vec![0; 32])));
+    }
+
+    #[test]
+    fn mock_seed_separation() {
+        let a = MockSigner::new(1);
+        let b = MockSigner::new(2);
+        let sig = a.sign(b"msg");
+        assert!(!b.verifier().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn version_separates_keys() {
+        let a = MockSigner::with_version(1, 1);
+        let b = MockSigner::with_version(1, 2);
+        assert_ne!(a.sign(b"m").as_bytes(), b.sign(b"m").as_bytes());
+        assert_eq!(b.key_version(), 2);
+    }
+
+    #[test]
+    fn length_prefix_prevents_extension_confusion() {
+        let s = MockSigner::new(9);
+        assert_ne!(s.sign(b"ab").as_bytes(), s.sign(b"a").as_bytes());
+    }
+}

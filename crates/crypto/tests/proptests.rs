@@ -1,0 +1,154 @@
+//! Property tests for the cryptographic substrate: accumulator algebra
+//! laws (the foundation of the paper's commutative VOs), hash streaming
+//! consistency, and signature round-trips.
+
+use proptest::prelude::*;
+use vbx_crypto::accum::DigestRole;
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::{rsa, Acc256, Sha256};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Combination is commutative and associative for arbitrary inputs —
+    /// Section 3.2's h(d1|d2) = h(d2|d1).
+    #[test]
+    fn combine_laws(a in any::<Vec<u8>>(), b in any::<Vec<u8>>(), c in any::<Vec<u8>>()) {
+        let acc = Acc256::test_default();
+        let x = acc.exp_from_bytes(&a);
+        let y = acc.exp_from_bytes(&b);
+        let z = acc.exp_from_bytes(&c);
+        prop_assert_eq!(acc.combine(&x, &y), acc.combine(&y, &x));
+        prop_assert_eq!(
+            acc.combine(&acc.combine(&x, &y), &z),
+            acc.combine(&x, &acc.combine(&y, &z))
+        );
+    }
+
+    /// Any permutation of a digest set combines to the same value —
+    /// the property that lets D_S/D_P be unordered sets.
+    #[test]
+    fn combine_all_permutation_invariant(
+        seeds in proptest::collection::vec(any::<u64>(), 1..12),
+        rotate in any::<usize>(),
+    ) {
+        let acc = Acc256::test_default();
+        let exps: Vec<_> = seeds
+            .iter()
+            .map(|s| acc.exp_from_bytes(&s.to_le_bytes()))
+            .collect();
+        let mut rotated = exps.clone();
+        let r = rotate % rotated.len().max(1);
+        rotated.rotate_left(r);
+        rotated.reverse();
+        prop_assert_eq!(acc.combine_all(exps.iter()), acc.combine_all(rotated.iter()));
+    }
+
+    /// uncombine inverts combine for any operands.
+    #[test]
+    fn uncombine_inverts(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+        let acc = Acc256::test_default();
+        let x = acc.exp_from_bytes(&a);
+        let y = acc.exp_from_bytes(&b);
+        prop_assert_eq!(acc.uncombine(&acc.combine(&x, &y), &y), x);
+    }
+
+    /// The lifted (value-domain) identity of Lemma 1:
+    /// g^(x·y) == (g^x)^y == (g^y)^x.
+    #[test]
+    fn lift_commutes(a in any::<u64>(), b in any::<u64>()) {
+        let acc = Acc256::test_default();
+        let x = acc.exp_from_bytes(&a.to_le_bytes());
+        let y = acc.exp_from_bytes(&b.to_le_bytes());
+        let direct = acc.lift(&acc.combine(&x, &y));
+        prop_assert_eq!(acc.lift_pow(&acc.lift(&x), &y), direct);
+        prop_assert_eq!(acc.lift_pow(&acc.lift(&y), &x), direct);
+    }
+
+    /// Exponents always land in (0, q) and the canonical codec
+    /// round-trips.
+    #[test]
+    fn exponents_well_formed(data in any::<Vec<u8>>()) {
+        let acc = Acc256::test_default();
+        let e = acc.exp_from_bytes(&data);
+        prop_assert!(!e.is_zero());
+        prop_assert!(e < acc.group().q);
+        let bytes = acc.exp_to_bytes(&e);
+        prop_assert_eq!(acc.exp_from_canonical(&bytes), Some(e));
+    }
+
+    /// Streaming SHA-256 equals one-shot for any split points.
+    #[test]
+    fn sha256_streaming(data in proptest::collection::vec(any::<u8>(), 0..2048), cut in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { cut % data.len() };
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), vbx_crypto::sha256(&data));
+    }
+
+    /// Mock signatures verify and reject any modified message.
+    #[test]
+    fn mock_signer_roundtrip(msg in any::<Vec<u8>>(), flip in any::<u8>(), pos in any::<usize>()) {
+        let s = MockSigner::new(5);
+        let v = s.verifier();
+        let sig = s.sign(&msg);
+        prop_assert!(v.verify(&msg, &sig));
+        if !msg.is_empty() && flip != 0 {
+            let mut bad = msg.clone();
+            let p = pos % bad.len();
+            bad[p] ^= flip;
+            prop_assert!(!v.verify(&bad, &sig));
+        }
+    }
+
+    /// Signed digests bind role and exponent.
+    #[test]
+    fn signed_digest_binding(a in any::<u64>(), b in any::<u64>()) {
+        let acc = Acc256::test_default();
+        let signer = MockSigner::new(9);
+        let verifier = signer.verifier();
+        let x = acc.exp_from_bytes(&a.to_le_bytes());
+        let d = acc.sign_digest(&signer, DigestRole::Node, &x);
+        prop_assert!(acc.verify_digest(verifier.as_ref(), &d));
+        let y = acc.exp_from_bytes(&b.to_le_bytes());
+        if y != x {
+            let mut forged = d.clone();
+            forged.exp = y;
+            prop_assert!(!acc.verify_digest(verifier.as_ref(), &forged));
+        }
+        let mut wrong_role = d;
+        wrong_role.role = DigestRole::Tuple;
+        prop_assert!(!acc.verify_digest(verifier.as_ref(), &wrong_role));
+    }
+}
+
+proptest! {
+    // RSA is slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rsa_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let kp = rsa::fixture_keypair_512();
+        let v = kp.verifier();
+        let sig = kp.sign(&msg);
+        prop_assert!(v.verify(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(0x55);
+        prop_assert!(!v.verify(&other, &sig));
+    }
+
+    #[test]
+    fn rsa_signature_malleability_rejected(
+        msg in proptest::collection::vec(any::<u8>(), 1..64),
+        pos in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        let kp = rsa::fixture_keypair_512();
+        let v = kp.verifier();
+        let mut sig = kp.sign(&msg);
+        let p = pos % sig.0.len();
+        sig.0[p] ^= flip;
+        prop_assert!(!v.verify(&msg, &sig));
+    }
+}

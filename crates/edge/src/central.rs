@@ -1,0 +1,520 @@
+//! The trusted central DBMS.
+//!
+//! Owns the master database, the private signing key, and the
+//! authoritative VB-trees. Executes update transactions under the
+//! Section 3.4 locking protocol, records **signed update deltas** for
+//! edge replicas (which cannot sign anything themselves), refreshes
+//! materialised join views, and manages key rotation with validity
+//! windows for the delayed-propagation mode.
+
+use crate::locks::{LockManager, LockMode};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vbx_core::{Capture, CoreError, VbTree, VbTreeConfig};
+use vbx_crypto::accum::{Accumulator, SignedDigest};
+use vbx_crypto::{KeyRegistry, Signer};
+use vbx_query::{build_view_table, JoinViewDef};
+use vbx_storage::{Catalog, StorageError, Table, Tuple};
+
+/// One update operation, as shipped to edge servers.
+#[derive(Clone, Debug)]
+pub enum UpdateOp {
+    /// Insert a tuple.
+    Insert(Tuple),
+    /// Delete by key.
+    Delete(u64),
+    /// Batch range delete (inclusive bounds).
+    DeleteRange(u64, u64),
+}
+
+/// A signed update delta: the operation plus every signed digest the
+/// replica will need, in deterministic issue order.
+#[derive(Clone, Debug)]
+pub struct UpdateDelta<const L: usize> {
+    /// Sequence number (contiguous per central server).
+    pub seq: u64,
+    /// Table the update applies to.
+    pub table: String,
+    /// The operation.
+    pub op: UpdateOp,
+    /// Pre-signed digests in replay order.
+    pub digests: Vec<SignedDigest<L>>,
+    /// Key version the digests were signed under.
+    pub key_version: u32,
+}
+
+/// Initial distribution bundle for a new edge server: full replicas of
+/// every tree (base tables and views).
+#[derive(Clone)]
+pub struct EdgeBundle<const L: usize> {
+    /// Tree replicas by name.
+    pub trees: BTreeMap<String, VbTree<L>>,
+    /// View definitions.
+    pub views: Vec<JoinViewDef>,
+    /// Sequence number the bundle reflects.
+    pub as_of_seq: u64,
+}
+
+impl<const L: usize> EdgeBundle<L> {
+    /// Serialize the bundle — the bytes the central server actually
+    /// ships to a new edge site.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(b"VBB1");
+        out.extend_from_slice(&self.as_of_seq.to_be_bytes());
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        out.extend_from_slice(&(self.views.len() as u32).to_be_bytes());
+        for v in &self.views {
+            put_str(&mut out, &v.name);
+            put_str(&mut out, &v.left_table);
+            put_str(&mut out, &v.right_table);
+            put_str(&mut out, &v.left_col);
+            put_str(&mut out, &v.right_col);
+        }
+        out.extend_from_slice(&(self.trees.len() as u32).to_be_bytes());
+        for (name, tree) in &self.trees {
+            put_str(&mut out, name);
+            let tree_bytes = vbx_core::encode_tree(tree);
+            out.extend_from_slice(&(tree_bytes.len() as u64).to_be_bytes());
+            out.extend_from_slice(&tree_bytes);
+        }
+        out
+    }
+
+    /// Decode a bundle, structurally validating every tree.
+    pub fn from_bytes(bytes: &[u8], acc: &Accumulator<L>) -> Result<Self, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        let mut buf = bytes;
+        let take =
+            |buf: &mut &[u8], n: usize| -> Result<Vec<u8>, CoreError> {
+                if buf.len() < n {
+                    return Err(corrupt("bundle truncated"));
+                }
+                let out = buf[..n].to_vec();
+                *buf = &buf[n..];
+                Ok(out)
+            };
+        let get_str = |buf: &mut &[u8]| -> Result<String, CoreError> {
+            let len = u32::from_be_bytes(take(buf, 4)?.try_into().unwrap()) as usize;
+            String::from_utf8(take(buf, len)?).map_err(|_| corrupt("bundle string not UTF-8"))
+        };
+
+        if take(&mut buf, 4)? != b"VBB1" {
+            return Err(corrupt("bad bundle magic"));
+        }
+        let as_of_seq = u64::from_be_bytes(take(&mut buf, 8)?.try_into().unwrap());
+        let n_views = u32::from_be_bytes(take(&mut buf, 4)?.try_into().unwrap()) as usize;
+        let mut views = Vec::with_capacity(n_views.min(1024));
+        for _ in 0..n_views {
+            let name = get_str(&mut buf)?;
+            let left_table = get_str(&mut buf)?;
+            let right_table = get_str(&mut buf)?;
+            let left_col = get_str(&mut buf)?;
+            let right_col = get_str(&mut buf)?;
+            views.push(JoinViewDef {
+                name,
+                left_table,
+                right_table,
+                left_col,
+                right_col,
+            });
+        }
+        let n_trees = u32::from_be_bytes(take(&mut buf, 4)?.try_into().unwrap()) as usize;
+        let mut trees = BTreeMap::new();
+        for _ in 0..n_trees {
+            let name = get_str(&mut buf)?;
+            let tree_len = u64::from_be_bytes(take(&mut buf, 8)?.try_into().unwrap()) as usize;
+            let tree_bytes = take(&mut buf, tree_len)?;
+            let tree = vbx_core::decode_tree(&tree_bytes, acc.clone())?;
+            trees.insert(name, tree);
+        }
+        if !buf.is_empty() {
+            return Err(corrupt("trailing bytes in bundle"));
+        }
+        Ok(Self {
+            trees,
+            views,
+            as_of_seq,
+        })
+    }
+}
+
+/// Errors from central-server operations.
+#[derive(Debug)]
+pub enum CentralError {
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// Tree-level failure.
+    Core(CoreError),
+    /// Unknown table.
+    UnknownTable(String),
+}
+
+impl core::fmt::Display for CentralError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CentralError::Storage(e) => write!(f, "{e}"),
+            CentralError::Core(e) => write!(f, "{e}"),
+            CentralError::UnknownTable(t) => write!(f, "unknown table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CentralError {}
+
+impl From<StorageError> for CentralError {
+    fn from(e: StorageError) -> Self {
+        CentralError::Storage(e)
+    }
+}
+
+impl From<CoreError> for CentralError {
+    fn from(e: CoreError) -> Self {
+        CentralError::Core(e)
+    }
+}
+
+/// The trusted central DBMS.
+pub struct CentralServer<const L: usize> {
+    acc: Accumulator<L>,
+    signer: Arc<dyn Signer>,
+    registry: KeyRegistry,
+    config: VbTreeConfig,
+    catalog: Catalog,
+    trees: BTreeMap<String, VbTree<L>>,
+    views: Vec<JoinViewDef>,
+    locks: LockManager,
+    log: Vec<UpdateDelta<L>>,
+    clock: u64,
+}
+
+impl<const L: usize> CentralServer<L> {
+    /// Create a central server and publish the initial key version.
+    pub fn new(acc: Accumulator<L>, signer: Arc<dyn Signer>, config: VbTreeConfig) -> Self {
+        let mut registry = KeyRegistry::new();
+        registry.publish(signer.verifier(), 0);
+        Self {
+            acc,
+            signer,
+            registry,
+            config,
+            catalog: Catalog::new(),
+            trees: BTreeMap::new(),
+            views: Vec::new(),
+            locks: LockManager::new(),
+            log: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// The public key registry (clients consult it for freshness).
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// Logical clock (advances with every committed update).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The digest algebra (public parameters).
+    pub fn accumulator(&self) -> &Accumulator<L> {
+        &self.acc
+    }
+
+    /// Lock statistics (tests).
+    pub fn lock_stats(&self) -> crate::locks::LockStats {
+        self.locks.stats()
+    }
+
+    /// Register a base table: builds and signs its VB-tree.
+    pub fn create_table(&mut self, table: Table) {
+        let tree = VbTree::bulk_load(
+            &table,
+            self.config.clone(),
+            self.acc.clone(),
+            self.signer.as_ref(),
+        );
+        self.trees.insert(table.schema().table.clone(), tree);
+        self.catalog.put(table);
+    }
+
+    /// Materialise an equijoin view and build its VB-tree (Section 3.3's
+    /// join strategy). Returns the canonical view name.
+    pub fn materialize_join(
+        &mut self,
+        left: &str,
+        right: &str,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<String, CentralError> {
+        let lt = self
+            .catalog
+            .get(left)
+            .ok_or_else(|| CentralError::UnknownTable(left.into()))?;
+        let rt = self
+            .catalog
+            .get(right)
+            .ok_or_else(|| CentralError::UnknownTable(right.into()))?;
+        let def = JoinViewDef::new(left, right, left_col, right_col);
+        let view_table = build_view_table(&def, lt, rt)?;
+        let tree = VbTree::bulk_load(
+            &view_table,
+            self.config.clone(),
+            self.acc.clone(),
+            self.signer.as_ref(),
+        );
+        let name = def.name.clone();
+        self.trees.insert(name.clone(), tree);
+        self.views.push(def);
+        Ok(name)
+    }
+
+    /// Authoritative tree lookup.
+    pub fn tree(&self, name: &str) -> Option<&VbTree<L>> {
+        self.trees.get(name)
+    }
+
+    /// Registered view definitions.
+    pub fn views(&self) -> &[JoinViewDef] {
+        &self.views
+    }
+
+    /// Snapshot everything for a new edge server.
+    pub fn bundle(&self) -> EdgeBundle<L> {
+        EdgeBundle {
+            trees: self.trees.clone(),
+            views: self.views.clone(),
+            as_of_seq: self.log.len() as u64,
+        }
+    }
+
+    /// Deltas after `seq` (edge servers pull these to catch up), plus
+    /// fresh snapshots of any views refreshed in that window.
+    pub fn deltas_since(&self, seq: u64) -> Vec<UpdateDelta<L>> {
+        self.log[seq as usize..].to_vec()
+    }
+
+    /// Rebuilt view trees (edges re-fetch these after applying deltas;
+    /// views are refreshed wholesale because their rowids shift).
+    pub fn view_trees(&self) -> BTreeMap<String, VbTree<L>> {
+        self.views
+            .iter()
+            .filter_map(|d| {
+                self.trees
+                    .get(&d.name)
+                    .map(|t| (d.name.clone(), t.clone()))
+            })
+            .collect()
+    }
+
+    /// Insert a tuple (the paper's insert transaction: X-lock each path
+    /// digest in turn, absorb the tuple exponent, re-sign).
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<UpdateDelta<L>, CentralError> {
+        let txn = self.next_txn();
+        // Lock the path digests (plus the parent on splits — we lock the
+        // whole path which subsumes it).
+        let path = {
+            let tree = self
+                .trees
+                .get(table)
+                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
+            tree.path_node_ids(tuple.key)
+        };
+        let resources: Vec<_> = path.into_iter().map(|n| (table.to_string(), n)).collect();
+        self.locks
+            .try_acquire_all(txn, &resources, LockMode::Exclusive)
+            .expect("single-threaded central server cannot conflict with itself");
+
+        let result = (|| {
+            let mut capture = Capture::new(self.signer.as_ref());
+            let tree = self.trees.get_mut(table).expect("checked above");
+            tree.insert_with_source(tuple.clone(), &mut capture)?;
+            self.catalog
+                .get_mut(table)
+                .expect("catalog mirrors trees")
+                .insert(tuple.clone())?;
+            Ok::<_, CentralError>(capture.into_digests())
+        })();
+        self.locks.release_all(txn);
+        let digests = result?;
+
+        self.refresh_views_for(table)?;
+        self.clock += 1;
+        let delta = UpdateDelta {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op: UpdateOp::Insert(tuple),
+            digests,
+            key_version: self.signer.key_version(),
+        };
+        self.log.push(delta.clone());
+        Ok(delta)
+    }
+
+    /// Delete a tuple (X-lock the whole path up front, then recompute
+    /// digests bottom-up — the paper's delete transaction).
+    pub fn delete(&mut self, table: &str, key: u64) -> Result<UpdateDelta<L>, CentralError> {
+        let txn = self.next_txn();
+        let path = {
+            let tree = self
+                .trees
+                .get(table)
+                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
+            tree.path_node_ids(key)
+        };
+        let resources: Vec<_> = path.into_iter().map(|n| (table.to_string(), n)).collect();
+        self.locks
+            .try_acquire_all(txn, &resources, LockMode::Exclusive)
+            .expect("single-threaded central server cannot conflict with itself");
+
+        let result = (|| {
+            let mut capture = Capture::new(self.signer.as_ref());
+            let tree = self.trees.get_mut(table).expect("checked above");
+            tree.delete_with_source(key, &mut capture)?;
+            self.catalog
+                .get_mut(table)
+                .expect("catalog mirrors trees")
+                .delete(key)?;
+            Ok::<_, CentralError>(capture.into_digests())
+        })();
+        self.locks.release_all(txn);
+        let digests = result?;
+
+        self.refresh_views_for(table)?;
+        self.clock += 1;
+        let delta = UpdateDelta {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op: UpdateOp::Delete(key),
+            digests,
+            key_version: self.signer.key_version(),
+        };
+        self.log.push(delta.clone());
+        Ok(delta)
+    }
+
+    /// Batch range delete (equation (12)'s transaction).
+    pub fn delete_range(
+        &mut self,
+        table: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<UpdateDelta<L>, CentralError> {
+        let txn = self.next_txn();
+        let envelope = {
+            let tree = self
+                .trees
+                .get(table)
+                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
+            tree.envelope_node_ids(lo, hi)
+        };
+        let resources: Vec<_> = envelope
+            .into_iter()
+            .map(|n| (table.to_string(), n))
+            .collect();
+        self.locks
+            .try_acquire_all(txn, &resources, LockMode::Exclusive)
+            .expect("single-threaded central server cannot conflict with itself");
+
+        let result = (|| {
+            let mut capture = Capture::new(self.signer.as_ref());
+            let tree = self.trees.get_mut(table).expect("checked above");
+            let removed = tree.delete_range_with_source(lo, hi, &mut capture)?;
+            let cat = self.catalog.get_mut(table).expect("catalog mirrors trees");
+            for t in &removed {
+                cat.delete(t.key)?;
+            }
+            Ok::<_, CentralError>(capture.into_digests())
+        })();
+        self.locks.release_all(txn);
+        let digests = result?;
+
+        self.refresh_views_for(table)?;
+        self.clock += 1;
+        let delta = UpdateDelta {
+            seq: self.log.len() as u64,
+            table: table.to_string(),
+            op: UpdateOp::DeleteRange(lo, hi),
+            digests,
+            key_version: self.signer.key_version(),
+        };
+        self.log.push(delta.clone());
+        Ok(delta)
+    }
+
+    /// Rotate the signing key: re-sign every tree under the new key and
+    /// publish the new version with a validity window starting now
+    /// (Section 3.4's defence for delayed propagation).
+    pub fn rotate_key(&mut self, new_signer: Arc<dyn Signer>) {
+        self.signer = new_signer;
+        self.registry.publish(self.signer.verifier(), self.clock);
+        // Rebuild (re-sign) every tree under the new key.
+        let names: Vec<String> = self.trees.keys().cloned().collect();
+        for name in names {
+            if let Some(table) = self.catalog.get(&name) {
+                let tree = VbTree::bulk_load(
+                    table,
+                    self.config.clone(),
+                    self.acc.clone(),
+                    self.signer.as_ref(),
+                );
+                self.trees.insert(name, tree);
+            }
+        }
+        // Views are derived; refresh them too.
+        let defs = self.views.clone();
+        for def in defs {
+            let (Some(lt), Some(rt)) = (
+                self.catalog.get(&def.left_table),
+                self.catalog.get(&def.right_table),
+            ) else {
+                continue;
+            };
+            if let Ok(view_table) = build_view_table(&def, lt, rt) {
+                let tree = VbTree::bulk_load(
+                    &view_table,
+                    self.config.clone(),
+                    self.acc.clone(),
+                    self.signer.as_ref(),
+                );
+                self.trees.insert(def.name.clone(), tree);
+            }
+        }
+    }
+
+    fn refresh_views_for(&mut self, table: &str) -> Result<(), CentralError> {
+        let affected: Vec<JoinViewDef> = self
+            .views
+            .iter()
+            .filter(|d| d.left_table == table || d.right_table == table)
+            .cloned()
+            .collect();
+        for def in affected {
+            let lt = self
+                .catalog
+                .get(&def.left_table)
+                .ok_or_else(|| CentralError::UnknownTable(def.left_table.clone()))?;
+            let rt = self
+                .catalog
+                .get(&def.right_table)
+                .ok_or_else(|| CentralError::UnknownTable(def.right_table.clone()))?;
+            let view_table = build_view_table(&def, lt, rt)?;
+            let tree = VbTree::bulk_load(
+                &view_table,
+                self.config.clone(),
+                self.acc.clone(),
+                self.signer.as_ref(),
+            );
+            self.trees.insert(def.name.clone(), tree);
+        }
+        Ok(())
+    }
+
+    fn next_txn(&self) -> u64 {
+        self.clock + 1_000_000 * (self.log.len() as u64 + 1)
+    }
+}

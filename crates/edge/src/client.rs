@@ -1,0 +1,101 @@
+//! Trusted clients.
+//!
+//! A client holds only public material: the table/view schemas, the
+//! accumulator group parameters, and access to the key registry. It
+//! verifies every response and enforces a freshness policy against the
+//! registry's validity windows — the Section 3.4 defence against edge
+//! servers "masquerading out-of-date data, signed with an old private
+//! key, as the latest data".
+
+use std::collections::BTreeMap;
+use vbx_core::QueryResponse;
+use vbx_crypto::accum::Accumulator;
+use vbx_crypto::keyreg::{KeyRegistry, Timestamp};
+use vbx_query::{ClientSession, EngineError, VerifiedRows};
+use vbx_storage::Schema;
+
+/// How strictly the client checks key freshness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreshnessPolicy {
+    /// Only the currently-valid key version is acceptable.
+    RequireCurrent,
+    /// Accept any key version whose validity window contains the given
+    /// timestamp (historical reads).
+    AcceptAsOf(Timestamp),
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The key version in the VO was never published.
+    UnknownKeyVersion(u32),
+    /// The key version is outside its validity window (the stale-replay
+    /// attack).
+    StaleKey {
+        /// Version the response was signed under.
+        version: u32,
+    },
+    /// Verification or planning failure.
+    Engine(EngineError),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::UnknownKeyVersion(v) => write!(f, "unknown key version {v}"),
+            ClientError::StaleKey { version } => {
+                write!(f, "stale key version {version}: possible replay of old data")
+            }
+            ClientError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<EngineError> for ClientError {
+    fn from(e: EngineError) -> Self {
+        ClientError::Engine(e)
+    }
+}
+
+/// A verifying client.
+pub struct EdgeClient<const L: usize> {
+    session: ClientSession<L>,
+}
+
+impl<const L: usize> EdgeClient<L> {
+    /// Create from public metadata.
+    pub fn new(schemas: BTreeMap<String, Schema>, acc: Accumulator<L>) -> Self {
+        Self {
+            session: ClientSession::new(schemas, acc),
+        }
+    }
+
+    /// Verify a response for `sql`, enforcing the freshness policy.
+    pub fn verify(
+        &self,
+        sql: &str,
+        resp: &QueryResponse<L>,
+        registry: &KeyRegistry,
+        policy: FreshnessPolicy,
+    ) -> Result<VerifiedRows, ClientError> {
+        let version = resp.vo.key_version;
+        let verifier = registry
+            .verifier(version)
+            .ok_or(ClientError::UnknownKeyVersion(version))?;
+        let fresh = match policy {
+            FreshnessPolicy::RequireCurrent => registry.current() == Some(version),
+            FreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
+        };
+        if !fresh {
+            return Err(ClientError::StaleKey { version });
+        }
+        Ok(self.session.verify_sql(sql, resp, verifier.as_ref())?)
+    }
+
+    /// The underlying session (for direct planning in tests).
+    pub fn session(&self) -> &ClientSession<L> {
+        &self.session
+    }
+}

@@ -1,0 +1,215 @@
+//! Unsecured edge servers.
+//!
+//! An edge server holds replicas of VB-trees, answers SQL queries with
+//! verification objects, and applies signed update deltas from the
+//! central server (it cannot sign anything itself). For the test suite
+//! it can also be placed into a [`TamperMode`] simulating a compromised
+//! host — the attacks the VO must (and, for the documented
+//! reclassification case, cannot) detect.
+
+use crate::central::{EdgeBundle, UpdateDelta, UpdateOp};
+use vbx_core::{execute, CoreError, QueryResponse, ReplaySource};
+use vbx_query::{AuthQueryEngine, EngineError, JoinViewDef, PlannedQuery};
+use vbx_storage::{Tuple, Value};
+
+pub use vbx_query::engine::PlannedQuery as Plan;
+
+/// Simulated compromises of an edge host.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Honest behaviour.
+    #[default]
+    None,
+    /// Corrupt the first value of the first result row.
+    MutateValue,
+    /// Inject a spurious copy of an existing row under a fresh key.
+    InjectRow,
+    /// Silently remove a result row (without touching the VO).
+    DropRow,
+    /// Remove a result row *and* reclassify its signed tuple digest into
+    /// `D_S` — the paper's documented completeness boundary (§3.1
+    /// assumes edges do not do this maliciously).
+    DropAndReclassify {
+        /// Key of the row to suppress.
+        key: u64,
+    },
+}
+
+/// An edge server instance.
+pub struct EdgeServer<const L: usize> {
+    engine: AuthQueryEngine<L>,
+    views: Vec<JoinViewDef>,
+    applied_seq: u64,
+    tamper: TamperMode,
+}
+
+impl<const L: usize> EdgeServer<L> {
+    /// Stand up an edge server from a distribution bundle.
+    pub fn from_bundle(bundle: EdgeBundle<L>) -> Self {
+        let mut engine = AuthQueryEngine::new();
+        let mut views = Vec::new();
+        for (name, tree) in bundle.trees {
+            match bundle.views.iter().find(|d| d.name == name) {
+                Some(def) => {
+                    engine.register_view(def.clone(), tree);
+                    views.push(def.clone());
+                }
+                None => engine.register_table(tree),
+            }
+        }
+        Self {
+            engine,
+            views,
+            applied_seq: bundle.as_of_seq,
+            tamper: TamperMode::None,
+        }
+    }
+
+    /// Register a view tree (initial distribution and refreshes).
+    pub fn install_view(&mut self, def: JoinViewDef, tree: vbx_core::VbTree<L>) {
+        self.views.retain(|d| d.name != def.name);
+        self.views.push(def.clone());
+        self.engine.register_view(def, tree);
+    }
+
+    /// Refresh view replicas after base-table deltas (views are rebuilt
+    /// wholesale at the central server because their rowids shift).
+    pub fn refresh_views(&mut self, trees: std::collections::BTreeMap<String, vbx_core::VbTree<L>>) {
+        for (name, tree) in trees {
+            if let Some(def) = self.views.iter().find(|d| d.name == name).cloned() {
+                self.engine.register_view(def, tree);
+            }
+        }
+    }
+
+    /// Set the tamper mode (tests only — a real edge server is simply
+    /// this code running on an untrusted host).
+    pub fn set_tamper(&mut self, mode: TamperMode) {
+        self.tamper = mode;
+    }
+
+    /// Last applied delta sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Direct engine access (tests and benchmarks).
+    pub fn engine(&self) -> &AuthQueryEngine<L> {
+        &self.engine
+    }
+
+    /// Apply one signed update delta, verifying replay consistency.
+    pub fn apply_delta(&mut self, delta: &UpdateDelta<L>) -> Result<(), CoreError> {
+        if delta.seq != self.applied_seq {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "delta {} applied out of order (expected {})",
+                delta.seq, self.applied_seq
+            )));
+        }
+        let tree = self
+            .engine
+            .tree_mut(&delta.table)
+            .ok_or_else(|| CoreError::ReplicaDivergence(format!("no replica of {}", delta.table)))?;
+        let mut src = ReplaySource::new(delta.digests.clone(), delta.key_version);
+        match &delta.op {
+            UpdateOp::Insert(tuple) => {
+                tree.insert_with_source(tuple.clone(), &mut src)?;
+            }
+            UpdateOp::Delete(key) => {
+                tree.delete_with_source(*key, &mut src)?;
+            }
+            UpdateOp::DeleteRange(lo, hi) => {
+                tree.delete_range_with_source(*lo, *hi, &mut src)?;
+            }
+        }
+        if src.remaining() != 0 {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "{} unused digests after replay",
+                src.remaining()
+            )));
+        }
+        self.applied_seq += 1;
+        Ok(())
+    }
+
+    /// Answer a SQL query, applying the configured tamper mode to the
+    /// response.
+    pub fn query_sql(
+        &self,
+        sql: &str,
+    ) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
+        match &self.tamper {
+            TamperMode::DropAndReclassify { key } => self.query_reclassified(sql, *key),
+            _ => {
+                let (planned, mut resp) = self.engine.execute_sql(sql)?;
+                self.apply_tamper(&mut resp);
+                Ok((planned, resp))
+            }
+        }
+    }
+
+    fn query_reclassified(
+        &self,
+        sql: &str,
+        victim: u64,
+    ) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
+        // Re-plan, then execute with an additional "hide the victim"
+        // predicate: its signed tuple digest lands in D_S, producing a
+        // VO that still balances.
+        let client = vbx_query::ClientSession::new(self.engine.schemas(), self.acc_clone());
+        let planned = client.plan_sql(sql)?;
+        let tree = self
+            .engine
+            .tree(&planned.target)
+            .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
+        let residual = planned.residual.clone();
+        let pred = move |t: &Tuple| t.key != victim && residual.as_ref().is_none_or(|p| p.eval(t));
+        let resp = execute(tree, &planned.range_query, Some(&pred));
+        Ok((planned, resp))
+    }
+
+    fn acc_clone(&self) -> vbx_crypto::Accumulator<L> {
+        // All trees share group parameters; grab them from any tree.
+        self.engine
+            .tree_names()
+            .next()
+            .and_then(|n| self.engine.tree(n))
+            .map(|t| t.accumulator().clone())
+            .expect("edge server has at least one tree")
+    }
+
+    fn apply_tamper(&self, resp: &mut QueryResponse<L>) {
+        match &self.tamper {
+            TamperMode::None | TamperMode::DropAndReclassify { .. } => {}
+            TamperMode::MutateValue => {
+                if let Some(row) = resp.rows.first_mut() {
+                    if let Some(v) = row.values.first_mut() {
+                        *v = match v {
+                            Value::Int(x) => Value::Int(*x ^ 1),
+                            Value::Float(x) => Value::Float(*x + 1.0),
+                            Value::Text(_) => Value::Text("tampered".into()),
+                            Value::Bytes(b) => {
+                                let mut b = b.clone();
+                                b.push(0xFF);
+                                Value::Bytes(b)
+                            }
+                        };
+                    }
+                }
+            }
+            TamperMode::InjectRow => {
+                if let Some(last) = resp.rows.last().cloned() {
+                    let mut forged = last;
+                    forged.key += 1;
+                    resp.rows.push(forged);
+                }
+            }
+            TamperMode::DropRow => {
+                if !resp.rows.is_empty() {
+                    let mid = resp.rows.len() / 2;
+                    resp.rows.remove(mid);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # vbx-edge — the edge-computing deployment (Figure 2)
+//!
+//! The three parties of the paper's system model, as in-process
+//! components exchanging serialized messages:
+//!
+//! * [`central`] — the **trusted central DBMS**: owns the master
+//!   database and the private key, builds and maintains VB-trees,
+//!   executes update transactions under the Section 3.4 locking
+//!   protocol, and propagates signed update deltas to edge servers;
+//! * [`edge_server`] — **unsecured edge servers**: hold replicas of the
+//!   tables and VB-trees, answer queries with VOs, and (for the tests)
+//!   can be placed into *tampering* modes that simulate a compromised
+//!   host;
+//! * [`client`] — **trusted clients**: verify results with nothing but
+//!   the public key registry and schema metadata, enforcing freshness
+//!   against the key validity windows;
+//! * [`locks`] — the digest-level shared/exclusive lock manager used by
+//!   update transactions and (conceptually) queries' enveloping
+//!   subtrees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod client;
+pub mod edge_server;
+pub mod locks;
+
+pub use central::{CentralServer, EdgeBundle, UpdateDelta, UpdateOp};
+pub use client::{ClientError, EdgeClient, FreshnessPolicy};
+pub use edge_server::{EdgeServer, TamperMode};
+pub use locks::{LockConflict, LockManager, LockMode, LockStats};

@@ -1,0 +1,326 @@
+//! Digest-level shared/exclusive locking (Section 3.4).
+//!
+//! The paper's protocol:
+//!
+//! * an **insert** X-locks each digest on the root-to-leaf path "in turn
+//!   only as it is being modified" (plus the parent on splits);
+//! * a **delete** X-locks all digests on the path before recomputing
+//!   them;
+//! * a **query** S-locks the digests of its enveloping subtree, so
+//!   queries whose subtrees do not overlap an update proceed
+//!   concurrently.
+//!
+//! [`LockManager`] implements the compatibility matrix with try-lock
+//! semantics (callers retry or abort; there is no wait queue, so no
+//! deadlocks) and counts conflicts so tests can assert the concurrency
+//! claims.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// Lock modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (queries over their enveloping subtree).
+    Shared,
+    /// Exclusive (updates over path digests).
+    Exclusive,
+}
+
+/// A lockable resource: one node digest of one tree.
+pub type Resource = (String, usize);
+
+/// Why an acquisition failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LockConflict {
+    /// The contested resource.
+    pub resource: Resource,
+    /// Mode requested.
+    pub requested: LockMode,
+}
+
+impl core::fmt::Display for LockConflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "lock conflict on {}:{} ({:?})",
+            self.resource.0, self.resource.1, self.requested
+        )
+    }
+}
+
+impl std::error::Error for LockConflict {}
+
+/// Aggregate lock statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Successful acquisitions.
+    pub acquired: u64,
+    /// Denied requests.
+    pub conflicts: u64,
+    /// Release-all calls (transaction ends).
+    pub released: u64,
+}
+
+#[derive(Default)]
+struct State {
+    shared: HashSet<TxnId>,
+    exclusive: Option<TxnId>,
+}
+
+#[derive(Default)]
+struct Table {
+    locks: HashMap<Resource, State>,
+    held_by: HashMap<TxnId, HashSet<Resource>>,
+    stats: LockStats,
+}
+
+/// The lock manager (internally synchronised; share by reference).
+#[derive(Default)]
+pub struct LockManager {
+    table: Mutex<Table>,
+}
+
+impl LockManager {
+    /// Fresh manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to acquire `resource` in `mode` for `txn`. Re-entrant;
+    /// upgrades Shared→Exclusive when `txn` is the only shared holder.
+    pub fn try_acquire(
+        &self,
+        txn: TxnId,
+        resource: Resource,
+        mode: LockMode,
+    ) -> Result<(), LockConflict> {
+        let mut t = self.table.lock();
+        let state = t.locks.entry(resource.clone()).or_default();
+        let ok = match mode {
+            LockMode::Shared => {
+                state.exclusive.is_none() || state.exclusive == Some(txn)
+            }
+            LockMode::Exclusive => {
+                let others_shared = state.shared.iter().any(|&h| h != txn);
+                let others_excl = state.exclusive.is_some_and(|h| h != txn);
+                !others_shared && !others_excl
+            }
+        };
+        if !ok {
+            t.stats.conflicts += 1;
+            return Err(LockConflict {
+                resource,
+                requested: mode,
+            });
+        }
+        match mode {
+            LockMode::Shared => {
+                state.shared.insert(txn);
+            }
+            LockMode::Exclusive => {
+                state.shared.remove(&txn);
+                state.exclusive = Some(txn);
+            }
+        }
+        t.held_by.entry(txn).or_default().insert(resource);
+        t.stats.acquired += 1;
+        Ok(())
+    }
+
+    /// Acquire a whole set of resources or nothing (all-or-nothing, used
+    /// for delete transactions which must X-lock the full path first).
+    pub fn try_acquire_all(
+        &self,
+        txn: TxnId,
+        resources: &[Resource],
+        mode: LockMode,
+    ) -> Result<(), LockConflict> {
+        for (i, r) in resources.iter().enumerate() {
+            if let Err(conflict) = self.try_acquire(txn, r.clone(), mode) {
+                // Roll back the partial acquisition.
+                for r in &resources[..i] {
+                    self.release_one(txn, r);
+                }
+                return Err(conflict);
+            }
+        }
+        Ok(())
+    }
+
+    fn release_one(&self, txn: TxnId, resource: &Resource) {
+        let mut t = self.table.lock();
+        if let Some(state) = t.locks.get_mut(resource) {
+            state.shared.remove(&txn);
+            if state.exclusive == Some(txn) {
+                state.exclusive = None;
+            }
+            if state.shared.is_empty() && state.exclusive.is_none() {
+                t.locks.remove(resource);
+            }
+        }
+        if let Some(held) = t.held_by.get_mut(&txn) {
+            held.remove(resource);
+        }
+    }
+
+    /// Release everything `txn` holds (end of transaction — 2PL's
+    /// shrinking phase happens at once, i.e. strict 2PL).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut t = self.table.lock();
+        let resources = t.held_by.remove(&txn).unwrap_or_default();
+        for r in resources {
+            if let Some(state) = t.locks.get_mut(&r) {
+                state.shared.remove(&txn);
+                if state.exclusive == Some(txn) {
+                    state.exclusive = None;
+                }
+                if state.shared.is_empty() && state.exclusive.is_none() {
+                    t.locks.remove(&r);
+                }
+            }
+        }
+        t.stats.released += 1;
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> LockStats {
+        self.table.lock().stats
+    }
+
+    /// Number of currently locked resources (tests).
+    pub fn locked_resources(&self) -> usize {
+        self.table.lock().locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(n: usize) -> Resource {
+        ("t".to_string(), n)
+    }
+
+    #[test]
+    fn shared_locks_compatible() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        m.try_acquire(2, res(0), LockMode::Shared).unwrap();
+        assert_eq!(m.stats().acquired, 2);
+        assert_eq!(m.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_err());
+        assert!(m.try_acquire(2, res(0), LockMode::Shared).is_ok());
+        assert_eq!(m.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone_else() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Exclusive).unwrap();
+        assert!(m.try_acquire(2, res(0), LockMode::Shared).is_err());
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_err());
+        // Re-entrant for the holder.
+        assert!(m.try_acquire(1, res(0), LockMode::Exclusive).is_ok());
+        assert!(m.try_acquire(1, res(0), LockMode::Shared).is_ok());
+    }
+
+    #[test]
+    fn upgrade_when_sole_holder() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        m.try_acquire(1, res(0), LockMode::Exclusive).unwrap();
+        assert!(m.try_acquire(2, res(0), LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_denied_with_other_readers() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        m.try_acquire(2, res(0), LockMode::Shared).unwrap();
+        assert!(m.try_acquire(1, res(0), LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn release_all_frees_resources() {
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Exclusive).unwrap();
+        m.try_acquire(1, res(1), LockMode::Shared).unwrap();
+        assert_eq!(m.locked_resources(), 2);
+        m.release_all(1);
+        assert_eq!(m.locked_resources(), 0);
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn all_or_nothing_rolls_back() {
+        let m = LockManager::new();
+        m.try_acquire(9, res(2), LockMode::Exclusive).unwrap();
+        let want = vec![res(0), res(1), res(2)];
+        assert!(m
+            .try_acquire_all(1, &want, LockMode::Exclusive)
+            .is_err());
+        // Nothing from the failed batch may remain held.
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_ok());
+        assert!(m.try_acquire(2, res(1), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn disjoint_resources_never_conflict() {
+        // The paper's concurrency claim: non-overlapping enveloping
+        // subtrees proceed concurrently.
+        let m = LockManager::new();
+        m.try_acquire_all(1, &[res(0), res(1)], LockMode::Exclusive)
+            .unwrap();
+        m.try_acquire_all(2, &[res(2), res(3)], LockMode::Shared)
+            .unwrap();
+        assert_eq!(m.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn concurrent_hammering() {
+        // 8 threads × disjoint resource sets: all must succeed with zero
+        // conflicts; then 8 threads × one shared hot resource in X mode:
+        // exactly one winner per round.
+        let m = std::sync::Arc::new(LockManager::new());
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move |_| {
+                    for i in 0..50usize {
+                        let r = ("t".to_string(), (t as usize) * 1000 + i);
+                        m.try_acquire(t, r, LockMode::Exclusive).unwrap();
+                    }
+                    m.release_all(t);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.stats().conflicts, 0);
+        assert_eq!(m.locked_resources(), 0);
+
+        let winners = std::sync::Arc::new(parking_lot::Mutex::new(0u32));
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = std::sync::Arc::clone(&m);
+                let winners = std::sync::Arc::clone(&winners);
+                s.spawn(move |_| {
+                    if m.try_acquire(100 + t, ("hot".into(), 0), LockMode::Exclusive).is_ok() {
+                        *winners.lock() += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*winners.lock(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Precomputed safe-prime groups for the commutative digest accumulator.
+//!
+//! The paper's digest-combining function is `h(x) = g^x mod p`. We work in
+//! the order-`q` subgroup of `Z_p*` for a safe prime `p = 2q + 1`, so that
+//! exponents form the field `Z_q` and exponent products are well-defined.
+//!
+//! Two families are provided:
+//!
+//! * deterministic **test groups** (128/256/512-bit), generated offline
+//!   with a seeded search and verified by the test suite — fast enough for
+//!   debug-mode tests, *not* for production security;
+//! * the **RFC 3526 MODP groups** (1536/2048-bit), the standard
+//!   well-known safe primes, for realistically-sized measurements.
+//!
+//! In all groups the generator of the order-`q` subgroup is `g = 4`
+//! (`2^2`, a quadratic residue for every safe prime; for the RFC groups
+//! `g = 2` itself already generates the subgroup since `p ≡ 7 (mod 8)`,
+//! but `4` works uniformly so we use it everywhere).
+
+use crate::uint::{Uint, U1024, U128, U2048, U256, U512};
+
+/// A safe-prime group `(p = 2q + 1, q, g)` at a given limb width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SafePrimeGroup<const L: usize> {
+    /// The safe prime modulus `p`.
+    pub p: Uint<L>,
+    /// The Sophie Germain prime `q = (p - 1) / 2`, the subgroup order.
+    pub q: Uint<L>,
+    /// Generator of the order-`q` subgroup.
+    pub g: Uint<L>,
+}
+
+impl<const L: usize> SafePrimeGroup<L> {
+    fn from_hex(p: &str, q: &str) -> Self {
+        let p = Uint::from_hex(p).expect("valid p constant");
+        let q = Uint::from_hex(q).expect("valid q constant");
+        debug_assert_eq!(q.shl(1).wrapping_add(&Uint::ONE), p, "p = 2q + 1");
+        Self {
+            p,
+            q,
+            g: Uint::from_u64(4),
+        }
+    }
+}
+
+/// Deterministic 128-bit test group (seeded search, not for production).
+pub fn test_group_128() -> SafePrimeGroup<{ U128::LIMBS }> {
+    SafePrimeGroup::from_hex(
+        "eb93f78cc415e2b0ba5b209ef18b20e7",
+        "75c9fbc6620af1585d2d904f78c59073",
+    )
+}
+
+/// Deterministic 256-bit test group (seeded search, not for production).
+pub fn test_group_256() -> SafePrimeGroup<{ U256::LIMBS }> {
+    SafePrimeGroup::from_hex(
+        "9f9b41d4cd3cc3db42914b1df5f84da30c82ed1e4728e754fda103b8924619f3",
+        "4fcda0ea669e61eda148a58efafc26d18641768f239473aa7ed081dc49230cf9",
+    )
+}
+
+/// Deterministic 512-bit test group (seeded search, not for production).
+pub fn test_group_512() -> SafePrimeGroup<{ U512::LIMBS }> {
+    SafePrimeGroup::from_hex(
+        "fb8def3a572e8dc20670083d0a2a21dd4499d394148beb09ecd2f93a018018d0\
+         af9a57a96a9172dc5baba339cccd0f6fccb7fdc53fb67c330afe160326d4cd17",
+        "7dc6f79d2b9746e10338041e851510eea24ce9ca0a45f584f6697c9d00c00c68\
+         57cd2bd4b548b96e2dd5d19ce66687b7e65bfee29fdb3e19857f0b01936a668b",
+    )
+}
+
+const RFC3526_1536_P: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+    020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+    4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+    EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+    98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+    9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+const RFC3526_2048_P: &str = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+    020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+    4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+    EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+    98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+    9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+    E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+    3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+/// The RFC 3526 1536-bit MODP group (group id 5), returned at 1536-bit
+/// width (24 limbs).
+pub fn rfc3526_group_1536() -> SafePrimeGroup<24> {
+    let p: Uint<24> = Uint::from_hex(RFC3526_1536_P).expect("constant");
+    let q = p.shr(1); // (p-1)/2: p is odd so shr(1) == (p-1)/2
+    SafePrimeGroup {
+        p,
+        q,
+        g: Uint::from_u64(4),
+    }
+}
+
+/// The RFC 3526 2048-bit MODP group (group id 14).
+pub fn rfc3526_group_2048() -> SafePrimeGroup<{ U2048::LIMBS }> {
+    let p: U2048 = Uint::from_hex(RFC3526_2048_P).expect("constant");
+    let q = p.shr(1);
+    SafePrimeGroup {
+        p,
+        q,
+        g: Uint::from_u64(4),
+    }
+}
+
+/// Deterministic RSA test moduli (seeded generation, e = 65537). These are
+/// *fixtures* for fast tests; real deployments must generate fresh keys.
+pub mod rsa_fixtures {
+    use super::*;
+
+    /// Public exponent shared by all fixtures.
+    pub const E: u64 = 65_537;
+
+    /// 512-bit test modulus.
+    pub fn n_512() -> U512 {
+        Uint::from_hex(
+            "bbe8b0f07364dc27c4f2a74926288c596f449a323de12537ba547554a9d55529\
+             e06d2a0c3d6044d31f33aef282c4a05dd980e829c893e3b2b48419ecf7d63e4d",
+        )
+        .unwrap()
+    }
+
+    /// Private exponent matching [`n_512`].
+    pub fn d_512() -> U512 {
+        Uint::from_hex(
+            "4f8848dfb4cfa338f7ec866e79069f84b90a0dc3a71a34b0f61e0a3d27d6e200\
+             a8ffd8a906e304dd973023d99489014ffdef2ae5955ac631dcc2f8f40a3bdf97",
+        )
+        .unwrap()
+    }
+
+    /// 1024-bit test modulus.
+    pub fn n_1024() -> U1024 {
+        Uint::from_hex(
+            "9835748a38c6bbb3ebb4cb223641a58d454a8b70857d2da80085f0983aa00dbb\
+             bb7c4ec7b64a8c167d3252dae9b5574325099b8b5e6a469ba063c424134a72f3\
+             986de47d5b41e79ccde671eb459d54aa7c071191e632b6e3352e1ff15c78971d\
+             85ec8580564118235de64017226ad7e6b3809043c1661c29ecf283ad74363fd5",
+        )
+        .unwrap()
+    }
+
+    /// Private exponent matching [`n_1024`].
+    pub fn d_1024() -> U1024 {
+        Uint::from_hex(
+            "b26514ae5c5530f273b476d1265e52b6fd1b9dcac7ea2b74d908233188a4c6f3\
+             dd8e98972264c5442680b0f3bb2fbb930af9f3c0a96c4e4d60f30d946ab7bb79\
+             4fd89d8a465361ccb61b890706a15f422cfabdc5f11c7aebb5e502f5753dfd03\
+             4b889365c95d9811c9750c1571873b423616620f08047ea1d9cc44344db25c9",
+        )
+        .unwrap()
+    }
+
+    /// 2048-bit test modulus.
+    pub fn n_2048() -> U2048 {
+        Uint::from_hex(
+            "82fd3dbb0ad8bfa3a61c66be1e2a4e1abb9e0dc0da24bfede63ebcdefdbedee1\
+             dbef3da9c9b91c15f13e8e075abc2aaa66b4e971130ba10798c72b17144cdc56\
+             47379859697eca184edee1d156435ec35318c7187bef07bd79e81cb21f142071\
+             681387f81f59f5394ca034d1ed42a72149703412e82a5a6a0dfac3e248ac0146\
+             e82f3b686016d3bc6acd44fab1183d05c7a42c7b46907470e230c5a43b7892f7\
+             be39463c5f6bb02c63bb9b5b31f691ee757b94bfd2ea14ea11c3b2799c9c52bc\
+             272a993d9fbc2beececfe5277f6a41f6e82df1f3cdfd73b1fd2b237dca3616d7\
+             bc090c9c1cf49d8d32302e162f4e5d4a5720734b5dc9ffbbe2db2b68a3e66ebb",
+        )
+        .unwrap()
+    }
+
+    /// Private exponent matching [`n_2048`].
+    pub fn d_2048() -> U2048 {
+        Uint::from_hex(
+            "12dfdc05ed99847e5785d4257a41ecf5dbd44f205b79317c082740c928eb0341\
+             56e846e1b0ed79673801ced959c659fcd51bd05f63627e40e7fa1af2bd116e2b\
+             b320b1aa8091ad1bdf91821c75ea489200914619a3120848271ebe5e742d4eec\
+             c86b0d614008930094a7fe5f1969a1f22146325ab46ac0931e3c8f53e080d86b\
+             612564c607019b7d5474e66ceacf39fa94f536ff54dca15cde0f9991d772530d\
+             90f1839c0426139f34ff5deb73937655abc48da40a7368c692b7a35f9c952725\
+             9ea31747330d46ae38f8e114ee6d3e5429b899cf4962f169217f0213700c389e\
+             28cfa5d6021303af657c3086937c8bb7aaf6963f000332e9a13baf4c0b7a6d31",
+        )
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular;
+    use crate::mont::MontCtx;
+    use crate::prime::is_probable_prime;
+
+    fn check_group<const L: usize>(grp: SafePrimeGroup<L>, bits: usize) {
+        assert_eq!(grp.p.bits(), bits);
+        assert_eq!(grp.q.shl(1).wrapping_add(&Uint::ONE), grp.p);
+        // g = 4 must have order q: g^q == 1 mod p and g != 1.
+        let ctx = MontCtx::new(grp.p);
+        assert_eq!(ctx.pow_mod(&grp.g, &grp.q), Uint::ONE);
+        assert!(!grp.g.is_one());
+    }
+
+    #[test]
+    fn test_groups_well_formed() {
+        check_group(test_group_128(), 128);
+        check_group(test_group_256(), 256);
+        check_group(test_group_512(), 512);
+    }
+
+    #[test]
+    fn test_groups_prime() {
+        let mut rng = rand::thread_rng();
+        let g = test_group_128();
+        assert!(is_probable_prime(&g.p, 8, &mut rng));
+        assert!(is_probable_prime(&g.q, 8, &mut rng));
+        let g = test_group_256();
+        assert!(is_probable_prime(&g.p, 4, &mut rng));
+        assert!(is_probable_prime(&g.q, 4, &mut rng));
+    }
+
+    #[test]
+    fn rfc3526_shapes() {
+        let g5 = rfc3526_group_1536();
+        assert_eq!(g5.p.bits(), 1536);
+        // RFC 3526 primes are ≡ 7 (mod 8)
+        assert_eq!(g5.p.limbs()[0] & 7, 7);
+        let g14 = rfc3526_group_2048();
+        assert_eq!(g14.p.bits(), 2048);
+        assert_eq!(g14.p.limbs()[0] & 7, 7);
+    }
+
+    /// Full primality verification of the RFC constants — expensive, run
+    /// with `cargo test -- --ignored` in release mode.
+    #[test]
+    #[ignore = "expensive: Miller-Rabin on 1536/2048-bit constants"]
+    fn rfc3526_prime() {
+        let mut rng = rand::thread_rng();
+        let g5 = rfc3526_group_1536();
+        assert!(is_probable_prime(&g5.p, 2, &mut rng));
+        assert!(is_probable_prime(&g5.q, 2, &mut rng));
+    }
+
+    #[test]
+    fn rsa_fixture_roundtrip_512() {
+        use rsa_fixtures::*;
+        let n = n_512();
+        let ctx = MontCtx::new(n);
+        let m = Uint::from_u64(0x123456789abcdef);
+        let c = ctx.pow_mod(&m, &d_512());
+        let back = ctx.pow_mod(&c, &Uint::from_u64(E));
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rsa_fixture_roundtrip_1024() {
+        use rsa_fixtures::*;
+        let n = n_1024();
+        let ctx = MontCtx::new(n);
+        let m = Uint::from_u64(0xdeadbeef);
+        let c = ctx.pow_mod(&m, &d_1024());
+        assert_eq!(ctx.pow_mod(&c, &Uint::from_u64(E)), m);
+    }
+
+    #[test]
+    fn generator_in_subgroup_produces_distinct_powers() {
+        let grp = test_group_128();
+        let ctx = MontCtx::new(grp.p);
+        let a = ctx.pow_mod(&grp.g, &Uint::from_u64(12345));
+        let b = ctx.pow_mod(&grp.g, &Uint::from_u64(54321));
+        assert_ne!(a, b);
+        // commutativity: (g^a)^b == (g^b)^a
+        let ab = ctx.pow_mod(&a, &Uint::from_u64(54321));
+        let ba = ctx.pow_mod(&b, &Uint::from_u64(12345));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn modular_inverse_exists_in_zq() {
+        let grp = test_group_128();
+        let x = Uint::from_u64(987_654_321);
+        let inv = modular::inv_mod(&x, &grp.q).unwrap();
+        assert_eq!(modular::mul_mod(&x, &inv, &grp.q), Uint::ONE);
+    }
+}

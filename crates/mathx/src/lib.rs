@@ -1,0 +1,30 @@
+//! # vbx-mathx — multiprecision and modular arithmetic
+//!
+//! Fixed-width big-unsigned integers and the modular arithmetic needed by
+//! the VB-tree's digest algebra and signature scheme:
+//!
+//! * [`Uint`] — const-generic little-endian limb arrays (`U256`, `U512`,
+//!   `U1024`, `U2048`, ... aliases) with full arithmetic,
+//! * [`MontCtx`] — Montgomery contexts for fast modular exponentiation by
+//!   repeated squaring with interleaved reductions (the exact optimisation
+//!   Section 3.2 of the paper describes for `h(x) = g^x mod p`),
+//! * [`prime`] — Miller–Rabin primality testing and (safe-)prime
+//!   generation for RSA keygen and accumulator group setup,
+//! * [`groups`] — the RFC 3526 MODP groups plus deterministic small test
+//!   groups.
+//!
+//! Everything is implemented from scratch; no external bigint crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mont;
+mod slice_ops;
+mod uint;
+
+pub mod groups;
+pub mod modular;
+pub mod prime;
+
+pub use mont::MontCtx;
+pub use uint::{Uint, U1024, U128, U2048, U256, U3072, U4096, U512};

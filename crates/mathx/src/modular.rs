@@ -1,0 +1,198 @@
+//! Generic modular helpers: add/sub/mul/inverse modulo arbitrary moduli.
+//!
+//! The Montgomery path ([`crate::MontCtx`]) covers the hot loops; these
+//! helpers handle the colder, occasionally-even-modulus cases (e.g. RSA's
+//! `d = e^{-1} mod λ(n)` where `λ` is even).
+
+use crate::slice_ops;
+use crate::uint::Uint;
+
+/// `(a + b) mod m`. Requires `a, b < m`.
+pub fn add_mod<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    debug_assert!(a < m && b < m);
+    let (sum, carry) = a.overflowing_add(b);
+    if carry || &sum >= m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(a - b) mod m`. Requires `a, b < m`.
+pub fn sub_mod<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    debug_assert!(a < m && b < m);
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        diff.wrapping_add(m)
+    } else {
+        diff
+    }
+}
+
+/// `(a * b) mod m` via a wide product and long division (works for any
+/// modulus, including even ones).
+pub fn mul_mod<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    assert!(!m.is_zero());
+    let mut wide = vec![0u64; 2 * L];
+    slice_ops::mul(&mut wide, a.limbs(), b.limbs());
+    slice_ops::div_rem(&mut wide, m.limbs(), None);
+    let mut out = [0u64; L];
+    out.copy_from_slice(&wide[..L]);
+    Uint::from_limbs(out)
+}
+
+/// Greatest common divisor by the binary (Stein) algorithm.
+pub fn gcd<const L: usize>(a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+    let mut a = *a;
+    let mut b = *b;
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    let mut shift = 0usize;
+    while a.is_even() && b.is_even() {
+        a = a.shr(1);
+        b = b.shr(1);
+        shift += 1;
+    }
+    while a.is_even() {
+        a = a.shr(1);
+    }
+    loop {
+        while b.is_even() {
+            b = b.shr(1);
+        }
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b = b.wrapping_sub(&a);
+        if b.is_zero() {
+            break;
+        }
+    }
+    a.shl(shift)
+}
+
+/// Modular inverse `a^{-1} mod m` via the iterative extended Euclidean
+/// algorithm with coefficients tracked in `Z_m`. Returns `None` when
+/// `gcd(a, m) != 1`.
+pub fn inv_mod<const L: usize>(a: &Uint<L>, m: &Uint<L>) -> Option<Uint<L>> {
+    if m.is_zero() || m.is_one() || a.is_zero() {
+        return None;
+    }
+    let mut r0 = *m;
+    let mut r1 = a.rem(m);
+    if r1.is_zero() {
+        return None;
+    }
+    let mut t0 = Uint::<L>::ZERO;
+    let mut t1 = Uint::<L>::ONE;
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // t2 = (t0 - q*t1) mod m
+        let qt1 = mul_mod(&q, &t1, m);
+        let t2 = sub_mod(&t0, &qt1, m);
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+    if r0.is_one() {
+        Some(t0)
+    } else {
+        None
+    }
+}
+
+/// `base^exp mod m` for arbitrary (possibly even) modulus. Slow path —
+/// use [`crate::MontCtx::pow_mod`] for odd moduli in hot code.
+pub fn pow_mod<const L: usize>(base: &Uint<L>, exp: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    assert!(!m.is_zero());
+    if m.is_one() {
+        return Uint::ZERO;
+    }
+    let mut acc = Uint::<L>::ONE;
+    let mut b = base.rem(m);
+    let nbits = exp.bits();
+    for i in 0..nbits {
+        if exp.bit(i) {
+            acc = mul_mod(&acc, &b, m);
+        }
+        if i + 1 < nbits {
+            b = mul_mod(&b, &b, m);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+
+    #[test]
+    fn add_sub_mod() {
+        let m = U128::from_u64(97);
+        let a = U128::from_u64(90);
+        let b = U128::from_u64(20);
+        assert_eq!(add_mod(&a, &b, &m), U128::from_u64(13));
+        assert_eq!(sub_mod(&b, &a, &m), U128::from_u64(27));
+    }
+
+    #[test]
+    fn mul_mod_even_modulus() {
+        let m = U128::from_u64(100);
+        let a = U128::from_u64(77);
+        let b = U128::from_u64(88);
+        assert_eq!(mul_mod(&a, &b, &m), U128::from_u64(77 * 88 % 100));
+    }
+
+    #[test]
+    fn gcd_small() {
+        assert_eq!(
+            gcd(&U128::from_u64(48), &U128::from_u64(36)),
+            U128::from_u64(12)
+        );
+        assert_eq!(
+            gcd(&U128::from_u64(17), &U128::from_u64(13)),
+            U128::from_u64(1)
+        );
+        assert_eq!(gcd(&U128::ZERO, &U128::from_u64(5)), U128::from_u64(5));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = U256::from_u64(1_000_000_007);
+        for a in [2u64, 3, 65_537, 999_999_999] {
+            let a = U256::from_u64(a);
+            let inv = inv_mod(&a, &m).expect("coprime");
+            assert_eq!(mul_mod(&a, &inv, &m), U256::ONE);
+        }
+    }
+
+    #[test]
+    fn inverse_even_modulus() {
+        // 65537^{-1} mod a highly composite even modulus
+        let m = U256::from_u64(720_720);
+        let e = U256::from_u64(65_537);
+        let inv = inv_mod(&e, &m).expect("gcd(65537, 720720) = 1");
+        assert_eq!(mul_mod(&e, &inv, &m), U256::ONE);
+    }
+
+    #[test]
+    fn inverse_not_coprime() {
+        let m = U128::from_u64(100);
+        assert!(inv_mod(&U128::from_u64(10), &m).is_none());
+    }
+
+    #[test]
+    fn pow_mod_even_modulus() {
+        let m = U128::from_u64(1000);
+        assert_eq!(
+            pow_mod(&U128::from_u64(7), &U128::from_u64(13), &m),
+            U128::from_u64(7u64.pow(13) % 1000)
+        );
+    }
+}

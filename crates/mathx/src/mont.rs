@@ -1,0 +1,257 @@
+//! Montgomery-form modular arithmetic.
+//!
+//! [`MontCtx`] precomputes everything needed for fast repeated modular
+//! multiplication and exponentiation modulo an odd modulus. Exponentiation
+//! is square-and-multiply with a reduction after every step — the
+//! "repeated squaring coupled with modulo reductions" optimisation that
+//! Section 3.2 of the paper prescribes for evaluating `h(x) = g^x mod p`.
+
+use crate::slice_ops;
+use crate::uint::Uint;
+
+/// Precomputed context for arithmetic modulo an odd modulus `n`.
+#[derive(Clone, Debug)]
+pub struct MontCtx<const L: usize> {
+    n: Uint<L>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64·L)`; used to enter Montgomery form.
+    r2: Uint<L>,
+    /// `R mod n` — the Montgomery representation of 1.
+    r1: Uint<L>,
+}
+
+/// Inverse of an odd `u64` modulo `2^64` via Newton–Hensel lifting.
+fn inv64(n: u64) -> u64 {
+    debug_assert!(n & 1 == 1);
+    let mut x = n; // 3 correct bits to start
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n.wrapping_mul(x), 1);
+    x
+}
+
+impl<const L: usize> MontCtx<L> {
+    /// Create a context for the odd modulus `n > 1`.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or `n <= 1`.
+    pub fn new(n: Uint<L>) -> Self {
+        assert!(!n.is_even(), "Montgomery modulus must be odd");
+        assert!(!n.is_one() && !n.is_zero(), "modulus must exceed 1");
+        let n0_inv = inv64(n.limbs()[0]).wrapping_neg();
+
+        // r1 = 2^(64L) mod n: start from the top bit representable and
+        // double with reduction 64L - (bits-1) ... simpler: long-divide.
+        let mut wide = vec![0u64; 2 * L + 1];
+        wide[2 * L] = 0;
+        // set bit 64*L
+        let mut num = vec![0u64; L + 1];
+        num[L] = 1;
+        slice_ops::div_rem(&mut num, n.limbs(), None);
+        let mut r1 = [0u64; L];
+        r1.copy_from_slice(&num[..L]);
+        let r1 = Uint::from_limbs(r1);
+
+        // r2 = r1^2 mod n via a wide product + long division.
+        let mut prod = vec![0u64; 2 * L];
+        slice_ops::mul(&mut prod, r1.limbs(), r1.limbs());
+        slice_ops::div_rem(&mut prod, n.limbs(), None);
+        let mut r2 = [0u64; L];
+        r2.copy_from_slice(&prod[..L]);
+        let r2 = Uint::from_limbs(r2);
+
+        let _ = &mut wide;
+        Self {
+            n,
+            n0_inv,
+            r2,
+            r1,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.n
+    }
+
+    /// Montgomery reduction of a `2L`-limb buffer: returns `t·R^{-1} mod n`.
+    fn redc(&self, t: &mut [u64]) -> Uint<L> {
+        debug_assert_eq!(t.len(), 2 * L + 1);
+        let n = self.n.limbs();
+        for i in 0..L {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry = 0u128;
+            for (j, &nj) in n.iter().enumerate() {
+                let x = t[i + j] as u128 + m as u128 * nj as u128 + carry;
+                t[i + j] = x as u64;
+                carry = x >> 64;
+            }
+            let mut k = i + L;
+            while carry != 0 {
+                let x = t[k] as u128 + carry;
+                t[k] = x as u64;
+                carry = x >> 64;
+                k += 1;
+            }
+        }
+        let mut out = [0u64; L];
+        out.copy_from_slice(&t[L..2 * L]);
+        let extra = t[2 * L];
+        if extra != 0 || slice_ops::cmp(&out, n) != core::cmp::Ordering::Less {
+            slice_ops::sub_assign(&mut out, n);
+        }
+        Uint::from_limbs(out)
+    }
+
+    /// Montgomery product: `a·b·R^{-1} mod n` (inputs in Montgomery form).
+    pub fn mont_mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let mut t = vec![0u64; 2 * L + 1];
+        slice_ops::mul(&mut t[..2 * L], a.limbs(), b.limbs());
+        self.redc(&mut t)
+    }
+
+    /// Enter Montgomery form: `a·R mod n`.
+    pub fn to_mont(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Leave Montgomery form: `a·R^{-1} mod n`.
+    pub fn from_mont(&self, a: &Uint<L>) -> Uint<L> {
+        let mut t = vec![0u64; 2 * L + 1];
+        t[..L].copy_from_slice(a.limbs());
+        self.redc(&mut t)
+    }
+
+    /// The Montgomery representation of 1 (`R mod n`).
+    pub fn one(&self) -> Uint<L> {
+        self.r1
+    }
+
+    /// Modular multiplication of plain (non-Montgomery) values.
+    pub fn mul_mod(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` of plain values.
+    ///
+    /// Left-to-right square-and-multiply with a Montgomery reduction after
+    /// every multiplication — i.e., never materialising the full power.
+    pub fn pow_mod(&self, base: &Uint<L>, exp: &Uint<L>) -> Uint<L> {
+        self.pow_mod_varexp(base, exp.limbs())
+    }
+
+    /// Modular exponentiation with an exponent given as little-endian
+    /// limbs of arbitrary width (used when exponents are wider than the
+    /// modulus type).
+    pub fn pow_mod_varexp(&self, base: &Uint<L>, exp: &[u64]) -> Uint<L> {
+        let nbits = slice_ops::bits(exp);
+        if nbits == 0 {
+            return self.from_mont(&self.r1); // base^0 = 1
+        }
+        let base_m = self.to_mont(&base.rem(&self.n));
+        let mut acc = self.r1; // 1 in Montgomery form
+        for i in (0..nbits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if slice_ops::bit(exp, i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular squaring of a plain value.
+    pub fn sqr_mod(&self, a: &Uint<L>) -> Uint<L> {
+        self.mul_mod(a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+
+    #[test]
+    fn inv64_works() {
+        for n in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            assert_eq!(n.wrapping_mul(inv64(n)), 1);
+        }
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let n = U256::from_u64(1_000_003); // odd modulus
+        let ctx = MontCtx::new(n);
+        let a = U256::from_u64(123_456);
+        let am = ctx.to_mont(&a);
+        assert_eq!(ctx.from_mont(&am), a);
+    }
+
+    #[test]
+    fn mul_mod_small() {
+        let n = U128::from_u64(97);
+        let ctx = MontCtx::new(n);
+        let a = U128::from_u64(53);
+        let b = U128::from_u64(80);
+        assert_eq!(ctx.mul_mod(&a, &b), U128::from_u64(53 * 80 % 97));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // 2^(p-1) = 1 mod p for prime p
+        let p = U128::from_u64(1_000_000_007);
+        let ctx = MontCtx::new(p);
+        let r = ctx.pow_mod(&U128::from_u64(2), &U128::from_u64(1_000_000_006));
+        assert_eq!(r, U128::ONE);
+    }
+
+    #[test]
+    fn pow_mod_zero_exponent() {
+        let p = U128::from_u64(101);
+        let ctx = MontCtx::new(p);
+        assert_eq!(ctx.pow_mod(&U128::from_u64(7), &U128::ZERO), U128::ONE);
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        let p = U128::from_u64(2_147_483_659); // prime
+        let ctx = MontCtx::new(p);
+        let mut expected = 1u128;
+        let base = 1234_5678u128;
+        for e in 0..40u64 {
+            let got = ctx.pow_mod(&U128::from_u64(base as u64), &U128::from_u64(e));
+            assert_eq!(got, U128::from_u128(expected), "exp {e}");
+            expected = expected * base % 2_147_483_659u128;
+        }
+    }
+
+    #[test]
+    fn pow_mod_big_modulus() {
+        // (a*b) mod n computed two ways
+        let n = U256::from_hex("f000000000000000000000000000000000000000000000000000000000000001")
+            .unwrap();
+        let ctx = MontCtx::new(n);
+        let a = U256::from_hex("123456789abcdef0123456789abcdef0").unwrap();
+        let sq1 = ctx.mul_mod(&a, &a);
+        let sq2 = ctx.pow_mod(&a, &U256::from_u64(2));
+        assert_eq!(sq1, sq2);
+        // wide product check: a^2 mod n via div_rem
+        let (lo, hi) = a.mul_wide(&a);
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(lo.limbs());
+        wide[4..].copy_from_slice(hi.limbs());
+        crate::slice_ops::div_rem(&mut wide, n.limbs(), None);
+        let mut r = [0u64; 4];
+        r.copy_from_slice(&wide[..4]);
+        assert_eq!(sq1, U256::from_limbs(r));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_modulus() {
+        let _ = MontCtx::new(U128::from_u64(100));
+    }
+}

@@ -1,0 +1,213 @@
+//! Primality testing and prime generation.
+//!
+//! Miller–Rabin over Montgomery arithmetic, with a small-prime sieve
+//! front-end, plus generators for random primes and safe primes
+//! (`p = 2q + 1`, used by the accumulator group) and RSA-style prime
+//! pairs.
+
+use crate::mont::MontCtx;
+use crate::uint::Uint;
+use rand::Rng;
+
+/// Small primes used for trial division before Miller–Rabin.
+fn small_primes() -> &'static [u64] {
+    // Primes below 1000 — enough to filter ~90% of random candidates.
+    const P: [u64; 168] = [
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+        89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
+        181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277,
+        281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389,
+        397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499,
+        503, 509, 521, 523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617,
+        619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739,
+        743, 751, 757, 761, 769, 773, 787, 797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859,
+        863, 877, 881, 883, 887, 907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991,
+        997,
+    ];
+    &P
+}
+
+/// Remainder of `n` modulo a small `u64` divisor.
+fn rem_u64<const L: usize>(n: &Uint<L>, d: u64) -> u64 {
+    let mut rem: u128 = 0;
+    for &limb in n.limbs().iter().rev() {
+        rem = ((rem << 64) | limb as u128) % d as u128;
+    }
+    rem as u64
+}
+
+/// Quick check against the small-prime list. Returns `false` when `n` is
+/// divisible by a small prime (and isn't that prime itself).
+fn passes_sieve<const L: usize>(n: &Uint<L>) -> bool {
+    for &p in small_primes() {
+        let r = rem_u64(n, p);
+        if r == 0 {
+            // n is divisible by p: prime only if n == p.
+            return n == &Uint::from_u64(p);
+        }
+    }
+    true
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// plus the first few fixed bases. For `rounds = 32` the error probability
+/// is below 2^-64 for random candidates.
+pub fn is_probable_prime<const L: usize, R: Rng + ?Sized>(
+    n: &Uint<L>,
+    rounds: usize,
+    rng: &mut R,
+) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if n.is_even() {
+        return n == &Uint::from_u64(2);
+    }
+    if !passes_sieve(n) {
+        return false;
+    }
+    if n.bits() <= 10 {
+        // covered exhaustively by the sieve above
+        return true;
+    }
+
+    // Write n-1 = d * 2^s with d odd.
+    let n_minus_1 = n.wrapping_sub(&Uint::ONE);
+    let mut d = n_minus_1;
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    let ctx = MontCtx::new(*n);
+    let two = Uint::from_u64(2);
+    let n_minus_3 = n.wrapping_sub(&Uint::from_u64(3));
+
+    let fixed: [u64; 5] = [2, 3, 5, 7, 11];
+    let witness = |a: Uint<L>| -> bool {
+        // returns true when `a` witnesses compositeness
+        let mut x = ctx.pow_mod(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            return false;
+        }
+        for _ in 1..s {
+            x = ctx.mul_mod(&x, &x);
+            if x == n_minus_1 {
+                return false;
+            }
+            if x.is_one() {
+                return true;
+            }
+        }
+        true
+    };
+
+    for &a in &fixed {
+        if witness(Uint::from_u64(a)) {
+            return false;
+        }
+    }
+    for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = Uint::random_below(rng, &n_minus_3).wrapping_add(&two);
+        if witness(a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+pub fn random_prime<const L: usize, R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Uint<L> {
+    assert!(bits >= 8 && bits <= Uint::<L>::BITS);
+    loop {
+        let mut cand = Uint::<L>::random_bits(rng, bits);
+        cand.0[0] |= 1; // force odd
+        if is_probable_prime(&cand, 16, rng) {
+            return cand;
+        }
+    }
+}
+
+/// Generate a random safe prime `p = 2q + 1` with `p` of exactly `bits`
+/// bits. Returns `(p, q)`. This is slow for large widths; tests use the
+/// precomputed groups in [`crate::groups`].
+pub fn random_safe_prime<const L: usize, R: Rng + ?Sized>(
+    bits: usize,
+    rng: &mut R,
+) -> (Uint<L>, Uint<L>) {
+    assert!(bits >= 16 && bits <= Uint::<L>::BITS);
+    loop {
+        let mut q = Uint::<L>::random_bits(rng, bits - 1);
+        q.0[0] |= 1;
+        // p = 2q+1; sieve both before the expensive tests.
+        let p = q.shl(1).wrapping_add(&Uint::ONE);
+        if !passes_sieve(&q) || !passes_sieve(&p) {
+            continue;
+        }
+        if is_probable_prime(&q, 8, rng) && is_probable_prime(&p, 8, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::{U128, U256};
+
+    #[test]
+    fn small_prime_classification() {
+        let mut rng = rand::thread_rng();
+        let primes = [2u64, 3, 5, 97, 101, 65_537, 1_000_000_007];
+        let composites = [1u64, 4, 100, 65_536, 1_000_000_008, 561 /* Carmichael */];
+        for p in primes {
+            assert!(
+                is_probable_prime(&U128::from_u64(p), 8, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in composites {
+            assert!(
+                !is_probable_prime(&U128::from_u64(c), 8, &mut rng),
+                "{c} should be composite"
+            );
+        }
+        assert!(!is_probable_prime(&U128::ZERO, 8, &mut rng));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut rng = rand::thread_rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841] {
+            assert!(!is_probable_prime(&U128::from_u64(c), 8, &mut rng));
+        }
+    }
+
+    #[test]
+    fn random_prime_is_odd_and_sized() {
+        let mut rng = rand::thread_rng();
+        let p: U128 = random_prime(64, &mut rng);
+        assert_eq!(p.bits(), 64);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn safe_prime_small() {
+        let mut rng = rand::thread_rng();
+        let (p, q): (U128, U128) = random_safe_prime(48, &mut rng);
+        assert_eq!(p, q.shl(1).wrapping_add(&U128::ONE));
+        assert!(is_probable_prime(&p, 8, &mut rng));
+        assert!(is_probable_prime(&q, 8, &mut rng));
+    }
+
+    #[test]
+    fn rem_u64_matches() {
+        let n = U256::from_u128(123_456_789_012_345_678_901_234_567u128);
+        assert_eq!(
+            rem_u64(&n, 97),
+            (123_456_789_012_345_678_901_234_567u128 % 97) as u64
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the multiprecision substrate: arithmetic laws
+//! against native-integer references, division reconstruction, and
+//! modular identities.
+
+use proptest::prelude::*;
+use vbx_mathx::{modular, MontCtx, U128, U256};
+
+fn u256(v: u128) -> U256 {
+    U256::from_u128(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = u256(a as u128).wrapping_add(&u256(b as u128));
+        prop_assert_eq!(sum, u256(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let diff = u256(hi).wrapping_sub(&u256(lo));
+        prop_assert_eq!(diff, u256(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = u256(a as u128).checked_mul(&u256(b as u128)).unwrap();
+        prop_assert_eq!(prod, u256(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(n in any::<u128>(), d in 1u128..) {
+        let (q, r) = u256(n).div_rem(&u256(d));
+        prop_assert_eq!(q, u256(n / d));
+        prop_assert_eq!(r, u256(n % d));
+        // reconstruction in the wide domain
+        let back = q.checked_mul(&u256(d)).unwrap().checked_add(&r).unwrap();
+        prop_assert_eq!(back, u256(n));
+    }
+
+    #[test]
+    fn hex_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let v = U256::from_limbs([a as u64, (a >> 64) as u64, b as u64, (b >> 64) as u64]);
+        prop_assert_eq!(U256::from_hex(&v.to_hex()).unwrap(), v);
+    }
+
+    #[test]
+    fn be_bytes_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let v = U256::from_limbs([a as u64, (a >> 64) as u64, b as u64, (b >> 64) as u64]);
+        prop_assert_eq!(U256::from_be_bytes(&v.to_be_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn shifts_invert(v in any::<u64>(), n in 0usize..190) {
+        let x = u256(v as u128);
+        prop_assert_eq!(x.shl(n).shr(n), x);
+    }
+
+    #[test]
+    fn mont_mul_matches_generic(a in any::<u64>(), b in any::<u64>(), m in any::<u64>()) {
+        let m = (m | 1).max(3); // odd modulus > 1
+        let ctx = MontCtx::new(U128::from_u64(m));
+        let x = U128::from_u64(a % m);
+        let y = U128::from_u64(b % m);
+        let fast = ctx.mul_mod(&x, &y);
+        let slow = modular::mul_mod(&x, &y, &U128::from_u64(m));
+        prop_assert_eq!(fast, slow);
+        prop_assert_eq!(fast, U128::from_u128((a % m) as u128 * (b % m) as u128 % m as u128));
+    }
+
+    #[test]
+    fn pow_laws_mod_prime(a in 2u64..1_000_000, x in 0u64..200, y in 0u64..200) {
+        // a^(x+y) == a^x · a^y (mod p) for prime p.
+        const P: u64 = 1_000_000_007;
+        let p = U128::from_u64(P);
+        let ctx = MontCtx::new(p);
+        let base = U128::from_u64(a);
+        let lhs = ctx.pow_mod(&base, &U128::from_u64(x + y));
+        let rhs = ctx.mul_mod(
+            &ctx.pow_mod(&base, &U128::from_u64(x)),
+            &ctx.pow_mod(&base, &U128::from_u64(y)),
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pow_mod_even_modulus_matches_naive(a in 1u64..1000, e in 0u32..12, m in 2u64..10_000) {
+        let got = modular::pow_mod(
+            &U128::from_u64(a),
+            &U128::from_u64(e as u64),
+            &U128::from_u64(m),
+        );
+        let mut expect = 1u128;
+        for _ in 0..e {
+            expect = expect * a as u128 % m as u128;
+        }
+        prop_assert_eq!(got, U128::from_u128(expect));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u64.., b in 1u64..) {
+        let g = modular::gcd(&U128::from_u64(a), &U128::from_u64(b));
+        let gv = g.low_u64();
+        prop_assert!(gv > 0);
+        prop_assert_eq!(a % gv, 0);
+        prop_assert_eq!(b % gv, 0);
+        // matches Euclid on native ints
+        fn native_gcd(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        prop_assert_eq!(gv, native_gcd(a, b));
+    }
+
+    #[test]
+    fn inverse_multiplies_to_one(a in 1u64.., m in 3u64..) {
+        let am = U256::from_u64(a % m);
+        let mm = U256::from_u64(m);
+        if let Some(inv) = modular::inv_mod(&am, &mm) {
+            prop_assert_eq!(modular::mul_mod(&am, &inv, &mm), U256::ONE);
+        } else {
+            // gcd must be > 1 when no inverse exists
+            let g = modular::gcd(&am, &mm);
+            prop_assert!(!g.is_one());
+        }
+    }
+
+    #[test]
+    fn resize_widen_is_lossless(a in any::<u128>()) {
+        let v = U128::from_u128(a);
+        let wide: U256 = v.resize().unwrap();
+        let back: U128 = wide.resize().unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(u256(a).cmp(&u256(b)), a.cmp(&b));
+    }
+}

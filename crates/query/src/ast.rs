@@ -1,0 +1,79 @@
+//! Abstract syntax for the SQL subset.
+
+use crate::expr::Expr;
+
+/// Projection list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    Star,
+    /// `SELECT a, b, …` (names resolved against the schema at plan time).
+    Columns(Vec<String>),
+}
+
+/// `JOIN right ON left_table.left_col = right_table.right_col`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// Right-hand table name.
+    pub table: String,
+    /// Qualified left join column `(table, column)`.
+    pub left: (String, String),
+    /// Qualified right join column `(table, column)`.
+    pub right: (String, String),
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projection: Projection,
+    /// Base table.
+    pub table: String,
+    /// Optional single equijoin.
+    pub join: Option<JoinClause>,
+    /// Optional `WHERE` expression.
+    pub filter: Option<Expr>,
+}
+
+impl core::fmt::Display for Projection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Projection::Star => write!(f, "*"),
+            Projection::Columns(cols) => write!(f, "{}", cols.join(", ")),
+        }
+    }
+}
+
+impl core::fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SELECT {} FROM {}", self.projection, self.table)?;
+        if let Some(j) = &self.join {
+            write!(
+                f,
+                " JOIN {} ON {}.{} = {}.{}",
+                j.table, j.left.0, j.left.1, j.right.0, j.right.1
+            )?;
+        }
+        if let Some(e) = &self.filter {
+            write!(f, " WHERE {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let stmt = SelectStmt {
+            projection: Projection::Star,
+            table: "t".into(),
+            join: None,
+            filter: None,
+        };
+        assert_eq!(stmt.projection, Projection::Star);
+    }
+}
+

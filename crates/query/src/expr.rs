@@ -1,0 +1,459 @@
+//! Predicate expressions, binding, evaluation, and key-range extraction.
+//!
+//! Selections on the primary key become key ranges (served by the
+//! enveloping subtree); everything else becomes a *residual predicate*
+//! whose filtered-out tuples are covered by signed tuple digests in
+//! `D_S` (the paper's non-key selection case).
+
+use vbx_storage::{Schema, Tuple, Value};
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Literal values in predicates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    /// Integer literal (also matches the key column).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// A predicate expression over column names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `column op literal`
+    Cmp {
+        /// Column name (unqualified, or the key column).
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: Literal,
+        /// Inclusive upper bound.
+        hi: Literal,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl core::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl core::fmt::Display for Literal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v:?}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl core::fmt::Display for Expr {
+    /// Renders with explicit parentheses so that re-parsing yields an
+    /// equivalent tree (used by the round-trip property tests).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Expr::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Expr::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+        }
+    }
+}
+
+/// Inclusive key interval extracted from a predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Default for KeyRange {
+    fn default() -> Self {
+        Self {
+            lo: 0,
+            hi: u64::MAX,
+        }
+    }
+}
+
+impl KeyRange {
+    /// Intersect with another range.
+    pub fn intersect(self, other: KeyRange) -> KeyRange {
+        KeyRange {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// True when no key satisfies the range.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+}
+
+/// A predicate bound to a schema (column names resolved to indices; the
+/// key column resolved specially).
+#[derive(Clone, Debug)]
+pub enum BoundPredicate {
+    /// Comparison on the primary key.
+    KeyCmp(CmpOp, u64),
+    /// Comparison on a payload column.
+    ColCmp(usize, CmpOp, Literal),
+    /// Conjunction.
+    And(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Disjunction.
+    Or(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+}
+
+/// Binding / planning errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BindError {
+    /// Column name not found in the schema.
+    UnknownColumn(String),
+    /// Key compared against a non-integer literal.
+    KeyType,
+}
+
+impl core::fmt::Display for BindError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BindError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            BindError::KeyType => write!(f, "key compared against non-integer literal"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl Expr {
+    /// Bind column names against a schema.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, BindError> {
+        match self {
+            Expr::Cmp { column, op, value } => {
+                if *column == schema.key_name {
+                    let Literal::Int(v) = value else {
+                        return Err(BindError::KeyType);
+                    };
+                    if *v < 0 {
+                        return Err(BindError::KeyType);
+                    }
+                    Ok(BoundPredicate::KeyCmp(*op, *v as u64))
+                } else {
+                    let idx = schema
+                        .column_index(column)
+                        .ok_or_else(|| BindError::UnknownColumn(column.clone()))?;
+                    Ok(BoundPredicate::ColCmp(idx, *op, value.clone()))
+                }
+            }
+            Expr::Between { column, lo, hi } => {
+                let lo_expr = Expr::Cmp {
+                    column: column.clone(),
+                    op: CmpOp::Ge,
+                    value: lo.clone(),
+                };
+                let hi_expr = Expr::Cmp {
+                    column: column.clone(),
+                    op: CmpOp::Le,
+                    value: hi.clone(),
+                };
+                Ok(BoundPredicate::And(
+                    Box::new(lo_expr.bind(schema)?),
+                    Box::new(hi_expr.bind(schema)?),
+                ))
+            }
+            Expr::And(a, b) => Ok(BoundPredicate::And(
+                Box::new(a.bind(schema)?),
+                Box::new(b.bind(schema)?),
+            )),
+            Expr::Or(a, b) => Ok(BoundPredicate::Or(
+                Box::new(a.bind(schema)?),
+                Box::new(b.bind(schema)?),
+            )),
+            Expr::Not(e) => Ok(BoundPredicate::Not(Box::new(e.bind(schema)?))),
+        }
+    }
+}
+
+fn cmp_values(op: CmpOp, ord: core::cmp::Ordering) -> bool {
+    use core::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+fn value_matches(v: &Value, op: CmpOp, lit: &Literal) -> bool {
+    let ord = match (v, lit) {
+        (Value::Int(a), Literal::Int(b)) => a.partial_cmp(b),
+        (Value::Float(a), Literal::Float(b)) => a.partial_cmp(b),
+        (Value::Float(a), Literal::Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Value::Int(a), Literal::Float(b)) => (*a as f64).partial_cmp(b),
+        (Value::Text(a), Literal::Str(b)) => Some(a.as_str().cmp(b.as_str())),
+        _ => None, // type mismatch: never matches
+    };
+    ord.is_some_and(|o| cmp_values(op, o))
+}
+
+impl BoundPredicate {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            BoundPredicate::KeyCmp(op, v) => cmp_values(*op, tuple.key.cmp(v)),
+            BoundPredicate::ColCmp(idx, op, lit) => value_matches(&tuple.values[*idx], *op, lit),
+            BoundPredicate::And(a, b) => a.eval(tuple) && b.eval(tuple),
+            BoundPredicate::Or(a, b) => a.eval(tuple) || b.eval(tuple),
+            BoundPredicate::Not(e) => !e.eval(tuple),
+        }
+    }
+
+    /// Extract an inclusive key range implied by this predicate (a sound
+    /// over-approximation: every satisfying tuple lies in the range).
+    /// Conjunctions intersect; disjunctions/negations fall back to the
+    /// full range on the affected side.
+    pub fn key_range(&self) -> KeyRange {
+        match self {
+            BoundPredicate::KeyCmp(op, v) => match op {
+                CmpOp::Eq => KeyRange { lo: *v, hi: *v },
+                CmpOp::Le => KeyRange { lo: 0, hi: *v },
+                CmpOp::Lt => KeyRange {
+                    lo: 0,
+                    hi: v.saturating_sub(1),
+                },
+                CmpOp::Ge => KeyRange {
+                    lo: *v,
+                    hi: u64::MAX,
+                },
+                CmpOp::Gt => KeyRange {
+                    lo: v.saturating_add(1),
+                    hi: u64::MAX,
+                },
+                CmpOp::Ne => KeyRange::default(),
+            },
+            BoundPredicate::And(a, b) => a.key_range().intersect(b.key_range()),
+            // A disjunction covers the union; stay sound with the hull.
+            BoundPredicate::Or(a, b) => {
+                let (ra, rb) = (a.key_range(), b.key_range());
+                KeyRange {
+                    lo: ra.lo.min(rb.lo),
+                    hi: ra.hi.max(rb.hi),
+                }
+            }
+            _ => KeyRange::default(),
+        }
+    }
+
+    /// True when the predicate is fully captured by its key range (no
+    /// residual filtering needed). Conservative: any non-key comparison
+    /// or disjunction/negation keeps the residual.
+    pub fn is_pure_key_range(&self) -> bool {
+        match self {
+            BoundPredicate::KeyCmp(op, _) => !matches!(op, CmpOp::Ne),
+            BoundPredicate::And(a, b) => a.is_pure_key_range() && b.is_pure_key_range(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_storage::{ColumnDef, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "db",
+            "t",
+            "id",
+            vec![
+                ColumnDef::new("name", ColumnType::Text),
+                ColumnDef::new("qty", ColumnType::Int),
+            ],
+        )
+    }
+
+    fn tuple(key: u64, name: &str, qty: i64) -> Tuple {
+        Tuple::new(&schema(), key, vec![Value::from(name), Value::from(qty)]).unwrap()
+    }
+
+    #[test]
+    fn bind_and_eval_column_cmp() {
+        let e = Expr::Cmp {
+            column: "qty".into(),
+            op: CmpOp::Gt,
+            value: Literal::Int(5),
+        };
+        let b = e.bind(&schema()).unwrap();
+        assert!(b.eval(&tuple(1, "a", 6)));
+        assert!(!b.eval(&tuple(1, "a", 5)));
+    }
+
+    #[test]
+    fn bind_key_cmp_and_range() {
+        let e = Expr::Between {
+            column: "id".into(),
+            lo: Literal::Int(10),
+            hi: Literal::Int(20),
+        };
+        let b = e.bind(&schema()).unwrap();
+        assert_eq!(b.key_range(), KeyRange { lo: 10, hi: 20 });
+        assert!(b.is_pure_key_range());
+        assert!(b.eval(&tuple(15, "x", 0)));
+        assert!(!b.eval(&tuple(21, "x", 0)));
+    }
+
+    #[test]
+    fn conjunction_intersects_ranges() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                column: "id".into(),
+                op: CmpOp::Ge,
+                value: Literal::Int(5),
+            }),
+            Box::new(Expr::And(
+                Box::new(Expr::Cmp {
+                    column: "id".into(),
+                    op: CmpOp::Lt,
+                    value: Literal::Int(30),
+                }),
+                Box::new(Expr::Cmp {
+                    column: "qty".into(),
+                    op: CmpOp::Eq,
+                    value: Literal::Int(1),
+                }),
+            )),
+        );
+        let b = e.bind(&schema()).unwrap();
+        assert_eq!(b.key_range(), KeyRange { lo: 5, hi: 29 });
+        assert!(!b.is_pure_key_range()); // qty residual remains
+    }
+
+    #[test]
+    fn disjunction_takes_hull() {
+        let e = Expr::Or(
+            Box::new(Expr::Cmp {
+                column: "id".into(),
+                op: CmpOp::Le,
+                value: Literal::Int(3),
+            }),
+            Box::new(Expr::Cmp {
+                column: "id".into(),
+                op: CmpOp::Eq,
+                value: Literal::Int(10),
+            }),
+        );
+        let b = e.bind(&schema()).unwrap();
+        assert_eq!(b.key_range(), KeyRange { lo: 0, hi: 10 });
+        assert!(!b.is_pure_key_range());
+    }
+
+    #[test]
+    fn text_comparison() {
+        let e = Expr::Cmp {
+            column: "name".into(),
+            op: CmpOp::Eq,
+            value: Literal::Str("bob".into()),
+        };
+        let b = e.bind(&schema()).unwrap();
+        assert!(b.eval(&tuple(1, "bob", 0)));
+        assert!(!b.eval(&tuple(1, "alice", 0)));
+    }
+
+    #[test]
+    fn type_mismatch_never_matches() {
+        let e = Expr::Cmp {
+            column: "name".into(),
+            op: CmpOp::Eq,
+            value: Literal::Int(1),
+        };
+        let b = e.bind(&schema()).unwrap();
+        assert!(!b.eval(&tuple(1, "1", 0)));
+        // …and its negation matches.
+        let not = BoundPredicate::Not(Box::new(b));
+        assert!(not.eval(&tuple(1, "1", 0)));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let e = Expr::Cmp {
+            column: "nope".into(),
+            op: CmpOp::Eq,
+            value: Literal::Int(1),
+        };
+        assert!(matches!(
+            e.bind(&schema()),
+            Err(BindError::UnknownColumn(c)) if c == "nope"
+        ));
+    }
+
+    #[test]
+    fn key_type_enforced() {
+        let e = Expr::Cmp {
+            column: "id".into(),
+            op: CmpOp::Eq,
+            value: Literal::Str("x".into()),
+        };
+        assert!(matches!(e.bind(&schema()), Err(BindError::KeyType)));
+    }
+
+    #[test]
+    fn empty_range_detected() {
+        let r = KeyRange { lo: 10, hi: 5 };
+        assert!(r.is_empty());
+        assert!(KeyRange::default()
+            .intersect(KeyRange { lo: 3, hi: 9 })
+            .intersect(KeyRange { lo: 11, hi: 20 })
+            .is_empty());
+    }
+}

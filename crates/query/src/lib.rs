@@ -1,0 +1,36 @@
+//! # vbx-query — authenticated query processing
+//!
+//! The relational surface over the VB-tree:
+//!
+//! * [`ast`] / [`parser`] — a small SQL subset
+//!   (`SELECT cols FROM t [JOIN u ON t.a = u.b] [WHERE …]`) parsed by a
+//!   hand-written recursive-descent parser;
+//! * [`expr`] — predicate expressions, evaluation, and extraction of
+//!   primary-key ranges (so selections on the key become enveloping-
+//!   subtree range scans, Section 3.3);
+//! * [`secondary`] — **secondary VB-trees** (one per sort order, per
+//!   Section 3.1), turning non-key selections back into contiguous
+//!   ranges;
+//! * [`view`] — **materialised join views**: Section 3.3's answer to
+//!   joins ("materialize each join operation, and construct a VB-tree on
+//!   the materialized view");
+//! * [`engine`] — the edge-server query engine tying it together, plus
+//!   the client-side counterpart that re-plans the query and verifies
+//!   the response.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod expr;
+pub mod parser;
+pub mod secondary;
+pub mod view;
+
+pub use ast::{JoinClause, Projection, SelectStmt};
+pub use engine::{AuthQueryEngine, ClientSession, EngineError, PlannedQuery, VerifiedRows};
+pub use expr::{BoundPredicate, CmpOp, Expr, KeyRange, Literal};
+pub use parser::{parse_select, ParseError};
+pub use secondary::{build_index_table, secondary_index_name, SecondaryIndexDef};
+pub use view::{build_view_table, join_view_name, JoinViewDef};

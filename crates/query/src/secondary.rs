@@ -1,0 +1,183 @@
+//! Secondary VB-trees — "one or more veriﬁable B-trees per base table".
+//!
+//! Section 3.1: the central server "maintains on each base table *one or
+//! more* verifiable B-trees", i.e. one per sort order, because a
+//! selection on a non-key attribute over the primary tree produces
+//! non-contiguous results whose gaps inflate `D_S` (Section 3.3's
+//! non-key-selection case). A secondary VB-tree sorted on that attribute
+//! makes the same selection contiguous again.
+//!
+//! The secondary tree is an ordinary [`vbx_core::VbTree`] over a
+//! *derived table*: keys are the composite
+//! `(attribute value << 32) | primary_key` (value order with primary-key
+//! tiebreak, so duplicate values are allowed), and each row carries the
+//! original columns plus an explicit `pk` column. Digest namespacing
+//! comes for free because the derived schema has its own table name.
+
+use vbx_core::RangeQuery;
+use vbx_storage::{ColumnDef, ColumnType, Schema, StorageError, Table, Tuple, Value};
+
+/// Definition of a secondary index over an `Int` column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecondaryIndexDef {
+    /// Derived table / tree name.
+    pub name: String,
+    /// Base table name.
+    pub base_table: String,
+    /// Indexed column name (must be `Int` with values in `[0, 2^31)`).
+    pub column: String,
+}
+
+/// Canonical name of the secondary index tree.
+pub fn secondary_index_name(base: &str, column: &str) -> String {
+    format!("{base}__idx__{column}")
+}
+
+impl SecondaryIndexDef {
+    /// Create a definition with the canonical name.
+    pub fn new(base_table: impl Into<String>, column: impl Into<String>) -> Self {
+        let base_table = base_table.into();
+        let column = column.into();
+        Self {
+            name: secondary_index_name(&base_table, &column),
+            base_table,
+            column,
+        }
+    }
+}
+
+/// Composite key: attribute value in the high 32 bits, primary key in
+/// the low 32 bits.
+pub fn composite_key(value: i64, pk: u64) -> Result<u64, StorageError> {
+    if !(0..1 << 31).contains(&value) {
+        return Err(StorageError::SchemaMismatch(format!(
+            "indexed value {value} outside [0, 2^31)"
+        )));
+    }
+    if pk >= 1 << 32 {
+        return Err(StorageError::SchemaMismatch(format!(
+            "primary key {pk} too large for composite keys"
+        )));
+    }
+    Ok(((value as u64) << 32) | pk)
+}
+
+/// The key range covering all composite keys with attribute values in
+/// `[lo, hi]` (inclusive), as a [`RangeQuery`] selecting all columns.
+pub fn value_range_query(lo: i64, hi: i64) -> RangeQuery {
+    let lo_k = (lo.max(0) as u64) << 32;
+    let hi_k = if hi < 0 {
+        0
+    } else {
+        ((hi as u64) << 32) | 0xFFFF_FFFF
+    };
+    RangeQuery::select_all(lo_k, hi_k)
+}
+
+/// Build the derived index table for `column` over `base`.
+///
+/// The derived schema is the base schema plus a trailing `pk` column,
+/// under the canonical index table name.
+pub fn build_index_table(def: &SecondaryIndexDef, base: &Table) -> Result<Table, StorageError> {
+    let base_schema = base.schema();
+    let col_idx = base_schema.column_index(&def.column).ok_or_else(|| {
+        StorageError::SchemaMismatch(format!("no column {} to index", def.column))
+    })?;
+    if base_schema.columns[col_idx].ty != ColumnType::Int {
+        return Err(StorageError::SchemaMismatch(format!(
+            "secondary indexes require an Int column, {} is {:?}",
+            def.column, base_schema.columns[col_idx].ty
+        )));
+    }
+    let mut columns = base_schema.columns.clone();
+    columns.push(ColumnDef::new("pk", ColumnType::Int));
+    let schema = Schema::new(
+        base_schema.database.clone(),
+        def.name.clone(),
+        "ck",
+        columns,
+    );
+    let mut out = Table::new(schema);
+    for row in base.iter() {
+        let Value::Int(v) = row.values[col_idx] else {
+            unreachable!("type checked above");
+        };
+        let ck = composite_key(v, row.key)?;
+        let mut values = row.values.clone();
+        values.push(Value::Int(row.key as i64));
+        out.insert(Tuple::new(out.schema(), ck, values)?)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_storage::workload::WorkloadSpec;
+
+    fn base() -> Table {
+        WorkloadSpec::new(100, 4, 8).build() // column a3 is Int in 0..100
+    }
+
+    #[test]
+    fn composite_key_orders_by_value_then_pk() {
+        let a = composite_key(5, 100).unwrap();
+        let b = composite_key(5, 101).unwrap();
+        let c = composite_key(6, 0).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn composite_key_bounds() {
+        assert!(composite_key(-1, 0).is_err());
+        assert!(composite_key(1 << 31, 0).is_err());
+        assert!(composite_key(0, 1 << 32).is_err());
+        assert!(composite_key((1 << 31) - 1, (1 << 32) - 1).is_ok());
+    }
+
+    #[test]
+    fn index_table_sorted_by_value() {
+        let base = base();
+        let def = SecondaryIndexDef::new("items", "a3");
+        let idx = build_index_table(&def, &base).unwrap();
+        assert_eq!(idx.len(), base.len());
+        let mut prev = None;
+        for row in idx.iter() {
+            let Value::Int(v) = row.values[3] else { panic!() };
+            if let Some(p) = prev {
+                assert!(v >= p, "index must be value-ordered");
+            }
+            prev = Some(v);
+            // pk column recovers the base row.
+            let Value::Int(pk) = row.values[4] else { panic!() };
+            let orig = base.get(pk as u64).unwrap();
+            assert_eq!(&orig.values[..], &row.values[..4]);
+        }
+    }
+
+    #[test]
+    fn value_range_query_covers_exactly() {
+        let base = base();
+        let def = SecondaryIndexDef::new("items", "a3");
+        let idx = build_index_table(&def, &base).unwrap();
+        let q = value_range_query(20, 40);
+        let expected = base
+            .iter()
+            .filter(|r| matches!(r.values[3], Value::Int(v) if (20..=40).contains(&v)))
+            .count();
+        let got = idx.range(q.lo, q.hi).count();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn non_int_column_rejected() {
+        let def = SecondaryIndexDef::new("items", "a0"); // Text column
+        assert!(build_index_table(&def, &base()).is_err());
+    }
+
+    #[test]
+    fn missing_column_rejected() {
+        let def = SecondaryIndexDef::new("items", "nope");
+        assert!(build_index_table(&def, &base()).is_err());
+    }
+}

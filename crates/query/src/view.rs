@@ -1,0 +1,244 @@
+//! Materialised join views (Section 3.3, "Join").
+//!
+//! "In edge computing most of the database queries are not likely to be
+//! ad-hoc, but are embedded in application programs and hence known in
+//! advance. It is thus possible to materialize each join operation, and
+//! construct a VB-tree on the materialized view."
+//!
+//! A [`JoinViewDef`] names the equijoin; [`build_view_table`] computes
+//! the view as an ordinary [`Table`] whose schema carries both sides'
+//! columns (prefixed with their table names), over which the central
+//! server builds a VB-tree like any base table.
+
+use std::collections::BTreeMap;
+use vbx_storage::{ColumnDef, ColumnType, Schema, StorageError, Table, Tuple, Value};
+
+/// Definition of a single-equijoin materialised view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinViewDef {
+    /// View (and VB-tree) name.
+    pub name: String,
+    /// Left base table.
+    pub left_table: String,
+    /// Right base table.
+    pub right_table: String,
+    /// Join column on the left table (payload column name, or the key).
+    pub left_col: String,
+    /// Join column on the right table.
+    pub right_col: String,
+}
+
+/// Canonical view name for an equijoin — both the central server and
+/// clients derive it identically so queries route without coordination.
+pub fn join_view_name(left: &str, right: &str, left_col: &str, right_col: &str) -> String {
+    format!("{left}__{left_col}__join__{right}__{right_col}")
+}
+
+impl JoinViewDef {
+    /// Create a definition with the canonical name.
+    pub fn new(
+        left_table: impl Into<String>,
+        right_table: impl Into<String>,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> Self {
+        let left_table = left_table.into();
+        let right_table = right_table.into();
+        let left_col = left_col.into();
+        let right_col = right_col.into();
+        Self {
+            name: join_view_name(&left_table, &right_table, &left_col, &right_col),
+            left_table,
+            right_table,
+            left_col,
+            right_col,
+        }
+    }
+
+    /// The view's schema: both sides' keys and payload columns, prefixed
+    /// with their table names (`left_id`, `left_a0`, …, `right_id`, …).
+    pub fn view_schema(&self, left: &Schema, right: &Schema) -> Schema {
+        let mut columns = Vec::new();
+        columns.push(ColumnDef::new(
+            format!("{}_{}", self.left_table, left.key_name),
+            ColumnType::Int,
+        ));
+        for c in &left.columns {
+            columns.push(ColumnDef::new(
+                format!("{}_{}", self.left_table, c.name),
+                c.ty,
+            ));
+        }
+        columns.push(ColumnDef::new(
+            format!("{}_{}", self.right_table, right.key_name),
+            ColumnType::Int,
+        ));
+        for c in &right.columns {
+            columns.push(ColumnDef::new(
+                format!("{}_{}", self.right_table, c.name),
+                c.ty,
+            ));
+        }
+        Schema::new(left.database.clone(), self.name.clone(), "rowid", columns)
+    }
+
+    /// Resolve a view column name for one side's column.
+    pub fn qualified(&self, table: &str, column: &str) -> String {
+        format!("{table}_{column}")
+    }
+}
+
+/// Join value of a tuple on `col` (the key column is permitted).
+fn join_key_bytes(schema: &Schema, tuple: &Tuple, col: &str) -> Result<Vec<u8>, StorageError> {
+    if col == schema.key_name {
+        return Ok(Value::Int(tuple.key as i64).encode());
+    }
+    let idx = schema
+        .column_index(col)
+        .ok_or_else(|| StorageError::SchemaMismatch(format!("no join column {col}")))?;
+    Ok(tuple.values[idx].encode())
+}
+
+/// Materialise the equijoin as a table. Row keys are sequential rowids
+/// assigned in `(left.key, right.key)` order, so rebuilds are
+/// deterministic and digests reproducible.
+pub fn build_view_table(
+    def: &JoinViewDef,
+    left: &Table,
+    right: &Table,
+) -> Result<Table, StorageError> {
+    let schema = def.view_schema(left.schema(), right.schema());
+    let mut out = Table::new(schema);
+
+    // Hash join: index the right side by join value.
+    let mut right_index: BTreeMap<Vec<u8>, Vec<&Tuple>> = BTreeMap::new();
+    for r in right.iter() {
+        let k = join_key_bytes(right.schema(), r, &def.right_col)?;
+        right_index.entry(k).or_default().push(r);
+    }
+
+    let mut rowid = 0u64;
+    for l in left.iter() {
+        let k = join_key_bytes(left.schema(), l, &def.left_col)?;
+        if let Some(matches) = right_index.get(&k) {
+            for r in matches {
+                let mut values = Vec::with_capacity(2 + l.values.len() + r.values.len());
+                values.push(Value::Int(l.key as i64));
+                values.extend(l.values.iter().cloned());
+                values.push(Value::Int(r.key as i64));
+                values.extend(r.values.iter().cloned());
+                let tuple = Tuple::new(out.schema(), rowid, values)?;
+                out.insert(tuple)?;
+                rowid += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Table {
+        let schema = Schema::new(
+            "shop",
+            "orders",
+            "id",
+            vec![
+                ColumnDef::new("cust", ColumnType::Int),
+                ColumnDef::new("amount", ColumnType::Int),
+            ],
+        );
+        let mut t = Table::new(schema);
+        for (id, cust, amount) in [(1u64, 10i64, 100i64), (2, 20, 200), (3, 10, 300), (4, 30, 50)] {
+            let tuple = Tuple::new(
+                t.schema(),
+                id,
+                vec![Value::Int(cust), Value::Int(amount)],
+            )
+            .unwrap();
+            t.insert(tuple).unwrap();
+        }
+        t
+    }
+
+    fn customers() -> Table {
+        let schema = Schema::new(
+            "shop",
+            "customers",
+            "id",
+            vec![ColumnDef::new("name", ColumnType::Text)],
+        );
+        let mut t = Table::new(schema);
+        for (id, name) in [(10u64, "alice"), (20, "bob"), (40, "carol")] {
+            let tuple = Tuple::new(t.schema(), id, vec![Value::from(name)]).unwrap();
+            t.insert(tuple).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn equijoin_on_key() {
+        // orders.cust = customers.id
+        let def = JoinViewDef::new("orders", "customers", "cust", "id");
+        let view = build_view_table(&def, &orders(), &customers()).unwrap();
+        // orders 1,3 match alice; order 2 matches bob; order 4 unmatched.
+        assert_eq!(view.len(), 3);
+        let rows: Vec<&Tuple> = view.iter().collect();
+        assert_eq!(rows[0].values[0], Value::Int(1)); // orders_id
+        assert_eq!(rows[0].values[4], Value::Text("alice".into()));
+        assert_eq!(rows[1].values[0], Value::Int(2));
+        assert_eq!(rows[1].values[4], Value::Text("bob".into()));
+        assert_eq!(rows[2].values[0], Value::Int(3));
+    }
+
+    #[test]
+    fn view_schema_prefixes() {
+        let def = JoinViewDef::new("orders", "customers", "cust", "id");
+        let schema = def.view_schema(orders().schema(), customers().schema());
+        let names: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "orders_id",
+                "orders_cust",
+                "orders_amount",
+                "customers_id",
+                "customers_name"
+            ]
+        );
+        assert_eq!(schema.table, def.name);
+    }
+
+    #[test]
+    fn canonical_name_stable() {
+        assert_eq!(
+            join_view_name("a", "b", "x", "y"),
+            "a__x__join__b__y".to_string()
+        );
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let def = JoinViewDef::new("orders", "customers", "cust", "id");
+        let v1 = build_view_table(&def, &orders(), &customers()).unwrap();
+        let v2 = build_view_table(&def, &orders(), &customers()).unwrap();
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn missing_join_column_rejected() {
+        let def = JoinViewDef::new("orders", "customers", "nope", "id");
+        assert!(build_view_table(&def, &orders(), &customers()).is_err());
+    }
+
+    #[test]
+    fn empty_join_result() {
+        let def = JoinViewDef::new("orders", "customers", "amount", "id");
+        let view = build_view_table(&def, &orders(), &customers()).unwrap();
+        assert_eq!(view.len(), 0);
+    }
+}

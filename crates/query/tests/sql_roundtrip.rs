@@ -1,0 +1,155 @@
+//! SQL printer/parser round-trip: any AST printed and re-parsed yields
+//! an equivalent AST, so plans derived on the edge and the client from
+//! the same statement can never diverge.
+
+use proptest::prelude::*;
+use vbx_query::{parse_select, CmpOp, Expr, JoinClause, Literal, Projection, SelectStmt};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "join" | "on" | "and" | "or" | "not" | "between"
+        )
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_filter("parser reads unsigned", |v| *v >= 0).prop_map(Literal::Int),
+        (0u32..100_000, 1u32..1000)
+            .prop_map(|(a, b)| Literal::Float(a as f64 + 1.0 / b as f64)),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (arb_ident(), arb_cmp_op(), arb_literal()).prop_map(|(column, op, value)| Expr::Cmp {
+            column,
+            op,
+            value
+        }),
+        (arb_ident(), 0i64..1000, 0i64..1000).prop_map(|(column, a, b)| Expr::Between {
+            column,
+            lo: Literal::Int(a.min(b)),
+            hi: Literal::Int(a.max(b)),
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = SelectStmt> {
+    (
+        prop_oneof![
+            Just(Projection::Star),
+            proptest::collection::vec(arb_ident(), 1..4).prop_map(Projection::Columns),
+        ],
+        arb_ident(),
+        proptest::option::of((arb_ident(), arb_ident(), arb_ident(), arb_ident(), arb_ident())),
+        proptest::option::of(arb_expr()),
+    )
+        .prop_map(|(projection, table, join, filter)| {
+            let join = join.map(|(jt, lt, lc, rt, rc)| JoinClause {
+                table: jt,
+                left: (lt, lc),
+                right: (rt, rc),
+            });
+            SelectStmt {
+                projection,
+                table,
+                join,
+                filter,
+            }
+        })
+}
+
+/// Floats print with enough precision to round-trip; everything else is
+/// structurally exact.
+fn exprs_equivalent(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (
+            Expr::Cmp {
+                column: c1,
+                op: o1,
+                value: v1,
+            },
+            Expr::Cmp {
+                column: c2,
+                op: o2,
+                value: v2,
+            },
+        ) => c1 == c2 && o1 == o2 && lits_equivalent(v1, v2),
+        (
+            Expr::Between {
+                column: c1,
+                lo: l1,
+                hi: h1,
+            },
+            Expr::Between {
+                column: c2,
+                lo: l2,
+                hi: h2,
+            },
+        ) => c1 == c2 && lits_equivalent(l1, l2) && lits_equivalent(h1, h2),
+        (Expr::And(a1, b1), Expr::And(a2, b2)) | (Expr::Or(a1, b1), Expr::Or(a2, b2)) => {
+            exprs_equivalent(a1, a2) && exprs_equivalent(b1, b2)
+        }
+        (Expr::Not(e1), Expr::Not(e2)) => exprs_equivalent(e1, e2),
+        _ => false,
+    }
+}
+
+fn lits_equivalent(a: &Literal, b: &Literal) -> bool {
+    match (a, b) {
+        (Literal::Float(x), Literal::Float(y)) => (x - y).abs() < 1e-9,
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(stmt in arb_stmt()) {
+        let sql = stmt.to_string();
+        let back = parse_select(&sql)
+            .unwrap_or_else(|e| panic!("printed SQL failed to parse: {sql:?}: {e}"));
+        prop_assert_eq!(&back.projection, &stmt.projection, "{}", sql);
+        prop_assert_eq!(&back.table, &stmt.table);
+        prop_assert_eq!(&back.join, &stmt.join);
+        match (&back.filter, &stmt.filter) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!(exprs_equivalent(a, b), "{}", sql),
+            _ => return Err(TestCaseError::fail(format!("filter presence mismatch: {sql}"))),
+        }
+    }
+}
+
+#[test]
+fn display_examples() {
+    let stmt = parse_select("SELECT a, b FROM t WHERE x < 5 AND y = 'z'").unwrap();
+    let printed = stmt.to_string();
+    assert!(printed.starts_with("SELECT a, b FROM t WHERE"));
+    // Round-trips.
+    parse_select(&printed).unwrap();
+}

@@ -1,0 +1,159 @@
+//! Node geometry: the `|B| / |K| / |P| / |D|` parameters of Table 1.
+//!
+//! The VB-tree's fan-out is determined by how many
+//! `(key, pointer, digest)` entries fit in one disk block; a plain
+//! B+-tree omits the digest. These are formulas (6) and (7) of the paper,
+//! reproduced here so that the *real* tree built by `vbx-core` and the
+//! *analytical* model in `vbx-analysis` share one definition.
+
+/// Byte-level layout parameters for tree nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Block/node size in bytes (Table 1: 4 KB).
+    pub block_size: usize,
+    /// Search-key length in bytes (Table 1: 16).
+    pub key_len: usize,
+    /// Node-pointer length in bytes (Table 1: 4).
+    pub ptr_len: usize,
+    /// Signed-digest length in bytes (Table 1: 16).
+    pub digest_len: usize,
+}
+
+impl Default for Geometry {
+    /// The defaults of Table 1.
+    fn default() -> Self {
+        Self {
+            block_size: 4096,
+            key_len: 16,
+            ptr_len: 4,
+            digest_len: 16,
+        }
+    }
+}
+
+impl Geometry {
+    /// Fan-out of a plain B+-tree node: the largest `f` with
+    /// `f·|P| + (f-1)·|K| ≤ |B|`, i.e. `⌊(|B| + |K|) / (|K| + |P|)⌋`
+    /// (formula (6)'s baseline).
+    ///
+    /// ```
+    /// use vbx_storage::Geometry;
+    /// let g = Geometry::default(); // Table 1 defaults
+    /// assert_eq!(g.btree_fanout(), 205);
+    /// assert_eq!(g.vbtree_fanout(), 114);
+    /// ```
+    pub fn btree_fanout(&self) -> usize {
+        ((self.block_size + self.key_len) / (self.key_len + self.ptr_len)).max(2)
+    }
+
+    /// Fan-out of a VB-tree node: every pointer additionally carries the
+    /// child's signed digest, so
+    /// `f·(|P| + |D|) + (f-1)·|K| ≤ |B|` ⇒
+    /// `⌊(|B| + |K|) / (|K| + |P| + |D|)⌋` (formula (6)).
+    pub fn vbtree_fanout(&self) -> usize {
+        ((self.block_size + self.key_len) / (self.key_len + self.ptr_len + self.digest_len))
+            .max(2)
+    }
+
+    /// Per-node space overhead of the VB-tree relative to the B+-tree:
+    /// `f_vb · |D|` bytes of digests per node.
+    pub fn node_digest_overhead(&self) -> usize {
+        self.vbtree_fanout() * self.digest_len
+    }
+
+    /// Height of a fully-packed tree with fan-out `f` over `n` tuples:
+    /// `⌈log_f n⌉` (formula (7)). A single-node tree has height 1.
+    pub fn packed_height(fanout: usize, n: u64) -> u32 {
+        assert!(fanout >= 2);
+        if n <= 1 {
+            return 1;
+        }
+        let mut h = 0u32;
+        let mut capacity = 1u128;
+        let f = fanout as u128;
+        while capacity < n as u128 {
+            capacity = capacity.saturating_mul(f);
+            h += 1;
+        }
+        h
+    }
+
+    /// Height of a fully-packed B+-tree over `n` tuples.
+    pub fn btree_height(&self, n: u64) -> u32 {
+        Self::packed_height(self.btree_fanout(), n)
+    }
+
+    /// Height of a fully-packed VB-tree over `n` tuples.
+    pub fn vbtree_height(&self, n: u64) -> u32 {
+        Self::packed_height(self.vbtree_fanout(), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let g = Geometry::default();
+        assert_eq!(g.block_size, 4096);
+        assert_eq!(g.key_len, 16);
+        assert_eq!(g.ptr_len, 4);
+        assert_eq!(g.digest_len, 16);
+    }
+
+    #[test]
+    fn default_fanouts_match_paper_ballpark() {
+        // Figure 8 at |K| = 16: B-tree ≈ 205, VB-tree ≈ 114.
+        let g = Geometry::default();
+        assert_eq!(g.btree_fanout(), 205);
+        assert_eq!(g.vbtree_fanout(), 114);
+    }
+
+    #[test]
+    fn vb_fanout_never_exceeds_btree() {
+        for log_k in 0..=8 {
+            let g = Geometry {
+                key_len: 1 << log_k,
+                ..Geometry::default()
+            };
+            assert!(g.vbtree_fanout() <= g.btree_fanout(), "|K| = {}", 1 << log_k);
+        }
+    }
+
+    #[test]
+    fn heights_for_a_million_rows() {
+        // Figure 9 at |K| = 16, N_R = 1M: both trees land at height 3.
+        let g = Geometry::default();
+        assert_eq!(g.btree_height(1_000_000), 3);
+        assert_eq!(g.vbtree_height(1_000_000), 3);
+    }
+
+    #[test]
+    fn packed_height_edge_cases() {
+        assert_eq!(Geometry::packed_height(100, 0), 1);
+        assert_eq!(Geometry::packed_height(100, 1), 1);
+        assert_eq!(Geometry::packed_height(100, 100), 1);
+        assert_eq!(Geometry::packed_height(100, 101), 2);
+        assert_eq!(Geometry::packed_height(2, 8), 3);
+    }
+
+    #[test]
+    fn fanout_lower_bound() {
+        // Even absurd geometry yields a valid tree (fan-out >= 2).
+        let g = Geometry {
+            block_size: 8,
+            key_len: 256,
+            ptr_len: 8,
+            digest_len: 64,
+        };
+        assert_eq!(g.vbtree_fanout(), 2);
+        assert_eq!(g.btree_fanout(), 2);
+    }
+
+    #[test]
+    fn digest_overhead_scales_with_fanout() {
+        let g = Geometry::default();
+        assert_eq!(g.node_digest_overhead(), g.vbtree_fanout() * 16);
+    }
+}

@@ -1,0 +1,72 @@
+//! # vbx-storage — the database substrate
+//!
+//! The paper assumes a relational DBMS underneath the VB-tree. This crate
+//! provides that substrate, built from scratch:
+//!
+//! * [`value`] — column types and values with a canonical byte encoding
+//!   (the encoding hashed by formula (1));
+//! * [`schema`] — schemas carrying database/table/attribute names, which
+//!   namespace every attribute digest;
+//! * [`tuple`] — tuples with exact wire sizes (communication-cost
+//!   accounting);
+//! * [`table`] — primary-key-ordered heap tables and a catalog;
+//! * [`page`] — 4 KB slotted pages, used to materialise tree nodes and
+//!   measure the storage overheads of Section 4.1;
+//! * [`geometry`] — the `|B|/|K|/|P|/|D|` node-capacity parameters of
+//!   Table 1 and the fan-out arithmetic of formulas (6)–(7);
+//! * [`workload`] — the synthetic tables and selectivity-driven range
+//!   queries used throughout the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod page;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+pub mod value;
+pub mod workload;
+
+pub use geometry::Geometry;
+pub use page::SlottedPage;
+pub use schema::{ColumnDef, Schema};
+pub use table::{Catalog, Table};
+pub use tuple::Tuple;
+pub use value::{ColumnType, Value};
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple's shape does not match its schema.
+    SchemaMismatch(String),
+    /// Duplicate primary key on insert.
+    DuplicateKey(u64),
+    /// Primary key not present.
+    KeyNotFound(u64),
+    /// Page capacity exceeded.
+    PageFull {
+        /// Bytes that were requested.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Malformed serialized data.
+    Corrupt(String),
+}
+
+impl core::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            StorageError::KeyNotFound(k) => write!(f, "primary key {k} not found"),
+            StorageError::PageFull { needed, available } => {
+                write!(f, "page full: need {needed} bytes, {available} available")
+            }
+            StorageError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,143 @@
+//! Tuples: a primary key plus payload values, with an exact wire format.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::StorageError;
+use bytes::{Buf, BufMut};
+
+/// A row: primary key plus payload attributes, ordered as in the schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    /// Primary key.
+    pub key: u64,
+    /// Payload values (same order/arity as `schema.columns`).
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Construct, validating against the schema.
+    pub fn new(schema: &Schema, key: u64, values: Vec<Value>) -> Result<Self, StorageError> {
+        schema.check_row(&values)?;
+        Ok(Self { key, values })
+    }
+
+    /// Serialized length in bytes: `8 (key) ‖ u16 arity ‖ values…`.
+    pub fn wire_len(&self) -> usize {
+        10 + self.values.iter().map(Value::wire_len).sum::<usize>()
+    }
+
+    /// Wire length of a projection of this tuple to `columns`.
+    pub fn projected_wire_len(&self, columns: &[usize]) -> usize {
+        10 + columns
+            .iter()
+            .map(|&c| self.values[c].wire_len())
+            .sum::<usize>()
+    }
+
+    /// Serialize into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.key);
+        out.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            v.encode_into(out);
+        }
+    }
+
+    /// Serialize to a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode, advancing `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.remaining() < 10 {
+            return Err(StorageError::Corrupt("tuple header truncated".into()));
+        }
+        let key = buf.get_u64();
+        let arity = buf.get_u16() as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(Value::decode(buf)?);
+        }
+        Ok(Self { key, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "db",
+            "t",
+            "id",
+            vec![
+                ColumnDef::new("a", ColumnType::Text),
+                ColumnDef::new("b", ColumnType::Int),
+                ColumnDef::new("c", ColumnType::Bytes),
+            ],
+        )
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::new(
+            &schema(),
+            42,
+            vec![
+                Value::from("hello"),
+                Value::from(-5i64),
+                Value::from(vec![9u8, 9, 9]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = tuple();
+        let enc = t.encode();
+        assert_eq!(enc.len(), t.wire_len());
+        let mut slice = enc.as_slice();
+        assert_eq!(Tuple::decode(&mut slice).unwrap(), t);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn schema_validation_on_construction() {
+        let s = schema();
+        assert!(Tuple::new(&s, 1, vec![Value::from("x")]).is_err());
+        assert!(Tuple::new(
+            &s,
+            1,
+            vec![Value::from(1i64), Value::from(2i64), Value::from(vec![])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn projected_wire_len() {
+        let t = tuple();
+        let full = t.wire_len();
+        let proj = t.projected_wire_len(&[0, 1]);
+        assert!(proj < full);
+        assert_eq!(
+            proj,
+            10 + t.values[0].wire_len() + t.values[1].wire_len()
+        );
+        assert_eq!(t.projected_wire_len(&[0, 1, 2]), full);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = tuple().encode();
+        let mut slice = &enc[..enc.len() - 1];
+        assert!(Tuple::decode(&mut slice).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(Tuple::decode(&mut empty).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Column types and values.
+//!
+//! Values carry a *canonical encoding* — the exact bytes that formula (1)
+//! hashes (`h(db ‖ table ‖ attr ‖ key ‖ value)`) and that the wire format
+//! ships to clients. Two equal values always encode identically, so
+//! digests are reproducible on the client side.
+
+use crate::StorageError;
+use bytes::{Buf, BufMut};
+
+/// Supported column types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (totally ordered via `to_bits` in encodings).
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes (BLOBs — the paper's motivating case for edge-side
+    /// projection).
+    Bytes,
+}
+
+impl ColumnType {
+    fn tag(self) -> u8 {
+        match self {
+            ColumnType::Int => 1,
+            ColumnType::Float => 2,
+            ColumnType::Text => 3,
+            ColumnType::Bytes => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            1 => ColumnType::Int,
+            2 => ColumnType::Float,
+            3 => ColumnType::Text,
+            4 => ColumnType::Bytes,
+            _ => return None,
+        })
+    }
+}
+
+/// A single attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Float(_) => ColumnType::Float,
+            Value::Text(_) => ColumnType::Text,
+            Value::Bytes(_) => ColumnType::Bytes,
+        }
+    }
+
+    /// Canonical encoding: `type_tag ‖ u32 payload length ‖ payload`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.column_type().tag());
+        match self {
+            Value::Int(v) => {
+                out.put_u32(8);
+                out.put_i64(*v);
+            }
+            Value::Float(v) => {
+                out.put_u32(8);
+                out.put_u64(v.to_bits());
+            }
+            Value::Text(s) => {
+                out.put_u32(s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.put_u32(b.len() as u32);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+
+    /// Canonical encoding as a fresh vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decode a canonical encoding, advancing `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        if buf.remaining() < 5 {
+            return Err(StorageError::Corrupt("value header truncated".into()));
+        }
+        let tag = buf.get_u8();
+        let ty = ColumnType::from_tag(tag)
+            .ok_or_else(|| StorageError::Corrupt(format!("bad value tag {tag}")))?;
+        let len = buf.get_u32() as usize;
+        if buf.remaining() < len {
+            return Err(StorageError::Corrupt("value payload truncated".into()));
+        }
+        let v = match ty {
+            ColumnType::Int => {
+                if len != 8 {
+                    return Err(StorageError::Corrupt("int payload must be 8 bytes".into()));
+                }
+                Value::Int(buf.get_i64())
+            }
+            ColumnType::Float => {
+                if len != 8 {
+                    return Err(StorageError::Corrupt("float payload must be 8 bytes".into()));
+                }
+                Value::Float(f64::from_bits(buf.get_u64()))
+            }
+            ColumnType::Text => {
+                let bytes = buf[..len].to_vec();
+                buf.advance(len);
+                Value::Text(String::from_utf8(bytes).map_err(|_| {
+                    StorageError::Corrupt("text payload is not UTF-8".into())
+                })?)
+            }
+            ColumnType::Bytes => {
+                let bytes = buf[..len].to_vec();
+                buf.advance(len);
+                Value::Bytes(bytes)
+            }
+        };
+        Ok(v)
+    }
+
+    /// Exact serialized length in bytes (tag + length prefix + payload).
+    /// This is the size charged to the communication-cost model for a
+    /// transmitted attribute.
+    pub fn wire_len(&self) -> usize {
+        5 + match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Text(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let enc = v.encode();
+        assert_eq!(enc.len(), v.wire_len());
+        let mut slice = enc.as_slice();
+        let back = Value::decode(&mut slice).unwrap();
+        assert!(slice.is_empty(), "decode must consume everything");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Float(3.25));
+        roundtrip(Value::Float(-0.0));
+        roundtrip(Value::Text("hello world".into()));
+        roundtrip(Value::Text(String::new()));
+        roundtrip(Value::Bytes(vec![0, 1, 2, 255]));
+        roundtrip(Value::Bytes(vec![]));
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable() {
+        // Equal values encode identically — required for digest
+        // reproducibility on the client.
+        assert_eq!(Value::Int(7).encode(), Value::Int(7).encode());
+        assert_eq!(
+            Value::Text("a".into()).encode(),
+            Value::Text("a".into()).encode()
+        );
+    }
+
+    #[test]
+    fn distinct_types_distinct_encodings() {
+        // Int(0) and Float(+0.0) must not collide.
+        assert_ne!(Value::Int(0).encode(), Value::Float(0.0).encode());
+        // Text "ab" vs Bytes b"ab"
+        assert_ne!(
+            Value::Text("ab".into()).encode(),
+            Value::Bytes(b"ab".to_vec()).encode()
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let enc = Value::Text("hello".into()).encode();
+        for cut in 0..enc.len() {
+            let mut slice = &enc[..cut];
+            assert!(Value::decode(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut enc = Value::Int(1).encode();
+        enc[0] = 99;
+        let mut slice = enc.as_slice();
+        assert!(Value::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut enc = Value::Text("ab".into()).encode();
+        let n = enc.len();
+        enc[n - 1] = 0xFF;
+        let mut slice = enc.as_slice();
+        assert!(Value::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(vec![1u8]), Value::Bytes(vec![1]));
+    }
+}

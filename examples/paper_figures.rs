@@ -1,0 +1,25 @@
+//! Print the analytical series of the paper's figures (Table 1
+//! defaults). The full harness — analytical *and* measured, every figure
+//! — is the `repro` binary:
+//!
+//! ```text
+//! cargo run -p vbx-bench --bin repro --release
+//! ```
+//!
+//! This example renders a compact subset for a quick look:
+//!
+//! ```text
+//! cargo run --example paper_figures
+//! ```
+
+use vbx_analysis::figures::{figure10, figure12, figure8, figure9, render_table};
+use vbx_analysis::Params;
+
+fn main() {
+    let p = Params::default();
+    println!("{}", render_table(&figure8(&p)));
+    println!("{}", render_table(&figure9(&p)));
+    println!("{}", render_table(&figure10(&p, 2)));
+    println!("{}", render_table(&figure12(&p, 10.0)));
+    println!("(see `cargo run -p vbx-bench --bin repro --release` for all figures + measurements)");
+}
