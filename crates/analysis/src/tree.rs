@@ -86,7 +86,10 @@ mod tests {
             ..Params::default()
         };
         assert_eq!(vbtree_fanout(&p1), 195);
-        assert!(btree_fanout(&p1) > 500, "B-tree fan-out explodes for tiny keys");
+        assert!(
+            btree_fanout(&p1) > 500,
+            "B-tree fan-out explodes for tiny keys"
+        );
     }
 
     #[test]

@@ -7,11 +7,11 @@ use vbx_analysis::{comm, compute, tree, update, Params};
 
 fn arb_params() -> impl Strategy<Value = Params> {
     (
-        1u64..10_000_000,   // n_r
-        1usize..20,         // n_c
-        8usize..4096,       // attr bytes (≥ digest length keeps Naive honest)
-        1f64..200.0,        // x
-        0f64..4.0,          // combine ratio
+        1u64..10_000_000, // n_r
+        1usize..20,       // n_c
+        8usize..4096,     // attr bytes (≥ digest length keeps Naive honest)
+        1f64..200.0,      // x
+        0f64..4.0,        // combine ratio
     )
         .prop_flat_map(|(n_r, n_c, attr, x, ratio)| {
             (1usize..=n_c).prop_map(move |q_c| Params {

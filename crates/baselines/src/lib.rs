@@ -21,6 +21,8 @@
 
 pub mod merkle;
 pub mod naive;
+pub mod schemes;
 
 pub use merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
 pub use naive::{NaiveAuthStore, NaiveError, NaiveResponse, NaiveRow};
+pub use schemes::{MerkleScheme, MerkleVo, NaiveScheme};

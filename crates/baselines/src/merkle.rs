@@ -31,17 +31,26 @@ pub enum MerkleError {
     MalformedProof,
     /// Boundary tuples fail to demonstrate completeness.
     BadBoundary,
+    /// Insert with a key that already exists.
+    DuplicateKey(u64),
+    /// Delete of a missing key.
+    KeyNotFound(u64),
 }
 
 impl core::fmt::Display for MerkleError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             MerkleError::RootMismatch => {
-                write!(f, "reconstructed root not authenticated (tamper or wrong key)")
+                write!(
+                    f,
+                    "reconstructed root not authenticated (tamper or wrong key)"
+                )
             }
             MerkleError::BadRowSet => write!(f, "rows unsorted or out of range"),
             MerkleError::MalformedProof => write!(f, "malformed proof"),
             MerkleError::BadBoundary => write!(f, "boundary tuples do not prove completeness"),
+            MerkleError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            MerkleError::KeyNotFound(k) => write!(f, "key {k} not found"),
         }
     }
 }
@@ -123,29 +132,7 @@ impl MerkleAuthStore {
     pub fn build(table: &Table, signer: &dyn Signer) -> Self {
         let schema = table.schema().clone();
         let tuples: Vec<Tuple> = table.iter().cloned().collect();
-        let mut levels = Vec::new();
-        let leaves: Vec<[u8; 32]> = tuples.iter().map(|t| leaf_hash(&schema, t)).collect();
-        let mut current = if leaves.is_empty() {
-            vec![sha256(b"empty-merkle-tree")]
-        } else {
-            leaves
-        };
-        levels.push(current.clone());
-        while current.len() > 1 {
-            let mut next = Vec::with_capacity(current.len().div_ceil(2));
-            for pair in current.chunks(2) {
-                if pair.len() == 2 {
-                    next.push(inner_hash(&pair[0], &pair[1]));
-                } else {
-                    // Odd node promoted unchanged (Bitcoin-style trees
-                    // duplicate instead; promotion avoids the duplication
-                    // ambiguity).
-                    next.push(pair[0]);
-                }
-            }
-            levels.push(next.clone());
-            current = next;
-        }
+        let levels = build_levels(&schema, &tuples);
         let root = *levels.last().unwrap().first().unwrap();
         let root_sig = signer.sign(&root_msg(&schema, &root));
         Self {
@@ -155,6 +142,62 @@ impl MerkleAuthStore {
             root_sig,
             key_version: signer.key_version(),
         }
+    }
+
+    /// Insert a tuple and rebuild the hash levels. The root signature is
+    /// *not* refreshed — call [`sign_root`](Self::sign_root) (trusted) or
+    /// [`install_root_sig`](Self::install_root_sig) (replica) afterwards.
+    pub fn insert_tuple(&mut self, tuple: Tuple) -> Result<(), MerkleError> {
+        let pos = self.tuples.partition_point(|t| t.key < tuple.key);
+        if self.tuples.get(pos).is_some_and(|t| t.key == tuple.key) {
+            return Err(MerkleError::DuplicateKey(tuple.key));
+        }
+        self.tuples.insert(pos, tuple);
+        self.levels = build_levels(&self.schema, &self.tuples);
+        Ok(())
+    }
+
+    /// Remove a tuple by key and rebuild the hash levels.
+    pub fn remove(&mut self, key: u64) -> Result<(), MerkleError> {
+        let pos = self.tuples.partition_point(|t| t.key < key);
+        if self.tuples.get(pos).is_none_or(|t| t.key != key) {
+            return Err(MerkleError::KeyNotFound(key));
+        }
+        self.tuples.remove(pos);
+        self.levels = build_levels(&self.schema, &self.tuples);
+        Ok(())
+    }
+
+    /// Remove every tuple in `[lo, hi]`, returning how many were removed.
+    pub fn remove_range(&mut self, lo: u64, hi: u64) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| t.key < lo || t.key > hi);
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            self.levels = build_levels(&self.schema, &self.tuples);
+        }
+        removed
+    }
+
+    /// Trusted: re-sign the current root, install the signature, and
+    /// return it (for distribution in a signed delta).
+    pub fn sign_root(&mut self, signer: &dyn Signer) -> Signature {
+        let sig = signer.sign(&root_msg(&self.schema, &self.root()));
+        self.root_sig = sig.clone();
+        self.key_version = signer.key_version();
+        sig
+    }
+
+    /// Replica: install a root signature received in a signed delta
+    /// (replicas cannot sign; clients will verify it).
+    pub fn install_root_sig(&mut self, sig: Signature, key_version: u32) {
+        self.root_sig = sig;
+        self.key_version = key_version;
+    }
+
+    /// Key version the root was signed under.
+    pub fn key_version(&self) -> u32 {
+        self.key_version
     }
 
     /// The schema.
@@ -294,8 +337,7 @@ impl MerkleAuthStore {
             let root = sha256(b"empty-merkle-tree");
             return check_root(schema, verifier, &root, &resp.root_sig);
         }
-        let window_hashes: Vec<[u8; 32]> =
-            window.iter().map(|t| leaf_hash(schema, t)).collect();
+        let window_hashes: Vec<[u8; 32]> = window.iter().map(|t| leaf_hash(schema, t)).collect();
 
         // 4. Recompute the root by mirroring the server's traversal.
         let mut proof_iter = resp.proof.iter();
@@ -334,6 +376,34 @@ impl MerkleAuthStore {
         }
         Ok(())
     }
+}
+
+/// Rebuild all hash levels bottom-up from the sorted tuples.
+fn build_levels(schema: &Schema, tuples: &[Tuple]) -> Vec<Vec<[u8; 32]>> {
+    let mut levels = Vec::new();
+    let leaves: Vec<[u8; 32]> = tuples.iter().map(|t| leaf_hash(schema, t)).collect();
+    let mut current = if leaves.is_empty() {
+        vec![sha256(b"empty-merkle-tree")]
+    } else {
+        leaves
+    };
+    levels.push(current.clone());
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        for pair in current.chunks(2) {
+            if pair.len() == 2 {
+                next.push(inner_hash(&pair[0], &pair[1]));
+            } else {
+                // Odd node promoted unchanged (Bitcoin-style trees
+                // duplicate instead; promotion avoids the duplication
+                // ambiguity).
+                next.push(pair[0]);
+            }
+        }
+        levels.push(next.clone());
+        current = next;
+    }
+    levels
 }
 
 fn root_msg(schema: &Schema, root: &[u8; 32]) -> Vec<u8> {
@@ -417,7 +487,14 @@ mod tests {
     fn roundtrip_various_ranges() {
         let (s, signer) = store(50);
         let v = signer.verifier();
-        for (lo, hi) in [(0u64, 49u64), (10, 20), (0, 0), (49, 49), (25, 100), (60, 70)] {
+        for (lo, hi) in [
+            (0u64, 49u64),
+            (10, 20),
+            (0, 0),
+            (49, 49),
+            (25, 100),
+            (60, 70),
+        ] {
             let resp = s.query(lo, hi);
             MerkleAuthStore::verify(s.schema(), v.as_ref(), lo, hi, &resp)
                 .unwrap_or_else(|e| panic!("range [{lo},{hi}]: {e}"));
@@ -456,9 +533,8 @@ mod tests {
         let (s, signer) = store(30);
         let mut resp = s.query(5, 15);
         resp.rows[2].values[0] = vbx_storage::Value::from("evil");
-        let err =
-            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
-                .unwrap_err();
+        let err = MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+            .unwrap_err();
         assert_eq!(err, MerkleError::RootMismatch);
     }
 
@@ -469,9 +545,8 @@ mod tests {
         let (s, signer) = store(30);
         let mut resp = s.query(5, 15);
         resp.rows.remove(3);
-        let err =
-            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
-                .unwrap_err();
+        let err = MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+            .unwrap_err();
         assert!(matches!(
             err,
             MerkleError::RootMismatch | MerkleError::MalformedProof
@@ -483,9 +558,8 @@ mod tests {
         let (s, signer) = store(30);
         let mut resp = s.query(5, 15);
         resp.left_boundary = None;
-        let err =
-            MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
-                .unwrap_err();
+        let err = MerkleAuthStore::verify(s.schema(), signer.verifier().as_ref(), 5, 15, &resp)
+            .unwrap_err();
         assert!(matches!(
             err,
             MerkleError::BadBoundary | MerkleError::RootMismatch | MerkleError::MalformedProof

@@ -40,6 +40,13 @@ pub enum NaiveError {
     },
     /// Result keys out of order or out of range.
     BadRowSet,
+    /// Insert with a key that already exists.
+    DuplicateKey(u64),
+    /// Delete of a missing key.
+    KeyNotFound(u64),
+    /// A replayed delta's digests do not match the replica's own
+    /// recomputation — the delta was forged or the replica diverged.
+    ReplicaDivergence(String),
 }
 
 impl core::fmt::Display for NaiveError {
@@ -49,6 +56,9 @@ impl core::fmt::Display for NaiveError {
             NaiveError::BadSignature { key } => write!(f, "bad signature on row {key}"),
             NaiveError::DigestMismatch { key } => write!(f, "digest mismatch on row {key}"),
             NaiveError::BadRowSet => write!(f, "row set out of order or range"),
+            NaiveError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            NaiveError::KeyNotFound(k) => write!(f, "key {k} not found"),
+            NaiveError::ReplicaDivergence(m) => write!(f, "replica divergence: {m}"),
         }
     }
 }
@@ -109,10 +119,7 @@ impl<const L: usize> NaiveResponse<L> {
 
     /// Number of signed digests shipped.
     pub fn digest_count(&self) -> usize {
-        self.rows
-            .iter()
-            .map(|r| 1 + r.filtered_attrs.len())
-            .sum()
+        self.rows.iter().map(|r| 1 + r.filtered_attrs.len()).sum()
     }
 }
 
@@ -122,15 +129,7 @@ impl<const L: usize> NaiveAuthStore<L> {
         let schema = table.schema().clone();
         let mut entries = BTreeMap::new();
         for t in table.iter() {
-            let mut attr_digests = Vec::with_capacity(t.values.len());
-            let mut tuple_exp = acc.identity();
-            for (col, v) in t.values.iter().enumerate() {
-                let input = schema.attribute_digest_input(col, t.key, v);
-                let e = acc.exp_from_bytes(&input);
-                tuple_exp = acc.combine(&tuple_exp, &e);
-                attr_digests.push(acc.sign_digest(signer, DigestRole::Attribute, &e));
-            }
-            let tuple_digest = acc.sign_digest(signer, DigestRole::Tuple, &tuple_exp);
+            let (attr_digests, tuple_digest) = Self::sign_tuple(&schema, &acc, signer, t);
             entries.insert(
                 t.key,
                 Entry {
@@ -140,12 +139,81 @@ impl<const L: usize> NaiveAuthStore<L> {
                 },
             );
         }
-        let _ = acc;
         Self {
             schema,
             entries,
             key_version: signer.key_version(),
         }
+    }
+
+    /// Sign one tuple's attribute digests and combined tuple digest —
+    /// the per-tuple signing work of the Naive strategy, shared by
+    /// [`build`](Self::build) and update transactions.
+    pub fn sign_tuple(
+        schema: &Schema,
+        acc: &Accumulator<L>,
+        signer: &dyn Signer,
+        tuple: &Tuple,
+    ) -> (Vec<SignedDigest<L>>, SignedDigest<L>) {
+        let mut attr_digests = Vec::with_capacity(tuple.values.len());
+        let mut tuple_exp = acc.identity();
+        for (col, v) in tuple.values.iter().enumerate() {
+            let input = schema.attribute_digest_input(col, tuple.key, v);
+            let e = acc.exp_from_bytes(&input);
+            tuple_exp = acc.combine(&tuple_exp, &e);
+            attr_digests.push(acc.sign_digest(signer, DigestRole::Attribute, &e));
+        }
+        let tuple_digest = acc.sign_digest(signer, DigestRole::Tuple, &tuple_exp);
+        (attr_digests, tuple_digest)
+    }
+
+    /// Install a pre-signed tuple (updates at the trusted server, and
+    /// signed-delta replay at replicas — replicas cannot sign).
+    pub fn insert_signed(
+        &mut self,
+        tuple: Tuple,
+        attr_digests: Vec<SignedDigest<L>>,
+        tuple_digest: SignedDigest<L>,
+        key_version: u32,
+    ) -> Result<(), NaiveError> {
+        if self.entries.contains_key(&tuple.key) {
+            return Err(NaiveError::DuplicateKey(tuple.key));
+        }
+        if attr_digests.len() != tuple.values.len() {
+            return Err(NaiveError::Malformed { key: tuple.key });
+        }
+        self.entries.insert(
+            tuple.key,
+            Entry {
+                tuple,
+                attr_digests,
+                tuple_digest,
+            },
+        );
+        self.key_version = key_version;
+        Ok(())
+    }
+
+    /// Remove a tuple and its digests.
+    pub fn remove(&mut self, key: u64) -> Result<(), NaiveError> {
+        self.entries
+            .remove(&key)
+            .map(|_| ())
+            .ok_or(NaiveError::KeyNotFound(key))
+    }
+
+    /// Remove every tuple in `[lo, hi]`, returning how many were removed.
+    pub fn remove_range(&mut self, lo: u64, hi: u64) -> usize {
+        let keys: Vec<u64> = self.entries.range(lo..=hi).map(|(k, _)| *k).collect();
+        for k in &keys {
+            self.entries.remove(k);
+        }
+        keys.len()
+    }
+
+    /// Key version the store's digests were signed under.
+    pub fn key_version(&self) -> u32 {
+        self.key_version
     }
 
     /// The schema.
@@ -179,7 +247,10 @@ impl<const L: usize> NaiveAuthStore<L> {
         let mut rows = Vec::new();
         for (_, e) in self.entries.range(lo..=hi) {
             if predicate.is_none_or(|p| p(&e.tuple)) {
-                let values = returned.iter().map(|&c| e.tuple.values[c].clone()).collect();
+                let values = returned
+                    .iter()
+                    .map(|&c| e.tuple.values[c].clone())
+                    .collect();
                 let filtered_attrs = (0..n_cols)
                     .filter(|c| !returned.contains(c))
                     .map(|c| e.attr_digests[c].clone())

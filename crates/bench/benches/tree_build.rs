@@ -18,12 +18,7 @@ fn bench_build(c: &mut Criterion) {
         g.throughput(Throughput::Elements(rows));
         g.bench_with_input(BenchmarkId::new("vbtree", rows), &table, |b, t| {
             b.iter(|| {
-                VbTree::<4>::bulk_load(
-                    t,
-                    VbTreeConfig::default(),
-                    Acc256::test_default(),
-                    &signer,
-                )
+                VbTree::<4>::bulk_load(t, VbTreeConfig::default(), Acc256::test_default(), &signer)
             })
         });
         g.bench_with_input(BenchmarkId::new("naive", rows), &table, |b, t| {

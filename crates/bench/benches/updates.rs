@@ -24,7 +24,10 @@ fn bench_insert(c: &mut Criterion) {
         b.iter_batched(
             || {
                 next_key += 1;
-                (fix.tree.clone(), spec.make_tuple(&schema, next_key, &mut rng))
+                (
+                    fix.tree.clone(),
+                    spec.make_tuple(&schema, next_key, &mut rng),
+                )
             },
             |(mut tree, tuple)| tree.insert(tuple, &fix.signer).unwrap(),
             BatchSize::SmallInput,

@@ -12,8 +12,10 @@
 
 use vbx_analysis::figures::{self, render_table};
 use vbx_analysis::{tree, update, Params};
-use vbx_bench::{fixture, measured_comm, measured_compute, measured_updates, measured_vo_growth};
-use vbx_core::{VbTree, VbTreeConfig};
+use vbx_bench::{
+    fixture, head_to_head, measured_comm, measured_compute, measured_updates, measured_vo_growth,
+};
+use vbx_core::{RangeQuery, VbTree, VbTreeConfig};
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
 use vbx_storage::workload::WorkloadSpec;
@@ -22,10 +24,7 @@ use vbx_storage::Geometry;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let section = args.first().map(String::as_str).unwrap_or("all");
-    let rows: u64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    let rows: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     let run = |name: &str| section == "all" || section == name;
     let p = Params::default();
@@ -62,6 +61,9 @@ fn main() {
     }
     if run("merkle") {
         merkle_extension();
+    }
+    if run("schemes") {
+        scheme_head_to_head(rows);
     }
     if run("ablate") {
         ablations(rows);
@@ -272,7 +274,10 @@ fn fig12(p: &Params, rows: u64) {
 
 fn storage(p: &Params, rows: u64) {
     println!("# Section 4.1 — storage costs");
-    println!("base-table digest overhead (model, 1M rows): {} B", tree::base_table_overhead(p));
+    println!(
+        "base-table digest overhead (model, 1M rows): {} B",
+        tree::base_table_overhead(p)
+    );
     println!("per-node digest overhead: {} B", tree::node_overhead(p));
     println!(
         "index bytes: B-tree {} / VB-tree {}",
@@ -328,6 +333,32 @@ fn update_costs(p: &Params, rows: u64) {
         "range delete (100 rows): measured [{range_m}] vs model combines {:.0} signs {:.0}",
         del_model.combines, del_model.signs
     );
+    println!();
+}
+
+/// All three schemes through the one generic `AuthScheme` pipeline:
+/// same table, same query, the paper's three cost axes side by side.
+fn scheme_head_to_head(rows: u64) {
+    println!("# Head-to-head — one AuthScheme pipeline, three schemes");
+    let hi = rows / 5; // 20% selectivity
+    let q = RangeQuery::select_all(0, hi.saturating_sub(1));
+    println!("table: {rows} rows x 10 cols, query [0, {}]", q.hi);
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "rows", "wire bytes", "VO digests", "hashes", "combines", "sig checks"
+    );
+    for m in head_to_head(rows, 10, 20, None, &q) {
+        println!(
+            "{:>10} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            m.scheme,
+            m.rows,
+            m.wire_bytes,
+            m.vo_digests,
+            m.meter.hash_ops,
+            m.meter.combine_ops,
+            m.meter.verify_ops
+        );
+    }
     println!();
 }
 

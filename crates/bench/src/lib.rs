@@ -10,8 +10,9 @@
 #![warn(missing_docs)]
 
 use vbx_analysis::Params;
-use vbx_baselines::{MerkleAuthStore, NaiveAuthStore};
-use vbx_core::{execute, ClientVerifier, CostMeter, RangeQuery, VbTree, VbTreeConfig};
+use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};
+use vbx_core::scheme::AuthScheme;
+use vbx_core::{execute, ClientVerifier, CostMeter, RangeQuery, VbScheme, VbTree, VbTreeConfig};
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
 use vbx_storage::workload::WorkloadSpec;
@@ -56,6 +57,105 @@ pub fn fixture(rows: u64, n_c: usize, attr_bytes: usize, fanout: Option<usize>) 
         acc,
         signer,
     }
+}
+
+/// A measurement fixture for one [`AuthScheme`]: the synthetic table
+/// and the authenticated store built over it — the generic counterpart
+/// of [`Fixture`], usable with any scheme.
+pub struct SchemeFixture<S: AuthScheme> {
+    /// The scheme descriptor (public parameters).
+    pub scheme: S,
+    /// The synthetic base table.
+    pub table: Table,
+    /// The authenticated store.
+    pub store: S::Store,
+    /// The signer used throughout.
+    pub signer: MockSigner,
+}
+
+/// Build a generic fixture over `scheme`.
+pub fn scheme_fixture<S: AuthScheme>(
+    scheme: S,
+    rows: u64,
+    n_c: usize,
+    attr_bytes: usize,
+) -> SchemeFixture<S> {
+    let table = WorkloadSpec::new(rows, n_c, attr_bytes).build();
+    let signer = MockSigner::new(0xBEEF);
+    let store = scheme.build(&table, &signer);
+    SchemeFixture {
+        scheme,
+        table,
+        store,
+        signer,
+    }
+}
+
+/// One scheme's measured costs for one query, all through the
+/// [`AuthScheme`] pipeline.
+#[derive(Clone, Debug)]
+pub struct SchemeMeasurement {
+    /// Scheme name (`vb-tree`, `naive`, `merkle`).
+    pub scheme: &'static str,
+    /// Result rows returned.
+    pub rows: usize,
+    /// Bytes on the wire (communication cost).
+    pub wire_bytes: usize,
+    /// Digests/hashes shipped in the VO (VO-size metric).
+    pub vo_digests: usize,
+    /// Client-side primitive operations.
+    pub meter: CostMeter,
+}
+
+/// Execute and verify one range query through the scheme interface,
+/// returning the paper's three cost axes.
+pub fn measure_scheme<S: AuthScheme>(
+    fix: &SchemeFixture<S>,
+    query: &RangeQuery,
+) -> SchemeMeasurement {
+    let resp = fix.scheme.range_query(&fix.store, query);
+    let mut meter = CostMeter::new();
+    let batch = fix
+        .scheme
+        .verify(
+            fix.table.schema(),
+            fix.signer.verifier().as_ref(),
+            query,
+            &resp,
+            &mut meter,
+        )
+        .unwrap_or_else(|e| panic!("honest {} response verifies: {e}", S::NAME));
+    SchemeMeasurement {
+        scheme: S::NAME,
+        rows: batch.rows.len(),
+        wire_bytes: S::response_wire_bytes(&resp),
+        vo_digests: S::vo_digest_count(&resp),
+        meter,
+    }
+}
+
+/// The paper's head-to-head: the same table and query measured through
+/// all three schemes via the one generic pipeline.
+pub fn head_to_head(
+    rows: u64,
+    n_c: usize,
+    attr_bytes: usize,
+    fanout: Option<usize>,
+    query: &RangeQuery,
+) -> Vec<SchemeMeasurement> {
+    let acc = Acc256::test_default();
+    let config = match fanout {
+        Some(f) => VbTreeConfig::with_fanout(f),
+        None => VbTreeConfig::default(),
+    };
+    let vb = scheme_fixture(VbScheme::new(acc.clone(), config), rows, n_c, attr_bytes);
+    let naive = scheme_fixture(NaiveScheme::new(acc), rows, n_c, attr_bytes);
+    let merkle = scheme_fixture(MerkleScheme, rows, n_c, attr_bytes);
+    vec![
+        measure_scheme(&vb, query),
+        measure_scheme(&naive, query),
+        measure_scheme(&merkle, query),
+    ]
 }
 
 /// The projection of the first `q_c` columns, or `None` for all.
@@ -227,6 +327,56 @@ mod tests {
         let mk: Vec<usize> = growth.iter().map(|g| g.2).collect();
         assert!(vb[2] <= vb[0] + 2, "VB-tree VO must not grow: {vb:?}");
         assert!(mk[2] > mk[0], "Merkle proof must grow: {mk:?}");
+    }
+
+    #[test]
+    fn head_to_head_matches_paper_orderings() {
+        // Figures 10–13 through the one generic pipeline: Naive ships
+        // the most bytes and does per-row signature work; the VB-tree's
+        // VO carries the fewest signature checks per row.
+        let q = RangeQuery::select_all(0, 99);
+        let m = head_to_head(500, 10, 20, None, &q);
+        assert_eq!(m.len(), 3);
+        let vb = &m[0];
+        let naive = &m[1];
+        let merkle = &m[2];
+        assert_eq!(vb.scheme, "vb-tree");
+        assert_eq!(naive.scheme, "naive");
+        assert_eq!(merkle.scheme, "merkle");
+        assert_eq!(vb.rows, 100);
+        assert_eq!(naive.rows, 100);
+        assert_eq!(merkle.rows, 100);
+        assert!(
+            naive.wire_bytes > vb.wire_bytes,
+            "naive must ship more bytes: {} vs {}",
+            naive.wire_bytes,
+            vb.wire_bytes
+        );
+        // Naive: one signature decryption per row (at minimum); Merkle:
+        // exactly one (the root).
+        assert!(naive.meter.verify_ops >= 100);
+        assert_eq!(merkle.meter.verify_ops, 1);
+        assert!(vb.meter.verify_ops < naive.meter.verify_ops);
+    }
+
+    #[test]
+    fn merkle_vo_grows_with_table_via_generic_pipeline() {
+        let q = RangeQuery::select_all(100, 119);
+        let mut merkle_digests = Vec::new();
+        let mut vb_digests = Vec::new();
+        for rows in [400u64, 1600, 6400] {
+            let m = head_to_head(rows, 4, 10, Some(16), &q);
+            vb_digests.push(m[0].vo_digests);
+            merkle_digests.push(m[2].vo_digests);
+        }
+        assert!(
+            merkle_digests[2] > merkle_digests[0],
+            "merkle proof must grow: {merkle_digests:?}"
+        );
+        assert!(
+            vb_digests[2] <= vb_digests[0] + 2,
+            "VB-tree VO must not grow: {vb_digests:?}"
+        );
     }
 
     #[test]

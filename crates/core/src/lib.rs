@@ -41,6 +41,7 @@
 
 pub mod meter;
 pub mod node;
+pub mod scheme;
 pub mod source;
 pub mod tree;
 pub mod tree_codec;
@@ -49,9 +50,12 @@ pub mod vo;
 pub mod wire;
 
 pub use meter::CostMeter;
+pub use scheme::{
+    AuthScheme, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError, VerifiedBatch,
+};
 pub use source::{Capture, DigestSource, ReplaySource, SigningSource};
-pub use tree_codec::{decode_tree, encode_tree};
 pub use tree::{VbTree, VbTreeConfig, VbTreeStats};
+pub use tree_codec::{decode_tree, encode_tree};
 pub use verify::{ClientVerifier, VerifyError, VerifyReport};
 pub use vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
 pub use wire::{decode_response, encode_response, measure_response, ResponseSize};

@@ -1,0 +1,575 @@
+//! The [`AuthScheme`] layer: one interface over every authentication
+//! scheme the paper compares.
+//!
+//! Pang & Tan evaluate the VB-tree against the **Naive** strategy
+//! (Appendix) and a Devanbu-style **Merkle hash tree** (Section 2,
+//! Figure 1). The seed code base grew each of those with its own
+//! incompatible API, which meant the deployment layer, the tamper
+//! scenarios, and the measurement harness were written three times (or,
+//! mostly, only once — for the VB-tree). This module is the common
+//! boundary:
+//!
+//! * a scheme **descriptor** (e.g. [`VbScheme`]) carries the public
+//!   parameters — accumulator group, tree fan-out — and knows how to
+//!   [`build`](AuthScheme::build) an authenticated store, answer
+//!   [`range_query`](AuthScheme::range_query)s, produce and replay
+//!   signed update deltas, and [`verify`](AuthScheme::verify) responses
+//!   client-side;
+//! * every verification counts its primitive operations into a shared
+//!   [`CostMeter`], so the Section 4 cost comparisons run through one
+//!   pipeline;
+//! * [`TamperMode`] models a compromised edge host *generically*: each
+//!   scheme implements the attacks against its own response type, so the
+//!   detection matrix (which scheme catches which attack) is executable.
+//!
+//! `vbx_baselines` implements the trait for the Naive and Merkle
+//! schemes; `vbx_edge` builds the generic central/edge deployment on
+//! top; `vbx_bench` measures all three through the same entry points.
+
+use crate::meter::CostMeter;
+use crate::source::{Capture, ReplaySource};
+use crate::tree::{VbTree, VbTreeConfig};
+use crate::verify::{ClientVerifier, VerifyError};
+use crate::vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
+use crate::wire::measure_response;
+use crate::CoreError;
+use vbx_crypto::accum::{Accumulator, SignedDigest};
+use vbx_crypto::{SigVerifier, Signer};
+use vbx_storage::{Schema, Table, Tuple, Value};
+
+/// One update operation, scheme-neutral (shipped inside a
+/// [`SignedDelta`]).
+#[derive(Clone, Debug)]
+pub enum UpdateOp {
+    /// Insert a tuple.
+    Insert(Tuple),
+    /// Delete by key.
+    Delete(u64),
+    /// Batch range delete (inclusive bounds).
+    DeleteRange(u64, u64),
+}
+
+/// Simulated compromises of an edge host, applied to a response before
+/// it leaves the (hacked) server. Every scheme implements all modes via
+/// [`AuthScheme::tamper`]; which ones each scheme *detects* is the
+/// paper's comparison matrix (see `vbx_edge`'s scenario tests).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Honest behaviour.
+    #[default]
+    None,
+    /// Corrupt the first value of the first result row.
+    MutateValue,
+    /// Inject a spurious copy of an existing row under a fresh key.
+    InjectRow,
+    /// Silently remove a result row (without touching the VO).
+    DropRow,
+    /// Remove a result row *and* rebalance the scheme's auth material to
+    /// hide the removal where the scheme allows it — for the VB-tree,
+    /// reclassifying the signed tuple digest into `D_S` (the paper's
+    /// documented completeness boundary, §3.1).
+    DropAndReclassify {
+        /// Key of the row to suppress.
+        key: u64,
+    },
+}
+
+/// A signed update delta: the operation, the scheme-specific
+/// authentication payload replicas replay, and the envelope metadata.
+#[derive(Clone, Debug)]
+pub struct SignedDelta<P> {
+    /// Sequence number (contiguous per central server).
+    pub seq: u64,
+    /// Table the update applies to.
+    pub table: String,
+    /// The operation.
+    pub op: UpdateOp,
+    /// Scheme-specific signed material (e.g. pre-signed digests for the
+    /// VB-tree, the new signed root for a Merkle tree).
+    pub payload: P,
+    /// Key version the payload was signed under.
+    pub key_version: u32,
+}
+
+/// Successful scheme verification: the authenticated rows plus the
+/// dominant cost statistic.
+#[derive(Clone, Debug)]
+pub struct VerifiedBatch {
+    /// Result rows, in key order, in the scheme's returned-column order.
+    pub rows: Vec<ResultRow>,
+    /// Signature verifications performed (`Cost_s` events).
+    pub signatures_checked: usize,
+}
+
+/// A query-result authentication scheme, as deployed between a trusted
+/// central server, untrusted edge servers, and verifying clients.
+///
+/// The descriptor (`self`) carries public parameters only; private keys
+/// enter exclusively through the `&dyn Signer` arguments of the trusted
+/// entry points ([`build`](Self::build), [`update`](Self::update)).
+pub trait AuthScheme {
+    /// Short scheme name for reports and benches.
+    const NAME: &'static str;
+
+    /// The authenticated server-side store (tree/table + digests).
+    type Store;
+    /// A query answer as shipped from edge server to client.
+    type Response: Clone;
+    /// The detachable verification object / proof part of a response.
+    type Vo;
+    /// Verification and replication failures.
+    type Error: std::error::Error + 'static;
+    /// Scheme-specific payload of a [`SignedDelta`].
+    type Delta: Clone;
+
+    /// Trusted: build and sign the store over a table.
+    fn build(&self, table: &Table, signer: &dyn Signer) -> Self::Store;
+
+    /// Untrusted: answer a range query (+ projection, where supported)
+    /// with authentication material attached.
+    fn range_query(&self, store: &Self::Store, query: &RangeQuery) -> Self::Response;
+
+    /// Trusted: apply an update to the authoritative store, producing
+    /// the signed payload replicas need to replay it.
+    fn update(
+        &self,
+        store: &mut Self::Store,
+        op: &UpdateOp,
+        signer: &dyn Signer,
+    ) -> Result<Self::Delta, Self::Error>;
+
+    /// Untrusted: replay a signed delta against a replica, detecting
+    /// divergence where the scheme can.
+    fn apply_delta(
+        &self,
+        store: &mut Self::Store,
+        op: &UpdateOp,
+        payload: &Self::Delta,
+        key_version: u32,
+    ) -> Result<(), Self::Error>;
+
+    /// Client-side verification with public material only. Primitive
+    /// operations (hashes, combines, signature checks) are counted into
+    /// `meter` — the shared hook behind the Section 4 cost comparisons.
+    fn verify(
+        &self,
+        schema: &Schema,
+        verifier: &dyn SigVerifier,
+        query: &RangeQuery,
+        resp: &Self::Response,
+        meter: &mut CostMeter,
+    ) -> Result<VerifiedBatch, Self::Error>;
+
+    /// The detached VO / proof material of a response.
+    fn vo(resp: &Self::Response) -> Self::Vo;
+
+    /// The result rows carried by a response (pre-verification view).
+    fn response_rows(resp: &Self::Response) -> Vec<ResultRow>;
+
+    /// Bytes on the wire for a response (the communication-cost metric).
+    fn response_wire_bytes(resp: &Self::Response) -> usize;
+
+    /// Digests/hashes shipped in the VO (the VO-size metric).
+    fn vo_digest_count(resp: &Self::Response) -> usize;
+
+    /// Key version the response's material was signed under.
+    fn response_key_version(resp: &Self::Response) -> u32;
+
+    /// Simulate a compromised host: mutate `resp` according to `mode`.
+    /// Receives the store and query because some attacks (the VB-tree's
+    /// reclassification) are re-executions, not response edits.
+    fn tamper(
+        &self,
+        store: &Self::Store,
+        query: &RangeQuery,
+        resp: &mut Self::Response,
+        mode: &TamperMode,
+    );
+
+    /// Lock-resource ids an update transaction must hold exclusively.
+    /// Defaults to a single whole-store resource; the VB-tree overrides
+    /// with path/envelope node ids (Section 3.4).
+    fn lock_targets(&self, _store: &Self::Store, _op: &UpdateOp) -> Vec<usize> {
+        vec![0]
+    }
+
+    /// Whether the scheme can project server-side (ship fewer columns).
+    fn supports_projection(&self) -> bool {
+        false
+    }
+
+    /// Whether range proofs demonstrate completeness (dropped rows are
+    /// detected).
+    fn proves_completeness(&self) -> bool {
+        false
+    }
+}
+
+/// Corrupt the first value of a row in place (shared by schemes'
+/// `MutateValue` tampering).
+pub fn mutate_first_value(values: &mut [Value]) {
+    if let Some(v) = values.first_mut() {
+        *v = match v {
+            Value::Int(x) => Value::Int(*x ^ 1),
+            Value::Float(x) => Value::Float(*x + 1.0),
+            Value::Text(_) => Value::Text("tampered".into()),
+            Value::Bytes(b) => {
+                let mut b = b.clone();
+                b.push(0xFF);
+                Value::Bytes(b)
+            }
+        };
+    }
+}
+
+/// Append a forged copy of the last row under `bump_key` (shared by
+/// schemes' `InjectRow` tampering).
+pub fn inject_duplicate_last<T: Clone>(rows: &mut Vec<T>, bump_key: impl FnOnce(&mut T)) {
+    if let Some(last) = rows.last().cloned() {
+        let mut forged = last;
+        bump_key(&mut forged);
+        rows.push(forged);
+    }
+}
+
+/// Remove the middle row without touching the auth material (shared by
+/// schemes' `DropRow` tampering).
+pub fn drop_middle_row<T>(rows: &mut Vec<T>) {
+    if !rows.is_empty() {
+        let mid = rows.len() / 2;
+        rows.remove(mid);
+    }
+}
+
+/// Errors from the VB-tree scheme: tree/update failures or client-side
+/// verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VbSchemeError {
+    /// Tree operation or replica replay failed.
+    Core(CoreError),
+    /// Client-side verification failed.
+    Verify(VerifyError),
+}
+
+impl core::fmt::Display for VbSchemeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VbSchemeError::Core(e) => write!(f, "{e}"),
+            VbSchemeError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for VbSchemeError {}
+
+impl From<CoreError> for VbSchemeError {
+    fn from(e: CoreError) -> Self {
+        VbSchemeError::Core(e)
+    }
+}
+
+impl From<VerifyError> for VbSchemeError {
+    fn from(e: VerifyError) -> Self {
+        VbSchemeError::Verify(e)
+    }
+}
+
+/// The paper's own scheme: the Verifiable B-tree.
+#[derive(Clone)]
+pub struct VbScheme<const L: usize> {
+    /// Digest algebra (public group parameters).
+    pub acc: Accumulator<L>,
+    /// Tree geometry.
+    pub config: VbTreeConfig,
+}
+
+impl<const L: usize> VbScheme<L> {
+    /// A scheme descriptor from public parameters.
+    pub fn new(acc: Accumulator<L>, config: VbTreeConfig) -> Self {
+        Self { acc, config }
+    }
+}
+
+impl<const L: usize> AuthScheme for VbScheme<L> {
+    const NAME: &'static str = "vb-tree";
+
+    type Store = VbTree<L>;
+    type Response = QueryResponse<L>;
+    type Vo = VerificationObject<L>;
+    type Error = VbSchemeError;
+    type Delta = Vec<SignedDigest<L>>;
+
+    fn build(&self, table: &Table, signer: &dyn Signer) -> VbTree<L> {
+        VbTree::bulk_load(table, self.config.clone(), self.acc.clone(), signer)
+    }
+
+    fn range_query(&self, store: &VbTree<L>, query: &RangeQuery) -> QueryResponse<L> {
+        execute(store, query, None)
+    }
+
+    fn update(
+        &self,
+        store: &mut VbTree<L>,
+        op: &UpdateOp,
+        signer: &dyn Signer,
+    ) -> Result<Self::Delta, VbSchemeError> {
+        let mut capture = Capture::new(signer);
+        match op {
+            UpdateOp::Insert(tuple) => {
+                store.insert_with_source(tuple.clone(), &mut capture)?;
+            }
+            UpdateOp::Delete(key) => {
+                store.delete_with_source(*key, &mut capture)?;
+            }
+            UpdateOp::DeleteRange(lo, hi) => {
+                store.delete_range_with_source(*lo, *hi, &mut capture)?;
+            }
+        }
+        Ok(capture.into_digests())
+    }
+
+    fn apply_delta(
+        &self,
+        store: &mut VbTree<L>,
+        op: &UpdateOp,
+        payload: &Self::Delta,
+        key_version: u32,
+    ) -> Result<(), VbSchemeError> {
+        let mut src = ReplaySource::new(payload.clone(), key_version);
+        match op {
+            UpdateOp::Insert(tuple) => {
+                store.insert_with_source(tuple.clone(), &mut src)?;
+            }
+            UpdateOp::Delete(key) => {
+                store.delete_with_source(*key, &mut src)?;
+            }
+            UpdateOp::DeleteRange(lo, hi) => {
+                store.delete_range_with_source(*lo, *hi, &mut src)?;
+            }
+        }
+        if src.remaining() != 0 {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "{} unused digests after replay",
+                src.remaining()
+            ))
+            .into());
+        }
+        Ok(())
+    }
+
+    fn verify(
+        &self,
+        schema: &Schema,
+        verifier: &dyn SigVerifier,
+        query: &RangeQuery,
+        resp: &QueryResponse<L>,
+        meter: &mut CostMeter,
+    ) -> Result<VerifiedBatch, VbSchemeError> {
+        let client = ClientVerifier::new(&self.acc, schema);
+        let report = client.verify(verifier, query, resp)?;
+        meter.absorb(&report.meter);
+        Ok(VerifiedBatch {
+            rows: resp.rows.clone(),
+            signatures_checked: report.signatures_checked,
+        })
+    }
+
+    fn vo(resp: &QueryResponse<L>) -> VerificationObject<L> {
+        resp.vo.clone()
+    }
+
+    fn response_rows(resp: &QueryResponse<L>) -> Vec<ResultRow> {
+        resp.rows.clone()
+    }
+
+    fn response_wire_bytes(resp: &QueryResponse<L>) -> usize {
+        measure_response(resp).total()
+    }
+
+    fn vo_digest_count(resp: &QueryResponse<L>) -> usize {
+        resp.vo.digest_count()
+    }
+
+    fn response_key_version(resp: &QueryResponse<L>) -> u32 {
+        resp.vo.key_version
+    }
+
+    fn tamper(
+        &self,
+        store: &VbTree<L>,
+        query: &RangeQuery,
+        resp: &mut QueryResponse<L>,
+        mode: &TamperMode,
+    ) {
+        match mode {
+            TamperMode::None => {}
+            TamperMode::MutateValue => {
+                if let Some(row) = resp.rows.first_mut() {
+                    mutate_first_value(&mut row.values);
+                }
+            }
+            TamperMode::InjectRow => {
+                inject_duplicate_last(&mut resp.rows, |r| r.key += 1);
+            }
+            TamperMode::DropRow => {
+                drop_middle_row(&mut resp.rows);
+            }
+            TamperMode::DropAndReclassify { key } => {
+                // Re-execute with a predicate hiding the victim: its
+                // signed tuple digest lands in D_S and the VO still
+                // balances — the documented completeness boundary.
+                let victim = *key;
+                let pred = move |t: &Tuple| t.key != victim;
+                *resp = execute(store, query, Some(&pred));
+            }
+        }
+    }
+
+    fn lock_targets(&self, store: &VbTree<L>, op: &UpdateOp) -> Vec<usize> {
+        match op {
+            UpdateOp::Insert(tuple) => store.path_node_ids(tuple.key),
+            UpdateOp::Delete(key) => store.path_node_ids(*key),
+            UpdateOp::DeleteRange(lo, hi) => store.envelope_node_ids(*lo, *hi),
+        }
+    }
+
+    fn supports_projection(&self) -> bool {
+        true
+    }
+
+    fn proves_completeness(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_crypto::signer::MockSigner;
+    use vbx_crypto::Acc256;
+    use vbx_storage::workload::WorkloadSpec;
+
+    fn scheme() -> (VbScheme<4>, Table, MockSigner) {
+        let table = WorkloadSpec::new(60, 4, 8).build();
+        let signer = MockSigner::new(21);
+        (
+            VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(6)),
+            table,
+            signer,
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_the_trait() {
+        let (s, table, signer) = scheme();
+        let store = s.build(&table, &signer);
+        let q = RangeQuery::select_all(10, 30);
+        let resp = s.range_query(&store, &q);
+        let mut meter = CostMeter::new();
+        let batch = s
+            .verify(
+                table.schema(),
+                signer.verifier().as_ref(),
+                &q,
+                &resp,
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(batch.rows.len(), 21);
+        assert!(meter.verify_ops > 0);
+        assert_eq!(batch.signatures_checked, meter.verify_ops as usize);
+        assert_eq!(
+            VbScheme::<4>::response_key_version(&resp),
+            signer.key_version()
+        );
+        assert!(VbScheme::<4>::response_wire_bytes(&resp) > 0);
+        assert_eq!(
+            VbScheme::<4>::vo_digest_count(&resp),
+            VbScheme::<4>::vo(&resp).digest_count()
+        );
+    }
+
+    #[test]
+    fn update_and_replay_through_the_trait() {
+        let (s, table, signer) = scheme();
+        let mut master = s.build(&table, &signer);
+        let mut replica = s.build(&table, &signer);
+        let schema = table.schema().clone();
+        let tuple = Tuple::new(
+            &schema,
+            500,
+            vec![
+                Value::from("a"),
+                Value::from("b"),
+                Value::from("c"),
+                Value::from(5i64),
+            ],
+        )
+        .unwrap();
+        let op = UpdateOp::Insert(tuple);
+        let payload = s.update(&mut master, &op, &signer).unwrap();
+        s.apply_delta(&mut replica, &op, &payload, signer.key_version())
+            .unwrap();
+        assert_eq!(master.root_digest().exp, replica.root_digest().exp);
+    }
+
+    #[test]
+    fn tamper_modes_alter_or_rebalance_responses() {
+        let (s, table, signer) = scheme();
+        let store = s.build(&table, &signer);
+        let q = RangeQuery::select_all(5, 45);
+        let honest = s.range_query(&store, &q);
+        let mut meter = CostMeter::new();
+
+        for mode in [
+            TamperMode::MutateValue,
+            TamperMode::InjectRow,
+            TamperMode::DropRow,
+        ] {
+            let mut resp = honest.clone();
+            s.tamper(&store, &q, &mut resp, &mode);
+            assert!(
+                s.verify(
+                    table.schema(),
+                    signer.verifier().as_ref(),
+                    &q,
+                    &resp,
+                    &mut meter
+                )
+                .is_err(),
+                "{mode:?} must break verification"
+            );
+        }
+
+        // Reclassification still verifies — the documented boundary.
+        let mut resp = honest.clone();
+        s.tamper(
+            &store,
+            &q,
+            &mut resp,
+            &TamperMode::DropAndReclassify { key: 20 },
+        );
+        assert!(resp.rows.iter().all(|r| r.key != 20));
+        s.verify(
+            table.schema(),
+            signer.verifier().as_ref(),
+            &q,
+            &resp,
+            &mut meter,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn lock_targets_follow_the_paths() {
+        let (s, table, signer) = scheme();
+        let store = s.build(&table, &signer);
+        let ins = s.lock_targets(
+            &store,
+            &UpdateOp::Insert(table.iter().next().unwrap().clone()),
+        );
+        assert!(!ins.is_empty());
+        let range = s.lock_targets(&store, &UpdateOp::DeleteRange(0, 59));
+        assert!(range.len() >= ins.len());
+    }
+}

@@ -559,7 +559,9 @@ impl<const L: usize> VbTree<L> {
         // Validate everything up front so the batch never half-applies.
         let mut seen = std::collections::BTreeSet::new();
         for t in &tuples {
-            self.schema.check_row(&t.values).map_err(CoreError::Storage)?;
+            self.schema
+                .check_row(&t.values)
+                .map_err(CoreError::Storage)?;
             if !seen.insert(t.key) || self.get(t.key).is_some() {
                 return Err(CoreError::DuplicateKey(t.key));
             }
@@ -1053,7 +1055,11 @@ impl<const L: usize> VbTree<L> {
                 let mut depth: Option<u32> = None;
                 for (i, &c) in n.children.iter().enumerate() {
                     let clo = if i == 0 { lo } else { Some(n.keys[i - 1]) };
-                    let chi = if i == n.keys.len() { hi } else { Some(n.keys[i]) };
+                    let chi = if i == n.keys.len() {
+                        hi
+                    } else {
+                        Some(n.keys[i])
+                    };
                     if let (Some(a), Some(b)) = (clo, chi) {
                         if a >= b {
                             return viol(format!("internal {id}: separators not increasing"));

@@ -59,10 +59,9 @@ impl core::fmt::Display for VerifyError {
             VerifyError::RowsUnsorted => write!(f, "result rows not sorted by key"),
             VerifyError::RowOutOfRange { key } => write!(f, "result key {key} outside range"),
             VerifyError::WrongArity { key } => write!(f, "row {key} has wrong arity"),
-            VerifyError::ProjectionCountMismatch { expected, actual } => write!(
-                f,
-                "D_P has {actual} digests, expected {expected}"
-            ),
+            VerifyError::ProjectionCountMismatch { expected, actual } => {
+                write!(f, "D_P has {actual} digests, expected {expected}")
+            }
             VerifyError::BadSignature { part } => write!(f, "bad signature in {part}"),
             VerifyError::WrongRole { part } => write!(f, "wrong digest role in {part}"),
             VerifyError::DigestMismatch => write!(f, "digest mismatch: result tampered"),

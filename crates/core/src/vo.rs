@@ -175,8 +175,10 @@ fn walk<const L: usize>(
                 let in_range = k >= query.lo && k <= query.hi;
                 let matches = in_range && predicate.is_none_or(|p| p(&e.tuple));
                 if matches {
-                    let values: Vec<Value> =
-                        returned.iter().map(|&c| e.tuple.values[c].clone()).collect();
+                    let values: Vec<Value> = returned
+                        .iter()
+                        .map(|&c| e.tuple.values[c].clone())
+                        .collect();
                     rows.push(ResultRow { key: k, values });
                     // Filtered attributes -> D_P.
                     for (c, d) in e.attr_digests.iter().enumerate() {

@@ -16,13 +16,10 @@ fn works_over_512_bit_group() {
     let table = WorkloadSpec::new(80, 3, 8).build();
     let signer = MockSigner::new(2);
     let acc = Acc512::test_default_512();
-    let tree: VbTree<8> = VbTree::bulk_load(
-        &table,
-        VbTreeConfig::with_fanout(5),
-        acc.clone(),
-        &signer,
-    );
-    tree.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+    let tree: VbTree<8> =
+        VbTree::bulk_load(&table, VbTreeConfig::with_fanout(5), acc.clone(), &signer);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
     let q = RangeQuery::project(10, 60, vec![0, 2]);
     let resp = execute(&tree, &q, None);
     ClientVerifier::new(&acc, table.schema())
@@ -35,12 +32,8 @@ fn works_over_128_bit_group() {
     let table = WorkloadSpec::new(50, 2, 6).build();
     let signer = MockSigner::new(3);
     let acc = Accumulator::<2>::new(groups::test_group_128());
-    let tree: VbTree<2> = VbTree::bulk_load(
-        &table,
-        VbTreeConfig::with_fanout(4),
-        acc.clone(),
-        &signer,
-    );
+    let tree: VbTree<2> =
+        VbTree::bulk_load(&table, VbTreeConfig::with_fanout(4), acc.clone(), &signer);
     let q = RangeQuery::select_all(0, 49);
     let resp = execute(&tree, &q, None);
     ClientVerifier::new(&acc, table.schema())
@@ -158,13 +151,10 @@ fn md5_based_algebra_end_to_end() {
     let table = WorkloadSpec::new(60, 3, 8).build();
     let signer = MockSigner::new(7);
     let acc = Accumulator::<4>::with_hash(groups::test_group_256(), HashAlgo::Md5);
-    let tree: VbTree<4> = VbTree::bulk_load(
-        &table,
-        VbTreeConfig::with_fanout(5),
-        acc.clone(),
-        &signer,
-    );
-    tree.check_integrity(Some(signer.verifier().as_ref())).unwrap();
+    let tree: VbTree<4> =
+        VbTree::bulk_load(&table, VbTreeConfig::with_fanout(5), acc.clone(), &signer);
+    tree.check_integrity(Some(signer.verifier().as_ref()))
+        .unwrap();
     let q = RangeQuery::project(5, 40, vec![0, 2]);
     let resp = execute(&tree, &q, None);
     ClientVerifier::new(&acc, table.schema())

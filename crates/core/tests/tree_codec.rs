@@ -1,6 +1,8 @@
 //! Tree serialization: distribution bundles as bytes.
 
-use vbx_core::{decode_tree, encode_tree, execute, ClientVerifier, RangeQuery, VbTree, VbTreeConfig};
+use vbx_core::{
+    decode_tree, encode_tree, execute, ClientVerifier, RangeQuery, VbTree, VbTreeConfig,
+};
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
 use vbx_storage::workload::WorkloadSpec;

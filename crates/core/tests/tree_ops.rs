@@ -124,11 +124,7 @@ fn insert_bumps_versions() {
     let t = Tuple::new(
         &schema,
         1000,
-        vec![
-            Value::from("x"),
-            Value::from("y"),
-            Value::from(1i64),
-        ],
+        vec![Value::from("x"), Value::from("y"), Value::from(1i64)],
     )
     .unwrap();
     tree.insert(t, &signer).unwrap();
@@ -373,7 +369,9 @@ fn batch_insert_validates_before_mutating() {
     )
     .unwrap();
     let dup = table.iter().next().unwrap().clone();
-    let err = tree.insert_batch(vec![good.clone(), dup], &signer).unwrap_err();
+    let err = tree
+        .insert_batch(vec![good.clone(), dup], &signer)
+        .unwrap_err();
     assert!(matches!(err, vbx_core::CoreError::DuplicateKey(_)));
     // Nothing applied.
     assert_eq!(tree.len(), 20);

@@ -399,7 +399,5 @@ fn rsa_end_to_end() {
     // Tamper still detected under RSA.
     let mut bad = resp;
     bad.rows[0].values[0] = Value::from("evil");
-    assert!(client
-        .verify(signer.verifier().as_ref(), &q, &bad)
-        .is_err());
+    assert!(client.verify(signer.verifier().as_ref(), &q, &bad).is_err());
 }

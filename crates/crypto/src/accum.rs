@@ -184,7 +184,12 @@ impl<const L: usize> Accumulator<L> {
     }
 
     /// Sign an exponent digest under a domain tag (see [`DigestRole`]).
-    pub fn sign_digest(&self, signer: &dyn Signer, role: DigestRole, e: &Uint<L>) -> SignedDigest<L> {
+    pub fn sign_digest(
+        &self,
+        signer: &dyn Signer,
+        role: DigestRole,
+        e: &Uint<L>,
+    ) -> SignedDigest<L> {
         let msg = signed_payload(role, &self.exp_to_bytes(e));
         SignedDigest {
             exp: *e,

@@ -146,7 +146,13 @@ mod tests {
         assert!(reg.is_acceptable(1, 9));
         assert!(!reg.is_acceptable(1, 10));
         assert!(reg.is_acceptable(2, 10));
-        assert_eq!(reg.window(1), Some(ValidityWindow { start: 0, end: Some(10) }));
+        assert_eq!(
+            reg.window(1),
+            Some(ValidityWindow {
+                start: 0,
+                end: Some(10)
+            })
+        );
     }
 
     #[test]
@@ -167,12 +173,18 @@ mod tests {
 
     #[test]
     fn window_containment() {
-        let w = ValidityWindow { start: 5, end: Some(10) };
+        let w = ValidityWindow {
+            start: 5,
+            end: Some(10),
+        };
         assert!(!w.contains(4));
         assert!(w.contains(5));
         assert!(w.contains(9));
         assert!(!w.contains(10));
-        let open = ValidityWindow { start: 0, end: None };
+        let open = ValidityWindow {
+            start: 0,
+            end: None,
+        };
         assert!(open.contains(u64::MAX));
     }
 }

@@ -95,7 +95,10 @@ impl<const L: usize> RsaKeyPair<L> {
             let p1 = p.wrapping_sub(&one);
             let q1 = q.wrapping_sub(&one);
             let g = modular::gcd(&p1, &q1);
-            let (lam, _) = p1.checked_mul(&q1).expect("fits: (p-1)(q-1) < n").div_rem(&g);
+            let (lam, _) = p1
+                .checked_mul(&q1)
+                .expect("fits: (p-1)(q-1) < n")
+                .div_rem(&g);
             let e = Uint::from_u64(RSA_E);
             let Some(d) = modular::inv_mod(&e, &lam) else {
                 continue;

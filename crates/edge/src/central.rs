@@ -1,50 +1,31 @@
-//! The trusted central DBMS.
+//! The trusted central DBMS, generic over the authentication scheme.
 //!
 //! Owns the master database, the private signing key, and the
-//! authoritative VB-trees. Executes update transactions under the
-//! Section 3.4 locking protocol, records **signed update deltas** for
-//! edge replicas (which cannot sign anything themselves), refreshes
-//! materialised join views, and manages key rotation with validity
-//! windows for the delayed-propagation mode.
+//! authoritative authenticated stores (VB-trees, Naive digest tables, or
+//! Merkle trees — anything implementing
+//! [`AuthScheme`](vbx_core::scheme::AuthScheme)). Executes update
+//! transactions under the Section 3.4 locking protocol, records **signed
+//! update deltas** for edge replicas (which cannot sign anything
+//! themselves), refreshes materialised join views, and manages key
+//! rotation with validity windows for the delayed-propagation mode.
 
 use crate::locks::{LockManager, LockMode};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vbx_core::{Capture, CoreError, VbTree, VbTreeConfig};
+use vbx_core::scheme::{AuthScheme, SignedDelta, UpdateOp, VbScheme};
+use vbx_core::{CoreError, VbTree, VbTreeConfig};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{KeyRegistry, Signer};
 use vbx_query::{build_view_table, JoinViewDef};
 use vbx_storage::{Catalog, StorageError, Table, Tuple};
 
-/// One update operation, as shipped to edge servers.
-#[derive(Clone, Debug)]
-pub enum UpdateOp {
-    /// Insert a tuple.
-    Insert(Tuple),
-    /// Delete by key.
-    Delete(u64),
-    /// Batch range delete (inclusive bounds).
-    DeleteRange(u64, u64),
-}
-
-/// A signed update delta: the operation plus every signed digest the
-/// replica will need, in deterministic issue order.
-#[derive(Clone, Debug)]
-pub struct UpdateDelta<const L: usize> {
-    /// Sequence number (contiguous per central server).
-    pub seq: u64,
-    /// Table the update applies to.
-    pub table: String,
-    /// The operation.
-    pub op: UpdateOp,
-    /// Pre-signed digests in replay order.
-    pub digests: Vec<SignedDigest<L>>,
-    /// Key version the digests were signed under.
-    pub key_version: u32,
-}
+/// A VB-tree update delta, as shipped to edge servers (compatibility
+/// alias for the generic [`SignedDelta`] envelope).
+pub type UpdateDelta<const L: usize> = SignedDelta<Vec<SignedDigest<L>>>;
 
 /// Initial distribution bundle for a new edge server: full replicas of
-/// every tree (base tables and views).
+/// every tree (base tables and views). VB-tree specific — the wire
+/// format serialises signed tree nodes.
 #[derive(Clone)]
 pub struct EdgeBundle<const L: usize> {
     /// Tree replicas by name.
@@ -88,15 +69,14 @@ impl<const L: usize> EdgeBundle<L> {
     pub fn from_bytes(bytes: &[u8], acc: &Accumulator<L>) -> Result<Self, CoreError> {
         let corrupt = |m: &str| CoreError::Wire(m.to_string());
         let mut buf = bytes;
-        let take =
-            |buf: &mut &[u8], n: usize| -> Result<Vec<u8>, CoreError> {
-                if buf.len() < n {
-                    return Err(corrupt("bundle truncated"));
-                }
-                let out = buf[..n].to_vec();
-                *buf = &buf[n..];
-                Ok(out)
-            };
+        let take = |buf: &mut &[u8], n: usize| -> Result<Vec<u8>, CoreError> {
+            if buf.len() < n {
+                return Err(corrupt("bundle truncated"));
+            }
+            let out = buf[..n].to_vec();
+            *buf = &buf[n..];
+            Ok(out)
+        };
         let get_str = |buf: &mut &[u8]| -> Result<String, CoreError> {
             let len = u32::from_be_bytes(take(buf, 4)?.try_into().unwrap()) as usize;
             String::from_utf8(take(buf, len)?).map_err(|_| corrupt("bundle string not UTF-8"))
@@ -142,72 +122,71 @@ impl<const L: usize> EdgeBundle<L> {
     }
 }
 
-/// Errors from central-server operations.
+/// Errors from central-server operations, parameterised by the scheme's
+/// own error type.
 #[derive(Debug)]
-pub enum CentralError {
+pub enum CentralError<E> {
     /// Storage-level failure.
     Storage(StorageError),
-    /// Tree-level failure.
-    Core(CoreError),
+    /// Scheme-level failure (tree/digest/signing).
+    Scheme(E),
     /// Unknown table.
     UnknownTable(String),
 }
 
-impl core::fmt::Display for CentralError {
+impl<E: core::fmt::Display> core::fmt::Display for CentralError<E> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             CentralError::Storage(e) => write!(f, "{e}"),
-            CentralError::Core(e) => write!(f, "{e}"),
+            CentralError::Scheme(e) => write!(f, "{e}"),
             CentralError::UnknownTable(t) => write!(f, "unknown table {t}"),
         }
     }
 }
 
-impl std::error::Error for CentralError {}
+impl<E: std::error::Error> std::error::Error for CentralError<E> {}
 
-impl From<StorageError> for CentralError {
+impl<E> From<StorageError> for CentralError<E> {
     fn from(e: StorageError) -> Self {
         CentralError::Storage(e)
     }
 }
 
-impl From<CoreError> for CentralError {
-    fn from(e: CoreError) -> Self {
-        CentralError::Core(e)
-    }
-}
-
-/// The trusted central DBMS.
-pub struct CentralServer<const L: usize> {
-    acc: Accumulator<L>,
+/// The trusted central DBMS, generic over the authentication scheme.
+pub struct CentralServer<S: AuthScheme> {
+    scheme: S,
     signer: Arc<dyn Signer>,
     registry: KeyRegistry,
-    config: VbTreeConfig,
     catalog: Catalog,
-    trees: BTreeMap<String, VbTree<L>>,
+    stores: BTreeMap<String, S::Store>,
     views: Vec<JoinViewDef>,
     locks: LockManager,
-    log: Vec<UpdateDelta<L>>,
+    log: Vec<SignedDelta<S::Delta>>,
     clock: u64,
 }
 
-impl<const L: usize> CentralServer<L> {
-    /// Create a central server and publish the initial key version.
-    pub fn new(acc: Accumulator<L>, signer: Arc<dyn Signer>, config: VbTreeConfig) -> Self {
+impl<S: AuthScheme> CentralServer<S> {
+    /// Create a central server for a scheme and publish the initial key
+    /// version.
+    pub fn with_scheme(scheme: S, signer: Arc<dyn Signer>) -> Self {
         let mut registry = KeyRegistry::new();
         registry.publish(signer.verifier(), 0);
         Self {
-            acc,
+            scheme,
             signer,
             registry,
-            config,
             catalog: Catalog::new(),
-            trees: BTreeMap::new(),
+            stores: BTreeMap::new(),
             views: Vec::new(),
             locks: LockManager::new(),
             log: Vec::new(),
             clock: 0,
         }
+    }
+
+    /// The scheme descriptor (public parameters).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
     }
 
     /// The public key registry (clients consult it for freshness).
@@ -220,37 +199,33 @@ impl<const L: usize> CentralServer<L> {
         self.clock
     }
 
-    /// The digest algebra (public parameters).
-    pub fn accumulator(&self) -> &Accumulator<L> {
-        &self.acc
-    }
-
     /// Lock statistics (tests).
     pub fn lock_stats(&self) -> crate::locks::LockStats {
         self.locks.stats()
     }
 
-    /// Register a base table: builds and signs its VB-tree.
+    /// Register a base table: builds and signs its authenticated store.
     pub fn create_table(&mut self, table: Table) {
-        let tree = VbTree::bulk_load(
-            &table,
-            self.config.clone(),
-            self.acc.clone(),
-            self.signer.as_ref(),
-        );
-        self.trees.insert(table.schema().table.clone(), tree);
+        let store = self.scheme.build(&table, self.signer.as_ref());
+        self.stores.insert(table.schema().table.clone(), store);
         self.catalog.put(table);
     }
 
-    /// Materialise an equijoin view and build its VB-tree (Section 3.3's
-    /// join strategy). Returns the canonical view name.
+    /// Authoritative store lookup.
+    pub fn store(&self, name: &str) -> Option<&S::Store> {
+        self.stores.get(name)
+    }
+
+    /// Materialise an equijoin view and build its authenticated store
+    /// (Section 3.3's join strategy — works for every scheme, since a
+    /// view is just another table). Returns the canonical view name.
     pub fn materialize_join(
         &mut self,
         left: &str,
         right: &str,
         left_col: &str,
         right_col: &str,
-    ) -> Result<String, CentralError> {
+    ) -> Result<String, CentralError<S::Error>> {
         let lt = self
             .catalog
             .get(left)
@@ -261,21 +236,11 @@ impl<const L: usize> CentralServer<L> {
             .ok_or_else(|| CentralError::UnknownTable(right.into()))?;
         let def = JoinViewDef::new(left, right, left_col, right_col);
         let view_table = build_view_table(&def, lt, rt)?;
-        let tree = VbTree::bulk_load(
-            &view_table,
-            self.config.clone(),
-            self.acc.clone(),
-            self.signer.as_ref(),
-        );
+        let store = self.scheme.build(&view_table, self.signer.as_ref());
         let name = def.name.clone();
-        self.trees.insert(name.clone(), tree);
+        self.stores.insert(name.clone(), store);
         self.views.push(def);
         Ok(name)
-    }
-
-    /// Authoritative tree lookup.
-    pub fn tree(&self, name: &str) -> Option<&VbTree<L>> {
-        self.trees.get(name)
     }
 
     /// Registered view definitions.
@@ -283,118 +248,34 @@ impl<const L: usize> CentralServer<L> {
         &self.views
     }
 
-    /// Snapshot everything for a new edge server.
-    pub fn bundle(&self) -> EdgeBundle<L> {
-        EdgeBundle {
-            trees: self.trees.clone(),
-            views: self.views.clone(),
-            as_of_seq: self.log.len() as u64,
-        }
+    /// Deltas after `seq` (edge servers pull these to catch up). A
+    /// `seq` beyond the log — a replica ahead of this server, e.g.
+    /// restored from a newer snapshot — yields an empty batch rather
+    /// than panicking the trusted side on untrusted input.
+    pub fn deltas_since(&self, seq: u64) -> Vec<SignedDelta<S::Delta>> {
+        self.log
+            .get(seq as usize..)
+            .map(<[SignedDelta<S::Delta>]>::to_vec)
+            .unwrap_or_default()
     }
 
-    /// Deltas after `seq` (edge servers pull these to catch up), plus
-    /// fresh snapshots of any views refreshed in that window.
-    pub fn deltas_since(&self, seq: u64) -> Vec<UpdateDelta<L>> {
-        self.log[seq as usize..].to_vec()
+    /// Insert a tuple (the paper's insert transaction: X-lock the
+    /// scheme's lock targets, apply, re-sign).
+    pub fn insert(
+        &mut self,
+        table: &str,
+        tuple: Tuple,
+    ) -> Result<SignedDelta<S::Delta>, CentralError<S::Error>> {
+        self.apply_op(table, UpdateOp::Insert(tuple))
     }
 
-    /// Rebuilt view trees (edges re-fetch these after applying deltas;
-    /// views are refreshed wholesale because their rowids shift).
-    pub fn view_trees(&self) -> BTreeMap<String, VbTree<L>> {
-        self.views
-            .iter()
-            .filter_map(|d| {
-                self.trees
-                    .get(&d.name)
-                    .map(|t| (d.name.clone(), t.clone()))
-            })
-            .collect()
-    }
-
-    /// Insert a tuple (the paper's insert transaction: X-lock each path
-    /// digest in turn, absorb the tuple exponent, re-sign).
-    pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<UpdateDelta<L>, CentralError> {
-        let txn = self.next_txn();
-        // Lock the path digests (plus the parent on splits — we lock the
-        // whole path which subsumes it).
-        let path = {
-            let tree = self
-                .trees
-                .get(table)
-                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
-            tree.path_node_ids(tuple.key)
-        };
-        let resources: Vec<_> = path.into_iter().map(|n| (table.to_string(), n)).collect();
-        self.locks
-            .try_acquire_all(txn, &resources, LockMode::Exclusive)
-            .expect("single-threaded central server cannot conflict with itself");
-
-        let result = (|| {
-            let mut capture = Capture::new(self.signer.as_ref());
-            let tree = self.trees.get_mut(table).expect("checked above");
-            tree.insert_with_source(tuple.clone(), &mut capture)?;
-            self.catalog
-                .get_mut(table)
-                .expect("catalog mirrors trees")
-                .insert(tuple.clone())?;
-            Ok::<_, CentralError>(capture.into_digests())
-        })();
-        self.locks.release_all(txn);
-        let digests = result?;
-
-        self.refresh_views_for(table)?;
-        self.clock += 1;
-        let delta = UpdateDelta {
-            seq: self.log.len() as u64,
-            table: table.to_string(),
-            op: UpdateOp::Insert(tuple),
-            digests,
-            key_version: self.signer.key_version(),
-        };
-        self.log.push(delta.clone());
-        Ok(delta)
-    }
-
-    /// Delete a tuple (X-lock the whole path up front, then recompute
-    /// digests bottom-up — the paper's delete transaction).
-    pub fn delete(&mut self, table: &str, key: u64) -> Result<UpdateDelta<L>, CentralError> {
-        let txn = self.next_txn();
-        let path = {
-            let tree = self
-                .trees
-                .get(table)
-                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
-            tree.path_node_ids(key)
-        };
-        let resources: Vec<_> = path.into_iter().map(|n| (table.to_string(), n)).collect();
-        self.locks
-            .try_acquire_all(txn, &resources, LockMode::Exclusive)
-            .expect("single-threaded central server cannot conflict with itself");
-
-        let result = (|| {
-            let mut capture = Capture::new(self.signer.as_ref());
-            let tree = self.trees.get_mut(table).expect("checked above");
-            tree.delete_with_source(key, &mut capture)?;
-            self.catalog
-                .get_mut(table)
-                .expect("catalog mirrors trees")
-                .delete(key)?;
-            Ok::<_, CentralError>(capture.into_digests())
-        })();
-        self.locks.release_all(txn);
-        let digests = result?;
-
-        self.refresh_views_for(table)?;
-        self.clock += 1;
-        let delta = UpdateDelta {
-            seq: self.log.len() as u64,
-            table: table.to_string(),
-            op: UpdateOp::Delete(key),
-            digests,
-            key_version: self.signer.key_version(),
-        };
-        self.log.push(delta.clone());
-        Ok(delta)
+    /// Delete a tuple (X-lock the path, recompute digests bottom-up).
+    pub fn delete(
+        &mut self,
+        table: &str,
+        key: u64,
+    ) -> Result<SignedDelta<S::Delta>, CentralError<S::Error>> {
+        self.apply_op(table, UpdateOp::Delete(key))
     }
 
     /// Batch range delete (equation (12)'s transaction).
@@ -403,16 +284,27 @@ impl<const L: usize> CentralServer<L> {
         table: &str,
         lo: u64,
         hi: u64,
-    ) -> Result<UpdateDelta<L>, CentralError> {
+    ) -> Result<SignedDelta<S::Delta>, CentralError<S::Error>> {
+        self.apply_op(table, UpdateOp::DeleteRange(lo, hi))
+    }
+
+    /// One update transaction: lock the scheme's targets exclusively,
+    /// apply to the authenticated store and the catalog, release, then
+    /// refresh affected views and log the signed delta.
+    fn apply_op(
+        &mut self,
+        table: &str,
+        op: UpdateOp,
+    ) -> Result<SignedDelta<S::Delta>, CentralError<S::Error>> {
         let txn = self.next_txn();
-        let envelope = {
-            let tree = self
-                .trees
+        let targets = {
+            let store = self
+                .stores
                 .get(table)
                 .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
-            tree.envelope_node_ids(lo, hi)
+            self.scheme.lock_targets(store, &op)
         };
-        let resources: Vec<_> = envelope
+        let resources: Vec<_> = targets
             .into_iter()
             .map(|n| (table.to_string(), n))
             .collect();
@@ -421,48 +313,56 @@ impl<const L: usize> CentralServer<L> {
             .expect("single-threaded central server cannot conflict with itself");
 
         let result = (|| {
-            let mut capture = Capture::new(self.signer.as_ref());
-            let tree = self.trees.get_mut(table).expect("checked above");
-            let removed = tree.delete_range_with_source(lo, hi, &mut capture)?;
-            let cat = self.catalog.get_mut(table).expect("catalog mirrors trees");
-            for t in &removed {
-                cat.delete(t.key)?;
+            let store = self.stores.get_mut(table).expect("checked above");
+            let payload = self
+                .scheme
+                .update(store, &op, self.signer.as_ref())
+                .map_err(CentralError::Scheme)?;
+            let cat = self.catalog.get_mut(table).expect("catalog mirrors stores");
+            match &op {
+                UpdateOp::Insert(tuple) => {
+                    cat.insert(tuple.clone())?;
+                }
+                UpdateOp::Delete(key) => {
+                    cat.delete(*key)?;
+                }
+                UpdateOp::DeleteRange(lo, hi) => {
+                    let doomed: Vec<u64> = cat.range(*lo, *hi).map(|t| t.key).collect();
+                    for k in doomed {
+                        cat.delete(k)?;
+                    }
+                }
             }
-            Ok::<_, CentralError>(capture.into_digests())
+            Ok::<_, CentralError<S::Error>>(payload)
         })();
         self.locks.release_all(txn);
-        let digests = result?;
+        let payload = result?;
 
         self.refresh_views_for(table)?;
         self.clock += 1;
-        let delta = UpdateDelta {
+        let delta = SignedDelta {
             seq: self.log.len() as u64,
             table: table.to_string(),
-            op: UpdateOp::DeleteRange(lo, hi),
-            digests,
+            op,
+            payload,
             key_version: self.signer.key_version(),
         };
         self.log.push(delta.clone());
         Ok(delta)
     }
 
-    /// Rotate the signing key: re-sign every tree under the new key and
+    /// Rotate the signing key: re-sign every store under the new key and
     /// publish the new version with a validity window starting now
     /// (Section 3.4's defence for delayed propagation).
     pub fn rotate_key(&mut self, new_signer: Arc<dyn Signer>) {
         self.signer = new_signer;
         self.registry.publish(self.signer.verifier(), self.clock);
-        // Rebuild (re-sign) every tree under the new key.
-        let names: Vec<String> = self.trees.keys().cloned().collect();
+        // Rebuild (re-sign) every base-table store under the new key.
+        let names: Vec<String> = self.stores.keys().cloned().collect();
         for name in names {
             if let Some(table) = self.catalog.get(&name) {
-                let tree = VbTree::bulk_load(
-                    table,
-                    self.config.clone(),
-                    self.acc.clone(),
-                    self.signer.as_ref(),
-                );
-                self.trees.insert(name, tree);
+                let store = self.scheme.build(table, self.signer.as_ref());
+                self.stores.insert(name, store);
             }
         }
         // Views are derived; refresh them too.
@@ -475,18 +375,13 @@ impl<const L: usize> CentralServer<L> {
                 continue;
             };
             if let Ok(view_table) = build_view_table(&def, lt, rt) {
-                let tree = VbTree::bulk_load(
-                    &view_table,
-                    self.config.clone(),
-                    self.acc.clone(),
-                    self.signer.as_ref(),
-                );
-                self.trees.insert(def.name.clone(), tree);
+                let store = self.scheme.build(&view_table, self.signer.as_ref());
+                self.stores.insert(def.name.clone(), store);
             }
         }
     }
 
-    fn refresh_views_for(&mut self, table: &str) -> Result<(), CentralError> {
+    fn refresh_views_for(&mut self, table: &str) -> Result<(), CentralError<S::Error>> {
         let affected: Vec<JoinViewDef> = self
             .views
             .iter()
@@ -503,18 +398,55 @@ impl<const L: usize> CentralServer<L> {
                 .get(&def.right_table)
                 .ok_or_else(|| CentralError::UnknownTable(def.right_table.clone()))?;
             let view_table = build_view_table(&def, lt, rt)?;
-            let tree = VbTree::bulk_load(
-                &view_table,
-                self.config.clone(),
-                self.acc.clone(),
-                self.signer.as_ref(),
-            );
-            self.trees.insert(def.name.clone(), tree);
+            let store = self.scheme.build(&view_table, self.signer.as_ref());
+            self.stores.insert(def.name.clone(), store);
         }
         Ok(())
     }
 
     fn next_txn(&self) -> u64 {
         self.clock + 1_000_000 * (self.log.len() as u64 + 1)
+    }
+}
+
+/// VB-tree specific surface: the compatibility constructor and the tree
+/// distribution bundle (its wire format serialises signed tree nodes).
+impl<const L: usize> CentralServer<VbScheme<L>> {
+    /// Create a VB-tree central server from accumulator parameters and
+    /// tree geometry.
+    pub fn new(acc: Accumulator<L>, signer: Arc<dyn Signer>, config: VbTreeConfig) -> Self {
+        Self::with_scheme(VbScheme::new(acc, config), signer)
+    }
+
+    /// The digest algebra (public parameters).
+    pub fn accumulator(&self) -> &Accumulator<L> {
+        &self.scheme.acc
+    }
+
+    /// Authoritative tree lookup.
+    pub fn tree(&self, name: &str) -> Option<&VbTree<L>> {
+        self.stores.get(name)
+    }
+
+    /// Snapshot everything for a new edge server.
+    pub fn bundle(&self) -> EdgeBundle<L> {
+        EdgeBundle {
+            trees: self.stores.clone(),
+            views: self.views.clone(),
+            as_of_seq: self.log.len() as u64,
+        }
+    }
+
+    /// Rebuilt view trees (edges re-fetch these after applying deltas;
+    /// views are refreshed wholesale because their rowids shift).
+    pub fn view_trees(&self) -> BTreeMap<String, VbTree<L>> {
+        self.views
+            .iter()
+            .filter_map(|d| {
+                self.stores
+                    .get(&d.name)
+                    .map(|t| (d.name.clone(), t.clone()))
+            })
+            .collect()
     }
 }

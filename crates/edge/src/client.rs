@@ -8,7 +8,8 @@
 //! key, as the latest data".
 
 use std::collections::BTreeMap;
-use vbx_core::QueryResponse;
+use vbx_core::scheme::{AuthScheme, VerifiedBatch};
+use vbx_core::{CostMeter, QueryResponse, RangeQuery};
 use vbx_crypto::accum::Accumulator;
 use vbx_crypto::keyreg::{KeyRegistry, Timestamp};
 use vbx_query::{ClientSession, EngineError, VerifiedRows};
@@ -44,7 +45,10 @@ impl core::fmt::Display for ClientError {
         match self {
             ClientError::UnknownKeyVersion(v) => write!(f, "unknown key version {v}"),
             ClientError::StaleKey { version } => {
-                write!(f, "stale key version {version}: possible replay of old data")
+                write!(
+                    f,
+                    "stale key version {version}: possible replay of old data"
+                )
             }
             ClientError::Engine(e) => write!(f, "{e}"),
         }
@@ -97,5 +101,89 @@ impl<const L: usize> EdgeClient<L> {
     /// The underlying session (for direct planning in tests).
     pub fn session(&self) -> &ClientSession<L> {
         &self.session
+    }
+}
+
+/// Client-side failures of the generic scheme pipeline.
+#[derive(Debug)]
+pub enum SchemeClientError<E> {
+    /// The queried table is not in the client's schema set.
+    UnknownTable(String),
+    /// The key version in the response was never published.
+    UnknownKeyVersion(u32),
+    /// The key version is outside its validity window (the stale-replay
+    /// attack).
+    StaleKey {
+        /// Version the response was signed under.
+        version: u32,
+    },
+    /// Scheme verification failed (tampering or malformed response).
+    Scheme(E),
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for SchemeClientError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SchemeClientError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            SchemeClientError::UnknownKeyVersion(v) => write!(f, "unknown key version {v}"),
+            SchemeClientError::StaleKey { version } => {
+                write!(
+                    f,
+                    "stale key version {version}: possible replay of old data"
+                )
+            }
+            SchemeClientError::Scheme(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for SchemeClientError<E> {}
+
+/// A verifying client for the generic range pipeline: works with any
+/// [`AuthScheme`], enforcing key freshness exactly like [`EdgeClient`]
+/// does for the VB-tree SQL path.
+pub struct SchemeClient<S: AuthScheme> {
+    scheme: S,
+    schemas: BTreeMap<String, Schema>,
+}
+
+impl<S: AuthScheme> SchemeClient<S> {
+    /// Create from public metadata: scheme parameters and schemas.
+    pub fn new(scheme: S, schemas: BTreeMap<String, Schema>) -> Self {
+        Self { scheme, schemas }
+    }
+
+    /// Verify a range-query response, enforcing the freshness policy.
+    /// Returns the authenticated rows together with the operation meter
+    /// (the Section 4 cost accounting).
+    pub fn verify_range(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+        resp: &S::Response,
+        registry: &KeyRegistry,
+        policy: FreshnessPolicy,
+    ) -> Result<(VerifiedBatch, CostMeter), SchemeClientError<S::Error>> {
+        let schema = self
+            .schemas
+            .get(table)
+            .ok_or_else(|| SchemeClientError::UnknownTable(table.into()))?;
+        let version = S::response_key_version(resp);
+        let verifier = registry
+            .verifier(version)
+            .ok_or(SchemeClientError::UnknownKeyVersion(version))?;
+        let fresh = match policy {
+            FreshnessPolicy::RequireCurrent => registry.current() == Some(version),
+            FreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
+        };
+        if !fresh {
+            return Err(SchemeClientError::StaleKey { version });
+        }
+        let mut meter = CostMeter::new();
+        let batch = self
+            .scheme
+            .verify(schema, verifier.as_ref(), query, resp, &mut meter)
+            .map_err(SchemeClientError::Scheme)?;
+        Ok((batch, meter))
     }
 }

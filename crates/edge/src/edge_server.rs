@@ -1,85 +1,90 @@
-//! Unsecured edge servers.
+//! Unsecured edge servers, generic over the authentication scheme.
 //!
-//! An edge server holds replicas of VB-trees, answers SQL queries with
-//! verification objects, and applies signed update deltas from the
-//! central server (it cannot sign anything itself). For the test suite
-//! it can also be placed into a [`TamperMode`] simulating a compromised
-//! host — the attacks the VO must (and, for the documented
-//! reclassification case, cannot) detect.
+//! An edge server holds replicas of authenticated stores (VB-trees,
+//! Naive digest tables, Merkle trees), answers range queries — and, for
+//! the VB-tree scheme, SQL — with verification objects attached, and
+//! applies signed update deltas from the central server (it cannot sign
+//! anything itself). For the test suite it can also be placed into a
+//! [`TamperMode`] simulating a compromised host; the tampering itself is
+//! delegated to [`AuthScheme::tamper`], so every attack runs through the
+//! same pipeline for every scheme.
 
-use crate::central::{EdgeBundle, UpdateDelta, UpdateOp};
-use vbx_core::{execute, CoreError, QueryResponse, ReplaySource};
-use vbx_query::{AuthQueryEngine, EngineError, JoinViewDef, PlannedQuery};
-use vbx_storage::{Tuple, Value};
+use crate::central::EdgeBundle;
+use std::collections::BTreeMap;
+use vbx_core::scheme::{AuthScheme, SignedDelta, VbScheme};
+use vbx_core::{execute, QueryResponse, RangeQuery, VbTree};
+use vbx_query::{parse_select, plan_select, EngineError, JoinViewDef, PlannedQuery};
+use vbx_storage::{Schema, Tuple};
 
+pub use vbx_core::scheme::TamperMode;
 pub use vbx_query::engine::PlannedQuery as Plan;
 
-/// Simulated compromises of an edge host.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub enum TamperMode {
-    /// Honest behaviour.
-    #[default]
-    None,
-    /// Corrupt the first value of the first result row.
-    MutateValue,
-    /// Inject a spurious copy of an existing row under a fresh key.
-    InjectRow,
-    /// Silently remove a result row (without touching the VO).
-    DropRow,
-    /// Remove a result row *and* reclassify its signed tuple digest into
-    /// `D_S` — the paper's documented completeness boundary (§3.1
-    /// assumes edges do not do this maliciously).
-    DropAndReclassify {
-        /// Key of the row to suppress.
-        key: u64,
+/// Edge-side failures: replication and query lookup, parameterised by
+/// the scheme's own error type.
+#[derive(Debug)]
+pub enum EdgeError<E> {
+    /// No replica of the named table.
+    UnknownTable(String),
+    /// A delta arrived out of order.
+    OutOfOrder {
+        /// Sequence number the replica expected next.
+        expected: u64,
+        /// Sequence number that arrived.
+        got: u64,
     },
+    /// Scheme-level failure (divergence, forged delta, ...).
+    Scheme(E),
 }
 
+impl<E: core::fmt::Display> core::fmt::Display for EdgeError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EdgeError::UnknownTable(t) => write!(f, "no replica of {t}"),
+            EdgeError::OutOfOrder { expected, got } => {
+                write!(f, "delta {got} applied out of order (expected {expected})")
+            }
+            EdgeError::Scheme(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for EdgeError<E> {}
+
 /// An edge server instance.
-pub struct EdgeServer<const L: usize> {
-    engine: AuthQueryEngine<L>,
+pub struct EdgeServer<S: AuthScheme> {
+    scheme: S,
+    schemas: BTreeMap<String, Schema>,
+    stores: BTreeMap<String, S::Store>,
     views: Vec<JoinViewDef>,
     applied_seq: u64,
     tamper: TamperMode,
 }
 
-impl<const L: usize> EdgeServer<L> {
-    /// Stand up an edge server from a distribution bundle.
-    pub fn from_bundle(bundle: EdgeBundle<L>) -> Self {
-        let mut engine = AuthQueryEngine::new();
-        let mut views = Vec::new();
-        for (name, tree) in bundle.trees {
-            match bundle.views.iter().find(|d| d.name == name) {
-                Some(def) => {
-                    engine.register_view(def.clone(), tree);
-                    views.push(def.clone());
-                }
-                None => engine.register_table(tree),
-            }
-        }
+impl<S: AuthScheme> EdgeServer<S> {
+    /// An empty edge server for a scheme (tables arrive via
+    /// [`install_table`](Self::install_table) or, for the VB-tree, a
+    /// distribution bundle).
+    pub fn new(scheme: S) -> Self {
         Self {
-            engine,
-            views,
-            applied_seq: bundle.as_of_seq,
+            scheme,
+            schemas: BTreeMap::new(),
+            stores: BTreeMap::new(),
+            views: Vec::new(),
+            applied_seq: 0,
             tamper: TamperMode::None,
         }
     }
 
-    /// Register a view tree (initial distribution and refreshes).
-    pub fn install_view(&mut self, def: JoinViewDef, tree: vbx_core::VbTree<L>) {
-        self.views.retain(|d| d.name != def.name);
-        self.views.push(def.clone());
-        self.engine.register_view(def, tree);
+    /// The scheme descriptor.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
     }
 
-    /// Refresh view replicas after base-table deltas (views are rebuilt
-    /// wholesale at the central server because their rowids shift).
-    pub fn refresh_views(&mut self, trees: std::collections::BTreeMap<String, vbx_core::VbTree<L>>) {
-        for (name, tree) in trees {
-            if let Some(def) = self.views.iter().find(|d| d.name == name).cloned() {
-                self.engine.register_view(def, tree);
-            }
-        }
+    /// Install (or replace) a table replica.
+    pub fn install_table(&mut self, name: impl Into<String>, schema: Schema, store: S::Store) {
+        let name = name.into();
+        self.schemas.insert(name.clone(), schema);
+        self.stores.insert(name, store);
     }
 
     /// Set the tamper mode (tests only — a real edge server is simply
@@ -93,123 +98,146 @@ impl<const L: usize> EdgeServer<L> {
         self.applied_seq
     }
 
-    /// Direct engine access (tests and benchmarks).
-    pub fn engine(&self) -> &AuthQueryEngine<L> {
-        &self.engine
+    /// Schemas of everything replicated (public metadata clients also
+    /// hold).
+    pub fn schemas(&self) -> BTreeMap<String, Schema> {
+        self.schemas.clone()
     }
 
-    /// Apply one signed update delta, verifying replay consistency.
-    pub fn apply_delta(&mut self, delta: &UpdateDelta<L>) -> Result<(), CoreError> {
+    /// Replica store lookup.
+    pub fn store(&self, name: &str) -> Option<&S::Store> {
+        self.stores.get(name)
+    }
+
+    /// Answer a range query against a replica, applying the configured
+    /// tamper mode — the one pipeline every scheme serves through.
+    pub fn query_range(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+    ) -> Result<S::Response, EdgeError<S::Error>> {
+        let store = self
+            .stores
+            .get(table)
+            .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
+        let mut resp = self.scheme.range_query(store, query);
+        self.scheme.tamper(store, query, &mut resp, &self.tamper);
+        Ok(resp)
+    }
+
+    /// Apply one signed update delta, verifying order and (where the
+    /// scheme can) replay consistency.
+    pub fn apply_delta(
+        &mut self,
+        delta: &SignedDelta<S::Delta>,
+    ) -> Result<(), EdgeError<S::Error>> {
         if delta.seq != self.applied_seq {
-            return Err(CoreError::ReplicaDivergence(format!(
-                "delta {} applied out of order (expected {})",
-                delta.seq, self.applied_seq
-            )));
+            return Err(EdgeError::OutOfOrder {
+                expected: self.applied_seq,
+                got: delta.seq,
+            });
         }
-        let tree = self
-            .engine
-            .tree_mut(&delta.table)
-            .ok_or_else(|| CoreError::ReplicaDivergence(format!("no replica of {}", delta.table)))?;
-        let mut src = ReplaySource::new(delta.digests.clone(), delta.key_version);
-        match &delta.op {
-            UpdateOp::Insert(tuple) => {
-                tree.insert_with_source(tuple.clone(), &mut src)?;
-            }
-            UpdateOp::Delete(key) => {
-                tree.delete_with_source(*key, &mut src)?;
-            }
-            UpdateOp::DeleteRange(lo, hi) => {
-                tree.delete_range_with_source(*lo, *hi, &mut src)?;
-            }
-        }
-        if src.remaining() != 0 {
-            return Err(CoreError::ReplicaDivergence(format!(
-                "{} unused digests after replay",
-                src.remaining()
-            )));
-        }
+        let store = self
+            .stores
+            .get_mut(&delta.table)
+            .ok_or_else(|| EdgeError::UnknownTable(delta.table.clone()))?;
+        self.scheme
+            .apply_delta(store, &delta.op, &delta.payload, delta.key_version)
+            .map_err(EdgeError::Scheme)?;
         self.applied_seq += 1;
         Ok(())
+    }
+}
+
+/// VB-tree specific surface: bundle distribution, view refreshes, and
+/// the SQL front end.
+impl<const L: usize> EdgeServer<VbScheme<L>> {
+    /// Stand up an edge server from a distribution bundle, recovering
+    /// the scheme's public parameters from the shipped trees.
+    ///
+    /// # Panics
+    /// Panics on an empty bundle (no trees to read the parameters
+    /// from) — use [`from_bundle_with_scheme`](Self::from_bundle_with_scheme)
+    /// when provisioning edges before the first `create_table`.
+    pub fn from_bundle(bundle: EdgeBundle<L>) -> Self {
+        let scheme = {
+            let tree =
+                bundle.trees.values().next().expect(
+                    "empty bundle carries no scheme parameters; use from_bundle_with_scheme",
+                );
+            VbScheme::new(tree.accumulator().clone(), tree.config().clone())
+        };
+        Self::from_bundle_with_scheme(scheme, bundle)
+    }
+
+    /// Stand up an edge server from explicit scheme parameters and a
+    /// bundle, which may be empty (queries then fail gracefully with
+    /// `UnknownTable` until replicas arrive).
+    pub fn from_bundle_with_scheme(scheme: VbScheme<L>, bundle: EdgeBundle<L>) -> Self {
+        let mut edge = Self::new(scheme);
+        edge.applied_seq = bundle.as_of_seq;
+        for (name, tree) in bundle.trees {
+            edge.schemas.insert(name.clone(), tree.schema().clone());
+            edge.stores.insert(name, tree);
+        }
+        edge.views = bundle.views;
+        edge
+    }
+
+    /// Replica tree lookup.
+    pub fn tree(&self, name: &str) -> Option<&VbTree<L>> {
+        self.stores.get(name)
+    }
+
+    /// Register a view tree (initial distribution and refreshes).
+    pub fn install_view(&mut self, def: JoinViewDef, tree: VbTree<L>) {
+        self.views.retain(|d| d.name != def.name);
+        self.schemas.insert(def.name.clone(), tree.schema().clone());
+        self.stores.insert(def.name.clone(), tree);
+        self.views.push(def);
+    }
+
+    /// Refresh view replicas after base-table deltas (views are rebuilt
+    /// wholesale at the central server because their rowids shift).
+    pub fn refresh_views(&mut self, trees: BTreeMap<String, VbTree<L>>) {
+        for (name, tree) in trees {
+            if self.views.iter().any(|d| d.name == name) {
+                self.schemas.insert(name.clone(), tree.schema().clone());
+                self.stores.insert(name, tree);
+            }
+        }
     }
 
     /// Answer a SQL query, applying the configured tamper mode to the
     /// response.
-    pub fn query_sql(
-        &self,
-        sql: &str,
-    ) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
-        match &self.tamper {
-            TamperMode::DropAndReclassify { key } => self.query_reclassified(sql, *key),
-            _ => {
-                let (planned, mut resp) = self.engine.execute_sql(sql)?;
-                self.apply_tamper(&mut resp);
-                Ok((planned, resp))
-            }
-        }
-    }
-
-    fn query_reclassified(
-        &self,
-        sql: &str,
-        victim: u64,
-    ) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
-        // Re-plan, then execute with an additional "hide the victim"
-        // predicate: its signed tuple digest lands in D_S, producing a
-        // VO that still balances.
-        let client = vbx_query::ClientSession::new(self.engine.schemas(), self.acc_clone());
-        let planned = client.plan_sql(sql)?;
+    pub fn query_sql(&self, sql: &str) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
+        let stmt = parse_select(sql)?;
+        let planned = plan_select(&stmt, &self.schemas)?;
         let tree = self
-            .engine
-            .tree(&planned.target)
+            .stores
+            .get(&planned.target)
             .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
         let residual = planned.residual.clone();
-        let pred = move |t: &Tuple| t.key != victim && residual.as_ref().is_none_or(|p| p.eval(t));
-        let resp = execute(tree, &planned.range_query, Some(&pred));
+        let resp = match &self.tamper {
+            TamperMode::DropAndReclassify { key } => {
+                // Re-execute with an additional "hide the victim"
+                // predicate: its signed tuple digest lands in D_S,
+                // producing a VO that still balances.
+                let victim = *key;
+                let pred =
+                    move |t: &Tuple| t.key != victim && residual.as_ref().is_none_or(|p| p.eval(t));
+                execute(tree, &planned.range_query, Some(&pred))
+            }
+            mode => {
+                type PredFn = Box<dyn Fn(&Tuple) -> bool>;
+                let pred_fn: Option<PredFn> =
+                    residual.map(|p| Box::new(move |t: &Tuple| p.eval(t)) as PredFn);
+                let mut resp = execute(tree, &planned.range_query, pred_fn.as_deref());
+                self.scheme
+                    .tamper(tree, &planned.range_query, &mut resp, mode);
+                resp
+            }
+        };
         Ok((planned, resp))
-    }
-
-    fn acc_clone(&self) -> vbx_crypto::Accumulator<L> {
-        // All trees share group parameters; grab them from any tree.
-        self.engine
-            .tree_names()
-            .next()
-            .and_then(|n| self.engine.tree(n))
-            .map(|t| t.accumulator().clone())
-            .expect("edge server has at least one tree")
-    }
-
-    fn apply_tamper(&self, resp: &mut QueryResponse<L>) {
-        match &self.tamper {
-            TamperMode::None | TamperMode::DropAndReclassify { .. } => {}
-            TamperMode::MutateValue => {
-                if let Some(row) = resp.rows.first_mut() {
-                    if let Some(v) = row.values.first_mut() {
-                        *v = match v {
-                            Value::Int(x) => Value::Int(*x ^ 1),
-                            Value::Float(x) => Value::Float(*x + 1.0),
-                            Value::Text(_) => Value::Text("tampered".into()),
-                            Value::Bytes(b) => {
-                                let mut b = b.clone();
-                                b.push(0xFF);
-                                Value::Bytes(b)
-                            }
-                        };
-                    }
-                }
-            }
-            TamperMode::InjectRow => {
-                if let Some(last) = resp.rows.last().cloned() {
-                    let mut forged = last;
-                    forged.key += 1;
-                    resp.rows.push(forged);
-                }
-            }
-            TamperMode::DropRow => {
-                if !resp.rows.is_empty() {
-                    let mid = resp.rows.len() / 2;
-                    resp.rows.remove(mid);
-                }
-            }
-        }
     }
 }

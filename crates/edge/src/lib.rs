@@ -26,7 +26,11 @@ pub mod client;
 pub mod edge_server;
 pub mod locks;
 
-pub use central::{CentralServer, EdgeBundle, UpdateDelta, UpdateOp};
-pub use client::{ClientError, EdgeClient, FreshnessPolicy};
-pub use edge_server::{EdgeServer, TamperMode};
+pub use central::{CentralError, CentralServer, EdgeBundle, UpdateDelta};
+pub use client::{ClientError, EdgeClient, FreshnessPolicy, SchemeClient, SchemeClientError};
+pub use edge_server::{EdgeError, EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
+// The scheme layer the deployment is generic over (re-exported so edge
+// users need only this crate).
+pub use vbx_baselines::{MerkleScheme, NaiveScheme};
+pub use vbx_core::scheme::{AuthScheme, SignedDelta, UpdateOp, VbScheme};

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use vbx_core::VbTreeConfig;
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
-use vbx_edge::{CentralServer, EdgeClient, EdgeServer, FreshnessPolicy};
+use vbx_edge::{CentralServer, EdgeClient, EdgeServer, FreshnessPolicy, VbScheme};
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
 
@@ -36,7 +36,7 @@ proptest! {
     ) {
         let acc = Acc256::test_default();
         let signer = Arc::new(MockSigner::with_version(13, 1));
-        let mut central: CentralServer<4> =
+        let mut central: CentralServer<VbScheme<4>> =
             CentralServer::new(acc.clone(), signer, VbTreeConfig::with_fanout(fanout));
         central.create_table(
             WorkloadSpec {
@@ -88,14 +88,14 @@ proptest! {
 
         // All three digest-identical.
         let master = central.tree("items").unwrap().root_digest().exp;
-        prop_assert_eq!(edge_a.engine().tree("items").unwrap().root_digest().exp, master);
-        prop_assert_eq!(edge_b.engine().tree("items").unwrap().root_digest().exp, master);
+        prop_assert_eq!(edge_a.tree("items").unwrap().root_digest().exp, master);
+        prop_assert_eq!(edge_b.tree("items").unwrap().root_digest().exp, master);
 
         // Structural integrity of the replicas.
-        edge_a.engine().tree("items").unwrap().check_integrity(None).unwrap();
+        edge_a.tree("items").unwrap().check_integrity(None).unwrap();
 
         // And queries over the final state verify.
-        let client = EdgeClient::new(edge_a.engine().schemas(), acc);
+        let client = EdgeClient::new(edge_a.schemas(), acc);
         let sql = "SELECT * FROM items WHERE id BETWEEN 0 AND 400";
         let (_, resp) = edge_a.query_sql(sql).unwrap();
         let verified = client

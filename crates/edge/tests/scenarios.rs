@@ -7,13 +7,19 @@ use vbx_core::VbTreeConfig;
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
 use vbx_edge::{
-    CentralServer, ClientError, EdgeClient, EdgeServer, FreshnessPolicy, TamperMode,
+    CentralServer, ClientError, EdgeClient, EdgeServer, FreshnessPolicy, TamperMode, VbScheme,
 };
 use vbx_query::EngineError;
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
 
-fn setup(rows: u64) -> (CentralServer<4>, EdgeServer<4>, EdgeClient<4>) {
+fn setup(
+    rows: u64,
+) -> (
+    CentralServer<VbScheme<4>>,
+    EdgeServer<VbScheme<4>>,
+    EdgeClient<4>,
+) {
     let acc = Acc256::test_default();
     let signer = Arc::new(MockSigner::with_version(77, 1));
     let mut central = CentralServer::new(acc.clone(), signer, VbTreeConfig::with_fanout(6));
@@ -24,7 +30,7 @@ fn setup(rows: u64) -> (CentralServer<4>, EdgeServer<4>, EdgeClient<4>) {
     .build();
     central.create_table(table);
     let edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
     (central, edge, client)
 }
 
@@ -34,7 +40,12 @@ fn distribute_query_verify() {
     let sql = "SELECT * FROM items WHERE id BETWEEN 10 AND 30";
     let (_, resp) = edge.query_sql(sql).unwrap();
     let rows = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert_eq!(rows.rows.len(), 21);
 }
@@ -47,10 +58,20 @@ fn multiple_edges_agree() {
     let (_, r1) = edge1.query_sql(sql).unwrap();
     let (_, r2) = edge2.query_sql(sql).unwrap();
     let v1 = client
-        .verify(sql, &r1, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &r1,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     let v2 = client
-        .verify(sql, &r2, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &r2,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert_eq!(v1.rows.len(), v2.rows.len());
 }
@@ -86,14 +107,19 @@ fn update_deltas_keep_replicas_identical() {
     // Replica must now be digest-identical to the master.
     assert_eq!(
         central.tree("items").unwrap().root_digest().exp,
-        edge.engine().tree("items").unwrap().root_digest().exp
+        edge.tree("items").unwrap().root_digest().exp
     );
 
     // Queries over the updated replica verify, including the new keys.
     let sql = "SELECT * FROM items WHERE id BETWEEN 195 AND 310";
     let (_, resp) = edge.query_sql(sql).unwrap();
     let rows = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert_eq!(rows.rows.len(), 3);
 
@@ -102,7 +128,12 @@ fn update_deltas_keep_replicas_identical() {
     let (_, resp2) = edge.query_sql(sql2).unwrap();
     assert!(resp2.rows.is_empty());
     client
-        .verify(sql2, &resp2, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql2,
+            &resp2,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 }
 
@@ -152,7 +183,12 @@ fn forged_delta_rejected() {
         tuple.values[0] = Value::from("evil");
     }
     let err = edge.apply_delta(&delta).unwrap_err();
-    assert!(matches!(err, vbx_core::CoreError::ReplicaDivergence(_)));
+    assert!(matches!(
+        err,
+        vbx_edge::EdgeError::Scheme(vbx_core::VbSchemeError::Core(
+            vbx_core::CoreError::ReplicaDivergence(_)
+        ))
+    ));
 }
 
 #[test]
@@ -167,7 +203,12 @@ fn tamper_modes_detected() {
         edge.set_tamper(mode.clone());
         let (_, resp) = edge.query_sql(sql).unwrap();
         let err = client
-            .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+            .verify(
+                sql,
+                &resp,
+                central.registry(),
+                FreshnessPolicy::RequireCurrent,
+            )
             .unwrap_err();
         assert!(
             matches!(err, ClientError::Engine(EngineError::Verify(_))),
@@ -178,7 +219,12 @@ fn tamper_modes_detected() {
     edge.set_tamper(TamperMode::None);
     let (_, resp) = edge.query_sql(sql).unwrap();
     client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 }
 
@@ -193,7 +239,12 @@ fn reclassification_drop_is_the_documented_boundary() {
     let (_, resp) = edge.query_sql(sql).unwrap();
     assert!(resp.rows.iter().all(|r| r.key != 20));
     client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 }
 
@@ -223,20 +274,35 @@ fn key_rotation_detects_stale_replay() {
     let (_, fresh_resp) = fresh_edge.query_sql(sql).unwrap();
     assert_eq!(fresh_resp.vo.key_version, 2);
     client
-        .verify(sql, &fresh_resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &fresh_resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 
     // The stale edge still answers under key v1: rejected as stale.
     let (_, stale_resp) = stale_edge.query_sql(sql).unwrap();
     assert_eq!(stale_resp.vo.key_version, 1);
     let err = client
-        .verify(sql, &stale_resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &stale_resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap_err();
     assert!(matches!(err, ClientError::StaleKey { version: 1 }));
 
     // Historical reads may still accept the old key within its window.
     client
-        .verify(sql, &stale_resp, central.registry(), FreshnessPolicy::AcceptAsOf(0))
+        .verify(
+            sql,
+            &stale_resp,
+            central.registry(),
+            FreshnessPolicy::AcceptAsOf(0),
+        )
         .unwrap();
 }
 
@@ -247,7 +313,12 @@ fn unknown_key_version_rejected() {
     let (_, mut resp) = edge.query_sql(sql).unwrap();
     resp.vo.key_version = 42;
     let err = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap_err();
     assert!(matches!(err, ClientError::UnknownKeyVersion(42)));
 }
@@ -256,7 +327,7 @@ fn unknown_key_version_rejected() {
 fn join_view_distribution_and_refresh() {
     let acc = Acc256::test_default();
     let signer = Arc::new(MockSigner::with_version(9, 1));
-    let mut central: CentralServer<4> =
+    let mut central: CentralServer<VbScheme<4>> =
         CentralServer::new(acc.clone(), signer, VbTreeConfig::with_fanout(6));
     central.create_table(
         WorkloadSpec {
@@ -279,11 +350,16 @@ fn join_view_distribution_and_refresh() {
     assert!(central.tree(&view_name).is_some());
 
     let mut edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc.clone());
+    let client = EdgeClient::new(edge.schemas(), acc.clone());
     let sql = "SELECT * FROM orders JOIN parts ON orders.a2 = parts.a2";
     let (_, resp) = edge.query_sql(sql).unwrap();
     let before = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 
     // Update a base table; view refreshes at the central server; the
@@ -293,14 +369,19 @@ fn join_view_distribution_and_refresh() {
     edge.refresh_views(central.view_trees());
 
     let (_, resp2) = edge.query_sql(sql).unwrap();
-    let client2 = EdgeClient::new(edge.engine().schemas(), acc.clone());
+    let client2 = EdgeClient::new(edge.schemas(), acc.clone());
     let after = client2
-        .verify(sql, &resp2, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp2,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert!(after.rows.len() <= before.rows.len());
     assert_eq!(
         central.tree(&view_name).unwrap().root_digest().exp,
-        edge.engine().tree(&view_name).unwrap().root_digest().exp
+        edge.tree(&view_name).unwrap().root_digest().exp
     );
 }
 
@@ -335,7 +416,7 @@ fn bundle_crosses_process_boundary_as_bytes() {
     // serialized, shipped, decoded, and the edge stood up from bytes.
     let acc = Acc256::test_default();
     let signer = Arc::new(MockSigner::with_version(55, 1));
-    let mut central: CentralServer<4> =
+    let mut central: CentralServer<VbScheme<4>> =
         CentralServer::new(acc.clone(), signer, VbTreeConfig::with_fanout(8));
     central.create_table(
         WorkloadSpec {
@@ -352,7 +433,9 @@ fn bundle_crosses_process_boundary_as_bytes() {
         }
         .build(),
     );
-    central.materialize_join("items", "extra", "a2", "a2").unwrap();
+    central
+        .materialize_join("items", "extra", "a2", "a2")
+        .unwrap();
 
     let bytes = central.bundle().to_bytes();
     let received = vbx_edge::EdgeBundle::from_bytes(&bytes, &acc).unwrap();
@@ -360,11 +443,16 @@ fn bundle_crosses_process_boundary_as_bytes() {
     assert_eq!(received.views.len(), 1);
 
     let edge = EdgeServer::from_bundle(received);
-    let client = EdgeClient::new(edge.engine().schemas(), acc.clone());
+    let client = EdgeClient::new(edge.schemas(), acc.clone());
     let sql = "SELECT * FROM items WHERE id BETWEEN 10 AND 50";
     let (_, resp) = edge.query_sql(sql).unwrap();
     client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
 
     // Corrupt bundles are rejected, never served.
@@ -374,10 +462,7 @@ fn bundle_crosses_process_boundary_as_bytes() {
     assert!(
         vbx_edge::EdgeBundle::<4>::from_bytes(&bad, &acc).is_err()
             || vbx_edge::EdgeBundle::<4>::from_bytes(&bad, &acc)
-                .map(|b| b
-                    .trees
-                    .values()
-                    .all(|t| t.check_integrity(None).is_ok()))
+                .map(|b| b.trees.values().all(|t| t.check_integrity(None).is_ok()))
                 .unwrap_or(false)
     );
 }

@@ -63,12 +63,7 @@ impl<const L: usize> MontCtx<L> {
         let r2 = Uint::from_limbs(r2);
 
         let _ = &mut wide;
-        Self {
-            n,
-            n0_inv,
-            r2,
-            r1,
-        }
+        Self { n, n0_inv, r2, r1 }
     }
 
     /// The modulus.

@@ -462,10 +462,7 @@ mod tests {
         assert_eq!(bytes.len(), 32);
         assert_eq!(U256::from_be_bytes(&bytes).unwrap(), a);
         // short input with implicit leading zeros
-        assert_eq!(
-            U256::from_be_bytes(&[1, 0]).unwrap(),
-            U256::from_u64(256)
-        );
+        assert_eq!(U256::from_be_bytes(&[1, 0]).unwrap(), U256::from_u64(256));
     }
 
     #[test]

@@ -76,4 +76,3 @@ mod tests {
         assert_eq!(stmt.projection, Projection::Star);
     }
 }
-

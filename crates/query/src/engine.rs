@@ -16,7 +16,9 @@ use crate::expr::{BindError, BoundPredicate, KeyRange};
 use crate::parser::{parse_select, ParseError};
 use crate::view::{join_view_name, JoinViewDef};
 use std::collections::BTreeMap;
-use vbx_core::{execute, ClientVerifier, QueryResponse, RangeQuery, VbTree, VerifyError, VerifyReport};
+use vbx_core::{
+    execute, ClientVerifier, QueryResponse, RangeQuery, VbTree, VerifyError, VerifyReport,
+};
 use vbx_crypto::accum::Accumulator;
 use vbx_crypto::SigVerifier;
 use vbx_storage::{Schema, Tuple};
@@ -97,7 +99,16 @@ pub struct PlannedQuery {
     pub residual: Option<BoundPredicate>,
 }
 
-/// Plan a statement against a set of schemas (shared by both sides).
+/// Plan a statement against a set of schemas — shared by the edge
+/// server, the trusted client (which re-plans rather than trusting the
+/// edge), and any deployment embedding its own store map.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    schemas: &BTreeMap<String, Schema>,
+) -> Result<PlannedQuery, EngineError> {
+    plan(stmt, schemas)
+}
+
 fn plan(
     stmt: &SelectStmt,
     schemas: &BTreeMap<String, Schema>,
@@ -120,14 +131,12 @@ fn plan(
             }
         }
     };
-    let schema = schemas
-        .get(&target)
-        .ok_or_else(|| match &stmt.join {
-            None => EngineError::UnknownTable(target.clone()),
-            Some(_) => EngineError::ViewNotMaterialized {
-                view: target.clone(),
-            },
-        })?;
+    let schema = schemas.get(&target).ok_or_else(|| match &stmt.join {
+        None => EngineError::UnknownTable(target.clone()),
+        Some(_) => EngineError::ViewNotMaterialized {
+            view: target.clone(),
+        },
+    })?;
 
     let projection = match &stmt.projection {
         Projection::Star => None,
@@ -244,10 +253,7 @@ impl<const L: usize> AuthQueryEngine<L> {
 
     /// Parse, plan and execute a SQL query, returning the plan (for
     /// inspection) and the authenticated response.
-    pub fn execute_sql(
-        &self,
-        sql: &str,
-    ) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
+    pub fn execute_sql(&self, sql: &str) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
         let stmt = parse_select(sql)?;
         let schemas = self.schemas();
         let planned = plan(&stmt, &schemas)?;
@@ -316,9 +322,7 @@ impl<const L: usize> ClientSession<L> {
         // be re-checked client-side and are documented as trusted
         // filtering (the paper's model).
         if let Some(residual) = &planned.residual {
-            let returned = planned
-                .range_query
-                .returned_columns(schema.num_columns());
+            let returned = planned.range_query.returned_columns(schema.num_columns());
             for row in &resp.rows {
                 if let Some(ok) = eval_on_projection(residual, schema, &returned, row) {
                     if !ok {
@@ -387,12 +391,7 @@ mod tests {
         .build();
         let signer = MockSigner::new(3);
         let acc = Acc256::test_default();
-        let tree = VbTree::bulk_load(
-            &table,
-            VbTreeConfig::with_fanout(5),
-            acc.clone(),
-            &signer,
-        );
+        let tree = VbTree::bulk_load(&table, VbTreeConfig::with_fanout(5), acc.clone(), &signer);
         let mut engine = AuthQueryEngine::new();
         engine.register_table(tree);
         let client = ClientSession::new(engine.schemas(), acc);

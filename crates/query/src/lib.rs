@@ -29,7 +29,9 @@ pub mod secondary;
 pub mod view;
 
 pub use ast::{JoinClause, Projection, SelectStmt};
-pub use engine::{AuthQueryEngine, ClientSession, EngineError, PlannedQuery, VerifiedRows};
+pub use engine::{
+    plan_select, AuthQueryEngine, ClientSession, EngineError, PlannedQuery, VerifiedRows,
+};
 pub use expr::{BoundPredicate, CmpOp, Expr, KeyRange, Literal};
 pub use parser::{parse_select, ParseError};
 pub use secondary::{build_index_table, secondary_index_name, SecondaryIndexDef};

@@ -96,7 +96,10 @@ impl<'a> Lexer<'a> {
                 let tok = if is_float {
                     Tok::Float(text.parse().map_err(|_| self.error("bad float literal"))?)
                 } else {
-                    Tok::Int(text.parse().map_err(|_| self.error("bad integer literal"))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| self.error("bad integer literal"))?,
+                    )
                 };
                 out.push((tok, start));
                 self.pos = end;
@@ -360,9 +363,8 @@ mod tests {
 
     #[test]
     fn select_columns_where_range() {
-        let s =
-            parse_select("select a0, a2 from items where id between 10 and 20 and a3 >= 5")
-                .unwrap();
+        let s = parse_select("select a0, a2 from items where id between 10 and 20 and a3 >= 5")
+            .unwrap();
         assert_eq!(
             s.projection,
             Projection::Columns(vec!["a0".into(), "a2".into()])
@@ -371,13 +373,7 @@ mod tests {
         match f {
             Expr::And(l, r) => {
                 assert!(matches!(*l, Expr::Between { .. }));
-                assert!(matches!(
-                    *r,
-                    Expr::Cmp {
-                        op: CmpOp::Ge,
-                        ..
-                    }
-                ));
+                assert!(matches!(*r, Expr::Cmp { op: CmpOp::Ge, .. }));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -143,13 +143,17 @@ mod tests {
         assert_eq!(idx.len(), base.len());
         let mut prev = None;
         for row in idx.iter() {
-            let Value::Int(v) = row.values[3] else { panic!() };
+            let Value::Int(v) = row.values[3] else {
+                panic!()
+            };
             if let Some(p) = prev {
                 assert!(v >= p, "index must be value-ordered");
             }
             prev = Some(v);
             // pk column recovers the base row.
-            let Value::Int(pk) = row.values[4] else { panic!() };
+            let Value::Int(pk) = row.values[4] else {
+                panic!()
+            };
             let orig = base.get(pk as u64).unwrap();
             assert_eq!(&orig.values[..], &row.values[..4]);
         }

@@ -151,13 +151,14 @@ mod tests {
             ],
         );
         let mut t = Table::new(schema);
-        for (id, cust, amount) in [(1u64, 10i64, 100i64), (2, 20, 200), (3, 10, 300), (4, 30, 50)] {
-            let tuple = Tuple::new(
-                t.schema(),
-                id,
-                vec![Value::Int(cust), Value::Int(amount)],
-            )
-            .unwrap();
+        for (id, cust, amount) in [
+            (1u64, 10i64, 100i64),
+            (2, 20, 200),
+            (3, 10, 300),
+            (4, 30, 50),
+        ] {
+            let tuple =
+                Tuple::new(t.schema(), id, vec![Value::Int(cust), Value::Int(amount)]).unwrap();
             t.insert(tuple).unwrap();
         }
         t

@@ -16,9 +16,10 @@ fn arb_ident() -> impl Strategy<Value = String> {
 
 fn arb_literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
-        any::<i64>().prop_filter("parser reads unsigned", |v| *v >= 0).prop_map(Literal::Int),
-        (0u32..100_000, 1u32..1000)
-            .prop_map(|(a, b)| Literal::Float(a as f64 + 1.0 / b as f64)),
+        any::<i64>()
+            .prop_filter("parser reads unsigned", |v| *v >= 0)
+            .prop_map(Literal::Int),
+        (0u32..100_000, 1u32..1000).prop_map(|(a, b)| Literal::Float(a as f64 + 1.0 / b as f64)),
         "[a-zA-Z0-9 ]{0,12}".prop_map(Literal::Str),
     ]
 }
@@ -49,10 +50,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|e| Expr::Not(Box::new(e))),
         ]
     })
@@ -65,7 +64,13 @@ fn arb_stmt() -> impl Strategy<Value = SelectStmt> {
             proptest::collection::vec(arb_ident(), 1..4).prop_map(Projection::Columns),
         ],
         arb_ident(),
-        proptest::option::of((arb_ident(), arb_ident(), arb_ident(), arb_ident(), arb_ident())),
+        proptest::option::of((
+            arb_ident(),
+            arb_ident(),
+            arb_ident(),
+            arb_ident(),
+            arb_ident(),
+        )),
         proptest::option::of(arb_expr()),
     )
         .prop_map(|(projection, table, join, filter)| {

@@ -51,8 +51,7 @@ impl Geometry {
     /// `f·(|P| + |D|) + (f-1)·|K| ≤ |B|` ⇒
     /// `⌊(|B| + |K|) / (|K| + |P| + |D|)⌋` (formula (6)).
     pub fn vbtree_fanout(&self) -> usize {
-        ((self.block_size + self.key_len) / (self.key_len + self.ptr_len + self.digest_len))
-            .max(2)
+        ((self.block_size + self.key_len) / (self.key_len + self.ptr_len + self.digest_len)).max(2)
     }
 
     /// Per-node space overhead of the VB-tree relative to the B+-tree:
@@ -117,7 +116,11 @@ mod tests {
                 key_len: 1 << log_k,
                 ..Geometry::default()
             };
-            assert!(g.vbtree_fanout() <= g.btree_fanout(), "|K| = {}", 1 << log_k);
+            assert!(
+                g.vbtree_fanout() <= g.btree_fanout(),
+                "|K| = {}",
+                1 << log_k
+            );
         }
     }
 

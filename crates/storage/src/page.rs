@@ -226,8 +226,8 @@ mod tests {
         p.push(&[0xAA; 7]).unwrap(); // free_end 25
         p.push(&[0xBB; 4]).unwrap(); // free_end 21
         p.push(&[0xCC; 3]).unwrap(); // free_end 18, used_front 16
-        // Only 2 bytes between directory and data: even an empty record
-        // must be rejected (its slot needs 4).
+                                     // Only 2 bytes between directory and data: even an empty record
+                                     // must be rejected (its slot needs 4).
         assert!(matches!(
             p.push(b""),
             Err(StorageError::PageFull { needed: 0, .. })

@@ -163,7 +163,9 @@ impl Schema {
         let table = get_str(buf)?;
         let key_name = get_str(buf)?;
         if buf.len() < 4 {
-            return Err(StorageError::Corrupt("schema column count truncated".into()));
+            return Err(StorageError::Corrupt(
+                "schema column count truncated".into(),
+            ));
         }
         let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
         *buf = &buf[4..];

@@ -133,12 +133,7 @@ mod tests {
     use crate::value::{ColumnType, Value};
 
     fn table() -> Table {
-        let schema = Schema::new(
-            "db",
-            "t",
-            "id",
-            vec![ColumnDef::new("v", ColumnType::Int)],
-        );
+        let schema = Schema::new("db", "t", "id", vec![ColumnDef::new("v", ColumnType::Int)]);
         let mut t = Table::new(schema);
         for k in [5u64, 1, 9, 3] {
             let tuple = Tuple::new(t.schema(), k, vec![Value::from(k as i64 * 10)]).unwrap();

@@ -125,10 +125,7 @@ mod tests {
         let full = t.wire_len();
         let proj = t.projected_wire_len(&[0, 1]);
         assert!(proj < full);
-        assert_eq!(
-            proj,
-            10 + t.values[0].wire_len() + t.values[1].wire_len()
-        );
+        assert_eq!(proj, 10 + t.values[0].wire_len() + t.values[1].wire_len());
         assert_eq!(t.projected_wire_len(&[0, 1, 2]), full);
     }
 

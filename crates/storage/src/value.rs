@@ -118,16 +118,19 @@ impl Value {
             }
             ColumnType::Float => {
                 if len != 8 {
-                    return Err(StorageError::Corrupt("float payload must be 8 bytes".into()));
+                    return Err(StorageError::Corrupt(
+                        "float payload must be 8 bytes".into(),
+                    ));
                 }
                 Value::Float(f64::from_bits(buf.get_u64()))
             }
             ColumnType::Text => {
                 let bytes = buf[..len].to_vec();
                 buf.advance(len);
-                Value::Text(String::from_utf8(bytes).map_err(|_| {
-                    StorageError::Corrupt("text payload is not UTF-8".into())
-                })?)
+                Value::Text(
+                    String::from_utf8(bytes)
+                        .map_err(|_| StorageError::Corrupt("text payload is not UTF-8".into()))?,
+                )
             }
             ColumnType::Bytes => {
                 let bytes = buf[..len].to_vec();

@@ -80,12 +80,7 @@ impl WorkloadSpec {
                 cols.push(ColumnDef::new(format!("a{i}"), ColumnType::Text));
             }
         }
-        Schema::new(
-            self.database.clone(),
-            self.table.clone(),
-            "id",
-            cols,
-        )
+        Schema::new(self.database.clone(), self.table.clone(), "id", cols)
     }
 
     /// Generate the table.

@@ -9,7 +9,9 @@ use vbx_storage::{ColumnDef, ColumnType, Schema, SlottedPage, StorageError, Tupl
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(Value::Float),
         ".{0,40}".prop_map(Value::Text),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
     ]

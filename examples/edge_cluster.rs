@@ -22,10 +22,10 @@ fn main() {
     );
 
     // Three geographically-distributed edges receive replicas.
-    let mut edges: Vec<EdgeServer<4>> = (0..3)
+    let mut edges: Vec<EdgeServer<VbScheme<4>>> = (0..3)
         .map(|_| EdgeServer::from_bundle(central.bundle()))
         .collect();
-    let client = EdgeClient::new(edges[0].engine().schemas(), acc.clone());
+    let client = EdgeClient::new(edges[0].schemas(), acc.clone());
     println!("cluster: central + {} edges", edges.len());
 
     // ------------------------------------------------------------------
@@ -63,7 +63,7 @@ fn main() {
     // Every replica is digest-identical to the master.
     let master = central.tree("sensors").unwrap().root_digest().exp;
     for (i, e) in edges.iter().enumerate() {
-        assert_eq!(e.engine().tree("sensors").unwrap().root_digest().exp, master);
+        assert_eq!(e.tree("sensors").unwrap().root_digest().exp, master);
         println!("edge {i}: replica digest matches master");
     }
 
@@ -72,7 +72,12 @@ fn main() {
     for (i, e) in edges.iter().enumerate() {
         let (_, resp) = e.query_sql(sql).unwrap();
         let rows = client
-            .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+            .verify(
+                sql,
+                &resp,
+                central.registry(),
+                FreshnessPolicy::RequireCurrent,
+            )
             .unwrap();
         println!("edge {i}: answered + verified {} rows", rows.rows.len());
     }
@@ -89,9 +94,19 @@ fn main() {
         fresh.vo.key_version, stale.vo.key_version
     );
     assert!(client
-        .verify(sql, &fresh, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &fresh,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent
+        )
         .is_ok());
-    match client.verify(sql, &stale, central.registry(), FreshnessPolicy::RequireCurrent) {
+    match client.verify(
+        sql,
+        &stale,
+        central.registry(),
+        FreshnessPolicy::RequireCurrent,
+    ) {
         Err(e) => println!("client: stale replica rejected — {e}"),
         Ok(_) => unreachable!("stale key must be rejected under RequireCurrent"),
     }

@@ -26,8 +26,8 @@ fn catalog() -> Table {
     );
     let mut t = Table::new(schema);
     let names = [
-        "anvil", "banjo", "compass", "dynamo", "easel", "flute", "gimbal", "hammer",
-        "inkwell", "jigsaw", "kettle", "lantern", "mallet", "nutmeg", "oilcan", "pulley",
+        "anvil", "banjo", "compass", "dynamo", "easel", "flute", "gimbal", "hammer", "inkwell",
+        "jigsaw", "kettle", "lantern", "mallet", "nutmeg", "oilcan", "pulley",
     ];
     for sku in 0..400u64 {
         let name = format!("{}-{sku:03}", names[(sku % 16) as usize]);
@@ -64,7 +64,7 @@ fn main() {
     central.create_table(price_index);
 
     let edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc.clone());
+    let client = EdgeClient::new(edge.schemas(), acc.clone());
     println!("catalog: 400 products + price index distributed to the edge\n");
 
     // 1. A storefront page: SKU range with the BLOB projected away.
@@ -72,7 +72,12 @@ fn main() {
     let (_, resp) = edge.query_sql(sql).unwrap();
     let size = vbx_core::measure_response(&resp);
     let rows = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     println!("page query: {} rows verified", rows.rows.len());
     println!(
@@ -82,7 +87,7 @@ fn main() {
 
     // 2. A price-band search served from the secondary tree: contiguous
     //    in the index, so the VO stays boundary-sized.
-    let tree = edge.engine().tree(&idx_def.name).expect("index replica");
+    let tree = edge.tree(&idx_def.name).expect("index replica");
     let q = value_range_query(500, 999);
     let resp = vbx_core::execute(tree, &q, None);
     let idx_schema = tree.schema().clone();
@@ -101,7 +106,7 @@ fn main() {
 
     // 3. The same band as a predicate scan over the primary tree, for
     //    contrast (the paper's "gaps" case).
-    let primary = edge.engine().tree("products").unwrap();
+    let primary = edge.tree("products").unwrap();
     let pred = |t: &Tuple| matches!(t.values[1], Value::Int(v) if (500..=999).contains(&v));
     let scan_q = RangeQuery::project(0, 399, vec![0, 1, 2]);
     let scan = vbx_core::execute(primary, &scan_q, Some(&pred));

@@ -32,8 +32,10 @@ fn main() {
         response.vo.d_s.len(),
         response.vo.d_p.len(),
     );
-    println!("edge: plan target = {}, range = [{}, {}]",
-        plan.target, plan.range_query.lo, plan.range_query.hi);
+    println!(
+        "edge: plan target = {}, range = [{}, {}]",
+        plan.target, plan.range_query.lo, plan.range_query.hi
+    );
 
     // Exact bytes on the wire — the quantity Figures 10/11 model.
     let size = vbx_core::measure_response(&response);
@@ -47,9 +49,14 @@ fn main() {
     // ------------------------------------------------------------------
     // Client (trusted): verify against the public key registry.
     // ------------------------------------------------------------------
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
     let verified = client
-        .verify(sql, &response, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &response,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .expect("honest response verifies");
     println!(
         "client: verified {} rows with {} signature checks ({})",
@@ -64,7 +71,12 @@ fn main() {
     let mut tampered = response;
     tampered.rows[0].values[0] = Value::from("forged balance");
     let err = client
-        .verify(sql, &tampered, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &tampered,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap_err();
     println!("client: tampered response rejected — {err}");
 }

@@ -35,7 +35,7 @@ fn main() {
     println!("central: materialised join view `{view}`");
 
     let edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
 
     let queries = [
         "SELECT * FROM orders WHERE id < 25",
@@ -50,7 +50,12 @@ fn main() {
         let (plan, resp) = edge.query_sql(sql).unwrap();
         let size = vbx_core::measure_response(&resp);
         let verified = client
-            .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+            .verify(
+                sql,
+                &resp,
+                central.registry(),
+                FreshnessPolicy::RequireCurrent,
+            )
             .unwrap();
         println!(
             "{:4} rows | VO {:5} B | target {:30} | {sql}",

@@ -15,7 +15,7 @@ fn main() {
     central.create_table(WorkloadSpec::new(2_000, 6, 16).build());
 
     let mut edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
     let sql = "SELECT * FROM items WHERE id BETWEEN 500 AND 700";
 
     let modes = [
@@ -32,7 +32,12 @@ fn main() {
     for (label, mode) in modes {
         edge.set_tamper(mode);
         let (_, resp) = edge.query_sql(sql).unwrap();
-        match client.verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent) {
+        match client.verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        ) {
             Ok(rows) => println!("{label:55} -> ACCEPTED ({} rows)", rows.rows.len()),
             Err(e) => println!("{label:55} -> REJECTED: {e}"),
         }

@@ -1,0 +1,137 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u128()
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u128() as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of well-behaved magnitudes and raw bit patterns, so NaN and
+        // infinities appear occasionally (callers filter what they need).
+        match rng.below(8) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            _ => (rng.next_u64() as i64 as f64) * (rng.unit_f64() - 0.5),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII, plus the occasional multibyte scalar.
+        if rng.below(8) == 0 {
+            char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¿')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(33);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(33);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_u8_varies_in_length() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<Vec<u8>>();
+        let lens: Vec<usize> = (0..50).map(|_| s.generate(&mut rng).len()).collect();
+        assert!(lens.iter().all(|&l| l <= 32));
+        assert!(lens.iter().any(|&l| l > 0), "lengths never vary: {lens:?}");
+    }
+
+    #[test]
+    fn f64_eventually_nan() {
+        let mut rng = TestRng::from_seed(6);
+        let s = any::<f64>();
+        let mut saw_finite = false;
+        for _ in 0..200 {
+            if s.generate(&mut rng).is_finite() {
+                saw_finite = true;
+            }
+        }
+        assert!(saw_finite);
+    }
+}

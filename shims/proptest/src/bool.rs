@@ -1,0 +1,38 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fair coin.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+/// The canonical boolean strategy.
+pub const ANY: AnyBool = AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_of_coin() {
+        let mut rng = TestRng::from_seed(9);
+        let (mut t, mut f) = (false, false);
+        for _ in 0..64 {
+            if ANY.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

@@ -1,0 +1,45 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `Some` from `inner` about three quarters of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(8);
+        let s = of(0u64..10);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

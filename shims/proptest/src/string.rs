@@ -1,0 +1,206 @@
+//! Regex-subset string strategies: `"[a-z]{1,8}"` and friends.
+//!
+//! Implements `Strategy` for `&'static str`, interpreting the pattern as
+//! a generator over the subset: literal characters, `.` (printable
+//! ASCII), character classes `[a-z0-9_]` (ranges and literals, no
+//! negation), and the quantifiers `{m}`, `{m,n}`, `*` (0–8), `+` (1–8),
+//! and `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    AnyPrintable,
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let start = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((start, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((start, start));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().expect("bad quantifier lower bound");
+                            let hi = if hi.trim().is_empty() {
+                                lo + 8
+                            } else {
+                                hi.trim().parse().expect("bad quantifier upper bound")
+                            };
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyPrintable => (0x20 + rng.below(0x5F) as u8) as char,
+        Atom::Class(ranges) => {
+            let total: usize = ranges
+                .iter()
+                .map(|&(a, b)| (b as usize).saturating_sub(a as usize) + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(a, b) in ranges {
+                let span = (b as usize).saturating_sub(a as usize) + 1;
+                if pick < span {
+                    return char::from_u32(a as u32 + pick as u32).unwrap_or(a);
+                }
+                pick -= span;
+            }
+            ranges.first().map(|&(a, _)| a).unwrap_or('a')
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leading_class_then_tail() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let mut rng = TestRng::from_seed(12);
+        for _ in 0..100 {
+            let s = ".{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn mixed_class_with_space() {
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9 ]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+}

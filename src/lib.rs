@@ -38,7 +38,7 @@
 //! let (_plan, response) = edge.query_sql(sql).unwrap();
 //!
 //! // Client: verifies with public material only.
-//! let client = EdgeClient::new(edge.engine().schemas(), acc);
+//! let client = EdgeClient::new(edge.schemas(), acc);
 //! let rows = client
 //!     .verify(sql, &response, central.registry(), FreshnessPolicy::RequireCurrent)
 //!     .unwrap();
@@ -60,15 +60,15 @@ pub use vbx_storage;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use vbx_analysis::Params;
-    pub use vbx_baselines::{MerkleAuthStore, NaiveAuthStore};
+    pub use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};
     pub use vbx_core::{
-        execute, ClientVerifier, CostMeter, QueryResponse, RangeQuery, VbTree, VbTreeConfig,
-        VerifyError,
+        execute, AuthScheme, ClientVerifier, CostMeter, QueryResponse, RangeQuery, SignedDelta,
+        TamperMode, UpdateOp, VbScheme, VbTree, VbTreeConfig, VerifiedBatch, VerifyError,
     };
     pub use vbx_crypto::signer::{MockSigner, SigVerifier, Signer};
     pub use vbx_crypto::{rsa, Acc256, Accumulator, KeyRegistry};
     pub use vbx_edge::{
-        CentralServer, EdgeClient, EdgeServer, FreshnessPolicy, LockManager, LockMode, TamperMode,
+        CentralServer, EdgeClient, EdgeServer, FreshnessPolicy, LockManager, LockMode, SchemeClient,
     };
     pub use vbx_query::{parse_select, AuthQueryEngine, ClientSession, JoinViewDef};
     pub use vbx_storage::workload::WorkloadSpec;

@@ -23,9 +23,14 @@ fn full_pipeline_over_wire_bytes() {
     let bytes = encode_response(&resp);
     let received = decode_response(&bytes, &acc).unwrap();
 
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
     let rows = client
-        .verify(sql, &received, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &received,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert_eq!(rows.rows.len(), 501);
 }
@@ -38,13 +43,18 @@ fn rsa_1024_full_stack() {
     central.create_table(WorkloadSpec::new(300, 4, 10).build());
 
     let edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
     let sql = "SELECT * FROM items WHERE id < 50";
     let (_, resp) = edge.query_sql(sql).unwrap();
     // RSA-1024 signatures are 128 bytes; the VO reflects that.
     assert!(resp.vo.top.sig.len() == 128);
     let rows = client
-        .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+        .verify(
+            sql,
+            &resp,
+            central.registry(),
+            FreshnessPolicy::RequireCurrent,
+        )
         .unwrap();
     assert_eq!(rows.rows.len(), 50);
 }
@@ -55,12 +65,8 @@ fn three_schemes_agree_on_honest_data() {
     let acc = Acc256::test_default();
     let signer = MockSigner::new(3);
 
-    let tree: vbx_core::VbTree<4> = vbx_core::VbTree::bulk_load(
-        &table,
-        VbTreeConfig::default(),
-        acc.clone(),
-        &signer,
-    );
+    let tree: vbx_core::VbTree<4> =
+        vbx_core::VbTree::bulk_load(&table, VbTreeConfig::default(), acc.clone(), &signer);
     let naive = NaiveAuthStore::build(&table, acc.clone(), &signer);
     let merkle = MerkleAuthStore::build(&table, &signer);
 
@@ -78,8 +84,16 @@ fn three_schemes_agree_on_honest_data() {
     ClientVerifier::new(&acc, table.schema())
         .verify(verifier.as_ref(), &q, &vb_resp)
         .unwrap();
-    NaiveAuthStore::verify(&acc, table.schema(), verifier.as_ref(), lo, hi, None, &naive_resp)
-        .unwrap();
+    NaiveAuthStore::verify(
+        &acc,
+        table.schema(),
+        verifier.as_ref(),
+        lo,
+        hi,
+        None,
+        &naive_resp,
+    )
+    .unwrap();
     MerkleAuthStore::verify(table.schema(), verifier.as_ref(), lo, hi, &merkle_resp).unwrap();
 
     // Same rows from all three.
@@ -102,12 +116,8 @@ fn comparative_wire_sizes_match_paper_ordering() {
     let table = WorkloadSpec::new(2_000, 10, 20).build();
     let acc = Acc256::test_default();
     let signer = MockSigner::new(4);
-    let tree: vbx_core::VbTree<4> = vbx_core::VbTree::bulk_load(
-        &table,
-        VbTreeConfig::default(),
-        acc.clone(),
-        &signer,
-    );
+    let tree: vbx_core::VbTree<4> =
+        vbx_core::VbTree::bulk_load(&table, VbTreeConfig::default(), acc.clone(), &signer);
     let naive = NaiveAuthStore::build(&table, acc.clone(), &signer);
 
     for hi in [199u64, 999, 1999] {
@@ -147,27 +157,25 @@ fn concurrent_edges_serve_while_central_updates() {
     // Queries against existing replicas proceed while the central
     // server runs update transactions (the replicas are snapshots; the
     // lock protocol serialises only co-located work — Section 3.4).
-    use crossbeam::thread;
-
     let acc = Acc256::test_default();
     let signer = Arc::new(MockSigner::with_version(11, 1));
     let mut central = CentralServer::new(acc.clone(), signer, VbTreeConfig::default());
     central.create_table(WorkloadSpec::new(1_000, 4, 10).build());
     let edge = EdgeServer::from_bundle(central.bundle());
-    let client = EdgeClient::new(edge.engine().schemas(), acc);
+    let client = EdgeClient::new(edge.schemas(), acc);
 
     // The clients' copy of the well-known key directory (published
     // before the scope; the writer does not rotate keys here).
     let mut registry = KeyRegistry::new();
     registry.publish(MockSigner::with_version(11, 1).verifier(), 0);
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         let edge_ref = &edge;
         let client_ref = &client;
         let registry_ref = &registry;
         let central_ref = &mut central;
 
-        let reader = s.spawn(move |_| {
+        let reader = s.spawn(move || {
             let mut verified = 0usize;
             for i in 0..20u64 {
                 let lo = i * 40;
@@ -183,7 +191,7 @@ fn concurrent_edges_serve_while_central_updates() {
             verified
         });
 
-        let writer = s.spawn(move |_| {
+        let writer = s.spawn(move || {
             let schema = central_ref.tree("items").unwrap().schema().clone();
             for k in 5_000..5_030u64 {
                 let t = Tuple::new(
@@ -206,6 +214,5 @@ fn concurrent_edges_serve_while_central_updates() {
         let clock = writer.join().unwrap();
         assert_eq!(verified, 20);
         assert_eq!(clock, 30);
-    })
-    .unwrap();
+    });
 }
