@@ -31,6 +31,13 @@ fn bench_accumulator(c: &mut Criterion) {
         b.iter(|| acc.combine(black_box(&x), black_box(&y)))
     });
     c.bench_function("accum_lift_g_pow_e", |b| b.iter(|| acc.lift(black_box(&x))));
+    c.bench_function("accum_lift_naive", |b| {
+        b.iter(|| acc.lift_naive(black_box(&x)))
+    });
+    let chain: Vec<_> = (0..16).map(|i| exp_from_seed(&acc, i)).collect();
+    c.bench_function("accum_combine_all_16", |b| {
+        b.iter(|| acc.combine_all(black_box(&chain).iter()))
+    });
     c.bench_function("accum_uncombine", |b| {
         b.iter(|| acc.uncombine(black_box(&x), black_box(&y)))
     });
@@ -54,6 +61,24 @@ fn bench_signatures(c: &mut Criterion) {
     let v1024 = rsa1024.verifier();
     c.bench_function("rsa1024_verify", |b| {
         b.iter(|| v1024.verify(black_box(msg), black_box(&sig1024)))
+    });
+
+    // CRT fast path vs the same key signing over the full modulus.
+    let crt512 = rsa::fixture_keypair_crt_512();
+    let full512 = crt512.without_crt();
+    c.bench_function("rsa512_sign_crt", |b| {
+        b.iter(|| crt512.sign(black_box(msg)))
+    });
+    c.bench_function("rsa512_sign_fullwidth", |b| {
+        b.iter(|| full512.sign(black_box(msg)))
+    });
+    let crt1024 = rsa::fixture_keypair_crt_1024();
+    let full1024 = crt1024.without_crt();
+    c.bench_function("rsa1024_sign_crt", |b| {
+        b.iter(|| crt1024.sign(black_box(msg)))
+    });
+    c.bench_function("rsa1024_sign_fullwidth", |b| {
+        b.iter(|| full1024.sign(black_box(msg)))
     });
 
     c.bench_function("mock_sign", |b| b.iter(|| mock.sign(black_box(msg))));

@@ -21,6 +21,24 @@ fn bench_build(c: &mut Criterion) {
                 VbTree::<4>::bulk_load(t, VbTreeConfig::default(), Acc256::test_default(), &signer)
             })
         });
+        let threads = std::thread::available_parallelism()
+            .map_or(2, usize::from)
+            .max(2);
+        g.bench_with_input(
+            BenchmarkId::new(&format!("vbtree_par_t{threads}"), rows),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    VbTree::<4>::bulk_load_parallel(
+                        t,
+                        VbTreeConfig::default(),
+                        Acc256::test_default(),
+                        &signer,
+                        threads,
+                    )
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("naive", rows), &table, |b, t| {
             b.iter(|| NaiveAuthStore::<4>::build(t, Acc256::test_default(), &signer))
         });

@@ -8,7 +8,14 @@
 //! cargo run -p vbx-bench --bin repro --release            # everything
 //! cargo run -p vbx-bench --bin repro --release -- fig10   # one section
 //! cargo run -p vbx-bench --bin repro --release -- all 50000  # more rows
+//! cargo run -p vbx-bench --bin repro --release -- perf    # fast-path speedups
+//! cargo run -p vbx-bench --bin repro --release -- perf --smoke  # quick CI check
 //! ```
+//!
+//! The `perf` section (run only when named — it writes a file) measures
+//! the crypto fast paths and bulk-build parallelism, prints the speedup
+//! ratios, and rewrites `BENCH_perf.json` so the numbers are tracked
+//! across PRs.
 
 use vbx_analysis::figures::{self, render_table};
 use vbx_analysis::{tree, update, Params};
@@ -23,11 +30,24 @@ use vbx_storage::Geometry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
     let section = args.first().map(String::as_str).unwrap_or("all");
-    let rows: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let explicit_rows: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
+    let rows: u64 = explicit_rows.unwrap_or(20_000);
 
     let run = |name: &str| section == "all" || section == name;
     let p = Params::default();
+
+    if section == "perf" {
+        // Named-only (writes BENCH_perf.json); not part of `all`.
+        let perf_rows = explicit_rows.unwrap_or(if smoke { 1_000 } else { 10_000 });
+        let records = vbx_bench::perf::run_perf(perf_rows, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_perf.json", perf_rows, &records)
+            .expect("write BENCH_perf.json");
+        println!("\nwrote BENCH_perf.json ({} records)", records.len());
+        return;
+    }
 
     if run("params") {
         print_params(&p, rows);

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use vbx_analysis::Params;
 use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};
 use vbx_core::scheme::AuthScheme;
@@ -46,7 +48,13 @@ pub fn fixture(rows: u64, n_c: usize, attr_bytes: usize, fanout: Option<usize>) 
         Some(f) => VbTreeConfig::with_fanout(f),
         None => VbTreeConfig::default(),
     };
-    let tree = VbTree::bulk_load(&table, config, acc.clone(), &signer);
+    let tree = VbTree::bulk_load_parallel(
+        &table,
+        config,
+        acc.clone(),
+        &signer,
+        vbx_core::default_build_threads(table.len()),
+    );
     let naive = NaiveAuthStore::build(&table, acc.clone(), &signer);
     let merkle = MerkleAuthStore::build(&table, &signer);
     Fixture {

@@ -54,7 +54,9 @@ pub use scheme::{
     AuthScheme, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError, VerifiedBatch,
 };
 pub use source::{Capture, DigestSource, ReplaySource, SigningSource};
-pub use tree::{VbTree, VbTreeConfig, VbTreeStats};
+pub use tree::{
+    default_build_threads, VbTree, VbTreeConfig, VbTreeStats, PARALLEL_BUILD_THRESHOLD,
+};
 pub use tree_codec::{decode_tree, encode_tree};
 pub use verify::{ClientVerifier, VerifyError, VerifyReport};
 pub use vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};

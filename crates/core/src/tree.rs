@@ -75,6 +75,84 @@ pub struct VbTreeStats {
     pub digest_bytes: usize,
 }
 
+/// Row count below which a parallel bulk build is not worth the thread
+/// spawn/join overhead and the loaders stay sequential.
+pub const PARALLEL_BUILD_THRESHOLD: u64 = 2_048;
+
+/// Worker-thread count the scheme layer uses for bulk builds: 1 below
+/// [`PARALLEL_BUILD_THRESHOLD`] rows, otherwise the machine's available
+/// parallelism.
+pub fn default_build_threads(rows: usize) -> usize {
+    if (rows as u64) < PARALLEL_BUILD_THRESHOLD {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Primitive-operation counts produced while materialising tuple
+/// entries, accumulated into the tree's [`CostMeter`]. Kept separate so
+/// the parallel bulk loader's workers can count without sharing the
+/// meter.
+#[derive(Clone, Copy, Debug, Default)]
+struct EntryOps {
+    hashes: u64,
+    combines: u64,
+    signs: u64,
+}
+
+impl EntryOps {
+    fn absorb(&mut self, other: &EntryOps) {
+        self.hashes += other.hashes;
+        self.combines += other.combines;
+        self.signs += other.signs;
+    }
+
+    fn add_to(&self, meter: &mut CostMeter) {
+        meter.hash_ops += self.hashes;
+        meter.combine_ops += self.combines;
+        meter.sign_ops += self.signs;
+    }
+}
+
+/// The per-tuple digest materialisation (formulas (1) and (2)),
+/// independent of any tree instance so the bulk loaders can fan it out
+/// across threads: per-attribute digests, the combined tuple exponent,
+/// and the signed tuple digest.
+fn compute_entry<const L: usize>(
+    schema: &Schema,
+    acc: &Accumulator<L>,
+    tuple: Tuple,
+    src: &mut dyn DigestSource<L>,
+) -> Result<(TupleEntry<L>, EntryOps), CoreError> {
+    let mut ops = EntryOps::default();
+    let mut attr_digests = Vec::with_capacity(tuple.values.len());
+    let mut tuple_exp = acc.identity();
+    for (col, value) in tuple.values.iter().enumerate() {
+        let input = schema.attribute_digest_input(col, tuple.key, value);
+        let e = acc.exp_from_bytes(&input);
+        ops.hashes += 1;
+        tuple_exp = acc.combine(&tuple_exp, &e);
+        ops.combines += 1;
+        attr_digests.push(src.issue(acc, DigestRole::Attribute, &e)?);
+        if src.counts_as_sign() {
+            ops.signs += 1;
+        }
+    }
+    let tuple_digest = src.issue(acc, DigestRole::Tuple, &tuple_exp)?;
+    if src.counts_as_sign() {
+        ops.signs += 1;
+    }
+    Ok((
+        TupleEntry {
+            tuple,
+            attr_digests,
+            tuple_digest,
+        },
+        ops,
+    ))
+}
+
 /// The Verifiable B-tree.
 #[derive(Clone)]
 pub struct VbTree<const L: usize> {
@@ -140,8 +218,6 @@ impl<const L: usize> VbTree<L> {
     ) -> Self {
         let mut tree = Self::new(table.schema().clone(), config, acc, signer);
         let mut src = SigningSource::new(signer);
-        let fanout = tree.config.fanout();
-
         let entries: Vec<TupleEntry<L>> = table
             .iter()
             .map(|t| {
@@ -149,8 +225,75 @@ impl<const L: usize> VbTree<L> {
                     .expect("signing cannot fail")
             })
             .collect();
+        tree.pack_entries(entries, &mut src);
+        tree
+    }
+
+    /// Bulk-load with the per-tuple digest work (attribute hashes,
+    /// exponent combines, signatures) fanned out over `threads` OS
+    /// threads. The tree produced is **identical** to
+    /// [`bulk_load`](Self::bulk_load) — per-tuple digests are
+    /// independent, so only the cheap node-packing pass stays
+    /// sequential. With `threads <= 1` this *is* the sequential path.
+    pub fn bulk_load_parallel(
+        table: &Table,
+        config: VbTreeConfig,
+        acc: Accumulator<L>,
+        signer: &dyn Signer,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1).min(table.len().max(1));
+        if threads == 1 {
+            return Self::bulk_load(table, config, acc, signer);
+        }
+        let tuples: Vec<&Tuple> = table.iter().collect();
+        let chunk = tuples.len().div_ceil(threads);
+        let schema = table.schema();
+        let per_chunk: Vec<(Vec<TupleEntry<L>>, EntryOps)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tuples
+                .chunks(chunk)
+                .map(|part| {
+                    let acc = &acc;
+                    scope.spawn(move || {
+                        let mut src = SigningSource::new(signer);
+                        let mut ops = EntryOps::default();
+                        let entries = part
+                            .iter()
+                            .map(|t| {
+                                let (entry, o) = compute_entry(schema, acc, (*t).clone(), &mut src)
+                                    .expect("signing cannot fail");
+                                ops.absorb(&o);
+                                entry
+                            })
+                            .collect::<Vec<_>>();
+                        (entries, ops)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bulk-load worker panicked"))
+                .collect()
+        });
+
+        let mut tree = Self::new(schema.clone(), config, acc, signer);
+        let mut entries = Vec::with_capacity(tuples.len());
+        for (part, ops) in per_chunk {
+            entries.extend(part);
+            ops.add_to(&mut tree.meter);
+        }
+        let mut src = SigningSource::new(signer);
+        tree.pack_entries(entries, &mut src);
+        tree
+    }
+
+    /// Shared tail of the bulk loaders: pack prepared tuple entries into
+    /// fully-packed leaves and build the upper levels bottom-up.
+    fn pack_entries(&mut self, entries: Vec<TupleEntry<L>>, src: &mut SigningSource<'_>) {
+        let tree = self;
+        let fanout = tree.config.fanout();
         if entries.is_empty() {
-            return tree;
+            return;
         }
         tree.len = entries.len() as u64;
 
@@ -177,10 +320,10 @@ impl<const L: usize> VbTree<L> {
         for e in entries {
             chunk.push(e);
             if chunk.len() == fanout {
-                flush(&mut tree, &mut src, &mut chunk, &mut level);
+                flush(tree, src, &mut chunk, &mut level);
             }
         }
-        flush(&mut tree, &mut src, &mut chunk, &mut level);
+        flush(tree, src, &mut chunk, &mut level);
 
         // Upper levels.
         let mut height = 1u32;
@@ -195,7 +338,7 @@ impl<const L: usize> VbTree<L> {
                     exp = tree.acc.combine(&exp, e);
                     tree.meter.combine_ops += 1;
                 }
-                let digest = tree.issue_node(exp, &mut src).expect("signing cannot fail");
+                let digest = tree.issue_node(exp, src).expect("signing cannot fail");
                 let id = tree.alloc(Node::Internal(InternalNode {
                     keys,
                     children,
@@ -208,7 +351,6 @@ impl<const L: usize> VbTree<L> {
         }
         tree.root = level[0].1;
         tree.height = height;
-        tree
     }
 
     // ------------------------------------------------------------------
@@ -360,28 +502,9 @@ impl<const L: usize> VbTree<L> {
         tuple: Tuple,
         src: &mut dyn DigestSource<L>,
     ) -> Result<TupleEntry<L>, CoreError> {
-        let mut attr_digests = Vec::with_capacity(tuple.values.len());
-        let mut tuple_exp = self.acc.identity();
-        for (col, value) in tuple.values.iter().enumerate() {
-            let input = self.schema.attribute_digest_input(col, tuple.key, value);
-            let e = self.acc.exp_from_bytes(&input);
-            self.meter.hash_ops += 1;
-            tuple_exp = self.acc.combine(&tuple_exp, &e);
-            self.meter.combine_ops += 1;
-            attr_digests.push(src.issue(&self.acc, DigestRole::Attribute, &e)?);
-            if src.counts_as_sign() {
-                self.meter.sign_ops += 1;
-            }
-        }
-        let tuple_digest = src.issue(&self.acc, DigestRole::Tuple, &tuple_exp)?;
-        if src.counts_as_sign() {
-            self.meter.sign_ops += 1;
-        }
-        Ok(TupleEntry {
-            tuple,
-            attr_digests,
-            tuple_digest,
-        })
+        let (entry, ops) = compute_entry(&self.schema, &self.acc, tuple, src)?;
+        ops.add_to(&mut self.meter);
+        Ok(entry)
     }
 
     // ------------------------------------------------------------------

@@ -31,6 +31,56 @@ fn bulk_load_shapes() {
 }
 
 #[test]
+fn parallel_bulk_load_identical_to_sequential() {
+    let table = WorkloadSpec::new(500, 4, 10).build();
+    let signer = MockSigner::new(9);
+    let seq = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(8),
+        Acc256::test_default(),
+        &signer,
+    );
+    for threads in [1usize, 2, 3, 8] {
+        let par = VbTree::bulk_load_parallel(
+            &table,
+            VbTreeConfig::with_fanout(8),
+            Acc256::test_default(),
+            &signer,
+            threads,
+        );
+        assert_eq!(par.len(), seq.len());
+        assert_eq!(par.height(), seq.height());
+        assert_eq!(par.root_digest(), seq.root_digest(), "threads {threads}");
+        // The whole structure, not just the root: identical wire bytes.
+        assert_eq!(vbx_core::encode_tree(&par), vbx_core::encode_tree(&seq));
+        // Meter parity: the fan-out must not change the counted work.
+        assert_eq!(par.meter().hash_ops, seq.meter().hash_ops);
+        assert_eq!(par.meter().combine_ops, seq.meter().combine_ops);
+        assert_eq!(par.meter().sign_ops, seq.meter().sign_ops);
+        par.check_integrity(Some(signer.verifier().as_ref()))
+            .unwrap();
+    }
+}
+
+#[test]
+fn parallel_bulk_load_empty_and_tiny_tables() {
+    for rows in [0u64, 1, 5] {
+        let table = WorkloadSpec::new(rows, 3, 8).build();
+        let signer = MockSigner::new(2);
+        let par = VbTree::bulk_load_parallel(
+            &table,
+            VbTreeConfig::with_fanout(4),
+            Acc256::test_default(),
+            &signer,
+            4,
+        );
+        assert_eq!(par.len(), rows);
+        par.check_integrity(Some(signer.verifier().as_ref()))
+            .unwrap();
+    }
+}
+
+#[test]
 fn bulk_load_single_leaf() {
     let (tree, signer, _) = small_tree(3, 8);
     assert_eq!(tree.height(), 1);

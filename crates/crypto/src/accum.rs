@@ -23,18 +23,23 @@
 
 use crate::hash::{sha256, HashAlgo};
 use crate::signer::{SigVerifier, Signature, Signer};
+use std::cell::RefCell;
 use vbx_mathx::groups::SafePrimeGroup;
-use vbx_mathx::{modular, MontCtx, Uint};
+use vbx_mathx::{modular, FixedBaseTable, MontCtx, Uint};
 
 /// The digest algebra for a fixed group width of `L` limbs.
 ///
-/// Cheap to clone conceptually but holds Montgomery contexts; share it
-/// via reference or `Arc` in hot paths.
+/// Holds Montgomery contexts plus a precomputed [`FixedBaseTable`] for
+/// the generator `g`, so lifts (`g^E mod p`) skip the squaring chain
+/// entirely. Cheap to clone conceptually but the table is tens of
+/// kilobytes; share it via reference or `Arc` in hot paths.
 #[derive(Clone)]
 pub struct Accumulator<const L: usize> {
     group: SafePrimeGroup<L>,
     mont_p: MontCtx<L>,
     mont_q: MontCtx<L>,
+    /// Comb table for the fixed generator `g` over `p`.
+    fixed_g: FixedBaseTable<L>,
     hash: HashAlgo,
 }
 
@@ -66,9 +71,12 @@ impl<const L: usize> Accumulator<L> {
     /// Build the algebra with an explicit base hash — the paper names
     /// MD5 and SHA as candidate one-way functions for formula (1).
     pub fn with_hash(group: SafePrimeGroup<L>, hash: HashAlgo) -> Self {
+        let mont_p = MontCtx::new(group.p);
+        let fixed_g = FixedBaseTable::new(&mont_p, &group.g);
         Self {
-            mont_p: MontCtx::new(group.p),
+            mont_p,
             mont_q: MontCtx::new(group.q),
+            fixed_g,
             group,
             hash,
         }
@@ -101,23 +109,35 @@ impl<const L: usize> Accumulator<L> {
     /// concatenated until the group width is covered, then reduced mod
     /// `q`; zero maps to 1 so the result is always invertible.
     pub fn exp_from_bytes(&self, data: &[u8]) -> Uint<L> {
-        let mut material = Vec::with_capacity(L * 8);
-        let mut counter = 0u32;
-        while material.len() < L * 8 {
-            let mut block = Vec::with_capacity(data.len() + 4);
-            block.extend_from_slice(&counter.to_be_bytes());
-            block.extend_from_slice(data);
-            material.extend_from_slice(&self.hash.digest(&block));
-            counter += 1;
+        // Thread-local scratch: this runs once per attribute of every
+        // tuple (the build/verify hot loop), so the hash material and
+        // counter-prefixed block buffers are reused across calls instead
+        // of allocated per call. Thread-local (not a field) keeps the
+        // accumulator shareable across the parallel-build workers.
+        thread_local! {
+            static SCRATCH: RefCell<(Vec<u8>, Vec<u8>)> =
+                const { RefCell::new((Vec::new(), Vec::new())) };
         }
-        material.truncate(L * 8);
-        let wide = Uint::<L>::from_be_bytes(&material).expect("exact width");
-        let e = wide.rem(&self.group.q);
-        if e.is_zero() {
-            Uint::ONE
-        } else {
-            e
-        }
+        SCRATCH.with(|cell| {
+            let (material, block) = &mut *cell.borrow_mut();
+            material.clear();
+            let mut counter = 0u32;
+            while material.len() < L * 8 {
+                block.clear();
+                block.extend_from_slice(&counter.to_be_bytes());
+                block.extend_from_slice(data);
+                material.extend_from_slice(&self.hash.digest(block));
+                counter += 1;
+            }
+            material.truncate(L * 8);
+            let wide = Uint::<L>::from_be_bytes(material).expect("exact width");
+            let e = wide.rem(&self.group.q);
+            if e.is_zero() {
+                Uint::ONE
+            } else {
+                e
+            }
+        })
     }
 
     /// Commutative combination: `a · b mod q` — the paper's
@@ -136,12 +156,24 @@ impl<const L: usize> Accumulator<L> {
 
     /// Combine an iterator of exponents (in any order — commutativity is
     /// exercised by the property tests).
+    ///
+    /// The running product stays in Montgomery form for the whole chain:
+    /// one conversion out at the end instead of a Montgomery round-trip
+    /// per element, halving the modular multiplications of a
+    /// [`combine`](Self::combine) fold while producing identical values.
     pub fn combine_all<'a, I: IntoIterator<Item = &'a Uint<L>>>(&self, iter: I) -> Uint<L> {
-        let mut acc = self.identity();
+        let mut acc_m: Option<Uint<L>> = None;
         for e in iter {
-            acc = self.combine(&acc, e);
+            let e_m = self.mont_q.to_mont(e);
+            acc_m = Some(match acc_m {
+                Some(a) => self.mont_q.mont_mul(&a, &e_m),
+                None => e_m,
+            });
         }
-        acc
+        match acc_m {
+            Some(a) => self.mont_q.from_mont(&a),
+            None => self.identity(),
+        }
     }
 
     /// Reverse a combination: `a · b^{-1} mod q`. Used by the extension
@@ -154,9 +186,18 @@ impl<const L: usize> Accumulator<L> {
     }
 
     /// Lift an exponent to the group: `g^E mod p` — the paper's digest
-    /// value `h(…)`.
+    /// value `h(…)`. Served from the precomputed fixed-base table for
+    /// `g`: at most one multiplication per exponent nibble, no
+    /// squarings.
     pub fn lift(&self, e: &Uint<L>) -> Uint<L> {
-        self.mont_p.pow_mod(&self.group.g, e)
+        self.fixed_g.pow(&self.mont_p, e)
+    }
+
+    /// Reference lift via plain square-and-multiply — the baseline
+    /// [`lift`](Self::lift) is proven bit-identical to (property tests)
+    /// and measured against (`repro -- perf`).
+    pub fn lift_naive(&self, e: &Uint<L>) -> Uint<L> {
+        self.mont_p.pow_mod_naive(&self.group.g, e)
     }
 
     /// Incremental lift: `V^E mod p`, i.e. combine a new exponent into an

@@ -151,4 +151,56 @@ proptest! {
         sig.0[p] ^= flip;
         prop_assert!(!v.verify(&msg, &sig));
     }
+
+    /// CRT signatures are bit-identical to full-width signatures under
+    /// the same key, for arbitrary messages (the half-width fast path
+    /// must be observationally invisible).
+    #[test]
+    fn crt_signature_matches_full_width(msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let kp = rsa::fixture_keypair_crt_512();
+        let full = kp.without_crt();
+        let crt_sig = kp.sign(&msg);
+        prop_assert_eq!(crt_sig.as_bytes(), full.sign(&msg).as_bytes());
+        prop_assert!(kp.verifier().verify(&msg, &crt_sig));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fixed-base lift is bit-identical to naive square-and-multiply
+    /// for hashed exponents and for the edge cases outside `Z_q*` (zero,
+    /// one, `q`, `q + 1`, max width).
+    #[test]
+    fn lift_matches_naive(data in any::<Vec<u8>>()) {
+        let acc = Acc256::test_default();
+        let e = acc.exp_from_bytes(&data);
+        prop_assert_eq!(acc.lift(&e), acc.lift_naive(&e));
+        let q = acc.group().q;
+        for edge in [
+            vbx_mathx::U256::ZERO,
+            vbx_mathx::U256::ONE,
+            q, // exponent == group order
+            q.wrapping_add(&vbx_mathx::U256::ONE),
+            vbx_mathx::U256::MAX,
+        ] {
+            prop_assert_eq!(acc.lift(&edge), acc.lift_naive(&edge));
+        }
+    }
+
+    /// The Montgomery-chained `combine_all` equals a left fold of
+    /// `combine` for any chain (including the empty chain).
+    #[test]
+    fn combine_all_matches_fold(seeds in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let acc = Acc256::test_default();
+        let exps: Vec<_> = seeds
+            .iter()
+            .map(|s| acc.exp_from_bytes(&s.to_le_bytes()))
+            .collect();
+        let mut fold = acc.identity();
+        for e in &exps {
+            fold = acc.combine(&fold, e);
+        }
+        prop_assert_eq!(acc.combine_all(exps.iter()), fold);
+    }
 }

@@ -1,0 +1,40 @@
+//! Generator for the deterministic CRT fixture primes in
+//! `groups::rsa_fixtures` (`crt_primes_512/1024/2048`). Re-running
+//! reproduces the committed constants from the fixed seeds.
+use rand::SeedableRng;
+use vbx_mathx::{modular, prime, Uint};
+
+fn gen<const L: usize>(name: &str, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let half_bits = L * 32;
+    loop {
+        let p: Uint<L> = prime::random_prime(half_bits, &mut rng);
+        let q: Uint<L> = prime::random_prime(half_bits, &mut rng);
+        if p == q {
+            continue;
+        }
+        let n = match p.checked_mul(&q) {
+            Some(n) if n.bits() == L * 64 => n,
+            _ => continue,
+        };
+        let one = Uint::<L>::ONE;
+        let p1 = p.wrapping_sub(&one);
+        let q1 = q.wrapping_sub(&one);
+        let g = modular::gcd(&p1, &q1);
+        let (lam, _) = p1.checked_mul(&q1).unwrap().div_rem(&g);
+        let e = Uint::from_u64(65_537);
+        if modular::inv_mod(&e, &lam).is_none() {
+            continue;
+        }
+        println!("{name} p = {}", p.to_hex());
+        println!("{name} q = {}", q.to_hex());
+        println!("{name} n = {}", n.to_hex());
+        return;
+    }
+}
+
+fn main() {
+    gen::<8>("crt512", 0x5eed_0512);
+    gen::<16>("crt1024", 0x5eed_1024);
+    gen::<32>("crt2048", 0x5eed_2048);
+}

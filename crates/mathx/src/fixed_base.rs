@@ -1,0 +1,124 @@
+//! Fixed-base exponentiation via a precomputed radix-16 comb table.
+//!
+//! The accumulator's lift `h(E) = g^E mod p` always exponentiates the
+//! *same* generator `g`, so the squaring chain of a general
+//! exponentiation is pure waste: every power of `g` a 4-bit window could
+//! ever need can be tabulated once. [`FixedBaseTable`] stores
+//! `g^(d · 16^w) mod p` (in Montgomery form) for every window position
+//! `w` and digit `d ∈ [1, 15]`; an exponentiation then costs at most one
+//! Montgomery multiplication per non-zero nibble of the exponent — no
+//! squarings at all. For a `b`-bit exponent that is ≤ `b/4`
+//! multiplications versus `b` squarings plus ~`b/3` multiplications for
+//! the sliding-window general path.
+
+use crate::mont::MontCtx;
+use crate::slice_ops;
+use crate::uint::Uint;
+
+/// Precomputed powers of a fixed base modulo a [`MontCtx`]'s modulus.
+///
+/// Covers exponents of the full `L·64`-bit width, so any `Uint<L>`
+/// exponent (including values at or above the group order) produces the
+/// same result as a general `pow_mod`.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable<const L: usize> {
+    /// `windows[w][d - 1] = base^(d · 16^w)` in Montgomery form.
+    windows: Vec<[Uint<L>; 15]>,
+}
+
+impl<const L: usize> FixedBaseTable<L> {
+    /// Tabulate `base` over `ctx`'s modulus. Costs `15 · 16·L` Montgomery
+    /// multiplications once; intended for long-lived contexts such as an
+    /// accumulator's generator.
+    pub fn new(ctx: &MontCtx<L>, base: &Uint<L>) -> Self {
+        let n_windows = L * 16; // L·64 bits / 4 bits per window
+        let mut windows = Vec::with_capacity(n_windows);
+        let mut cur = ctx.to_mont(&base.rem(ctx.modulus())); // base^(16^w)
+        for _ in 0..n_windows {
+            let mut row = [cur; 15];
+            for d in 1..15 {
+                row[d] = ctx.mont_mul(&row[d - 1], &cur);
+            }
+            cur = ctx.mont_mul(&row[14], &cur); // advance to base^(16^(w+1))
+            windows.push(row);
+        }
+        Self { windows }
+    }
+
+    /// `base^exp mod n`, bit-identical to `ctx.pow_mod(base, exp)`.
+    pub fn pow(&self, ctx: &MontCtx<L>, exp: &Uint<L>) -> Uint<L> {
+        ctx.from_mont(&self.pow_mont(ctx, exp))
+    }
+
+    /// `base^exp` in Montgomery form (for callers chaining further
+    /// Montgomery arithmetic).
+    pub fn pow_mont(&self, ctx: &MontCtx<L>, exp: &Uint<L>) -> Uint<L> {
+        let limbs = exp.limbs();
+        let nbits = slice_ops::bits(limbs);
+        let mut acc: Option<Uint<L>> = None;
+        for (w, row) in self.windows.iter().enumerate() {
+            if w * 4 >= nbits {
+                break;
+            }
+            let digit = (limbs[w / 16] >> ((w % 16) * 4)) & 0xF;
+            if digit == 0 {
+                continue;
+            }
+            let term = &row[digit as usize - 1];
+            acc = Some(match acc {
+                Some(a) => ctx.mont_mul(&a, term),
+                None => *term,
+            });
+        }
+        acc.unwrap_or_else(|| ctx.one()) // exp == 0 → base^0 = 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uint::U256;
+
+    fn ctx() -> MontCtx<4> {
+        let n = U256::from_hex("9f9b41d4cd3cc3db42914b1df5f84da30c82ed1e4728e754fda103b8924619f3")
+            .unwrap();
+        MontCtx::new(n)
+    }
+
+    #[test]
+    fn matches_general_pow() {
+        let ctx = ctx();
+        let g = U256::from_u64(4);
+        let table = FixedBaseTable::new(&ctx, &g);
+        let exps = [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(2),
+            U256::from_u64(0xF0F0_F0F0),
+            U256::from_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF),
+            U256::MAX,
+        ];
+        for e in exps {
+            assert_eq!(table.pow(&ctx, &e), ctx.pow_mod_naive(&g, &e), "exp {e}");
+        }
+    }
+
+    #[test]
+    fn base_above_modulus_is_reduced() {
+        let ctx = ctx();
+        let big = U256::MAX; // > modulus; table must reduce it first
+        let table = FixedBaseTable::new(&ctx, &big);
+        let e = U256::from_u64(12345);
+        assert_eq!(table.pow(&ctx, &e), ctx.pow_mod_naive(&big, &e));
+    }
+
+    #[test]
+    fn mont_form_roundtrip() {
+        let ctx = ctx();
+        let g = U256::from_u64(4);
+        let table = FixedBaseTable::new(&ctx, &g);
+        let e = U256::from_u64(987_654_321);
+        let m = table.pow_mont(&ctx, &e);
+        assert_eq!(ctx.from_mont(&m), table.pow(&ctx, &e));
+    }
+}

@@ -134,6 +134,57 @@ pub mod rsa_fixtures {
         .unwrap()
     }
 
+    /// Prime factors of a *second* deterministic 512-bit modulus, for
+    /// keys built via CRT (`RsaKeyPair::from_primes`). Not the factors
+    /// of [`n_512`] — those were never recorded. Generated by
+    /// `examples/gen_crt.rs` (seeded search, e = 65537 invertible).
+    pub fn crt_primes_512() -> (U512, U512) {
+        (
+            Uint::from_hex("ff16a69c17f2a79a17fae8a6d755fad8c4d4f548217a2dbe9750ea19151ff3e7")
+                .unwrap(),
+            Uint::from_hex("9d7fafa73e76f39fd59fed36aabb26d2c62d849be61df7c7047663d8ce8f6ac7")
+                .unwrap(),
+        )
+    }
+
+    /// Prime factors of a deterministic 1024-bit CRT fixture modulus
+    /// (see [`crt_primes_512`]).
+    pub fn crt_primes_1024() -> (U1024, U1024) {
+        (
+            Uint::from_hex(
+                "ef81b133e71c2f97d9ef048fb52f1c2dfd652ee1f021812404738a3e195c1bdb\
+                 0afece0861145dc7f9bdbe39932d77f9274e6b6fd9ba668481a54e5815ebff7f",
+            )
+            .unwrap(),
+            Uint::from_hex(
+                "a52fddf7c048a57fe1c1408c86b468946c0e6a98f9f59febcead78c7401185d2\
+                 3767d59d7107003dbeb3f273f3e4398d9392abe8834e7748a8db3ca7f6d1585b",
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Prime factors of a deterministic 2048-bit CRT fixture modulus
+    /// (see [`crt_primes_512`]).
+    pub fn crt_primes_2048() -> (U2048, U2048) {
+        (
+            Uint::from_hex(
+                "e3bae6164ad0c75e2d5ea849882e719eede009387568ae940cc266a67e4b7953\
+                 cc3da6e4b6adc48ca4023728eab1859e25156b555e0ebd1a5a28687211e3b68a\
+                 d01f0eca4826e491bebcfe6e72d5bd72c69d474ffda0685c8a333ad6e614013e\
+                 5305de9f5ffe22254f6f9b0eae331da6f1656811ca6d3d720fbf96da53f608f9",
+            )
+            .unwrap(),
+            Uint::from_hex(
+                "b50077ac45d5c43e0db704edc62b35282dfe2c8e91266c9c7dfee63c906d1ce6\
+                 21e0b054404282099b8e380f9b38adcbde4711c50b75ccb0879daa8a11de6082\
+                 8533c467b9f9b56e0c6ee80d717b4f6a2f246acff5f9159c906c2d1c9283f645\
+                 5ac661d302d3901c18088d7c4c5cf5894ddfa09d279b272aa9e37327590a40e3",
+            )
+            .unwrap(),
+        )
+    }
+
     /// 1024-bit test modulus.
     pub fn n_1024() -> U1024 {
         Uint::from_hex(

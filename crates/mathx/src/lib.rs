@@ -5,9 +5,13 @@
 //!
 //! * [`Uint`] — const-generic little-endian limb arrays (`U256`, `U512`,
 //!   `U1024`, `U2048`, ... aliases) with full arithmetic,
-//! * [`MontCtx`] — Montgomery contexts for fast modular exponentiation by
-//!   repeated squaring with interleaved reductions (the exact optimisation
-//!   Section 3.2 of the paper describes for `h(x) = g^x mod p`),
+//! * [`MontCtx`] — Montgomery contexts for fast modular exponentiation:
+//!   4-bit sliding-window repeated squaring with interleaved reductions
+//!   and a dedicated squaring kernel (the optimisation Section 3.2 of the
+//!   paper describes for `h(x) = g^x mod p`),
+//! * [`FixedBaseTable`] — precomputed radix-16 comb tables for fixed-base
+//!   exponentiation (the accumulator's generator `g` never changes, so
+//!   its lifts need no squarings at all),
 //! * [`prime`] — Miller–Rabin primality testing and (safe-)prime
 //!   generation for RSA keygen and accumulator group setup,
 //! * [`groups`] — the RFC 3526 MODP groups plus deterministic small test
@@ -18,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fixed_base;
 mod mont;
 mod slice_ops;
 mod uint;
@@ -26,5 +31,6 @@ pub mod groups;
 pub mod modular;
 pub mod prime;
 
+pub use fixed_base::FixedBaseTable;
 pub use mont::MontCtx;
 pub use uint::{Uint, U1024, U128, U2048, U256, U3072, U4096, U512};

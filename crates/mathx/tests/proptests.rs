@@ -3,10 +3,25 @@
 //! modular identities.
 
 use proptest::prelude::*;
-use vbx_mathx::{modular, MontCtx, U128, U256};
+use vbx_mathx::{modular, FixedBaseTable, MontCtx, U128, U256};
 
 fn u256(v: u128) -> U256 {
     U256::from_u128(v)
+}
+
+/// Full-width value from two u128 halves.
+fn wide(lo: u128, hi: u128) -> U256 {
+    U256::from_limbs([lo as u64, (lo >> 64) as u64, hi as u64, (hi >> 64) as u64])
+}
+
+/// A random odd 256-bit modulus > 1.
+fn odd_modulus(lo: u128, hi: u128) -> U256 {
+    let m = wide(lo | 1, hi);
+    if m.is_one() {
+        U256::from_u64(3)
+    } else {
+        m
+    }
 }
 
 proptest! {
@@ -141,5 +156,70 @@ proptest! {
     #[test]
     fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
         prop_assert_eq!(u256(a).cmp(&u256(b)), a.cmp(&b));
+    }
+
+    /// The 4-bit sliding-window `pow_mod` is bit-identical to plain
+    /// square-and-multiply over random full-width operands and moduli.
+    #[test]
+    fn windowed_pow_matches_naive_random(
+        b in any::<(u128, u128)>(),
+        e in any::<(u128, u128)>(),
+        m in any::<(u128, u128)>(),
+    ) {
+        let modulus = odd_modulus(m.0, m.1);
+        let ctx = MontCtx::new(modulus);
+        let base = wide(b.0, b.1);
+        let exp = wide(e.0, e.1);
+        prop_assert_eq!(ctx.pow_mod(&base, &exp), ctx.pow_mod_naive(&base, &exp));
+    }
+
+    /// Windowed vs naive at the edge cases the fast path special-cases:
+    /// zero exponent, tiny exponents (short-exponent path), exponent
+    /// equal to / above the modulus, and max-width operands.
+    #[test]
+    fn windowed_pow_matches_naive_edges(
+        b in any::<(u128, u128)>(),
+        m in any::<(u128, u128)>(),
+    ) {
+        let modulus = odd_modulus(m.0, m.1);
+        let ctx = MontCtx::new(modulus);
+        let base = wide(b.0, b.1);
+        let edges = [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(2),
+            U256::from_u64(65_537),
+            modulus, // exponent >= group order
+            modulus.wrapping_add(&U256::ONE),
+            U256::MAX,
+        ];
+        for e in edges {
+            prop_assert_eq!(ctx.pow_mod(&base, &e), ctx.pow_mod_naive(&base, &e));
+        }
+    }
+
+    /// `mont_sqr` is bit-identical to `mont_mul(a, a)` for any operand.
+    #[test]
+    fn mont_sqr_matches_mont_mul(a in any::<(u128, u128)>(), m in any::<(u128, u128)>()) {
+        let ctx = MontCtx::new(odd_modulus(m.0, m.1));
+        let am = ctx.to_mont(&wide(a.0, a.1));
+        prop_assert_eq!(ctx.mont_sqr(&am), ctx.mont_mul(&am, &am));
+    }
+
+    /// Fixed-base comb lifts are bit-identical to the naive path for any
+    /// base and exponent (including exponents above the modulus).
+    #[test]
+    fn fixed_base_matches_naive(
+        b in any::<(u128, u128)>(),
+        e in any::<(u128, u128)>(),
+        m in any::<(u128, u128)>(),
+    ) {
+        let ctx = MontCtx::new(odd_modulus(m.0, m.1));
+        let base = wide(b.0, b.1);
+        let table = FixedBaseTable::new(&ctx, &base);
+        let exp = wide(e.0, e.1);
+        prop_assert_eq!(table.pow(&ctx, &exp), ctx.pow_mod_naive(&base, &exp));
+        prop_assert_eq!(table.pow(&ctx, &U256::ZERO), ctx.pow_mod_naive(&base, &U256::ZERO));
+        prop_assert_eq!(table.pow(&ctx, &U256::MAX), ctx.pow_mod_naive(&base, &U256::MAX));
     }
 }
