@@ -75,6 +75,9 @@ fn inner_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
 }
 
 /// The authenticated store: tuples in key order plus the full hash tree.
+/// `Clone` supports the serving replicas' build-aside-and-swap update
+/// path.
+#[derive(Clone)]
 pub struct MerkleAuthStore {
     schema: Schema,
     tuples: Vec<Tuple>,

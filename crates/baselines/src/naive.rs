@@ -65,6 +65,7 @@ impl core::fmt::Display for NaiveError {
 
 impl std::error::Error for NaiveError {}
 
+#[derive(Clone)]
 struct Entry<const L: usize> {
     tuple: Tuple,
     attr_digests: Vec<SignedDigest<L>>,
@@ -72,7 +73,9 @@ struct Entry<const L: usize> {
 }
 
 /// Server-side store for the Naive strategy: a key-ordered map of tuples
-/// with their signed digests.
+/// with their signed digests. `Clone` supports the serving replicas'
+/// build-aside-and-swap update path.
+#[derive(Clone)]
 pub struct NaiveAuthStore<const L: usize> {
     schema: Schema,
     entries: BTreeMap<u64, Entry<L>>,

@@ -10,12 +10,16 @@
 //! cargo run -p vbx-bench --bin repro --release -- all 50000  # more rows
 //! cargo run -p vbx-bench --bin repro --release -- perf    # fast-path speedups
 //! cargo run -p vbx-bench --bin repro --release -- perf --smoke  # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- serve   # concurrent serving
+//! cargo run -p vbx-bench --bin repro --release -- serve --smoke # quick CI check
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
 //! the crypto fast paths and bulk-build parallelism, prints the speedup
 //! ratios, and rewrites `BENCH_perf.json` so the numbers are tracked
-//! across PRs.
+//! across PRs. The `serve` section likewise rewrites `BENCH_serve.json`
+//! with the concurrent-serving numbers (reader latency percentiles,
+//! delta apply cost, cold vs cached query time).
 
 use vbx_analysis::figures::{self, render_table};
 use vbx_analysis::{tree, update, Params};
@@ -43,9 +47,21 @@ fn main() {
         // Named-only (writes BENCH_perf.json); not part of `all`.
         let perf_rows = explicit_rows.unwrap_or(if smoke { 1_000 } else { 10_000 });
         let records = vbx_bench::perf::run_perf(perf_rows, smoke);
-        vbx_bench::perf::write_bench_json("BENCH_perf.json", perf_rows, &records)
+        vbx_bench::perf::write_bench_json("BENCH_perf.json", "perf", perf_rows, &records)
             .expect("write BENCH_perf.json");
         println!("\nwrote BENCH_perf.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "serve" {
+        // Named-only (writes BENCH_serve.json); not part of `all`. The
+        // closed-loop concurrent serving benchmark: N reader threads ×
+        // verified query mix vs one writer applying signed deltas.
+        let serve_rows = explicit_rows.unwrap_or(if smoke { 1_000 } else { 8_000 });
+        let records = vbx_bench::serve::run_serve(serve_rows, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_serve.json", "serve", serve_rows, &records)
+            .expect("write BENCH_serve.json");
+        println!("\nwrote BENCH_serve.json ({} records)", records.len());
         return;
     }
 

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod serve;
 
 use vbx_analysis::Params;
 use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};

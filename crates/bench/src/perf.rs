@@ -129,7 +129,12 @@ pub fn run_perf(rows: u64, smoke: bool) -> Vec<BenchRecord> {
         ));
     });
     record(&mut recs, "vbtree_build_seq", rows, seq_ns);
-    let threads = default_build_threads(rows as usize).max(2);
+    // Honest thread count: whatever the scheme layer would actually use
+    // on this machine/table. On a single hardware thread (or below the
+    // parallel threshold) that is 1 and `bulk_load_parallel` takes the
+    // sequential path — forcing 2 here used to report a bogus
+    // "parallel" build that was just spawn/join overhead.
+    let threads = default_build_threads(rows as usize);
     let par_ns = time_ns(build_iters, || {
         black_box(VbTree::<4>::bulk_load_parallel(
             &table,
@@ -196,10 +201,16 @@ pub fn run_perf(rows: u64, smoke: bool) -> Vec<BenchRecord> {
         "rsa1024 sign speedup (CRT vs full-width): {:.2}x",
         full1024 / crt1024
     );
-    println!(
-        "build speedup ({threads} threads vs sequential, {rows} rows): {:.2}x",
-        seq_ns / par_ns
-    );
+    if threads > 1 {
+        println!(
+            "build speedup ({threads} threads vs sequential, {rows} rows): {:.2}x",
+            seq_ns / par_ns
+        );
+    } else {
+        println!(
+            "build parallelism: 1 effective thread on this machine/size — sequential fallback"
+        );
+    }
     println!(
         "RSA-signed build speedup (CRT vs full-width, {rsa_rows} rows): {:.2}x",
         rsa_build_full / rsa_build_crt
@@ -207,13 +218,19 @@ pub fn run_perf(rows: u64, smoke: bool) -> Vec<BenchRecord> {
     recs
 }
 
-/// Serialize records to the `BENCH_perf.json` trajectory file. No serde
-/// in the workspace, so the JSON is written by hand (flat structure,
-/// ASCII op names — nothing needs escaping).
-pub fn write_bench_json(path: &str, rows: u64, records: &[BenchRecord]) -> std::io::Result<()> {
+/// Serialize records to a `BENCH_*.json` trajectory file (`bench` names
+/// the section — "perf", "serve"). No serde in the workspace, so the
+/// JSON is written by hand (flat structure, ASCII op names — nothing
+/// needs escaping).
+pub fn write_bench_json(
+    path: &str,
+    bench: &str,
+    rows: u64,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"perf\",\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
     out.push_str(&format!("  \"rows\": {rows},\n"));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -249,7 +266,7 @@ mod tests {
         ];
         let path = std::env::temp_dir().join("vbx_bench_test.json");
         let path = path.to_str().unwrap();
-        write_bench_json(path, 100, &recs).unwrap();
+        write_bench_json(path, "perf", 100, &recs).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         std::fs::remove_file(path).ok();
         assert!(body.contains("\"op\": \"a\""));

@@ -193,6 +193,16 @@ pub trait AuthScheme {
         vec![0]
     }
 
+    /// Lock-resource ids a query must hold **shared** — the digests of
+    /// its enveloping subtree, so queries whose subtrees do not overlap
+    /// an in-flight update proceed concurrently (Section 3.4). Defaults
+    /// to the same single whole-store resource as
+    /// [`lock_targets`](Self::lock_targets); the VB-tree overrides with
+    /// the envelope node ids.
+    fn query_lock_targets(&self, _store: &Self::Store, _query: &RangeQuery) -> Vec<usize> {
+        vec![0]
+    }
+
     /// Whether the scheme can project server-side (ship fewer columns).
     fn supports_projection(&self) -> bool {
         false
@@ -439,6 +449,10 @@ impl<const L: usize> AuthScheme for VbScheme<L> {
             UpdateOp::Delete(key) => store.path_node_ids(*key),
             UpdateOp::DeleteRange(lo, hi) => store.envelope_node_ids(*lo, *hi),
         }
+    }
+
+    fn query_lock_targets(&self, store: &VbTree<L>, query: &RangeQuery) -> Vec<usize> {
+        store.envelope_node_ids(query.lo, query.hi)
     }
 
     fn supports_projection(&self) -> bool {

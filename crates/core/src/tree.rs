@@ -20,6 +20,7 @@ use crate::meter::CostMeter;
 use crate::node::{InternalNode, LeafNode, Node, NodeId, TupleEntry};
 use crate::source::{DeferredSource, DigestSource, SigningSource};
 use crate::CoreError;
+use std::sync::Arc;
 use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
 use vbx_crypto::{SigVerifier, Signer};
 use vbx_mathx::Uint;
@@ -154,12 +155,19 @@ fn compute_entry<const L: usize>(
 }
 
 /// The Verifiable B-tree.
+///
+/// Nodes are held behind [`Arc`]s, so `clone()` is a **cheap snapshot
+/// handle**: it copies one pointer per arena slot and shares every node.
+/// Mutations go through copy-on-write ([`Arc::make_mut`]), detaching
+/// only the nodes an update actually touches — a clone taken before an
+/// update keeps observing the pre-update tree (the serving replicas in
+/// `vbx-edge` swap such snapshots under concurrent readers).
 #[derive(Clone)]
 pub struct VbTree<const L: usize> {
     pub(crate) schema: Schema,
     pub(crate) config: VbTreeConfig,
     pub(crate) acc: Accumulator<L>,
-    pub(crate) nodes: Vec<Option<Node<L>>>,
+    pub(crate) nodes: Vec<Option<Arc<Node<L>>>>,
     pub(crate) free: Vec<NodeId>,
     pub(crate) root: NodeId,
     pub(crate) height: u32,
@@ -234,7 +242,10 @@ impl<const L: usize> VbTree<L> {
     /// threads. The tree produced is **identical** to
     /// [`bulk_load`](Self::bulk_load) — per-tuple digests are
     /// independent, so only the cheap node-packing pass stays
-    /// sequential. With `threads <= 1` this *is* the sequential path.
+    /// sequential. With `threads <= 1`, or when the machine has only a
+    /// single hardware thread (spawning workers would just add
+    /// spawn/join overhead on top of the same serial work), this *is*
+    /// the sequential path.
     pub fn bulk_load_parallel(
         table: &Table,
         config: VbTreeConfig,
@@ -242,7 +253,10 @@ impl<const L: usize> VbTree<L> {
         signer: &dyn Signer,
         threads: usize,
     ) -> Self {
-        let threads = threads.max(1).min(table.len().max(1));
+        let hw = std::thread::available_parallelism().map_or(1, usize::from);
+        let threads = if hw == 1 { 1 } else { threads }
+            .max(1)
+            .min(table.len().max(1));
         if threads == 1 {
             return Self::bulk_load(table, config, acc, signer);
         }
@@ -445,11 +459,13 @@ impl<const L: usize> VbTree<L> {
 
     /// Borrow a node by id.
     pub(crate) fn node(&self, id: NodeId) -> &Node<L> {
-        self.nodes[id].as_ref().expect("live node")
+        self.nodes[id].as_deref().expect("live node")
     }
 
+    /// Mutable borrow of a node, detaching it from any shared snapshot
+    /// first (copy-on-write).
     fn node_mut(&mut self, id: NodeId) -> &mut Node<L> {
-        self.nodes[id].as_mut().expect("live node")
+        Arc::make_mut(self.nodes[id].as_mut().expect("live node"))
     }
 
     // ------------------------------------------------------------------
@@ -513,10 +529,10 @@ impl<const L: usize> VbTree<L> {
 
     fn alloc(&mut self, node: Node<L>) -> NodeId {
         if let Some(id) = self.free.pop() {
-            self.nodes[id] = Some(node);
+            self.nodes[id] = Some(Arc::new(node));
             id
         } else {
-            self.nodes.push(Some(node));
+            self.nodes.push(Some(Arc::new(node)));
             self.nodes.len() - 1
         }
     }
@@ -762,6 +778,8 @@ impl<const L: usize> VbTree<L> {
         src: &mut dyn DigestSource<L>,
     ) -> Result<(u64, NodeId), CoreError> {
         let node = self.nodes[id].take().expect("live node");
+        // Detach from any shared snapshot before restructuring.
+        let node = Arc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone());
         match node {
             Node::Leaf(mut leaf) => {
                 let mid = leaf.entries.len() / 2;
@@ -771,7 +789,7 @@ impl<const L: usize> VbTree<L> {
                 let right_exp = self.product_of_tuples(&right_entries);
                 leaf.digest = self.issue_node(left_exp, src)?;
                 let right_digest = self.issue_node(right_exp, src)?;
-                self.nodes[id] = Some(Node::Leaf(leaf));
+                self.nodes[id] = Some(Arc::new(Node::Leaf(leaf)));
                 let right = self.alloc(Node::Leaf(LeafNode {
                     entries: right_entries,
                     digest: right_digest,
@@ -787,7 +805,7 @@ impl<const L: usize> VbTree<L> {
                 let right_exp = self.product_of_children(&right_children);
                 int.digest = self.issue_node(left_exp, src)?;
                 let right_digest = self.issue_node(right_exp, src)?;
-                self.nodes[id] = Some(Node::Internal(int));
+                self.nodes[id] = Some(Arc::new(Node::Internal(int)));
                 let right = self.alloc(Node::Internal(InternalNode {
                     keys: right_keys,
                     children: right_children,
@@ -1059,6 +1077,7 @@ impl<const L: usize> VbTree<L> {
         let mut leaves = 0usize;
         let mut digest_bytes = 0usize;
         for n in self.nodes.iter().flatten() {
+            let n = n.as_ref();
             nodes += 1;
             digest_bytes += n.digest().wire_len();
             match n {

@@ -147,7 +147,7 @@ pub fn decode_tree<const L: usize>(
     let schema = Schema::decode(&mut buf).map_err(CoreError::Storage)?;
     let n_cols = schema.num_columns();
 
-    let mut nodes: Vec<Option<Node<L>>> = Vec::new();
+    let mut nodes: Vec<Option<std::sync::Arc<Node<L>>>> = Vec::new();
     let root = decode_node(&mut buf, &acc, n_cols, &mut nodes)?;
     if buf.has_remaining() {
         return Err(corrupt("trailing bytes after tree"));
@@ -179,7 +179,7 @@ fn decode_node<const L: usize>(
     buf: &mut &[u8],
     acc: &Accumulator<L>,
     n_cols: usize,
-    nodes: &mut Vec<Option<Node<L>>>,
+    nodes: &mut Vec<Option<std::sync::Arc<Node<L>>>>,
 ) -> Result<NodeId, CoreError> {
     let corrupt = |m: &str| CoreError::Wire(m.to_string());
     if !buf.has_remaining() {
@@ -210,7 +210,10 @@ fn decode_node<const L: usize>(
                     tuple_digest,
                 });
             }
-            nodes.push(Some(Node::Leaf(LeafNode { entries, digest })));
+            nodes.push(Some(std::sync::Arc::new(Node::Leaf(LeafNode {
+                entries,
+                digest,
+            }))));
             Ok(nodes.len() - 1)
         }
         1 => {
@@ -233,11 +236,11 @@ fn decode_node<const L: usize>(
             for _ in 0..n_children {
                 children.push(decode_node(buf, acc, n_cols, nodes)?);
             }
-            nodes.push(Some(Node::Internal(InternalNode {
+            nodes.push(Some(std::sync::Arc::new(Node::Internal(InternalNode {
                 keys,
                 children,
                 digest,
-            })));
+            }))));
             Ok(nodes.len() - 1)
         }
         _ => Err(corrupt("bad node tag")),

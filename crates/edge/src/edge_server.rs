@@ -4,87 +4,71 @@
 //! Naive digest tables, Merkle trees), answers range queries — and, for
 //! the VB-tree scheme, SQL — with verification objects attached, and
 //! applies signed update deltas from the central server (it cannot sign
-//! anything itself). For the test suite it can also be placed into a
-//! [`TamperMode`] simulating a compromised host; the tampering itself is
-//! delegated to [`AuthScheme::tamper`], so every attack runs through the
-//! same pipeline for every scheme.
+//! anything itself). Since PR 3 it is a façade over the concurrent
+//! [`EdgeService`]: every table is a [`crate::snapshot::ServingReplica`]
+//! (readers work on immutable snapshots and never block; deltas build
+//! the successor store off to the side and swap it in under the
+//! Section 3.4 digest locks), and repeated queries are answered from the
+//! service's response/VO cache. For the test suite it can also be placed
+//! into a [`TamperMode`] simulating a compromised host; the tampering
+//! itself is delegated to [`AuthScheme::tamper`], so every attack runs
+//! through the same pipeline for every scheme. Tampered responses are
+//! produced from a fresh clone — the cache only ever holds honest
+//! responses.
 
 use crate::central::EdgeBundle;
+use crate::service::EdgeService;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vbx_core::scheme::{AuthScheme, SignedDelta, VbScheme};
 use vbx_core::{execute, QueryResponse, RangeQuery, VbTree};
 use vbx_query::{parse_select, plan_select, EngineError, JoinViewDef, PlannedQuery};
 use vbx_storage::{Schema, Tuple};
 
+pub use crate::service::EdgeError;
 pub use vbx_core::scheme::TamperMode;
 pub use vbx_query::engine::PlannedQuery as Plan;
 
-/// Edge-side failures: replication and query lookup, parameterised by
-/// the scheme's own error type.
-#[derive(Debug)]
-pub enum EdgeError<E> {
-    /// No replica of the named table.
-    UnknownTable(String),
-    /// A delta arrived out of order.
-    OutOfOrder {
-        /// Sequence number the replica expected next.
-        expected: u64,
-        /// Sequence number that arrived.
-        got: u64,
-    },
-    /// Scheme-level failure (divergence, forged delta, ...).
-    Scheme(E),
-}
-
-impl<E: core::fmt::Display> core::fmt::Display for EdgeError<E> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            EdgeError::UnknownTable(t) => write!(f, "no replica of {t}"),
-            EdgeError::OutOfOrder { expected, got } => {
-                write!(f, "delta {got} applied out of order (expected {expected})")
-            }
-            EdgeError::Scheme(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl<E: std::error::Error> std::error::Error for EdgeError<E> {}
-
-/// An edge server instance.
-pub struct EdgeServer<S: AuthScheme> {
-    scheme: S,
-    schemas: BTreeMap<String, Schema>,
-    stores: BTreeMap<String, S::Store>,
+/// An edge server instance: the concurrent serving engine plus the
+/// view registry and the test-only tamper switch.
+pub struct EdgeServer<S: AuthScheme>
+where
+    S::Store: Clone,
+{
+    service: EdgeService<S>,
     views: Vec<JoinViewDef>,
-    applied_seq: u64,
     tamper: TamperMode,
 }
 
-impl<S: AuthScheme> EdgeServer<S> {
+impl<S: AuthScheme> EdgeServer<S>
+where
+    S::Store: Clone,
+{
     /// An empty edge server for a scheme (tables arrive via
     /// [`install_table`](Self::install_table) or, for the VB-tree, a
     /// distribution bundle).
     pub fn new(scheme: S) -> Self {
         Self {
-            scheme,
-            schemas: BTreeMap::new(),
-            stores: BTreeMap::new(),
+            service: EdgeService::new(scheme),
             views: Vec::new(),
-            applied_seq: 0,
             tamper: TamperMode::None,
         }
     }
 
     /// The scheme descriptor.
     pub fn scheme(&self) -> &S {
-        &self.scheme
+        self.service.scheme()
+    }
+
+    /// The underlying concurrent serving engine (share it across
+    /// threads; all of its methods take `&self`).
+    pub fn service(&self) -> &EdgeService<S> {
+        &self.service
     }
 
     /// Install (or replace) a table replica.
     pub fn install_table(&mut self, name: impl Into<String>, schema: Schema, store: S::Store) {
-        let name = name.into();
-        self.schemas.insert(name.clone(), schema);
-        self.stores.insert(name, store);
+        self.service.install_table(name, schema, store);
     }
 
     /// Set the tamper mode (tests only — a real edge server is simply
@@ -95,18 +79,19 @@ impl<S: AuthScheme> EdgeServer<S> {
 
     /// Last applied delta sequence number.
     pub fn applied_seq(&self) -> u64 {
-        self.applied_seq
+        self.service.applied_seq()
     }
 
     /// Schemas of everything replicated (public metadata clients also
     /// hold).
     pub fn schemas(&self) -> BTreeMap<String, Schema> {
-        self.schemas.clone()
+        self.service.schemas()
     }
 
-    /// Replica store lookup.
-    pub fn store(&self, name: &str) -> Option<&S::Store> {
-        self.stores.get(name)
+    /// Snapshot of a replica store (an `Arc` handle — the store is
+    /// immutable; later deltas swap in successors without touching it).
+    pub fn store(&self, name: &str) -> Option<Arc<S::Store>> {
+        self.service.snapshot(name)
     }
 
     /// Answer a range query against a replica, applying the configured
@@ -116,36 +101,25 @@ impl<S: AuthScheme> EdgeServer<S> {
         table: &str,
         query: &RangeQuery,
     ) -> Result<S::Response, EdgeError<S::Error>> {
-        let store = self
-            .stores
-            .get(table)
-            .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
-        let mut resp = self.scheme.range_query(store, query);
-        self.scheme.tamper(store, query, &mut resp, &self.tamper);
+        let resp = self.service.query_range(table, query)?;
+        let mut resp = (*resp).clone();
+        if self.tamper != TamperMode::None {
+            let store = self
+                .service
+                .snapshot(table)
+                .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
+            self.service
+                .scheme()
+                .tamper(&store, query, &mut resp, &self.tamper);
+        }
         Ok(resp)
     }
 
     /// Apply one signed update delta, verifying order and (where the
-    /// scheme can) replay consistency.
-    pub fn apply_delta(
-        &mut self,
-        delta: &SignedDelta<S::Delta>,
-    ) -> Result<(), EdgeError<S::Error>> {
-        if delta.seq != self.applied_seq {
-            return Err(EdgeError::OutOfOrder {
-                expected: self.applied_seq,
-                got: delta.seq,
-            });
-        }
-        let store = self
-            .stores
-            .get_mut(&delta.table)
-            .ok_or_else(|| EdgeError::UnknownTable(delta.table.clone()))?;
-        self.scheme
-            .apply_delta(store, &delta.op, &delta.payload, delta.key_version)
-            .map_err(EdgeError::Scheme)?;
-        self.applied_seq += 1;
-        Ok(())
+    /// scheme can) replay consistency. Takes `&self`: a writer thread
+    /// can advance the replicas while readers keep serving snapshots.
+    pub fn apply_delta(&self, delta: &SignedDelta<S::Delta>) -> Result<(), EdgeError<S::Error>> {
+        self.service.apply_delta(delta)
     }
 }
 
@@ -153,12 +127,17 @@ impl<S: AuthScheme> EdgeServer<S> {
 /// the SQL front end.
 impl<const L: usize> EdgeServer<VbScheme<L>> {
     /// Stand up an edge server from a distribution bundle, recovering
-    /// the scheme's public parameters from the shipped trees.
+    /// the scheme's public parameters from the shipped trees. Each tree
+    /// becomes a [`crate::snapshot::ServingReplica`] of the concurrent
+    /// serving engine.
     ///
     /// # Panics
     /// Panics on an empty bundle (no trees to read the parameters
-    /// from) — use [`from_bundle_with_scheme`](Self::from_bundle_with_scheme)
-    /// when provisioning edges before the first `create_table`.
+    /// from). To provision an edge *before* the first `create_table`,
+    /// construct the replica set through
+    /// [`from_bundle_with_scheme`](Self::from_bundle_with_scheme) with
+    /// explicit scheme parameters — replicas then arrive later via
+    /// [`install_table`](Self::install_table) or a fresh bundle.
     pub fn from_bundle(bundle: EdgeBundle<L>) -> Self {
         let scheme = {
             let tree =
@@ -174,67 +153,95 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
     /// bundle, which may be empty (queries then fail gracefully with
     /// `UnknownTable` until replicas arrive).
     pub fn from_bundle_with_scheme(scheme: VbScheme<L>, bundle: EdgeBundle<L>) -> Self {
-        let mut edge = Self::new(scheme);
-        edge.applied_seq = bundle.as_of_seq;
+        let service = EdgeService::with_seq(scheme, bundle.as_of_seq);
         for (name, tree) in bundle.trees {
-            edge.schemas.insert(name.clone(), tree.schema().clone());
-            edge.stores.insert(name, tree);
+            let schema = tree.schema().clone();
+            service.install_table(name, schema, tree);
         }
-        edge.views = bundle.views;
-        edge
+        Self {
+            service,
+            views: bundle.views,
+            tamper: TamperMode::None,
+        }
     }
 
-    /// Replica tree lookup.
-    pub fn tree(&self, name: &str) -> Option<&VbTree<L>> {
-        self.stores.get(name)
+    /// Replica tree snapshot.
+    pub fn tree(&self, name: &str) -> Option<Arc<VbTree<L>>> {
+        self.service.snapshot(name)
     }
 
     /// Register a view tree (initial distribution and refreshes).
     pub fn install_view(&mut self, def: JoinViewDef, tree: VbTree<L>) {
         self.views.retain(|d| d.name != def.name);
-        self.schemas.insert(def.name.clone(), tree.schema().clone());
-        self.stores.insert(def.name.clone(), tree);
+        let schema = tree.schema().clone();
+        self.service.install_table(def.name.clone(), schema, tree);
         self.views.push(def);
     }
 
     /// Refresh view replicas after base-table deltas (views are rebuilt
     /// wholesale at the central server because their rowids shift).
+    /// Publishing a refreshed tree invalidates the view's cached
+    /// responses.
     pub fn refresh_views(&mut self, trees: BTreeMap<String, VbTree<L>>) {
         for (name, tree) in trees {
             if self.views.iter().any(|d| d.name == name) {
-                self.schemas.insert(name.clone(), tree.schema().clone());
-                self.stores.insert(name, tree);
+                let schema = tree.schema().clone();
+                self.service.install_table(name, schema, tree);
             }
         }
     }
 
     /// Answer a SQL query, applying the configured tamper mode to the
-    /// response.
+    /// response. Honest executions go through the service's response
+    /// cache, keyed by the plan's range + projection + residual
+    /// fingerprint.
     pub fn query_sql(&self, sql: &str) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
         let stmt = parse_select(sql)?;
-        let planned = plan_select(&stmt, &self.schemas)?;
-        let tree = self
-            .stores
-            .get(&planned.target)
-            .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
-        let residual = planned.residual.clone();
+        let planned = plan_select(&stmt, &self.service.schemas())?;
         let resp = match &self.tamper {
             TamperMode::DropAndReclassify { key } => {
                 // Re-execute with an additional "hide the victim"
                 // predicate: its signed tuple digest lands in D_S,
-                // producing a VO that still balances.
+                // producing a VO that still balances. Bypasses the cache
+                // — only honest responses are cached.
+                let tree = self
+                    .service
+                    .snapshot(&planned.target)
+                    .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
                 let victim = *key;
+                let residual = planned.residual.clone();
                 let pred =
                     move |t: &Tuple| t.key != victim && residual.as_ref().is_none_or(|p| p.eval(t));
-                execute(tree, &planned.range_query, Some(&pred))
+                execute(&tree, &planned.range_query, Some(&pred))
             }
             mode => {
-                type PredFn = Box<dyn Fn(&Tuple) -> bool>;
-                let pred_fn: Option<PredFn> =
-                    residual.map(|p| Box::new(move |t: &Tuple| p.eval(t)) as PredFn);
-                let mut resp = execute(tree, &planned.range_query, pred_fn.as_deref());
-                self.scheme
-                    .tamper(tree, &planned.range_query, &mut resp, mode);
+                let residual = planned.residual.clone();
+                let fp = planned.residual_fingerprint();
+                let resp = self
+                    .service
+                    .serve(&planned.target, &planned.range_query, fp, |tree| {
+                        type PredFn = Box<dyn Fn(&Tuple) -> bool>;
+                        let pred_fn: Option<PredFn> =
+                            residual.map(|p| Box::new(move |t: &Tuple| p.eval(t)) as PredFn);
+                        execute(tree, &planned.range_query, pred_fn.as_deref())
+                    })
+                    .map_err(|e| match e {
+                        EdgeError::UnknownTable(t) => EngineError::UnknownTable(t),
+                        // `serve` can only fail on replica lookup.
+                        EdgeError::OutOfOrder { .. } | EdgeError::Scheme(_) => {
+                            unreachable!("serve fails only on unknown tables")
+                        }
+                    })?;
+                let mut resp = (*resp).clone();
+                if *mode != TamperMode::None {
+                    let tree = self
+                        .service
+                        .snapshot(&planned.target)
+                        .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
+                    self.service
+                        .scheme()
+                        .tamper(&tree, &planned.range_query, &mut resp, mode);
+                }
                 resp
             }
         };

@@ -15,8 +15,11 @@
 //!   the public key registry and schema metadata, enforcing freshness
 //!   against the key validity windows;
 //! * [`locks`] — the digest-level shared/exclusive lock manager used by
-//!   update transactions and (conceptually) queries' enveloping
-//!   subtrees.
+//!   update transactions and queries' enveloping subtrees;
+//! * [`snapshot`] / [`service`] — the **concurrent serving subsystem**:
+//!   atomically swappable store snapshots per table, the Section 3.4
+//!   lock protocol wired into both the query and the delta path, and a
+//!   response/VO cache invalidated per table on delta apply.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +28,15 @@ pub mod central;
 pub mod client;
 pub mod edge_server;
 pub mod locks;
+pub mod service;
+pub mod snapshot;
 
 pub use central::{CentralError, CentralServer, EdgeBundle, UpdateDelta};
 pub use client::{ClientError, EdgeClient, FreshnessPolicy, SchemeClient, SchemeClientError};
-pub use edge_server::{EdgeError, EdgeServer, TamperMode};
+pub use edge_server::{EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
+pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};
+pub use snapshot::ServingReplica;
 // The scheme layer the deployment is generic over (re-exported so edge
 // users need only this crate).
 pub use vbx_baselines::{MerkleScheme, NaiveScheme};

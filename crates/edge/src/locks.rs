@@ -67,8 +67,27 @@ pub struct LockStats {
 
 #[derive(Default)]
 struct State {
+    /// Transactions holding this resource shared. A transaction that
+    /// upgraded Shared→Exclusive **stays** in this set: the membership
+    /// records the pre-upgrade mode, so rolling the upgrade back (or
+    /// releasing the exclusive half) restores the shared hold instead of
+    /// dropping the lock entirely.
     shared: HashSet<TxnId>,
     exclusive: Option<TxnId>,
+}
+
+/// What one successful acquisition actually changed — the exact undo
+/// information an all-or-nothing batch needs for rollback. Strict 2PL
+/// forbids releasing anything the transaction already held before the
+/// batch, so rollback must distinguish these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Acquisition {
+    /// The transaction held nothing on this resource before.
+    Fresh,
+    /// Shared→Exclusive upgrade; the shared hold predates the batch.
+    Upgraded,
+    /// Already held in the requested (or a stronger) mode; no change.
+    Reentrant,
 }
 
 #[derive(Default)]
@@ -98,6 +117,15 @@ impl LockManager {
         resource: Resource,
         mode: LockMode,
     ) -> Result<(), LockConflict> {
+        self.acquire_inner(txn, resource, mode).map(|_| ())
+    }
+
+    fn acquire_inner(
+        &self,
+        txn: TxnId,
+        resource: Resource,
+        mode: LockMode,
+    ) -> Result<Acquisition, LockConflict> {
         let mut t = self.table.lock();
         let state = t.locks.entry(resource.clone()).or_default();
         let ok = match mode {
@@ -115,35 +143,66 @@ impl LockManager {
                 requested: mode,
             });
         }
-        match mode {
+        let change = match mode {
+            // Holding Exclusive subsumes Shared; holding Shared already
+            // satisfies a Shared request.
+            LockMode::Shared if state.exclusive == Some(txn) || state.shared.contains(&txn) => {
+                Acquisition::Reentrant
+            }
             LockMode::Shared => {
                 state.shared.insert(txn);
+                Acquisition::Fresh
+            }
+            LockMode::Exclusive if state.exclusive == Some(txn) => Acquisition::Reentrant,
+            LockMode::Exclusive if state.shared.contains(&txn) => {
+                // Upgrade. The shared membership is deliberately kept:
+                // it records the pre-upgrade mode (see `State`).
+                state.exclusive = Some(txn);
+                Acquisition::Upgraded
             }
             LockMode::Exclusive => {
-                state.shared.remove(&txn);
                 state.exclusive = Some(txn);
+                Acquisition::Fresh
             }
+        };
+        if change == Acquisition::Fresh {
+            t.held_by.entry(txn).or_default().insert(resource);
         }
-        t.held_by.entry(txn).or_default().insert(resource);
         t.stats.acquired += 1;
-        Ok(())
+        Ok(change)
     }
 
     /// Acquire a whole set of resources or nothing (all-or-nothing, used
     /// for delete transactions which must X-lock the full path first).
+    ///
+    /// On a mid-batch conflict only the acquisitions the batch itself
+    /// made are undone: holds that predate the batch (re-entrant
+    /// re-acquisitions, the shared half of an upgrade) survive, as
+    /// strict 2PL requires.
     pub fn try_acquire_all(
         &self,
         txn: TxnId,
         resources: &[Resource],
         mode: LockMode,
     ) -> Result<(), LockConflict> {
+        let mut made: Vec<(usize, Acquisition)> = Vec::with_capacity(resources.len());
         for (i, r) in resources.iter().enumerate() {
-            if let Err(conflict) = self.try_acquire(txn, r.clone(), mode) {
-                // Roll back the partial acquisition.
-                for r in &resources[..i] {
-                    self.release_one(txn, r);
+            match self.acquire_inner(txn, r.clone(), mode) {
+                Ok(change) => made.push((i, change)),
+                Err(conflict) => {
+                    // Roll back exactly what this batch changed, newest
+                    // first (a Fresh shared hold later upgraded within
+                    // the same batch must lose the upgrade before the
+                    // hold itself is released).
+                    for &(j, change) in made.iter().rev() {
+                        match change {
+                            Acquisition::Fresh => self.release_one(txn, &resources[j]),
+                            Acquisition::Upgraded => self.downgrade_one(txn, &resources[j]),
+                            Acquisition::Reentrant => {}
+                        }
+                    }
+                    return Err(conflict);
                 }
-                return Err(conflict);
             }
         }
         Ok(())
@@ -162,6 +221,21 @@ impl LockManager {
         }
         if let Some(held) = t.held_by.get_mut(&txn) {
             held.remove(resource);
+        }
+    }
+
+    /// Undo a Shared→Exclusive upgrade: drop the exclusive half, keep
+    /// the pre-existing shared hold (the transaction stays a holder).
+    fn downgrade_one(&self, txn: TxnId, resource: &Resource) {
+        let mut t = self.table.lock();
+        if let Some(state) = t.locks.get_mut(resource) {
+            if state.exclusive == Some(txn) {
+                state.exclusive = None;
+            }
+            debug_assert!(
+                state.shared.contains(&txn),
+                "downgrade target must retain its shared hold"
+            );
         }
     }
 
@@ -268,6 +342,62 @@ mod tests {
         // Nothing from the failed batch may remain held.
         assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_ok());
         assert!(m.try_acquire(2, res(1), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn failed_batch_keeps_preexisting_holds() {
+        // Regression: rollback of a failed batch used to release
+        // re-entrantly re-acquired resources the transaction already
+        // held *before* the batch, silently dropping its locks
+        // mid-transaction (strict 2PL violation).
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Exclusive).unwrap();
+        m.try_acquire(9, res(2), LockMode::Exclusive).unwrap();
+        // Batch re-acquires res(0) (already held) and fails on res(2).
+        assert!(m
+            .try_acquire_all(1, &[res(0), res(1), res(2)], LockMode::Exclusive)
+            .is_err());
+        // txn 1 must still hold res(0) exclusively…
+        assert!(m.try_acquire(2, res(0), LockMode::Shared).is_err());
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_err());
+        // …while the batch's genuinely-new acquisition was rolled back.
+        assert!(m.try_acquire(2, res(1), LockMode::Exclusive).is_ok());
+        // End of transaction still frees everything.
+        m.release_all(1);
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn failed_batch_restores_shared_hold_after_upgrade() {
+        // Regression: a Shared→Exclusive upgrade inside a failed batch
+        // used to erase the pre-existing shared hold, so rollback
+        // dropped the lock entirely instead of downgrading.
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        m.try_acquire(9, res(1), LockMode::Exclusive).unwrap();
+        // The upgrade on res(0) succeeds, then res(1) conflicts.
+        assert!(m
+            .try_acquire_all(1, &[res(0), res(1)], LockMode::Exclusive)
+            .is_err());
+        // txn 1 is back to a *shared* hold on res(0): other readers may
+        // join, but no one can take it exclusively.
+        assert!(m.try_acquire(2, res(0), LockMode::Shared).is_ok());
+        assert!(m.try_acquire(3, res(0), LockMode::Exclusive).is_err());
+        m.release_all(1);
+        m.release_all(2);
+        assert!(m.try_acquire(3, res(0), LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn release_after_upgrade_frees_resource() {
+        // An upgrade must not leave a phantom shared hold behind after
+        // the transaction ends.
+        let m = LockManager::new();
+        m.try_acquire(1, res(0), LockMode::Shared).unwrap();
+        m.try_acquire(1, res(0), LockMode::Exclusive).unwrap();
+        m.release_all(1);
+        assert_eq!(m.locked_resources(), 0);
+        assert!(m.try_acquire(2, res(0), LockMode::Exclusive).is_ok());
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The concurrent serving subsystem: snapshot replicas + VO cache.
+//!
+//! [`EdgeService`] is the `&self`-everywhere (hence `Sync`) engine an
+//! edge site actually runs: every table is a [`ServingReplica`] (an
+//! atomically swappable snapshot, so readers never block), queries take
+//! the Section 3.4 **shared** locks on their enveloping subtree and
+//! updates take **exclusive** locks on the affected path digests through
+//! one [`LockManager`] — conflicting paths retry, non-overlapping ones
+//! proceed concurrently, exactly as the paper prescribes — and a
+//! response/VO cache keyed by `(table, range, residual fingerprint)`
+//! lets repeated hot-range queries skip both re-execution and VO
+//! assembly entirely. The cache is invalidated per table whenever a
+//! delta lands on (or a new snapshot is published for) that table;
+//! other tables' entries survive.
+//!
+//! [`crate::EdgeServer`] is a thin façade over this type that adds the
+//! VB-tree SQL surface and the test-only tamper modes.
+
+use crate::locks::{LockManager, LockMode, LockStats, Resource};
+use crate::snapshot::ServingReplica;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vbx_core::scheme::{AuthScheme, SignedDelta};
+use vbx_core::RangeQuery;
+use vbx_storage::Schema;
+
+/// Edge-side failures: replication and query lookup, parameterised by
+/// the scheme's own error type.
+#[derive(Debug)]
+pub enum EdgeError<E> {
+    /// No replica of the named table.
+    UnknownTable(String),
+    /// A delta arrived out of order.
+    OutOfOrder {
+        /// Sequence number the replica expected next.
+        expected: u64,
+        /// Sequence number that arrived.
+        got: u64,
+    },
+    /// Scheme-level failure (divergence, forged delta, ...).
+    Scheme(E),
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for EdgeError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EdgeError::UnknownTable(t) => write!(f, "no replica of {t}"),
+            EdgeError::OutOfOrder { expected, got } => {
+                write!(f, "delta {got} applied out of order (expected {expected})")
+            }
+            EdgeError::Scheme(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for EdgeError<E> {}
+
+/// Cache key: the physical query identity. Two requests share an entry
+/// exactly when they run the same range + projection over the same
+/// table with the same residual predicate (captured by the planner's
+/// stable fingerprint — 0 for "no residual").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    table: String,
+    lo: u64,
+    hi: u64,
+    projection: Option<Vec<usize>>,
+    residual_fp: u64,
+}
+
+impl CacheKey {
+    fn new(table: &str, query: &RangeQuery, residual_fp: u64) -> Self {
+        Self {
+            table: table.to_string(),
+            lo: query.lo,
+            hi: query.hi,
+            projection: query.projection.clone(),
+            residual_fp,
+        }
+    }
+}
+
+/// Cache effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Responses served straight from the cache.
+    pub hits: u64,
+    /// Responses that had to be executed.
+    pub misses: u64,
+    /// Entries dropped by per-table invalidation.
+    pub invalidated: u64,
+    /// Entries dropped by capacity eviction (FIFO).
+    pub evicted: u64,
+    /// Inserts rejected because the table was invalidated past the
+    /// snapshot the response was computed from (a delta landed while
+    /// the query executed — caching the result would resurrect
+    /// pre-delta data).
+    pub stale_skips: u64,
+}
+
+struct CacheInner<R> {
+    map: HashMap<CacheKey, Arc<R>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+    /// Per-table version floor: an insert stamped with a snapshot
+    /// version below the floor raced an invalidation and is rejected.
+    /// The floor check and the invalidation both run under the cache
+    /// mutex, so "invalidate, then accept an older result" cannot
+    /// happen in either interleaving.
+    floors: HashMap<String, u64>,
+    stats: CacheStats,
+}
+
+/// A bounded response/VO cache. Entries are whole responses (result
+/// rows *and* verification object), shared out as `Arc`s so hits copy
+/// nothing.
+pub struct ResponseCache<R> {
+    inner: Mutex<CacheInner<R>>,
+    capacity: usize,
+}
+
+/// Default number of cached responses per edge service.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1_024;
+
+impl<R> ResponseCache<R> {
+    /// A cache bounded at `capacity` entries (FIFO eviction).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                floors: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Arc<R>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).cloned() {
+            Some(hit) => {
+                inner.stats.hits += 1;
+                Some(hit)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a response computed from the table snapshot stamped
+    /// `snapshot_version`. Rejected (counted as a stale skip) when the
+    /// table has since been invalidated past that version: the response
+    /// reflects a superseded snapshot and caching it would serve
+    /// pre-delta data forever.
+    fn insert(&self, key: CacheKey, resp: Arc<R>, snapshot_version: u64) {
+        let mut inner = self.inner.lock();
+        if snapshot_version < inner.floors.get(&key.table).copied().unwrap_or(0) {
+            inner.stats.stale_skips += 1;
+            return;
+        }
+        // Replacing an existing entry does not grow the map — evict only
+        // when the insert actually would.
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                if inner.map.remove(&oldest).is_some() {
+                    inner.stats.evicted += 1;
+                }
+            }
+        }
+        if inner.map.insert(key.clone(), resp).is_none() {
+            inner.order.push_back(key);
+        }
+    }
+
+    /// Drop every entry for `table` — the invalidation rule: a delta on
+    /// a table invalidates that table's responses and nothing else —
+    /// and raise the table's floor to `min_version` (the replica's
+    /// publish count after the new snapshot), so in-flight executions
+    /// over older snapshots cannot re-populate the cache afterwards.
+    fn invalidate_table(&self, table: &str, min_version: u64) {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.table != table);
+        let dropped = (before - inner.map.len()) as u64;
+        inner.stats.invalidated += dropped;
+        if dropped > 0 {
+            let live: std::collections::HashSet<_> = inner.map.keys().cloned().collect();
+            inner.order.retain(|k| live.contains(k));
+        }
+        let floor = inner.floors.entry(table.to_string()).or_insert(0);
+        *floor = (*floor).max(min_version);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The concurrent edge serving engine (see module docs). Share it by
+/// reference (or in an `Arc`) across reader and writer threads; every
+/// method takes `&self`.
+pub struct EdgeService<S: AuthScheme> {
+    scheme: S,
+    schemas: parking_lot::RwLock<BTreeMap<String, Schema>>,
+    replicas: parking_lot::RwLock<BTreeMap<String, Arc<ServingReplica<S>>>>,
+    locks: LockManager,
+    cache: ResponseCache<S::Response>,
+    /// Next delta sequence number; the guard also serialises writers so
+    /// the order check and the apply are atomic.
+    applied_seq: Mutex<u64>,
+    /// Lock-manager transaction ids for queries/updates.
+    next_txn: AtomicU64,
+}
+
+impl<S: AuthScheme> EdgeService<S> {
+    /// An empty service for a scheme.
+    pub fn new(scheme: S) -> Self {
+        Self::with_seq(scheme, 0)
+    }
+
+    /// An empty service whose replicas reflect deltas `< seq` (bundle
+    /// restores).
+    pub fn with_seq(scheme: S, seq: u64) -> Self {
+        Self {
+            scheme,
+            schemas: parking_lot::RwLock::new(BTreeMap::new()),
+            replicas: parking_lot::RwLock::new(BTreeMap::new()),
+            locks: LockManager::new(),
+            cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
+            applied_seq: Mutex::new(seq),
+            next_txn: AtomicU64::new(1),
+        }
+    }
+
+    /// The scheme descriptor.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Install (or replace) a table replica. Replacing an existing
+    /// replica publishes the new store and invalidates the table's
+    /// cached responses.
+    pub fn install_table(&self, name: impl Into<String>, schema: Schema, store: S::Store) {
+        let name = name.into();
+        self.schemas.write().insert(name.clone(), schema);
+        // Check-and-insert atomically under the write lock: two racing
+        // installs of a new table must converge on one replica (the
+        // loser publishes into the winner's), never two.
+        let replica = {
+            let mut replicas = self.replicas.write();
+            match replicas.get(&name) {
+                Some(replica) => {
+                    let replica = replica.clone();
+                    drop(replicas);
+                    replica.publish(store);
+                    replica
+                }
+                None => {
+                    let replica = Arc::new(ServingReplica::new(store));
+                    replicas.insert(name.clone(), replica.clone());
+                    replica
+                }
+            }
+        };
+        self.cache
+            .invalidate_table(&name, replica.published_count());
+    }
+
+    /// Schemas of everything replicated (public metadata clients also
+    /// hold).
+    pub fn schemas(&self) -> BTreeMap<String, Schema> {
+        self.schemas.read().clone()
+    }
+
+    /// The named replica.
+    pub fn replica(&self, table: &str) -> Option<Arc<ServingReplica<S>>> {
+        self.replicas.read().get(table).cloned()
+    }
+
+    /// The current snapshot of a table's store.
+    pub fn snapshot(&self, table: &str) -> Option<Arc<S::Store>> {
+        self.replica(table).map(|r| r.snapshot())
+    }
+
+    /// Last applied delta sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        *self.applied_seq.lock()
+    }
+
+    /// Lock-protocol counters.
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Response-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Spin until the Section 3.4 try-lock protocol admits the batch:
+    /// all-or-nothing acquisition means no deadlock is possible, so a
+    /// conflicting path simply retries until the holder's short critical
+    /// section ends.
+    fn acquire_with_retry(&self, txn: u64, resources: &[Resource], mode: LockMode) {
+        let mut spins = 0u32;
+        while self.locks.try_acquire_all(txn, resources, mode).is_err() {
+            spins += 1;
+            if spins % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Serve a query: cache lookup, else snapshot + S-lock the
+    /// enveloping subtree + execute + cache. `residual_fp` is the
+    /// planner's stable fingerprint of any residual predicate `exec`
+    /// applies (0 for none) — it keeps semantically different
+    /// executions over the same key range in different cache slots.
+    pub fn serve<F>(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+        residual_fp: u64,
+        exec: F,
+    ) -> Result<Arc<S::Response>, EdgeError<S::Error>>
+    where
+        F: FnOnce(&S::Store) -> S::Response,
+    {
+        let key = CacheKey::new(table, query, residual_fp);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(hit);
+        }
+        let replica = self
+            .replica(table)
+            .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
+        let (snap, snap_version) = replica.versioned_snapshot();
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let resources: Vec<Resource> = self
+            .scheme
+            .query_lock_targets(&snap, query)
+            .into_iter()
+            .map(|n| (table.to_string(), n))
+            .collect();
+        self.acquire_with_retry(txn, &resources, LockMode::Shared);
+        let resp = Arc::new(exec(&snap));
+        self.locks.release_all(txn);
+        // The version stamp keeps this insert from resurrecting
+        // pre-delta data if a delta (and its invalidation) landed while
+        // we executed against the old snapshot.
+        self.cache.insert(key, resp.clone(), snap_version);
+        Ok(resp)
+    }
+
+    /// Answer a range query through the cache + snapshot pipeline.
+    pub fn query_range(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+    ) -> Result<Arc<S::Response>, EdgeError<S::Error>> {
+        self.serve(table, query, 0, |store| {
+            self.scheme.range_query(store, query)
+        })
+    }
+
+    /// Apply one signed update delta: verify order, X-lock the affected
+    /// digests (retrying against in-flight queries), build the successor
+    /// snapshot off to the side, swap, invalidate the table's cache.
+    pub fn apply_delta(&self, delta: &SignedDelta<S::Delta>) -> Result<(), EdgeError<S::Error>>
+    where
+        S::Store: Clone,
+    {
+        let mut seq = self.applied_seq.lock();
+        if delta.seq != *seq {
+            return Err(EdgeError::OutOfOrder {
+                expected: *seq,
+                got: delta.seq,
+            });
+        }
+        let replica = self
+            .replica(&delta.table)
+            .ok_or_else(|| EdgeError::UnknownTable(delta.table.clone()))?;
+        let snap = replica.snapshot();
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let resources: Vec<Resource> = self
+            .scheme
+            .lock_targets(&snap, &delta.op)
+            .into_iter()
+            .map(|n| (delta.table.clone(), n))
+            .collect();
+        self.acquire_with_retry(txn, &resources, LockMode::Exclusive);
+        let result = replica.update_with(|store| {
+            self.scheme
+                .apply_delta(store, &delta.op, &delta.payload, delta.key_version)
+        });
+        self.locks.release_all(txn);
+        result.map_err(EdgeError::Scheme)?;
+        self.cache
+            .invalidate_table(&delta.table, replica.published_count());
+        *seq += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_core::scheme::{UpdateOp, VbScheme};
+    use vbx_core::{VbTree, VbTreeConfig};
+    use vbx_crypto::signer::MockSigner;
+    use vbx_crypto::{Acc256, Signer};
+    use vbx_storage::workload::WorkloadSpec;
+
+    fn service() -> (EdgeService<VbScheme<4>>, MockSigner) {
+        let table = WorkloadSpec::new(60, 3, 8).build();
+        let signer = MockSigner::new(7);
+        let scheme = VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(5));
+        let tree = VbTree::bulk_load(
+            &table,
+            VbTreeConfig::with_fanout(5),
+            Acc256::test_default(),
+            &signer,
+        );
+        let svc = EdgeService::new(scheme);
+        svc.install_table("items", table.schema().clone(), tree);
+        (svc, signer)
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let (svc, _) = service();
+        let q = RangeQuery::select_all(10, 30);
+        let a = svc.query_range("items", &q).unwrap();
+        let b = svc.query_range("items", &q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second query must be the cached Arc");
+        let stats = svc.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn delta_invalidates_only_its_table() {
+        let (svc, signer) = service();
+        let other = WorkloadSpec {
+            table: "other".into(),
+            ..WorkloadSpec::new(20, 3, 8)
+        }
+        .build();
+        let tree = VbTree::bulk_load(
+            &other,
+            VbTreeConfig::with_fanout(5),
+            Acc256::test_default(),
+            &signer,
+        );
+        svc.install_table("other", other.schema().clone(), tree);
+
+        let q = RangeQuery::select_all(0, 10);
+        svc.query_range("items", &q).unwrap();
+        svc.query_range("other", &q).unwrap();
+        assert_eq!(svc.cache.len(), 2);
+
+        // Produce a real signed delta by updating a master copy.
+        let mut master = (*svc.snapshot("items").unwrap()).clone();
+        let op = UpdateOp::Delete(5);
+        let payload = svc
+            .scheme()
+            .update(&mut master, &op, &signer)
+            .expect("master update");
+        let delta = SignedDelta {
+            seq: 0,
+            table: "items".into(),
+            op,
+            payload,
+            key_version: signer.key_version(),
+        };
+        svc.apply_delta(&delta).unwrap();
+
+        // items' entry dropped, other's survived.
+        assert_eq!(svc.cache.len(), 1);
+        assert_eq!(svc.cache_stats().invalidated, 1);
+        let resp = svc.query_range("items", &q).unwrap();
+        assert!(resp.rows.iter().all(|r| r.key != 5));
+        assert_eq!(svc.applied_seq(), 1);
+    }
+
+    #[test]
+    fn out_of_order_delta_rejected() {
+        let (svc, signer) = service();
+        let mut master = (*svc.snapshot("items").unwrap()).clone();
+        let op = UpdateOp::Delete(5);
+        let payload = svc.scheme().update(&mut master, &op, &signer).unwrap();
+        let delta = SignedDelta {
+            seq: 3,
+            table: "items".into(),
+            op,
+            payload,
+            key_version: signer.key_version(),
+        };
+        assert!(matches!(
+            svc.apply_delta(&delta),
+            Err(EdgeError::OutOfOrder {
+                expected: 0,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn cache_capacity_evicts_fifo() {
+        let cache: ResponseCache<u32> = ResponseCache::new(2);
+        let key = |i: u64| CacheKey::new("t", &RangeQuery::select_all(i, i), 0);
+        cache.insert(key(0), Arc::new(0), 0);
+        cache.insert(key(1), Arc::new(1), 0);
+        cache.insert(key(2), Arc::new(2), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0)).is_none(), "oldest entry evicted");
+        assert!(cache.get(&key(2)).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn stale_insert_after_invalidation_is_rejected() {
+        // Regression for the lost-invalidation race: a reader snapshots
+        // at version v, a delta publishes v+1 and invalidates, then the
+        // reader finishes and tries to cache its pre-delta response.
+        // The version floor must reject it — otherwise the stale entry
+        // would be served until the *next* delta.
+        let cache: ResponseCache<u32> = ResponseCache::new(8);
+        let key = CacheKey::new("t", &RangeQuery::select_all(0, 9), 0);
+        cache.invalidate_table("t", 1); // delta landed: floor = 1
+        cache.insert(key.clone(), Arc::new(7), 0); // stale snapshot v0
+        assert!(cache.get(&key).is_none(), "stale insert must be dropped");
+        assert_eq!(cache.stats().stale_skips, 1);
+        // A response from the successor snapshot is accepted.
+        cache.insert(key.clone(), Arc::new(8), 1);
+        assert_eq!(cache.get(&key).as_deref(), Some(&8));
+        // Invalidation on another table leaves this floor alone.
+        cache.invalidate_table("u", 5);
+        cache.insert(key.clone(), Arc::new(9), 1);
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn residual_fingerprint_separates_entries() {
+        let (svc, _) = service();
+        let q = RangeQuery::select_all(0, 59);
+        let plain = svc.query_range("items", &q).unwrap();
+        let filtered = svc
+            .serve("items", &q, 0xFEED, |store| {
+                vbx_core::execute(store, &q, Some(&|t: &vbx_storage::Tuple| t.key % 2 == 0))
+            })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&plain, &filtered));
+        assert!(filtered.rows.len() < plain.rows.len());
+        // Each slot replays its own entry.
+        assert!(Arc::ptr_eq(
+            &filtered,
+            &svc.serve("items", &q, 0xFEED, |_| unreachable!("must hit cache"))
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn queries_take_shared_locks() {
+        let (svc, _) = service();
+        let q = RangeQuery::select_all(0, 5);
+        svc.query_range("items", &q).unwrap();
+        assert!(svc.lock_stats().acquired > 0);
+        assert_eq!(svc.lock_stats().released, 1);
+    }
+}

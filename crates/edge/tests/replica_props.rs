@@ -45,8 +45,8 @@ proptest! {
             }
             .build(),
         );
-        let mut edge_a = EdgeServer::from_bundle(central.bundle());
-        let mut edge_b = EdgeServer::from_bundle(central.bundle());
+        let edge_a = EdgeServer::from_bundle(central.bundle());
+        let edge_b = EdgeServer::from_bundle(central.bundle());
         let schema = central.tree("items").unwrap().schema().clone();
 
         let mut applied = 0usize;

@@ -78,7 +78,7 @@ fn multiple_edges_agree() {
 
 #[test]
 fn update_deltas_keep_replicas_identical() {
-    let (mut central, mut edge, client) = setup(50);
+    let (mut central, edge, client) = setup(50);
     let schema = central.tree("items").unwrap().schema().clone();
 
     // A mix of inserts and deletes, propagated one by one.
@@ -139,7 +139,7 @@ fn update_deltas_keep_replicas_identical() {
 
 #[test]
 fn out_of_order_delta_rejected() {
-    let (mut central, mut edge, _) = setup(20);
+    let (mut central, edge, _) = setup(20);
     let schema = central.tree("items").unwrap().schema().clone();
     let t1 = Tuple::new(
         &schema,
@@ -164,7 +164,7 @@ fn out_of_order_delta_rejected() {
 
 #[test]
 fn forged_delta_rejected() {
-    let (mut central, mut edge, _) = setup(20);
+    let (mut central, edge, _) = setup(20);
     let schema = central.tree("items").unwrap().schema().clone();
     let t = Tuple::new(
         &schema,

@@ -35,6 +35,7 @@ const VICTIM: u64 = 20;
 fn detected<S>(scheme: S, mode: TamperMode) -> bool
 where
     S: AuthScheme + Clone,
+    S::Store: Clone,
 {
     let table = WorkloadSpec::new(ROWS, 4, 10).build();
     let name = table.schema().table.clone();

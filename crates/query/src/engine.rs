@@ -99,6 +99,94 @@ pub struct PlannedQuery {
     pub residual: Option<BoundPredicate>,
 }
 
+impl PlannedQuery {
+    /// A stable fingerprint of the residual predicate, for response-
+    /// cache keying: `0` when there is no residual, otherwise an FNV-1a
+    /// hash of a canonical encoding of the bound predicate tree. Stable
+    /// across processes (no per-process hasher state) and across
+    /// re-plans of the same SQL, so two plans collide exactly when their
+    /// residual filtering is identical. The key range and projection are
+    /// *not* folded in — the cache keys those separately.
+    pub fn residual_fingerprint(&self) -> u64 {
+        match &self.residual {
+            None => 0,
+            Some(pred) => {
+                let mut h = Fnv1a::new();
+                hash_pred(pred, &mut h);
+                // Reserve 0 for "no residual".
+                h.finish().max(1)
+            }
+        }
+    }
+}
+
+/// Minimal FNV-1a: deterministic, dependency-free, byte-oriented.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_lit(lit: &crate::expr::Literal, h: &mut Fnv1a) {
+    use crate::expr::Literal;
+    match lit {
+        Literal::Int(v) => {
+            h.write(&[0x10]);
+            h.write(&v.to_le_bytes());
+        }
+        Literal::Float(v) => {
+            h.write(&[0x11]);
+            h.write(&v.to_bits().to_le_bytes());
+        }
+        Literal::Str(s) => {
+            h.write(&[0x12]);
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+    }
+}
+
+fn hash_pred(pred: &BoundPredicate, h: &mut Fnv1a) {
+    match pred {
+        BoundPredicate::KeyCmp(op, v) => {
+            h.write(&[0x01, *op as u8]);
+            h.write(&v.to_le_bytes());
+        }
+        BoundPredicate::ColCmp(idx, op, lit) => {
+            h.write(&[0x02, *op as u8]);
+            h.write(&(*idx as u64).to_le_bytes());
+            hash_lit(lit, h);
+        }
+        BoundPredicate::And(a, b) => {
+            h.write(&[0x03]);
+            hash_pred(a, h);
+            hash_pred(b, h);
+        }
+        BoundPredicate::Or(a, b) => {
+            h.write(&[0x04]);
+            hash_pred(a, h);
+            hash_pred(b, h);
+        }
+        BoundPredicate::Not(e) => {
+            h.write(&[0x05]);
+            hash_pred(e, h);
+        }
+    }
+}
+
 /// Plan a statement against a set of schemas — shared by the edge
 /// server, the trusted client (which re-plans rather than trusting the
 /// edge), and any deployment embedding its own store map.
@@ -457,6 +545,34 @@ mod tests {
             err,
             EngineError::PredicateViolation { .. } | EngineError::Verify(_)
         ));
+    }
+
+    #[test]
+    fn residual_fingerprints_stable_and_discriminating() {
+        let (_, client, _) = engine();
+        let plan = |sql: &str| client.plan_sql(sql).unwrap();
+        // No residual → 0.
+        assert_eq!(
+            plan("SELECT * FROM items WHERE id < 10").residual_fingerprint(),
+            0
+        );
+        // Same SQL, re-planned → same fingerprint.
+        let a = plan("SELECT * FROM items WHERE id < 40 AND a3 >= 50");
+        let b = plan("SELECT * FROM items WHERE id < 40 AND a3 >= 50");
+        assert_ne!(a.residual_fingerprint(), 0);
+        assert_eq!(a.residual_fingerprint(), b.residual_fingerprint());
+        // Different literal / operator / column → different fingerprints.
+        for other in [
+            "SELECT * FROM items WHERE id < 40 AND a3 >= 51",
+            "SELECT * FROM items WHERE id < 40 AND a3 <= 50",
+            "SELECT * FROM items WHERE id < 40 AND a3 >= 50 AND a0 = 'x'",
+        ] {
+            assert_ne!(
+                a.residual_fingerprint(),
+                plan(other).residual_fingerprint(),
+                "{other} must not collide"
+            );
+        }
     }
 
     #[test]

@@ -89,7 +89,7 @@ fn main() {
     //    in the index, so the VO stays boundary-sized.
     let tree = edge.tree(&idx_def.name).expect("index replica");
     let q = value_range_query(500, 999);
-    let resp = vbx_core::execute(tree, &q, None);
+    let resp = vbx_core::execute(&tree, &q, None);
     let idx_schema = tree.schema().clone();
     let report = ClientVerifier::new(&acc, &idx_schema)
         .verify(signer.verifier().as_ref(), &q, &resp)
@@ -109,7 +109,7 @@ fn main() {
     let primary = edge.tree("products").unwrap();
     let pred = |t: &Tuple| matches!(t.values[1], Value::Int(v) if (500..=999).contains(&v));
     let scan_q = RangeQuery::project(0, 399, vec![0, 1, 2]);
-    let scan = vbx_core::execute(primary, &scan_q, Some(&pred));
+    let scan = vbx_core::execute(&primary, &scan_q, Some(&pred));
     println!(
         "  same band via primary-tree scan: {} digests ({} B) of gap coverage",
         scan.vo.digest_count(),
