@@ -12,6 +12,8 @@
 //! cargo run -p vbx-bench --bin repro --release -- perf --smoke  # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- serve   # concurrent serving
 //! cargo run -p vbx-bench --bin repro --release -- serve --smoke # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- cluster # multi-edge cluster
+//! cargo run -p vbx-bench --bin repro --release -- cluster --smoke # quick CI check
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
@@ -50,6 +52,21 @@ fn main() {
         vbx_bench::perf::write_bench_json("BENCH_perf.json", "perf", perf_rows, &records)
             .expect("write BENCH_perf.json");
         println!("\nwrote BENCH_perf.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "cluster" {
+        // Named-only (writes BENCH_cluster.json); not part of `all`.
+        // The multi-edge cluster benchmark: sharded delta fan-out,
+        // routed freshness-verified reads, and the induced-lag scenario
+        // (a strict client must reject the stale edge with
+        // VerifyError::Stale and accept it again after its subscription
+        // queue drains).
+        let cluster_rows = explicit_rows.unwrap_or(if smoke { 500 } else { 4_000 });
+        let records = vbx_bench::cluster::run_cluster(cluster_rows, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_cluster.json", "cluster", cluster_rows, &records)
+            .expect("write BENCH_cluster.json");
+        println!("\nwrote BENCH_cluster.json ({} records)", records.len());
         return;
     }
 

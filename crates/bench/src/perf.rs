@@ -35,6 +35,24 @@ pub struct BenchRecord {
     pub ns_per_op: f64,
 }
 
+/// Reader threads for the closed-loop benchmarks (`serve`, `cluster`):
+/// at least 2 even on a single hardware thread, more cores add readers
+/// up to 4.
+pub fn reader_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .clamp(2, 4)
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+pub fn percentile(sorted: &[u64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * pct).round() as usize;
+    sorted[idx] as f64
+}
+
 /// Mean wall time of `f` in nanoseconds over `iters` runs (after one
 /// warm-up run).
 fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {

@@ -12,32 +12,16 @@
 //! cache-hit vs cold-execution gap, and is written to
 //! `BENCH_serve.json` in the same diffable shape as `BENCH_perf.json`.
 
-use crate::perf::BenchRecord;
+use crate::perf::{percentile, reader_threads, BenchRecord};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use vbx_core::{RangeQuery, VbTreeConfig};
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::{Acc256, KeyRegistry};
-use vbx_edge::{CentralServer, EdgeServer, FreshnessPolicy, SchemeClient, VbScheme};
+use vbx_edge::{CentralServer, EdgeServer, KeyFreshnessPolicy, SchemeClient, VbScheme};
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
-
-/// Reader threads in the closed loop (the acceptance bar is ≥ 2 even on
-/// a single hardware thread; more cores add readers up to 4).
-fn reader_threads() -> usize {
-    std::thread::available_parallelism()
-        .map_or(2, usize::from)
-        .clamp(2, 4)
-}
-
-fn percentile(sorted: &[u64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * pct).round() as usize;
-    sorted[idx] as f64
-}
 
 /// One reader's share of the closed loop: issue queries from the mix,
 /// verify each response, record per-query latency, until the writer is
@@ -79,7 +63,7 @@ fn reader_loop(
                 &q,
                 &resp,
                 registry,
-                FreshnessPolicy::RequireCurrent,
+                KeyFreshnessPolicy::RequireCurrent,
             )
             .is_ok();
         lat.push(t0.elapsed().as_nanos() as u64);

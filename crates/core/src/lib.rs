@@ -58,7 +58,9 @@ pub use tree::{
     default_build_threads, VbTree, VbTreeConfig, VbTreeStats, PARALLEL_BUILD_THRESHOLD,
 };
 pub use tree_codec::{decode_tree, encode_tree};
-pub use verify::{ClientVerifier, VerifyError, VerifyReport};
+pub use verify::{
+    ClientVerifier, FreshnessPolicy, FreshnessStamp, ResponseFreshness, VerifyError, VerifyReport,
+};
 pub use vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
 pub use wire::{decode_response, encode_response, measure_response, ResponseSize};
 

@@ -29,7 +29,7 @@
 use crate::meter::CostMeter;
 use crate::source::{Capture, ReplaySource};
 use crate::tree::{VbTree, VbTreeConfig};
-use crate::verify::{ClientVerifier, VerifyError};
+use crate::verify::{ClientVerifier, ResponseFreshness, VerifyError};
 use crate::vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
 use crate::wire::measure_response;
 use crate::CoreError;
@@ -201,6 +201,17 @@ pub trait AuthScheme {
     /// the envelope node ids.
     fn query_lock_targets(&self, _store: &Self::Store, _query: &RangeQuery) -> Vec<usize> {
         vec![0]
+    }
+
+    /// Stamp a response with the serving edge's replication position
+    /// (applied seq + newest owner stamp). Default: the scheme's wire
+    /// format carries no freshness metadata, so this is a no-op.
+    fn stamp_freshness(_resp: &mut Self::Response, _freshness: &ResponseFreshness) {}
+
+    /// The freshness metadata carried by a response, where the scheme's
+    /// wire format has any.
+    fn response_freshness(_resp: &Self::Response) -> Option<&ResponseFreshness> {
+        None
     }
 
     /// Whether the scheme can project server-side (ship fewer columns).
@@ -410,6 +421,14 @@ impl<const L: usize> AuthScheme for VbScheme<L> {
 
     fn response_key_version(resp: &QueryResponse<L>) -> u32 {
         resp.vo.key_version
+    }
+
+    fn stamp_freshness(resp: &mut QueryResponse<L>, freshness: &ResponseFreshness) {
+        resp.freshness = freshness.clone();
+    }
+
+    fn response_freshness(resp: &QueryResponse<L>) -> Option<&ResponseFreshness> {
+        Some(&resp.freshness)
     }
 
     fn tamper(

@@ -11,8 +11,141 @@
 use crate::meter::CostMeter;
 use crate::vo::{QueryResponse, RangeQuery};
 use vbx_crypto::accum::{Accumulator, DigestRole};
-use vbx_crypto::SigVerifier;
+use vbx_crypto::{SigVerifier, Signature, Signer};
 use vbx_storage::Schema;
+
+/// Domain-separation tag for freshness-stamp signatures, so a stamp can
+/// never be confused with a digest signature (or vice versa).
+const STAMP_DOMAIN: &[u8; 8] = b"VBXFRSH1";
+
+/// An owner-signed attestation of the log position: "at logical clock
+/// `clock`, the latest committed delta sequence number was `seq`".
+///
+/// This is the signed part of the root bundle an edge republishes with
+/// its responses. Edges cannot forge a *newer* stamp (they hold no
+/// signing key), so a client that knows the owner's current position can
+/// bound how stale an **honest-but-lagging** replica is — the lazy-trust
+/// gap WedgeChain formalises for edge-cloud stores. The owner refreshes
+/// the stamp on every commit and on explicit heartbeats, so `clock` also
+/// proves recent contact when no updates flow.
+///
+/// **Threat-model boundary:** the stamp attests the owner's position,
+/// not the snapshot the edge actually served from. A *malicious* edge
+/// that keeps receiving stamps can pair its newest stamp with an older
+/// (still authentically signed) snapshot; integrity is still guaranteed
+/// by the VO, and bounded staleness against such an edge falls back to
+/// the paper's key-rotation validity windows (`KeyFreshnessPolicy`).
+/// Binding the served root digest into the stamp is a roadmap item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FreshnessStamp {
+    /// Number of committed deltas the stamp attests to (the owner's
+    /// next expected sequence number).
+    pub seq: u64,
+    /// Owner's logical clock at signing time.
+    pub clock: u64,
+    /// Key version the stamp was signed under (signed into the
+    /// message, so it cannot be rewritten). After a key rotation an
+    /// edge still serving old-key VOs has no stamp verifiable under
+    /// that key — reported as `Stale`, not as tampering.
+    pub key_version: u32,
+    /// Signature over the domain-tagged `(seq, clock, key_version)`
+    /// message.
+    pub sig: Signature,
+}
+
+impl FreshnessStamp {
+    /// The exact bytes the owner signs.
+    pub fn message(seq: u64, clock: u64, key_version: u32) -> [u8; 28] {
+        let mut msg = [0u8; 28];
+        msg[..8].copy_from_slice(STAMP_DOMAIN);
+        msg[8..16].copy_from_slice(&seq.to_be_bytes());
+        msg[16..24].copy_from_slice(&clock.to_be_bytes());
+        msg[24..28].copy_from_slice(&key_version.to_be_bytes());
+        msg
+    }
+
+    /// Trusted: sign a stamp for the current log position under the
+    /// signer's current key version.
+    pub fn sign(signer: &dyn Signer, seq: u64, clock: u64) -> Self {
+        let key_version = signer.key_version();
+        Self {
+            seq,
+            clock,
+            key_version,
+            sig: signer.sign(&Self::message(seq, clock, key_version)),
+        }
+    }
+
+    /// Check the stamp's signature.
+    pub fn verify(&self, verifier: &dyn SigVerifier) -> bool {
+        verifier.verify(
+            &Self::message(self.seq, self.clock, self.key_version),
+            &self.sig,
+        )
+    }
+}
+
+/// The freshness metadata an edge attaches to every response: its own
+/// applied-delta position plus the newest owner stamp it holds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResponseFreshness {
+    /// Delta sequence number the serving edge had applied through when
+    /// it produced the response. Advisory (the edge asserts it); the
+    /// *signed* bound is the stamp.
+    pub applied_seq: u64,
+    /// Newest owner-signed `(seq, clock)` attestation the edge holds,
+    /// if any.
+    pub stamp: Option<FreshnessStamp>,
+}
+
+/// How much staleness a client tolerates from an edge replica, measured
+/// against the owner position the client learned out of band (from the
+/// trusted coordinator). Both bounds are inclusive; `u64::MAX` disables
+/// a bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreshnessPolicy {
+    /// Maximum accepted `owner_seq - stamp.seq` (deltas behind).
+    pub max_lag: u64,
+    /// Maximum accepted `owner_clock - stamp.clock` (clock ticks since
+    /// the edge last proved contact with the owner).
+    pub max_age: u64,
+}
+
+impl FreshnessPolicy {
+    /// Reject anything but a fully caught-up, just-heard-from edge.
+    pub fn strict() -> Self {
+        Self {
+            max_lag: 0,
+            max_age: 0,
+        }
+    }
+
+    /// Bound only the delta lag.
+    pub fn max_lag(lag: u64) -> Self {
+        Self {
+            max_lag: lag,
+            max_age: u64::MAX,
+        }
+    }
+
+    /// Bound only the stamp age.
+    pub fn max_age(age: u64) -> Self {
+        Self {
+            max_lag: u64::MAX,
+            max_age: age,
+        }
+    }
+}
+
+impl Default for FreshnessPolicy {
+    /// No staleness bound (the pre-cluster behaviour).
+    fn default() -> Self {
+        Self {
+            max_lag: u64::MAX,
+            max_age: u64::MAX,
+        }
+    }
+}
 
 /// Why a response failed verification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +184,16 @@ pub enum VerifyError {
     DigestMismatch,
     /// The projection in the query references an unknown column.
     BadProjection,
+    /// The response is authentic but violates the client's
+    /// [`FreshnessPolicy`] — an honest-but-stale edge, distinct from
+    /// tampering. `None` fields mean the response carried no owner
+    /// stamp at all.
+    Stale {
+        /// Signed deltas the edge's stamp lags behind the owner.
+        lag: Option<u64>,
+        /// Logical-clock ticks since the edge's stamp was signed.
+        age: Option<u64>,
+    },
 }
 
 impl core::fmt::Display for VerifyError {
@@ -66,6 +209,16 @@ impl core::fmt::Display for VerifyError {
             VerifyError::WrongRole { part } => write!(f, "wrong digest role in {part}"),
             VerifyError::DigestMismatch => write!(f, "digest mismatch: result tampered"),
             VerifyError::BadProjection => write!(f, "projection references unknown column"),
+            VerifyError::Stale {
+                lag: None,
+                age: None,
+            } => write!(f, "stale: response carries no owner freshness stamp"),
+            VerifyError::Stale { lag, age } => write!(
+                f,
+                "stale replica: {} deltas behind, stamp {} ticks old",
+                lag.unwrap_or(0),
+                age.unwrap_or(0)
+            ),
         }
     }
 }
@@ -84,6 +237,16 @@ pub struct VerifyReport {
     pub meter: CostMeter,
 }
 
+/// The freshness check a [`ClientVerifier`] optionally enforces: the
+/// policy plus the owner position `(seq, clock)` the client learned
+/// from the trusted side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FreshnessCheck {
+    policy: FreshnessPolicy,
+    owner_seq: u64,
+    owner_clock: u64,
+}
+
 /// The client-side verifier: the public knowledge a client needs —
 /// digest algebra parameters and the schema (names feed formula (1)).
 pub struct ClientVerifier<'a, const L: usize> {
@@ -91,12 +254,38 @@ pub struct ClientVerifier<'a, const L: usize> {
     pub acc: &'a Accumulator<L>,
     /// Schema of the queried table.
     pub schema: &'a Schema,
+    /// Optional staleness enforcement (see [`Self::with_freshness`]).
+    freshness: Option<FreshnessCheck>,
 }
 
 impl<'a, const L: usize> ClientVerifier<'a, L> {
-    /// Create a verifier context.
+    /// Create a verifier context (no staleness bound).
     pub fn new(acc: &'a Accumulator<L>, schema: &'a Schema) -> Self {
-        Self { acc, schema }
+        Self {
+            acc,
+            schema,
+            freshness: None,
+        }
+    }
+
+    /// Enforce `policy` against the owner position `(owner_seq,
+    /// owner_clock)` the client trusts (obtained out of band from the
+    /// coordinator). With this set, [`verify`](Self::verify) demands an
+    /// owner-signed [`FreshnessStamp`] in the response and returns
+    /// [`VerifyError::Stale`] when the replica lags beyond the policy —
+    /// distinct from any tampering error.
+    pub fn with_freshness(
+        mut self,
+        policy: FreshnessPolicy,
+        owner_seq: u64,
+        owner_clock: u64,
+    ) -> Self {
+        self.freshness = Some(FreshnessCheck {
+            policy,
+            owner_seq,
+            owner_clock,
+        });
+        self
     }
 
     /// Verify a response against the query the client itself issued.
@@ -198,6 +387,39 @@ impl<'a, const L: usize> ClientVerifier<'a, L> {
         meter.lift_ops += 2;
         if lifted != expected {
             return Err(VerifyError::DigestMismatch);
+        }
+
+        // --- freshness: only after the response proved authentic, so
+        // staleness is never conflated with tampering ---
+        if let Some(check) = &self.freshness {
+            let Some(stamp) = &resp.freshness.stamp else {
+                return Err(VerifyError::Stale {
+                    lag: None,
+                    age: None,
+                });
+            };
+            // A stamp from a different key generation (the edge kept
+            // serving old-key data across a rotation, or vice versa)
+            // cannot prove freshness for this response — that is
+            // staleness, not forgery.
+            if stamp.key_version != verifier.key_version() {
+                return Err(VerifyError::Stale {
+                    lag: None,
+                    age: None,
+                });
+            }
+            meter.verify_ops += 1;
+            if !stamp.verify(verifier) {
+                return Err(VerifyError::BadSignature { part: "freshness" });
+            }
+            let lag = check.owner_seq.saturating_sub(stamp.seq);
+            let age = check.owner_clock.saturating_sub(stamp.clock);
+            if lag > check.policy.max_lag || age > check.policy.max_age {
+                return Err(VerifyError::Stale {
+                    lag: Some(lag),
+                    age: Some(age),
+                });
+            }
         }
 
         Ok(VerifyReport {

@@ -17,6 +17,7 @@
 
 use crate::node::{Node, NodeId};
 use crate::tree::VbTree;
+use crate::verify::ResponseFreshness;
 use vbx_crypto::accum::SignedDigest;
 use vbx_storage::{Tuple, Value};
 
@@ -103,6 +104,10 @@ pub struct QueryResponse<const L: usize> {
     pub rows: Vec<ResultRow>,
     /// The verification object.
     pub vo: VerificationObject<L>,
+    /// The serving edge's replication position (applied seq + newest
+    /// owner stamp). Defaults to "unstamped"; the edge service fills it
+    /// in when it serves the response.
+    pub freshness: ResponseFreshness,
 }
 
 /// Execute a range selection (+ optional non-key predicate + projection)
@@ -154,6 +159,7 @@ pub fn execute<const L: usize>(
             d_p,
             key_version: tree.key_version(),
         },
+        freshness: ResponseFreshness::default(),
     }
 }
 

@@ -6,6 +6,7 @@
 //! client to decode without the schema; all authentication happens later
 //! in [`crate::verify`].
 
+use crate::verify::{FreshnessStamp, ResponseFreshness};
 use crate::vo::{QueryResponse, ResultRow, VerificationObject};
 use crate::CoreError;
 use bytes::{Buf, BufMut};
@@ -13,7 +14,9 @@ use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
 use vbx_crypto::Signature;
 use vbx_storage::Value;
 
-const MAGIC: &[u8; 4] = b"VBX1";
+/// Format version 2: v1 plus the trailing freshness section
+/// (applied seq + optional owner stamp).
+const MAGIC: &[u8; 4] = b"VBX2";
 
 fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
@@ -71,6 +74,20 @@ pub fn encode_response<const L: usize>(resp: &QueryResponse<L>) -> Vec<u8> {
         put_digest(&mut out, d);
     }
     out.put_u32(resp.vo.key_version);
+
+    // freshness: applied seq, then an optional owner stamp
+    out.put_u64(resp.freshness.applied_seq);
+    match &resp.freshness.stamp {
+        None => out.push(0),
+        Some(stamp) => {
+            out.push(1);
+            out.put_u64(stamp.seq);
+            out.put_u64(stamp.clock);
+            out.put_u32(stamp.key_version);
+            out.put_u16(stamp.sig.len() as u16);
+            out.extend_from_slice(stamp.sig.as_bytes());
+        }
+    }
     out
 }
 
@@ -123,6 +140,35 @@ pub fn decode_response<const L: usize>(
         return Err(corrupt("key version truncated"));
     }
     let key_version = buf.get_u32();
+
+    if buf.remaining() < 9 {
+        return Err(corrupt("freshness truncated"));
+    }
+    let applied_seq = buf.get_u64();
+    let stamp = match buf.get_u8() {
+        0 => None,
+        1 => {
+            if buf.remaining() < 22 {
+                return Err(corrupt("freshness stamp truncated"));
+            }
+            let seq = buf.get_u64();
+            let clock = buf.get_u64();
+            let stamp_key_version = buf.get_u32();
+            let sig_len = buf.get_u16() as usize;
+            if buf.remaining() < sig_len {
+                return Err(corrupt("freshness signature truncated"));
+            }
+            let sig = Signature(buf[..sig_len].to_vec());
+            buf.advance(sig_len);
+            Some(FreshnessStamp {
+                seq,
+                clock,
+                key_version: stamp_key_version,
+                sig,
+            })
+        }
+        _ => return Err(corrupt("bad freshness stamp tag")),
+    };
     if buf.has_remaining() {
         return Err(corrupt("trailing bytes"));
     }
@@ -134,6 +180,7 @@ pub fn decode_response<const L: usize>(
             d_p,
             key_version,
         },
+        freshness: ResponseFreshness { applied_seq, stamp },
     })
 }
 
@@ -164,13 +211,20 @@ pub fn measure_response<const L: usize>(resp: &QueryResponse<L>) -> ResponseSize
         .map(|r| 10 + r.values.iter().map(Value::wire_len).sum::<usize>())
         .sum();
     let digest_len = |d: &SignedDigest<L>| 1 + L * 8 + 2 + d.sig.len();
+    let stamp_bytes = resp
+        .freshness
+        .stamp
+        .as_ref()
+        .map_or(0, |s| 8 + 8 + 4 + 2 + s.sig.len());
     let vo_bytes = digest_len(&resp.vo.top)
         + resp.vo.d_s.iter().map(digest_len).sum::<usize>()
         + resp.vo.d_p.iter().map(digest_len).sum::<usize>()
-        + 4; // key version
+        + 4 // key version
+        + stamp_bytes;
     ResponseSize {
         result_bytes,
         vo_bytes,
-        framing_bytes: 4 + 4 + 4 + 4, // magic + row count + D_S/D_P counters
+        // magic + row count + D_S/D_P counters + applied seq + stamp tag
+        framing_bytes: 4 + 4 + 4 + 4 + 8 + 1,
     }
 }

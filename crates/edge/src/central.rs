@@ -10,14 +10,130 @@
 //! rotation with validity windows for the delayed-propagation mode.
 
 use crate::locks::{LockManager, LockMode};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use vbx_core::scheme::{AuthScheme, SignedDelta, UpdateOp, VbScheme};
-use vbx_core::{CoreError, VbTree, VbTreeConfig};
+use vbx_core::{CoreError, FreshnessStamp, VbTree, VbTreeConfig};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{KeyRegistry, Signer};
 use vbx_query::{build_view_table, JoinViewDef};
 use vbx_storage::{Catalog, StorageError, Table, Tuple};
+
+/// Cursor errors from the [`DeltaLog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaLogError {
+    /// The requested cursor points before the retention window — the
+    /// subscriber fell too far behind and must re-bundle.
+    Truncated {
+        /// Sequence number the subscriber asked for.
+        requested: u64,
+        /// Oldest sequence number still retained.
+        oldest: u64,
+    },
+}
+
+impl core::fmt::Display for DeltaLogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeltaLogError::Truncated { requested, oldest } => write!(
+                f,
+                "delta {requested} evicted from the retention window (oldest retained: {oldest})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaLogError {}
+
+/// The central server's signed-delta log with a **bounded retention
+/// window** and a cursor API.
+///
+/// Before PR 4, `deltas_since` cloned the full remaining `Vec` on every
+/// poll, making fan-out to N subscribing edges O(edges × history). The
+/// log now retains only the newest `retention` deltas (older ones are
+/// evicted — a subscriber that far behind re-bundles instead), and
+/// [`since`](Self::since) hands out a borrowing iterator so pollers
+/// clone exactly the deltas they still need.
+#[derive(Clone, Debug)]
+pub struct DeltaLog<P> {
+    entries: VecDeque<SignedDelta<P>>,
+    start_seq: u64,
+    retention: usize,
+}
+
+impl<P: Clone> DeltaLog<P> {
+    /// An empty log retaining at most `retention` deltas (min 1).
+    pub fn new(retention: usize) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            start_seq: 0,
+            retention: retention.max(1),
+        }
+    }
+
+    /// An empty log that never evicts (the pre-cluster behaviour).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Sequence number the next pushed delta must carry.
+    pub fn next_seq(&self) -> u64 {
+        self.start_seq + self.entries.len() as u64
+    }
+
+    /// Oldest sequence number still retained.
+    pub fn oldest_seq(&self) -> u64 {
+        self.start_seq
+    }
+
+    /// Number of retained deltas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append the next delta, evicting past the retention window.
+    ///
+    /// # Panics
+    /// Panics if `delta.seq` is not exactly [`next_seq`](Self::next_seq)
+    /// — the log is the authoritative contiguous history.
+    pub fn push(&mut self, delta: SignedDelta<P>) {
+        assert_eq!(delta.seq, self.next_seq(), "delta log must stay contiguous");
+        self.entries.push_back(delta);
+        while self.entries.len() > self.retention {
+            self.entries.pop_front();
+            self.start_seq += 1;
+        }
+    }
+
+    /// Borrowing iterator over every retained delta with `seq >=
+    /// cursor`. A cursor at (or past) the head yields an empty
+    /// iterator; a cursor before the retention window is an error (the
+    /// subscriber must re-bundle).
+    pub fn since(
+        &self,
+        cursor: u64,
+    ) -> Result<impl Iterator<Item = &SignedDelta<P>> + '_, DeltaLogError> {
+        if cursor < self.start_seq {
+            return Err(DeltaLogError::Truncated {
+                requested: cursor,
+                oldest: self.start_seq,
+            });
+        }
+        let idx = ((cursor - self.start_seq) as usize).min(self.entries.len());
+        Ok(self.entries.range(idx..))
+    }
+
+    /// Owned clone of every retained delta with `seq >= cursor` (clones
+    /// only the tail the subscriber still needs).
+    pub fn collect_since(&self, cursor: u64) -> Result<Vec<SignedDelta<P>>, DeltaLogError> {
+        Ok(self.since(cursor)?.cloned().collect())
+    }
+}
 
 /// A VB-tree update delta, as shipped to edge servers (compatibility
 /// alias for the generic [`SignedDelta`] envelope).
@@ -152,6 +268,11 @@ impl<E> From<StorageError> for CentralError<E> {
     }
 }
 
+/// Newest per-commit stamps kept for lagging subscribers (see
+/// [`CentralServer::stamp_for_seq`]). An edge further behind keeps its
+/// old stamp until it catches up — conservative, never unsound.
+const STAMP_RETENTION: usize = 1_024;
+
 /// The trusted central DBMS, generic over the authentication scheme.
 pub struct CentralServer<S: AuthScheme> {
     scheme: S,
@@ -161,7 +282,17 @@ pub struct CentralServer<S: AuthScheme> {
     stores: BTreeMap<String, S::Store>,
     views: Vec<JoinViewDef>,
     locks: LockManager,
-    log: Vec<SignedDelta<S::Delta>>,
+    log: DeltaLog<S::Delta>,
+    /// Owner stamps per attested seq, pruned to the log's retention
+    /// window and capped at [`STAMP_RETENTION`] (the newest stamp is
+    /// always kept).
+    stamps: BTreeMap<u64, FreshnessStamp>,
+    /// Sign a fresh stamp on every commit. Enabled by
+    /// [`with_delta_retention`](Self::with_delta_retention) (cluster
+    /// deployments); standalone servers skip the per-commit signature
+    /// — with an RSA signer that is a full extra signing operation per
+    /// update — and attest only on [`heartbeat`](Self::heartbeat).
+    stamp_commits: bool,
     clock: u64,
 }
 
@@ -171,6 +302,8 @@ impl<S: AuthScheme> CentralServer<S> {
     pub fn with_scheme(scheme: S, signer: Arc<dyn Signer>) -> Self {
         let mut registry = KeyRegistry::new();
         registry.publish(signer.verifier(), 0);
+        let mut stamps = BTreeMap::new();
+        stamps.insert(0, FreshnessStamp::sign(signer.as_ref(), 0, 0));
         Self {
             scheme,
             signer,
@@ -179,9 +312,21 @@ impl<S: AuthScheme> CentralServer<S> {
             stores: BTreeMap::new(),
             views: Vec::new(),
             locks: LockManager::new(),
-            log: Vec::new(),
+            log: DeltaLog::unbounded(),
+            stamps,
+            stamp_commits: false,
             clock: 0,
         }
+    }
+
+    /// Bound the delta log's retention window (see [`DeltaLog`]) and
+    /// enable per-commit freshness stamps (the cluster subscription
+    /// mode). Subscribers further behind than `retention` deltas get
+    /// [`DeltaLogError::Truncated`] and must re-bundle.
+    pub fn with_delta_retention(mut self, retention: usize) -> Self {
+        self.log = DeltaLog::new(retention);
+        self.stamp_commits = true;
+        self
     }
 
     /// The scheme descriptor (public parameters).
@@ -214,6 +359,12 @@ impl<S: AuthScheme> CentralServer<S> {
     /// Authoritative store lookup.
     pub fn store(&self, name: &str) -> Option<&S::Store> {
         self.stores.get(name)
+    }
+
+    /// Schema of a base table (scheme-independent metadata clients and
+    /// the cluster coordinator share).
+    pub fn schema(&self, name: &str) -> Option<&vbx_storage::Schema> {
+        self.catalog.get(name).map(Table::schema)
     }
 
     /// Materialise an equijoin view and build its authenticated store
@@ -251,12 +402,66 @@ impl<S: AuthScheme> CentralServer<S> {
     /// Deltas after `seq` (edge servers pull these to catch up). A
     /// `seq` beyond the log — a replica ahead of this server, e.g.
     /// restored from a newer snapshot — yields an empty batch rather
-    /// than panicking the trusted side on untrusted input.
+    /// than panicking the trusted side on untrusted input. A `seq`
+    /// before the retention window yields the retained suffix; the
+    /// resulting gap surfaces as `OutOfOrder` at the replica, which
+    /// must then re-bundle. Prefer the cursor API on
+    /// [`delta_log`](Self::delta_log), which reports truncation
+    /// explicitly and clones only the needed tail.
     pub fn deltas_since(&self, seq: u64) -> Vec<SignedDelta<S::Delta>> {
         self.log
-            .get(seq as usize..)
-            .map(<[SignedDelta<S::Delta>]>::to_vec)
-            .unwrap_or_default()
+            .collect_since(seq.max(self.log.oldest_seq()))
+            .expect("cursor clamped into the retention window")
+    }
+
+    /// The signed-delta log (bounded retention + cursor API).
+    pub fn delta_log(&self) -> &DeltaLog<S::Delta> {
+        &self.log
+    }
+
+    /// The newest owner freshness stamp.
+    pub fn freshness_stamp(&self) -> FreshnessStamp {
+        self.stamps
+            .values()
+            .next_back()
+            .expect("a stamp is signed at construction")
+            .clone()
+    }
+
+    /// The owner stamp attesting exactly `seq` committed deltas, if
+    /// still retained. Subscribers install this on an edge replica once
+    /// the replica has applied through `seq`.
+    pub fn stamp_for_seq(&self, seq: u64) -> Option<FreshnessStamp> {
+        self.stamps.get(&seq).cloned()
+    }
+
+    /// The owner position `(next_seq, clock)` a trusted client measures
+    /// staleness against.
+    pub fn owner_position(&self) -> (u64, u64) {
+        (self.log.next_seq(), self.clock)
+    }
+
+    /// Advance the logical clock and re-sign the current position — the
+    /// owner's liveness heartbeat. Edges that receive (via their
+    /// subscription) this stamp prove recent contact; a partitioned
+    /// edge keeps an aging stamp and trips `FreshnessPolicy::max_age`.
+    pub fn heartbeat(&mut self) -> FreshnessStamp {
+        self.clock += 1;
+        let stamp = FreshnessStamp::sign(self.signer.as_ref(), self.log.next_seq(), self.clock);
+        self.stamps.insert(self.log.next_seq(), stamp.clone());
+        self.prune_stamps();
+        stamp
+    }
+
+    /// Drop stamps no subscriber can land on anymore: below the delta
+    /// log's retention window, and beyond the [`STAMP_RETENTION`] cap
+    /// (oldest first — the newest stamp is always kept).
+    fn prune_stamps(&mut self) {
+        let oldest = self.log.oldest_seq();
+        self.stamps.retain(|&seq, _| seq >= oldest);
+        while self.stamps.len() > STAMP_RETENTION {
+            self.stamps.pop_first();
+        }
     }
 
     /// Insert a tuple (the paper's insert transaction: X-lock the
@@ -341,13 +546,23 @@ impl<S: AuthScheme> CentralServer<S> {
         self.refresh_views_for(table)?;
         self.clock += 1;
         let delta = SignedDelta {
-            seq: self.log.len() as u64,
+            seq: self.log.next_seq(),
             table: table.to_string(),
             op,
             payload,
             key_version: self.signer.key_version(),
         };
         self.log.push(delta.clone());
+        // In cluster mode, attest the new position and prune stamps
+        // that fell out of the retention windows (newest always kept).
+        if self.stamp_commits {
+            let attested = self.log.next_seq();
+            self.stamps.insert(
+                attested,
+                FreshnessStamp::sign(self.signer.as_ref(), attested, self.clock),
+            );
+            self.prune_stamps();
+        }
         Ok(delta)
     }
 
@@ -357,6 +572,14 @@ impl<S: AuthScheme> CentralServer<S> {
     pub fn rotate_key(&mut self, new_signer: Arc<dyn Signer>) {
         self.signer = new_signer;
         self.registry.publish(self.signer.verifier(), self.clock);
+        // Stamps signed under the retired key would fail against the
+        // new verifier; re-attest the current position under the new
+        // key.
+        self.stamps.clear();
+        self.stamps.insert(
+            self.log.next_seq(),
+            FreshnessStamp::sign(self.signer.as_ref(), self.log.next_seq(), self.clock),
+        );
         // Rebuild (re-sign) every base-table store under the new key.
         let names: Vec<String> = self.stores.keys().cloned().collect();
         for name in names {
@@ -405,7 +628,7 @@ impl<S: AuthScheme> CentralServer<S> {
     }
 
     fn next_txn(&self) -> u64 {
-        self.clock + 1_000_000 * (self.log.len() as u64 + 1)
+        self.clock + 1_000_000 * (self.log.next_seq() + 1)
     }
 }
 
@@ -433,7 +656,7 @@ impl<const L: usize> CentralServer<VbScheme<L>> {
         EdgeBundle {
             trees: self.stores.clone(),
             views: self.views.clone(),
-            as_of_seq: self.log.len() as u64,
+            as_of_seq: self.log.next_seq(),
         }
     }
 

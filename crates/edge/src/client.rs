@@ -17,7 +17,7 @@ use vbx_storage::Schema;
 
 /// How strictly the client checks key freshness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FreshnessPolicy {
+pub enum KeyFreshnessPolicy {
     /// Only the currently-valid key version is acceptable.
     RequireCurrent,
     /// Accept any key version whose validity window contains the given
@@ -82,15 +82,15 @@ impl<const L: usize> EdgeClient<L> {
         sql: &str,
         resp: &QueryResponse<L>,
         registry: &KeyRegistry,
-        policy: FreshnessPolicy,
+        policy: KeyFreshnessPolicy,
     ) -> Result<VerifiedRows, ClientError> {
         let version = resp.vo.key_version;
         let verifier = registry
             .verifier(version)
             .ok_or(ClientError::UnknownKeyVersion(version))?;
         let fresh = match policy {
-            FreshnessPolicy::RequireCurrent => registry.current() == Some(version),
-            FreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
+            KeyFreshnessPolicy::RequireCurrent => registry.current() == Some(version),
+            KeyFreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
         };
         if !fresh {
             return Err(ClientError::StaleKey { version });
@@ -162,7 +162,7 @@ impl<S: AuthScheme> SchemeClient<S> {
         query: &RangeQuery,
         resp: &S::Response,
         registry: &KeyRegistry,
-        policy: FreshnessPolicy,
+        policy: KeyFreshnessPolicy,
     ) -> Result<(VerifiedBatch, CostMeter), SchemeClientError<S::Error>> {
         let schema = self
             .schemas
@@ -173,8 +173,8 @@ impl<S: AuthScheme> SchemeClient<S> {
             .verifier(version)
             .ok_or(SchemeClientError::UnknownKeyVersion(version))?;
         let fresh = match policy {
-            FreshnessPolicy::RequireCurrent => registry.current() == Some(version),
-            FreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
+            KeyFreshnessPolicy::RequireCurrent => registry.current() == Some(version),
+            KeyFreshnessPolicy::AcceptAsOf(t) => registry.is_acceptable(version, t),
         };
         if !fresh {
             return Err(SchemeClientError::StaleKey { version });

@@ -1,0 +1,467 @@
+//! Multi-edge cluster: sharded delta fan-out with freshness-verified
+//! reads.
+//!
+//! The paper's deployment model is one trusted owner streaming signed
+//! deltas to *many* unsecured edge servers. [`ClusterCoordinator`] is
+//! that topology in-process:
+//!
+//! * a [`ShardMap`] partitions tables across N [`EdgeServer`] replicas
+//!   (least-loaded assignment at `create_table` time);
+//! * every committed update lands in the central server's bounded
+//!   [`DeltaLog`](crate::central::DeltaLog) and is **fanned out over
+//!   per-edge subscription queues** — the owning edge gets the signed
+//!   delta itself, every other edge gets a cheap sequence placeholder so
+//!   its replication position stays contiguous (fan-out is O(new
+//!   deltas), not O(edges × history));
+//! * client queries are **routed to the owning edge**
+//!   ([`query`](ClusterCoordinator::query)), with
+//!   [`scatter_gather`](ClusterCoordinator::scatter_gather) fanning the
+//!   legs of a multi-table query (e.g. both sides of a client-joined
+//!   equijoin) across shards;
+//! * per-edge applied-seq lag is tracked
+//!   ([`lag_report`](ClusterCoordinator::lag_report)), and each edge
+//!   republishes the owner's newest signed
+//!   [`FreshnessStamp`](vbx_core::FreshnessStamp) with its responses,
+//!   so a client holding the owner position can reject an
+//!   honest-but-stale edge (`VerifyError::Stale`) — the lazy-trust gap
+//!   WedgeChain formalises for edge-cloud stores.
+//!
+//! Draining an edge's queue is deliberately explicit
+//! ([`drain_edge`](ClusterCoordinator::drain_edge) /
+//! [`sync`](ClusterCoordinator::sync)): tests and benchmarks induce a
+//! lagging replica simply by not draining it.
+
+use crate::central::{CentralError, CentralServer, DeltaLogError};
+use crate::edge_server::EdgeServer;
+use crate::service::EdgeError;
+use std::collections::{BTreeMap, VecDeque};
+use vbx_core::scheme::{AuthScheme, SignedDelta};
+use vbx_core::RangeQuery;
+use vbx_storage::{Table, Tuple};
+
+/// Cluster topology parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of edge replicas.
+    pub edges: usize,
+    /// Delta-log retention window at the central server (a subscriber
+    /// further behind must re-bundle).
+    pub retention: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            edges: 3,
+            retention: 4_096,
+        }
+    }
+}
+
+/// Table → owning-edge assignment (least-loaded at creation, stable
+/// afterwards).
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    owners: BTreeMap<String, usize>,
+    load: Vec<usize>,
+}
+
+impl ShardMap {
+    /// An empty map over `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        Self {
+            owners: BTreeMap::new(),
+            load: vec![0; num_edges.max(1)],
+        }
+    }
+
+    /// Assign `table` to the least-loaded edge (lowest id on ties) and
+    /// return it. Re-assigning an existing table returns its current
+    /// owner unchanged.
+    pub fn assign(&mut self, table: &str) -> usize {
+        if let Some(&owner) = self.owners.get(table) {
+            return owner;
+        }
+        let owner = (0..self.load.len())
+            .min_by_key(|&i| (self.load[i], i))
+            .expect("at least one edge");
+        self.owners.insert(table.to_string(), owner);
+        self.load[owner] += 1;
+        owner
+    }
+
+    /// The edge owning `table`, if assigned.
+    pub fn owner(&self, table: &str) -> Option<usize> {
+        self.owners.get(table).copied()
+    }
+
+    /// Tables owned by `edge`, in name order.
+    pub fn tables_of(&self, edge: usize) -> Vec<&str> {
+        self.owners
+            .iter()
+            .filter(|(_, &o)| o == edge)
+            .map(|(t, _)| t.as_str())
+            .collect()
+    }
+
+    /// Number of edges in the map.
+    pub fn num_edges(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Number of assigned tables.
+    pub fn num_tables(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+/// Cluster-level failures, parameterised by the scheme's error type.
+#[derive(Debug)]
+pub enum ClusterError<E> {
+    /// The table is not assigned to any edge.
+    UnknownTable(String),
+    /// No edge with that id.
+    UnknownEdge(usize),
+    /// Central-server failure.
+    Central(CentralError<E>),
+    /// Edge-replica failure (replay divergence, out-of-order delta).
+    Edge(EdgeError<E>),
+    /// A subscription cursor fell out of the delta log's retention
+    /// window; the edge must be re-provisioned from a fresh bundle.
+    Truncated(DeltaLogError),
+}
+
+impl<E: core::fmt::Display> core::fmt::Display for ClusterError<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::UnknownTable(t) => write!(f, "table {t} not sharded to any edge"),
+            ClusterError::UnknownEdge(i) => write!(f, "no edge {i}"),
+            ClusterError::Central(e) => write!(f, "central: {e}"),
+            ClusterError::Edge(e) => write!(f, "edge: {e}"),
+            ClusterError::Truncated(e) => write!(f, "subscription lost: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for ClusterError<E> {}
+
+impl<E> From<CentralError<E>> for ClusterError<E> {
+    fn from(e: CentralError<E>) -> Self {
+        ClusterError::Central(e)
+    }
+}
+
+impl<E> From<EdgeError<E>> for ClusterError<E> {
+    fn from(e: EdgeError<E>) -> Self {
+        ClusterError::Edge(e)
+    }
+}
+
+/// One entry of an edge's subscription queue: the signed delta itself
+/// for tables the edge owns, a bare sequence placeholder for everything
+/// else (so the edge's position advances without cloning foreign
+/// deltas).
+#[derive(Clone, Debug)]
+enum QueueItem<P> {
+    Apply(SignedDelta<P>),
+    Skip(u64),
+}
+
+/// One edge replica plus its subscription state.
+struct EdgeSlot<S: AuthScheme>
+where
+    S::Store: Clone,
+{
+    server: EdgeServer<S>,
+    queue: VecDeque<QueueItem<S::Delta>>,
+    /// Next global sequence number to pull from the central log.
+    cursor: u64,
+}
+
+/// Per-edge replication lag snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeLag {
+    /// Edge id.
+    pub edge: usize,
+    /// Deltas the edge has consumed (applied or skipped).
+    pub applied_seq: u64,
+    /// Items sitting in its subscription queue.
+    pub queued: usize,
+    /// Deltas behind the owner's head (`owner_seq - applied_seq`).
+    pub lag: u64,
+}
+
+/// A response plus where it came from.
+#[derive(Clone, Debug)]
+pub struct RoutedResponse<R> {
+    /// Edge that served the query.
+    pub edge: usize,
+    /// Table queried.
+    pub table: String,
+    /// The scheme response (rows + VO + freshness).
+    pub response: R,
+}
+
+/// The cluster control plane: one trusted [`CentralServer`] plus N
+/// sharded [`EdgeServer`] replicas (see module docs).
+pub struct ClusterCoordinator<S: AuthScheme>
+where
+    S::Store: Clone,
+{
+    central: CentralServer<S>,
+    edges: Vec<EdgeSlot<S>>,
+    shard_map: ShardMap,
+}
+
+impl<S: AuthScheme + Clone> ClusterCoordinator<S>
+where
+    S::Store: Clone,
+{
+    /// Stand up a cluster: a central server with a bounded delta log
+    /// and `config.edges` empty edge replicas subscribed from sequence
+    /// zero.
+    pub fn new(
+        scheme: S,
+        signer: std::sync::Arc<dyn vbx_crypto::Signer>,
+        config: ClusterConfig,
+    ) -> Self {
+        let central = CentralServer::with_scheme(scheme.clone(), signer)
+            .with_delta_retention(config.retention);
+        let edges = (0..config.edges.max(1))
+            .map(|_| EdgeSlot {
+                server: EdgeServer::with_seq(scheme.clone(), 0),
+                queue: VecDeque::new(),
+                cursor: 0,
+            })
+            .collect();
+        Self {
+            central,
+            edges,
+            shard_map: ShardMap::new(config.edges.max(1)),
+        }
+    }
+
+    /// The trusted side (key registry, owner position, delta log).
+    pub fn central(&self) -> &CentralServer<S> {
+        &self.central
+    }
+
+    /// Mutable access to the trusted side (heartbeats, key rotation).
+    pub fn central_mut(&mut self) -> &mut CentralServer<S> {
+        &mut self.central
+    }
+
+    /// The table → edge assignment.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Number of edge replicas.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A specific edge server.
+    pub fn edge(&self, id: usize) -> Option<&EdgeServer<S>> {
+        self.edges.get(id).map(|s| &s.server)
+    }
+
+    /// Mutable edge access (tests place edges into tamper modes).
+    pub fn edge_mut(&mut self, id: usize) -> Option<&mut EdgeServer<S>> {
+        self.edges.get_mut(id).map(|s| &mut s.server)
+    }
+
+    /// The owner position `(seq, clock)` clients verify freshness
+    /// against.
+    pub fn owner_position(&self) -> (u64, u64) {
+        self.central.owner_position()
+    }
+
+    /// Create a base table: build + sign at the central server, assign
+    /// it to the least-loaded edge, and install the replica there.
+    /// Returns the owning edge id.
+    pub fn create_table(&mut self, table: Table) -> usize {
+        let name = table.schema().table.clone();
+        let schema = table.schema().clone();
+        self.central.create_table(table);
+        let owner = self.shard_map.assign(&name);
+        let store = self
+            .central
+            .store(&name)
+            .expect("store exists right after create_table")
+            .clone();
+        self.edges[owner].server.install_table(name, schema, store);
+        owner
+    }
+
+    /// Insert at the owner; the signed delta is fanned out to the
+    /// subscription queues (not yet applied — see
+    /// [`drain_edge`](Self::drain_edge)).
+    pub fn insert(
+        &mut self,
+        table: &str,
+        tuple: Tuple,
+    ) -> Result<SignedDelta<S::Delta>, ClusterError<S::Error>> {
+        let delta = self.central.insert(table, tuple)?;
+        self.fan_out()?;
+        Ok(delta)
+    }
+
+    /// Delete at the owner and fan out.
+    pub fn delete(
+        &mut self,
+        table: &str,
+        key: u64,
+    ) -> Result<SignedDelta<S::Delta>, ClusterError<S::Error>> {
+        let delta = self.central.delete(table, key)?;
+        self.fan_out()?;
+        Ok(delta)
+    }
+
+    /// Range-delete at the owner and fan out.
+    pub fn delete_range(
+        &mut self,
+        table: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<SignedDelta<S::Delta>, ClusterError<S::Error>> {
+        let delta = self.central.delete_range(table, lo, hi)?;
+        self.fan_out()?;
+        Ok(delta)
+    }
+
+    /// Move every new log entry into the per-edge subscription queues:
+    /// the owning edge's queue gets the signed delta, all the others a
+    /// sequence placeholder. Returns the number of queue items added.
+    pub fn fan_out(&mut self) -> Result<usize, ClusterError<S::Error>> {
+        let mut moved = 0usize;
+        for (id, slot) in self.edges.iter_mut().enumerate() {
+            let batch = self
+                .central
+                .delta_log()
+                .since(slot.cursor)
+                .map_err(ClusterError::Truncated)?;
+            for delta in batch {
+                debug_assert_eq!(delta.seq, slot.cursor, "subscription stays contiguous");
+                let item = if self.shard_map.owner(&delta.table) == Some(id) {
+                    QueueItem::Apply(delta.clone())
+                } else {
+                    QueueItem::Skip(delta.seq)
+                };
+                slot.queue.push_back(item);
+                slot.cursor += 1;
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Apply up to `max` queued subscription items on one edge
+    /// (replaying owned deltas, skipping foreign placeholders), then
+    /// refresh the edge's owner stamp if the central server still
+    /// retains an attestation for its exact position. Returns the
+    /// number of items consumed.
+    pub fn drain_edge(&mut self, edge: usize, max: usize) -> Result<usize, ClusterError<S::Error>> {
+        let slot = self
+            .edges
+            .get_mut(edge)
+            .ok_or(ClusterError::UnknownEdge(edge))?;
+        let mut consumed = 0usize;
+        while consumed < max {
+            let Some(item) = slot.queue.pop_front() else {
+                break;
+            };
+            match item {
+                QueueItem::Apply(delta) => slot.server.apply_delta(&delta)?,
+                QueueItem::Skip(seq) => slot.server.service().skip_delta(seq)?,
+            }
+            consumed += 1;
+        }
+        // Only an attestation for the edge's *exact* position may be
+        // installed: handing a lagging edge a newer stamp would let it
+        // masquerade as fresh.
+        let pos = slot.server.applied_seq();
+        if let Some(stamp) = self.central.stamp_for_seq(pos) {
+            slot.server.service().set_freshness_stamp(stamp);
+        }
+        Ok(consumed)
+    }
+
+    /// Fan out and fully drain every edge (the steady state between
+    /// induced-lag experiments). Returns total items consumed.
+    pub fn sync(&mut self) -> Result<usize, ClusterError<S::Error>> {
+        self.fan_out()?;
+        let mut consumed = 0;
+        for id in 0..self.edges.len() {
+            consumed += self.drain_edge(id, usize::MAX)?;
+        }
+        Ok(consumed)
+    }
+
+    /// Owner liveness heartbeat: advance the logical clock, re-sign the
+    /// current position, and deliver the stamp to every edge that is
+    /// exactly caught up (a lagging or partitioned edge keeps its aging
+    /// stamp and trips `FreshnessPolicy::max_age`).
+    pub fn broadcast_heartbeat(&mut self) {
+        let stamp = self.central.heartbeat();
+        for slot in &mut self.edges {
+            if slot.server.applied_seq() == stamp.seq && slot.queue.is_empty() {
+                slot.server.service().set_freshness_stamp(stamp.clone());
+            }
+        }
+    }
+
+    /// The edge owning `table`.
+    pub fn route(&self, table: &str) -> Result<usize, ClusterError<S::Error>> {
+        self.shard_map
+            .owner(table)
+            .ok_or_else(|| ClusterError::UnknownTable(table.to_string()))
+    }
+
+    /// Serve a range query from the owning edge (the response carries
+    /// that edge's freshness stamp).
+    pub fn query(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+    ) -> Result<RoutedResponse<S::Response>, ClusterError<S::Error>> {
+        let edge = self.route(table)?;
+        let response = self.edges[edge].server.query_range(table, query)?;
+        Ok(RoutedResponse {
+            edge,
+            table: table.to_string(),
+            response,
+        })
+    }
+
+    /// Scatter-gather: route each leg of a multi-table query (e.g. both
+    /// sides of a client-joined equijoin) to its owning edge and gather
+    /// the responses in input order. Each leg verifies independently
+    /// against its own edge's freshness stamp.
+    pub fn scatter_gather(
+        &self,
+        legs: &[(String, RangeQuery)],
+    ) -> Result<Vec<RoutedResponse<S::Response>>, ClusterError<S::Error>> {
+        legs.iter()
+            .map(|(table, query)| self.query(table, query))
+            .collect()
+    }
+
+    /// Per-edge replication lag against the owner's head.
+    pub fn lag_report(&self) -> Vec<EdgeLag> {
+        let head = self.central.delta_log().next_seq();
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(edge, slot)| {
+                let applied_seq = slot.server.applied_seq();
+                EdgeLag {
+                    edge,
+                    applied_seq,
+                    queued: slot.queue.len(),
+                    lag: head.saturating_sub(applied_seq),
+                }
+            })
+            .collect()
+    }
+}

@@ -48,8 +48,15 @@ where
     /// [`install_table`](Self::install_table) or, for the VB-tree, a
     /// distribution bundle).
     pub fn new(scheme: S) -> Self {
+        Self::with_seq(scheme, 0)
+    }
+
+    /// An empty edge server whose replicas reflect deltas `< seq`
+    /// (cluster provisioning against a central server that already
+    /// committed updates).
+    pub fn with_seq(scheme: S, seq: u64) -> Self {
         Self {
-            service: EdgeService::new(scheme),
+            service: EdgeService::with_seq(scheme, seq),
             views: Vec::new(),
             tamper: TamperMode::None,
         }
@@ -112,6 +119,11 @@ where
                 .scheme()
                 .tamper(&store, query, &mut resp, &self.tamper);
         }
+        // Republish the edge's replication position (after tampering —
+        // the stamp is owner-signed material the edge merely relays;
+        // what a compromised host can and cannot gain from it is spelled
+        // out in `vbx_core::verify::FreshnessStamp`'s threat model).
+        S::stamp_freshness(&mut resp, &self.service.current_freshness());
         Ok(resp)
     }
 
@@ -245,6 +257,8 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
                 resp
             }
         };
+        let mut resp = resp;
+        VbScheme::<L>::stamp_freshness(&mut resp, &self.service.current_freshness());
         Ok((planned, resp))
     }
 }

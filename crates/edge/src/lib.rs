@@ -19,24 +19,36 @@
 //! * [`snapshot`] / [`service`] — the **concurrent serving subsystem**:
 //!   atomically swappable store snapshots per table, the Section 3.4
 //!   lock protocol wired into both the query and the delta path, and a
-//!   response/VO cache invalidated per table on delta apply.
+//!   response/VO cache invalidated per table on delta apply;
+//! * [`cluster`] — the **multi-edge cluster**: tables sharded across N
+//!   edge replicas, signed deltas fanned out over per-edge subscription
+//!   queues (bounded-retention [`DeltaLog`] cursors), queries routed to
+//!   the owning edge, and freshness-verified reads — clients reject an
+//!   honest-but-stale edge via owner-signed `(seq, clock)` stamps and
+//!   `FreshnessPolicy { max_lag, max_age }`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod central;
 pub mod client;
+pub mod cluster;
 pub mod edge_server;
 pub mod locks;
 pub mod service;
 pub mod snapshot;
 
-pub use central::{CentralError, CentralServer, EdgeBundle, UpdateDelta};
-pub use client::{ClientError, EdgeClient, FreshnessPolicy, SchemeClient, SchemeClientError};
+pub use central::{CentralError, CentralServer, DeltaLog, DeltaLogError, EdgeBundle, UpdateDelta};
+pub use client::{ClientError, EdgeClient, KeyFreshnessPolicy, SchemeClient, SchemeClientError};
+pub use cluster::{
+    ClusterConfig, ClusterCoordinator, ClusterError, EdgeLag, RoutedResponse, ShardMap,
+};
 pub use edge_server::{EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
 pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};
 pub use snapshot::ServingReplica;
+// Data-freshness verification surface (the cluster's client side).
+pub use vbx_core::{FreshnessPolicy, FreshnessStamp, ResponseFreshness};
 // The scheme layer the deployment is generic over (re-exported so edge
 // users need only this crate).
 pub use vbx_baselines::{MerkleScheme, NaiveScheme};

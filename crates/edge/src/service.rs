@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vbx_core::scheme::{AuthScheme, SignedDelta};
-use vbx_core::RangeQuery;
+use vbx_core::{FreshnessStamp, RangeQuery, ResponseFreshness};
 use vbx_storage::Schema;
 
 /// Edge-side failures: replication and query lookup, parameterised by
@@ -227,6 +227,9 @@ pub struct EdgeService<S: AuthScheme> {
     /// Next delta sequence number; the guard also serialises writers so
     /// the order check and the apply are atomic.
     applied_seq: Mutex<u64>,
+    /// Newest owner freshness stamp received over the subscription
+    /// (republished with every response so clients can bound staleness).
+    stamp: parking_lot::RwLock<Option<FreshnessStamp>>,
     /// Lock-manager transaction ids for queries/updates.
     next_txn: AtomicU64,
 }
@@ -247,6 +250,7 @@ impl<S: AuthScheme> EdgeService<S> {
             locks: LockManager::new(),
             cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
             applied_seq: Mutex::new(seq),
+            stamp: parking_lot::RwLock::new(None),
             next_txn: AtomicU64::new(1),
         }
     }
@@ -304,6 +308,49 @@ impl<S: AuthScheme> EdgeService<S> {
     /// Last applied delta sequence number.
     pub fn applied_seq(&self) -> u64 {
         *self.applied_seq.lock()
+    }
+
+    /// Install the newest owner freshness stamp (delivered over the
+    /// delta subscription or a heartbeat). Older stamps are ignored —
+    /// stamps only ever move forward.
+    pub fn set_freshness_stamp(&self, stamp: FreshnessStamp) {
+        let mut slot = self.stamp.write();
+        let newer = slot
+            .as_ref()
+            .is_none_or(|s| (stamp.seq, stamp.clock) >= (s.seq, s.clock));
+        if newer {
+            *slot = Some(stamp);
+        }
+    }
+
+    /// Newest owner stamp held, if any.
+    pub fn freshness_stamp(&self) -> Option<FreshnessStamp> {
+        self.stamp.read().clone()
+    }
+
+    /// The replication position this edge would republish with a
+    /// response right now.
+    pub fn current_freshness(&self) -> ResponseFreshness {
+        ResponseFreshness {
+            applied_seq: self.applied_seq(),
+            stamp: self.freshness_stamp(),
+        }
+    }
+
+    /// Consume (without applying) one delta for a table this edge does
+    /// not replicate — sharded deployments deliver every table's deltas
+    /// in one global sequence, and an edge must advance past foreign
+    /// tables' entries to keep its position contiguous.
+    pub fn skip_delta(&self, seq: u64) -> Result<(), EdgeError<S::Error>> {
+        let mut applied = self.applied_seq.lock();
+        if seq != *applied {
+            return Err(EdgeError::OutOfOrder {
+                expected: *applied,
+                got: seq,
+            });
+        }
+        *applied += 1;
+        Ok(())
     }
 
     /// Lock-protocol counters.

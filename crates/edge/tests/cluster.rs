@@ -1,0 +1,448 @@
+//! Cluster regression tests: sharded fan-out, freshness-verified reads
+//! (a lagging edge is rejected under a tight policy and accepted once
+//! its subscription queue drains), the tamper matrix re-run through the
+//! coordinator's routed-query path, and the bounded `DeltaLog` cursor
+//! API.
+
+use std::sync::Arc;
+use vbx_baselines::{MerkleScheme, NaiveScheme};
+use vbx_core::{
+    AuthScheme, ClientVerifier, FreshnessPolicy, RangeQuery, TamperMode, VbScheme, VbTreeConfig,
+    VerifyError,
+};
+use vbx_crypto::signer::MockSigner;
+use vbx_crypto::Acc256;
+use vbx_edge::{
+    ClusterConfig, ClusterCoordinator, ClusterError, DeltaLog, KeyFreshnessPolicy, SchemeClient,
+    SignedDelta, UpdateOp,
+};
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::{Schema, Tuple, Value};
+
+const SEED_VERSION: u64 = 9;
+
+fn cluster(tables: usize, rows: u64, edges: usize) -> ClusterCoordinator<VbScheme<4>> {
+    let signer = Arc::new(MockSigner::with_version(SEED_VERSION, 1));
+    let scheme = VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(6));
+    let mut c = ClusterCoordinator::new(
+        scheme,
+        signer,
+        ClusterConfig {
+            edges,
+            retention: 64,
+        },
+    );
+    for i in 0..tables {
+        let spec = WorkloadSpec {
+            table: format!("t{i}"),
+            ..WorkloadSpec::new(rows, 3, 8)
+        };
+        c.create_table(spec.build());
+    }
+    c
+}
+
+fn fresh_tuple(schema: &Schema, key: u64) -> Tuple {
+    Tuple::new(
+        schema,
+        key,
+        vec![
+            Value::from(format!("new{key}")),
+            Value::from("w"),
+            Value::from((key % 97) as i64),
+        ],
+    )
+    .expect("schema-conformant tuple")
+}
+
+/// Verify a routed response against the owner position under `policy`.
+fn verify_routed(
+    c: &ClusterCoordinator<VbScheme<4>>,
+    table: &str,
+    q: &RangeQuery,
+    policy: FreshnessPolicy,
+) -> Result<usize, VerifyError> {
+    let routed = c.query(table, q).expect("route + serve");
+    let schema = c.central().schema(table).expect("base table").clone();
+    let acc = c.central().accumulator().clone();
+    let (owner_seq, owner_clock) = c.owner_position();
+    let verifier = c
+        .central()
+        .registry()
+        .verifier(routed.response.vo.key_version)
+        .expect("published key");
+    ClientVerifier::new(&acc, &schema)
+        .with_freshness(policy, owner_seq, owner_clock)
+        .verify(verifier.as_ref(), q, &routed.response)
+        .map(|r| r.rows)
+}
+
+#[test]
+fn sharding_distributes_tables_and_routes_queries() {
+    let mut c = cluster(5, 40, 3);
+    c.sync().unwrap(); // deliver the initial owner stamp to every edge
+    let map = c.shard_map();
+    assert_eq!(map.num_tables(), 5);
+    // Least-loaded assignment: no edge owns more than ceil(5/3) tables.
+    let loads: Vec<usize> = (0..3).map(|e| map.tables_of(e).len()).collect();
+    assert_eq!(loads.iter().sum::<usize>(), 5);
+    assert!(
+        loads.iter().all(|&l| l <= 2),
+        "unbalanced shard map {loads:?}"
+    );
+    // Queries land on the owning edge and verify as fresh.
+    for i in 0..5 {
+        let table = format!("t{i}");
+        let owner = c.route(&table).unwrap();
+        assert_eq!(map.owner(&table), Some(owner));
+        let rows = verify_routed(
+            &c,
+            &table,
+            &RangeQuery::select_all(5, 25),
+            FreshnessPolicy::strict(),
+        )
+        .expect("fresh edge must verify");
+        assert_eq!(rows, 21);
+    }
+}
+
+#[test]
+fn lagging_edge_rejected_then_accepted_after_drain() {
+    let mut c = cluster(3, 50, 3);
+    let victim_table = "t0".to_string();
+    let owner = c.route(&victim_table).unwrap();
+    let schema = c.central().tree(&victim_table).unwrap().schema().clone();
+
+    // Start from a fully-synced cluster so the edge holds a stamp.
+    c.sync().unwrap();
+
+    // Commit updates; fan-out enqueues them but the owner edge is never
+    // drained — an honest replica that simply fell behind.
+    for k in 0..4u64 {
+        c.insert(&victim_table, fresh_tuple(&schema, 1_000 + k))
+            .unwrap();
+    }
+    let lag = c.lag_report()[owner];
+    assert_eq!(lag.lag, 4, "edge {owner} should lag 4 deltas: {lag:?}");
+    assert_eq!(lag.queued, 4);
+
+    // A tight policy rejects the stale (but honest!) response as
+    // Stale — distinct from any tampering error.
+    let q = RangeQuery::select_all(0, 2_000);
+    let err = verify_routed(&c, &victim_table, &q, FreshnessPolicy::max_lag(0)).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::Stale { lag: Some(4), .. }),
+        "expected Stale with lag 4, got {err:?}"
+    );
+    // A lenient policy accepts the same response.
+    verify_routed(&c, &victim_table, &q, FreshnessPolicy::max_lag(4))
+        .expect("policy with slack accepts the lagging edge");
+
+    // Draining the subscription queue catches the edge up; the strict
+    // policy accepts and the new rows are visible + verified.
+    c.drain_edge(owner, usize::MAX).unwrap();
+    assert_eq!(c.lag_report()[owner].lag, 0);
+    let rows = verify_routed(&c, &victim_table, &q, FreshnessPolicy::strict())
+        .expect("caught-up edge must verify strictly");
+    assert_eq!(rows, 54);
+}
+
+#[test]
+fn missing_stamp_is_stale_under_policy() {
+    // A freshly-provisioned cluster that never synced has no owner
+    // stamps at the edges: verification without a policy passes, with a
+    // policy it reports Stale { None, None }.
+    let c = cluster(1, 30, 3);
+    let q = RangeQuery::select_all(0, 10);
+    let routed = c.query("t0", &q).unwrap();
+    assert!(routed.response.freshness.stamp.is_none());
+    let err = verify_routed(&c, "t0", &q, FreshnessPolicy::default()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::Stale {
+            lag: None,
+            age: None
+        }
+    );
+}
+
+#[test]
+fn heartbeats_bound_stamp_age() {
+    let mut c = cluster(2, 40, 3);
+    c.sync().unwrap();
+    c.broadcast_heartbeat();
+    let q = RangeQuery::select_all(0, 20);
+    verify_routed(&c, "t0", &q, FreshnessPolicy::strict()).expect("just heartbeated");
+
+    // The owner's clock advances twice without the edges hearing about
+    // it (a partition): zero delta lag, but the stamp ages out.
+    c.central_mut().heartbeat();
+    c.central_mut().heartbeat();
+    let err = verify_routed(&c, "t0", &q, FreshnessPolicy::max_age(1)).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::Stale { age: Some(2), .. }),
+        "expected Stale with age 2, got {err:?}"
+    );
+    // Contact restored: the broadcast delivers the fresh stamp.
+    c.broadcast_heartbeat();
+    verify_routed(&c, "t0", &q, FreshnessPolicy::max_age(0)).expect("stamp refreshed");
+}
+
+#[test]
+fn rotation_reads_as_stale_not_tampering() {
+    // After a key rotation, an edge still serving old-key VOs holds a
+    // stamp from the *new* key generation: that stamp cannot prove
+    // freshness for the old-key response, and the client must report
+    // Stale — never BadSignature (which would read as tampering by an
+    // honest replica).
+    let mut c = cluster(1, 30, 3);
+    c.sync().unwrap();
+    let q = RangeQuery::select_all(0, 10);
+    verify_routed(&c, "t0", &q, FreshnessPolicy::strict()).expect("fresh before rotation");
+
+    c.central_mut()
+        .rotate_key(Arc::new(MockSigner::with_version(SEED_VERSION, 2)));
+    let owner = c.route("t0").unwrap();
+    // The subscription delivers the new-generation stamp, but the
+    // edge's replica tree (and hence its VOs) is still v1 — it has not
+    // been re-bundled yet.
+    c.drain_edge(owner, usize::MAX).unwrap();
+    let routed = c.query("t0", &q).unwrap();
+    assert_eq!(routed.response.vo.key_version, 1);
+    assert_eq!(
+        routed
+            .response
+            .freshness
+            .stamp
+            .as_ref()
+            .unwrap()
+            .key_version,
+        2
+    );
+    let err = verify_routed(&c, "t0", &q, FreshnessPolicy::default()).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::Stale {
+            lag: None,
+            age: None
+        },
+        "cross-generation stamp must read as stale, not forged"
+    );
+}
+
+#[test]
+fn foreign_deltas_skip_but_keep_positions_contiguous() {
+    let mut c = cluster(2, 30, 2);
+    let schema0 = c.central().tree("t0").unwrap().schema().clone();
+    let owner0 = c.route("t0").unwrap();
+    let other = 1 - owner0;
+
+    c.insert("t0", fresh_tuple(&schema0, 500)).unwrap();
+    c.sync().unwrap();
+    // The non-owner consumed the delta as a placeholder: position
+    // advanced, replica untouched, strict freshness still verifies.
+    assert_eq!(c.edge(other).unwrap().applied_seq(), 1);
+    let t1 = c.shard_map().tables_of(other)[0].to_string();
+    verify_routed(
+        &c,
+        &t1,
+        &RangeQuery::select_all(0, 10),
+        FreshnessPolicy::strict(),
+    )
+    .expect("non-owner stays fresh after skipping a foreign delta");
+}
+
+#[test]
+fn scatter_gather_serves_multi_table_joins() {
+    let mut c = cluster(4, 40, 3);
+    c.sync().unwrap();
+    let legs = vec![
+        ("t0".to_string(), RangeQuery::select_all(5, 15)),
+        ("t1".to_string(), RangeQuery::select_all(5, 15)),
+        ("t3".to_string(), RangeQuery::select_all(20, 30)),
+    ];
+    let responses = c.scatter_gather(&legs).unwrap();
+    assert_eq!(responses.len(), 3);
+    // Legs land on their owning edges (t0 and t3 share an owner only if
+    // the shard map says so) and every leg verifies independently.
+    for (routed, (table, q)) in responses.iter().zip(&legs) {
+        assert_eq!(routed.edge, c.route(table).unwrap());
+        let rows = verify_routed(&c, table, q, FreshnessPolicy::strict()).unwrap();
+        assert_eq!(rows, routed.response.rows.len());
+        assert_eq!(rows, 11);
+    }
+    // An unassigned table is a routing error, not a panic.
+    assert!(matches!(
+        c.scatter_gather(&[("nope".into(), RangeQuery::select_all(0, 1))]),
+        Err(ClusterError::UnknownTable(_))
+    ));
+}
+
+/// The tamper matrix re-run through the coordinator's routed path: the
+/// detection verdicts must be exactly those of the direct
+/// `tamper_matrix` pipeline.
+fn detected_via_cluster<S>(scheme: S, mode: TamperMode) -> bool
+where
+    S: AuthScheme + Clone,
+    S::Store: Clone,
+{
+    let signer = Arc::new(MockSigner::with_version(77, 1));
+    let mut c = ClusterCoordinator::new(
+        scheme.clone(),
+        signer,
+        ClusterConfig {
+            edges: 3,
+            retention: 64,
+        },
+    );
+    let spec = WorkloadSpec::new(60, 4, 10);
+    let name = spec.table.clone();
+    c.create_table(spec.build());
+
+    // Exercise replication through the fan-out path before tampering.
+    let schema = c.central().schema(&name).expect("created").clone();
+    let tuple = Tuple::new(
+        &schema,
+        500,
+        vec![
+            Value::from("late"),
+            Value::from("x"),
+            Value::from("y"),
+            Value::from(9i64),
+        ],
+    )
+    .unwrap();
+    c.insert(&name, tuple).unwrap();
+    c.sync().unwrap();
+
+    let owner = c.route(&name).unwrap();
+    c.edge_mut(owner).unwrap().set_tamper(mode);
+    let query = RangeQuery::select_all(5, 45);
+    let routed = c.query(&name, &query).unwrap();
+
+    let client = SchemeClient::new(scheme, c.edge(owner).unwrap().schemas());
+    client
+        .verify_range(
+            &name,
+            &query,
+            &routed.response,
+            c.central().registry(),
+            KeyFreshnessPolicy::RequireCurrent,
+        )
+        .is_err()
+}
+
+#[test]
+fn tamper_matrix_holds_through_the_coordinator() {
+    let acc = Acc256::test_default();
+    let modes = [
+        TamperMode::MutateValue,
+        TamperMode::InjectRow,
+        TamperMode::DropRow,
+        TamperMode::DropAndReclassify { key: 20 },
+    ];
+    let expectations: [(&str, [bool; 4]); 3] = [
+        ("vb-tree", [true, true, true, false]),
+        ("naive", [true, true, false, false]),
+        ("merkle", [true, true, true, true]),
+    ];
+    for (scheme_name, expected) in expectations {
+        for (mode, want) in modes.iter().zip(expected) {
+            let got = match scheme_name {
+                "vb-tree" => detected_via_cluster(
+                    VbScheme::new(acc.clone(), VbTreeConfig::with_fanout(6)),
+                    mode.clone(),
+                ),
+                "naive" => detected_via_cluster(NaiveScheme::<4>::new(acc.clone()), mode.clone()),
+                _ => detected_via_cluster(MerkleScheme, mode.clone()),
+            };
+            assert_eq!(
+                got, want,
+                "{scheme_name} × {mode:?} through the coordinator: expected detected={want}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DeltaLog: bounded retention + cursors
+// ---------------------------------------------------------------------
+
+fn unit_delta(seq: u64) -> SignedDelta<()> {
+    SignedDelta {
+        seq,
+        table: "t".into(),
+        op: UpdateOp::Delete(seq),
+        payload: (),
+        key_version: 1,
+    }
+}
+
+#[test]
+fn delta_log_retention_evicts_and_reports_truncation() {
+    let mut log: DeltaLog<()> = DeltaLog::new(3);
+    for seq in 0..5 {
+        log.push(unit_delta(seq));
+    }
+    assert_eq!(log.len(), 3);
+    assert_eq!(log.oldest_seq(), 2);
+    assert_eq!(log.next_seq(), 5);
+
+    // A cursor inside the window clones only the tail.
+    let tail = log.collect_since(3).unwrap();
+    assert_eq!(tail.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![3, 4]);
+    // At the head: empty, not an error.
+    assert!(log.collect_since(5).unwrap().is_empty());
+    // Beyond the head (replica restored from a newer snapshot): empty.
+    assert!(log.collect_since(9).unwrap().is_empty());
+    // Behind the window: explicit truncation, never a silent gap.
+    assert!(matches!(
+        log.collect_since(1),
+        Err(vbx_edge::DeltaLogError::Truncated {
+            requested: 1,
+            oldest: 2
+        })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "contiguous")]
+fn delta_log_rejects_gaps() {
+    let mut log: DeltaLog<()> = DeltaLog::new(8);
+    log.push(unit_delta(0));
+    log.push(unit_delta(2));
+}
+
+#[test]
+fn coordinator_surfaces_truncated_subscriptions() {
+    // Retention 2: an edge that missed more than 2 deltas cannot
+    // resubscribe and the coordinator says so explicitly.
+    let signer = Arc::new(MockSigner::with_version(SEED_VERSION, 1));
+    let scheme = VbScheme::<4>::new(Acc256::test_default(), VbTreeConfig::with_fanout(6));
+    let mut c = ClusterCoordinator::new(
+        scheme,
+        signer,
+        ClusterConfig {
+            edges: 2,
+            retention: 2,
+        },
+    );
+    let spec = WorkloadSpec {
+        table: "t0".into(),
+        ..WorkloadSpec::new(30, 3, 8)
+    };
+    c.create_table(spec.build());
+    let schema = c.central().tree("t0").unwrap().schema().clone();
+    // Three commits without fan-out: the first falls out of the window.
+    for k in 0..3u64 {
+        c.central_mut()
+            .insert("t0", fresh_tuple(&schema, 600 + k))
+            .unwrap();
+    }
+    assert!(matches!(
+        c.fan_out(),
+        Err(ClusterError::Truncated(
+            vbx_edge::DeltaLogError::Truncated { .. }
+        ))
+    ));
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use vbx_core::VbTreeConfig;
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
-use vbx_edge::{CentralServer, EdgeClient, EdgeServer, FreshnessPolicy, VbScheme};
+use vbx_edge::{CentralServer, EdgeClient, EdgeServer, KeyFreshnessPolicy, VbScheme};
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
 
@@ -99,7 +99,7 @@ proptest! {
         let sql = "SELECT * FROM items WHERE id BETWEEN 0 AND 400";
         let (_, resp) = edge_a.query_sql(sql).unwrap();
         let verified = client
-            .verify(sql, &resp, central.registry(), FreshnessPolicy::RequireCurrent)
+            .verify(sql, &resp, central.registry(), KeyFreshnessPolicy::RequireCurrent)
             .unwrap();
         prop_assert_eq!(
             verified.rows.len() as u64,

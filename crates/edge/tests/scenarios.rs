@@ -7,7 +7,7 @@ use vbx_core::VbTreeConfig;
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
 use vbx_edge::{
-    CentralServer, ClientError, EdgeClient, EdgeServer, FreshnessPolicy, TamperMode, VbScheme,
+    CentralServer, ClientError, EdgeClient, EdgeServer, KeyFreshnessPolicy, TamperMode, VbScheme,
 };
 use vbx_query::EngineError;
 use vbx_storage::workload::WorkloadSpec;
@@ -44,7 +44,7 @@ fn distribute_query_verify() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(rows.rows.len(), 21);
@@ -62,7 +62,7 @@ fn multiple_edges_agree() {
             sql,
             &r1,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     let v2 = client
@@ -70,7 +70,7 @@ fn multiple_edges_agree() {
             sql,
             &r2,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(v1.rows.len(), v2.rows.len());
@@ -118,7 +118,7 @@ fn update_deltas_keep_replicas_identical() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(rows.rows.len(), 3);
@@ -132,7 +132,7 @@ fn update_deltas_keep_replicas_identical() {
             sql2,
             &resp2,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 }
@@ -207,7 +207,7 @@ fn tamper_modes_detected() {
                 sql,
                 &resp,
                 central.registry(),
-                FreshnessPolicy::RequireCurrent,
+                KeyFreshnessPolicy::RequireCurrent,
             )
             .unwrap_err();
         assert!(
@@ -223,7 +223,7 @@ fn tamper_modes_detected() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 }
@@ -243,7 +243,7 @@ fn reclassification_drop_is_the_documented_boundary() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 }
@@ -278,7 +278,7 @@ fn key_rotation_detects_stale_replay() {
             sql,
             &fresh_resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 
@@ -290,7 +290,7 @@ fn key_rotation_detects_stale_replay() {
             sql,
             &stale_resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap_err();
     assert!(matches!(err, ClientError::StaleKey { version: 1 }));
@@ -301,7 +301,7 @@ fn key_rotation_detects_stale_replay() {
             sql,
             &stale_resp,
             central.registry(),
-            FreshnessPolicy::AcceptAsOf(0),
+            KeyFreshnessPolicy::AcceptAsOf(0),
         )
         .unwrap();
 }
@@ -317,7 +317,7 @@ fn unknown_key_version_rejected() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap_err();
     assert!(matches!(err, ClientError::UnknownKeyVersion(42)));
@@ -358,7 +358,7 @@ fn join_view_distribution_and_refresh() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 
@@ -375,7 +375,7 @@ fn join_view_distribution_and_refresh() {
             sql,
             &resp2,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert!(after.rows.len() <= before.rows.len());
@@ -451,7 +451,7 @@ fn bundle_crosses_process_boundary_as_bytes() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
 

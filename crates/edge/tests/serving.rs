@@ -8,7 +8,7 @@ use std::sync::Arc;
 use vbx_core::{encode_response, RangeQuery, VbTreeConfig};
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::{Acc256, KeyRegistry, Signer};
-use vbx_edge::{CentralServer, EdgeServer, FreshnessPolicy, SchemeClient, VbScheme};
+use vbx_edge::{CentralServer, EdgeServer, KeyFreshnessPolicy, SchemeClient, VbScheme};
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
 
@@ -79,7 +79,7 @@ fn readers_verify_while_writer_applies_100_deltas() {
                         &q,
                         &resp,
                         registry,
-                        FreshnessPolicy::RequireCurrent,
+                        KeyFreshnessPolicy::RequireCurrent,
                     ) {
                         Ok(_) => verified.fetch_add(1, Ordering::Relaxed),
                         Err(_) => failures.fetch_add(1, Ordering::Relaxed),

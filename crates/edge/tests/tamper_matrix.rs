@@ -22,7 +22,7 @@ use vbx_baselines::{MerkleScheme, NaiveScheme};
 use vbx_core::{AuthScheme, RangeQuery, TamperMode, VbScheme, VbTreeConfig};
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::Acc256;
-use vbx_edge::{CentralServer, EdgeServer, FreshnessPolicy, SchemeClient};
+use vbx_edge::{CentralServer, EdgeServer, KeyFreshnessPolicy, SchemeClient};
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Tuple, Value};
 
@@ -81,7 +81,7 @@ where
             &query,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .is_err()
 }

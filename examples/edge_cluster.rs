@@ -76,7 +76,7 @@ fn main() {
                 sql,
                 &resp,
                 central.registry(),
-                FreshnessPolicy::RequireCurrent,
+                KeyFreshnessPolicy::RequireCurrent,
             )
             .unwrap();
         println!("edge {i}: answered + verified {} rows", rows.rows.len());
@@ -98,14 +98,14 @@ fn main() {
             sql,
             &fresh,
             central.registry(),
-            FreshnessPolicy::RequireCurrent
+            KeyFreshnessPolicy::RequireCurrent
         )
         .is_ok());
     match client.verify(
         sql,
         &stale,
         central.registry(),
-        FreshnessPolicy::RequireCurrent,
+        KeyFreshnessPolicy::RequireCurrent,
     ) {
         Err(e) => println!("client: stale replica rejected — {e}"),
         Ok(_) => unreachable!("stale key must be rejected under RequireCurrent"),

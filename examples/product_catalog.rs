@@ -76,7 +76,7 @@ fn main() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     println!("page query: {} rows verified", rows.rows.len());

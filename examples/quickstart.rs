@@ -55,7 +55,7 @@ fn main() {
             sql,
             &response,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .expect("honest response verifies");
     println!(
@@ -75,7 +75,7 @@ fn main() {
             sql,
             &tampered,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap_err();
     println!("client: tampered response rejected — {err}");

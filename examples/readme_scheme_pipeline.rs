@@ -32,7 +32,7 @@ fn main() {
             &query,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(batch.rows.len(), 41);

@@ -54,7 +54,7 @@ fn main() {
                 sql,
                 &resp,
                 central.registry(),
-                FreshnessPolicy::RequireCurrent,
+                KeyFreshnessPolicy::RequireCurrent,
             )
             .unwrap();
         println!(

@@ -36,7 +36,7 @@ fn main() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         ) {
             Ok(rows) => println!("{label:55} -> ACCEPTED ({} rows)", rows.rows.len()),
             Err(e) => println!("{label:55} -> REJECTED: {e}"),

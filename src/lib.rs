@@ -40,7 +40,7 @@
 //! // Client: verifies with public material only.
 //! let client = EdgeClient::new(edge.schemas(), acc);
 //! let rows = client
-//!     .verify(sql, &response, central.registry(), FreshnessPolicy::RequireCurrent)
+//!     .verify(sql, &response, central.registry(), KeyFreshnessPolicy::RequireCurrent)
 //!     .unwrap();
 //! assert_eq!(rows.rows.len(), 41);
 //! ```
@@ -62,13 +62,15 @@ pub mod prelude {
     pub use vbx_analysis::Params;
     pub use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};
     pub use vbx_core::{
-        execute, AuthScheme, ClientVerifier, CostMeter, QueryResponse, RangeQuery, SignedDelta,
-        TamperMode, UpdateOp, VbScheme, VbTree, VbTreeConfig, VerifiedBatch, VerifyError,
+        execute, AuthScheme, ClientVerifier, CostMeter, FreshnessPolicy, FreshnessStamp,
+        QueryResponse, RangeQuery, ResponseFreshness, SignedDelta, TamperMode, UpdateOp, VbScheme,
+        VbTree, VbTreeConfig, VerifiedBatch, VerifyError,
     };
     pub use vbx_crypto::signer::{MockSigner, SigVerifier, Signer};
     pub use vbx_crypto::{rsa, Acc256, Accumulator, KeyRegistry};
     pub use vbx_edge::{
-        CentralServer, EdgeClient, EdgeServer, FreshnessPolicy, LockManager, LockMode, SchemeClient,
+        CentralServer, ClusterConfig, ClusterCoordinator, EdgeClient, EdgeServer,
+        KeyFreshnessPolicy, LockManager, LockMode, SchemeClient, ShardMap,
     };
     pub use vbx_query::{parse_select, AuthQueryEngine, ClientSession, JoinViewDef};
     pub use vbx_storage::workload::WorkloadSpec;

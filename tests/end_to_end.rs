@@ -29,7 +29,7 @@ fn full_pipeline_over_wire_bytes() {
             sql,
             &received,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(rows.rows.len(), 501);
@@ -53,7 +53,7 @@ fn rsa_1024_full_stack() {
             sql,
             &resp,
             central.registry(),
-            FreshnessPolicy::RequireCurrent,
+            KeyFreshnessPolicy::RequireCurrent,
         )
         .unwrap();
     assert_eq!(rows.rows.len(), 50);
@@ -182,7 +182,7 @@ fn concurrent_edges_serve_while_central_updates() {
                 let sql = format!("SELECT * FROM items WHERE id BETWEEN {lo} AND {}", lo + 39);
                 let (_, resp) = edge_ref.query_sql(&sql).unwrap();
                 if client_ref
-                    .verify(&sql, &resp, registry_ref, FreshnessPolicy::AcceptAsOf(0))
+                    .verify(&sql, &resp, registry_ref, KeyFreshnessPolicy::AcceptAsOf(0))
                     .is_ok()
                 {
                     verified += 1;
