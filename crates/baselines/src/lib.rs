@@ -26,3 +26,11 @@ pub mod schemes;
 pub use merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
 pub use naive::{NaiveAuthStore, NaiveError, NaiveResponse, NaiveRow};
 pub use schemes::{MerkleScheme, MerkleVo, NaiveScheme};
+
+/// Wire cost of the freshness metadata an edge attaches to a response.
+/// Delegates to the one layout definition in `vbx_core::wire`, so both
+/// baselines' wire accounting matches the VB-tree response encoding's
+/// freshness section byte for byte.
+pub fn freshness_wire_bytes(freshness: &vbx_core::ResponseFreshness) -> usize {
+    vbx_core::wire::freshness_wire_bytes(freshness)
+}

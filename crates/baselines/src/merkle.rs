@@ -107,6 +107,10 @@ pub struct MerkleResponse {
     pub root_sig: Signature,
     /// Key version for registry lookup.
     pub key_version: u32,
+    /// The serving edge's replication position + newest owner stamp
+    /// (default/empty on a standalone store — stamped by the edge
+    /// service in cluster deployments, like the VB-tree's responses).
+    pub freshness: vbx_core::ResponseFreshness,
 }
 
 impl MerkleResponse {
@@ -122,6 +126,7 @@ impl MerkleResponse {
             + self.proof.len() * 32
             + self.root_sig.len()
             + 24
+            + crate::freshness_wire_bytes(&self.freshness)
     }
 
     /// Number of hash digests in the proof (the `O(log N)` term).
@@ -253,6 +258,7 @@ impl MerkleAuthStore {
             n_leaves: self.tuples.len(),
             root_sig: self.root_sig.clone(),
             key_version: self.key_version,
+            freshness: vbx_core::ResponseFreshness::default(),
         }
     }
 

@@ -15,7 +15,9 @@
 //! Note the per-row signature decryption — the term that makes Naive lose
 //! to the VB-tree in Figure 12.
 
+use crate::freshness_wire_bytes;
 use std::collections::BTreeMap;
+use vbx_core::ResponseFreshness;
 use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
 use vbx_crypto::{SigVerifier, Signer};
 use vbx_storage::{Schema, Table, Tuple, Value};
@@ -102,6 +104,10 @@ pub struct NaiveResponse<const L: usize> {
     pub rows: Vec<NaiveRow<L>>,
     /// Key version for registry lookup.
     pub key_version: u32,
+    /// The serving edge's replication position + newest owner stamp
+    /// (default/empty on a standalone store — stamped by the edge
+    /// service in cluster deployments, like the VB-tree's responses).
+    pub freshness: ResponseFreshness,
 }
 
 impl<const L: usize> NaiveResponse<L> {
@@ -118,6 +124,7 @@ impl<const L: usize> NaiveResponse<L> {
             })
             .sum::<usize>()
             + 8
+            + freshness_wire_bytes(&self.freshness)
     }
 
     /// Number of signed digests shipped.
@@ -269,6 +276,7 @@ impl<const L: usize> NaiveAuthStore<L> {
         NaiveResponse {
             rows,
             key_version: self.key_version,
+            freshness: ResponseFreshness::default(),
         }
     }
 

@@ -6,11 +6,11 @@
 use crate::merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
 use crate::naive::{NaiveAuthStore, NaiveError, NaiveResponse};
 use vbx_core::scheme::{
-    drop_middle_row, inject_duplicate_last, mutate_first_value, AuthScheme, TamperMode, UpdateOp,
-    VerifiedBatch,
+    drop_middle_row, inject_duplicate_last, mutate_first_value, update_batch_atomic, AuthScheme,
+    TamperMode, UpdateOp, VerifiedBatch,
 };
 use vbx_core::vo::{RangeQuery, ResultRow};
-use vbx_core::CostMeter;
+use vbx_core::{CostMeter, ResponseFreshness};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{SigVerifier, Signature, Signer};
 use vbx_storage::{Schema, Table};
@@ -73,6 +73,17 @@ impl<const L: usize> AuthScheme for NaiveScheme<L> {
                 Ok(Vec::new())
             }
         }
+    }
+
+    /// The per-op loop with the trait's atomicity contract: a failing
+    /// op restores the pre-batch store (see `update_batch_atomic`).
+    fn update_batch(
+        &self,
+        store: &mut NaiveAuthStore<L>,
+        ops: &[UpdateOp],
+        signer: &dyn Signer,
+    ) -> Result<Vec<Self::Delta>, NaiveError> {
+        update_batch_atomic(self, store, ops, signer)
     }
 
     fn apply_delta(
@@ -184,6 +195,14 @@ impl<const L: usize> AuthScheme for NaiveScheme<L> {
         resp.key_version
     }
 
+    fn stamp_freshness(resp: &mut NaiveResponse<L>, freshness: &ResponseFreshness) {
+        resp.freshness = freshness.clone();
+    }
+
+    fn response_freshness(resp: &NaiveResponse<L>) -> Option<&ResponseFreshness> {
+        Some(&resp.freshness)
+    }
+
     fn tamper(
         &self,
         _store: &NaiveAuthStore<L>,
@@ -272,6 +291,17 @@ impl AuthScheme for MerkleScheme {
         Ok(store.sign_root(signer))
     }
 
+    /// The per-op loop with the trait's atomicity contract: a failing
+    /// op restores the pre-batch store (see `update_batch_atomic`).
+    fn update_batch(
+        &self,
+        store: &mut MerkleAuthStore,
+        ops: &[UpdateOp],
+        signer: &dyn Signer,
+    ) -> Result<Vec<Self::Delta>, MerkleError> {
+        update_batch_atomic(self, store, ops, signer)
+    }
+
     fn apply_delta(
         &self,
         store: &mut MerkleAuthStore,
@@ -343,6 +373,14 @@ impl AuthScheme for MerkleScheme {
 
     fn response_key_version(resp: &MerkleResponse) -> u32 {
         resp.key_version
+    }
+
+    fn stamp_freshness(resp: &mut MerkleResponse, freshness: &ResponseFreshness) {
+        resp.freshness = freshness.clone();
+    }
+
+    fn response_freshness(resp: &MerkleResponse) -> Option<&ResponseFreshness> {
+        Some(&resp.freshness)
     }
 
     fn tamper(

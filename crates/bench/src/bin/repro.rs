@@ -14,6 +14,7 @@
 //! cargo run -p vbx-bench --bin repro --release -- serve --smoke # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- cluster # multi-edge cluster
 //! cargo run -p vbx-bench --bin repro --release -- cluster --smoke # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- serve --write-batch 1,4,16 # group-commit sweep
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
@@ -37,7 +38,24 @@ use vbx_storage::Geometry;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let args: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
+    // `--write-batch <k>` (repeatable, or comma-separated) selects the
+    // group-commit batch sizes the serve/cluster sections sweep on the
+    // RSA-signed configuration; default k ∈ {1, 4, 16}.
+    let mut write_batch: Vec<usize> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter().filter(|a| a != "--smoke");
+    while let Some(a) = it.next() {
+        if a == "--write-batch" {
+            let ks = it.next().unwrap_or_default();
+            write_batch.extend(ks.split(',').filter_map(|k| k.parse::<usize>().ok()));
+        } else {
+            rest.push(a);
+        }
+    }
+    if write_batch.is_empty() {
+        write_batch = vec![1, 4, 16];
+    }
+    let args = rest;
     let section = args.first().map(String::as_str).unwrap_or("all");
     let explicit_rows: Option<u64> = args.get(1).and_then(|s| s.parse().ok());
     let rows: u64 = explicit_rows.unwrap_or(20_000);
@@ -63,7 +81,7 @@ fn main() {
         // VerifyError::Stale and accept it again after its subscription
         // queue drains).
         let cluster_rows = explicit_rows.unwrap_or(if smoke { 500 } else { 4_000 });
-        let records = vbx_bench::cluster::run_cluster(cluster_rows, smoke);
+        let records = vbx_bench::cluster::run_cluster(cluster_rows, smoke, &write_batch);
         vbx_bench::perf::write_bench_json("BENCH_cluster.json", "cluster", cluster_rows, &records)
             .expect("write BENCH_cluster.json");
         println!("\nwrote BENCH_cluster.json ({} records)", records.len());
@@ -75,7 +93,7 @@ fn main() {
         // closed-loop concurrent serving benchmark: N reader threads ×
         // verified query mix vs one writer applying signed deltas.
         let serve_rows = explicit_rows.unwrap_or(if smoke { 1_000 } else { 8_000 });
-        let records = vbx_bench::serve::run_serve(serve_rows, smoke);
+        let records = vbx_bench::serve::run_serve(serve_rows, smoke, &write_batch);
         vbx_bench::perf::write_bench_json("BENCH_serve.json", "serve", serve_rows, &records)
             .expect("write BENCH_serve.json");
         println!("\nwrote BENCH_serve.json ({} records)", records.len());

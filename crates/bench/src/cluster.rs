@@ -72,8 +72,10 @@ fn verified_routed_query(
 
 /// Run the cluster benchmark at `rows` rows per table (`smoke` shrinks
 /// the workload for CI) and return the records written to
-/// `BENCH_cluster.json`.
-pub fn run_cluster(rows: u64, smoke: bool) -> Vec<BenchRecord> {
+/// `BENCH_cluster.json`. `write_batch` are the group-commit batch
+/// sizes swept on the RSA-signed configuration (`write_batchN`
+/// records).
+pub fn run_cluster(rows: u64, smoke: bool, write_batch: &[usize]) -> Vec<BenchRecord> {
     let deltas: u64 = (if smoke { 32 } else { 160 }).min(rows / 2);
     let min_queries: u64 = if smoke { 24 } else { 150 };
     let induced: u64 = if smoke { 6 } else { 20 };
@@ -301,6 +303,10 @@ pub fn run_cluster(rows: u64, smoke: bool) -> Vec<BenchRecord> {
         .map(|e| format!("edge{e}:{:?}", cluster.shard_map().tables_of(e)))
         .collect();
     println!("shard map              : {}", shard_summary.join(" "));
+
+    // ---- group-commit sweep on the RSA-signed configuration ----
+    println!();
+    recs.extend(crate::write_batch::sweep_cluster(write_batch, smoke));
     recs
 }
 
@@ -310,7 +316,7 @@ mod tests {
 
     #[test]
     fn smoke_cluster_verifies_and_detects_staleness() {
-        let recs = run_cluster(240, true);
+        let recs = run_cluster(240, true, &[1, 16]);
         let get = |op: &str| {
             recs.iter()
                 .find(|r| r.op == op)
@@ -325,5 +331,9 @@ mod tests {
         assert!((0..EDGES).any(|e| recs
             .iter()
             .any(|r| r.op == format!("cluster_edge{e}_lag_induced") && r.n > 0)));
+        assert!(
+            get("write_batch16").ns_per_op <= get("write_batch1").ns_per_op,
+            "group commit must amortise the per-op write cost"
+        );
     }
 }

@@ -12,6 +12,7 @@
 pub mod cluster;
 pub mod perf;
 pub mod serve;
+pub mod write_batch;
 
 use vbx_analysis::Params;
 use vbx_baselines::{MerkleAuthStore, MerkleScheme, NaiveAuthStore, NaiveScheme};

@@ -77,8 +77,9 @@ fn reader_loop(
 
 /// Run the serving benchmark at `rows` table rows (`smoke` shrinks the
 /// workload for CI) and return the records written to
-/// `BENCH_serve.json`.
-pub fn run_serve(rows: u64, smoke: bool) -> Vec<BenchRecord> {
+/// `BENCH_serve.json`. `write_batch` are the group-commit batch sizes
+/// swept on the RSA-signed configuration (`write_batchN` records).
+pub fn run_serve(rows: u64, smoke: bool, write_batch: &[usize]) -> Vec<BenchRecord> {
     // Deletes target the distinct keys 1, 3, 5, …, so the stream never
     // outruns the table.
     let deltas: u64 = (if smoke { 40 } else { 200 }).min(rows / 2);
@@ -248,6 +249,10 @@ pub fn run_serve(rows: u64, smoke: bool) -> Vec<BenchRecord> {
         cold_ns / 1e3,
         cached_ns / 1e3
     );
+
+    // ---- group-commit sweep on the RSA-signed configuration ----
+    println!();
+    recs.extend(crate::write_batch::sweep_serve(write_batch, smoke));
     recs
 }
 
@@ -257,7 +262,7 @@ mod tests {
 
     #[test]
     fn smoke_serve_runs_verified_and_caches() {
-        let recs = run_serve(400, true);
+        let recs = run_serve(400, true, &[1, 16]);
         let get = |op: &str| {
             recs.iter()
                 .find(|r| r.op == op)
@@ -269,6 +274,10 @@ mod tests {
         assert!(
             get("serve_query_cached").ns_per_op < get("serve_query_cold").ns_per_op,
             "cache hits must be faster than cold executions"
+        );
+        assert!(
+            get("write_batch16").ns_per_op <= get("write_batch1").ns_per_op,
+            "group commit must amortise the per-op write cost"
         );
     }
 }

@@ -51,7 +51,8 @@ pub mod wire;
 
 pub use meter::CostMeter;
 pub use scheme::{
-    AuthScheme, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError, VerifiedBatch,
+    AuthScheme, DeltaBatch, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError,
+    VerifiedBatch,
 };
 pub use source::{Capture, DigestSource, ReplaySource, SigningSource};
 pub use tree::{
@@ -59,10 +60,14 @@ pub use tree::{
 };
 pub use tree_codec::{decode_tree, encode_tree};
 pub use verify::{
-    ClientVerifier, FreshnessPolicy, FreshnessStamp, ResponseFreshness, VerifyError, VerifyReport,
+    check_freshness, ClientVerifier, FreshnessPolicy, FreshnessStamp, ResponseFreshness,
+    VerifyError, VerifyReport,
 };
 pub use vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
-pub use wire::{decode_response, encode_response, measure_response, ResponseSize};
+pub use wire::{
+    decode_delta_batch, decode_response, encode_delta_batch, encode_response, measure_response,
+    ResponseSize,
+};
 
 /// Errors from tree operations and the wire format.
 #[derive(Debug, Clone, PartialEq, Eq)]

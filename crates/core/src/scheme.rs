@@ -27,9 +27,9 @@
 //! top; `vbx_bench` measures all three through the same entry points.
 
 use crate::meter::CostMeter;
-use crate::source::{Capture, ReplaySource};
+use crate::source::{Capture, DeferredSource, ReplaySource};
 use crate::tree::{VbTree, VbTreeConfig};
-use crate::verify::{ClientVerifier, ResponseFreshness, VerifyError};
+use crate::verify::{ClientVerifier, FreshnessStamp, ResponseFreshness, VerifyError};
 use crate::vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
 use crate::wire::measure_response;
 use crate::CoreError;
@@ -91,6 +91,52 @@ pub struct SignedDelta<P> {
     pub key_version: u32,
 }
 
+/// A group-committed batch of update operations: `k` ops travelling
+/// under **one** envelope, with **one** optional owner freshness stamp
+/// attesting the batch's end position — the write-pipeline counterpart
+/// of [`SignedDelta`].
+///
+/// The ops occupy the contiguous sequence range `[start_seq,
+/// end_seq())`. `payloads` is scheme-defined: the per-op default packs
+/// one payload per op, while schemes with a real batch fast path (the
+/// VB-tree's deferred signing sweep, the Merkle tree's single root
+/// re-sign) pack the whole batch into a single payload, which is where
+/// the amortisation comes from.
+#[derive(Clone, Debug)]
+pub struct DeltaBatch<P> {
+    /// Sequence number of the first op in the batch.
+    pub start_seq: u64,
+    /// Table every op in the batch applies to.
+    pub table: String,
+    /// The operations, in commit order.
+    pub ops: Vec<UpdateOp>,
+    /// Scheme-specific signed material (cardinality is scheme-defined —
+    /// see the type docs).
+    pub payloads: Vec<P>,
+    /// Key version the payloads were signed under.
+    pub key_version: u32,
+    /// Owner stamp attesting `end_seq()` committed deltas (present in
+    /// cluster deployments, where commits are stamped).
+    pub stamp: Option<FreshnessStamp>,
+}
+
+impl<P> DeltaBatch<P> {
+    /// Sequence number one past the batch's last op.
+    pub fn end_seq(&self) -> u64 {
+        self.start_seq + self.ops.len() as u64
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
 /// Successful scheme verification: the authenticated rows plus the
 /// dominant cost statistic.
 #[derive(Clone, Debug)]
@@ -147,6 +193,62 @@ pub trait AuthScheme {
         payload: &Self::Delta,
         key_version: u32,
     ) -> Result<(), Self::Error>;
+
+    /// Trusted: apply a whole batch of updates as one group commit,
+    /// producing the batch payloads replicas replay. The default loops
+    /// over [`update`](Self::update) — one payload per op, no
+    /// amortisation. Schemes with a real batch fast path override this
+    /// to share authentication work across the batch (and then return a
+    /// payload cardinality of their choosing — see [`DeltaBatch`]).
+    ///
+    /// **Atomicity contract:** on `Err`, the store must be unchanged —
+    /// the central server commits a batch all-or-nothing and logs
+    /// nothing on failure, so a half-applied store would silently
+    /// diverge from the catalog and every replica. The *default* loop
+    /// stops at the first error and cannot roll back (it knows nothing
+    /// about `Self::Store`); schemes whose store is `Clone` get the
+    /// contract by overriding with [`update_batch_atomic`] (as the
+    /// Naive/Merkle baselines do), and the VB-tree's deferred-sweep
+    /// override restores a pre-batch backup itself.
+    fn update_batch(
+        &self,
+        store: &mut Self::Store,
+        ops: &[UpdateOp],
+        signer: &dyn Signer,
+    ) -> Result<Vec<Self::Delta>, Self::Error> {
+        ops.iter()
+            .map(|op| self.update(store, op, signer))
+            .collect()
+    }
+
+    /// Untrusted: replay a batch produced by
+    /// [`update_batch`](Self::update_batch). The default replays one
+    /// payload per op.
+    ///
+    /// # Panics
+    /// The default implementation panics when `payloads` does not carry
+    /// exactly one payload per op — in-process callers (the central
+    /// server, the cluster coordinator) always hand over well-formed
+    /// batches, mirroring [`DeltaLog`](crate)'s contiguity assertion.
+    /// Schemes with a wire format for batches (the VB-tree) override
+    /// this with graceful divergence errors for arbitrary payloads.
+    fn apply_delta_batch(
+        &self,
+        store: &mut Self::Store,
+        ops: &[UpdateOp],
+        payloads: &[Self::Delta],
+        key_version: u32,
+    ) -> Result<(), Self::Error> {
+        assert_eq!(
+            ops.len(),
+            payloads.len(),
+            "per-op batch replay needs one payload per op"
+        );
+        for (op, payload) in ops.iter().zip(payloads) {
+            self.apply_delta(store, op, payload, key_version)?;
+        }
+        Ok(())
+    }
 
     /// Client-side verification with public material only. Primitive
     /// operations (hashes, combines, signature checks) are counted into
@@ -224,6 +326,34 @@ pub trait AuthScheme {
     fn proves_completeness(&self) -> bool {
         false
     }
+}
+
+/// The per-op batch loop with the [`AuthScheme::update_batch`]
+/// atomicity contract bolted on: snapshot the store, apply each op
+/// through [`AuthScheme::update`], restore the snapshot on the first
+/// failure. The override of choice for schemes without a batch fast
+/// path whose store is `Clone` (the Naive and Merkle baselines).
+pub fn update_batch_atomic<S: AuthScheme>(
+    scheme: &S,
+    store: &mut S::Store,
+    ops: &[UpdateOp],
+    signer: &dyn Signer,
+) -> Result<Vec<S::Delta>, S::Error>
+where
+    S::Store: Clone,
+{
+    let backup = store.clone();
+    let mut payloads = Vec::with_capacity(ops.len());
+    for op in ops {
+        match scheme.update(store, op, signer) {
+            Ok(p) => payloads.push(p),
+            Err(e) => {
+                *store = backup;
+                return Err(e);
+            }
+        }
+    }
+    Ok(payloads)
 }
 
 /// Corrupt the first value of a row in place (shared by schemes'
@@ -382,6 +512,90 @@ impl<const L: usize> AuthScheme for VbScheme<L> {
                 src.remaining()
             ))
             .into());
+        }
+        Ok(())
+    }
+
+    /// The Section 3.4 batch fast path: apply every op structurally
+    /// with deferred (unsigned) digests — exponents mutate, nothing is
+    /// signed — then run **one** signing sweep over the dirty nodes.
+    /// `k` ops sharing root-to-leaf paths thus cost `O(dirty digests)`
+    /// signatures instead of `k · O(height)`, and the packed payload is
+    /// the sweep's digest stream (a single [`DeltaBatch`] payload).
+    ///
+    /// Atomic: on any op failure the store is restored to its pre-batch
+    /// state (cheap — the node arena is copy-on-write).
+    fn update_batch(
+        &self,
+        store: &mut VbTree<L>,
+        ops: &[UpdateOp],
+        signer: &dyn Signer,
+    ) -> Result<Vec<Self::Delta>, VbSchemeError> {
+        let backup = store.clone();
+        let mut src = DeferredSource::new(signer.key_version());
+        store.begin_dirty_tracking();
+        for op in ops {
+            let applied = match op {
+                UpdateOp::Insert(tuple) => store
+                    .insert_with_source(tuple.clone(), &mut src)
+                    .map(|_| ()),
+                UpdateOp::Delete(key) => store.delete_with_source(*key, &mut src).map(|_| ()),
+                UpdateOp::DeleteRange(lo, hi) => store
+                    .delete_range_with_source(*lo, *hi, &mut src)
+                    .map(|_| ()),
+            };
+            if let Err(e) = applied {
+                *store = backup;
+                return Err(e.into());
+            }
+        }
+        let dirty = store.take_dirty();
+        Ok(vec![store.sign_dirty_nodes(&dirty, signer)])
+    }
+
+    /// Replay a group-committed batch: the same deferred structural
+    /// replay, then one sweep consuming the packed payload's pre-signed
+    /// digests in the central server's deterministic sweep order,
+    /// checking every locally recomputed exponent. Any divergence (or a
+    /// malformed payload, e.g. from a hostile wire) restores the
+    /// pre-batch store and reports `ReplicaDivergence` — never panics.
+    fn apply_delta_batch(
+        &self,
+        store: &mut VbTree<L>,
+        ops: &[UpdateOp],
+        payloads: &[Self::Delta],
+        key_version: u32,
+    ) -> Result<(), VbSchemeError> {
+        let [payload] = payloads else {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "vb-tree batch carries one packed payload, got {}",
+                payloads.len()
+            ))
+            .into());
+        };
+        let backup = store.clone();
+        let mut src = DeferredSource::new(key_version);
+        store.begin_dirty_tracking();
+        let replayed = (|| -> Result<(), CoreError> {
+            for op in ops {
+                match op {
+                    UpdateOp::Insert(tuple) => {
+                        store.insert_with_source(tuple.clone(), &mut src)?;
+                    }
+                    UpdateOp::Delete(key) => {
+                        store.delete_with_source(*key, &mut src)?;
+                    }
+                    UpdateOp::DeleteRange(lo, hi) => {
+                        store.delete_range_with_source(*lo, *hi, &mut src)?;
+                    }
+                }
+            }
+            let dirty = store.take_dirty();
+            store.replay_dirty_nodes(&dirty, payload, key_version)
+        })();
+        if let Err(e) = replayed {
+            *store = backup;
+            return Err(e.into());
         }
         Ok(())
     }

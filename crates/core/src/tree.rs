@@ -177,6 +177,9 @@ pub struct VbTree<const L: usize> {
     /// Version of the signing key the digests are currently under.
     pub(crate) key_version: u32,
     pub(crate) meter: CostMeter,
+    /// Node ids whose digests were re-issued while dirty tracking was
+    /// on (the deferred-signing batch paths). `None` = tracking off.
+    pub(crate) dirty: Option<std::collections::BTreeSet<NodeId>>,
 }
 
 impl<const L: usize> VbTree<L> {
@@ -203,6 +206,7 @@ impl<const L: usize> VbTree<L> {
             version: 0,
             key_version: signer.key_version(),
             meter: CostMeter::new(),
+            dirty: None,
         };
         let mut src = SigningSource::new(signer);
         let identity = tree.acc.identity();
@@ -484,6 +488,19 @@ impl<const L: usize> VbTree<L> {
         src.issue(&self.acc, DigestRole::Node, &exp)
     }
 
+    /// Install a node digest, recording the node as dirty when batch
+    /// tracking is on.
+    fn set_node_digest(&mut self, id: NodeId, digest: SignedDigest<L>) {
+        self.mark_dirty(id);
+        self.node_mut(id).set_digest(digest);
+    }
+
+    fn mark_dirty(&mut self, id: NodeId) {
+        if let Some(dirty) = &mut self.dirty {
+            dirty.insert(id);
+        }
+    }
+
     fn product_of_tuples(&mut self, entries: &[TupleEntry<L>]) -> Uint<L> {
         let mut acc = self.acc.identity();
         for e in entries {
@@ -528,18 +545,23 @@ impl<const L: usize> VbTree<L> {
     // ------------------------------------------------------------------
 
     fn alloc(&mut self, node: Node<L>) -> NodeId {
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             self.nodes[id] = Some(Arc::new(node));
             id
         } else {
             self.nodes.push(Some(Arc::new(node)));
             self.nodes.len() - 1
-        }
+        };
+        self.mark_dirty(id);
+        id
     }
 
     fn dealloc(&mut self, id: NodeId) {
         self.nodes[id] = None;
         self.free.push(id);
+        if let Some(dirty) = &mut self.dirty {
+            dirty.remove(&id);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -706,15 +728,94 @@ impl<const L: usize> VbTree<L> {
             }
         }
         let n = tuples.len();
+        // Atomic past validation too: an unexpected mid-batch failure
+        // must not leave unsigned (deferred) digests or an abandoned
+        // dirty set behind — restore the pre-batch tree (cheap: the
+        // node arena is copy-on-write).
+        let backup = self.clone();
         let mut deferred = DeferredSource::new(signer.key_version());
+        self.begin_dirty_tracking();
         for t in tuples {
-            self.insert_with_source(t, &mut deferred)?;
+            if let Err(e) = self.insert_with_source(t, &mut deferred) {
+                *self = backup;
+                return Err(e);
+            }
         }
-        // Signing sweep: every digest left unsigned by the deferred
-        // source gets one fresh signature.
-        let ids: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_some())
-            .collect();
+        // Signing sweep over the nodes the batch actually touched (the
+        // pre-PR-5 sweep scanned the whole arena — O(nodes) per batch).
+        let dirty = self.take_dirty();
+        self.sign_dirty_nodes(&dirty, signer);
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred-signing batch machinery (shared by `insert_batch` and the
+    // scheme layer's `update_batch` / `apply_delta_batch`)
+    // ------------------------------------------------------------------
+
+    /// Start recording which nodes get their digests re-issued. The
+    /// subsequent mutations are expected to run through a
+    /// [`DeferredSource`], leaving every touched digest unsigned until a
+    /// single sweep over [`take_dirty`](Self::take_dirty).
+    pub(crate) fn begin_dirty_tracking(&mut self) {
+        self.dirty = Some(std::collections::BTreeSet::new());
+    }
+
+    /// Stop tracking and return the dirty node ids.
+    pub(crate) fn take_dirty(&mut self) -> Vec<NodeId> {
+        self.dirty
+            .take()
+            .map(|d| d.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Reorder dirty node ids into **structural preorder** (root first,
+    /// depth-first, children left to right) — the deterministic sweep
+    /// order both the signing central server and the replaying replicas
+    /// iterate in. Arena `NodeId`s are *not* canonical (`decode_tree`
+    /// renumbers nodes in postorder, bulk loads level by level, and the
+    /// free list reuses slots), but the logical tree shape is identical
+    /// on both sides of a batch replay, so the walk is.
+    fn structural_order(&self, ids: &[NodeId]) -> Vec<NodeId> {
+        let dirty: std::collections::BTreeSet<NodeId> = ids.iter().copied().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            // The dirty set is ancestor-closed — any descendant change
+            // re-issues (and so marks) every ancestor digest up to the
+            // root — so a clean subtree cannot hold dirty nodes and the
+            // walk is O(dirty × fanout), not O(tree).
+            if !dirty.contains(&id) {
+                continue;
+            }
+            out.push(id);
+            if let Node::Internal(n) = self.node(id) {
+                // Reversed push so the leftmost child pops first.
+                stack.extend(n.children.iter().rev());
+            }
+        }
+        debug_assert_eq!(
+            out.len(),
+            ids.len(),
+            "every dirty node must be reachable from the root through dirty ancestors"
+        );
+        out
+    }
+
+    /// The signing sweep: give every unsigned digest under the dirty
+    /// nodes (node digests, plus attribute/tuple digests of entries
+    /// inserted by the batch) exactly one fresh signature, visiting
+    /// nodes in [structural preorder](Self::structural_order). Returns
+    /// the signed digests in sweep order — the packed payload replicas
+    /// replay through [`replay_dirty_nodes`](Self::replay_dirty_nodes).
+    pub(crate) fn sign_dirty_nodes(
+        &mut self,
+        ids: &[NodeId],
+        signer: &dyn Signer,
+    ) -> Vec<SignedDigest<L>> {
+        let ids = self.structural_order(ids);
+        let mut out = Vec::new();
+        self.key_version = signer.key_version();
         for id in ids {
             let node_exp = {
                 let node = self.node(id);
@@ -723,6 +824,7 @@ impl<const L: usize> VbTree<L> {
             if let Some(exp) = node_exp {
                 self.meter.sign_ops += 1;
                 let d = self.acc.sign_digest(signer, DigestRole::Node, &exp);
+                out.push(d.clone());
                 self.node_mut(id).set_digest(d);
             }
             // Leaf entries inserted by this batch carry unsigned
@@ -744,17 +846,96 @@ impl<const L: usize> VbTree<L> {
                     .iter()
                     .map(|e| {
                         self.meter.sign_ops += 1;
-                        self.acc.sign_digest(signer, DigestRole::Attribute, e)
+                        let d = self.acc.sign_digest(signer, DigestRole::Attribute, e);
+                        out.push(d.clone());
+                        d
                     })
                     .collect();
                 self.meter.sign_ops += 1;
                 let tuple_digest = self.acc.sign_digest(signer, DigestRole::Tuple, &tuple_exp);
+                out.push(tuple_digest.clone());
                 let leaf = self.node_mut(id).as_leaf_mut();
                 leaf.entries[i].attr_digests = attr_digests;
                 leaf.entries[i].tuple_digest = tuple_digest;
             }
         }
-        Ok(n)
+        out
+    }
+
+    /// The replay sweep: walk the dirty nodes in the same deterministic
+    /// order as [`sign_dirty_nodes`](Self::sign_dirty_nodes), consuming
+    /// one pre-signed digest per unsigned signing site and checking that
+    /// role and locally recomputed exponent match. Any mismatch (or a
+    /// digest count that does not line up) means a forged batch or a
+    /// diverged replica.
+    pub(crate) fn replay_dirty_nodes(
+        &mut self,
+        ids: &[NodeId],
+        digests: &[SignedDigest<L>],
+        key_version: u32,
+    ) -> Result<(), CoreError> {
+        let ids = self.structural_order(ids);
+        let mut next = 0usize;
+        let mut pop = |role: DigestRole, exp: &Uint<L>| -> Result<SignedDigest<L>, CoreError> {
+            let d = digests.get(next).ok_or_else(|| {
+                CoreError::ReplicaDivergence(
+                    "batch payload exhausted: replica has more dirty digests".into(),
+                )
+            })?;
+            next += 1;
+            if d.role != role {
+                return Err(CoreError::ReplicaDivergence(format!(
+                    "batch digest role {:?} != local {:?}",
+                    d.role, role
+                )));
+            }
+            if &d.exp != exp {
+                return Err(CoreError::ReplicaDivergence(
+                    "batch digest exponent differs from locally recomputed digest".into(),
+                ));
+            }
+            Ok(d.clone())
+        };
+        self.key_version = key_version;
+        for id in ids {
+            let node_exp = {
+                let node = self.node(id);
+                node.digest().sig.is_empty().then(|| node.digest().exp)
+            };
+            if let Some(exp) = node_exp {
+                let d = pop(DigestRole::Node, &exp)?;
+                self.node_mut(id).set_digest(d);
+            }
+            let mut fixes: Vec<(usize, Vec<Uint<L>>, Uint<L>)> = Vec::new();
+            if let Node::Leaf(leaf) = self.node(id) {
+                for (i, e) in leaf.entries.iter().enumerate() {
+                    if e.tuple_digest.sig.is_empty() {
+                        fixes.push((
+                            i,
+                            e.attr_digests.iter().map(|d| d.exp).collect(),
+                            e.tuple_digest.exp,
+                        ));
+                    }
+                }
+            }
+            for (i, attr_exps, tuple_exp) in fixes {
+                let mut attr_digests = Vec::with_capacity(attr_exps.len());
+                for e in &attr_exps {
+                    attr_digests.push(pop(DigestRole::Attribute, e)?);
+                }
+                let tuple_digest = pop(DigestRole::Tuple, &tuple_exp)?;
+                let leaf = self.node_mut(id).as_leaf_mut();
+                leaf.entries[i].attr_digests = attr_digests;
+                leaf.entries[i].tuple_digest = tuple_digest;
+            }
+        }
+        if next != digests.len() {
+            return Err(CoreError::ReplicaDivergence(format!(
+                "{} unused digests after batch replay",
+                digests.len() - next
+            )));
+        }
+        Ok(())
     }
 
     fn absorb_exponent(
@@ -767,7 +948,7 @@ impl<const L: usize> VbTree<L> {
         let new = self.acc.combine(&old, e);
         self.meter.combine_ops += 1;
         let digest = self.issue_node(new, src)?;
-        self.node_mut(id).set_digest(digest);
+        self.set_node_digest(id, digest);
         Ok(())
     }
 
@@ -778,7 +959,9 @@ impl<const L: usize> VbTree<L> {
         src: &mut dyn DigestSource<L>,
     ) -> Result<(u64, NodeId), CoreError> {
         let node = self.nodes[id].take().expect("live node");
-        // Detach from any shared snapshot before restructuring.
+        // Detach from any shared snapshot before restructuring. Both
+        // halves get re-issued digests (the right half through `alloc`).
+        self.mark_dirty(id);
         let node = Arc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone());
         match node {
             Node::Leaf(mut leaf) => {
@@ -851,7 +1034,7 @@ impl<const L: usize> VbTree<L> {
         };
         let exp = self.product_of_tuples(&leaf_entries);
         let digest = self.issue_node(exp, src)?;
-        self.node_mut(leaf_id).set_digest(digest);
+        self.set_node_digest(leaf_id, digest);
 
         // Walk back up: drop emptied children, recompute ancestor digests.
         let mut child_id = leaf_id;
@@ -875,7 +1058,7 @@ impl<const L: usize> VbTree<L> {
             };
             let exp = self.product_of_children(&children);
             let digest = self.issue_node(exp, src)?;
-            self.node_mut(pid).set_digest(digest);
+            self.set_node_digest(pid, digest);
             child_id = pid;
         }
 
@@ -908,7 +1091,7 @@ impl<const L: usize> VbTree<L> {
             let new = self.acc.uncombine(&old, &e_t);
             self.meter.combine_ops += 1;
             let digest = self.issue_node(new, &mut src)?;
-            self.node_mut(id).set_digest(digest);
+            self.set_node_digest(id, digest);
         }
         // Structural cleanup of emptied nodes.
         let mut child_id = leaf_id;
@@ -1006,7 +1189,7 @@ impl<const L: usize> VbTree<L> {
                 if changed {
                     let exp = self.product_of_tuples(&entries);
                     let digest = self.issue_node(exp, src)?;
-                    self.node_mut(id).set_digest(digest);
+                    self.set_node_digest(id, digest);
                 }
                 Ok(false)
             }
@@ -1046,7 +1229,7 @@ impl<const L: usize> VbTree<L> {
                 if any_overlap {
                     let exp = self.product_of_children(&children);
                     let digest = self.issue_node(exp, src)?;
-                    self.node_mut(id).set_digest(digest);
+                    self.set_node_digest(id, digest);
                 }
                 Ok(false)
             }

@@ -168,6 +168,7 @@ pub fn decode_tree<const L: usize>(
         version,
         key_version,
         meter: crate::CostMeter::new(),
+        dirty: None,
     };
     // Structural audit: digests, ordering, separators, counts. (A bad
     // replica must never be served from.)

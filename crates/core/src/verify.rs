@@ -247,6 +247,55 @@ struct FreshnessCheck {
     owner_clock: u64,
 }
 
+/// Enforce a [`FreshnessPolicy`] against a response's freshness
+/// metadata and the owner position `(owner_seq, owner_clock)` the
+/// client learned out of band. Shared by [`ClientVerifier`] (the
+/// VB-tree path) and the generic scheme pipeline
+/// (`SchemeClient::verify_range_fresh` in `vbx-edge`), so every
+/// `AuthScheme` whose responses carry a [`ResponseFreshness`] gets the
+/// same staleness semantics.
+///
+/// Call this **only after** the response proved authentic, so staleness
+/// is never conflated with tampering. `freshness: None` (a scheme whose
+/// wire format carries no freshness metadata) reads as a missing stamp.
+pub fn check_freshness(
+    freshness: Option<&ResponseFreshness>,
+    policy: &FreshnessPolicy,
+    owner_seq: u64,
+    owner_clock: u64,
+    verifier: &dyn SigVerifier,
+    meter: &mut CostMeter,
+) -> Result<(), VerifyError> {
+    let Some(stamp) = freshness.and_then(|f| f.stamp.as_ref()) else {
+        return Err(VerifyError::Stale {
+            lag: None,
+            age: None,
+        });
+    };
+    // A stamp from a different key generation (the edge kept serving
+    // old-key data across a rotation, or vice versa) cannot prove
+    // freshness for this response — that is staleness, not forgery.
+    if stamp.key_version != verifier.key_version() {
+        return Err(VerifyError::Stale {
+            lag: None,
+            age: None,
+        });
+    }
+    meter.verify_ops += 1;
+    if !stamp.verify(verifier) {
+        return Err(VerifyError::BadSignature { part: "freshness" });
+    }
+    let lag = owner_seq.saturating_sub(stamp.seq);
+    let age = owner_clock.saturating_sub(stamp.clock);
+    if lag > policy.max_lag || age > policy.max_age {
+        return Err(VerifyError::Stale {
+            lag: Some(lag),
+            age: Some(age),
+        });
+    }
+    Ok(())
+}
+
 /// The client-side verifier: the public knowledge a client needs —
 /// digest algebra parameters and the schema (names feed formula (1)).
 pub struct ClientVerifier<'a, const L: usize> {
@@ -392,34 +441,14 @@ impl<'a, const L: usize> ClientVerifier<'a, L> {
         // --- freshness: only after the response proved authentic, so
         // staleness is never conflated with tampering ---
         if let Some(check) = &self.freshness {
-            let Some(stamp) = &resp.freshness.stamp else {
-                return Err(VerifyError::Stale {
-                    lag: None,
-                    age: None,
-                });
-            };
-            // A stamp from a different key generation (the edge kept
-            // serving old-key data across a rotation, or vice versa)
-            // cannot prove freshness for this response — that is
-            // staleness, not forgery.
-            if stamp.key_version != verifier.key_version() {
-                return Err(VerifyError::Stale {
-                    lag: None,
-                    age: None,
-                });
-            }
-            meter.verify_ops += 1;
-            if !stamp.verify(verifier) {
-                return Err(VerifyError::BadSignature { part: "freshness" });
-            }
-            let lag = check.owner_seq.saturating_sub(stamp.seq);
-            let age = check.owner_clock.saturating_sub(stamp.clock);
-            if lag > check.policy.max_lag || age > check.policy.max_age {
-                return Err(VerifyError::Stale {
-                    lag: Some(lag),
-                    age: Some(age),
-                });
-            }
+            check_freshness(
+                Some(&resp.freshness),
+                &check.policy,
+                check.owner_seq,
+                check.owner_clock,
+                verifier,
+                &mut meter,
+            )?;
         }
 
         Ok(VerifyReport {

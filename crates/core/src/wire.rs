@@ -1,22 +1,32 @@
-//! Wire encoding of query responses.
+//! Wire encoding of query responses and group-committed delta batches.
 //!
 //! The communication-cost experiments (Figures 10 and 11) charge the
 //! exact serialized size of `result + VO`. This module defines that
 //! format and measures it. The encoding is self-describing enough for the
 //! client to decode without the schema; all authentication happens later
 //! in [`crate::verify`].
+//!
+//! Format version 3 adds the [`DeltaBatch`] envelope (magic `VBX3`):
+//! `k` update ops travelling from the central commit to the edge apply
+//! under one signed payload stream and one owner freshness stamp. The
+//! `VBX2` response encoding is unchanged and its decoder kept — the two
+//! message types coexist on the wire, distinguished by magic.
 
+use crate::scheme::{DeltaBatch, UpdateOp};
 use crate::verify::{FreshnessStamp, ResponseFreshness};
 use crate::vo::{QueryResponse, ResultRow, VerificationObject};
 use crate::CoreError;
 use bytes::{Buf, BufMut};
 use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
 use vbx_crypto::Signature;
-use vbx_storage::Value;
+use vbx_storage::{Tuple, Value};
 
 /// Format version 2: v1 plus the trailing freshness section
 /// (applied seq + optional owner stamp).
 const MAGIC: &[u8; 4] = b"VBX2";
+
+/// Format version 3: the group-commit [`DeltaBatch`] envelope.
+const BATCH_MAGIC: &[u8; 4] = b"VBX3";
 
 fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
@@ -77,7 +87,12 @@ pub fn encode_response<const L: usize>(resp: &QueryResponse<L>) -> Vec<u8> {
 
     // freshness: applied seq, then an optional owner stamp
     out.put_u64(resp.freshness.applied_seq);
-    match &resp.freshness.stamp {
+    put_stamp(&mut out, resp.freshness.stamp.as_ref());
+    out
+}
+
+fn put_stamp(out: &mut Vec<u8>, stamp: Option<&FreshnessStamp>) {
+    match stamp {
         None => out.push(0),
         Some(stamp) => {
             out.push(1);
@@ -88,7 +103,53 @@ pub fn encode_response<const L: usize>(resp: &QueryResponse<L>) -> Vec<u8> {
             out.extend_from_slice(stamp.sig.as_bytes());
         }
     }
-    out
+}
+
+/// Exact bytes [`put_stamp`] emits for the stamp alone (excluding the
+/// presence tag): `seq + clock + key_version + sig_len + sig`, or 0
+/// when absent.
+pub fn stamp_wire_bytes(stamp: Option<&FreshnessStamp>) -> usize {
+    stamp.map_or(0, |s| 8 + 8 + 4 + 2 + s.sig.len())
+}
+
+/// Exact wire size of a whole freshness section as every vbx encoding
+/// frames it: advisory `applied_seq`, the stamp-presence tag, and the
+/// optional stamp. The single source of truth for freshness byte
+/// accounting — the baselines' `wire_bytes` delegate here so the
+/// Figure 10/11 comparisons can never drift from the real encoding.
+pub fn freshness_wire_bytes(freshness: &ResponseFreshness) -> usize {
+    8 + 1 + stamp_wire_bytes(freshness.stamp.as_ref())
+}
+
+fn get_stamp(buf: &mut &[u8]) -> Result<Option<FreshnessStamp>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 1 {
+        return Err(corrupt("freshness stamp tag truncated"));
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.remaining() < 22 {
+                return Err(corrupt("freshness stamp truncated"));
+            }
+            let seq = buf.get_u64();
+            let clock = buf.get_u64();
+            let key_version = buf.get_u32();
+            let sig_len = buf.get_u16() as usize;
+            if buf.remaining() < sig_len {
+                return Err(corrupt("freshness signature truncated"));
+            }
+            let sig = Signature(buf[..sig_len].to_vec());
+            buf.advance(sig_len);
+            Ok(Some(FreshnessStamp {
+                seq,
+                clock,
+                key_version,
+                sig,
+            }))
+        }
+        _ => Err(corrupt("bad freshness stamp tag")),
+    }
 }
 
 /// Decode a response. `acc` supplies the group width and validates
@@ -145,30 +206,7 @@ pub fn decode_response<const L: usize>(
         return Err(corrupt("freshness truncated"));
     }
     let applied_seq = buf.get_u64();
-    let stamp = match buf.get_u8() {
-        0 => None,
-        1 => {
-            if buf.remaining() < 22 {
-                return Err(corrupt("freshness stamp truncated"));
-            }
-            let seq = buf.get_u64();
-            let clock = buf.get_u64();
-            let stamp_key_version = buf.get_u32();
-            let sig_len = buf.get_u16() as usize;
-            if buf.remaining() < sig_len {
-                return Err(corrupt("freshness signature truncated"));
-            }
-            let sig = Signature(buf[..sig_len].to_vec());
-            buf.advance(sig_len);
-            Some(FreshnessStamp {
-                seq,
-                clock,
-                key_version: stamp_key_version,
-                sig,
-            })
-        }
-        _ => return Err(corrupt("bad freshness stamp tag")),
-    };
+    let stamp = get_stamp(&mut buf)?;
     if buf.has_remaining() {
         return Err(corrupt("trailing bytes"));
     }
@@ -181,6 +219,136 @@ pub fn decode_response<const L: usize>(
             key_version,
         },
         freshness: ResponseFreshness { applied_seq, stamp },
+    })
+}
+
+/// Serialize a group-committed delta batch — the `VBX3` envelope the
+/// central server ships over the subscription transport: `k` update ops,
+/// the scheme's packed signed-digest payload stream, and the optional
+/// owner freshness stamp attesting the batch's end sequence.
+pub fn encode_delta_batch<const L: usize>(batch: &DeltaBatch<Vec<SignedDigest<L>>>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(BATCH_MAGIC);
+    out.put_u64(batch.start_seq);
+    out.put_u32(batch.table.len() as u32);
+    out.extend_from_slice(batch.table.as_bytes());
+    out.put_u32(batch.key_version);
+
+    out.put_u32(batch.ops.len() as u32);
+    for op in &batch.ops {
+        match op {
+            UpdateOp::Insert(tuple) => {
+                out.push(0);
+                tuple.encode_into(&mut out);
+            }
+            UpdateOp::Delete(key) => {
+                out.push(1);
+                out.put_u64(*key);
+            }
+            UpdateOp::DeleteRange(lo, hi) => {
+                out.push(2);
+                out.put_u64(*lo);
+                out.put_u64(*hi);
+            }
+        }
+    }
+
+    out.put_u32(batch.payloads.len() as u32);
+    for payload in &batch.payloads {
+        out.put_u32(payload.len() as u32);
+        for d in payload {
+            put_digest(&mut out, d);
+        }
+    }
+
+    put_stamp(&mut out, batch.stamp.as_ref());
+    out
+}
+
+/// Decode a `VBX3` delta batch. Structurally hostile input (truncation,
+/// lying counters, bad tags, trailing bytes) errors and never panics;
+/// *semantically* hostile input — consistent bytes carrying forged ops
+/// or digests — is caught later, by the replica's replay divergence
+/// check and by the stamp/digest signatures.
+pub fn decode_delta_batch<const L: usize>(
+    bytes: &[u8],
+    acc: &Accumulator<L>,
+) -> Result<DeltaBatch<Vec<SignedDigest<L>>>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != BATCH_MAGIC {
+        return Err(corrupt("bad batch magic"));
+    }
+    buf.advance(4);
+    if buf.remaining() < 12 {
+        return Err(corrupt("batch header truncated"));
+    }
+    let start_seq = buf.get_u64();
+    let table_len = buf.get_u32() as usize;
+    if buf.remaining() < table_len {
+        return Err(corrupt("table name truncated"));
+    }
+    let table = core::str::from_utf8(&buf[..table_len])
+        .map_err(|_| corrupt("table name not UTF-8"))?
+        .to_string();
+    buf.advance(table_len);
+    if buf.remaining() < 8 {
+        return Err(corrupt("batch key version truncated"));
+    }
+    let key_version = buf.get_u32();
+
+    let n_ops = buf.get_u32() as usize;
+    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+    for _ in 0..n_ops {
+        if buf.remaining() < 1 {
+            return Err(corrupt("op truncated"));
+        }
+        ops.push(match buf.get_u8() {
+            0 => UpdateOp::Insert(Tuple::decode(&mut buf).map_err(CoreError::Storage)?),
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(corrupt("delete key truncated"));
+                }
+                UpdateOp::Delete(buf.get_u64())
+            }
+            2 => {
+                if buf.remaining() < 16 {
+                    return Err(corrupt("delete range truncated"));
+                }
+                UpdateOp::DeleteRange(buf.get_u64(), buf.get_u64())
+            }
+            _ => return Err(corrupt("bad op tag")),
+        });
+    }
+
+    if buf.remaining() < 4 {
+        return Err(corrupt("payload header truncated"));
+    }
+    let n_payloads = buf.get_u32() as usize;
+    let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
+    for _ in 0..n_payloads {
+        if buf.remaining() < 4 {
+            return Err(corrupt("payload digest count truncated"));
+        }
+        let n_digests = buf.get_u32() as usize;
+        let mut digests = Vec::with_capacity(n_digests.min(1 << 20));
+        for _ in 0..n_digests {
+            digests.push(get_digest(&mut buf, acc)?);
+        }
+        payloads.push(digests);
+    }
+
+    let stamp = get_stamp(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in batch"));
+    }
+    Ok(DeltaBatch {
+        start_seq,
+        table,
+        ops,
+        payloads,
+        key_version,
+        stamp,
     })
 }
 
@@ -211,11 +379,7 @@ pub fn measure_response<const L: usize>(resp: &QueryResponse<L>) -> ResponseSize
         .map(|r| 10 + r.values.iter().map(Value::wire_len).sum::<usize>())
         .sum();
     let digest_len = |d: &SignedDigest<L>| 1 + L * 8 + 2 + d.sig.len();
-    let stamp_bytes = resp
-        .freshness
-        .stamp
-        .as_ref()
-        .map_or(0, |s| 8 + 8 + 4 + 2 + s.sig.len());
+    let stamp_bytes = stamp_wire_bytes(resp.freshness.stamp.as_ref());
     let vo_bytes = digest_len(&resp.vo.top)
         + resp.vo.d_s.iter().map(digest_len).sum::<usize>()
         + resp.vo.d_p.iter().map(digest_len).sum::<usize>()

@@ -1,11 +1,13 @@
-//! Hostile-input hardening for `wire::decode_response`: truncated
-//! buffers, oversized length prefixes, and bit-flips anywhere in the
-//! buffer must produce errors (or verification failures for semantic
-//! fields), never panics or unbounded allocations.
+//! Hostile-input hardening for `wire::decode_response` and
+//! `wire::decode_delta_batch`: truncated buffers, oversized length
+//! prefixes, lying op counters, and bit-flips anywhere in the buffer
+//! must produce errors (or verification failures for semantic fields),
+//! never panics or unbounded allocations.
 
 use vbx_core::{
-    decode_response, encode_response, execute, ClientVerifier, FreshnessPolicy, FreshnessStamp,
-    RangeQuery, ResponseFreshness, VbTree, VbTreeConfig, VerifyError,
+    check_freshness, decode_delta_batch, decode_response, encode_delta_batch, encode_response,
+    execute, AuthScheme, ClientVerifier, CostMeter, DeltaBatch, FreshnessPolicy, FreshnessStamp,
+    RangeQuery, ResponseFreshness, UpdateOp, VbScheme, VbTree, VbTreeConfig, VerifyError,
 };
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
@@ -167,4 +169,193 @@ fn stamp_roundtrips_and_unstamped_responses_stay_compact() {
     );
     let decoded_bare = decode_response(&bare_bytes, &f.acc).unwrap();
     assert_eq!(decoded_bare.freshness, ResponseFreshness::default());
+}
+
+// ---------------------------------------------------------------------
+// VBX3 delta-batch envelope
+// ---------------------------------------------------------------------
+
+/// An honest group-committed batch (mixed ops, packed VB-tree payload,
+/// owner stamp) plus its encoding and the pre-batch replica to replay
+/// it against.
+fn batch_fixture() -> (
+    Fixture,
+    VbTree<4>,
+    DeltaBatch<Vec<vbx_crypto::accum::SignedDigest<4>>>,
+    Vec<u8>,
+) {
+    let f = fixture(32);
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    let replica = f.tree.clone();
+    let mut master = f.tree.clone();
+    let schema = f.table.schema().clone();
+    let tuple = |key: u64| {
+        vbx_storage::Tuple::new(
+            &schema,
+            key,
+            vec![
+                vbx_storage::Value::from("a"),
+                vbx_storage::Value::from("b"),
+                vbx_storage::Value::from(9i64),
+            ],
+        )
+        .unwrap()
+    };
+    let ops = vec![
+        UpdateOp::Insert(tuple(500)),
+        UpdateOp::Delete(3),
+        UpdateOp::DeleteRange(10, 14),
+        UpdateOp::Insert(tuple(501)),
+    ];
+    let payloads = scheme.update_batch(&mut master, &ops, &f.signer).unwrap();
+    let batch = DeltaBatch {
+        start_seq: 5,
+        table: "t".to_string(),
+        ops,
+        payloads,
+        key_version: f.signer.key_version(),
+        stamp: Some(FreshnessStamp::sign(&f.signer, 9, 4)),
+    };
+    let bytes = encode_delta_batch(&batch);
+    (f, replica, batch, bytes)
+}
+
+#[test]
+fn batch_roundtrips_and_replays() {
+    let (f, replica, batch, bytes) = batch_fixture();
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    let decoded = decode_delta_batch(&bytes, &f.acc).unwrap();
+    assert_eq!(decoded.start_seq, batch.start_seq);
+    assert_eq!(decoded.end_seq(), batch.start_seq + 4);
+    assert_eq!(decoded.table, batch.table);
+    assert_eq!(decoded.len(), batch.len());
+    assert_eq!(decoded.key_version, batch.key_version);
+    assert_eq!(decoded.stamp, batch.stamp);
+
+    // The decoded batch replays to the master's exact state.
+    let mut master = replica.clone();
+    scheme
+        .update_batch(&mut master, &batch.ops, &f.signer)
+        .unwrap();
+    let mut applied = replica.clone();
+    scheme
+        .apply_delta_batch(
+            &mut applied,
+            &decoded.ops,
+            &decoded.payloads,
+            decoded.key_version,
+        )
+        .unwrap();
+    assert_eq!(applied.root_digest().exp, master.root_digest().exp);
+}
+
+#[test]
+fn batch_truncations_error_never_panic() {
+    let (f, _, _, bytes) = batch_fixture();
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_delta_batch(&bytes[..cut], &f.acc).is_err(),
+            "prefix of {cut} bytes must not decode"
+        );
+    }
+    assert!(decode_delta_batch(&bytes, &f.acc).is_ok());
+}
+
+#[test]
+fn batch_op_count_lies_error_or_diverge() {
+    let (f, replica, batch, bytes) = batch_fixture();
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    // Header: magic(4) + start_seq(8) + table_len(4) + table + kv(4).
+    let n_ops_at = 4 + 8 + 4 + batch.table.len() + 4;
+    for lie in [0u32, 1, 3, 5, 1 << 20, u32::MAX] {
+        let mut forged = bytes.clone();
+        forged[n_ops_at..n_ops_at + 4].copy_from_slice(&lie.to_be_bytes());
+        // Either the decoder rejects the inconsistent framing, or the
+        // replica's replay rejects the op/payload mismatch — a lying
+        // counter must never panic or silently apply.
+        if let Ok(decoded) = decode_delta_batch(&forged, &f.acc) {
+            let mut target = replica.clone();
+            assert!(
+                scheme
+                    .apply_delta_batch(
+                        &mut target,
+                        &decoded.ops,
+                        &decoded.payloads,
+                        decoded.key_version,
+                    )
+                    .is_err(),
+                "op-count lie of {lie} must not replay cleanly"
+            );
+            // The failed replay must leave the replica untouched.
+            assert_eq!(target.root_digest().exp, replica.root_digest().exp);
+        }
+    }
+}
+
+#[test]
+fn batch_stamp_seq_flips_break_the_stamp_signature() {
+    let (f, _, batch, bytes) = batch_fixture();
+    let stamp = batch.stamp.as_ref().unwrap();
+    // Trailing stamp layout: tag | seq u64 | clock u64 | kv u32 |
+    // sig_len u16 | sig.
+    let seq_at = bytes.len() - stamp.sig.len() - 2 - 4 - 8 - 8;
+    for bit in 0..8u32 {
+        let mut flipped = bytes.clone();
+        flipped[seq_at + 7] ^= 1 << bit;
+        let decoded = decode_delta_batch(&flipped, &f.acc).expect("seq is not length-bearing");
+        let end_seq = decoded.end_seq();
+        let forged = decoded.stamp.expect("stamp survives decode");
+        assert!(
+            !forged.verify(f.signer.verifier().as_ref()),
+            "forged stamp seq must not verify"
+        );
+        // Through the shared freshness check, the flip reads as a bad
+        // signature — not as acceptable staleness.
+        let freshness = ResponseFreshness {
+            applied_seq: end_seq,
+            stamp: Some(forged),
+        };
+        let mut meter = CostMeter::new();
+        assert_eq!(
+            check_freshness(
+                Some(&freshness),
+                &FreshnessPolicy::default(),
+                9,
+                4,
+                f.signer.verifier().as_ref(),
+                &mut meter,
+            ),
+            Err(VerifyError::BadSignature { part: "freshness" })
+        );
+    }
+}
+
+#[test]
+fn batch_bit_flips_never_panic() {
+    let (f, replica, _, bytes) = batch_fixture();
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= bit;
+            // Either the decoder rejects the buffer, or the decoded
+            // batch goes through a full replica replay — neither path
+            // may panic, and a failed replay must restore the replica.
+            if let Ok(decoded) = decode_delta_batch(&flipped, &f.acc) {
+                let mut target = replica.clone();
+                let before = target.root_digest().exp;
+                if scheme
+                    .apply_delta_batch(
+                        &mut target,
+                        &decoded.ops,
+                        &decoded.payloads,
+                        decoded.key_version,
+                    )
+                    .is_err()
+                {
+                    assert_eq!(target.root_digest().exp, before);
+                }
+            }
+        }
+    }
 }

@@ -12,7 +12,7 @@
 use crate::locks::{LockManager, LockMode};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, SignedDelta, UpdateOp, VbScheme};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp, VbScheme};
 use vbx_core::{CoreError, FreshnessStamp, VbTree, VbTreeConfig};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{KeyRegistry, Signer};
@@ -45,28 +45,81 @@ impl core::fmt::Display for DeltaLogError {
 
 impl std::error::Error for DeltaLogError {}
 
+/// One retained unit of the signed-delta log: either a single-op
+/// [`SignedDelta`] or a group-committed [`DeltaBatch`] occupying a whole
+/// sequence *range*. Batches are shared out as `Arc`s so fanning one
+/// out to N subscribers clones a pointer, not `k` ops and payloads.
+#[derive(Clone, Debug)]
+pub enum LogEntry<P> {
+    /// One update op under its own signed payload.
+    Op(SignedDelta<P>),
+    /// `k` ops group-committed under one payload stream + stamp.
+    Batch(Arc<DeltaBatch<P>>),
+}
+
+impl<P> LogEntry<P> {
+    /// First sequence number the entry covers.
+    pub fn start_seq(&self) -> u64 {
+        match self {
+            LogEntry::Op(d) => d.seq,
+            LogEntry::Batch(b) => b.start_seq,
+        }
+    }
+
+    /// One past the last sequence number the entry covers.
+    pub fn end_seq(&self) -> u64 {
+        match self {
+            LogEntry::Op(d) => d.seq + 1,
+            LogEntry::Batch(b) => b.end_seq(),
+        }
+    }
+
+    /// Number of update ops the entry carries.
+    pub fn ops(&self) -> usize {
+        match self {
+            LogEntry::Op(_) => 1,
+            LogEntry::Batch(b) => b.len(),
+        }
+    }
+
+    /// Table the entry's ops apply to.
+    pub fn table(&self) -> &str {
+        match self {
+            LogEntry::Op(d) => &d.table,
+            LogEntry::Batch(b) => &b.table,
+        }
+    }
+}
+
 /// The central server's signed-delta log with a **bounded retention
 /// window** and a cursor API.
 ///
 /// Before PR 4, `deltas_since` cloned the full remaining `Vec` on every
 /// poll, making fan-out to N subscribing edges O(edges × history). The
-/// log now retains only the newest `retention` deltas (older ones are
+/// log now retains only the newest `retention` *ops* (older entries are
 /// evicted — a subscriber that far behind re-bundles instead), and
 /// [`since`](Self::since) hands out a borrowing iterator so pollers
-/// clone exactly the deltas they still need.
+/// clone exactly the entries they still need. Since PR 5 an entry is a
+/// [`LogEntry`] — a single op or a whole group-committed batch — and
+/// cursors work on the underlying *sequence numbers*, so a batch of `k`
+/// ops advances a subscriber's cursor by `k` in one hop.
 #[derive(Clone, Debug)]
 pub struct DeltaLog<P> {
-    entries: VecDeque<SignedDelta<P>>,
+    entries: VecDeque<LogEntry<P>>,
+    /// Sequence number of the first retained entry's first op.
     start_seq: u64,
+    /// Ops (not entries) currently retained.
+    retained_ops: usize,
     retention: usize,
 }
 
 impl<P: Clone> DeltaLog<P> {
-    /// An empty log retaining at most `retention` deltas (min 1).
+    /// An empty log retaining at most `retention` ops (min 1).
     pub fn new(retention: usize) -> Self {
         Self {
             entries: VecDeque::new(),
             start_seq: 0,
+            retained_ops: 0,
             retention: retention.max(1),
         }
     }
@@ -76,9 +129,9 @@ impl<P: Clone> DeltaLog<P> {
         Self::new(usize::MAX)
     }
 
-    /// Sequence number the next pushed delta must carry.
+    /// Sequence number the next pushed op must carry.
     pub fn next_seq(&self) -> u64 {
-        self.start_seq + self.entries.len() as u64
+        self.start_seq + self.retained_ops as u64
     }
 
     /// Oldest sequence number still retained.
@@ -86,9 +139,9 @@ impl<P: Clone> DeltaLog<P> {
         self.start_seq
     }
 
-    /// Number of retained deltas.
+    /// Number of retained ops (a batch of `k` counts `k`).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.retained_ops
     }
 
     /// True when nothing is retained.
@@ -96,41 +149,77 @@ impl<P: Clone> DeltaLog<P> {
         self.entries.is_empty()
     }
 
-    /// Append the next delta, evicting past the retention window.
+    /// Append the next single-op delta, evicting past the retention
+    /// window.
     ///
     /// # Panics
     /// Panics if `delta.seq` is not exactly [`next_seq`](Self::next_seq)
     /// — the log is the authoritative contiguous history.
     pub fn push(&mut self, delta: SignedDelta<P>) {
         assert_eq!(delta.seq, self.next_seq(), "delta log must stay contiguous");
-        self.entries.push_back(delta);
-        while self.entries.len() > self.retention {
-            self.entries.pop_front();
-            self.start_seq += 1;
+        self.push_entry(LogEntry::Op(delta));
+    }
+
+    /// Append a group-committed batch covering `[start_seq, end_seq())`,
+    /// evicting past the retention window. Returns the shared handle
+    /// also kept in the log (for immediate fan-out without a re-read).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or `batch.start_seq` is not exactly
+    /// [`next_seq`](Self::next_seq).
+    pub fn push_batch(&mut self, batch: DeltaBatch<P>) -> Arc<DeltaBatch<P>> {
+        assert!(!batch.is_empty(), "empty batches are not committed");
+        assert_eq!(
+            batch.start_seq,
+            self.next_seq(),
+            "delta log must stay contiguous"
+        );
+        let shared = Arc::new(batch);
+        self.push_entry(LogEntry::Batch(shared.clone()));
+        shared
+    }
+
+    fn push_entry(&mut self, entry: LogEntry<P>) {
+        self.retained_ops += entry.ops();
+        self.entries.push_back(entry);
+        // Evict whole entries (a batch leaves as the unit it arrived
+        // as), always keeping the newest entry even if it alone exceeds
+        // the window.
+        while self.retained_ops > self.retention && self.entries.len() > 1 {
+            let evicted = self.entries.pop_front().expect("len > 1");
+            self.retained_ops -= evicted.ops();
+            self.start_seq = evicted.end_seq();
         }
     }
 
-    /// Borrowing iterator over every retained delta with `seq >=
+    /// Borrowing iterator over every retained entry covering any `seq >=
     /// cursor`. A cursor at (or past) the head yields an empty
     /// iterator; a cursor before the retention window is an error (the
-    /// subscriber must re-bundle).
+    /// subscriber must re-bundle). Subscribers advance their cursor to
+    /// each entry's [`end_seq`](LogEntry::end_seq), so a cursor always
+    /// lands on an entry boundary; a cursor *inside* a batch (possible
+    /// only for a subscriber that did not follow that rule) receives the
+    /// whole batch again.
     pub fn since(
         &self,
         cursor: u64,
-    ) -> Result<impl Iterator<Item = &SignedDelta<P>> + '_, DeltaLogError> {
+    ) -> Result<impl Iterator<Item = &LogEntry<P>> + '_, DeltaLogError> {
         if cursor < self.start_seq {
             return Err(DeltaLogError::Truncated {
                 requested: cursor,
                 oldest: self.start_seq,
             });
         }
-        let idx = ((cursor - self.start_seq) as usize).min(self.entries.len());
-        Ok(self.entries.range(idx..))
+        // Entries are ordered by seq range: skip everything fully
+        // consumed by the cursor.
+        let lo = self.entries.partition_point(|e| e.end_seq() <= cursor);
+        Ok(self.entries.range(lo..))
     }
 
-    /// Owned clone of every retained delta with `seq >= cursor` (clones
-    /// only the tail the subscriber still needs).
-    pub fn collect_since(&self, cursor: u64) -> Result<Vec<SignedDelta<P>>, DeltaLogError> {
+    /// Owned clone of every retained entry covering any `seq >= cursor`
+    /// (clones only the tail the subscriber still needs; batch entries
+    /// clone an `Arc`).
+    pub fn collect_since(&self, cursor: u64) -> Result<Vec<LogEntry<P>>, DeltaLogError> {
         Ok(self.since(cursor)?.cloned().collect())
     }
 }
@@ -273,6 +362,72 @@ impl<E> From<StorageError> for CentralError<E> {
 /// old stamp until it catches up — conservative, never unsound.
 const STAMP_RETENTION: usize = 1_024;
 
+/// Knobs of the opt-in group-commit queue
+/// ([`CentralServer::with_group_commit`]): independent single-op
+/// transactions enqueued via [`CentralServer::enqueue_update`] coalesce
+/// into [`DeltaBatch`] commits, amortising the per-commit signature,
+/// stamp, snapshot swap, and fan-out message over up to `max_batch`
+/// ops. The price is commit latency: an enqueued op is not visible to
+/// replicas until its batch flushes.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupCommitConfig {
+    /// Flush once this many ops are pending (≥ 1).
+    pub max_batch: usize,
+    /// Flush at the first enqueue after the oldest pending op has
+    /// waited this many logical-clock ticks (commits and heartbeats
+    /// advance the clock). `0` keeps ops pending only until the next
+    /// flush trigger; `u64::MAX` disables the age trigger.
+    pub commit_interval: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            commit_interval: 4,
+        }
+    }
+}
+
+/// Batches committed by one group-commit flush (shared handles into the
+/// [`DeltaLog`], ready for immediate fan-out or edge replay).
+pub type CommittedBatches<S> = Vec<Arc<DeltaBatch<<S as AuthScheme>::Delta>>>;
+
+/// A group-commit flush that stopped early, carrying everything the
+/// caller must not lose: the batches runs *before* the failure already
+/// committed — they are in the [`DeltaLog`] and must still be applied /
+/// fanned out as usual — plus the failing run's error. Runs not yet
+/// attempted went back into the queue; the failing run's own ops are
+/// dropped with the error, exactly like a failed single-op commit.
+pub struct FlushError<S: AuthScheme> {
+    /// Batches committed by this flush before the failure.
+    pub committed: CommittedBatches<S>,
+    /// The failing run's error.
+    pub error: CentralError<S::Error>,
+}
+
+impl<S: AuthScheme> core::fmt::Debug for FlushError<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlushError")
+            .field("committed", &self.committed.len())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl<S: AuthScheme> core::fmt::Display for FlushError<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "group-commit flush failed after committing {} batch(es): {}",
+            self.committed.len(),
+            self.error
+        )
+    }
+}
+
+impl<S: AuthScheme> std::error::Error for FlushError<S> {}
+
 /// The trusted central DBMS, generic over the authentication scheme.
 pub struct CentralServer<S: AuthScheme> {
     scheme: S,
@@ -293,6 +448,12 @@ pub struct CentralServer<S: AuthScheme> {
     /// — with an RSA signer that is a full extra signing operation per
     /// update — and attest only on [`heartbeat`](Self::heartbeat).
     stamp_commits: bool,
+    /// Group-commit knobs; `None` = every update commits individually.
+    group_commit: Option<GroupCommitConfig>,
+    /// Ops waiting for the next group-commit flush, in arrival order.
+    pending: Vec<(String, UpdateOp)>,
+    /// Clock value when the oldest pending op was enqueued.
+    pending_since_clock: u64,
     clock: u64,
 }
 
@@ -315,6 +476,9 @@ impl<S: AuthScheme> CentralServer<S> {
             log: DeltaLog::unbounded(),
             stamps,
             stamp_commits: false,
+            group_commit: None,
+            pending: Vec::new(),
+            pending_since_clock: 0,
             clock: 0,
         }
     }
@@ -326,6 +490,18 @@ impl<S: AuthScheme> CentralServer<S> {
     pub fn with_delta_retention(mut self, retention: usize) -> Self {
         self.log = DeltaLog::new(retention);
         self.stamp_commits = true;
+        self
+    }
+
+    /// Enable the group-commit queue (see [`GroupCommitConfig`]):
+    /// [`enqueue_update`](Self::enqueue_update) coalesces independent
+    /// single-op transactions into [`DeltaBatch`] commits instead of
+    /// committing each op individually.
+    pub fn with_group_commit(mut self, config: GroupCommitConfig) -> Self {
+        self.group_commit = Some(GroupCommitConfig {
+            max_batch: config.max_batch.max(1),
+            ..config
+        });
         self
     }
 
@@ -399,16 +575,17 @@ impl<S: AuthScheme> CentralServer<S> {
         &self.views
     }
 
-    /// Deltas after `seq` (edge servers pull these to catch up). A
-    /// `seq` beyond the log — a replica ahead of this server, e.g.
-    /// restored from a newer snapshot — yields an empty batch rather
-    /// than panicking the trusted side on untrusted input. A `seq`
-    /// before the retention window yields the retained suffix; the
-    /// resulting gap surfaces as `OutOfOrder` at the replica, which
-    /// must then re-bundle. Prefer the cursor API on
+    /// Log entries after `seq` (edge servers pull these to catch up —
+    /// single-op deltas and group-committed batches alike). A `seq`
+    /// beyond the log — a replica ahead of this server, e.g. restored
+    /// from a newer snapshot — yields an empty batch rather than
+    /// panicking the trusted side on untrusted input. A `seq` before
+    /// the retention window yields the retained suffix; the resulting
+    /// gap surfaces as `OutOfOrder` at the replica, which must then
+    /// re-bundle. Prefer the cursor API on
     /// [`delta_log`](Self::delta_log), which reports truncation
     /// explicitly and clones only the needed tail.
-    pub fn deltas_since(&self, seq: u64) -> Vec<SignedDelta<S::Delta>> {
+    pub fn deltas_since(&self, seq: u64) -> Vec<LogEntry<S::Delta>> {
         self.log
             .collect_since(seq.max(self.log.oldest_seq()))
             .expect("cursor clamped into the retention window")
@@ -564,6 +741,189 @@ impl<S: AuthScheme> CentralServer<S> {
             self.prune_stamps();
         }
         Ok(delta)
+    }
+
+    /// One group-commit transaction: X-lock the union of every op's
+    /// lock targets, apply the whole batch to the authenticated store
+    /// through [`AuthScheme::update_batch`] (for the VB-tree: one
+    /// deferred signing sweep over the dirty nodes instead of per-op
+    /// path re-signs), mirror the ops into the catalog, release,
+    /// refresh affected views **once**, and log one [`DeltaBatch`]
+    /// covering the ops' whole sequence range — with **one** freshness
+    /// stamp attesting the batch's end position (in cluster mode)
+    /// instead of one per op. `k` ops thus cost ~1 signature sweep, ~1
+    /// stamp, and ~1 fan-out message.
+    ///
+    /// An empty `ops` is a no-op: nothing locks, commits, or logs.
+    pub fn execute_update_batch(
+        &mut self,
+        table: &str,
+        ops: Vec<UpdateOp>,
+    ) -> Result<Arc<DeltaBatch<S::Delta>>, CentralError<S::Error>> {
+        if ops.is_empty() {
+            return Ok(Arc::new(DeltaBatch {
+                start_seq: self.log.next_seq(),
+                table: table.to_string(),
+                ops,
+                payloads: Vec::new(),
+                key_version: self.signer.key_version(),
+                stamp: None,
+            }));
+        }
+        let txn = self.next_txn();
+        let resources: Vec<_> = {
+            let store = self
+                .stores
+                .get(table)
+                .ok_or_else(|| CentralError::UnknownTable(table.into()))?;
+            let mut targets: Vec<usize> = ops
+                .iter()
+                .flat_map(|op| self.scheme.lock_targets(store, op))
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets
+                .into_iter()
+                .map(|n| (table.to_string(), n))
+                .collect()
+        };
+        self.locks
+            .try_acquire_all(txn, &resources, LockMode::Exclusive)
+            .expect("single-threaded central server cannot conflict with itself");
+
+        let result = (|| {
+            let store = self.stores.get_mut(table).expect("checked above");
+            let payloads = self
+                .scheme
+                .update_batch(store, &ops, self.signer.as_ref())
+                .map_err(CentralError::Scheme)?;
+            let cat = self.catalog.get_mut(table).expect("catalog mirrors stores");
+            for op in &ops {
+                match op {
+                    UpdateOp::Insert(tuple) => {
+                        cat.insert(tuple.clone())?;
+                    }
+                    UpdateOp::Delete(key) => {
+                        cat.delete(*key)?;
+                    }
+                    UpdateOp::DeleteRange(lo, hi) => {
+                        let doomed: Vec<u64> = cat.range(*lo, *hi).map(|t| t.key).collect();
+                        for k in doomed {
+                            cat.delete(k)?;
+                        }
+                    }
+                }
+            }
+            Ok::<_, CentralError<S::Error>>(payloads)
+        })();
+        self.locks.release_all(txn);
+        let payloads = result?;
+
+        self.refresh_views_for(table)?;
+        self.clock += 1;
+        let start_seq = self.log.next_seq();
+        let end_seq = start_seq + ops.len() as u64;
+        // One stamp for the whole batch, attesting its end position.
+        let stamp = self.stamp_commits.then(|| {
+            let stamp = FreshnessStamp::sign(self.signer.as_ref(), end_seq, self.clock);
+            self.stamps.insert(end_seq, stamp.clone());
+            stamp
+        });
+        let batch = self.log.push_batch(DeltaBatch {
+            start_seq,
+            table: table.to_string(),
+            ops,
+            payloads,
+            key_version: self.signer.key_version(),
+            stamp,
+        });
+        if self.stamp_commits {
+            self.prune_stamps();
+        }
+        Ok(batch)
+    }
+
+    /// Enqueue one update into the group-commit queue, committing
+    /// whatever the queue's flush rules say is due: without
+    /// [`with_group_commit`](Self::with_group_commit) the op commits
+    /// immediately as a batch of one; with it, ops coalesce until
+    /// `max_batch` are pending or the oldest has waited
+    /// `commit_interval` clock ticks. Returns the batches committed by
+    /// *this* call (often none — the op just joined the queue).
+    ///
+    /// Per-table conflict handling is preserved: a flush groups
+    /// **consecutive same-table runs** into batches, so commit order
+    /// across tables is exactly arrival order and every batch takes the
+    /// Section 3.4 locks for its own table's ops.
+    pub fn enqueue_update(
+        &mut self,
+        table: &str,
+        op: UpdateOp,
+    ) -> Result<CommittedBatches<S>, FlushError<S>> {
+        let Some(config) = self.group_commit else {
+            return match self.execute_update_batch(table, vec![op]) {
+                Ok(batch) => Ok(vec![batch]),
+                Err(error) => Err(FlushError {
+                    committed: Vec::new(),
+                    error,
+                }),
+            };
+        };
+        if self.pending.is_empty() {
+            self.pending_since_clock = self.clock;
+        }
+        self.pending.push((table.to_string(), op));
+        let due = self.pending.len() >= config.max_batch
+            || self.clock.saturating_sub(self.pending_since_clock) >= config.commit_interval;
+        if due {
+            self.flush_group_commit()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Commit every pending group-commit op now, grouping consecutive
+    /// same-table runs into one [`DeltaBatch`] each (arrival order is
+    /// preserved across tables). Call this to bound commit latency when
+    /// the enqueue-side triggers have not fired.
+    ///
+    /// On a failed run (e.g. a duplicate key) the failing run's ops are
+    /// dropped with the error — exactly like a failed single-op commit
+    /// — runs not yet attempted go back into the queue, and the
+    /// returned [`FlushError`] carries the batches runs *before* the
+    /// failure already committed, so the caller can still apply / fan
+    /// them out.
+    pub fn flush_group_commit(&mut self) -> Result<CommittedBatches<S>, FlushError<S>> {
+        let mut runs: Vec<(String, Vec<UpdateOp>)> = Vec::new();
+        for (table, op) in std::mem::take(&mut self.pending) {
+            match runs.last_mut() {
+                Some((t, run)) if *t == table => run.push(op),
+                _ => runs.push((table, vec![op])),
+            }
+        }
+        let mut batches = Vec::new();
+        let mut runs = runs.into_iter();
+        for (table, run) in runs.by_ref() {
+            match self.execute_update_batch(&table, run) {
+                Ok(batch) => batches.push(batch),
+                Err(error) => {
+                    self.pending = runs
+                        .flat_map(|(t, ops)| ops.into_iter().map(move |op| (t.clone(), op)))
+                        .collect();
+                    self.pending_since_clock = self.clock;
+                    return Err(FlushError {
+                        committed: batches,
+                        error,
+                    });
+                }
+            }
+        }
+        Ok(batches)
+    }
+
+    /// Ops waiting in the group-commit queue.
+    pub fn pending_commits(&self) -> usize {
+        self.pending.len()
     }
 
     /// Rotate the signing key: re-sign every store under the new key and

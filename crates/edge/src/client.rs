@@ -119,6 +119,11 @@ pub enum SchemeClientError<E> {
     },
     /// Scheme verification failed (tampering or malformed response).
     Scheme(E),
+    /// The response is authentic but its freshness metadata violates
+    /// the client's data-freshness policy (`VerifyError::Stale`), or
+    /// the owner stamp's signature is forged (`BadSignature`). Distinct
+    /// from [`Scheme`](Self::Scheme): the result itself verified.
+    Freshness(vbx_core::VerifyError),
 }
 
 impl<E: core::fmt::Display> core::fmt::Display for SchemeClientError<E> {
@@ -133,6 +138,7 @@ impl<E: core::fmt::Display> core::fmt::Display for SchemeClientError<E> {
                 )
             }
             SchemeClientError::Scheme(e) => write!(f, "verification failed: {e}"),
+            SchemeClientError::Freshness(e) => write!(f, "freshness check failed: {e}"),
         }
     }
 }
@@ -184,6 +190,47 @@ impl<S: AuthScheme> SchemeClient<S> {
             .scheme
             .verify(schema, verifier.as_ref(), query, resp, &mut meter)
             .map_err(SchemeClientError::Scheme)?;
+        Ok((batch, meter))
+    }
+
+    /// [`verify_range`](Self::verify_range) plus **data**-freshness
+    /// enforcement: after the response proves authentic, demand an
+    /// owner-signed [`FreshnessStamp`](vbx_core::FreshnessStamp) in its
+    /// freshness metadata and check it against `policy` and the owner
+    /// position `(owner_seq, owner_clock)` the client learned out of
+    /// band. Works for **every scheme** whose responses carry a
+    /// [`ResponseFreshness`](vbx_core::ResponseFreshness) — since PR 5
+    /// that includes the Naive and Merkle baselines, so cluster-grade
+    /// staleness detection is no longer VB-tree-only. Runs the same
+    /// [`check_freshness`](vbx_core::check_freshness) the VB-tree's
+    /// `ClientVerifier::with_freshness` path uses, so the semantics
+    /// (staleness never conflated with tampering, checked only after
+    /// authentication) are identical across schemes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify_range_fresh(
+        &self,
+        table: &str,
+        query: &RangeQuery,
+        resp: &S::Response,
+        registry: &KeyRegistry,
+        policy: KeyFreshnessPolicy,
+        freshness: vbx_core::FreshnessPolicy,
+        owner_seq: u64,
+        owner_clock: u64,
+    ) -> Result<(VerifiedBatch, CostMeter), SchemeClientError<S::Error>> {
+        let (batch, mut meter) = self.verify_range(table, query, resp, registry, policy)?;
+        let verifier = registry
+            .verifier(S::response_key_version(resp))
+            .expect("verify_range resolved this version");
+        vbx_core::check_freshness(
+            S::response_freshness(resp),
+            &freshness,
+            owner_seq,
+            owner_clock,
+            verifier.as_ref(),
+            &mut meter,
+        )
+        .map_err(SchemeClientError::Freshness)?;
         Ok((batch, meter))
     }
 }

@@ -31,11 +31,12 @@
 //! [`sync`](ClusterCoordinator::sync)): tests and benchmarks induce a
 //! lagging replica simply by not draining it.
 
-use crate::central::{CentralError, CentralServer, DeltaLogError};
+use crate::central::{CentralError, CentralServer, DeltaLogError, LogEntry};
 use crate::edge_server::EdgeServer;
 use crate::service::EdgeError;
 use std::collections::{BTreeMap, VecDeque};
-use vbx_core::scheme::{AuthScheme, SignedDelta};
+use std::sync::Arc;
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp};
 use vbx_core::RangeQuery;
 use vbx_storage::{Table, Tuple};
 
@@ -157,14 +158,16 @@ impl<E> From<EdgeError<E>> for ClusterError<E> {
     }
 }
 
-/// One entry of an edge's subscription queue: the signed delta itself
-/// for tables the edge owns, a bare sequence placeholder for everything
-/// else (so the edge's position advances without cloning foreign
-/// deltas).
+/// One entry of an edge's subscription queue: the signed delta (or the
+/// shared handle of a group-committed batch) for tables the edge owns,
+/// a bare sequence-range placeholder for everything else (so the edge's
+/// position advances without cloning foreign deltas — a foreign batch
+/// of `k` ops is one placeholder, not `k`).
 #[derive(Clone, Debug)]
 enum QueueItem<P> {
     Apply(SignedDelta<P>),
-    Skip(u64),
+    ApplyBatch(Arc<DeltaBatch<P>>),
+    Skip { start_seq: u64, count: u64 },
 }
 
 /// One edge replica plus its subscription state.
@@ -330,26 +333,54 @@ where
         Ok(delta)
     }
 
+    /// Group-commit a whole batch of updates at the owner (one
+    /// signature sweep, one stamp — see
+    /// [`CentralServer::execute_update_batch`]) and fan the single
+    /// batch envelope out: the owning edge's queue gets one shared
+    /// `Arc`, every other edge one range placeholder — **one fan-out
+    /// message for `k` ops** instead of `k`.
+    pub fn update_batch(
+        &mut self,
+        table: &str,
+        ops: Vec<UpdateOp>,
+    ) -> Result<Arc<DeltaBatch<S::Delta>>, ClusterError<S::Error>> {
+        let batch = self.central.execute_update_batch(table, ops)?;
+        self.fan_out()?;
+        Ok(batch)
+    }
+
     /// Move every new log entry into the per-edge subscription queues:
-    /// the owning edge's queue gets the signed delta, all the others a
-    /// sequence placeholder. Returns the number of queue items added.
+    /// the owning edge's queue gets the signed delta (a group-committed
+    /// batch travels as one shared `Arc` — **one fan-out message for
+    /// `k` ops**), all the others one sequence-range placeholder per
+    /// entry. Returns the number of queue items added.
     pub fn fan_out(&mut self) -> Result<usize, ClusterError<S::Error>> {
         let mut moved = 0usize;
         for (id, slot) in self.edges.iter_mut().enumerate() {
-            let batch = self
+            let entries = self
                 .central
                 .delta_log()
                 .since(slot.cursor)
                 .map_err(ClusterError::Truncated)?;
-            for delta in batch {
-                debug_assert_eq!(delta.seq, slot.cursor, "subscription stays contiguous");
-                let item = if self.shard_map.owner(&delta.table) == Some(id) {
-                    QueueItem::Apply(delta.clone())
+            for entry in entries {
+                debug_assert_eq!(
+                    entry.start_seq(),
+                    slot.cursor,
+                    "subscription stays contiguous"
+                );
+                let item = if self.shard_map.owner(entry.table()) == Some(id) {
+                    match entry {
+                        LogEntry::Op(delta) => QueueItem::Apply(delta.clone()),
+                        LogEntry::Batch(batch) => QueueItem::ApplyBatch(batch.clone()),
+                    }
                 } else {
-                    QueueItem::Skip(delta.seq)
+                    QueueItem::Skip {
+                        start_seq: entry.start_seq(),
+                        count: entry.ops() as u64,
+                    }
                 };
                 slot.queue.push_back(item);
-                slot.cursor += 1;
+                slot.cursor = entry.end_seq();
                 moved += 1;
             }
         }
@@ -373,7 +404,10 @@ where
             };
             match item {
                 QueueItem::Apply(delta) => slot.server.apply_delta(&delta)?,
-                QueueItem::Skip(seq) => slot.server.service().skip_delta(seq)?,
+                QueueItem::ApplyBatch(batch) => slot.server.apply_delta_batch(&batch)?,
+                QueueItem::Skip { start_seq, count } => {
+                    slot.server.service().skip_deltas(start_seq, count)?
+                }
             }
             consumed += 1;
         }

@@ -16,11 +16,11 @@
 //! produced from a fresh clone — the cache only ever holds honest
 //! responses.
 
-use crate::central::EdgeBundle;
+use crate::central::{EdgeBundle, LogEntry};
 use crate::service::EdgeService;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, SignedDelta, VbScheme};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme};
 use vbx_core::{execute, QueryResponse, RangeQuery, VbTree};
 use vbx_query::{parse_select, plan_select, EngineError, JoinViewDef, PlannedQuery};
 use vbx_storage::{Schema, Tuple};
@@ -132,6 +132,21 @@ where
     /// can advance the replicas while readers keep serving snapshots.
     pub fn apply_delta(&self, delta: &SignedDelta<S::Delta>) -> Result<(), EdgeError<S::Error>> {
         self.service.apply_delta(delta)
+    }
+
+    /// Apply one group-committed [`DeltaBatch`]: one snapshot clone, `k`
+    /// replays, one swap, one cache invalidation (see
+    /// [`EdgeService::apply_delta_batch`]).
+    pub fn apply_delta_batch(
+        &self,
+        batch: &DeltaBatch<S::Delta>,
+    ) -> Result<(), EdgeError<S::Error>> {
+        self.service.apply_delta_batch(batch)
+    }
+
+    /// Apply one subscription log entry (single-op delta or batch).
+    pub fn apply_log_entry(&self, entry: &LogEntry<S::Delta>) -> Result<(), EdgeError<S::Error>> {
+        self.service.apply_log_entry(entry)
     }
 }
 

@@ -38,7 +38,10 @@ pub mod locks;
 pub mod service;
 pub mod snapshot;
 
-pub use central::{CentralError, CentralServer, DeltaLog, DeltaLogError, EdgeBundle, UpdateDelta};
+pub use central::{
+    CentralError, CentralServer, CommittedBatches, DeltaLog, DeltaLogError, EdgeBundle, FlushError,
+    GroupCommitConfig, LogEntry, UpdateDelta,
+};
 pub use client::{ClientError, EdgeClient, KeyFreshnessPolicy, SchemeClient, SchemeClientError};
 pub use cluster::{
     ClusterConfig, ClusterCoordinator, ClusterError, EdgeLag, RoutedResponse, ShardMap,
@@ -52,4 +55,4 @@ pub use vbx_core::{FreshnessPolicy, FreshnessStamp, ResponseFreshness};
 // The scheme layer the deployment is generic over (re-exported so edge
 // users need only this crate).
 pub use vbx_baselines::{MerkleScheme, NaiveScheme};
-pub use vbx_core::scheme::{AuthScheme, SignedDelta, UpdateOp, VbScheme};
+pub use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp, VbScheme};

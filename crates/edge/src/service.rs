@@ -16,13 +16,14 @@
 //! [`crate::EdgeServer`] is a thin façade over this type that adds the
 //! VB-tree SQL surface and the test-only tamper modes.
 
+use crate::central::LogEntry;
 use crate::locks::{LockManager, LockMode, LockStats, Resource};
 use crate::snapshot::ServingReplica;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, SignedDelta};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta};
 use vbx_core::{FreshnessStamp, RangeQuery, ResponseFreshness};
 use vbx_storage::Schema;
 
@@ -342,14 +343,21 @@ impl<S: AuthScheme> EdgeService<S> {
     /// in one global sequence, and an edge must advance past foreign
     /// tables' entries to keep its position contiguous.
     pub fn skip_delta(&self, seq: u64) -> Result<(), EdgeError<S::Error>> {
+        self.skip_deltas(seq, 1)
+    }
+
+    /// Consume (without applying) a whole foreign sequence range
+    /// `[start_seq, start_seq + count)` — the placeholder for a
+    /// group-committed batch on a table this edge does not replicate.
+    pub fn skip_deltas(&self, start_seq: u64, count: u64) -> Result<(), EdgeError<S::Error>> {
         let mut applied = self.applied_seq.lock();
-        if seq != *applied {
+        if start_seq != *applied {
             return Err(EdgeError::OutOfOrder {
                 expected: *applied,
-                got: seq,
+                got: start_seq,
             });
         }
-        *applied += 1;
+        *applied += count;
         Ok(())
     }
 
@@ -466,6 +474,73 @@ impl<S: AuthScheme> EdgeService<S> {
             .invalidate_table(&delta.table, replica.published_count());
         *seq += 1;
         Ok(())
+    }
+
+    /// Apply one group-committed batch: verify the batch starts at this
+    /// replica's position, X-lock the union of every op's affected
+    /// digests, then pay the per-delta overhead **once** for all `k`
+    /// ops — one snapshot clone, `k` structural replays inside it, one
+    /// swap, one cache invalidation — where the per-op path pays each
+    /// of those `k` times. Installs the batch's owner stamp (if any)
+    /// after the swap, so a reader never sees the new attestation
+    /// paired with the old snapshot.
+    pub fn apply_delta_batch(&self, batch: &DeltaBatch<S::Delta>) -> Result<(), EdgeError<S::Error>>
+    where
+        S::Store: Clone,
+    {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut seq = self.applied_seq.lock();
+        if batch.start_seq != *seq {
+            return Err(EdgeError::OutOfOrder {
+                expected: *seq,
+                got: batch.start_seq,
+            });
+        }
+        let replica = self
+            .replica(&batch.table)
+            .ok_or_else(|| EdgeError::UnknownTable(batch.table.clone()))?;
+        let snap = replica.snapshot();
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let mut targets: Vec<usize> = batch
+            .ops
+            .iter()
+            .flat_map(|op| self.scheme.lock_targets(&snap, op))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let resources: Vec<Resource> = targets
+            .into_iter()
+            .map(|n| (batch.table.clone(), n))
+            .collect();
+        self.acquire_with_retry(txn, &resources, LockMode::Exclusive);
+        let result = replica.update_with(|store| {
+            self.scheme
+                .apply_delta_batch(store, &batch.ops, &batch.payloads, batch.key_version)
+        });
+        self.locks.release_all(txn);
+        result.map_err(EdgeError::Scheme)?;
+        self.cache
+            .invalidate_table(&batch.table, replica.published_count());
+        *seq += batch.len() as u64;
+        drop(seq);
+        if let Some(stamp) = &batch.stamp {
+            self.set_freshness_stamp(stamp.clone());
+        }
+        Ok(())
+    }
+
+    /// Apply one subscription log entry — a single-op delta or a
+    /// group-committed batch — through the matching replay path.
+    pub fn apply_log_entry(&self, entry: &LogEntry<S::Delta>) -> Result<(), EdgeError<S::Error>>
+    where
+        S::Store: Clone,
+    {
+        match entry {
+            LogEntry::Op(delta) => self.apply_delta(delta),
+            LogEntry::Batch(batch) => self.apply_delta_batch(batch),
+        }
     }
 }
 

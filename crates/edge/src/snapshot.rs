@@ -73,6 +73,11 @@ impl<S: AuthScheme> ServingReplica<S> {
     /// clone the current store (cheap for COW stores), apply `mutate`,
     /// publish on success. On error nothing is published — readers keep
     /// the old snapshot and the failed successor is dropped.
+    ///
+    /// The clone + swap is paid **per call**, not per op: the
+    /// group-commit path (`EdgeService::apply_delta_batch`) replays a
+    /// whole `DeltaBatch` inside one `mutate`, so `k` ops cost one
+    /// clone and one publish instead of `k` of each.
     pub fn update_with<E>(
         &self,
         mutate: impl FnOnce(&mut S::Store) -> Result<(), E>,

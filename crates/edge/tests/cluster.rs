@@ -390,7 +390,10 @@ fn delta_log_retention_evicts_and_reports_truncation() {
 
     // A cursor inside the window clones only the tail.
     let tail = log.collect_since(3).unwrap();
-    assert_eq!(tail.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![3, 4]);
+    assert_eq!(
+        tail.iter().map(|e| e.start_seq()).collect::<Vec<_>>(),
+        vec![3, 4]
+    );
     // At the head: empty, not an error.
     assert!(log.collect_since(5).unwrap().is_empty());
     // Beyond the head (replica restored from a newer snapshot): empty.
@@ -411,6 +414,55 @@ fn delta_log_rejects_gaps() {
     let mut log: DeltaLog<()> = DeltaLog::new(8);
     log.push(unit_delta(0));
     log.push(unit_delta(2));
+}
+
+fn unit_batch(start_seq: u64, k: u64) -> vbx_edge::DeltaBatch<()> {
+    vbx_edge::DeltaBatch {
+        start_seq,
+        table: "t".into(),
+        ops: (start_seq..start_seq + k).map(UpdateOp::Delete).collect(),
+        payloads: vec![()],
+        key_version: 1,
+        stamp: None,
+    }
+}
+
+#[test]
+fn delta_log_batches_occupy_ranges_and_evict_as_units() {
+    // Retention counts ops: a 3-op batch + 2 singles = 5 ops in a
+    // window of 4 evicts the whole batch (entries leave as the unit
+    // they arrived as).
+    let mut log: DeltaLog<()> = DeltaLog::new(4);
+    log.push_batch(unit_batch(0, 3));
+    log.push(unit_delta(3));
+    log.push(unit_delta(4));
+    assert_eq!(log.len(), 2);
+    assert_eq!(log.oldest_seq(), 3);
+    assert_eq!(log.next_seq(), 5);
+
+    // Cursors on batch boundaries: a batch spans [5, 9).
+    log.push_batch(unit_batch(5, 4));
+    assert_eq!(log.next_seq(), 9);
+    let tail = log.collect_since(5).unwrap();
+    assert_eq!(tail.len(), 1);
+    assert_eq!((tail[0].start_seq(), tail[0].end_seq()), (5, 9));
+    assert_eq!(tail[0].ops(), 4);
+    // A cursor inside the batch's range still surfaces the batch (a
+    // subscriber can only land there by breaking the end_seq rule, and
+    // re-delivery beats a silent gap)…
+    let mid = log.collect_since(7).unwrap();
+    assert_eq!(mid[0].start_seq(), 5);
+    // …and a cursor at the batch's end sees nothing new.
+    assert!(log.collect_since(9).unwrap().is_empty());
+
+    // The newest entry is always kept, even when it alone exceeds the
+    // retention window.
+    let mut log: DeltaLog<()> = DeltaLog::new(2);
+    log.push_batch(unit_batch(0, 5));
+    assert_eq!(log.len(), 5);
+    assert_eq!(log.next_seq(), 5);
+    log.push(unit_delta(5));
+    assert_eq!(log.oldest_seq(), 5, "oversized batch evicted as a unit");
 }
 
 #[test]

@@ -80,8 +80,8 @@ proptest! {
         }
 
         // Edge B catches up from the log in one batch.
-        for delta in central.deltas_since(edge_b.applied_seq()) {
-            edge_b.apply_delta(&delta).unwrap();
+        for entry in central.deltas_since(edge_b.applied_seq()) {
+            edge_b.apply_log_entry(&entry).unwrap();
         }
         prop_assert_eq!(edge_a.applied_seq(), applied as u64);
         prop_assert_eq!(edge_b.applied_seq(), applied as u64);
