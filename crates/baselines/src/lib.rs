@@ -23,7 +23,10 @@ pub mod merkle;
 pub mod naive;
 pub mod schemes;
 
-pub use merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
+pub use merkle::{
+    proof_ops, verify_merkle_ops, MerkleAuthStore, MerkleError, MerkleOp, MerkleOpsReport,
+    MerkleResponse,
+};
 pub use naive::{NaiveAuthStore, NaiveError, NaiveResponse, NaiveRow};
 pub use schemes::{MerkleScheme, MerkleVo, NaiveScheme};
 

@@ -262,37 +262,15 @@ impl MerkleAuthStore {
         }
     }
 
-    /// Emit hashes of maximal subtrees at `level` whose leaf span does
-    /// not intersect `[lo, hi)`, left-to-right, descending into partial
-    /// overlaps. `levels` are counted from the top: we recurse from the
-    /// root instead for simplicity.
+    /// Emit hashes of maximal subtrees whose leaf span does not
+    /// intersect `[lo, hi)`, in op-stream order: the server replays the
+    /// same [`proof_ops`] program the client will verify with, filling
+    /// in a hash wherever the program demands proof material.
     fn collect_proof(&self, _level_unused: usize, lo: usize, hi: usize, out: &mut Vec<[u8; 32]>) {
-        let top = self.levels.len() - 1;
-        self.walk(top, 0, lo, hi, out);
-    }
-
-    fn walk(&self, level: usize, index: usize, lo: usize, hi: usize, out: &mut Vec<[u8; 32]>) {
-        let span = 1usize << level; // leaves covered by a node at `level`
-        let first = index * span;
-        let last = (first + span).min(self.levels[0].len());
-        if first >= last {
-            return; // phantom node beyond the last leaf
-        }
-        if last <= lo || first >= hi {
-            out.push(self.levels[level][index]);
-            return;
-        }
-        if lo <= first && last <= hi {
-            return; // fully covered by returned tuples: client recomputes
-        }
-        debug_assert!(level > 0, "leaf must be fully in or out");
-        // Descend. The right child may not exist (odd promotion).
-        let child_level = level - 1;
-        let left = 2 * index;
-        let right = left + 1;
-        self.walk(child_level, left, lo, hi, out);
-        if right < self.levels[child_level].len() {
-            self.walk(child_level, right, lo, hi, out);
+        for op in proof_ops(self.tuples.len(), lo, hi) {
+            if let MerkleOp::PushProof { level, index } = op {
+                out.push(self.levels[level as usize][index as usize]);
+            }
         }
     }
 
@@ -480,6 +458,209 @@ fn rebuild<'a>(
     }
 }
 
+/// One instruction of the Merkle proof stack machine.
+///
+/// The program is **derived, not shipped**: both parties compute it
+/// from public shape data (`n_leaves` + the returned window), so a
+/// compromised edge cannot steer the traversal — it only supplies the
+/// hashes the program demands, exactly as many as the shape dictates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MerkleOp {
+    /// Push the next untouched-subtree hash from the proof. The node
+    /// coordinates let the server fill in the hash; the client consumes
+    /// the proof sequentially and ignores them.
+    PushProof {
+        /// Tree level (0 = leaves).
+        level: u8,
+        /// Node index within the level.
+        index: u32,
+    },
+    /// Recompute and push the next window leaf's hash.
+    PushLeaf,
+    /// Pop the right then the left hash, push their inner hash.
+    Join,
+}
+
+/// The proof program for a tree of `n_leaves` with returned window
+/// `[window_lo, window_hi)`: a post-order flattening of the proof
+/// traversal, generated iteratively (explicit work stack, no
+/// recursion). Executing it with [`verify_merkle_ops`] rebuilds the
+/// root holding at most `O(depth)` hashes at once.
+pub fn proof_ops(n_leaves: usize, window_lo: usize, window_hi: usize) -> Vec<MerkleOp> {
+    enum Item {
+        Node { level: usize, index: usize },
+        Join,
+    }
+    let mut ops = Vec::new();
+    if n_leaves == 0 || window_lo >= window_hi {
+        return ops;
+    }
+    let mut stack = vec![Item::Node {
+        level: levels_for(n_leaves) - 1,
+        index: 0,
+    }];
+    while let Some(item) = stack.pop() {
+        match item {
+            Item::Join => ops.push(MerkleOp::Join),
+            Item::Node { level, index } => {
+                let span = 1usize << level;
+                let first = index * span;
+                let last = (first + span).min(n_leaves);
+                if first >= last {
+                    continue; // phantom node beyond the last leaf
+                }
+                if last <= window_lo || first >= window_hi {
+                    ops.push(MerkleOp::PushProof {
+                        level: level as u8,
+                        index: index as u32,
+                    });
+                    continue;
+                }
+                if level == 0 {
+                    ops.push(MerkleOp::PushLeaf);
+                    continue;
+                }
+                // Post-order via LIFO: left pops first, then right,
+                // then the Join. A phantom right child (odd promotion)
+                // gets no Join — the left hash stands for the parent.
+                let child_span = span / 2;
+                if (2 * index + 1) * child_span < n_leaves {
+                    stack.push(Item::Join);
+                    stack.push(Item::Node {
+                        level: level - 1,
+                        index: 2 * index + 1,
+                    });
+                }
+                stack.push(Item::Node {
+                    level: level - 1,
+                    index: 2 * index,
+                });
+            }
+        }
+    }
+    ops
+}
+
+/// Statistics from the op-stream verifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MerkleOpsReport {
+    /// Instructions executed.
+    pub ops: usize,
+    /// Deepest the hash stack ever got (≤ tree depth + 1).
+    pub peak_stack_depth: usize,
+}
+
+/// Op-stream verification: the same checks as
+/// [`MerkleAuthStore::verify`], but the root is rebuilt by an iterative
+/// stack machine executing [`proof_ops`] instead of a recursive mirror
+/// of the server traversal — constant code paths, `O(depth)` live
+/// hashes, and an execution trace ([`MerkleOpsReport`]) for the bench
+/// harness.
+pub fn verify_merkle_ops(
+    schema: &Schema,
+    verifier: &dyn SigVerifier,
+    lo: u64,
+    hi: u64,
+    resp: &MerkleResponse,
+) -> Result<MerkleOpsReport, MerkleError> {
+    // Row and boundary sanity — identical to the recursive path.
+    let mut prev = None;
+    for t in &resp.rows {
+        if t.key < lo || t.key > hi || prev.is_some_and(|p| t.key <= p) {
+            return Err(MerkleError::BadRowSet);
+        }
+        prev = Some(t.key);
+    }
+    if let Some(b) = &resp.left_boundary {
+        if b.key >= lo {
+            return Err(MerkleError::BadBoundary);
+        }
+    }
+    if let Some(b) = &resp.right_boundary {
+        if b.key <= hi {
+            return Err(MerkleError::BadBoundary);
+        }
+    }
+    let window: Vec<&Tuple> = resp
+        .left_boundary
+        .iter()
+        .chain(resp.rows.iter())
+        .chain(resp.right_boundary.iter())
+        .collect();
+    for w in window.windows(2) {
+        if w[0].key >= w[1].key {
+            return Err(MerkleError::BadBoundary);
+        }
+    }
+    if resp.n_leaves == 0 {
+        if !window.is_empty() {
+            return Err(MerkleError::MalformedProof);
+        }
+        let root = sha256(b"empty-merkle-tree");
+        check_root(schema, verifier, &root, &resp.root_sig)?;
+        return Ok(MerkleOpsReport::default());
+    }
+    let wlo = resp.first_leaf;
+    let whi = resp.first_leaf + window.len();
+    if whi > resp.n_leaves {
+        return Err(MerkleError::MalformedProof);
+    }
+
+    // Degenerate nothing-returned answer: the proof is the bare root.
+    if window.is_empty() {
+        let [root] = resp.proof.as_slice() else {
+            return Err(MerkleError::MalformedProof);
+        };
+        check_root(schema, verifier, root, &resp.root_sig)?;
+        if resp.left_boundary.is_none() && resp.first_leaf != 0 {
+            return Err(MerkleError::BadBoundary);
+        }
+        if resp.right_boundary.is_none() && whi != resp.n_leaves {
+            return Err(MerkleError::BadBoundary);
+        }
+        return Ok(MerkleOpsReport {
+            ops: 1,
+            peak_stack_depth: 1,
+        });
+    }
+
+    // The stack machine: leaf hashes are recomputed on demand, so only
+    // the in-flight spine of the tree is ever resident.
+    let mut stack: Vec<[u8; 32]> = Vec::new();
+    let mut report = MerkleOpsReport::default();
+    let mut proof_iter = resp.proof.iter();
+    let mut leaf_iter = window.iter();
+    for op in proof_ops(resp.n_leaves, wlo, whi) {
+        report.ops += 1;
+        match op {
+            MerkleOp::PushProof { .. } => {
+                stack.push(*proof_iter.next().ok_or(MerkleError::MalformedProof)?);
+            }
+            MerkleOp::PushLeaf => {
+                let t = leaf_iter.next().ok_or(MerkleError::MalformedProof)?;
+                stack.push(leaf_hash(schema, t));
+            }
+            MerkleOp::Join => {
+                let right = stack.pop().ok_or(MerkleError::MalformedProof)?;
+                let left = stack.pop().ok_or(MerkleError::MalformedProof)?;
+                stack.push(inner_hash(&left, &right));
+            }
+        }
+        report.peak_stack_depth = report.peak_stack_depth.max(stack.len());
+    }
+    if proof_iter.next().is_some() || leaf_iter.next().is_some() || stack.len() != 1 {
+        return Err(MerkleError::MalformedProof);
+    }
+    check_root(schema, verifier, &stack[0], &resp.root_sig)?;
+    if resp.left_boundary.is_none() && resp.first_leaf != 0 {
+        return Err(MerkleError::BadBoundary);
+    }
+    if resp.right_boundary.is_none() && whi != resp.n_leaves {
+        return Err(MerkleError::BadBoundary);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +771,92 @@ mod tests {
             hashes[0] < hashes[1] && hashes[1] < hashes[2],
             "proof sizes {hashes:?} must grow with N"
         );
+    }
+
+    #[test]
+    fn ops_verifier_agrees_with_recursive_everywhere() {
+        for rows in [1u64, 2, 3, 7, 16, 31, 50, 63] {
+            let (s, signer) = store(rows);
+            let v = signer.verifier();
+            for (lo, hi) in [
+                (0u64, rows.saturating_sub(1)),
+                (0, 0),
+                (rows / 3, 2 * rows / 3 + 1),
+                (rows, rows + 10),
+                (rows.saturating_sub(1), rows.saturating_sub(1)),
+            ] {
+                let resp = s.query(lo, hi);
+                let recursive = MerkleAuthStore::verify(s.schema(), v.as_ref(), lo, hi, &resp);
+                let ops = verify_merkle_ops(s.schema(), v.as_ref(), lo, hi, &resp);
+                assert_eq!(
+                    recursive.is_ok(),
+                    ops.is_ok(),
+                    "rows={rows} [{lo},{hi}]: recursive {recursive:?} vs ops {ops:?}"
+                );
+                let report = ops.unwrap();
+                let depth = levels_for(rows as usize);
+                assert!(
+                    report.peak_stack_depth <= depth + 1,
+                    "rows={rows} [{lo},{hi}]: peak {} > depth {depth} + 1",
+                    report.peak_stack_depth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ops_verifier_detects_every_tamper_the_recursive_one_does() {
+        let (s, signer) = store(40);
+        let v = signer.verifier();
+        let honest = s.query(8, 24);
+        verify_merkle_ops(s.schema(), v.as_ref(), 8, 24, &honest).unwrap();
+
+        type TamperFn = fn(&mut MerkleResponse);
+        let tampers: [(&str, TamperFn); 5] = [
+            ("mutate", |r| {
+                r.rows[1].values[0] = vbx_storage::Value::from("evil")
+            }),
+            ("drop", |r| {
+                r.rows.remove(2);
+            }),
+            ("inject", |r| {
+                let mut t = r.rows[0].clone();
+                t.key += 1;
+                r.rows.insert(1, t);
+            }),
+            ("strip boundary", |r| r.left_boundary = None),
+            ("truncate proof", |r| {
+                r.proof.pop();
+            }),
+        ];
+        for (name, tamper) in tampers {
+            let mut resp = honest.clone();
+            tamper(&mut resp);
+            let recursive = MerkleAuthStore::verify(s.schema(), v.as_ref(), 8, 24, &resp);
+            let ops = verify_merkle_ops(s.schema(), v.as_ref(), 8, 24, &resp);
+            assert!(recursive.is_err(), "{name}: recursive must detect");
+            assert!(ops.is_err(), "{name}: ops must detect");
+        }
+    }
+
+    #[test]
+    fn server_proof_comes_from_the_same_op_program() {
+        // collect_proof replays proof_ops, so the number of PushProof
+        // ops must equal the proof length the client consumes.
+        let (s, _) = store(50);
+        for (lo, hi) in [(0u64, 49u64), (10, 20), (0, 0), (49, 49), (25, 100)] {
+            let resp = s.query(lo, hi);
+            let window = resp.first_leaf
+                ..resp.first_leaf
+                    + resp.rows.len()
+                    + usize::from(resp.left_boundary.is_some())
+                    + usize::from(resp.right_boundary.is_some());
+            let pushes = proof_ops(resp.n_leaves, window.start, window.end)
+                .iter()
+                .filter(|op| matches!(op, MerkleOp::PushProof { .. }))
+                .count();
+            assert_eq!(pushes, resp.proof.len(), "[{lo},{hi}]");
+        }
     }
 
     #[test]

@@ -307,6 +307,10 @@ pub fn run_cluster(rows: u64, smoke: bool, write_batch: &[usize]) -> Vec<BenchRe
     // ---- group-commit sweep on the RSA-signed configuration ----
     println!();
     recs.extend(crate::write_batch::sweep_cluster(write_batch, smoke));
+
+    // ---- flat vs compact VO comparison (RSA-1024) ----
+    println!();
+    recs.extend(crate::compact::sweep_compact_vo(smoke));
     recs
 }
 

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod compact;
 pub mod perf;
 pub mod serve;
 pub mod write_batch;

@@ -253,6 +253,10 @@ pub fn run_serve(rows: u64, smoke: bool, write_batch: &[usize]) -> Vec<BenchReco
     // ---- group-commit sweep on the RSA-signed configuration ----
     println!();
     recs.extend(crate::write_batch::sweep_serve(write_batch, smoke));
+
+    // ---- flat vs compact VO comparison (RSA-1024) ----
+    println!();
+    recs.extend(crate::compact::sweep_compact_vo(smoke));
     recs
 }
 

@@ -61,12 +61,16 @@ pub use tree::{
 pub use tree_codec::{decode_tree, encode_tree};
 pub use verify::{
     check_freshness, ClientVerifier, FreshnessPolicy, FreshnessStamp, ResponseFreshness,
-    VerifyError, VerifyReport,
+    VerifyError, VerifyReport, MAX_VO_STACK,
 };
-pub use vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
+pub use vo::{
+    execute, execute_compact, execute_multi_compact, CompactPart, CompactResponse, QueryResponse,
+    RangeQuery, ResultRow, VerificationObject, VoOp,
+};
 pub use wire::{
-    decode_delta_batch, decode_response, encode_delta_batch, encode_response, measure_response,
-    ResponseSize,
+    compact_response_bytes, decode_compact_response, decode_delta_batch, decode_response,
+    encode_compact_prefix, encode_compact_response, encode_delta_batch, encode_response,
+    measure_compact, measure_response, CompactStream, ResponseSize, StreamOp, StreamPartHeader,
 };
 
 /// Errors from tree operations and the wire format.

@@ -30,7 +30,10 @@ use crate::meter::CostMeter;
 use crate::source::{Capture, DeferredSource, ReplaySource};
 use crate::tree::{VbTree, VbTreeConfig};
 use crate::verify::{ClientVerifier, FreshnessStamp, ResponseFreshness, VerifyError};
-use crate::vo::{execute, QueryResponse, RangeQuery, ResultRow, VerificationObject};
+use crate::vo::{
+    execute, execute_multi_compact, CompactResponse, QueryResponse, RangeQuery, ResultRow,
+    VerificationObject, VoOp,
+};
 use crate::wire::measure_response;
 use crate::CoreError;
 use vbx_crypto::accum::{Accumulator, SignedDigest};
@@ -438,6 +441,94 @@ impl<const L: usize> VbScheme<L> {
     /// A scheme descriptor from public parameters.
     pub fn new(acc: Accumulator<L>, config: VbTreeConfig) -> Self {
         Self { acc, config }
+    }
+
+    /// Compact (op-stream) counterpart of
+    /// [`range_query`](AuthScheme::range_query). With an `aggregator`
+    /// that supports signature aggregation, every shipped digest is
+    /// bare and one condensed signature covers them all.
+    pub fn range_query_compact(
+        &self,
+        store: &VbTree<L>,
+        query: &RangeQuery,
+        aggregator: Option<&dyn SigVerifier>,
+    ) -> CompactResponse<L> {
+        execute_multi_compact(store, std::slice::from_ref(query), None, aggregator)
+    }
+
+    /// Answer `k` ranges with **one** merged compact response: shared
+    /// digests ship once via the dictionary and a single aggregate
+    /// signature sweep replaces `k` independent signature sets.
+    pub fn multi_query_compact(
+        &self,
+        store: &VbTree<L>,
+        queries: &[RangeQuery],
+        aggregator: Option<&dyn SigVerifier>,
+    ) -> CompactResponse<L> {
+        execute_multi_compact(store, queries, None, aggregator)
+    }
+
+    /// Client-side verification of a compact response — the scheme-level
+    /// wrapper over [`ClientVerifier::verify_compact`].
+    pub fn verify_compact(
+        &self,
+        schema: &Schema,
+        verifier: &dyn SigVerifier,
+        queries: &[RangeQuery],
+        resp: &CompactResponse<L>,
+        meter: &mut CostMeter,
+    ) -> Result<VerifiedBatch, VbSchemeError> {
+        let client = ClientVerifier::new(&self.acc, schema);
+        let report = client.verify_compact(verifier, queries, resp)?;
+        meter.absorb(&report.meter);
+        Ok(VerifiedBatch {
+            rows: resp.parts.iter().flat_map(|p| p.rows.clone()).collect(),
+            signatures_checked: report.signatures_checked,
+        })
+    }
+
+    /// [`TamperMode`] against a compact response — the same simulated
+    /// compromises [`AuthScheme::tamper`] applies to flat responses, so
+    /// the detection matrix can be exercised on both encodings.
+    pub fn tamper_compact(
+        &self,
+        store: &VbTree<L>,
+        queries: &[RangeQuery],
+        resp: &mut CompactResponse<L>,
+        mode: &TamperMode,
+        aggregator: Option<&dyn SigVerifier>,
+    ) {
+        let Some(part) = resp.parts.first_mut() else {
+            return;
+        };
+        match mode {
+            TamperMode::None => {}
+            TamperMode::MutateValue => {
+                if let Some(row) = part.rows.first_mut() {
+                    mutate_first_value(&mut row.values);
+                }
+            }
+            TamperMode::InjectRow => {
+                // Keep the stream structurally consistent (one Row op
+                // per row) so the *digest* check is what trips.
+                let before = part.rows.len();
+                inject_duplicate_last(&mut part.rows, |r| r.key += 1);
+                if part.rows.len() > before {
+                    part.ops.push(VoOp::Row);
+                }
+            }
+            TamperMode::DropRow => {
+                drop_middle_row(&mut part.rows);
+                if let Some(pos) = part.ops.iter().rposition(|op| matches!(op, VoOp::Row)) {
+                    part.ops.remove(pos);
+                }
+            }
+            TamperMode::DropAndReclassify { key } => {
+                let victim = *key;
+                let pred = move |t: &Tuple| t.key != victim;
+                *resp = execute_multi_compact(store, queries, Some(&pred), aggregator);
+            }
+        }
     }
 }
 

@@ -9,9 +9,10 @@
 //! digest breaks the equation.
 
 use crate::meter::CostMeter;
-use crate::vo::{QueryResponse, RangeQuery};
-use vbx_crypto::accum::{Accumulator, DigestRole};
-use vbx_crypto::{SigVerifier, Signature, Signer};
+use crate::vo::{CompactResponse, QueryResponse, RangeQuery, ResultRow, VoOp};
+use vbx_crypto::accum::{signed_payload, Accumulator, DigestRole, SignedDigest};
+use vbx_crypto::{AggregateVerify, SigVerifier, Signature, Signer};
+use vbx_mathx::Uint;
 use vbx_storage::Schema;
 
 /// Domain-separation tag for freshness-stamp signatures, so a stamp can
@@ -184,6 +185,14 @@ pub enum VerifyError {
     DigestMismatch,
     /// The projection in the query references an unknown column.
     BadProjection,
+    /// A compact op stream is structurally invalid: stack
+    /// underflow/overflow, unbalanced frames, a dictionary reference
+    /// out of range, an op/row count mismatch, or an out-of-range
+    /// digest exponent.
+    MalformedVo {
+        /// What was malformed.
+        reason: &'static str,
+    },
     /// The response is authentic but violates the client's
     /// [`FreshnessPolicy`] — an honest-but-stale edge, distinct from
     /// tampering. `None` fields mean the response carried no owner
@@ -209,6 +218,7 @@ impl core::fmt::Display for VerifyError {
             VerifyError::WrongRole { part } => write!(f, "wrong digest role in {part}"),
             VerifyError::DigestMismatch => write!(f, "digest mismatch: result tampered"),
             VerifyError::BadProjection => write!(f, "projection references unknown column"),
+            VerifyError::MalformedVo { reason } => write!(f, "malformed compact VO: {reason}"),
             VerifyError::Stale {
                 lag: None,
                 age: None,
@@ -231,8 +241,14 @@ pub struct VerifyReport {
     /// Rows verified.
     pub rows: usize,
     /// Signatures checked (`Cost_s` events — the dominant client cost in
-    /// the paper's model).
+    /// the paper's model). With an aggregated compact VO this is 1 for
+    /// the whole batch (plus 1 when a freshness stamp is enforced).
     pub signatures_checked: usize,
+    /// Peak digest-frame stack depth of the compact stack-machine
+    /// verifier — bounded by the enveloping subtree's height, the
+    /// streaming verifier's O(depth) memory guarantee. 0 for the legacy
+    /// flat-multiset path (it keeps no stack).
+    pub peak_stack_depth: usize,
     /// Primitive-operation counts.
     pub meter: CostMeter,
 }
@@ -454,7 +470,451 @@ impl<'a, const L: usize> ClientVerifier<'a, L> {
         Ok(VerifyReport {
             rows: resp.rows.len(),
             signatures_checked: meter.verify_ops as usize,
+            peak_stack_depth: 0,
             meter,
         })
+    }
+
+    // -----------------------------------------------------------------
+    // Compact stack-machine verification
+    // -----------------------------------------------------------------
+
+    /// Verify a compact (op-stream) response against the batch of
+    /// queries the client issued — one query per part, in order.
+    ///
+    /// Runs the stack machine over each part's op stream: `Begin`/`End`
+    /// maintain O(depth) digest frames, every shipped digest is either
+    /// individually signature-checked or absorbed into the single
+    /// aggregate sweep, and each part's reconstructed product must
+    /// lift-match its signed top digest.
+    pub fn verify_compact(
+        &self,
+        verifier: &dyn SigVerifier,
+        queries: &[RangeQuery],
+        resp: &CompactResponse<L>,
+    ) -> Result<VerifyReport, VerifyError> {
+        let mut meter = CostMeter::new();
+        if resp.parts.len() != queries.len() {
+            return Err(VerifyError::MalformedVo {
+                reason: "part count does not match query count",
+            });
+        }
+        let mut sweep = AggSweep::begin(verifier, resp.agg_sig.as_ref())?;
+        for d in &resp.dict {
+            check_vo_digest(self.acc, verifier, d, "dict", &mut sweep, &mut meter)?;
+        }
+        let mut peak = 0usize;
+        let mut total_rows = 0usize;
+        for (part, query) in resp.parts.iter().zip(queries) {
+            let mut machine =
+                PartMachine::start(self, verifier, query, &part.top, &mut sweep, &mut meter)?;
+            let mut next_row = 0usize;
+            for op in &part.ops {
+                let ev = match op {
+                    VoOp::Begin => OpEvent::Begin,
+                    VoOp::End => OpEvent::End,
+                    VoOp::Push(d) => OpEvent::Push(d),
+                    VoOp::Ref(i) => OpEvent::Ref(*i),
+                    VoOp::Row => {
+                        let Some(row) = part.rows.get(next_row) else {
+                            return Err(VerifyError::MalformedVo {
+                                reason: "more Row ops than rows",
+                            });
+                        };
+                        next_row += 1;
+                        OpEvent::Row(row)
+                    }
+                };
+                machine.step(ev, verifier, &resp.dict, &mut sweep, &mut meter)?;
+            }
+            if next_row != part.rows.len() {
+                return Err(VerifyError::MalformedVo {
+                    reason: "fewer Row ops than rows",
+                });
+            }
+            peak = peak.max(machine.close(&part.top, &mut meter)?);
+            total_rows += part.rows.len();
+        }
+        sweep.finish(&mut meter)?;
+
+        if let Some(check) = &self.freshness {
+            check_freshness(
+                Some(&resp.freshness),
+                &check.policy,
+                check.owner_seq,
+                check.owner_clock,
+                verifier,
+                &mut meter,
+            )?;
+        }
+
+        Ok(VerifyReport {
+            rows: total_rows,
+            signatures_checked: meter.verify_ops as usize,
+            peak_stack_depth: peak,
+            meter,
+        })
+    }
+
+    /// Streaming verification of an encoded `VBX4` buffer: consumes the
+    /// op stream directly off the wire with O(depth) digest frames and
+    /// only the dictionary buffered — the whole VO is never
+    /// materialised. Each verified row is handed to `on_row` with its
+    /// part index as it is decoded.
+    pub fn verify_compact_stream(
+        &self,
+        verifier: &dyn SigVerifier,
+        queries: &[RangeQuery],
+        bytes: &[u8],
+        on_row: &mut dyn FnMut(usize, ResultRow),
+    ) -> Result<VerifyReport, VerifyError> {
+        let malformed = |reason: &'static str| VerifyError::MalformedVo { reason };
+        let mut meter = CostMeter::new();
+        let mut stream = crate::wire::CompactStream::<L>::open(bytes, self.acc)
+            .map_err(|_| malformed("undecodable VBX4 buffer"))?;
+        if stream.part_count() as usize != queries.len() {
+            return Err(malformed("part count does not match query count"));
+        }
+        let mut sweep = AggSweep::begin(verifier, stream.agg_sig())?;
+        for d in stream.dict() {
+            check_vo_digest(self.acc, verifier, d, "dict", &mut sweep, &mut meter)?;
+        }
+        // The dictionary is the machine's only buffered digests; clone
+        // it out so the stream can keep advancing.
+        let dict: Vec<_> = stream.dict().to_vec();
+        let mut peak = 0usize;
+        let mut total_rows = 0usize;
+        for (pi, query) in queries.iter().enumerate() {
+            let part = stream
+                .begin_part()
+                .map_err(|_| malformed("undecodable part header"))?;
+            let mut machine =
+                PartMachine::start(self, verifier, query, &part.top, &mut sweep, &mut meter)?;
+            let mut rows_seen = 0u32;
+            for _ in 0..part.op_count {
+                let op = stream
+                    .next_op()
+                    .map_err(|_| malformed("undecodable op stream"))?;
+                match op {
+                    crate::wire::StreamOp::Begin => {
+                        machine.step(OpEvent::Begin, verifier, &dict, &mut sweep, &mut meter)?
+                    }
+                    crate::wire::StreamOp::End => {
+                        machine.step(OpEvent::End, verifier, &dict, &mut sweep, &mut meter)?
+                    }
+                    crate::wire::StreamOp::Push(d) => {
+                        machine.step(OpEvent::Push(&d), verifier, &dict, &mut sweep, &mut meter)?
+                    }
+                    crate::wire::StreamOp::Ref(i) => {
+                        machine.step(OpEvent::Ref(i), verifier, &dict, &mut sweep, &mut meter)?
+                    }
+                    crate::wire::StreamOp::Row(row) => {
+                        rows_seen += 1;
+                        machine.step(
+                            OpEvent::Row(&row),
+                            verifier,
+                            &dict,
+                            &mut sweep,
+                            &mut meter,
+                        )?;
+                        on_row(pi, row);
+                    }
+                }
+            }
+            if rows_seen != part.row_count {
+                return Err(malformed("row count does not match Row ops"));
+            }
+            peak = peak.max(machine.close(&part.top, &mut meter)?);
+            total_rows += rows_seen as usize;
+        }
+        sweep.finish(&mut meter)?;
+        let freshness = stream
+            .finish()
+            .map_err(|_| malformed("undecodable freshness tail"))?;
+
+        if let Some(check) = &self.freshness {
+            check_freshness(
+                Some(&freshness),
+                &check.policy,
+                check.owner_seq,
+                check.owner_clock,
+                verifier,
+                &mut meter,
+            )?;
+        }
+
+        Ok(VerifyReport {
+            rows: total_rows,
+            signatures_checked: meter.verify_ops as usize,
+            peak_stack_depth: peak,
+            meter,
+        })
+    }
+}
+
+/// Hard cap on the op-stream frame stack: far above any realistic tree
+/// height, so a hostile `Begin`-flood errors out instead of growing
+/// memory.
+pub const MAX_VO_STACK: usize = 64;
+
+/// One event of the compact stack machine, borrowed from either the
+/// materialised structs or the wire stream.
+enum OpEvent<'x, const L: usize> {
+    Begin,
+    End,
+    Push(&'x SignedDigest<L>),
+    Row(&'x ResultRow),
+    Ref(u32),
+}
+
+/// The single amortised signature sweep over a compact response's bare
+/// digests. Present exactly when the response carries an aggregate
+/// signature; absorbing a bare digest without one (or without a
+/// verifier that can aggregate) is a verification failure, never a
+/// silent skip.
+struct AggSweep {
+    state: Option<Box<dyn AggregateVerify>>,
+    agg: Option<Signature>,
+}
+
+impl AggSweep {
+    fn begin(verifier: &dyn SigVerifier, agg: Option<&Signature>) -> Result<Self, VerifyError> {
+        match agg {
+            Some(sig) => {
+                let Some(state) = verifier.begin_aggregate() else {
+                    return Err(VerifyError::BadSignature { part: "aggregate" });
+                };
+                Ok(Self {
+                    state: Some(state),
+                    agg: Some(sig.clone()),
+                })
+            }
+            None => Ok(Self {
+                state: None,
+                agg: None,
+            }),
+        }
+    }
+
+    fn absorb(&mut self, msg: &[u8]) -> Result<(), VerifyError> {
+        match &mut self.state {
+            Some(st) => {
+                st.absorb(msg);
+                Ok(())
+            }
+            // A bare digest in a response with no aggregate signature
+            // has no authentication at all.
+            None => Err(VerifyError::BadSignature { part: "aggregate" }),
+        }
+    }
+
+    fn finish(self, meter: &mut CostMeter) -> Result<(), VerifyError> {
+        match (self.state, self.agg) {
+            (Some(st), Some(agg)) => {
+                meter.verify_ops += 1;
+                if st.finish(&agg) {
+                    Ok(())
+                } else {
+                    Err(VerifyError::BadSignature { part: "aggregate" })
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Authenticate one shipped digest: range-check the exponent, then
+/// either verify its individual signature or absorb its signed payload
+/// into the aggregate sweep.
+fn check_vo_digest<const L: usize>(
+    acc: &Accumulator<L>,
+    verifier: &dyn SigVerifier,
+    d: &SignedDigest<L>,
+    part: &'static str,
+    sweep: &mut AggSweep,
+    meter: &mut CostMeter,
+) -> Result<(), VerifyError> {
+    if d.role == DigestRole::Root {
+        return Err(VerifyError::WrongRole { part });
+    }
+    let exp_bytes = acc.exp_to_bytes(&d.exp);
+    if acc.exp_from_canonical(&exp_bytes).is_none() {
+        return Err(VerifyError::MalformedVo {
+            reason: "digest exponent out of range",
+        });
+    }
+    if d.sig.is_empty() {
+        meter.hash_ops += 1;
+        sweep.absorb(&signed_payload(d.role, &exp_bytes))
+    } else {
+        meter.verify_ops += 1;
+        if acc.verify_digest(verifier, d) {
+            Ok(())
+        } else {
+            Err(VerifyError::BadSignature { part })
+        }
+    }
+}
+
+/// Per-part stack machine: digest frames, row ordering, and the final
+/// lift comparison against the part's signed top digest.
+struct PartMachine<'a, 'q, const L: usize> {
+    acc: &'a Accumulator<L>,
+    schema: &'a Schema,
+    stack: Vec<Uint<L>>,
+    peak: usize,
+    prev_key: Option<u64>,
+    returned: Vec<usize>,
+    query: &'q RangeQuery,
+    /// Columns the projection filtered away, whose attribute digests
+    /// must arrive via the op stream.
+    filtered_cols: usize,
+    /// Rows consumed so far.
+    rows_seen: usize,
+    /// Attribute-role digests folded so far (pushes and dictionary
+    /// references alike).
+    attr_folds: usize,
+}
+
+impl<'a, 'q, const L: usize> PartMachine<'a, 'q, L> {
+    /// Authenticate the part's top digest (it opens the part's slice of
+    /// the aggregate absorb order) and set up the frame stack.
+    fn start(
+        cv: &ClientVerifier<'a, L>,
+        verifier: &dyn SigVerifier,
+        query: &'q RangeQuery,
+        top: &SignedDigest<L>,
+        sweep: &mut AggSweep,
+        meter: &mut CostMeter,
+    ) -> Result<Self, VerifyError> {
+        let num_cols = cv.schema.num_columns();
+        let returned = query.returned_columns(num_cols);
+        if returned.iter().any(|&c| c >= num_cols) {
+            return Err(VerifyError::BadProjection);
+        }
+        if top.role != DigestRole::Node {
+            return Err(VerifyError::WrongRole { part: "top" });
+        }
+        check_vo_digest(cv.acc, verifier, top, "top", sweep, meter)?;
+        let filtered_cols = num_cols - returned.len();
+        Ok(Self {
+            acc: cv.acc,
+            schema: cv.schema,
+            stack: vec![cv.acc.identity()],
+            peak: 1,
+            prev_key: None,
+            returned,
+            query,
+            filtered_cols,
+            rows_seen: 0,
+            attr_folds: 0,
+        })
+    }
+
+    fn fold(&mut self, exp: &Uint<L>, meter: &mut CostMeter) {
+        let top = self.stack.last_mut().expect("stack never empties");
+        *top = self.acc.combine(top, exp);
+        meter.combine_ops += 1;
+    }
+
+    fn step(
+        &mut self,
+        ev: OpEvent<'_, L>,
+        verifier: &dyn SigVerifier,
+        dict: &[SignedDigest<L>],
+        sweep: &mut AggSweep,
+        meter: &mut CostMeter,
+    ) -> Result<(), VerifyError> {
+        match ev {
+            OpEvent::Begin => {
+                if self.stack.len() >= MAX_VO_STACK {
+                    return Err(VerifyError::MalformedVo {
+                        reason: "frame stack overflow",
+                    });
+                }
+                self.stack.push(self.acc.identity());
+                self.peak = self.peak.max(self.stack.len());
+            }
+            OpEvent::End => {
+                if self.stack.len() == 1 {
+                    return Err(VerifyError::MalformedVo {
+                        reason: "frame stack underflow",
+                    });
+                }
+                let closed = self.stack.pop().expect("len > 1");
+                self.fold(&closed, meter);
+            }
+            OpEvent::Push(d) => {
+                check_vo_digest(self.acc, verifier, d, "ops", sweep, meter)?;
+                if d.role == DigestRole::Attribute {
+                    self.attr_folds += 1;
+                }
+                self.fold(&d.exp, meter);
+            }
+            OpEvent::Ref(i) => {
+                let Some(d) = dict.get(i as usize) else {
+                    return Err(VerifyError::MalformedVo {
+                        reason: "dictionary reference out of range",
+                    });
+                };
+                // Dictionary entries were authenticated once up front;
+                // a reference only folds the exponent in.
+                if d.role == DigestRole::Attribute {
+                    self.attr_folds += 1;
+                }
+                self.fold(&d.exp, meter);
+            }
+            OpEvent::Row(row) => {
+                self.rows_seen += 1;
+                if row.key < self.query.lo || row.key > self.query.hi {
+                    return Err(VerifyError::RowOutOfRange { key: row.key });
+                }
+                if self.prev_key.is_some_and(|p| row.key <= p) {
+                    return Err(VerifyError::RowsUnsorted);
+                }
+                self.prev_key = Some(row.key);
+                if row.values.len() != self.returned.len() {
+                    return Err(VerifyError::WrongArity { key: row.key });
+                }
+                for slot in 0..self.returned.len() {
+                    let col = self.returned[slot];
+                    let input = self
+                        .schema
+                        .attribute_digest_input(col, row.key, &row.values[slot]);
+                    let e = self.acc.exp_from_bytes(&input);
+                    meter.hash_ops += 1;
+                    self.fold(&e, meter);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check frame balance and compare the reconstructed product with
+    /// the signed top digest. Returns the peak stack depth.
+    fn close(mut self, top: &SignedDigest<L>, meter: &mut CostMeter) -> Result<usize, VerifyError> {
+        if self.stack.len() != 1 {
+            return Err(VerifyError::MalformedVo {
+                reason: "unbalanced op stream",
+            });
+        }
+        // The compact analogue of the flat D_P count check: every row
+        // owes exactly one attribute digest per filtered column, which
+        // also pins the row count when rows carry no returned values.
+        let expected_attrs = self.rows_seen * self.filtered_cols;
+        if self.attr_folds != expected_attrs {
+            return Err(VerifyError::ProjectionCountMismatch {
+                expected: expected_attrs,
+                actual: self.attr_folds,
+            });
+        }
+        let total = self.stack.pop().expect("exactly one frame");
+        let lifted = self.acc.lift(&total);
+        let expected = self.acc.lift(&top.exp);
+        meter.lift_ops += 2;
+        if lifted != expected {
+            return Err(VerifyError::DigestMismatch);
+        }
+        Ok(self.peak)
     }
 }

@@ -18,7 +18,9 @@
 use crate::node::{Node, NodeId};
 use crate::tree::VbTree;
 use crate::verify::ResponseFreshness;
+use std::collections::HashMap;
 use vbx_crypto::accum::SignedDigest;
+use vbx_crypto::{SigVerifier, Signature};
 use vbx_storage::{Tuple, Value};
 
 /// A range selection with optional projection.
@@ -127,27 +129,26 @@ pub fn execute<const L: usize>(
     for &c in &returned {
         assert!(c < num_cols, "projection column {c} out of range");
     }
+    let returned_mask = returned_column_mask(&returned, num_cols);
 
     // 1. Locate the top of the enveloping subtree: descend while exactly
     //    one child overlaps the query range.
-    let mut top_id = tree.root_id();
-    while let Node::Internal(n) = tree.node(top_id) {
-        let overlapping: Vec<usize> = (0..n.children.len())
-            .filter(|&i| n.child_overlaps(i, query.lo, query.hi))
-            .collect();
-        if overlapping.len() == 1 {
-            top_id = n.children[overlapping[0]];
-        } else {
-            break;
-        }
-    }
+    let top_id = envelope_top(tree, query);
 
     // 2. Walk the subtree, partitioning into result rows and D_S.
     let mut rows = Vec::new();
     let mut d_s = Vec::new();
     let mut d_p = Vec::new();
     walk(
-        tree, top_id, query, predicate, &returned, &mut rows, &mut d_s, &mut d_p,
+        tree,
+        top_id,
+        query,
+        predicate,
+        &returned,
+        &returned_mask,
+        &mut rows,
+        &mut d_s,
+        &mut d_p,
     );
 
     let top = tree.node(top_id).digest().clone();
@@ -163,6 +164,41 @@ pub fn execute<const L: usize>(
     }
 }
 
+/// Column-membership mask for a projection: `mask[c]` is true when
+/// column `c` is returned. Computed once per query so the per-attribute
+/// test in the subtree walk is O(1) instead of O(columns).
+fn returned_column_mask(returned: &[usize], num_cols: usize) -> Vec<bool> {
+    let mut mask = vec![false; num_cols];
+    for &c in returned {
+        mask[c] = true;
+    }
+    mask
+}
+
+/// Top of the enveloping subtree: descend from the root while exactly
+/// one child overlaps the query range. Allocation-free — the candidate
+/// scan short-circuits as soon as a second overlapping child appears.
+fn envelope_top<const L: usize>(tree: &VbTree<L>, query: &RangeQuery) -> NodeId {
+    let mut top_id = tree.root_id();
+    while let Node::Internal(n) = tree.node(top_id) {
+        let mut only: Option<NodeId> = None;
+        for i in 0..n.children.len() {
+            if n.child_overlaps(i, query.lo, query.hi) {
+                if only.is_some() {
+                    only = None;
+                    break;
+                }
+                only = Some(n.children[i]);
+            }
+        }
+        match only {
+            Some(child) => top_id = child,
+            None => break,
+        }
+    }
+    top_id
+}
+
 #[allow(clippy::too_many_arguments)]
 fn walk<const L: usize>(
     tree: &VbTree<L>,
@@ -170,6 +206,7 @@ fn walk<const L: usize>(
     query: &RangeQuery,
     predicate: Option<&dyn Fn(&Tuple) -> bool>,
     returned: &[usize],
+    returned_mask: &[bool],
     rows: &mut Vec<ResultRow>,
     d_s: &mut Vec<SignedDigest<L>>,
     d_p: &mut Vec<SignedDigest<L>>,
@@ -188,7 +225,7 @@ fn walk<const L: usize>(
                     rows.push(ResultRow { key: k, values });
                     // Filtered attributes -> D_P.
                     for (c, d) in e.attr_digests.iter().enumerate() {
-                        if !returned.contains(&c) {
+                        if !returned_mask[c] {
                             d_p.push(d.clone());
                         }
                     }
@@ -201,11 +238,339 @@ fn walk<const L: usize>(
         Node::Internal(n) => {
             for (i, &child) in n.children.iter().enumerate() {
                 if n.child_overlaps(i, query.lo, query.hi) {
-                    walk(tree, child, query, predicate, returned, rows, d_s, d_p);
+                    walk(
+                        tree,
+                        child,
+                        query,
+                        predicate,
+                        returned,
+                        returned_mask,
+                        rows,
+                        d_s,
+                        d_p,
+                    );
                 } else {
                     d_s.push(tree.node(child).digest().clone());
                 }
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Compact stack-machine VOs (the VBX4 encoding)
+// ---------------------------------------------------------------------
+
+/// One op of the compact stack-machine VO stream.
+///
+/// The stream linearises the enveloping subtree: `Begin`/`End` bracket
+/// each descended child node, digests are folded into the innermost
+/// open frame, and `Row` consumes the next result row (the verifier
+/// recomputes its returned attribute digests). A digest whose signature
+/// is **empty** is covered by the response's single aggregate signature
+/// sweep instead of an individual signature — the compact encoding's
+/// byte and verification win.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VoOp<const L: usize> {
+    /// Descend into an overlapping child: push a fresh digest frame.
+    Begin,
+    /// Close the current child: pop its frame and fold the product into
+    /// the parent frame.
+    End,
+    /// Fold a digest into the innermost frame. Empty signature ⇒
+    /// authenticated by the aggregate sweep; otherwise individually
+    /// signed (the no-aggregation fallback).
+    Push(SignedDigest<L>),
+    /// Consume the next result row: the verifier recomputes the
+    /// returned attribute digests from the shipped values.
+    Row,
+    /// Fold the shared dictionary entry at this index into the
+    /// innermost frame (multi-query dedup: a digest shared by several
+    /// parts ships once).
+    Ref(u32),
+}
+
+/// One query's slice of a compact response: its rows, the signed digest
+/// of its enveloping subtree's top node, and the op stream that
+/// rebuilds the top digest from rows + shipped digests.
+#[derive(Clone, Debug)]
+pub struct CompactPart<const L: usize> {
+    /// Result rows in key order.
+    pub rows: Vec<ResultRow>,
+    /// `D_N` — the enveloping subtree's top digest. Empty signature ⇒
+    /// aggregate-covered.
+    pub top: SignedDigest<L>,
+    /// The stack-machine op stream.
+    pub ops: Vec<VoOp<L>>,
+}
+
+/// A compact (op-stream) query answer: one or more parts — one per
+/// range in the client's batch — plus the shared digest dictionary and
+/// the single aggregate signature covering every bare digest.
+#[derive(Clone, Debug)]
+pub struct CompactResponse<const L: usize> {
+    /// One part per query, in query order.
+    pub parts: Vec<CompactPart<L>>,
+    /// Digests referenced by [`VoOp::Ref`] — shipped and signature-
+    /// checked once, no matter how many parts fold them in.
+    pub dict: Vec<SignedDigest<L>>,
+    /// Condensed signature over every bare digest (dict entries first,
+    /// then per part: top, then pushes in stream order). `None` ⇒ every
+    /// digest carries its own signature.
+    pub agg_sig: Option<Signature>,
+    /// Key version the digests were signed under.
+    pub key_version: u32,
+    /// The serving edge's replication position (see
+    /// [`QueryResponse::freshness`]).
+    pub freshness: ResponseFreshness,
+}
+
+impl<const L: usize> CompactResponse<L> {
+    /// Number of digests shipped (tops + inline pushes + dictionary
+    /// entries). `Ref` ops are free — that is the multi-query dedup win
+    /// over `k` independent flat VOs.
+    pub fn digest_count(&self) -> usize {
+        let pushed: usize = self
+            .parts
+            .iter()
+            .map(|p| {
+                p.ops
+                    .iter()
+                    .filter(|op| matches!(op, VoOp::Push(_)))
+                    .count()
+            })
+            .sum();
+        self.parts.len() + pushed + self.dict.len()
+    }
+
+    /// Total result rows across all parts.
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.rows.len()).sum()
+    }
+}
+
+/// Compact single-query execution: the op-stream analogue of
+/// [`execute`]. When `aggregator` supports signature aggregation, every
+/// digest ships bare and one condensed signature covers them all.
+pub fn execute_compact<const L: usize>(
+    tree: &VbTree<L>,
+    query: &RangeQuery,
+    predicate: Option<&dyn Fn(&Tuple) -> bool>,
+    aggregator: Option<&dyn SigVerifier>,
+) -> CompactResponse<L> {
+    execute_multi_compact(tree, std::slice::from_ref(query), predicate, aggregator)
+}
+
+/// Compact multi-query execution: `k` ranges against one table answered
+/// with one merged response. Digests shared between parts (overlapping
+/// `D_S` branches, shared path prefixes) are promoted into the
+/// dictionary and shipped once; one amortised signature sweep replaces
+/// `k` independent ones.
+///
+/// The same `predicate` applies to every range (it models the query's
+/// non-key residual; batched ranges come from one planned query).
+pub fn execute_multi_compact<const L: usize>(
+    tree: &VbTree<L>,
+    queries: &[RangeQuery],
+    predicate: Option<&dyn Fn(&Tuple) -> bool>,
+    aggregator: Option<&dyn SigVerifier>,
+) -> CompactResponse<L> {
+    assert!(!queries.is_empty(), "at least one range");
+    let num_cols = tree.schema().num_columns();
+
+    // Pass 1: per-query envelope walks, ops carrying full signatures.
+    let mut parts: Vec<CompactPart<L>> = Vec::with_capacity(queries.len());
+    for query in queries {
+        assert!(query.lo <= query.hi, "empty key interval");
+        let returned = query.returned_columns(num_cols);
+        for &c in &returned {
+            assert!(c < num_cols, "projection column {c} out of range");
+        }
+        let returned_mask = returned_column_mask(&returned, num_cols);
+        let top_id = envelope_top(tree, query);
+        let mut rows = Vec::new();
+        let mut ops = Vec::new();
+        walk_compact(
+            tree,
+            top_id,
+            query,
+            predicate,
+            &returned,
+            &returned_mask,
+            &mut rows,
+            &mut ops,
+        );
+        parts.push(CompactPart {
+            rows,
+            top: tree.node(top_id).digest().clone(),
+            ops,
+        });
+    }
+
+    // Pass 2: promote digests pushed by ≥ 2 parts into the shared
+    // dictionary and rewrite their pushes as `Ref`s.
+    let mut dict: Vec<SignedDigest<L>> = Vec::new();
+    if parts.len() > 1 {
+        let mut seen_in: HashMap<(u8, Vec<u8>), (usize, bool)> = HashMap::new();
+        for (pi, part) in parts.iter().enumerate() {
+            for op in &part.ops {
+                if let VoOp::Push(d) = op {
+                    let key = (d.role.to_tag(), d.exp.to_be_bytes());
+                    match seen_in.get_mut(&key) {
+                        None => {
+                            seen_in.insert(key, (pi, false));
+                        }
+                        Some((first, shared)) => {
+                            if *first != pi {
+                                *shared = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut index: HashMap<(u8, Vec<u8>), u32> = HashMap::new();
+        for part in &mut parts {
+            for op in &mut part.ops {
+                let VoOp::Push(d) = op else { continue };
+                let key = (d.role.to_tag(), d.exp.to_be_bytes());
+                if !seen_in.get(&key).is_some_and(|&(_, shared)| shared) {
+                    continue;
+                }
+                let idx = *index.entry(key).or_insert_with(|| {
+                    dict.push(d.clone());
+                    (dict.len() - 1) as u32
+                });
+                *op = VoOp::Ref(idx);
+            }
+        }
+    }
+
+    // Pass 3: condense the signatures. Absorb order is wire order —
+    // dictionary entries, then per part: top, then pushes in stream
+    // order. On success every digest ships bare. A single-digest
+    // response keeps its individual signature: the condensed signature
+    // is modulus-sized, so aggregation only pays from two digests up.
+    let shipped: usize = dict.len()
+        + parts.len()
+        + parts
+            .iter()
+            .map(|p| {
+                p.ops
+                    .iter()
+                    .filter(|op| matches!(op, VoOp::Push(_)))
+                    .count()
+            })
+            .sum::<usize>();
+    let mut agg_sig = None;
+    if let Some(aggv) = aggregator.filter(|_| shipped >= 2) {
+        let mut sigs: Vec<Signature> = dict.iter().map(|d| d.sig.clone()).collect();
+        for part in &parts {
+            sigs.push(part.top.sig.clone());
+            for op in &part.ops {
+                if let VoOp::Push(d) = op {
+                    sigs.push(d.sig.clone());
+                }
+            }
+        }
+        if let Some(agg) = aggv.aggregate_signatures(&sigs) {
+            for d in &mut dict {
+                d.sig = Signature(Vec::new());
+            }
+            for part in &mut parts {
+                part.top.sig = Signature(Vec::new());
+                for op in &mut part.ops {
+                    if let VoOp::Push(d) = op {
+                        d.sig = Signature(Vec::new());
+                    }
+                }
+            }
+            agg_sig = Some(agg);
+        }
+    }
+
+    CompactResponse {
+        parts,
+        dict,
+        agg_sig,
+        key_version: tree.key_version(),
+        freshness: ResponseFreshness::default(),
+    }
+}
+
+/// The op-stream analogue of [`walk`]: same envelope traversal, but
+/// emitting `Begin`/`End` structure and digest pushes instead of flat
+/// `D_S`/`D_P` multisets.
+///
+/// Frames that would contain no digest push anywhere below them are
+/// elided — the digest algebra is commutative, so a frame holding only
+/// rows folds to the same product without the bracketing, and a
+/// fully-overlapped subtree costs zero framing bytes. Returns whether
+/// this subtree emitted any `Push`.
+#[allow(clippy::too_many_arguments)]
+fn walk_compact<const L: usize>(
+    tree: &VbTree<L>,
+    id: NodeId,
+    query: &RangeQuery,
+    predicate: Option<&dyn Fn(&Tuple) -> bool>,
+    returned: &[usize],
+    returned_mask: &[bool],
+    rows: &mut Vec<ResultRow>,
+    ops: &mut Vec<VoOp<L>>,
+) -> bool {
+    let mut pushed = false;
+    match tree.node(id) {
+        Node::Leaf(n) => {
+            for e in &n.entries {
+                let k = e.key();
+                let in_range = k >= query.lo && k <= query.hi;
+                let matches = in_range && predicate.is_none_or(|p| p(&e.tuple));
+                if matches {
+                    let values: Vec<Value> = returned
+                        .iter()
+                        .map(|&c| e.tuple.values[c].clone())
+                        .collect();
+                    rows.push(ResultRow { key: k, values });
+                    ops.push(VoOp::Row);
+                    for (c, d) in e.attr_digests.iter().enumerate() {
+                        if !returned_mask[c] {
+                            ops.push(VoOp::Push(d.clone()));
+                            pushed = true;
+                        }
+                    }
+                } else {
+                    ops.push(VoOp::Push(e.tuple_digest.clone()));
+                    pushed = true;
+                }
+            }
+        }
+        Node::Internal(n) => {
+            for (i, &child) in n.children.iter().enumerate() {
+                if n.child_overlaps(i, query.lo, query.hi) {
+                    let begin_at = ops.len();
+                    ops.push(VoOp::Begin);
+                    let child_pushed = walk_compact(
+                        tree,
+                        child,
+                        query,
+                        predicate,
+                        returned,
+                        returned_mask,
+                        rows,
+                        ops,
+                    );
+                    if child_pushed {
+                        ops.push(VoOp::End);
+                        pushed = true;
+                    } else {
+                        ops.remove(begin_at);
+                    }
+                } else {
+                    ops.push(VoOp::Push(tree.node(child).digest().clone()));
+                    pushed = true;
+                }
+            }
+        }
+    }
+    pushed
 }

@@ -14,7 +14,7 @@
 
 use crate::scheme::{DeltaBatch, UpdateOp};
 use crate::verify::{FreshnessStamp, ResponseFreshness};
-use crate::vo::{QueryResponse, ResultRow, VerificationObject};
+use crate::vo::{CompactPart, CompactResponse, QueryResponse, ResultRow, VerificationObject, VoOp};
 use crate::CoreError;
 use bytes::{Buf, BufMut};
 use vbx_crypto::accum::{Accumulator, DigestRole, SignedDigest};
@@ -27,6 +27,18 @@ const MAGIC: &[u8; 4] = b"VBX2";
 
 /// Format version 3: the group-commit [`DeltaBatch`] envelope.
 const BATCH_MAGIC: &[u8; 4] = b"VBX3";
+
+/// Format version 4: the compact stack-machine VO envelope
+/// ([`CompactResponse`]). `VBX2`/`VBX3` stay on the wire unchanged;
+/// the four magics disambiguate.
+const COMPACT_MAGIC: &[u8; 4] = b"VBX4";
+
+/// `VBX4` op tags.
+const OP_BEGIN: u8 = 0x01;
+const OP_END: u8 = 0x02;
+const OP_PUSH: u8 = 0x03;
+const OP_ROW: u8 = 0x04;
+const OP_REF: u8 = 0x05;
 
 fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
@@ -390,5 +402,387 @@ pub fn measure_response<const L: usize>(resp: &QueryResponse<L>) -> ResponseSize
         vo_bytes,
         // magic + row count + D_S/D_P counters + applied seq + stamp tag
         framing_bytes: 4 + 4 + 4 + 4 + 8 + 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// VBX4 — compact stack-machine VO envelope
+// ---------------------------------------------------------------------
+//
+// Layout (all integers big-endian):
+//
+// ```text
+// "VBX4" | key_version u32
+// | dict_count u32 | dict entries (role u8, exp L*8, sig_len u16, sig)
+// | agg_flag u8 [| sig_len u16 | sig]
+// | part_count u32
+// | per part: top digest, row_count u32, op_count u32, ops…
+// | applied_seq u64 | stamp
+// ```
+//
+// The dictionary and aggregate signature come *before* the parts so a
+// streaming verifier makes one forward pass buffering only the
+// dictionary; the freshness tail comes *last* so an edge can cache the
+// response prefix and append its current freshness per request. `Row`
+// ops carry their row payload inline — the stream needs no side table.
+
+/// Serialize everything of a compact response **except** the freshness
+/// tail. This is the cacheable prefix: an edge stores these bytes once
+/// and stitches a current freshness tail onto each request with
+/// [`compact_response_bytes`].
+pub fn encode_compact_prefix<const L: usize>(resp: &CompactResponse<L>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(COMPACT_MAGIC);
+    out.put_u32(resp.key_version);
+
+    out.put_u32(resp.dict.len() as u32);
+    for d in &resp.dict {
+        put_digest(&mut out, d);
+    }
+
+    match &resp.agg_sig {
+        None => out.push(0),
+        Some(sig) => {
+            out.push(1);
+            out.put_u16(sig.len() as u16);
+            out.extend_from_slice(sig.as_bytes());
+        }
+    }
+
+    out.put_u32(resp.parts.len() as u32);
+    for part in &resp.parts {
+        put_digest(&mut out, &part.top);
+        out.put_u32(part.rows.len() as u32);
+        out.put_u32(part.ops.len() as u32);
+        let mut next_row = 0usize;
+        for op in &part.ops {
+            match op {
+                VoOp::Begin => out.push(OP_BEGIN),
+                VoOp::End => out.push(OP_END),
+                VoOp::Push(d) => {
+                    out.push(OP_PUSH);
+                    put_digest(&mut out, d);
+                }
+                VoOp::Row => {
+                    let row = &part.rows[next_row];
+                    next_row += 1;
+                    out.push(OP_ROW);
+                    out.put_u64(row.key);
+                    out.put_u16(row.values.len() as u16);
+                    for v in &row.values {
+                        v.encode_into(&mut out);
+                    }
+                }
+                VoOp::Ref(i) => {
+                    out.push(OP_REF);
+                    out.put_u32(*i);
+                }
+            }
+        }
+        debug_assert_eq!(next_row, part.rows.len(), "Row ops must cover all rows");
+    }
+    out
+}
+
+/// Stitch a freshness tail onto a cached `VBX4` prefix, producing the
+/// full wire buffer.
+pub fn compact_response_bytes(prefix: &[u8], freshness: &ResponseFreshness) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prefix.len() + 32);
+    out.extend_from_slice(prefix);
+    out.put_u64(freshness.applied_seq);
+    put_stamp(&mut out, freshness.stamp.as_ref());
+    out
+}
+
+/// Serialize a full compact response (prefix + its own freshness tail).
+pub fn encode_compact_response<const L: usize>(resp: &CompactResponse<L>) -> Vec<u8> {
+    compact_response_bytes(&encode_compact_prefix(resp), &resp.freshness)
+}
+
+/// Decode and fully materialise a `VBX4` buffer. Structurally hostile
+/// input (truncation, lying counters, bad tags, trailing bytes) errors
+/// and never panics; forged digests and rows are caught later by
+/// [`crate::verify::ClientVerifier::verify_compact`].
+pub fn decode_compact_response<const L: usize>(
+    bytes: &[u8],
+    acc: &Accumulator<L>,
+) -> Result<CompactResponse<L>, CoreError> {
+    let mut stream = CompactStream::<L>::open(bytes, acc)?;
+    let mut parts = Vec::with_capacity((stream.part_count() as usize).min(1 << 16));
+    for _ in 0..stream.part_count() {
+        let header = stream.begin_part()?;
+        let mut rows = Vec::with_capacity((header.row_count as usize).min(1 << 20));
+        let mut ops = Vec::with_capacity((header.op_count as usize).min(1 << 20));
+        for _ in 0..header.op_count {
+            ops.push(match stream.next_op()? {
+                StreamOp::Begin => VoOp::Begin,
+                StreamOp::End => VoOp::End,
+                StreamOp::Push(d) => VoOp::Push(d),
+                StreamOp::Ref(i) => VoOp::Ref(i),
+                StreamOp::Row(row) => {
+                    rows.push(row);
+                    VoOp::Row
+                }
+            });
+        }
+        if rows.len() != header.row_count as usize {
+            return Err(CoreError::Wire("row count does not match Row ops".into()));
+        }
+        parts.push(CompactPart {
+            rows,
+            top: header.top,
+            ops,
+        });
+    }
+    let dict = stream.dict().to_vec();
+    let agg_sig = stream.agg_sig().cloned();
+    let key_version = stream.key_version();
+    let freshness = stream.finish()?;
+    Ok(CompactResponse {
+        parts,
+        dict,
+        agg_sig,
+        key_version,
+        freshness,
+    })
+}
+
+/// One decoded op off a `VBX4` stream. Unlike [`VoOp`], `Row` carries
+/// its payload — the wire interleaves rows into the op stream so a
+/// streaming verifier needs a single forward cursor.
+#[derive(Clone, Debug)]
+pub enum StreamOp<const L: usize> {
+    /// Push a fresh digest frame.
+    Begin,
+    /// Pop the current frame and fold it into its parent.
+    End,
+    /// Fold a shipped digest into the innermost frame.
+    Push(SignedDigest<L>),
+    /// The next result row, inline.
+    Row(ResultRow),
+    /// Fold the dictionary entry at this index.
+    Ref(u32),
+}
+
+/// Header of one part in a `VBX4` stream.
+#[derive(Clone, Debug)]
+pub struct StreamPartHeader<const L: usize> {
+    /// The part's signed top digest.
+    pub top: SignedDigest<L>,
+    /// Result rows the part's op stream will yield.
+    pub row_count: u32,
+    /// Ops in the part's stream.
+    pub op_count: u32,
+}
+
+/// Incremental decoder for a `VBX4` buffer: [`open`](Self::open) parses
+/// the header and dictionary, then the caller alternates
+/// [`begin_part`](Self::begin_part) and [`next_op`](Self::next_op) and
+/// ends with [`finish`](Self::finish) for the freshness tail. Only the
+/// dictionary is buffered — this is what gives
+/// `ClientVerifier::verify_compact_stream` its O(depth) memory bound.
+pub struct CompactStream<'a, const L: usize> {
+    buf: &'a [u8],
+    acc: &'a Accumulator<L>,
+    dict: Vec<SignedDigest<L>>,
+    agg_sig: Option<Signature>,
+    key_version: u32,
+    part_count: u32,
+    parts_begun: u32,
+    ops_left: u32,
+}
+
+impl<'a, const L: usize> CompactStream<'a, L> {
+    /// Parse the envelope header, dictionary, and aggregate signature.
+    pub fn open(bytes: &'a [u8], acc: &'a Accumulator<L>) -> Result<Self, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        let mut buf = bytes;
+        if buf.remaining() < 8 || &buf[..4] != COMPACT_MAGIC {
+            return Err(corrupt("bad compact magic"));
+        }
+        buf.advance(4);
+        let key_version = buf.get_u32();
+
+        if buf.remaining() < 4 {
+            return Err(corrupt("dictionary header truncated"));
+        }
+        let n_dict = buf.get_u32() as usize;
+        let mut dict = Vec::with_capacity(n_dict.min(1 << 20));
+        for _ in 0..n_dict {
+            dict.push(get_digest(&mut buf, acc)?);
+        }
+
+        if buf.remaining() < 1 {
+            return Err(corrupt("aggregate flag truncated"));
+        }
+        let agg_sig = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 2 {
+                    return Err(corrupt("aggregate signature truncated"));
+                }
+                let sig_len = buf.get_u16() as usize;
+                if buf.remaining() < sig_len {
+                    return Err(corrupt("aggregate signature truncated"));
+                }
+                let sig = Signature(buf[..sig_len].to_vec());
+                buf.advance(sig_len);
+                Some(sig)
+            }
+            _ => return Err(corrupt("bad aggregate flag")),
+        };
+
+        if buf.remaining() < 4 {
+            return Err(corrupt("part count truncated"));
+        }
+        let part_count = buf.get_u32();
+        Ok(Self {
+            buf,
+            acc,
+            dict,
+            agg_sig,
+            key_version,
+            part_count,
+            parts_begun: 0,
+            ops_left: 0,
+        })
+    }
+
+    /// Parts announced by the envelope.
+    pub fn part_count(&self) -> u32 {
+        self.part_count
+    }
+
+    /// Key version the digests were signed under.
+    pub fn key_version(&self) -> u32 {
+        self.key_version
+    }
+
+    /// The single condensed signature, when present.
+    pub fn agg_sig(&self) -> Option<&Signature> {
+        self.agg_sig.as_ref()
+    }
+
+    /// The shared digest dictionary (the stream's only buffered state).
+    pub fn dict(&self) -> &[SignedDigest<L>] {
+        &self.dict
+    }
+
+    /// Advance to the next part's header. Errors if the current part
+    /// still has undrained ops or every part was already begun.
+    pub fn begin_part(&mut self) -> Result<StreamPartHeader<L>, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        if self.ops_left != 0 {
+            return Err(corrupt("part begun with ops undrained"));
+        }
+        if self.parts_begun == self.part_count {
+            return Err(corrupt("no parts left"));
+        }
+        let top = get_digest(&mut self.buf, self.acc)?;
+        if self.buf.remaining() < 8 {
+            return Err(corrupt("part header truncated"));
+        }
+        let row_count = self.buf.get_u32();
+        let op_count = self.buf.get_u32();
+        self.parts_begun += 1;
+        self.ops_left = op_count;
+        Ok(StreamPartHeader {
+            top,
+            row_count,
+            op_count,
+        })
+    }
+
+    /// Decode the next op of the current part.
+    pub fn next_op(&mut self) -> Result<StreamOp<L>, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        if self.ops_left == 0 {
+            return Err(corrupt("no ops left in part"));
+        }
+        self.ops_left -= 1;
+        if self.buf.remaining() < 1 {
+            return Err(corrupt("op truncated"));
+        }
+        Ok(match self.buf.get_u8() {
+            OP_BEGIN => StreamOp::Begin,
+            OP_END => StreamOp::End,
+            OP_PUSH => StreamOp::Push(get_digest(&mut self.buf, self.acc)?),
+            OP_ROW => {
+                if self.buf.remaining() < 10 {
+                    return Err(corrupt("row truncated"));
+                }
+                let key = self.buf.get_u64();
+                let arity = self.buf.get_u16() as usize;
+                let mut values = Vec::with_capacity(arity.min(1 << 16));
+                for _ in 0..arity {
+                    values.push(Value::decode(&mut self.buf).map_err(CoreError::Storage)?);
+                }
+                StreamOp::Row(ResultRow { key, values })
+            }
+            OP_REF => {
+                if self.buf.remaining() < 4 {
+                    return Err(corrupt("dictionary reference truncated"));
+                }
+                StreamOp::Ref(self.buf.get_u32())
+            }
+            _ => return Err(corrupt("bad op tag")),
+        })
+    }
+
+    /// Consume the freshness tail and check nothing trails it. Errors
+    /// if parts or ops remain undrained.
+    pub fn finish(mut self) -> Result<ResponseFreshness, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        if self.ops_left != 0 || self.parts_begun != self.part_count {
+            return Err(corrupt("stream finished with parts undrained"));
+        }
+        if self.buf.remaining() < 9 {
+            return Err(corrupt("freshness truncated"));
+        }
+        let applied_seq = self.buf.get_u64();
+        let stamp = get_stamp(&mut self.buf)?;
+        if self.buf.has_remaining() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(ResponseFreshness { applied_seq, stamp })
+    }
+}
+
+/// Measure a compact response without keeping the serialized buffer —
+/// the `vo_bytes_compact` quantity the benches compare against the
+/// legacy flat encoding's `vo_bytes`.
+pub fn measure_compact<const L: usize>(resp: &CompactResponse<L>) -> ResponseSize {
+    let digest_len = |d: &SignedDigest<L>| 1 + L * 8 + 2 + d.sig.len();
+    let mut result_bytes = 0usize;
+    // Key version counted in vo_bytes, matching [`measure_response`].
+    let mut vo_bytes = resp.dict.iter().map(digest_len).sum::<usize>()
+        + resp.agg_sig.as_ref().map_or(0, |sig| 2 + sig.len())
+        + 4
+        + stamp_wire_bytes(resp.freshness.stamp.as_ref());
+    // magic, dict count, agg flag, part count, applied seq, stamp tag
+    let mut framing_bytes = 4 + 4 + 1 + 4 + 8 + 1;
+    for part in &resp.parts {
+        vo_bytes += digest_len(&part.top);
+        framing_bytes += 4 + 4; // row count + op count
+        for op in &part.ops {
+            match op {
+                VoOp::Begin | VoOp::End => vo_bytes += 1,
+                VoOp::Push(d) => vo_bytes += 1 + digest_len(d),
+                // The Row tag replaces the flat encoding's external row
+                // framing — it marks a row, it ships no auth material.
+                VoOp::Row => framing_bytes += 1,
+                VoOp::Ref(_) => vo_bytes += 1 + 4,
+            }
+        }
+        result_bytes += part
+            .rows
+            .iter()
+            .map(|r| 10 + r.values.iter().map(Value::wire_len).sum::<usize>())
+            .sum::<usize>();
+    }
+    ResponseSize {
+        result_bytes,
+        vo_bytes,
+        framing_bytes,
     }
 }

@@ -1,0 +1,333 @@
+//! Differential testing of the compact (`VBX4`) stack-machine VOs
+//! against the legacy flat encoding: same rows, same verdicts under
+//! every [`TamperMode`], never more digests or (aggregated) bytes, and
+//! the streaming verifier agrees with the materialised one while
+//! holding at most O(tree depth) digest frames.
+
+use proptest::prelude::*;
+use vbx_core::{
+    decode_compact_response, encode_compact_response, execute, execute_compact,
+    execute_multi_compact, measure_compact, measure_response, ClientVerifier, RangeQuery,
+    TamperMode, VbScheme, VbTree, VbTreeConfig, VerifyError,
+};
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::{rsa, Acc256};
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::Tuple;
+
+fn build_tree(rows: u64, fanout: usize) -> (VbTree<4>, MockSigner) {
+    let table = WorkloadSpec::new(rows, 3, 6).build();
+    let signer = MockSigner::new(42);
+    let tree = VbTree::bulk_load(
+        &table,
+        VbTreeConfig::with_fanout(fanout),
+        Acc256::test_default(),
+        &signer,
+    );
+    (tree, signer)
+}
+
+#[test]
+fn compact_matches_legacy_rows_and_digest_count() {
+    let (tree, signer) = build_tree(80, 5);
+    let q = RangeQuery::select_all(10, 55);
+    let legacy = execute(&tree, &q, None);
+    let compact = execute_compact(&tree, &q, None, None);
+
+    assert_eq!(compact.parts.len(), 1);
+    assert_eq!(compact.parts[0].rows, legacy.rows);
+    // Same digests travel, just arranged as an op stream.
+    assert_eq!(compact.digest_count(), legacy.vo.digest_count());
+    assert!(compact.agg_sig.is_none());
+
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let report = client
+        .verify_compact(signer.verifier().as_ref(), &[q], &compact)
+        .unwrap();
+    assert_eq!(report.rows, legacy.rows.len());
+    assert!(report.peak_stack_depth <= tree.height() as usize + 1);
+}
+
+#[test]
+fn aggregated_compact_checks_one_signature_and_shrinks_vo() {
+    let (tree, signer) = build_tree(120, 5);
+    let q = RangeQuery::select_all(17, 71);
+    let legacy = execute(&tree, &q, None);
+    let verifier = signer.verifier();
+    let compact = execute_compact(&tree, &q, None, Some(verifier.as_ref()));
+
+    assert!(compact.agg_sig.is_some());
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let report = client
+        .verify_compact(verifier.as_ref(), std::slice::from_ref(&q), &compact)
+        .unwrap();
+    // One condensed check replaces 1 + |D_S| + |D_P| individual ones.
+    assert_eq!(report.signatures_checked, 1);
+    let legacy_report = client.verify(verifier.as_ref(), &q, &legacy).unwrap();
+    assert!(legacy_report.signatures_checked > 1);
+
+    let flat = measure_response(&legacy).vo_bytes;
+    let compacted = measure_compact(&compact).vo_bytes;
+    assert!(
+        compacted <= flat,
+        "compact VO {compacted}B exceeds flat {flat}B"
+    );
+}
+
+#[test]
+fn wire_roundtrip_is_byte_identical_and_measured_exactly() {
+    let (tree, signer) = build_tree(90, 4);
+    let verifier = signer.verifier();
+    let queries = vec![
+        RangeQuery::select_all(5, 40),
+        RangeQuery::project(30, 80, vec![0, 2]),
+    ];
+    let compact = execute_multi_compact(&tree, &queries, None, Some(verifier.as_ref()));
+
+    let bytes = encode_compact_response(&compact);
+    let size = measure_compact(&compact);
+    assert_eq!(size.total(), bytes.len());
+
+    let decoded = decode_compact_response(&bytes, tree.accumulator()).unwrap();
+    assert_eq!(encode_compact_response(&decoded), bytes);
+
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    client
+        .verify_compact(verifier.as_ref(), &queries, &decoded)
+        .unwrap();
+}
+
+#[test]
+fn streaming_agrees_with_materialized_and_stays_shallow() {
+    let (tree, signer) = build_tree(150, 4);
+    let verifier = signer.verifier();
+    let queries = vec![
+        RangeQuery::select_all(10, 60),
+        RangeQuery::select_all(50, 130),
+    ];
+    let compact = execute_multi_compact(&tree, &queries, None, Some(verifier.as_ref()));
+    let bytes = encode_compact_response(&compact);
+
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let materialized = client
+        .verify_compact(verifier.as_ref(), &queries, &compact)
+        .unwrap();
+
+    let mut streamed_rows: Vec<Vec<vbx_core::ResultRow>> = vec![Vec::new(); queries.len()];
+    let streamed = client
+        .verify_compact_stream(verifier.as_ref(), &queries, &bytes, &mut |pi, row| {
+            streamed_rows[pi].push(row)
+        })
+        .unwrap();
+
+    assert_eq!(streamed.rows, materialized.rows);
+    assert_eq!(streamed.signatures_checked, materialized.signatures_checked);
+    assert_eq!(streamed.peak_stack_depth, materialized.peak_stack_depth);
+    assert!(streamed.peak_stack_depth <= tree.height() as usize + 1);
+    for (part, rows) in compact.parts.iter().zip(&streamed_rows) {
+        assert_eq!(&part.rows, rows);
+    }
+}
+
+#[test]
+fn multi_query_dedup_never_ships_more_than_independent_parts() {
+    let (tree, signer) = build_tree(140, 4);
+    let verifier = signer.verifier();
+    // Overlapping ranges share envelope digests.
+    let queries = vec![
+        RangeQuery::select_all(20, 90),
+        RangeQuery::select_all(60, 120),
+        RangeQuery::select_all(85, 100),
+    ];
+    let merged = execute_multi_compact(&tree, &queries, None, Some(verifier.as_ref()));
+    let independent: usize = queries
+        .iter()
+        .map(|q| execute_compact(&tree, q, None, None).digest_count())
+        .sum();
+    assert!(
+        merged.digest_count() <= independent,
+        "merged {} > independent {}",
+        merged.digest_count(),
+        independent
+    );
+
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let report = client
+        .verify_compact(verifier.as_ref(), &queries, &merged)
+        .unwrap();
+    assert_eq!(report.signatures_checked, 1);
+}
+
+#[test]
+fn condensed_rsa_batch_verifies_with_one_modexp_sweep() {
+    let table = WorkloadSpec::new(48, 3, 6).build();
+    let signer = rsa::fixture_keypair_crt_1024();
+    let acc = Acc256::test_default();
+    let tree = VbTree::bulk_load(&table, VbTreeConfig::with_fanout(4), acc.clone(), &signer);
+    let verifier = signer.verifier();
+
+    let queries = vec![
+        RangeQuery::select_all(5, 20),
+        RangeQuery::select_all(25, 40),
+    ];
+    let compact = execute_multi_compact(&tree, &queries, None, Some(verifier.as_ref()));
+    assert!(compact.agg_sig.is_some());
+
+    let schema = tree.schema().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let report = client
+        .verify_compact(verifier.as_ref(), &queries, &compact)
+        .unwrap();
+    assert_eq!(report.signatures_checked, 1);
+
+    // A tampered batch must not survive the condensed check.
+    let mut forged = compact.clone();
+    if let Some(row) = forged.parts[0].rows.first_mut() {
+        row.key ^= 1;
+    }
+    assert!(client
+        .verify_compact(verifier.as_ref(), &queries, &forged)
+        .is_err());
+}
+
+#[test]
+fn bare_digest_without_aggregate_is_rejected() {
+    let (tree, signer) = build_tree(60, 4);
+    let verifier = signer.verifier();
+    let q = RangeQuery::select_all(10, 40);
+    let mut compact = execute_compact(&tree, &q, None, Some(verifier.as_ref()));
+    // Strip the aggregate: the bare digests now have no authentication.
+    compact.agg_sig = None;
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    assert!(matches!(
+        client.verify_compact(verifier.as_ref(), &[q], &compact),
+        Err(VerifyError::BadSignature { part: "aggregate" })
+    ));
+}
+
+/// One differential case: legacy, compact (materialised), and compact
+/// (streaming) must return rows byte-identically and agree on the
+/// verdict under the given tamper mode.
+fn differential_case(
+    rows: u64,
+    fanout: usize,
+    lo: u64,
+    span: u64,
+    projection: Option<Vec<usize>>,
+    pred_modulus: Option<u64>,
+    mode: TamperMode,
+) {
+    let (tree, signer) = build_tree(rows, fanout);
+    let verifier = signer.verifier();
+    let q = RangeQuery {
+        lo,
+        hi: lo.saturating_add(span),
+        projection,
+    };
+    let queries = [q.clone()];
+    let pred = pred_modulus.map(|m| move |t: &Tuple| t.key % m != 0);
+    let pred_ref: Option<&dyn Fn(&Tuple) -> bool> =
+        pred.as_ref().map(|p| p as &dyn Fn(&Tuple) -> bool);
+
+    let scheme = VbScheme::new(
+        tree.accumulator().clone(),
+        VbTreeConfig::with_fanout(fanout),
+    );
+    let mut legacy = execute(&tree, &q, pred_ref);
+    let mut compact = execute_multi_compact(&tree, &queries, pred_ref, Some(verifier.as_ref()));
+    assert_eq!(compact.parts[0].rows, legacy.rows, "result rows diverge");
+    assert!(compact.digest_count() <= legacy.vo.digest_count());
+    assert!(measure_compact(&compact).vo_bytes <= measure_response(&legacy).vo_bytes);
+
+    // DropAndReclassify needs a victim key that is actually in the
+    // result; the paper's completeness boundary means both encodings
+    // accept the re-executed response.
+    let mode = match mode {
+        TamperMode::DropAndReclassify { .. } => match legacy.rows.get(legacy.rows.len() / 2) {
+            Some(row) => TamperMode::DropAndReclassify { key: row.key },
+            None => return,
+        },
+        m => m,
+    };
+    use vbx_core::AuthScheme;
+    scheme.tamper(&tree, &q, &mut legacy, &mode);
+    scheme.tamper_compact(
+        &tree,
+        &queries,
+        &mut compact,
+        &mode,
+        Some(verifier.as_ref()),
+    );
+
+    let schema = tree.schema().clone();
+    let acc = tree.accumulator().clone();
+    let client = ClientVerifier::new(&acc, &schema);
+    let legacy_verdict = client.verify(verifier.as_ref(), &q, &legacy);
+    let compact_verdict = client.verify_compact(verifier.as_ref(), &queries, &compact);
+    assert_eq!(
+        legacy_verdict.is_ok(),
+        compact_verdict.is_ok(),
+        "verdicts diverge under {mode:?}: legacy {legacy_verdict:?} vs compact {compact_verdict:?}"
+    );
+
+    let bytes = encode_compact_response(&compact);
+    let stream_verdict =
+        client.verify_compact_stream(verifier.as_ref(), &queries, &bytes, &mut |_, _| {});
+    assert_eq!(
+        compact_verdict.is_ok(),
+        stream_verdict.is_ok(),
+        "streaming verdict diverges under {mode:?}"
+    );
+    if let (Ok(a), Ok(b)) = (&compact_verdict, &stream_verdict) {
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.signatures_checked, b.signatures_checked);
+        assert!(b.peak_stack_depth <= tree.height() as usize + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seeded random trees × queries × projections × predicates ×
+    /// tamper modes: the two encodings and the streaming verifier are
+    /// indistinguishable in rows and verdicts, and compact never ships
+    /// more digests or VO bytes.
+    #[test]
+    fn compact_and_legacy_are_equivalent(
+        rows in 1u64..140,
+        fanout in 3usize..9,
+        lo in 0u64..160,
+        span in 0u64..160,
+        keep0 in proptest::bool::ANY,
+        keep1 in proptest::bool::ANY,
+        keep2 in proptest::bool::ANY,
+        pred_modulus in prop_oneof![Just(None), Just(Some(2u64)), Just(Some(3u64))],
+        mode in prop_oneof![
+            Just(TamperMode::None),
+            Just(TamperMode::MutateValue),
+            Just(TamperMode::InjectRow),
+            Just(TamperMode::DropRow),
+            Just(TamperMode::DropAndReclassify { key: 0 }),
+        ],
+    ) {
+        let cols: Vec<usize> = [keep0, keep1, keep2]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        let projection = (cols.len() < 3).then_some(cols);
+        differential_case(rows, fanout, lo, span, projection, pred_modulus, mode);
+    }
+}

@@ -5,9 +5,11 @@
 //! never panics or unbounded allocations.
 
 use vbx_core::{
-    check_freshness, decode_delta_batch, decode_response, encode_delta_batch, encode_response,
-    execute, AuthScheme, ClientVerifier, CostMeter, DeltaBatch, FreshnessPolicy, FreshnessStamp,
-    RangeQuery, ResponseFreshness, UpdateOp, VbScheme, VbTree, VbTreeConfig, VerifyError,
+    check_freshness, decode_compact_response, decode_delta_batch, decode_response,
+    encode_compact_response, encode_delta_batch, encode_response, execute, execute_compact,
+    AuthScheme, ClientVerifier, CompactPart, CompactResponse, CostMeter, DeltaBatch,
+    FreshnessPolicy, FreshnessStamp, RangeQuery, ResponseFreshness, UpdateOp, VbScheme, VbTree,
+    VbTreeConfig, VerifyError, VoOp, MAX_VO_STACK,
 };
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
@@ -356,6 +358,193 @@ fn batch_bit_flips_never_panic() {
                     assert_eq!(target.root_digest().exp, before);
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VBX4 compact op-stream envelope
+// ---------------------------------------------------------------------
+
+/// An honest aggregated compact response (stamped, as a cluster edge
+/// would ship it) plus its encoding.
+fn compact_fixture(f: &Fixture, q: &RangeQuery) -> (CompactResponse<4>, Vec<u8>) {
+    let mut resp = execute_compact(&f.tree, q, None, Some(f.signer.verifier().as_ref()));
+    resp.freshness = ResponseFreshness {
+        applied_seq: 3,
+        stamp: Some(FreshnessStamp::sign(&f.signer, 3, 7)),
+    };
+    let bytes = encode_compact_response(&resp);
+    (resp, bytes)
+}
+
+#[test]
+fn compact_truncations_error_never_panic() {
+    let f = fixture(24);
+    let (_, bytes) = compact_fixture(&f, &RangeQuery::select_all(0, 15));
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_compact_response(&bytes[..cut], &f.acc).is_err(),
+            "prefix of {cut} bytes must not decode"
+        );
+    }
+    assert!(decode_compact_response(&bytes, &f.acc).is_ok());
+}
+
+#[test]
+fn compact_count_lies_error_without_blowup() {
+    let f = fixture(24);
+    // Not subtree-aligned, so D_S is non-empty and the response
+    // carries an aggregate signature.
+    let q = RangeQuery::select_all(0, 14);
+    let (resp, bytes) = compact_fixture(&f, &q);
+    let agg_len = resp.agg_sig.as_ref().unwrap().len();
+    // Header: magic(4) + key_version(4), then dict_count(4) (the dict
+    // is empty for a single query), agg flag(1) + sig_len(2) + sig,
+    // part_count(4), the part's top digest (1 + 32 + 2 + 0 — the
+    // signature was condensed away), row_count(4), op_count(4).
+    let dict_count_at = 8;
+    let part_count_at = 12 + 1 + 2 + agg_len;
+    let row_count_at = part_count_at + 4 + 35;
+    let op_count_at = row_count_at + 4;
+    let client = ClientVerifier::new(&f.acc, f.table.schema());
+    for (at, name) in [
+        (dict_count_at, "dict count"),
+        (part_count_at, "part count"),
+        (row_count_at, "row count"),
+        (op_count_at, "op count"),
+    ] {
+        let truth = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap());
+        for lie in [0u32, 1, 7, 1 << 20, u32::MAX] {
+            if lie == truth {
+                continue;
+            }
+            let mut forged = bytes.clone();
+            forged[at..at + 4].copy_from_slice(&lie.to_be_bytes());
+            // A lying counter must decode-error or verify-error —
+            // never panic, never over-allocate, never accept.
+            if let Ok(decoded) = decode_compact_response(&forged, &f.acc) {
+                assert!(
+                    client
+                        .verify_compact(
+                            f.signer.verifier().as_ref(),
+                            std::slice::from_ref(&q),
+                            &decoded
+                        )
+                        .is_err(),
+                    "{name} lie of {lie} must not verify"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compact_stack_abuse_errors_as_malformed() {
+    let f = fixture(40);
+    let q = RangeQuery::select_all(5, 25);
+    // A part whose top digest is honestly signed but whose op stream is
+    // hostile: the stack machine must reject the *structure* before any
+    // digest equation is even considered.
+    let honest = execute_compact(&f.tree, &q, None, None);
+    let client = ClientVerifier::new(&f.acc, f.table.schema());
+    let abuse: [(&str, Vec<VoOp<4>>); 4] = [
+        ("underflow", vec![VoOp::End]),
+        (
+            "overflow",
+            std::iter::repeat_n(VoOp::Begin, MAX_VO_STACK + 6).collect(),
+        ),
+        ("unbalanced", vec![VoOp::Begin]),
+        ("dict ref out of range", vec![VoOp::Ref(999)]),
+    ];
+    for (name, ops) in abuse {
+        let forged = CompactResponse {
+            parts: vec![CompactPart {
+                rows: Vec::new(),
+                top: honest.parts[0].top.clone(),
+                ops,
+            }],
+            dict: Vec::new(),
+            agg_sig: None,
+            key_version: honest.key_version,
+            freshness: ResponseFreshness::default(),
+        };
+        let materialized = client.verify_compact(
+            f.signer.verifier().as_ref(),
+            std::slice::from_ref(&q),
+            &forged,
+        );
+        assert!(
+            matches!(materialized, Err(VerifyError::MalformedVo { .. })),
+            "{name}: materialized verifier must reject, got {materialized:?}"
+        );
+        let streamed = client.verify_compact_stream(
+            f.signer.verifier().as_ref(),
+            std::slice::from_ref(&q),
+            &encode_compact_response(&forged),
+            &mut |_, _| {},
+        );
+        assert!(
+            matches!(streamed, Err(VerifyError::MalformedVo { .. })),
+            "{name}: streaming verifier must reject, got {streamed:?}"
+        );
+    }
+}
+
+#[test]
+fn compact_aggregate_sig_flips_are_bad_signatures() {
+    let f = fixture(30);
+    let q = RangeQuery::select_all(2, 21);
+    let (resp, bytes) = compact_fixture(&f, &q);
+    let agg_len = resp.agg_sig.as_ref().unwrap().len();
+    let client = ClientVerifier::new(&f.acc, f.table.schema());
+    // The aggregate signature sits right after magic + key_version +
+    // empty dict + flag + sig_len.
+    let agg_at = 4 + 4 + 4 + 1 + 2;
+    for off in [0, agg_len / 2, agg_len - 1] {
+        let mut flipped = bytes.clone();
+        flipped[agg_at + off] ^= 0x40;
+        let decoded = decode_compact_response(&flipped, &f.acc).unwrap();
+        assert_eq!(
+            client
+                .verify_compact(
+                    f.signer.verifier().as_ref(),
+                    std::slice::from_ref(&q),
+                    &decoded
+                )
+                .unwrap_err(),
+            VerifyError::BadSignature { part: "aggregate" }
+        );
+    }
+}
+
+#[test]
+fn compact_bit_flips_never_panic_decode_or_verify() {
+    let f = fixture(20);
+    let q = RangeQuery::select_all(2, 13);
+    let (_, bytes) = compact_fixture(&f, &q);
+    let client = ClientVerifier::new(&f.acc, f.table.schema());
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= bit;
+            // Decode rejection, verification rejection, or (for bytes
+            // outside the authenticated content, e.g. the advisory
+            // applied_seq) acceptance — but never a panic, on either
+            // the materialized or the streaming path.
+            if let Ok(resp) = decode_compact_response(&flipped, &f.acc) {
+                let _ = client.verify_compact(
+                    f.signer.verifier().as_ref(),
+                    std::slice::from_ref(&q),
+                    &resp,
+                );
+            }
+            let _ = client.verify_compact_stream(
+                f.signer.verifier().as_ref(),
+                std::slice::from_ref(&q),
+                &flipped,
+                &mut |_, _| {},
+            );
         }
     }
 }

@@ -294,7 +294,11 @@ impl DigestRole {
     }
 }
 
-fn signed_payload(role: DigestRole, exp_bytes: &[u8]) -> Vec<u8> {
+/// The exact message a [`SignedDigest`]'s signature covers:
+/// `"vbx-dgst" ‖ role ‖ exp`. Public so aggregate verification
+/// ([`crate::signer::AggregateVerify`]) can absorb the same bytes the
+/// central server signed.
+pub fn signed_payload(role: DigestRole, exp_bytes: &[u8]) -> Vec<u8> {
     let mut msg = Vec::with_capacity(exp_bytes.len() + 9);
     msg.extend_from_slice(b"vbx-dgst");
     msg.push(role.tag());

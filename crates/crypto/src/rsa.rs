@@ -26,7 +26,7 @@
 //! the deterministic `(n, d)` fixtures stay byte-compatible.
 
 use crate::hash::sha256;
-use crate::signer::{SigVerifier, Signature, Signer};
+use crate::signer::{AggregateVerify, SigVerifier, Signature, Signer};
 use rand::Rng;
 use std::sync::Arc;
 use vbx_mathx::{modular, prime, MontCtx, Uint};
@@ -295,6 +295,34 @@ impl<const L: usize> Signer for RsaKeyPair<L> {
     }
 }
 
+/// Incremental condensed-RSA verification: a running product of the
+/// encoded messages, `∏ EM_i mod n`, closed with a single
+/// exponentiation of the aggregate. O(1) state in the batch size.
+struct RsaAggregate<const L: usize> {
+    key: RsaPublicKey<L>,
+    /// `∏ encode(msg_i) mod n` over the absorbed messages.
+    prod: Uint<L>,
+}
+
+impl<const L: usize> AggregateVerify for RsaAggregate<L> {
+    fn absorb(&mut self, msg: &[u8]) {
+        let em = self.key.encode(msg);
+        self.prod = self.key.mont.mul_mod(&self.prod, &em);
+    }
+
+    fn finish(self: Box<Self>, agg: &Signature) -> bool {
+        let Some(s) = Uint::<L>::from_be_bytes(agg.as_bytes()) else {
+            return false;
+        };
+        if s >= self.key.n {
+            return false;
+        }
+        // (∏ s_i)^e = ∏ s_i^e = ∏ EM_i (mod n): one modular
+        // exponentiation verifies the whole batch.
+        self.key.mont.pow_mod(&s, &self.key.e) == self.prod
+    }
+}
+
 impl<const L: usize> SigVerifier for RsaPublicKey<L> {
     fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
         let Some(s) = Uint::<L>::from_be_bytes(sig.as_bytes()) else {
@@ -313,6 +341,29 @@ impl<const L: usize> SigVerifier for RsaPublicKey<L> {
 
     fn key_version(&self) -> u32 {
         self.version
+    }
+
+    /// Condensed RSA (Mykletun et al.): the aggregate of single-signer
+    /// signatures is their product mod `n` — computable from public
+    /// material alone, so an edge can condense the stored signatures it
+    /// relays without holding any signing key.
+    fn aggregate_signatures(&self, sigs: &[Signature]) -> Option<Signature> {
+        let mut prod = Uint::<L>::ONE;
+        for sig in sigs {
+            let s = Uint::<L>::from_be_bytes(sig.as_bytes())?;
+            if s >= self.n || s.is_zero() {
+                return None;
+            }
+            prod = self.mont.mul_mod(&prod, &s);
+        }
+        Some(Signature(prod.to_be_bytes()))
+    }
+
+    fn begin_aggregate(&self) -> Option<Box<dyn AggregateVerify>> {
+        Some(Box::new(RsaAggregate {
+            key: self.clone(),
+            prod: Uint::ONE,
+        }))
     }
 }
 
@@ -464,5 +515,77 @@ mod tests {
     fn distinct_messages_distinct_signatures() {
         let kp = fixture_keypair_512();
         assert_ne!(kp.sign(b"x").as_bytes(), kp.sign(b"y").as_bytes());
+    }
+
+    #[test]
+    fn condensed_rsa_roundtrip() {
+        let kp = fixture_keypair_crt_512();
+        let v = kp.verifier();
+        let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![b'm', i]).collect();
+        let sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m)).collect();
+        let agg = v.aggregate_signatures(&sigs).expect("rsa condenses");
+        let mut st = v.begin_aggregate().expect("rsa condenses");
+        for m in &msgs {
+            st.absorb(m);
+        }
+        assert!(st.finish(&agg));
+    }
+
+    #[test]
+    fn condensed_rsa_rejects_tampered_batch() {
+        let kp = fixture_keypair_crt_512();
+        let v = kp.verifier();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![b'm', i]).collect();
+        let sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m)).collect();
+        let agg = v.aggregate_signatures(&sigs).unwrap();
+
+        // Substituted message.
+        let mut st = v.begin_aggregate().unwrap();
+        for (i, m) in msgs.iter().enumerate() {
+            if i == 2 {
+                st.absorb(b"evil");
+            } else {
+                st.absorb(m);
+            }
+        }
+        assert!(!st.finish(&agg));
+
+        // Dropped message.
+        let mut st = v.begin_aggregate().unwrap();
+        for m in &msgs[..3] {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&agg));
+
+        // Forged aggregate: flip a byte of the condensed signature.
+        let mut bad = agg.clone();
+        bad.0[10] ^= 0x40;
+        let mut st = v.begin_aggregate().unwrap();
+        for m in &msgs {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&bad));
+
+        // Aggregate of a *different* valid batch does not transfer.
+        let other_sigs: Vec<Signature> = msgs.iter().map(|m| kp.sign(m)).rev().collect();
+        let other = v.aggregate_signatures(&other_sigs[..3]).unwrap();
+        let mut st = v.begin_aggregate().unwrap();
+        for m in &msgs {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&other));
+    }
+
+    #[test]
+    fn condensed_rsa_rejects_out_of_range_inputs() {
+        let kp = fixture_keypair_crt_512();
+        let v = kp.verifier();
+        let good = kp.sign(b"ok");
+        // An all-0xFF "signature" is ≥ n: the condenser refuses it.
+        let huge = Signature(vec![0xFF; good.len()]);
+        assert!(v.aggregate_signatures(&[good.clone(), huge]).is_none());
+        // A zero factor would annihilate the product: refused too.
+        let zero = Signature(vec![0x00; good.len()]);
+        assert!(v.aggregate_signatures(&[good, zero]).is_none());
     }
 }

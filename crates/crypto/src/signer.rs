@@ -51,6 +51,26 @@ pub trait Signer: Send + Sync {
     fn verifier(&self) -> Arc<dyn SigVerifier>;
 }
 
+/// Incremental verification of an *aggregate* signature: one compact
+/// signature standing in for a whole batch of individually-signed
+/// messages (Mykletun-style "condensed" signatures for RSA, a keyed
+/// hash chain for the mock scheme).
+///
+/// Usage: obtain via [`SigVerifier::begin_aggregate`], [`absorb`]
+/// every signed message **in the same order the aggregator condensed
+/// them**, then [`finish`] against the aggregate signature. The state
+/// is O(1) in the number of messages, so a streaming verifier can
+/// absorb digests as they arrive off the wire.
+///
+/// [`absorb`]: AggregateVerify::absorb
+/// [`finish`]: AggregateVerify::finish
+pub trait AggregateVerify {
+    /// Absorb the next signed message of the batch.
+    fn absorb(&mut self, msg: &[u8]);
+    /// Check the aggregate signature over every absorbed message.
+    fn finish(self: Box<Self>, agg: &Signature) -> bool;
+}
+
 /// Verifies signatures. Distributed to clients through an authenticated
 /// channel (the paper assumes a PKI).
 pub trait SigVerifier: Send + Sync {
@@ -60,6 +80,24 @@ pub trait SigVerifier: Send + Sync {
     fn signature_len(&self) -> usize;
     /// Key version identifier.
     fn key_version(&self) -> u32;
+
+    /// Condense individual signatures into one aggregate signature
+    /// (server side — needs only public material). Returns `None` when
+    /// the scheme does not support aggregation, or when any input
+    /// signature is malformed for the scheme.
+    ///
+    /// The aggregate is order-sensitive: the verifier must absorb the
+    /// signed messages in exactly this order.
+    fn aggregate_signatures(&self, sigs: &[Signature]) -> Option<Signature> {
+        let _ = sigs;
+        None
+    }
+
+    /// Begin an incremental aggregate verification (client side).
+    /// Returns `None` when the scheme does not support aggregation.
+    fn begin_aggregate(&self) -> Option<Box<dyn AggregateVerify>> {
+        None
+    }
 }
 
 /// A fast symmetric test double: `sign = SHA-256(secret ‖ len ‖ msg)`.
@@ -123,6 +161,42 @@ pub struct MockVerifier {
     inner: MockSigner,
 }
 
+/// Domain-separation prefix for the mock aggregate hash chain.
+const MOCK_AGG_DOMAIN: &[u8] = b"vbx-agg-mock";
+
+/// Fold one signature into the mock aggregate chain:
+/// `h' = SHA-256(h ‖ sig)`. Binds count and order.
+fn mock_chain_step(chain: &[u8; 32], sig: &Signature) -> [u8; 32] {
+    let mut h = crate::hash::Sha256::new();
+    h.update(chain);
+    h.update(sig.as_bytes());
+    h.finalize()
+}
+
+fn mock_chain_init() -> [u8; 32] {
+    sha256(MOCK_AGG_DOMAIN)
+}
+
+/// Incremental mock aggregate: recomputes each MAC (the mock verifier
+/// shares the secret) and folds it into the same chain the aggregator
+/// built from the raw signature bytes.
+struct MockAggregate {
+    inner: MockSigner,
+    chain: [u8; 32],
+}
+
+impl AggregateVerify for MockAggregate {
+    fn absorb(&mut self, msg: &[u8]) {
+        let sig = self.inner.mac(msg);
+        self.chain = mock_chain_step(&self.chain, &sig);
+    }
+
+    fn finish(self: Box<Self>, agg: &Signature) -> bool {
+        // Constant-time-ish comparison via hashing both sides.
+        sha256(&self.chain) == sha256(agg.as_bytes())
+    }
+}
+
 impl SigVerifier for MockVerifier {
     fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
         // Constant-time-ish comparison via hashing both sides.
@@ -135,6 +209,24 @@ impl SigVerifier for MockVerifier {
 
     fn key_version(&self) -> u32 {
         self.inner.version
+    }
+
+    fn aggregate_signatures(&self, sigs: &[Signature]) -> Option<Signature> {
+        let mut chain = mock_chain_init();
+        for sig in sigs {
+            if sig.len() != 32 {
+                return None;
+            }
+            chain = mock_chain_step(&chain, sig);
+        }
+        Some(Signature(chain.to_vec()))
+    }
+
+    fn begin_aggregate(&self) -> Option<Box<dyn AggregateVerify>> {
+        Some(Box::new(MockAggregate {
+            inner: self.inner.clone(),
+            chain: mock_chain_init(),
+        }))
     }
 }
 
@@ -172,5 +264,65 @@ mod tests {
     fn length_prefix_prevents_extension_confusion() {
         let s = MockSigner::new(9);
         assert_ne!(s.sign(b"ab").as_bytes(), s.sign(b"a").as_bytes());
+    }
+
+    #[test]
+    fn mock_aggregate_roundtrip() {
+        let s = MockSigner::new(7);
+        let v = s.verifier();
+        let msgs: Vec<&[u8]> = vec![b"alpha", b"beta", b"gamma"];
+        let sigs: Vec<Signature> = msgs.iter().map(|m| s.sign(m)).collect();
+        let agg = v.aggregate_signatures(&sigs).expect("mock aggregates");
+        let mut st = v.begin_aggregate().expect("mock aggregates");
+        for m in &msgs {
+            st.absorb(m);
+        }
+        assert!(st.finish(&agg));
+    }
+
+    #[test]
+    fn mock_aggregate_rejects_reorder_drop_and_forgery() {
+        let s = MockSigner::new(7);
+        let v = s.verifier();
+        let msgs: Vec<&[u8]> = vec![b"alpha", b"beta", b"gamma"];
+        let sigs: Vec<Signature> = msgs.iter().map(|m| s.sign(m)).collect();
+        let agg = v.aggregate_signatures(&sigs).unwrap();
+
+        // Reordered absorbs fail.
+        let mut st = v.begin_aggregate().unwrap();
+        for m in [b"beta".as_slice(), b"alpha", b"gamma"] {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&agg));
+
+        // A dropped message fails.
+        let mut st = v.begin_aggregate().unwrap();
+        st.absorb(b"alpha");
+        st.absorb(b"beta");
+        assert!(!st.finish(&agg));
+
+        // A substituted message fails.
+        let mut st = v.begin_aggregate().unwrap();
+        for m in [b"alpha".as_slice(), b"beta", b"gamm4"] {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&agg));
+
+        // A flipped aggregate fails.
+        let mut bad = agg.clone();
+        bad.0[0] ^= 1;
+        let mut st = v.begin_aggregate().unwrap();
+        for m in &msgs {
+            st.absorb(m);
+        }
+        assert!(!st.finish(&bad));
+    }
+
+    #[test]
+    fn empty_aggregate_is_consistent() {
+        let v = MockSigner::new(3).verifier();
+        let agg = v.aggregate_signatures(&[]).unwrap();
+        let st = v.begin_aggregate().unwrap();
+        assert!(st.finish(&agg));
     }
 }

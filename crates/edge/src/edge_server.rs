@@ -20,8 +20,12 @@ use crate::central::{EdgeBundle, LogEntry};
 use crate::service::EdgeService;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme};
-use vbx_core::{execute, QueryResponse, RangeQuery, VbTree};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme, VbSchemeError};
+use vbx_core::{
+    compact_response_bytes, encode_compact_prefix, encode_compact_response, execute, QueryResponse,
+    RangeQuery, VbTree,
+};
+use vbx_crypto::SigVerifier;
 use vbx_query::{parse_select, plan_select, EngineError, JoinViewDef, PlannedQuery};
 use vbx_storage::{Schema, Tuple};
 
@@ -275,5 +279,49 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
         let mut resp = resp;
         VbScheme::<L>::stamp_freshness(&mut resp, &self.service.current_freshness());
         Ok((planned, resp))
+    }
+
+    /// Answer `k` ranges with one encoded compact (`VBX4`) response,
+    /// applying the configured tamper mode. Honest executions cache the
+    /// encoded **prefix** (dictionary + aggregate signature + op
+    /// streams) and append the edge's current freshness per request —
+    /// repeated hot batches skip execution, VO assembly *and* wire
+    /// encoding, yet never replay a stale replication stamp. With an
+    /// `aggregator`, shipped digests are bare and one condensed
+    /// signature covers them all.
+    pub fn query_compact(
+        &self,
+        table: &str,
+        queries: &[RangeQuery],
+        aggregator: Option<&dyn SigVerifier>,
+    ) -> Result<Vec<u8>, EdgeError<VbSchemeError>> {
+        if self.tamper != TamperMode::None {
+            // Tampered responses bypass the cache (it only ever holds
+            // honest prefixes) and are built from a fresh execution.
+            let tree = self
+                .service
+                .snapshot(table)
+                .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
+            let scheme = self.service.scheme();
+            let mut resp = scheme.multi_query_compact(&tree, queries, aggregator);
+            scheme.tamper_compact(&tree, queries, &mut resp, &self.tamper, aggregator);
+            resp.freshness = self.service.current_freshness();
+            return Ok(encode_compact_response(&resp));
+        }
+        let agg_tag = aggregator.map_or(0, |a| u64::from(a.key_version()) + 1);
+        let prefix = self
+            .service
+            .serve_compact_bytes(table, queries, 0, agg_tag, |tree| {
+                encode_compact_prefix(
+                    &self
+                        .service
+                        .scheme()
+                        .multi_query_compact(tree, queries, aggregator),
+                )
+            })?;
+        Ok(compact_response_bytes(
+            &prefix,
+            &self.service.current_freshness(),
+        ))
     }
 }

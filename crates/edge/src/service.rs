@@ -81,6 +81,52 @@ impl CacheKey {
             residual_fp,
         }
     }
+
+    /// Key for a compact (multi-range) request: the first range gives
+    /// the structural fields, every further range and the aggregation
+    /// mode are folded into the fingerprint. Two batches share an entry
+    /// exactly when their full range lists, projections, residual and
+    /// aggregation mode all match.
+    fn for_batch(table: &str, queries: &[RangeQuery], residual_fp: u64, agg_tag: u64) -> Self {
+        let first = &queries[0];
+        // 0x5642_5834 = ASCII "VBX4": domain-separates compact entries
+        // from flat ones that share a first range and residual.
+        let mut fp = fnv_fold(
+            fnv_fold(0x5642_5834_u64 ^ residual_fp, agg_tag),
+            queries.len() as u64,
+        );
+        for q in queries {
+            fp = fnv_fold(fnv_fold(fp, q.lo), q.hi);
+            match &q.projection {
+                None => fp = fnv_fold(fp, u64::MAX),
+                Some(cols) => {
+                    fp = fnv_fold(fp, cols.len() as u64);
+                    for &c in cols {
+                        fp = fnv_fold(fp, c as u64);
+                    }
+                }
+            }
+        }
+        Self {
+            table: table.to_string(),
+            lo: first.lo,
+            hi: first.hi,
+            projection: first.projection.clone(),
+            residual_fp: fp,
+        }
+    }
+}
+
+/// One FNV-1a step over a 64-bit word (byte-wise).
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    if hash == 0 {
+        hash = 0xcbf2_9ce4_8422_2325;
+    }
+    for b in word.to_be_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Cache effectiveness counters.
@@ -225,6 +271,11 @@ pub struct EdgeService<S: AuthScheme> {
     replicas: parking_lot::RwLock<BTreeMap<String, Arc<ServingReplica<S>>>>,
     locks: LockManager,
     cache: ResponseCache<S::Response>,
+    /// Compact (`VBX4`) responses are cached as their encoded **prefix**
+    /// bytes — everything up to (not including) the freshness suffix —
+    /// so a hit appends the edge's *current* replication position
+    /// instead of replaying a stale one.
+    compact_cache: ResponseCache<Vec<u8>>,
     /// Next delta sequence number; the guard also serialises writers so
     /// the order check and the apply are atomic.
     applied_seq: Mutex<u64>,
@@ -250,6 +301,7 @@ impl<S: AuthScheme> EdgeService<S> {
             replicas: parking_lot::RwLock::new(BTreeMap::new()),
             locks: LockManager::new(),
             cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
+            compact_cache: ResponseCache::new(DEFAULT_CACHE_CAPACITY),
             applied_seq: Mutex::new(seq),
             stamp: parking_lot::RwLock::new(None),
             next_txn: AtomicU64::new(1),
@@ -286,8 +338,9 @@ impl<S: AuthScheme> EdgeService<S> {
                 }
             }
         };
-        self.cache
-            .invalidate_table(&name, replica.published_count());
+        let floor = replica.published_count();
+        self.cache.invalidate_table(&name, floor);
+        self.compact_cache.invalidate_table(&name, floor);
     }
 
     /// Schemas of everything replicated (public metadata clients also
@@ -427,6 +480,60 @@ impl<S: AuthScheme> EdgeService<S> {
         Ok(resp)
     }
 
+    /// Serve a compact (`VBX4`) request as encoded prefix bytes:
+    /// cache lookup, else snapshot + S-lock the union of every range's
+    /// enveloping subtree + `exec` + cache. The prefix excludes the
+    /// freshness suffix, so the caller appends the edge's *current*
+    /// position per response (`vbx_core::compact_response_bytes`) —
+    /// cached VO bytes never replay a stale replication stamp.
+    ///
+    /// `agg_tag` keys the aggregation mode into the cache (0 for plain
+    /// signatures; the aggregator's key version + 1 otherwise) so
+    /// aggregated and per-digest encodings of the same ranges occupy
+    /// different slots.
+    pub fn serve_compact_bytes<F>(
+        &self,
+        table: &str,
+        queries: &[RangeQuery],
+        residual_fp: u64,
+        agg_tag: u64,
+        exec: F,
+    ) -> Result<Arc<Vec<u8>>, EdgeError<S::Error>>
+    where
+        F: FnOnce(&S::Store) -> Vec<u8>,
+    {
+        assert!(!queries.is_empty(), "at least one range");
+        let key = CacheKey::for_batch(table, queries, residual_fp, agg_tag);
+        if let Some(hit) = self.compact_cache.get(&key) {
+            return Ok(hit);
+        }
+        let replica = self
+            .replica(table)
+            .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
+        let (snap, snap_version) = replica.versioned_snapshot();
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let mut targets: Vec<usize> = queries
+            .iter()
+            .flat_map(|q| self.scheme.query_lock_targets(&snap, q))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let resources: Vec<Resource> = targets
+            .into_iter()
+            .map(|n| (table.to_string(), n))
+            .collect();
+        self.acquire_with_retry(txn, &resources, LockMode::Shared);
+        let prefix = Arc::new(exec(&snap));
+        self.locks.release_all(txn);
+        self.compact_cache.insert(key, prefix.clone(), snap_version);
+        Ok(prefix)
+    }
+
+    /// Compact-prefix cache counters.
+    pub fn compact_cache_stats(&self) -> CacheStats {
+        self.compact_cache.stats()
+    }
+
     /// Answer a range query through the cache + snapshot pipeline.
     pub fn query_range(
         &self,
@@ -470,8 +577,9 @@ impl<S: AuthScheme> EdgeService<S> {
         });
         self.locks.release_all(txn);
         result.map_err(EdgeError::Scheme)?;
-        self.cache
-            .invalidate_table(&delta.table, replica.published_count());
+        let floor = replica.published_count();
+        self.cache.invalidate_table(&delta.table, floor);
+        self.compact_cache.invalidate_table(&delta.table, floor);
         *seq += 1;
         Ok(())
     }
@@ -521,8 +629,9 @@ impl<S: AuthScheme> EdgeService<S> {
         });
         self.locks.release_all(txn);
         result.map_err(EdgeError::Scheme)?;
-        self.cache
-            .invalidate_table(&batch.table, replica.published_count());
+        let floor = replica.published_count();
+        self.cache.invalidate_table(&batch.table, floor);
+        self.compact_cache.invalidate_table(&batch.table, floor);
         *seq += batch.len() as u64;
         drop(seq);
         if let Some(stamp) = &batch.stamp {

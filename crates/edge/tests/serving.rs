@@ -5,7 +5,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use vbx_core::{encode_response, RangeQuery, VbTreeConfig};
+use vbx_core::{decode_compact_response, encode_response, CostMeter, RangeQuery, VbTreeConfig};
 use vbx_crypto::signer::MockSigner;
 use vbx_crypto::{Acc256, KeyRegistry, Signer};
 use vbx_edge::{CentralServer, EdgeServer, KeyFreshnessPolicy, SchemeClient, VbScheme};
@@ -172,4 +172,156 @@ fn cache_hits_byte_identical_and_invalidated_on_delta() {
     let (_, fresh) = edge.query_sql(sql).unwrap();
     assert!(fresh.rows.iter().all(|r| r.key != 40));
     assert!(edge.service().cache_stats().invalidated >= 1);
+}
+
+/// The compact (`VBX4`) pipeline under the same contract: hits are
+/// byte-identical to cold executions, the cached prefix never replays a
+/// stale freshness suffix, and a delta invalidates the prefix cache.
+#[test]
+fn compact_cache_hits_byte_identical_with_live_freshness() {
+    let (mut central, edge) = setup(120);
+    let verifier = MockSigner::with_version(42, 1).verifier();
+    let acc = Acc256::test_default();
+    let schema = edge.schemas().get("items").unwrap().clone();
+    let queries = vec![
+        RangeQuery::select_all(10, 61),
+        RangeQuery::select_all(50, 101),
+    ];
+
+    let cold = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    let after_cold = edge.service().compact_cache_stats();
+    assert_eq!((after_cold.hits, after_cold.misses), (0, 1));
+
+    let hot = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    assert_eq!(edge.service().compact_cache_stats().hits, 1);
+    assert_eq!(
+        cold, hot,
+        "compact cache hit must be byte-identical to the cold execution"
+    );
+    let resp = decode_compact_response(&hot, &acc).unwrap();
+    let mut meter = CostMeter::default();
+    let batch = edge
+        .scheme()
+        .verify_compact(&schema, &*verifier, &queries, &resp, &mut meter)
+        .expect("cached compact response verifies");
+    assert_eq!(batch.signatures_checked, 1, "one condensed sweep");
+
+    // Aggregated and per-signature encodings of the same ranges must
+    // occupy different cache slots — a false hit would hand a client
+    // expecting individual signatures a bare-digest stream.
+    let plain = edge.query_compact("items", &queries, None).unwrap();
+    assert_ne!(plain, hot);
+    assert_eq!(edge.service().compact_cache_stats().misses, 2);
+
+    // Advancing the replication position without touching the table
+    // (foreign-table deltas) keeps the prefix cached but must re-stamp
+    // the suffix: cached VO bytes never replay a stale position.
+    edge.service().skip_deltas(0, 5).unwrap();
+    let restamped = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    assert_ne!(restamped, hot, "freshness suffix must move");
+    let resp = decode_compact_response(&restamped, &acc).unwrap();
+    assert_eq!(resp.freshness.applied_seq, 5);
+    assert_eq!(
+        edge.service().compact_cache_stats().hits,
+        2,
+        "the prefix itself was served from cache"
+    );
+
+    // A delta on the table invalidates the prefix cache; the next
+    // compact response reflects the deletion.
+    assert!(resp
+        .parts
+        .iter()
+        .any(|p| p.rows.iter().any(|r| r.key == 40)));
+    let delta = central.delete("items", 40).unwrap();
+    // The edge skipped ahead of the central's sequence above, so align
+    // the delta's position with the edge's.
+    let delta = vbx_edge::SignedDelta { seq: 5, ..delta };
+    edge.apply_delta(&delta).unwrap();
+    let fresh = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    let resp = decode_compact_response(&fresh, &acc).unwrap();
+    assert!(resp
+        .parts
+        .iter()
+        .all(|p| p.rows.iter().all(|r| r.key != 40)));
+    assert!(edge.service().compact_cache_stats().invalidated >= 1);
+    let mut meter = CostMeter::default();
+    edge.scheme()
+        .verify_compact(&schema, &*verifier, &queries, &resp, &mut meter)
+        .expect("post-delta compact response verifies");
+}
+
+/// Tampered compact responses must be detected through the same
+/// pipeline — and must never come from (or land in) the prefix cache.
+#[test]
+fn compact_tamper_bypasses_cache_and_is_detected() {
+    let (_central, mut edge) = setup(80);
+    let verifier = MockSigner::with_version(42, 1).verifier();
+    let acc = Acc256::test_default();
+    let schema = edge.schemas().get("items").unwrap().clone();
+    let queries = vec![RangeQuery::select_all(5, 63)];
+
+    // Warm the cache honestly.
+    let honest = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    let mut meter = CostMeter::default();
+    edge.scheme()
+        .verify_compact(
+            &schema,
+            &*verifier,
+            &queries,
+            &decode_compact_response(&honest, &acc).unwrap(),
+            &mut meter,
+        )
+        .expect("honest response verifies");
+
+    for mode in [
+        vbx_edge::TamperMode::MutateValue,
+        vbx_edge::TamperMode::InjectRow,
+        vbx_edge::TamperMode::DropRow,
+    ] {
+        edge.set_tamper(mode.clone());
+        let bytes = edge
+            .query_compact("items", &queries, Some(&*verifier))
+            .unwrap();
+        assert_ne!(bytes, honest, "tampering must change the wire bytes");
+        let resp = decode_compact_response(&bytes, &acc).unwrap();
+        let mut meter = CostMeter::default();
+        let verdict = edge
+            .scheme()
+            .verify_compact(&schema, &*verifier, &queries, &resp, &mut meter);
+        assert!(verdict.is_err(), "{mode:?} must be detected");
+    }
+
+    // The VB-tree's documented completeness boundary (§3.1): a
+    // reclassification drop balances the VO on both encodings — it
+    // verifies, but the victim is silently gone.
+    edge.set_tamper(vbx_edge::TamperMode::DropAndReclassify { key: 30 });
+    let bytes = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    let resp = decode_compact_response(&bytes, &acc).unwrap();
+    let mut meter = CostMeter::default();
+    let batch = edge
+        .scheme()
+        .verify_compact(&schema, &*verifier, &queries, &resp, &mut meter)
+        .expect("reclassification drop is outside the detection boundary");
+    assert!(batch.rows.iter().all(|r| r.key != 30));
+    edge.set_tamper(vbx_edge::TamperMode::None);
+
+    // The tampered round-trips polluted nothing: the honest bytes are
+    // still what the cache serves.
+    let again = edge
+        .query_compact("items", &queries, Some(&*verifier))
+        .unwrap();
+    assert_eq!(again, honest);
 }

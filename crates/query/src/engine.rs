@@ -17,7 +17,8 @@ use crate::parser::{parse_select, ParseError};
 use crate::view::{join_view_name, JoinViewDef};
 use std::collections::BTreeMap;
 use vbx_core::{
-    execute, ClientVerifier, QueryResponse, RangeQuery, VbTree, VerifyError, VerifyReport,
+    execute, ClientVerifier, CompactResponse, QueryResponse, RangeQuery, VbTree, VerifyError,
+    VerifyReport,
 };
 use vbx_crypto::accum::Accumulator;
 use vbx_crypto::SigVerifier;
@@ -425,6 +426,46 @@ impl<const L: usize> ClientSession<L> {
             target: planned.target,
         })
     }
+
+    /// Verify a compact (`VBX4`) response for `sql` and return the
+    /// authenticated rows — the op-stream counterpart of
+    /// [`verify_sql`](Self::verify_sql): the client re-plans the SQL,
+    /// runs the stack-machine verifier (one — possibly condensed —
+    /// signature sweep), then re-checks the residual predicate on the
+    /// returned rows exactly as the flat path does.
+    pub fn verify_sql_compact(
+        &self,
+        sql: &str,
+        resp: &CompactResponse<L>,
+        verifier: &dyn SigVerifier,
+    ) -> Result<VerifiedRows, EngineError> {
+        let planned = self.plan_sql(sql)?;
+        let schema = self
+            .schemas
+            .get(&planned.target)
+            .ok_or_else(|| EngineError::UnknownTable(planned.target.clone()))?;
+        let client = ClientVerifier::new(&self.acc, schema);
+        let report =
+            client.verify_compact(verifier, std::slice::from_ref(&planned.range_query), resp)?;
+
+        let rows: Vec<vbx_core::ResultRow> =
+            resp.parts.iter().flat_map(|p| p.rows.clone()).collect();
+        if let Some(residual) = &planned.residual {
+            let returned = planned.range_query.returned_columns(schema.num_columns());
+            for row in &rows {
+                if let Some(ok) = eval_on_projection(residual, schema, &returned, row) {
+                    if !ok {
+                        return Err(EngineError::PredicateViolation { key: row.key });
+                    }
+                }
+            }
+        }
+        Ok(VerifiedRows {
+            rows,
+            report,
+            target: planned.target,
+        })
+    }
 }
 
 /// Evaluate a residual predicate on a projected row when every column it
@@ -513,6 +554,48 @@ mod tests {
             assert!(matches!(row.values[1], Value::Int(v) if v >= 50));
         }
         assert!(!verified.rows.is_empty());
+    }
+
+    #[test]
+    fn sql_compact_roundtrip_with_residual_recheck() {
+        let (engine, client, signer) = engine();
+        let sql = "SELECT a0, a3 FROM items WHERE id < 40 AND a3 >= 50";
+        let planned = client.plan_sql(sql).unwrap();
+        let tree = engine.tree(&planned.target).unwrap();
+        let residual = planned.residual.clone().unwrap();
+        let pred = move |t: &Tuple| residual.eval(t);
+        let verifier = signer.verifier();
+        let resp = vbx_core::execute_compact(
+            tree,
+            &planned.range_query,
+            Some(&pred),
+            Some(verifier.as_ref()),
+        );
+        let flat = engine.execute_sql(sql).unwrap().1;
+
+        let verified = client
+            .verify_sql_compact(sql, &resp, verifier.as_ref())
+            .unwrap();
+        assert_eq!(verified.rows, flat.rows, "both encodings, same rows");
+        assert_eq!(verified.report.signatures_checked, 1, "one condensed sweep");
+        for row in &verified.rows {
+            assert!(matches!(row.values[1], Value::Int(v) if v >= 50));
+        }
+
+        // An authentic-but-unqualified row must still trip the residual
+        // re-check even though its digests balance.
+        let weak = "SELECT a0, a3 FROM items WHERE id < 40";
+        let weak_planned = client.plan_sql(weak).unwrap();
+        let all = vbx_core::execute_compact(
+            tree,
+            &weak_planned.range_query,
+            None,
+            Some(verifier.as_ref()),
+        );
+        assert!(matches!(
+            client.verify_sql_compact(sql, &all, verifier.as_ref()),
+            Err(EngineError::PredicateViolation { .. }) | Err(EngineError::Verify(_))
+        ));
     }
 
     #[test]
