@@ -228,6 +228,69 @@ impl MerkleAuthStore {
         *self.levels.last().unwrap().first().unwrap()
     }
 
+    /// Serialise the store for a durability checkpoint: schema, key
+    /// version, root signature, and the tuples. The hash levels are
+    /// derived data and rebuilt deterministically on decode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.tuples.len() * 64);
+        self.schema.encode_into(&mut out);
+        out.extend_from_slice(&self.key_version.to_be_bytes());
+        out.extend_from_slice(&(self.root_sig.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.root_sig.as_bytes());
+        out.extend_from_slice(&(self.tuples.len() as u32).to_be_bytes());
+        for t in &self.tuples {
+            t.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode a checkpointed store, rebuilding the hash levels from the
+    /// tuples (the same deterministic construction as `build`, so the
+    /// recovered store is byte-identical). Never panics on hostile
+    /// bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, vbx_core::CoreError> {
+        let corrupt = |m: &str| vbx_core::CoreError::Wire(m.to_string());
+        let mut buf = bytes;
+        let schema = Schema::decode(&mut buf).map_err(vbx_core::CoreError::Storage)?;
+        if buf.len() < 6 {
+            return Err(corrupt("merkle store header truncated"));
+        }
+        let key_version = u32::from_be_bytes(buf[..4].try_into().unwrap());
+        let sig_len = u16::from_be_bytes(buf[4..6].try_into().unwrap()) as usize;
+        buf = &buf[6..];
+        if buf.len() < sig_len {
+            return Err(corrupt("merkle root signature truncated"));
+        }
+        let root_sig = Signature(buf[..sig_len].to_vec());
+        buf = &buf[sig_len..];
+        if buf.len() < 4 {
+            return Err(corrupt("merkle tuple count truncated"));
+        }
+        let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        buf = &buf[4..];
+        let mut tuples = Vec::with_capacity(n.min(1 << 20));
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let t = Tuple::decode(&mut buf).map_err(vbx_core::CoreError::Storage)?;
+            if prev.is_some_and(|p| t.key <= p) {
+                return Err(corrupt("merkle tuples out of key order"));
+            }
+            prev = Some(t.key);
+            tuples.push(t);
+        }
+        if !buf.is_empty() {
+            return Err(corrupt("trailing bytes in merkle store"));
+        }
+        let levels = build_levels(&schema, &tuples);
+        Ok(Self {
+            schema,
+            tuples,
+            levels,
+            root_sig,
+            key_version,
+        })
+    }
+
     /// Answer a key-range query with a completeness-proving VO.
     pub fn query(&self, lo: u64, hi: u64) -> MerkleResponse {
         // Returned window: matching tuples plus one boundary tuple on

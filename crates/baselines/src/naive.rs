@@ -241,6 +241,73 @@ impl<const L: usize> NaiveAuthStore<L> {
         self.entries.is_empty()
     }
 
+    /// Serialise the store (schema, key version, and every entry's
+    /// tuple + signed digests) for a durability checkpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.entries.len() * 128);
+        self.schema.encode_into(&mut out);
+        out.extend_from_slice(&self.key_version.to_be_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for e in self.entries.values() {
+            e.tuple.encode_into(&mut out);
+            out.extend_from_slice(&(e.attr_digests.len() as u32).to_be_bytes());
+            for d in &e.attr_digests {
+                vbx_core::durable::put_signed_digest(&mut out, d);
+            }
+            vbx_core::durable::put_signed_digest(&mut out, &e.tuple_digest);
+        }
+        out
+    }
+
+    /// Decode a checkpointed store. Structural damage errors (never
+    /// panics); signatures are carried verbatim, so a decoded store is
+    /// byte-identical to the encoded one.
+    pub fn decode(bytes: &[u8], acc: &Accumulator<L>) -> Result<Self, vbx_core::CoreError> {
+        use vbx_core::durable::get_signed_digest;
+        let corrupt = |m: &str| vbx_core::CoreError::Wire(m.to_string());
+        let mut buf = bytes;
+        let schema = Schema::decode(&mut buf).map_err(vbx_core::CoreError::Storage)?;
+        if buf.len() < 8 {
+            return Err(corrupt("naive store header truncated"));
+        }
+        let key_version = u32::from_be_bytes(buf[..4].try_into().unwrap());
+        let n = u32::from_be_bytes(buf[4..8].try_into().unwrap()) as usize;
+        buf = &buf[8..];
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let tuple = Tuple::decode(&mut buf).map_err(vbx_core::CoreError::Storage)?;
+            if buf.len() < 4 {
+                return Err(corrupt("naive entry digest count truncated"));
+            }
+            let n_attrs = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+            buf = &buf[4..];
+            if n_attrs != tuple.values.len() {
+                return Err(corrupt("naive entry digest count mismatch"));
+            }
+            let mut attr_digests = Vec::with_capacity(n_attrs);
+            for _ in 0..n_attrs {
+                attr_digests.push(get_signed_digest(&mut buf, acc)?);
+            }
+            let tuple_digest = get_signed_digest(&mut buf, acc)?;
+            entries.insert(
+                tuple.key,
+                Entry {
+                    tuple,
+                    attr_digests,
+                    tuple_digest,
+                },
+            );
+        }
+        if !buf.is_empty() {
+            return Err(corrupt("trailing bytes in naive store"));
+        }
+        Ok(Self {
+            schema,
+            entries,
+            key_version,
+        })
+    }
+
     /// Answer a range query with optional projection and predicate.
     pub fn query(
         &self,

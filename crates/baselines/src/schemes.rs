@@ -5,12 +5,13 @@
 
 use crate::merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
 use crate::naive::{NaiveAuthStore, NaiveError, NaiveResponse};
+use vbx_core::durable::DurableScheme;
 use vbx_core::scheme::{
     drop_middle_row, inject_duplicate_last, mutate_first_value, update_batch_atomic, AuthScheme,
     TamperMode, UpdateOp, VerifiedBatch,
 };
 use vbx_core::vo::{RangeQuery, ResultRow};
-use vbx_core::{CostMeter, ResponseFreshness};
+use vbx_core::{CoreError, CostMeter, ResponseFreshness};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{SigVerifier, Signature, Signer};
 use vbx_storage::{Schema, Table};
@@ -418,6 +419,55 @@ impl AuthScheme for MerkleScheme {
 
     fn proves_completeness(&self) -> bool {
         true
+    }
+}
+
+impl<const L: usize> DurableScheme for NaiveScheme<L> {
+    fn encode_store(&self, store: &NaiveAuthStore<L>) -> Vec<u8> {
+        store.encode()
+    }
+
+    fn decode_store(&self, bytes: &[u8]) -> Result<NaiveAuthStore<L>, CoreError> {
+        NaiveAuthStore::decode(bytes, &self.acc)
+    }
+
+    fn encode_delta(&self, payload: &Self::Delta) -> Vec<u8> {
+        vbx_core::durable::encode_digest_vec(payload)
+    }
+
+    fn decode_delta(&self, bytes: &[u8]) -> Result<Self::Delta, CoreError> {
+        vbx_core::durable::decode_digest_vec(bytes, |buf| {
+            vbx_core::durable::get_signed_digest(buf, &self.acc)
+        })
+    }
+}
+
+impl DurableScheme for MerkleScheme {
+    fn encode_store(&self, store: &MerkleAuthStore) -> Vec<u8> {
+        store.encode()
+    }
+
+    fn decode_store(&self, bytes: &[u8]) -> Result<MerkleAuthStore, CoreError> {
+        MerkleAuthStore::decode(bytes)
+    }
+
+    fn encode_delta(&self, payload: &Self::Delta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + payload.len());
+        out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(payload.as_bytes());
+        out
+    }
+
+    fn decode_delta(&self, bytes: &[u8]) -> Result<Self::Delta, CoreError> {
+        let corrupt = |m: &str| CoreError::Wire(m.to_string());
+        if bytes.len() < 2 {
+            return Err(corrupt("merkle delta truncated"));
+        }
+        let len = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
+        if bytes.len() != 2 + len {
+            return Err(corrupt("merkle delta length mismatch"));
+        }
+        Ok(Signature(bytes[2..].to_vec()))
     }
 }
 

@@ -15,6 +15,8 @@
 //! cargo run -p vbx-bench --bin repro --release -- cluster # multi-edge cluster
 //! cargo run -p vbx-bench --bin repro --release -- cluster --smoke # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- serve --write-batch 1,4,16 # group-commit sweep
+//! cargo run -p vbx-bench --bin repro --release -- recover # durability: fsync cost + replay rate
+//! cargo run -p vbx-bench --bin repro --release -- recover --smoke # quick CI check
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
@@ -97,6 +99,20 @@ fn main() {
         vbx_bench::perf::write_bench_json("BENCH_serve.json", "serve", serve_rows, &records)
             .expect("write BENCH_serve.json");
         println!("\nwrote BENCH_serve.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "recover" {
+        // Named-only (writes BENCH_recover.json); not part of `all`.
+        // The durability benchmark: real-fsync WAL commit cost (per-op
+        // vs group-committed), recovery replay throughput, and a
+        // byte-identity check of the recovered state against a server
+        // that never crashed.
+        let recover_rows = explicit_rows.unwrap_or(if smoke { 500 } else { 4_000 });
+        let records = vbx_bench::recover::run_recover(recover_rows, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_recover.json", "recover", recover_rows, &records)
+            .expect("write BENCH_recover.json");
+        println!("\nwrote BENCH_recover.json ({} records)", records.len());
         return;
     }
 

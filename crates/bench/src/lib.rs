@@ -12,6 +12,7 @@
 pub mod cluster;
 pub mod compact;
 pub mod perf;
+pub mod recover;
 pub mod serve;
 pub mod write_batch;
 

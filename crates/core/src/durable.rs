@@ -1,0 +1,450 @@
+//! Durability codecs: WAL records and scheme-state serialisation.
+//!
+//! The central's write-ahead log (see `vbx-storage::wal`) stores one
+//! record per committed write. This module defines the record payload
+//! format — reusing the VBX wire codecs for ops, signed digests and
+//! freshness stamps — and the [`DurableScheme`] trait every
+//! authenticated scheme implements so its store and delta payloads can
+//! be checkpointed and replayed.
+//!
+//! ## Record format (`VBW1`)
+//!
+//! ```text
+//! record := "VBW1" kind:u8 clock:u64 body
+//! kind 0 (commit op)    := stamp? seq:u64 table key_version:u32 op payload
+//! kind 1 (commit batch) := start_seq:u64 table key_version:u32
+//!                          n_ops:u32 op* n_payloads:u32 payload* stamp?
+//! kind 2 (heartbeat)    := stamp?
+//! ```
+//!
+//! `table` is a `u32`-length-prefixed UTF-8 string, `op` is the shared
+//! `VBX3` update-op framing, `payload` is `u32` length + the scheme's
+//! opaque delta bytes, and `stamp?` is the shared optional-stamp
+//! framing. `clock` rides in every record so recovery restores a
+//! monotonic [`FreshnessStamp`] clock — a restarted central must never
+//! sign a stamp that rewinds `(seq, clock)`.
+//!
+//! Decoding arbitrary bytes never panics: truncation, lying counters
+//! and bad tags all surface as [`CoreError::Wire`] (fuzzed in
+//! `tests/wire_fuzz.rs`).
+
+use crate::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme};
+use crate::tree_codec;
+use crate::verify::FreshnessStamp;
+use crate::wire;
+use crate::CoreError;
+use bytes::{Buf, BufMut};
+use vbx_crypto::accum::SignedDigest;
+
+const MAGIC: &[u8; 4] = b"VBW1";
+
+const KIND_COMMIT_OP: u8 = 0;
+const KIND_COMMIT_BATCH: u8 = 1;
+const KIND_HEARTBEAT: u8 = 2;
+
+/// A scheme whose store and delta payloads have byte encodings, making
+/// the central recoverable: checkpoints persist `encode_store`, WAL
+/// records persist `encode_delta`, and recovery replays the decoded
+/// payloads through `AuthScheme::apply_delta` to byte-identical state.
+pub trait DurableScheme: AuthScheme {
+    /// Serialise a store (tree/table + signed digests) for a checkpoint.
+    fn encode_store(&self, store: &Self::Store) -> Vec<u8>;
+    /// Decode a checkpointed store.
+    fn decode_store(&self, bytes: &[u8]) -> Result<Self::Store, CoreError>;
+    /// Serialise one delta payload for a WAL record.
+    fn encode_delta(&self, payload: &Self::Delta) -> Vec<u8>;
+    /// Decode one delta payload (must consume `bytes` exactly).
+    fn decode_delta(&self, bytes: &[u8]) -> Result<Self::Delta, CoreError>;
+}
+
+impl<const L: usize> DurableScheme for VbScheme<L> {
+    fn encode_store(&self, store: &Self::Store) -> Vec<u8> {
+        tree_codec::encode_tree(store)
+    }
+
+    fn decode_store(&self, bytes: &[u8]) -> Result<Self::Store, CoreError> {
+        tree_codec::decode_tree(bytes, self.acc.clone())
+    }
+
+    fn encode_delta(&self, payload: &Self::Delta) -> Vec<u8> {
+        encode_digest_vec(payload)
+    }
+
+    fn decode_delta(&self, bytes: &[u8]) -> Result<Self::Delta, CoreError> {
+        decode_digest_vec(bytes, |buf| wire::get_digest(buf, &self.acc))
+    }
+}
+
+/// Encode one signed digest with the shared `VBX` framing (role tag,
+/// canonical exponent bytes, length-prefixed signature). Public so the
+/// baseline schemes' store codecs frame digests identically.
+pub fn put_signed_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
+    wire::put_digest(out, d);
+}
+
+/// Decode one signed digest, advancing `buf`; `acc` validates the
+/// exponent range.
+pub fn get_signed_digest<const L: usize>(
+    buf: &mut &[u8],
+    acc: &vbx_crypto::accum::Accumulator<L>,
+) -> Result<SignedDigest<L>, CoreError> {
+    wire::get_digest(buf, acc)
+}
+
+/// Encode a `Vec<SignedDigest>` delta payload (the VB-tree's and the
+/// naive scheme's payload shape) with the shared digest framing.
+pub fn encode_digest_vec<const L: usize>(digests: &[SignedDigest<L>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + digests.len() * (L * 8 + 16));
+    out.put_u32(digests.len() as u32);
+    for d in digests {
+        wire::put_digest(&mut out, d);
+    }
+    out
+}
+
+/// Decode a digest-vec payload written by [`encode_digest_vec`],
+/// rejecting trailing bytes. `get` supplies the scheme's accumulator
+/// context (exponent range validation).
+pub fn decode_digest_vec<const L: usize>(
+    bytes: &[u8],
+    mut get: impl FnMut(&mut &[u8]) -> Result<SignedDigest<L>, CoreError>,
+) -> Result<Vec<SignedDigest<L>>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 4 {
+        return Err(corrupt("digest vec count truncated"));
+    }
+    let n = buf.get_u32() as usize;
+    let mut digests = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        digests.push(get(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in digest vec"));
+    }
+    Ok(digests)
+}
+
+/// One decoded WAL record.
+pub enum WalRecord<S: AuthScheme> {
+    /// A single committed op, with the owner clock at commit time and
+    /// the per-commit stamp (present only in cluster/stamping mode).
+    CommitOp {
+        /// Owner logical clock when the op committed.
+        clock: u64,
+        /// Per-commit freshness stamp, if stamping was enabled.
+        stamp: Option<FreshnessStamp>,
+        /// The signed delta as fanned out to edges.
+        delta: SignedDelta<S::Delta>,
+    },
+    /// A whole group-committed batch (one record, one fsync — the
+    /// durability analogue of the batched signing sweep).
+    CommitBatch {
+        /// Owner logical clock when the batch committed.
+        clock: u64,
+        /// The batch envelope (carries its own optional stamp).
+        batch: DeltaBatch<S::Delta>,
+    },
+    /// A clock tick + freshness stamp with no data change. Logged so a
+    /// restart cannot rewind the clock below a stamp already handed out.
+    Heartbeat {
+        /// Owner logical clock at the tick.
+        clock: u64,
+        /// The signed stamp issued by the tick.
+        stamp: FreshnessStamp,
+    },
+}
+
+impl<S: AuthScheme> WalRecord<S> {
+    /// The owner clock carried by this record.
+    pub fn clock(&self) -> u64 {
+        match self {
+            WalRecord::CommitOp { clock, .. }
+            | WalRecord::CommitBatch { clock, .. }
+            | WalRecord::Heartbeat { clock, .. } => *clock,
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 4 {
+        return Err(corrupt("string length truncated"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("string truncated"));
+    }
+    let s = core::str::from_utf8(&buf[..len])
+        .map_err(|_| corrupt("string not UTF-8"))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+fn put_payload(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.put_u32(bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn get_payload<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 4 {
+        return Err(corrupt("payload length truncated"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("payload truncated"));
+    }
+    let payload = &buf[..len];
+    buf.advance(len);
+    Ok(payload)
+}
+
+/// Encode a single-op commit record.
+pub fn encode_wal_commit_op<S: DurableScheme>(
+    scheme: &S,
+    clock: u64,
+    stamp: Option<&FreshnessStamp>,
+    delta: &SignedDelta<S::Delta>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_COMMIT_OP);
+    out.put_u64(clock);
+    wire::put_stamp(&mut out, stamp);
+    out.put_u64(delta.seq);
+    put_str(&mut out, &delta.table);
+    out.put_u32(delta.key_version);
+    wire::put_update_op(&mut out, &delta.op);
+    put_payload(&mut out, &scheme.encode_delta(&delta.payload));
+    out
+}
+
+/// Encode a batch commit record.
+pub fn encode_wal_commit_batch<S: DurableScheme>(
+    scheme: &S,
+    clock: u64,
+    batch: &DeltaBatch<S::Delta>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_COMMIT_BATCH);
+    out.put_u64(clock);
+    out.put_u64(batch.start_seq);
+    put_str(&mut out, &batch.table);
+    out.put_u32(batch.key_version);
+    out.put_u32(batch.ops.len() as u32);
+    for op in &batch.ops {
+        wire::put_update_op(&mut out, op);
+    }
+    out.put_u32(batch.payloads.len() as u32);
+    for payload in &batch.payloads {
+        put_payload(&mut out, &scheme.encode_delta(payload));
+    }
+    wire::put_stamp(&mut out, batch.stamp.as_ref());
+    out
+}
+
+/// Encode a heartbeat record.
+pub fn encode_wal_heartbeat(clock: u64, stamp: &FreshnessStamp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_HEARTBEAT);
+    out.put_u64(clock);
+    wire::put_stamp(&mut out, Some(stamp));
+    out
+}
+
+/// Decode any WAL record payload. Never panics on hostile bytes.
+pub fn decode_wal_record<S: DurableScheme>(
+    scheme: &S,
+    bytes: &[u8],
+) -> Result<WalRecord<S>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(corrupt("bad WAL record magic"));
+    }
+    buf.advance(4);
+    if buf.remaining() < 9 {
+        return Err(corrupt("WAL record header truncated"));
+    }
+    let kind = buf.get_u8();
+    let clock = buf.get_u64();
+    let record = match kind {
+        KIND_COMMIT_OP => {
+            let stamp = wire::get_stamp(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(corrupt("commit seq truncated"));
+            }
+            let seq = buf.get_u64();
+            let table = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(corrupt("commit key version truncated"));
+            }
+            let key_version = buf.get_u32();
+            let op = wire::get_update_op(&mut buf)?;
+            let payload = scheme.decode_delta(get_payload(&mut buf)?)?;
+            WalRecord::CommitOp {
+                clock,
+                stamp,
+                delta: SignedDelta {
+                    seq,
+                    table,
+                    op,
+                    payload,
+                    key_version,
+                },
+            }
+        }
+        KIND_COMMIT_BATCH => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("batch start seq truncated"));
+            }
+            let start_seq = buf.get_u64();
+            let table = get_str(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(corrupt("batch header truncated"));
+            }
+            let key_version = buf.get_u32();
+            let n_ops = buf.get_u32() as usize;
+            let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+            for _ in 0..n_ops {
+                ops.push(wire::get_update_op(&mut buf)?);
+            }
+            if buf.remaining() < 4 {
+                return Err(corrupt("batch payload count truncated"));
+            }
+            let n_payloads = buf.get_u32() as usize;
+            let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
+            for _ in 0..n_payloads {
+                payloads.push(scheme.decode_delta(get_payload(&mut buf)?)?);
+            }
+            let stamp = wire::get_stamp(&mut buf)?;
+            WalRecord::CommitBatch {
+                clock,
+                batch: DeltaBatch {
+                    start_seq,
+                    table,
+                    ops,
+                    payloads,
+                    key_version,
+                    stamp,
+                },
+            }
+        }
+        KIND_HEARTBEAT => {
+            let stamp = wire::get_stamp(&mut buf)?
+                .ok_or_else(|| corrupt("heartbeat record without stamp"))?;
+            WalRecord::Heartbeat { clock, stamp }
+        }
+        t => return Err(corrupt(&format!("bad WAL record kind {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in WAL record"));
+    }
+    Ok(record)
+}
+
+/// Encode a freshness stamp (checkpoint stamp-history sections).
+pub fn encode_stamp(out: &mut Vec<u8>, stamp: &FreshnessStamp) {
+    wire::put_stamp(out, Some(stamp));
+}
+
+/// Decode a stamp written by [`encode_stamp`], advancing `buf`.
+pub fn decode_stamp(buf: &mut &[u8]) -> Result<FreshnessStamp, CoreError> {
+    wire::get_stamp(buf)?.ok_or_else(|| CoreError::Wire("missing stamp".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::UpdateOp;
+    use vbx_crypto::{Acc256, MockSigner, Signer};
+    use vbx_storage::workload::WorkloadSpec;
+    use vbx_storage::Tuple;
+    use vbx_storage::Value;
+
+    fn scheme() -> VbScheme<4> {
+        VbScheme {
+            acc: Acc256::test_default(),
+            config: crate::tree::VbTreeConfig::with_fanout(8),
+        }
+    }
+
+    fn sample_stamp(signer: &dyn Signer) -> FreshnessStamp {
+        FreshnessStamp::sign(signer, 7, 42)
+    }
+
+    #[test]
+    fn commit_op_roundtrip() {
+        let s = scheme();
+        let signer = MockSigner::new(7);
+        let table = WorkloadSpec::new(20, 2, 8).build();
+        let mut store = s.build(&table, &signer);
+        let tuple = Tuple::new(
+            table.schema(),
+            500,
+            vec![Value::from("new-a"), Value::from(2i64)],
+        )
+        .unwrap();
+        let op = UpdateOp::Insert(tuple);
+        let payload = s.update(&mut store, &op, &signer).unwrap();
+        let delta = SignedDelta {
+            seq: 9,
+            table: "t".to_string(),
+            op,
+            payload,
+            key_version: 3,
+        };
+        let stamp = sample_stamp(&signer);
+        let bytes = encode_wal_commit_op(&s, 11, Some(&stamp), &delta);
+        match decode_wal_record(&s, &bytes).unwrap() {
+            WalRecord::CommitOp {
+                clock,
+                stamp: got_stamp,
+                delta: got,
+            } => {
+                assert_eq!(clock, 11);
+                assert_eq!(got_stamp.unwrap(), stamp);
+                assert_eq!(got.seq, 9);
+                assert_eq!(got.table, "t");
+                assert_eq!(got.key_version, 3);
+                assert_eq!(s.encode_delta(&got.payload), s.encode_delta(&delta.payload));
+            }
+            _ => panic!("wrong record kind"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let s = scheme();
+        let signer = MockSigner::new(8);
+        let stamp = sample_stamp(&signer);
+        let bytes = encode_wal_heartbeat(4, &stamp);
+        match decode_wal_record(&s, &bytes).unwrap() {
+            WalRecord::Heartbeat { clock, stamp: got } => {
+                assert_eq!(clock, 4);
+                assert_eq!(got, stamp);
+            }
+            _ => panic!("wrong record kind"),
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let s = scheme();
+        let signer = MockSigner::new(9);
+        let stamp = sample_stamp(&signer);
+        let bytes = encode_wal_heartbeat(4, &stamp);
+        for cut in 0..bytes.len() {
+            assert!(decode_wal_record(&s, &bytes[..cut]).is_err());
+        }
+    }
+}

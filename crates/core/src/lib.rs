@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod meter;
 pub mod node;
 pub mod scheme;
@@ -49,6 +50,10 @@ pub mod verify;
 pub mod vo;
 pub mod wire;
 
+pub use durable::{
+    decode_wal_record, encode_wal_commit_batch, encode_wal_commit_op, encode_wal_heartbeat,
+    DurableScheme, WalRecord,
+};
 pub use meter::CostMeter;
 pub use scheme::{
     AuthScheme, DeltaBatch, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError,

@@ -40,14 +40,14 @@ const OP_PUSH: u8 = 0x03;
 const OP_ROW: u8 = 0x04;
 const OP_REF: u8 = 0x05;
 
-fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
+pub(crate) fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
     out.extend_from_slice(&d.exp.to_be_bytes());
     out.put_u16(d.sig.len() as u16);
     out.extend_from_slice(d.sig.as_bytes());
 }
 
-fn get_digest<const L: usize>(
+pub(crate) fn get_digest<const L: usize>(
     buf: &mut &[u8],
     acc: &Accumulator<L>,
 ) -> Result<SignedDigest<L>, CoreError> {
@@ -103,7 +103,7 @@ pub fn encode_response<const L: usize>(resp: &QueryResponse<L>) -> Vec<u8> {
     out
 }
 
-fn put_stamp(out: &mut Vec<u8>, stamp: Option<&FreshnessStamp>) {
+pub(crate) fn put_stamp(out: &mut Vec<u8>, stamp: Option<&FreshnessStamp>) {
     match stamp {
         None => out.push(0),
         Some(stamp) => {
@@ -133,7 +133,7 @@ pub fn freshness_wire_bytes(freshness: &ResponseFreshness) -> usize {
     8 + 1 + stamp_wire_bytes(freshness.stamp.as_ref())
 }
 
-fn get_stamp(buf: &mut &[u8]) -> Result<Option<FreshnessStamp>, CoreError> {
+pub(crate) fn get_stamp(buf: &mut &[u8]) -> Result<Option<FreshnessStamp>, CoreError> {
     let corrupt = |m: &str| CoreError::Wire(m.to_string());
     if buf.remaining() < 1 {
         return Err(corrupt("freshness stamp tag truncated"));
@@ -234,6 +234,51 @@ pub fn decode_response<const L: usize>(
     })
 }
 
+/// Encode one [`UpdateOp`] (tag byte + operands). Shared by the `VBX3`
+/// batch envelope and the durability WAL records so both streams frame
+/// ops identically.
+pub(crate) fn put_update_op(out: &mut Vec<u8>, op: &UpdateOp) {
+    match op {
+        UpdateOp::Insert(tuple) => {
+            out.push(0);
+            tuple.encode_into(out);
+        }
+        UpdateOp::Delete(key) => {
+            out.push(1);
+            out.put_u64(*key);
+        }
+        UpdateOp::DeleteRange(lo, hi) => {
+            out.push(2);
+            out.put_u64(*lo);
+            out.put_u64(*hi);
+        }
+    }
+}
+
+/// Decode one [`UpdateOp`], advancing `buf`.
+pub(crate) fn get_update_op(buf: &mut &[u8]) -> Result<UpdateOp, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 1 {
+        return Err(corrupt("op truncated"));
+    }
+    Ok(match buf.get_u8() {
+        0 => UpdateOp::Insert(Tuple::decode(buf).map_err(CoreError::Storage)?),
+        1 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("delete key truncated"));
+            }
+            UpdateOp::Delete(buf.get_u64())
+        }
+        2 => {
+            if buf.remaining() < 16 {
+                return Err(corrupt("delete range truncated"));
+            }
+            UpdateOp::DeleteRange(buf.get_u64(), buf.get_u64())
+        }
+        _ => return Err(corrupt("bad op tag")),
+    })
+}
+
 /// Serialize a group-committed delta batch — the `VBX3` envelope the
 /// central server ships over the subscription transport: `k` update ops,
 /// the scheme's packed signed-digest payload stream, and the optional
@@ -248,21 +293,7 @@ pub fn encode_delta_batch<const L: usize>(batch: &DeltaBatch<Vec<SignedDigest<L>
 
     out.put_u32(batch.ops.len() as u32);
     for op in &batch.ops {
-        match op {
-            UpdateOp::Insert(tuple) => {
-                out.push(0);
-                tuple.encode_into(&mut out);
-            }
-            UpdateOp::Delete(key) => {
-                out.push(1);
-                out.put_u64(*key);
-            }
-            UpdateOp::DeleteRange(lo, hi) => {
-                out.push(2);
-                out.put_u64(*lo);
-                out.put_u64(*hi);
-            }
-        }
+        put_update_op(&mut out, op);
     }
 
     out.put_u32(batch.payloads.len() as u32);
@@ -312,25 +343,7 @@ pub fn decode_delta_batch<const L: usize>(
     let n_ops = buf.get_u32() as usize;
     let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
     for _ in 0..n_ops {
-        if buf.remaining() < 1 {
-            return Err(corrupt("op truncated"));
-        }
-        ops.push(match buf.get_u8() {
-            0 => UpdateOp::Insert(Tuple::decode(&mut buf).map_err(CoreError::Storage)?),
-            1 => {
-                if buf.remaining() < 8 {
-                    return Err(corrupt("delete key truncated"));
-                }
-                UpdateOp::Delete(buf.get_u64())
-            }
-            2 => {
-                if buf.remaining() < 16 {
-                    return Err(corrupt("delete range truncated"));
-                }
-                UpdateOp::DeleteRange(buf.get_u64(), buf.get_u64())
-            }
-            _ => return Err(corrupt("bad op tag")),
-        });
+        ops.push(get_update_op(&mut buf)?);
     }
 
     if buf.remaining() < 4 {

@@ -6,10 +6,11 @@
 
 use vbx_core::{
     check_freshness, decode_compact_response, decode_delta_batch, decode_response,
-    encode_compact_response, encode_delta_batch, encode_response, execute, execute_compact,
+    decode_wal_record, encode_compact_response, encode_delta_batch, encode_response,
+    encode_wal_commit_batch, encode_wal_commit_op, encode_wal_heartbeat, execute, execute_compact,
     AuthScheme, ClientVerifier, CompactPart, CompactResponse, CostMeter, DeltaBatch,
-    FreshnessPolicy, FreshnessStamp, RangeQuery, ResponseFreshness, UpdateOp, VbScheme, VbTree,
-    VbTreeConfig, VerifyError, VoOp, MAX_VO_STACK,
+    FreshnessPolicy, FreshnessStamp, RangeQuery, ResponseFreshness, SignedDelta, UpdateOp,
+    VbScheme, VbTree, VbTreeConfig, VerifyError, VoOp, MAX_VO_STACK,
 };
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
@@ -516,6 +517,179 @@ fn compact_aggregate_sig_flips_are_bad_signatures() {
             VerifyError::BadSignature { part: "aggregate" }
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// WAL record codec + framing (durability subsystem)
+// ---------------------------------------------------------------------
+
+type WalPayloads = Vec<Vec<u8>>;
+
+/// One honestly encoded WAL record of each kind (single-op commit,
+/// group-committed batch, heartbeat), as the durable central logs them.
+fn wal_records() -> (Fixture, WalPayloads) {
+    let f = fixture(24);
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    let schema = f.table.schema().clone();
+    let mut tree = f.tree.clone();
+    let tuple = |key: u64| {
+        vbx_storage::Tuple::new(
+            &schema,
+            key,
+            vec![
+                vbx_storage::Value::from("a"),
+                vbx_storage::Value::from("b"),
+                vbx_storage::Value::from(9i64),
+            ],
+        )
+        .unwrap()
+    };
+
+    let op = UpdateOp::Insert(tuple(700));
+    let payload = scheme.update(&mut tree, &op, &f.signer).unwrap();
+    let delta = SignedDelta {
+        seq: 4,
+        table: "t".to_string(),
+        op,
+        payload,
+        key_version: f.signer.key_version(),
+    };
+    let stamp = FreshnessStamp::sign(&f.signer, 5, 11);
+    let commit_op = encode_wal_commit_op(&scheme, 11, Some(&stamp), &delta);
+
+    let ops = vec![UpdateOp::Insert(tuple(701)), UpdateOp::Delete(3)];
+    let payloads = scheme.update_batch(&mut tree, &ops, &f.signer).unwrap();
+    let batch = DeltaBatch {
+        start_seq: 5,
+        table: "t".to_string(),
+        ops,
+        payloads,
+        key_version: f.signer.key_version(),
+        stamp: Some(FreshnessStamp::sign(&f.signer, 7, 12)),
+    };
+    let commit_batch = encode_wal_commit_batch(&scheme, 12, &batch);
+
+    let heartbeat = encode_wal_heartbeat(13, &FreshnessStamp::sign(&f.signer, 7, 13));
+
+    (f, vec![commit_op, commit_batch, heartbeat])
+}
+
+#[test]
+fn wal_record_truncations_error_never_panic() {
+    let (f, records) = wal_records();
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    for (kind, bytes) in records.iter().enumerate() {
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_wal_record(&scheme, &bytes[..cut]).is_err(),
+                "record kind {kind}: prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(decode_wal_record(&scheme, bytes).is_ok());
+    }
+}
+
+#[test]
+fn wal_record_bit_flips_never_panic() {
+    let (f, records) = wal_records();
+    let scheme = VbScheme::new(f.acc.clone(), f.tree.config().clone());
+    for bytes in &records {
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= bit;
+                // A flip in a non-semantic byte (e.g. the clock) may
+                // still decode; a flip anywhere else must error. Either
+                // way: no panic, no unbounded allocation. (On disk the
+                // frame CRC catches all of these first — this is the
+                // codec's own last line of defense.)
+                let _ = decode_wal_record(&scheme, &flipped);
+            }
+        }
+    }
+}
+
+#[test]
+fn wal_framing_survives_truncation_length_lies_and_checksum_flips() {
+    use vbx_storage::wal::{scan_bytes, MAX_RECORD_LEN};
+    use vbx_storage::WalTail;
+
+    let payloads: [&[u8]; 3] = [b"first record", b"", b"third, longest record of all"];
+    let frame = |p: &[u8]| {
+        let mut out = (p.len() as u32).to_be_bytes().to_vec();
+        out.extend_from_slice(&vbx_storage::crc32(p).to_be_bytes());
+        out.extend_from_slice(p);
+        out
+    };
+    let mut file = b"VWAL1\x00\x00\x00".to_vec();
+    let mut boundaries = vec![file.len()];
+    for p in payloads {
+        file.extend_from_slice(&frame(p));
+        boundaries.push(file.len());
+    }
+
+    let clean = scan_bytes(&file).unwrap();
+    assert_eq!(clean.records, payloads.map(<[u8]>::to_vec));
+    assert_eq!(clean.tail, WalTail::Clean);
+
+    // Every truncation keeps exactly the records whose frames survived
+    // whole — the longest valid prefix, never a panic, never a partial
+    // record surfacing as data.
+    for cut in 0..file.len() {
+        let scan = scan_bytes(&file[..cut]).unwrap();
+        let whole = boundaries
+            .iter()
+            .filter(|b| **b <= cut)
+            .count()
+            .saturating_sub(1); // cuts inside the magic keep no records
+        assert_eq!(scan.records.len(), whole, "cut at {cut}");
+        assert_eq!(
+            scan.records,
+            payloads[..whole]
+                .iter()
+                .map(|p| p.to_vec())
+                .collect::<Vec<_>>()
+        );
+        // A cut on a frame boundary (or the empty never-created file)
+        // ends Clean; anywhere else leaves a discarded torn tail.
+        if cut != 0 && !boundaries.contains(&cut) {
+            assert!(matches!(scan.tail, WalTail::Torn { .. }), "cut at {cut}");
+        }
+    }
+
+    // A length lie on the second record: absurd lengths and
+    // past-the-end lengths both stop the scan there, keeping record 1.
+    let lie_at = boundaries[1];
+    for lie in [MAX_RECORD_LEN + 1, u32::MAX, file.len() as u32] {
+        let mut forged = file.clone();
+        forged[lie_at..lie_at + 4].copy_from_slice(&lie.to_be_bytes());
+        let scan = scan_bytes(&forged).unwrap();
+        assert_eq!(scan.records, vec![payloads[0].to_vec()], "lie {lie}");
+        assert!(matches!(scan.tail, WalTail::Torn { offset, .. } if offset == lie_at));
+    }
+
+    // A bit-flip anywhere in a frame (header or payload) invalidates
+    // that record and everything after it — flipped bytes never
+    // surface as record data.
+    for i in boundaries[0]..file.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut flipped = file.clone();
+            flipped[i] ^= bit;
+            let scan = scan_bytes(&flipped).unwrap();
+            for rec in &scan.records {
+                assert!(
+                    payloads.contains(&rec.as_slice()),
+                    "flip at {i} surfaced corrupt record data"
+                );
+            }
+        }
+    }
+
+    // A flipped magic rejects the whole file as corrupt rather than
+    // misparsing it.
+    let mut bad_magic = file.clone();
+    bad_magic[0] ^= 0x01;
+    assert!(scan_bytes(&bad_magic).is_err());
 }
 
 #[test]

@@ -19,7 +19,7 @@ use vbx_crypto::{KeyRegistry, Signer};
 use vbx_query::{build_view_table, JoinViewDef};
 use vbx_storage::{Catalog, StorageError, Table, Tuple};
 
-/// Cursor errors from the [`DeltaLog`].
+/// Cursor and append errors from the [`DeltaLog`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeltaLogError {
     /// The requested cursor points before the retention window — the
@@ -30,6 +30,18 @@ pub enum DeltaLogError {
         /// Oldest sequence number still retained.
         oldest: u64,
     },
+    /// An appended entry's sequence number is not exactly the log's
+    /// next: the log is the authoritative contiguous history, and
+    /// recovery replay depends on gap-free seq ranges.
+    NonContiguous {
+        /// The sequence number the log expected next.
+        expected: u64,
+        /// The sequence number the entry actually carried.
+        got: u64,
+    },
+    /// An empty batch was pushed (batches must carry at least one op to
+    /// occupy a sequence range).
+    EmptyBatch,
 }
 
 impl core::fmt::Display for DeltaLogError {
@@ -39,6 +51,10 @@ impl core::fmt::Display for DeltaLogError {
                 f,
                 "delta {requested} evicted from the retention window (oldest retained: {oldest})"
             ),
+            DeltaLogError::NonContiguous { expected, got } => {
+                write!(f, "non-contiguous delta seq {got} (log expects {expected})")
+            }
+            DeltaLogError::EmptyBatch => write!(f, "empty delta batch"),
         }
     }
 }
@@ -150,33 +166,67 @@ impl<P: Clone> DeltaLog<P> {
     }
 
     /// Append the next single-op delta, evicting past the retention
-    /// window.
-    ///
-    /// # Panics
-    /// Panics if `delta.seq` is not exactly [`next_seq`](Self::next_seq)
-    /// — the log is the authoritative contiguous history.
-    pub fn push(&mut self, delta: SignedDelta<P>) {
-        assert_eq!(delta.seq, self.next_seq(), "delta log must stay contiguous");
+    /// window. Rejects any `delta.seq` that is not exactly
+    /// [`next_seq`](Self::next_seq) — the log is the authoritative
+    /// contiguous history, and silently accepting a gap would poison
+    /// every cursor and recovery replay downstream.
+    pub fn push(&mut self, delta: SignedDelta<P>) -> Result<(), DeltaLogError> {
+        if delta.seq != self.next_seq() {
+            return Err(DeltaLogError::NonContiguous {
+                expected: self.next_seq(),
+                got: delta.seq,
+            });
+        }
         self.push_entry(LogEntry::Op(delta));
+        Ok(())
     }
 
     /// Append a group-committed batch covering `[start_seq, end_seq())`,
     /// evicting past the retention window. Returns the shared handle
     /// also kept in the log (for immediate fan-out without a re-read).
-    ///
-    /// # Panics
-    /// Panics if the batch is empty or `batch.start_seq` is not exactly
-    /// [`next_seq`](Self::next_seq).
-    pub fn push_batch(&mut self, batch: DeltaBatch<P>) -> Arc<DeltaBatch<P>> {
-        assert!(!batch.is_empty(), "empty batches are not committed");
-        assert_eq!(
-            batch.start_seq,
-            self.next_seq(),
-            "delta log must stay contiguous"
-        );
+    /// Rejects empty batches and any `batch.start_seq` that is not
+    /// exactly [`next_seq`](Self::next_seq).
+    pub fn push_batch(
+        &mut self,
+        batch: DeltaBatch<P>,
+    ) -> Result<Arc<DeltaBatch<P>>, DeltaLogError> {
+        if batch.is_empty() {
+            return Err(DeltaLogError::EmptyBatch);
+        }
+        if batch.start_seq != self.next_seq() {
+            return Err(DeltaLogError::NonContiguous {
+                expected: self.next_seq(),
+                got: batch.start_seq,
+            });
+        }
         let shared = Arc::new(batch);
         self.push_entry(LogEntry::Batch(shared.clone()));
-        shared
+        Ok(shared)
+    }
+
+    /// Rebuild a log from checkpointed parts (durability recovery).
+    pub(crate) fn from_parts(
+        entries: VecDeque<LogEntry<P>>,
+        start_seq: u64,
+        retention: usize,
+    ) -> Self {
+        let retained_ops = entries.iter().map(LogEntry::ops).sum();
+        Self {
+            entries,
+            start_seq,
+            retained_ops,
+            retention: retention.max(1),
+        }
+    }
+
+    /// The retention window in ops.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Every retained entry in seq order (checkpoints persist these).
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry<P>> {
+        self.entries.iter()
     }
 
     fn push_entry(&mut self, entry: LogEntry<P>) {
@@ -337,6 +387,11 @@ pub enum CentralError<E> {
     Scheme(E),
     /// Unknown table.
     UnknownTable(String),
+    /// The write-ahead log or a checkpoint could not be made durable.
+    /// The in-memory commit may be ahead of disk: the server refuses
+    /// further commits until replaced via recovery, so no state that
+    /// was acked to a caller can be silently lost in a later crash.
+    Durability(StorageError),
 }
 
 impl<E: core::fmt::Display> core::fmt::Display for CentralError<E> {
@@ -345,6 +400,7 @@ impl<E: core::fmt::Display> core::fmt::Display for CentralError<E> {
             CentralError::Storage(e) => write!(f, "{e}"),
             CentralError::Scheme(e) => write!(f, "{e}"),
             CentralError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            CentralError::Durability(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -430,31 +486,36 @@ impl<S: AuthScheme> std::error::Error for FlushError<S> {}
 
 /// The trusted central DBMS, generic over the authentication scheme.
 pub struct CentralServer<S: AuthScheme> {
-    scheme: S,
-    signer: Arc<dyn Signer>,
-    registry: KeyRegistry,
-    catalog: Catalog,
-    stores: BTreeMap<String, S::Store>,
-    views: Vec<JoinViewDef>,
-    locks: LockManager,
-    log: DeltaLog<S::Delta>,
+    pub(crate) scheme: S,
+    pub(crate) signer: Arc<dyn Signer>,
+    pub(crate) registry: KeyRegistry,
+    pub(crate) catalog: Catalog,
+    pub(crate) stores: BTreeMap<String, S::Store>,
+    pub(crate) views: Vec<JoinViewDef>,
+    pub(crate) locks: LockManager,
+    pub(crate) log: DeltaLog<S::Delta>,
     /// Owner stamps per attested seq, pruned to the log's retention
     /// window and capped at [`STAMP_RETENTION`] (the newest stamp is
     /// always kept).
-    stamps: BTreeMap<u64, FreshnessStamp>,
+    pub(crate) stamps: BTreeMap<u64, FreshnessStamp>,
     /// Sign a fresh stamp on every commit. Enabled by
     /// [`with_delta_retention`](Self::with_delta_retention) (cluster
     /// deployments); standalone servers skip the per-commit signature
     /// — with an RSA signer that is a full extra signing operation per
     /// update — and attest only on [`heartbeat`](Self::heartbeat).
-    stamp_commits: bool,
+    pub(crate) stamp_commits: bool,
     /// Group-commit knobs; `None` = every update commits individually.
-    group_commit: Option<GroupCommitConfig>,
+    pub(crate) group_commit: Option<GroupCommitConfig>,
     /// Ops waiting for the next group-commit flush, in arrival order.
-    pending: Vec<(String, UpdateOp)>,
+    /// Queued-not-yet-committed: these are *not* WAL-protected — an op
+    /// is durable only once its batch commits (and is acked as such).
+    pub(crate) pending: Vec<(String, UpdateOp)>,
     /// Clock value when the oldest pending op was enqueued.
-    pending_since_clock: u64,
-    clock: u64,
+    pub(crate) pending_since_clock: u64,
+    pub(crate) clock: u64,
+    /// Write-ahead durability engine; `None` = in-memory only (the
+    /// pre-durability behaviour, still the default).
+    pub(crate) durability: Option<crate::durability::DurabilityEngine<S>>,
 }
 
 impl<S: AuthScheme> CentralServer<S> {
@@ -480,6 +541,7 @@ impl<S: AuthScheme> CentralServer<S> {
             pending: Vec::new(),
             pending_since_clock: 0,
             clock: 0,
+            durability: None,
         }
     }
 
@@ -526,10 +588,14 @@ impl<S: AuthScheme> CentralServer<S> {
     }
 
     /// Register a base table: builds and signs its authenticated store.
+    /// With durability enabled this is DDL and forces a checkpoint (the
+    /// WAL carries only update deltas, so schema changes must land in a
+    /// full snapshot).
     pub fn create_table(&mut self, table: Table) {
         let store = self.scheme.build(&table, self.signer.as_ref());
         self.stores.insert(table.schema().table.clone(), store);
         self.catalog.put(table);
+        self.durability_mark_ddl();
     }
 
     /// Authoritative store lookup.
@@ -567,6 +633,7 @@ impl<S: AuthScheme> CentralServer<S> {
         let name = def.name.clone();
         self.stores.insert(name.clone(), store);
         self.views.push(def);
+        self.durability_mark_ddl();
         Ok(name)
     }
 
@@ -627,13 +694,18 @@ impl<S: AuthScheme> CentralServer<S> {
         let stamp = FreshnessStamp::sign(self.signer.as_ref(), self.log.next_seq(), self.clock);
         self.stamps.insert(self.log.next_seq(), stamp.clone());
         self.prune_stamps();
+        // Persist the clock advance so recovery never rewinds below a
+        // handed-out stamp's `(seq, clock)`. A WAL failure here poisons
+        // the engine: subsequent commits fail instead of acking state
+        // that could rewind past this stamp after a crash.
+        self.durability_heartbeat(&stamp);
         stamp
     }
 
     /// Drop stamps no subscriber can land on anymore: below the delta
     /// log's retention window, and beyond the [`STAMP_RETENTION`] cap
     /// (oldest first — the newest stamp is always kept).
-    fn prune_stamps(&mut self) {
+    pub(crate) fn prune_stamps(&mut self) {
         let oldest = self.log.oldest_seq();
         self.stamps.retain(|&seq, _| seq >= oldest);
         while self.stamps.len() > STAMP_RETENTION {
@@ -729,17 +801,23 @@ impl<S: AuthScheme> CentralServer<S> {
             payload,
             key_version: self.signer.key_version(),
         };
-        self.log.push(delta.clone());
+        self.log
+            .push(delta.clone())
+            .expect("commit path issues contiguous seqs");
         // In cluster mode, attest the new position and prune stamps
         // that fell out of the retention windows (newest always kept).
-        if self.stamp_commits {
+        let stamp = if self.stamp_commits {
             let attested = self.log.next_seq();
-            self.stamps.insert(
-                attested,
-                FreshnessStamp::sign(self.signer.as_ref(), attested, self.clock),
-            );
+            let stamp = FreshnessStamp::sign(self.signer.as_ref(), attested, self.clock);
+            self.stamps.insert(attested, stamp.clone());
             self.prune_stamps();
-        }
+            Some(stamp)
+        } else {
+            None
+        };
+        // Append-before-ack: the WAL record (and its fsync) must land
+        // before this commit is returned to the caller.
+        self.durability_commit_op(stamp.as_ref(), &delta)?;
         Ok(delta)
     }
 
@@ -829,17 +907,24 @@ impl<S: AuthScheme> CentralServer<S> {
             self.stamps.insert(end_seq, stamp.clone());
             stamp
         });
-        let batch = self.log.push_batch(DeltaBatch {
-            start_seq,
-            table: table.to_string(),
-            ops,
-            payloads,
-            key_version: self.signer.key_version(),
-            stamp,
-        });
+        let batch = self
+            .log
+            .push_batch(DeltaBatch {
+                start_seq,
+                table: table.to_string(),
+                ops,
+                payloads,
+                key_version: self.signer.key_version(),
+                stamp,
+            })
+            .expect("commit path issues contiguous seqs");
         if self.stamp_commits {
             self.prune_stamps();
         }
+        // Append-before-ack: one WAL record (and one fsync) covers the
+        // whole batch — the durable analogue of the group-commit
+        // signing sweep.
+        self.durability_commit_batch(&batch)?;
         Ok(batch)
     }
 
@@ -962,9 +1047,12 @@ impl<S: AuthScheme> CentralServer<S> {
                 self.stores.insert(def.name.clone(), store);
             }
         }
+        // A key rotation invalidates every checkpointed signature:
+        // force a fresh checkpoint under the new key.
+        self.durability_mark_ddl();
     }
 
-    fn refresh_views_for(&mut self, table: &str) -> Result<(), CentralError<S::Error>> {
+    pub(crate) fn refresh_views_for(&mut self, table: &str) -> Result<(), CentralError<S::Error>> {
         let affected: Vec<JoinViewDef> = self
             .views
             .iter()

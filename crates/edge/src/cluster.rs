@@ -130,6 +130,18 @@ pub enum ClusterError<E> {
     /// A subscription cursor fell out of the delta log's retention
     /// window; the edge must be re-provisioned from a fresh bundle.
     Truncated(DeltaLogError),
+    /// A recovered central's head is *behind* an edge's subscription
+    /// cursor: a commit that was acked and fanned out is missing from
+    /// the recovered history. This is data loss — refusing the adoption
+    /// beats silently forking the edges from the owner.
+    RolledBack {
+        /// Edge whose cursor is ahead of the recovered head.
+        edge: usize,
+        /// That edge's subscription cursor.
+        cursor: u64,
+        /// The recovered central's head (`next_seq`).
+        head: u64,
+    },
 }
 
 impl<E: core::fmt::Display> core::fmt::Display for ClusterError<E> {
@@ -140,6 +152,10 @@ impl<E: core::fmt::Display> core::fmt::Display for ClusterError<E> {
             ClusterError::Central(e) => write!(f, "central: {e}"),
             ClusterError::Edge(e) => write!(f, "edge: {e}"),
             ClusterError::Truncated(e) => write!(f, "subscription lost: {e}"),
+            ClusterError::RolledBack { edge, cursor, head } => write!(
+                f,
+                "recovered central head {head} is behind edge {edge}'s cursor {cursor}: acked commits were lost"
+            ),
         }
     }
 }
@@ -242,6 +258,78 @@ where
             edges,
             shard_map: ShardMap::new(config.edges.max(1)),
         }
+    }
+
+    /// Stand up a cluster around an existing (e.g. crash-recovered)
+    /// central server: every base table is re-sharded across
+    /// `num_edges` fresh replicas provisioned from the central's
+    /// current stores, and every subscription starts at the central's
+    /// head. This is the full re-bundle path — compare
+    /// [`adopt_central`](Self::adopt_central), which keeps the existing
+    /// edges and their cursors.
+    pub fn from_central(central: CentralServer<S>, num_edges: usize) -> Self {
+        let scheme = central.scheme().clone();
+        let head = central.delta_log().next_seq();
+        let mut shard_map = ShardMap::new(num_edges.max(1));
+        let mut edges: Vec<EdgeSlot<S>> = (0..num_edges.max(1))
+            .map(|_| EdgeSlot {
+                server: EdgeServer::with_seq(scheme.clone(), head),
+                queue: VecDeque::new(),
+                cursor: head,
+            })
+            .collect();
+        for table in central.catalog.iter() {
+            let name = table.schema().table.clone();
+            let owner = shard_map.assign(&name);
+            let store = central
+                .stores
+                .get(&name)
+                .expect("catalog mirrors stores")
+                .clone();
+            edges[owner]
+                .server
+                .install_table(name, table.schema().clone(), store);
+        }
+        Self {
+            central,
+            edges,
+            shard_map,
+        }
+    }
+
+    /// Swap in a recovered central server while keeping the edges and
+    /// their subscription cursors (the fast resubscription path after a
+    /// central crash). Refuses the adoption when an edge's cursor is
+    /// *ahead* of the recovered head ([`ClusterError::RolledBack`] —
+    /// an acked, fanned-out commit is missing from the recovered
+    /// history) or *behind* its retention window
+    /// ([`ClusterError::Truncated`] — that edge must re-bundle via
+    /// [`from_central`](Self::from_central) instead). On success the
+    /// next [`fan_out`](Self::fan_out) resumes each subscription
+    /// exactly at its cursor: no gaps, no duplicate sequence numbers.
+    pub fn adopt_central(
+        &mut self,
+        central: CentralServer<S>,
+    ) -> Result<(), ClusterError<S::Error>> {
+        let head = central.delta_log().next_seq();
+        let oldest = central.delta_log().oldest_seq();
+        for (id, slot) in self.edges.iter().enumerate() {
+            if slot.cursor > head {
+                return Err(ClusterError::RolledBack {
+                    edge: id,
+                    cursor: slot.cursor,
+                    head,
+                });
+            }
+            if slot.cursor < oldest {
+                return Err(ClusterError::Truncated(DeltaLogError::Truncated {
+                    requested: slot.cursor,
+                    oldest,
+                }));
+            }
+        }
+        self.central = central;
+        Ok(())
     }
 
     /// The trusted side (key registry, owner position, delta log).

@@ -25,7 +25,14 @@
 //!   queues (bounded-retention [`DeltaLog`] cursors), queries routed to
 //!   the owning edge, and freshness-verified reads — clients reject an
 //!   honest-but-stale edge via owner-signed `(seq, clock)` stamps and
-//!   `FreshnessPolicy { max_lag, max_age }`.
+//!   `FreshnessPolicy { max_lag, max_age }`;
+//! * [`durability`] — the central's **crash safety**: a checksummed
+//!   write-ahead log appended and fsync'd before every commit ack (one
+//!   record per group-commit batch), periodic + DDL-forced atomic
+//!   checkpoints through the storage page layer, and
+//!   `CentralServer::recover` — newest valid checkpoint + WAL-suffix
+//!   replay to a byte-identical state whose `(seq, clock)` never
+//!   rewinds below an issued stamp.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +40,7 @@
 pub mod central;
 pub mod client;
 pub mod cluster;
+pub mod durability;
 pub mod edge_server;
 pub mod locks;
 pub mod service;
@@ -46,6 +54,7 @@ pub use client::{ClientError, EdgeClient, KeyFreshnessPolicy, SchemeClient, Sche
 pub use cluster::{
     ClusterConfig, ClusterCoordinator, ClusterError, EdgeLag, RoutedResponse, ShardMap,
 };
+pub use durability::DurabilityConfig;
 pub use edge_server::{EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
 pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};

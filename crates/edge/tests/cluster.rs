@@ -382,7 +382,7 @@ fn unit_delta(seq: u64) -> SignedDelta<()> {
 fn delta_log_retention_evicts_and_reports_truncation() {
     let mut log: DeltaLog<()> = DeltaLog::new(3);
     for seq in 0..5 {
-        log.push(unit_delta(seq));
+        log.push(unit_delta(seq)).unwrap();
     }
     assert_eq!(log.len(), 3);
     assert_eq!(log.oldest_seq(), 2);
@@ -409,11 +409,35 @@ fn delta_log_retention_evicts_and_reports_truncation() {
 }
 
 #[test]
-#[should_panic(expected = "contiguous")]
 fn delta_log_rejects_gaps() {
+    // Non-contiguous appends are a structured error, not a panic: the
+    // recovery path replays WAL records through `push`/`push_batch` and
+    // must surface a gap as corruption instead of aborting the process.
     let mut log: DeltaLog<()> = DeltaLog::new(8);
-    log.push(unit_delta(0));
-    log.push(unit_delta(2));
+    log.push(unit_delta(0)).unwrap();
+    assert_eq!(
+        log.push(unit_delta(2)),
+        Err(vbx_edge::DeltaLogError::NonContiguous {
+            expected: 1,
+            got: 2
+        })
+    );
+    // A rejected push leaves the log untouched…
+    assert_eq!(log.next_seq(), 1);
+    // …and the same holds for batches: gaps and empties are rejected.
+    assert!(matches!(
+        log.push_batch(unit_batch(5, 2)),
+        Err(vbx_edge::DeltaLogError::NonContiguous {
+            expected: 1,
+            got: 5
+        })
+    ));
+    assert!(matches!(
+        log.push_batch(unit_batch(1, 0)),
+        Err(vbx_edge::DeltaLogError::EmptyBatch)
+    ));
+    log.push(unit_delta(1)).unwrap();
+    assert_eq!(log.next_seq(), 2);
 }
 
 fn unit_batch(start_seq: u64, k: u64) -> vbx_edge::DeltaBatch<()> {
@@ -433,15 +457,15 @@ fn delta_log_batches_occupy_ranges_and_evict_as_units() {
     // window of 4 evicts the whole batch (entries leave as the unit
     // they arrived as).
     let mut log: DeltaLog<()> = DeltaLog::new(4);
-    log.push_batch(unit_batch(0, 3));
-    log.push(unit_delta(3));
-    log.push(unit_delta(4));
+    log.push_batch(unit_batch(0, 3)).unwrap();
+    log.push(unit_delta(3)).unwrap();
+    log.push(unit_delta(4)).unwrap();
     assert_eq!(log.len(), 2);
     assert_eq!(log.oldest_seq(), 3);
     assert_eq!(log.next_seq(), 5);
 
     // Cursors on batch boundaries: a batch spans [5, 9).
-    log.push_batch(unit_batch(5, 4));
+    log.push_batch(unit_batch(5, 4)).unwrap();
     assert_eq!(log.next_seq(), 9);
     let tail = log.collect_since(5).unwrap();
     assert_eq!(tail.len(), 1);
@@ -458,10 +482,10 @@ fn delta_log_batches_occupy_ranges_and_evict_as_units() {
     // The newest entry is always kept, even when it alone exceeds the
     // retention window.
     let mut log: DeltaLog<()> = DeltaLog::new(2);
-    log.push_batch(unit_batch(0, 5));
+    log.push_batch(unit_batch(0, 5)).unwrap();
     assert_eq!(log.len(), 5);
     assert_eq!(log.next_seq(), 5);
-    log.push(unit_delta(5));
+    log.push(unit_delta(5)).unwrap();
     assert_eq!(log.oldest_seq(), 5, "oversized batch evicted as a unit");
 }
 

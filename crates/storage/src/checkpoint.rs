@@ -1,0 +1,298 @@
+//! Checkpoint files: named byte sections chunked across [`SlottedPage`]s.
+//!
+//! A checkpoint is a point-in-time snapshot of the central's durable
+//! state — table stores, the `DeltaLog` tail, the freshness-stamp
+//! history, clock counters — written as one file so the WAL can be
+//! truncated. Sections are opaque `(key, bytes)` pairs; the layer above
+//! (`vbx-edge::durability`) decides what goes in them.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file  := "VCKP1" 0x00 [u32 page_size][u32 n_pages][u32 crc32(pages)] page*
+//! page  := SlottedPage bytes (page_size each)
+//! slot  := chunk
+//! chunk := 0x01 [u16 key_len][key][u32 value_len] data   (first chunk)
+//!        | 0x00 data                                     (continuation)
+//! ```
+//!
+//! Sections larger than a page are split across as many chunks (and
+//! pages) as needed; chunks of different sections never interleave. The
+//! whole-file CRC makes a torn checkpoint (non-atomic filesystem)
+//! detectable, so recovery can fall back to the previous checkpoint —
+//! the writer keeps the prior file until the new one is durable.
+
+use crate::page::SlottedPage;
+use crate::StorageError;
+
+const MAGIC: &[u8; 6] = b"VCKP1\x00";
+const HEADER_LEN: usize = MAGIC.len() + 12;
+
+/// Default page size for checkpoint files (the paper's 4 KB block).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Per-chunk header overhead of a first chunk with `key_len` key bytes.
+fn first_chunk_header(key_len: usize) -> usize {
+    1 + 2 + key_len + 4
+}
+
+/// Streaming writer: feed `(key, bytes)` sections, then
+/// [`finish`](Self::finish) into a single validated byte image.
+pub struct CheckpointBuilder {
+    page_size: usize,
+    pages: Vec<SlottedPage>,
+}
+
+impl CheckpointBuilder {
+    /// A builder emitting pages of `page_size` bytes (≥ 64).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 64, "checkpoint page too small");
+        Self {
+            page_size,
+            pages: vec![SlottedPage::new(page_size)],
+        }
+    }
+
+    fn free_space(&self) -> usize {
+        self.pages.last().unwrap().free_space()
+    }
+
+    fn fresh_page(&mut self) {
+        self.pages.push(SlottedPage::new(self.page_size));
+    }
+
+    fn push_chunk(&mut self, chunk: &[u8]) {
+        if self.pages.last_mut().unwrap().push(chunk).is_err() {
+            self.fresh_page();
+            self.pages
+                .last_mut()
+                .unwrap()
+                .push(chunk)
+                .expect("chunk sized to fit an empty page");
+        }
+    }
+
+    /// Append one section. Keys must be unique and ≤ `u16::MAX` bytes.
+    pub fn add(&mut self, key: &str, value: &[u8]) {
+        let key = key.as_bytes();
+        let header = first_chunk_header(key.len());
+        assert!(
+            header + 16 < self.page_size - 8,
+            "section key too long for page size"
+        );
+        // Make sure the first chunk has room for its header plus at
+        // least one data byte (or the whole value when empty).
+        if self.free_space() < header + usize::from(!value.is_empty()) {
+            self.fresh_page();
+        }
+        let mut first_cap = self.free_space().saturating_sub(header);
+        if first_cap == 0 && !value.is_empty() {
+            self.fresh_page();
+            first_cap = self.free_space() - header;
+        }
+        let take = value.len().min(first_cap);
+        let mut chunk = Vec::with_capacity(header + take);
+        chunk.push(1u8);
+        chunk.extend_from_slice(&(key.len() as u16).to_be_bytes());
+        chunk.extend_from_slice(key);
+        chunk.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        chunk.extend_from_slice(&value[..take]);
+        self.push_chunk(&chunk);
+        let mut rest = &value[take..];
+        while !rest.is_empty() {
+            if self.free_space() <= 1 {
+                self.fresh_page();
+            }
+            let take = rest.len().min(self.free_space() - 1);
+            let mut chunk = Vec::with_capacity(1 + take);
+            chunk.push(0u8);
+            chunk.extend_from_slice(&rest[..take]);
+            self.push_chunk(&chunk);
+            rest = &rest[take..];
+        }
+    }
+
+    /// Serialise header + pages into the final checkpoint image.
+    pub fn finish(self) -> Vec<u8> {
+        let mut pages_bytes = Vec::with_capacity(self.pages.len() * self.page_size);
+        for p in &self.pages {
+            pages_bytes.extend_from_slice(p.as_bytes());
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + pages_bytes.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.page_size as u32).to_be_bytes());
+        out.extend_from_slice(&(self.pages.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crate::wal::crc32(&pages_bytes).to_be_bytes());
+        out.extend_from_slice(&pages_bytes);
+        out
+    }
+}
+
+/// Parsed checkpoint: ordered `(key, bytes)` sections.
+pub struct CheckpointReader {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointReader {
+    /// Parse and validate a checkpoint image. Any framing damage —
+    /// short header, wrong magic, size mismatch, CRC mismatch, chunk
+    /// stream errors — returns [`StorageError::Corrupt`]; this is how a
+    /// torn checkpoint on a non-atomic filesystem is detected.
+    pub fn parse(bytes: &[u8]) -> Result<Self, StorageError> {
+        let corrupt = |m: &str| StorageError::Corrupt(format!("checkpoint: {m}"));
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt("short header"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let at = MAGIC.len();
+        let page_size = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let n_pages = u32::from_be_bytes(bytes[at + 4..at + 8].try_into().unwrap()) as usize;
+        let crc = u32::from_be_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+        if page_size < 64 || page_size > u16::MAX as usize {
+            return Err(corrupt("bad page size"));
+        }
+        let pages_bytes = &bytes[HEADER_LEN..];
+        if pages_bytes.len() != n_pages * page_size {
+            return Err(corrupt("page area size mismatch"));
+        }
+        if crate::wal::crc32(pages_bytes) != crc {
+            return Err(corrupt("crc mismatch"));
+        }
+        let mut sections: Vec<(String, Vec<u8>)> = Vec::new();
+        // (key, total_len, bytes so far) of the section being reassembled.
+        let mut open: Option<(String, usize, Vec<u8>)> = None;
+        for i in 0..n_pages {
+            let page =
+                SlottedPage::from_bytes(pages_bytes[i * page_size..(i + 1) * page_size].to_vec())?;
+            for chunk in page.iter() {
+                if chunk.is_empty() {
+                    return Err(corrupt("empty chunk"));
+                }
+                match chunk[0] {
+                    1 => {
+                        if let Some((key, total, data)) = open.take() {
+                            if data.len() != total {
+                                return Err(corrupt(&format!("section {key} truncated")));
+                            }
+                            sections.push((key, data));
+                        }
+                        if chunk.len() < 3 {
+                            return Err(corrupt("short first chunk"));
+                        }
+                        let key_len = u16::from_be_bytes(chunk[1..3].try_into().unwrap()) as usize;
+                        if chunk.len() < 3 + key_len + 4 {
+                            return Err(corrupt("short first chunk key"));
+                        }
+                        let key = String::from_utf8(chunk[3..3 + key_len].to_vec())
+                            .map_err(|_| corrupt("non-utf8 key"))?;
+                        let total = u32::from_be_bytes(
+                            chunk[3 + key_len..3 + key_len + 4].try_into().unwrap(),
+                        ) as usize;
+                        let data = chunk[3 + key_len + 4..].to_vec();
+                        if data.len() > total {
+                            return Err(corrupt("chunk overflows section"));
+                        }
+                        open = Some((key, total, data));
+                    }
+                    0 => match open.as_mut() {
+                        Some((_, total, data)) => {
+                            data.extend_from_slice(&chunk[1..]);
+                            if data.len() > *total {
+                                return Err(corrupt("chunk overflows section"));
+                            }
+                        }
+                        None => return Err(corrupt("continuation without section")),
+                    },
+                    _ => return Err(corrupt("bad chunk flag")),
+                }
+            }
+        }
+        if let Some((key, total, data)) = open.take() {
+            if data.len() != total {
+                return Err(corrupt(&format!("section {key} truncated")));
+            }
+            sections.push((key, data));
+        }
+        Ok(Self { sections })
+    }
+
+    /// All sections in write order.
+    pub fn sections(&self) -> &[(String, Vec<u8>)] {
+        &self.sections
+    }
+
+    /// The first section named `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(page_size: usize, sections: &[(&str, Vec<u8>)]) {
+        let mut b = CheckpointBuilder::new(page_size);
+        for (k, v) in sections {
+            b.add(k, v);
+        }
+        let image = b.finish();
+        let r = CheckpointReader::parse(&image).unwrap();
+        assert_eq!(r.sections().len(), sections.len());
+        for ((k, v), (rk, rv)) in sections.iter().zip(r.sections()) {
+            assert_eq!(k, rk);
+            assert_eq!(v, rv);
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint() {
+        roundtrip(256, &[]);
+    }
+
+    #[test]
+    fn small_sections_share_a_page() {
+        let mut b = CheckpointBuilder::new(4096);
+        b.add("meta", b"abc");
+        b.add("log", b"defgh");
+        let image = b.finish();
+        // Header + exactly one page.
+        assert_eq!(image.len(), HEADER_LEN + 4096);
+        let r = CheckpointReader::parse(&image).unwrap();
+        assert_eq!(r.get("meta").unwrap(), b"abc");
+        assert_eq!(r.get("log").unwrap(), b"defgh");
+        assert_eq!(r.get("nope"), None);
+    }
+
+    #[test]
+    fn large_section_spans_pages() {
+        let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        roundtrip(256, &[("big", big.clone()), ("after", b"tail".to_vec())]);
+        // Empty values and values exactly at boundaries.
+        roundtrip(128, &[("empty", vec![]), ("one", vec![42])]);
+        for n in [0usize, 1, 63, 64, 65, 107, 108, 109, 200, 500] {
+            roundtrip(128, &[("k", vec![7u8; n])]);
+        }
+    }
+
+    #[test]
+    fn crc_detects_torn_checkpoint() {
+        let mut b = CheckpointBuilder::new(256);
+        b.add("meta", &[9u8; 300]);
+        let image = b.finish();
+        // Truncation at every length must error, never panic.
+        for cut in 0..image.len() {
+            assert!(CheckpointReader::parse(&image[..cut]).is_err());
+        }
+        // A single bit flip in the page area must be caught by the CRC.
+        let mut flipped = image.clone();
+        let n = flipped.len();
+        flipped[n - 1] ^= 0x80;
+        assert!(CheckpointReader::parse(&flipped).is_err());
+    }
+}

@@ -20,20 +20,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod geometry;
 pub mod page;
 pub mod schema;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod vfs;
+pub mod wal;
 pub mod workload;
 
+pub use checkpoint::{CheckpointBuilder, CheckpointReader};
 pub use geometry::Geometry;
 pub use page::SlottedPage;
 pub use schema::{ColumnDef, Schema};
 pub use table::{Catalog, Table};
 pub use tuple::Tuple;
 pub use value::{ColumnType, Value};
+pub use vfs::{DiskVfs, FailPoint, FailpointFs, MemVfs, Vfs};
+pub use wal::{crc32, Wal, WalScan, WalTail};
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +59,9 @@ pub enum StorageError {
     },
     /// Malformed serialized data.
     Corrupt(String),
+    /// A filesystem operation failed (or the process was killed by a
+    /// fault-injection point — see [`vfs::FailpointFs`]).
+    Io(String),
 }
 
 impl core::fmt::Display for StorageError {
@@ -65,6 +74,7 @@ impl core::fmt::Display for StorageError {
                 write!(f, "page full: need {needed} bytes, {available} available")
             }
             StorageError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            StorageError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

@@ -80,6 +80,31 @@ impl Table {
     pub fn data_bytes(&self) -> usize {
         self.rows.values().map(Tuple::wire_len).sum()
     }
+
+    /// Serialise schema + rows (checkpoints persist the catalog).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.schema.encode_into(out);
+        out.extend_from_slice(&(self.rows.len() as u32).to_be_bytes());
+        for row in self.rows.values() {
+            row.encode_into(out);
+        }
+    }
+
+    /// Decode a table, advancing `buf`.
+    pub fn decode(buf: &mut &[u8]) -> Result<Self, StorageError> {
+        let schema = Schema::decode(buf)?;
+        if buf.len() < 4 {
+            return Err(StorageError::Corrupt("table row count truncated".into()));
+        }
+        let n = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        *buf = &buf[4..];
+        let mut table = Table::new(schema);
+        for _ in 0..n {
+            let tuple = Tuple::decode(buf)?;
+            table.insert(tuple)?;
+        }
+        Ok(table)
+    }
 }
 
 /// A named collection of tables — the central server's master database.
