@@ -17,6 +17,8 @@
 //! cargo run -p vbx-bench --bin repro --release -- serve --write-batch 1,4,16 # group-commit sweep
 //! cargo run -p vbx-bench --bin repro --release -- recover # durability: fsync cost + replay rate
 //! cargo run -p vbx-bench --bin repro --release -- recover --smoke # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- net     # many-connection TCP serving
+//! cargo run -p vbx-bench --bin repro --release -- net --smoke # quick CI check
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
@@ -113,6 +115,20 @@ fn main() {
         vbx_bench::perf::write_bench_json("BENCH_recover.json", "recover", recover_rows, &records)
             .expect("write BENCH_recover.json");
         println!("\nwrote BENCH_recover.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "net" {
+        // Named-only (writes BENCH_net.json); not part of `all`. The
+        // networked serving benchmark: hundreds of concurrent verified
+        // TCP connections (compact VBX4 readers) vs one writer
+        // streaming group-commit batches over the wire.
+        let net_rows = explicit_rows.unwrap_or(if smoke { 500 } else { 2_000 });
+        let connections = if smoke { 32 } else { 192 };
+        let records = vbx_bench::net::run_net(net_rows, connections, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_net.json", "net", net_rows, &records)
+            .expect("write BENCH_net.json");
+        println!("\nwrote BENCH_net.json ({} records)", records.len());
         return;
     }
 

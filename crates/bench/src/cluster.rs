@@ -88,6 +88,7 @@ pub fn run_cluster(rows: u64, smoke: bool, write_batch: &[usize]) -> Vec<BenchRe
         ClusterConfig {
             edges: EDGES,
             retention: 8_192,
+            ..ClusterConfig::default()
         },
     );
     let mut schemas = Vec::with_capacity(TABLES);

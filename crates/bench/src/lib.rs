@@ -11,6 +11,7 @@
 
 pub mod cluster;
 pub mod compact;
+pub mod net;
 pub mod perf;
 pub mod recover;
 pub mod serve;

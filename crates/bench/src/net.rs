@@ -1,0 +1,258 @@
+//! The `repro -- net` section: a closed-loop load generator driving
+//! hundreds of concurrent **verified** connections against an edge
+//! server over real TCP.
+//!
+//! N reader connections each run their own [`NetClient`] in a closed
+//! loop — compact (`VBX4`) multi-range queries, decoded and fully
+//! client-verified per response — while one writer connection streams
+//! group-committed `VBX3` delta batches from a [`CentralServer`] into
+//! the same edge through the push-replication path. Every response is
+//! verified; a single failure fails the run. The report (connection
+//! count, throughput, query p50/p99, verification failures) is written
+//! to `BENCH_net.json` in the same diffable shape as the other
+//! sections.
+
+use crate::perf::{percentile, BenchRecord};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vbx_core::{decode_compact_response, ClientVerifier, RangeQuery, UpdateOp, VbTreeConfig};
+use vbx_crypto::signer::{MockSigner, Signer};
+use vbx_crypto::Acc256;
+use vbx_edge::{
+    CentralServer, EdgeEndpoint, EdgeServer, FrameEndpoint, NetClient, NetServer, TcpTransport,
+    Transport,
+};
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::{Schema, Tuple, Value};
+
+/// Dial with retries: a burst of hundreds of simultaneous connects can
+/// outrun the listener's accept backlog; the kernel drops the excess
+/// SYNs and a brief retry loop absorbs it.
+fn connect_with_retry(addr: &str) -> NetClient {
+    let mut delay = Duration::from_millis(5);
+    for _ in 0..8 {
+        match NetClient::connect(&TcpTransport, addr) {
+            Ok(c) => return c,
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+        }
+    }
+    NetClient::connect(&TcpTransport, addr).expect("edge server accepts connections")
+}
+
+/// Everything a reader connection shares with the harness: where to
+/// dial, what to verify against, and the stop/failure signals.
+struct ReaderCtx<'a> {
+    rows: u64,
+    min_queries: u64,
+    addr: &'a str,
+    acc: &'a Acc256,
+    schema: &'a Schema,
+    verifier: &'a dyn vbx_crypto::SigVerifier,
+    stop: &'a AtomicBool,
+    failures: &'a AtomicU64,
+}
+
+/// One connection's share of the closed loop: compact queries over its
+/// own socket, each response decoded and verified, until the writer is
+/// done (but at least `min_queries`).
+fn reader_conn(reader: u64, ctx: &ReaderCtx<'_>) -> Vec<u64> {
+    let mut client = connect_with_retry(ctx.addr);
+    let rows = ctx.rows;
+    let span = ((rows as f64 * 0.02) as u64).max(1);
+    let mut lat = Vec::with_capacity(1024);
+    let mut i = 0u64;
+    while !ctx.stop.load(Ordering::Relaxed) || i < ctx.min_queries {
+        let lo = (reader * 131 + i * 17) % rows;
+        let queries = [
+            RangeQuery::select_all(lo, lo + span),
+            RangeQuery::select_all((lo + rows / 2) % rows, (lo + rows / 2) % rows + span),
+        ];
+        let t0 = Instant::now();
+        let bytes = client
+            .query_compact("items", &queries, false)
+            .expect("edge serves while up");
+        let ok = decode_compact_response::<4>(&bytes, ctx.acc)
+            .map_err(|_| ())
+            .and_then(|resp| {
+                ClientVerifier::new(ctx.acc, ctx.schema)
+                    .verify_compact(ctx.verifier, &queries, &resp)
+                    .map_err(|_| ())
+            })
+            .is_ok();
+        lat.push(t0.elapsed().as_nanos() as u64);
+        if !ok {
+            ctx.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        i += 1;
+    }
+    lat
+}
+
+/// Run the networked serving benchmark: `connections` verified reader
+/// connections plus one replication writer against one edge over TCP
+/// loopback. Returns the records written to `BENCH_net.json`.
+pub fn run_net(rows: u64, connections: usize, smoke: bool) -> Vec<BenchRecord> {
+    let batches: u64 = if smoke { 10 } else { 40 };
+    let batch_ops: usize = 8;
+    let min_queries: u64 = if smoke { 5 } else { 20 };
+
+    let spec = WorkloadSpec {
+        table: "items".into(),
+        ..WorkloadSpec::new(rows, 4, 10)
+    };
+    let acc = Acc256::test_default();
+    let signer = Arc::new(MockSigner::with_version(0x7C9, 1));
+    let verifier = signer.verifier();
+    let mut central = CentralServer::new(acc.clone(), signer, VbTreeConfig::default());
+    central.create_table(spec.build());
+    let schema = central.tree("items").expect("created").schema().clone();
+    let edge = Arc::new(EdgeServer::from_bundle(central.bundle()));
+
+    let endpoint = Arc::new(EdgeEndpoint::new(edge.clone()));
+    let server = NetServer::spawn(
+        TcpTransport.listen("127.0.0.1:0").expect("bind loopback"),
+        endpoint as Arc<dyn FrameEndpoint>,
+    );
+    let addr = server.addr().to_string();
+
+    println!(
+        "# net — {connections} verified TCP connections × compact queries vs 1 writer × {batches} group-commit batches ({rows} rows)"
+    );
+
+    let stop = AtomicBool::new(false);
+    let failures = AtomicU64::new(0);
+    let wall = Instant::now();
+    let ctx = ReaderCtx {
+        rows,
+        min_queries,
+        addr: addr.as_str(),
+        acc: &acc,
+        schema: &schema,
+        verifier: verifier.as_ref(),
+        stop: &stop,
+        failures: &failures,
+    };
+    let (mut latencies, batch_ns) = std::thread::scope(|s| {
+        let ctx = &ctx;
+        let addr = ctx.addr;
+        let schema = ctx.schema;
+        let stop = ctx.stop;
+        let central = &mut central;
+
+        let handles: Vec<_> = (0..connections as u64)
+            .map(|r| s.spawn(move || reader_conn(r, ctx)))
+            .collect();
+
+        // The writer is its own connection: group-commit at the
+        // central, stream each VBX3 batch into the edge over TCP.
+        let writer = s.spawn(move || {
+            let mut client = connect_with_retry(addr);
+            let mut per_batch = Vec::with_capacity(batches as usize);
+            for b in 0..batches {
+                let t0 = Instant::now();
+                let ops: Vec<UpdateOp> = (0..batch_ops as u64)
+                    .map(|i| {
+                        let key = rows * 4 + b * batch_ops as u64 + i;
+                        UpdateOp::Insert(
+                            Tuple::new(
+                                schema,
+                                key,
+                                vec![
+                                    Value::from(format!("new{key}")),
+                                    Value::from("w"),
+                                    Value::from("x"),
+                                    Value::from((key % 97) as i64),
+                                ],
+                            )
+                            .expect("schema-conformant tuple"),
+                        )
+                    })
+                    .collect();
+                let batch = central
+                    .execute_update_batch("items", ops)
+                    .expect("group commit");
+                let bytes = vbx_core::encode_delta_batch(batch.as_ref());
+                let applied = client
+                    .push_replication(&vbx_core::NetMsg::DeltaBatch(bytes))
+                    .expect("edge applies the batch");
+                assert_eq!(applied, batch.end_seq(), "edge acked the batch position");
+                per_batch.push(t0.elapsed().as_nanos() as u64);
+            }
+            stop.store(true, Ordering::Relaxed);
+            per_batch
+        });
+
+        let lats: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader connection panicked"))
+            .collect();
+        (lats, writer.join().expect("writer connection panicked"))
+    });
+    let wall_ns = wall.elapsed().as_nanos() as f64;
+
+    let failures = failures.load(Ordering::Relaxed);
+    assert_eq!(failures, 0, "a TCP-served response failed verification");
+    assert_eq!(edge.applied_seq(), batches * batch_ops as u64);
+    let accepted = server
+        .stats()
+        .accepted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let qps = total as f64 / (wall_ns / 1e9);
+    let batch_mean = batch_ns.iter().sum::<u64>() as f64 / batch_ns.len().max(1) as f64;
+
+    let mut recs = Vec::new();
+    let mut rec = |op: &str, n: u64, ns: f64| {
+        println!("{op:<28} {ns:>14.1} ns/op  (n = {n})");
+        recs.push(BenchRecord {
+            op: op.to_string(),
+            n,
+            ns_per_op: ns,
+        });
+    };
+    rec("net_connections", connections as u64, 0.0);
+    rec("net_queries", total, 0.0);
+    rec("net_query_mean", total, mean);
+    rec("net_query_p50", total, p50);
+    rec("net_query_p99", total, p99);
+    rec("net_wall_per_query", total, wall_ns / total.max(1) as f64);
+    rec("net_batch_replicate", batches, batch_mean);
+    rec("net_verify_failures", failures, 0.0);
+
+    println!();
+    println!("connections            : {connections} readers + 1 writer (accepted {accepted})");
+    println!("reader throughput      : {qps:.0} verified compact queries/s (closed loop)");
+    println!(
+        "writer                 : {batches} batches × {batch_ops} ops streamed as VBX3 over TCP"
+    );
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_net_serves_many_verified_connections() {
+        let recs = run_net(300, 16, true);
+        let get = |op: &str| {
+            recs.iter()
+                .find(|r| r.op == op)
+                .unwrap_or_else(|| panic!("missing record {op}"))
+        };
+        assert_eq!(get("net_connections").n, 16);
+        assert_eq!(get("net_verify_failures").n, 0);
+        assert!(get("net_queries").n >= 16 * 5, "every reader met its quota");
+        assert!(get("net_query_p99").ns_per_op >= get("net_query_p50").ns_per_op);
+    }
+}

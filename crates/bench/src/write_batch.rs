@@ -184,6 +184,7 @@ pub fn sweep_cluster(ks: &[usize], smoke: bool) -> Vec<BenchRecord> {
         ClusterConfig {
             edges: 2,
             retention: 1 << 20,
+            ..ClusterConfig::default()
         },
     );
     cluster.create_table(sweep_table("wbc", rows));

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod frame;
 pub mod meter;
 pub mod node;
 pub mod scheme;
@@ -54,6 +55,7 @@ pub use durable::{
     decode_wal_record, encode_wal_commit_batch, encode_wal_commit_op, encode_wal_heartbeat,
     DurableScheme, WalRecord,
 };
+pub use frame::{ErrorCode, Frame, FrameBuffer, FrameKind, NetMsg, MAX_FRAME_LEN};
 pub use meter::CostMeter;
 pub use scheme::{
     AuthScheme, DeltaBatch, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError,
@@ -74,8 +76,9 @@ pub use vo::{
 };
 pub use wire::{
     compact_response_bytes, decode_compact_response, decode_delta_batch, decode_response,
-    encode_compact_prefix, encode_compact_response, encode_delta_batch, encode_response,
-    measure_compact, measure_response, CompactStream, ResponseSize, StreamOp, StreamPartHeader,
+    decode_signed_delta, encode_compact_prefix, encode_compact_response, encode_delta_batch,
+    encode_response, encode_signed_delta, measure_compact, measure_response, CompactStream,
+    ResponseSize, StreamOp, StreamPartHeader,
 };
 
 /// Errors from tree operations and the wire format.

@@ -12,7 +12,8 @@
 //! `VBX2` response encoding is unchanged and its decoder kept — the two
 //! message types coexist on the wire, distinguished by magic.
 
-use crate::scheme::{DeltaBatch, UpdateOp};
+use crate::frame::{get_sig, get_str, put_sig, put_str};
+use crate::scheme::{DeltaBatch, SignedDelta, UpdateOp};
 use crate::verify::{FreshnessStamp, ResponseFreshness};
 use crate::vo::{CompactPart, CompactResponse, QueryResponse, ResultRow, VerificationObject, VoOp};
 use crate::CoreError;
@@ -33,6 +34,11 @@ const BATCH_MAGIC: &[u8; 4] = b"VBX3";
 /// the four magics disambiguate.
 const COMPACT_MAGIC: &[u8; 4] = b"VBX4";
 
+/// Format version 6: a single un-batched [`SignedDelta`] — the per-op
+/// counterpart of `VBX3` for the framed subscription stream. (`VBX5`
+/// is the frame layer itself, in [`crate::frame`].)
+const DELTA_MAGIC: &[u8; 4] = b"VBX6";
+
 /// `VBX4` op tags.
 const OP_BEGIN: u8 = 0x01;
 const OP_END: u8 = 0x02;
@@ -43,8 +49,7 @@ const OP_REF: u8 = 0x05;
 pub(crate) fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
     out.extend_from_slice(&d.exp.to_be_bytes());
-    out.put_u16(d.sig.len() as u16);
-    out.extend_from_slice(d.sig.as_bytes());
+    put_sig(out, &d.sig);
 }
 
 pub(crate) fn get_digest<const L: usize>(
@@ -52,7 +57,7 @@ pub(crate) fn get_digest<const L: usize>(
     acc: &Accumulator<L>,
 ) -> Result<SignedDigest<L>, CoreError> {
     let corrupt = |m: &str| CoreError::Wire(m.to_string());
-    if buf.remaining() < 1 + L * 8 + 2 {
+    if buf.remaining() < 1 + L * 8 {
         return Err(corrupt("digest truncated"));
     }
     let role = DigestRole::from_tag(buf.get_u8()).ok_or_else(|| corrupt("bad role tag"))?;
@@ -61,12 +66,7 @@ pub(crate) fn get_digest<const L: usize>(
         .exp_from_canonical(exp_bytes)
         .ok_or_else(|| corrupt("exponent out of range"))?;
     buf.advance(L * 8);
-    let sig_len = buf.get_u16() as usize;
-    if buf.remaining() < sig_len {
-        return Err(corrupt("signature truncated"));
-    }
-    let sig = Signature(buf[..sig_len].to_vec());
-    buf.advance(sig_len);
+    let sig = get_sig(buf, "digest signature")?;
     Ok(SignedDigest { exp, role, sig })
 }
 
@@ -111,8 +111,7 @@ pub(crate) fn put_stamp(out: &mut Vec<u8>, stamp: Option<&FreshnessStamp>) {
             out.put_u64(stamp.seq);
             out.put_u64(stamp.clock);
             out.put_u32(stamp.key_version);
-            out.put_u16(stamp.sig.len() as u16);
-            out.extend_from_slice(stamp.sig.as_bytes());
+            put_sig(out, &stamp.sig);
         }
     }
 }
@@ -141,18 +140,13 @@ pub(crate) fn get_stamp(buf: &mut &[u8]) -> Result<Option<FreshnessStamp>, CoreE
     match buf.get_u8() {
         0 => Ok(None),
         1 => {
-            if buf.remaining() < 22 {
+            if buf.remaining() < 20 {
                 return Err(corrupt("freshness stamp truncated"));
             }
             let seq = buf.get_u64();
             let clock = buf.get_u64();
             let key_version = buf.get_u32();
-            let sig_len = buf.get_u16() as usize;
-            if buf.remaining() < sig_len {
-                return Err(corrupt("freshness signature truncated"));
-            }
-            let sig = Signature(buf[..sig_len].to_vec());
-            buf.advance(sig_len);
+            let sig = get_sig(buf, "freshness signature")?;
             Ok(Some(FreshnessStamp {
                 seq,
                 clock,
@@ -287,8 +281,7 @@ pub fn encode_delta_batch<const L: usize>(batch: &DeltaBatch<Vec<SignedDigest<L>
     let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(BATCH_MAGIC);
     out.put_u64(batch.start_seq);
-    out.put_u32(batch.table.len() as u32);
-    out.extend_from_slice(batch.table.as_bytes());
+    put_str(&mut out, &batch.table);
     out.put_u32(batch.key_version);
 
     out.put_u32(batch.ops.len() as u32);
@@ -323,18 +316,11 @@ pub fn decode_delta_batch<const L: usize>(
         return Err(corrupt("bad batch magic"));
     }
     buf.advance(4);
-    if buf.remaining() < 12 {
+    if buf.remaining() < 8 {
         return Err(corrupt("batch header truncated"));
     }
     let start_seq = buf.get_u64();
-    let table_len = buf.get_u32() as usize;
-    if buf.remaining() < table_len {
-        return Err(corrupt("table name truncated"));
-    }
-    let table = core::str::from_utf8(&buf[..table_len])
-        .map_err(|_| corrupt("table name not UTF-8"))?
-        .to_string();
-    buf.advance(table_len);
+    let table = get_str(&mut buf, "table name")?;
     if buf.remaining() < 8 {
         return Err(corrupt("batch key version truncated"));
     }
@@ -374,6 +360,65 @@ pub fn decode_delta_batch<const L: usize>(
         payloads,
         key_version,
         stamp,
+    })
+}
+
+/// Serialize a single [`SignedDelta`] — the `VBX6` envelope one
+/// un-batched update travels under on the subscription stream (batches
+/// use `VBX3`; the two coexist on the wire, distinguished by magic).
+pub fn encode_signed_delta<const L: usize>(delta: &SignedDelta<Vec<SignedDigest<L>>>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(DELTA_MAGIC);
+    out.put_u64(delta.seq);
+    put_str(&mut out, &delta.table);
+    out.put_u32(delta.key_version);
+    put_update_op(&mut out, &delta.op);
+    out.put_u32(delta.payload.len() as u32);
+    for d in &delta.payload {
+        put_digest(&mut out, d);
+    }
+    out
+}
+
+/// Decode a `VBX6` single signed delta. Same hostile-input contract as
+/// [`decode_delta_batch`].
+pub fn decode_signed_delta<const L: usize>(
+    bytes: &[u8],
+    acc: &Accumulator<L>,
+) -> Result<SignedDelta<Vec<SignedDigest<L>>>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != DELTA_MAGIC {
+        return Err(corrupt("bad delta magic"));
+    }
+    buf.advance(4);
+    if buf.remaining() < 8 {
+        return Err(corrupt("delta header truncated"));
+    }
+    let seq = buf.get_u64();
+    let table = get_str(&mut buf, "table name")?;
+    if buf.remaining() < 4 {
+        return Err(corrupt("delta key version truncated"));
+    }
+    let key_version = buf.get_u32();
+    let op = get_update_op(&mut buf)?;
+    if buf.remaining() < 4 {
+        return Err(corrupt("payload digest count truncated"));
+    }
+    let n_digests = buf.get_u32() as usize;
+    let mut payload = Vec::with_capacity(n_digests.min(1 << 20));
+    for _ in 0..n_digests {
+        payload.push(get_digest(&mut buf, acc)?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in delta"));
+    }
+    Ok(SignedDelta {
+        seq,
+        table,
+        op,
+        payload,
+        key_version,
     })
 }
 
@@ -457,8 +502,7 @@ pub fn encode_compact_prefix<const L: usize>(resp: &CompactResponse<L>) -> Vec<u
         None => out.push(0),
         Some(sig) => {
             out.push(1);
-            out.put_u16(sig.len() as u16);
-            out.extend_from_slice(sig.as_bytes());
+            put_sig(&mut out, sig);
         }
     }
 
@@ -630,18 +674,7 @@ impl<'a, const L: usize> CompactStream<'a, L> {
         }
         let agg_sig = match buf.get_u8() {
             0 => None,
-            1 => {
-                if buf.remaining() < 2 {
-                    return Err(corrupt("aggregate signature truncated"));
-                }
-                let sig_len = buf.get_u16() as usize;
-                if buf.remaining() < sig_len {
-                    return Err(corrupt("aggregate signature truncated"));
-                }
-                let sig = Signature(buf[..sig_len].to_vec());
-                buf.advance(sig_len);
-                Some(sig)
-            }
+            1 => Some(get_sig(&mut buf, "aggregate signature")?),
             _ => return Err(corrupt("bad aggregate flag")),
         };
 

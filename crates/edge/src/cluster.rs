@@ -48,6 +48,12 @@ pub struct ClusterConfig {
     /// Delta-log retention window at the central server (a subscriber
     /// further behind must re-bundle).
     pub retention: usize,
+    /// Bound on one edge's subscription queue. A subscriber whose
+    /// queue would exceed this is **disconnected** — its buffered items
+    /// are dropped and it must
+    /// [`resubscribe_edge`](ClusterCoordinator::resubscribe_edge) —
+    /// instead of growing an unbounded `VecDeque`.
+    pub max_queue: usize,
 }
 
 impl Default for ClusterConfig {
@@ -55,6 +61,7 @@ impl Default for ClusterConfig {
         Self {
             edges: 3,
             retention: 4_096,
+            max_queue: 4_096,
         }
     }
 }
@@ -130,6 +137,17 @@ pub enum ClusterError<E> {
     /// A subscription cursor fell out of the delta log's retention
     /// window; the edge must be re-provisioned from a fresh bundle.
     Truncated(DeltaLogError),
+    /// The edge's subscription queue hit its bound and the subscriber
+    /// was disconnected (its buffered items dropped). Re-provision it
+    /// with [`ClusterCoordinator::resubscribe_edge`].
+    Disconnected {
+        /// The slow edge.
+        edge: usize,
+        /// Queue items buffered when the bound tripped.
+        queued: usize,
+        /// The configured bound ([`ClusterConfig::max_queue`]).
+        bound: usize,
+    },
     /// A recovered central's head is *behind* an edge's subscription
     /// cursor: a commit that was acked and fanned out is missing from
     /// the recovered history. This is data loss — refusing the adoption
@@ -152,6 +170,14 @@ impl<E: core::fmt::Display> core::fmt::Display for ClusterError<E> {
             ClusterError::Central(e) => write!(f, "central: {e}"),
             ClusterError::Edge(e) => write!(f, "edge: {e}"),
             ClusterError::Truncated(e) => write!(f, "subscription lost: {e}"),
+            ClusterError::Disconnected {
+                edge,
+                queued,
+                bound,
+            } => write!(
+                f,
+                "edge {edge} disconnected: subscription queue hit {queued}/{bound}; resubscribe"
+            ),
             ClusterError::RolledBack { edge, cursor, head } => write!(
                 f,
                 "recovered central head {head} is behind edge {edge}'s cursor {cursor}: acked commits were lost"
@@ -195,6 +221,9 @@ where
     queue: VecDeque<QueueItem<S::Delta>>,
     /// Next global sequence number to pull from the central log.
     cursor: u64,
+    /// Set when the queue bound tripped: fan-out stops buffering for
+    /// this edge until it resubscribes.
+    disconnected: bool,
 }
 
 /// Per-edge replication lag snapshot.
@@ -208,6 +237,9 @@ pub struct EdgeLag {
     pub queued: usize,
     /// Deltas behind the owner's head (`owner_seq - applied_seq`).
     pub lag: u64,
+    /// Whether the bounded subscription queue tripped and the edge was
+    /// dropped from fan-out (it must resubscribe).
+    pub disconnected: bool,
 }
 
 /// A response plus where it came from.
@@ -230,6 +262,7 @@ where
     central: CentralServer<S>,
     edges: Vec<EdgeSlot<S>>,
     shard_map: ShardMap,
+    max_queue: usize,
 }
 
 impl<S: AuthScheme + Clone> ClusterCoordinator<S>
@@ -251,12 +284,14 @@ where
                 server: EdgeServer::with_seq(scheme.clone(), 0),
                 queue: VecDeque::new(),
                 cursor: 0,
+                disconnected: false,
             })
             .collect();
         Self {
             central,
             edges,
             shard_map: ShardMap::new(config.edges.max(1)),
+            max_queue: config.max_queue.max(1),
         }
     }
 
@@ -276,6 +311,7 @@ where
                 server: EdgeServer::with_seq(scheme.clone(), head),
                 queue: VecDeque::new(),
                 cursor: head,
+                disconnected: false,
             })
             .collect();
         for table in central.catalog.iter() {
@@ -294,6 +330,7 @@ where
             central,
             edges,
             shard_map,
+            max_queue: ClusterConfig::default().max_queue,
         }
     }
 
@@ -442,9 +479,21 @@ where
     /// batch travels as one shared `Arc` — **one fan-out message for
     /// `k` ops**), all the others one sequence-range placeholder per
     /// entry. Returns the number of queue items added.
+    ///
+    /// Queues are **bounded** by [`ClusterConfig::max_queue`]: an edge
+    /// whose queue would overflow is disconnected (buffered items
+    /// dropped, no further buffering) instead of growing without limit;
+    /// its next [`drain_edge`](Self::drain_edge) reports
+    /// [`ClusterError::Disconnected`] and it must
+    /// [`resubscribe_edge`](Self::resubscribe_edge). Fan-out itself
+    /// keeps going — one slow subscriber never blocks the write path or
+    /// the healthy edges.
     pub fn fan_out(&mut self) -> Result<usize, ClusterError<S::Error>> {
         let mut moved = 0usize;
         for (id, slot) in self.edges.iter_mut().enumerate() {
+            if slot.disconnected {
+                continue;
+            }
             let entries = self
                 .central
                 .delta_log()
@@ -456,6 +505,15 @@ where
                     slot.cursor,
                     "subscription stays contiguous"
                 );
+                if slot.queue.len() >= self.max_queue {
+                    // The bounded send queue: drop the whole backlog and
+                    // mark the subscriber gone rather than buffer
+                    // without limit for a consumer that is not keeping
+                    // up.
+                    slot.queue.clear();
+                    slot.disconnected = true;
+                    break;
+                }
                 let item = if self.shard_map.owner(entry.table()) == Some(id) {
                     match entry {
                         LogEntry::Op(delta) => QueueItem::Apply(delta.clone()),
@@ -485,6 +543,13 @@ where
             .edges
             .get_mut(edge)
             .ok_or(ClusterError::UnknownEdge(edge))?;
+        if slot.disconnected {
+            return Err(ClusterError::Disconnected {
+                edge,
+                queued: slot.queue.len(),
+                bound: self.max_queue,
+            });
+        }
         let mut consumed = 0usize;
         while consumed < max {
             let Some(item) = slot.queue.pop_front() else {
@@ -509,12 +574,55 @@ where
         Ok(consumed)
     }
 
-    /// Fan out and fully drain every edge (the steady state between
-    /// induced-lag experiments). Returns total items consumed.
+    /// Reconnect a disconnected edge by re-provisioning it from the
+    /// central's *current* state instead of replaying the dropped
+    /// backlog: fresh clones of its owned stores, cursor and applied
+    /// position fast-forwarded to the owner's head, and the head's
+    /// attestation installed if the central retains one. Also works on
+    /// a healthy edge (it simply snaps to the head).
+    pub fn resubscribe_edge(&mut self, edge: usize) -> Result<(), ClusterError<S::Error>> {
+        let head = self.central.delta_log().next_seq();
+        let slot = self
+            .edges
+            .get_mut(edge)
+            .ok_or(ClusterError::UnknownEdge(edge))?;
+        // Replace the replica wholesale: its old stores may be
+        // arbitrarily far behind the dropped backlog.
+        let mut server = EdgeServer::with_seq(self.central.scheme().clone(), head);
+        for table in self.shard_map.tables_of(edge) {
+            let schema = self
+                .central
+                .schema(table)
+                .expect("shard map only holds cataloged tables")
+                .clone();
+            let store = self
+                .central
+                .store(table)
+                .expect("catalog mirrors stores")
+                .clone();
+            server.install_table(table.to_string(), schema, store);
+        }
+        if let Some(stamp) = self.central.stamp_for_seq(head) {
+            server.service().set_freshness_stamp(stamp);
+        }
+        slot.server = server;
+        slot.queue.clear();
+        slot.cursor = head;
+        slot.disconnected = false;
+        Ok(())
+    }
+
+    /// Fan out and fully drain every healthy edge (the steady state
+    /// between induced-lag experiments); disconnected edges are left
+    /// alone until they [`resubscribe_edge`](Self::resubscribe_edge).
+    /// Returns total items consumed.
     pub fn sync(&mut self) -> Result<usize, ClusterError<S::Error>> {
         self.fan_out()?;
         let mut consumed = 0;
         for id in 0..self.edges.len() {
+            if self.edges[id].disconnected {
+                continue;
+            }
             consumed += self.drain_edge(id, usize::MAX)?;
         }
         Ok(consumed)
@@ -582,6 +690,7 @@ where
                     applied_seq,
                     queued: slot.queue.len(),
                     lag: head.saturating_sub(applied_seq),
+                    disconnected: slot.disconnected,
                 }
             })
             .collect()

@@ -18,6 +18,7 @@
 
 use crate::central::{EdgeBundle, LogEntry};
 use crate::service::EdgeService;
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme, VbSchemeError};
@@ -41,7 +42,7 @@ where
 {
     service: EdgeService<S>,
     views: Vec<JoinViewDef>,
-    tamper: TamperMode,
+    tamper: RwLock<TamperMode>,
 }
 
 impl<S: AuthScheme> EdgeServer<S>
@@ -62,7 +63,7 @@ where
         Self {
             service: EdgeService::with_seq(scheme, seq),
             views: Vec::new(),
-            tamper: TamperMode::None,
+            tamper: RwLock::new(TamperMode::None),
         }
     }
 
@@ -83,9 +84,16 @@ where
     }
 
     /// Set the tamper mode (tests only — a real edge server is simply
-    /// this code running on an untrusted host).
-    pub fn set_tamper(&mut self, mode: TamperMode) {
-        self.tamper = mode;
+    /// this code running on an untrusted host). Takes `&self` so a
+    /// conformance script can flip a shared, already-serving edge into
+    /// a compromised state mid-connection.
+    pub fn set_tamper(&self, mode: TamperMode) {
+        *self.tamper.write() = mode;
+    }
+
+    /// The currently configured tamper mode.
+    pub fn tamper_mode(&self) -> TamperMode {
+        self.tamper.read().clone()
     }
 
     /// Last applied delta sequence number.
@@ -114,14 +122,15 @@ where
     ) -> Result<S::Response, EdgeError<S::Error>> {
         let resp = self.service.query_range(table, query)?;
         let mut resp = (*resp).clone();
-        if self.tamper != TamperMode::None {
+        let tamper = self.tamper_mode();
+        if tamper != TamperMode::None {
             let store = self
                 .service
                 .snapshot(table)
                 .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
             self.service
                 .scheme()
-                .tamper(&store, query, &mut resp, &self.tamper);
+                .tamper(&store, query, &mut resp, &tamper);
         }
         // Republish the edge's replication position (after tampering —
         // the stamp is owner-signed material the edge merely relays;
@@ -192,7 +201,7 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
         Self {
             service,
             views: bundle.views,
-            tamper: TamperMode::None,
+            tamper: RwLock::new(TamperMode::None),
         }
     }
 
@@ -229,7 +238,7 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
     pub fn query_sql(&self, sql: &str) -> Result<(PlannedQuery, QueryResponse<L>), EngineError> {
         let stmt = parse_select(sql)?;
         let planned = plan_select(&stmt, &self.service.schemas())?;
-        let resp = match &self.tamper {
+        let resp = match &self.tamper_mode() {
             TamperMode::DropAndReclassify { key } => {
                 // Re-execute with an additional "hide the victim"
                 // predicate: its signed tuple digest lands in D_S,
@@ -295,7 +304,8 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
         queries: &[RangeQuery],
         aggregator: Option<&dyn SigVerifier>,
     ) -> Result<Vec<u8>, EdgeError<VbSchemeError>> {
-        if self.tamper != TamperMode::None {
+        let tamper = self.tamper_mode();
+        if tamper != TamperMode::None {
             // Tampered responses bypass the cache (it only ever holds
             // honest prefixes) and are built from a fresh execution.
             let tree = self
@@ -304,7 +314,7 @@ impl<const L: usize> EdgeServer<VbScheme<L>> {
                 .ok_or_else(|| EdgeError::UnknownTable(table.into()))?;
             let scheme = self.service.scheme();
             let mut resp = scheme.multi_query_compact(&tree, queries, aggregator);
-            scheme.tamper_compact(&tree, queries, &mut resp, &self.tamper, aggregator);
+            scheme.tamper_compact(&tree, queries, &mut resp, &tamper, aggregator);
             resp.freshness = self.service.current_freshness();
             return Ok(encode_compact_response(&resp));
         }

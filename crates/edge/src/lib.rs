@@ -26,6 +26,11 @@
 //!   the owning edge, and freshness-verified reads — clients reject an
 //!   honest-but-stale edge via owner-signed `(seq, clock)` stamps and
 //!   `FreshnessPolicy { max_lag, max_age }`;
+//! * [`net`] — the **networked deployment**: the same parties behind a
+//!   `Transport`/`Listener`/`Conn` seam exchanging `VBX5` frames, with
+//!   an in-process loopback transport (differential oracle) and a real
+//!   `std::net` TCP transport serving many concurrent verified
+//!   connections;
 //! * [`durability`] — the central's **crash safety**: a checksummed
 //!   write-ahead log appended and fsync'd before every commit ack (one
 //!   record per group-commit batch), periodic + DDL-forced atomic
@@ -43,6 +48,7 @@ pub mod cluster;
 pub mod durability;
 pub mod edge_server;
 pub mod locks;
+pub mod net;
 pub mod service;
 pub mod snapshot;
 
@@ -57,6 +63,10 @@ pub use cluster::{
 pub use durability::DurabilityConfig;
 pub use edge_server::{EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
+pub use net::{
+    CentralEndpoint, Conn, ConnState, EdgeEndpoint, FrameEndpoint, Listener, LoopbackTransport,
+    NetClient, NetError, NetServer, ServerStats, TcpTransport, Transport,
+};
 pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};
 pub use snapshot::ServingReplica;
 // Data-freshness verification surface (the cluster's client side).

@@ -1,0 +1,34 @@
+//! The networked deployment: the VBX protocol on real sockets.
+//!
+//! Everything the in-process deployment does with function calls, this
+//! module does with `VBX5` frames over a [`Transport`]:
+//!
+//! * [`transport`] — the `Transport`/`Listener`/`Conn` seam and its two
+//!   implementations: an in-process **loopback** (paired byte channels
+//!   that still run every frame through the codec, so it doubles as a
+//!   differential oracle against TCP) and real **`std::net` TCP** with
+//!   a connection-per-thread accept loop;
+//! * [`endpoint`] — transport-agnostic request handlers:
+//!   `serve_frame(&self, state, frame) -> frames` for an edge server
+//!   (queries + push replication) and for the central (bundles,
+//!   subscribe-from-cursor with a bounded backlog, heartbeats);
+//! * [`server`] — the connection loop: accept, spawn, serve until
+//!   graceful shutdown;
+//! * [`client`] — the typed request side, plus the replication helper
+//!   an edge node uses to bootstrap from a bundle and tail the delta
+//!   stream over the wire.
+//!
+//! The trust model is unchanged by the transport: frames carry the same
+//! signed envelopes, the frame CRC protects against accidents only, and
+//! clients verify responses exactly as before — a hostile network is
+//! just another untrusted edge.
+
+pub mod client;
+pub mod endpoint;
+pub mod server;
+pub mod transport;
+
+pub use client::{bootstrap_edge, replicate_once, sync_stamp, NetClient, NetError, CALL_TIMEOUT};
+pub use endpoint::{CentralEndpoint, ConnState, EdgeEndpoint, FrameEndpoint, DEFAULT_MAX_BACKLOG};
+pub use server::{NetServer, ServerStats};
+pub use transport::{Conn, Listener, LoopbackTransport, TcpTransport, Transport, POLL_INTERVAL};

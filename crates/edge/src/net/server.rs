@@ -1,0 +1,151 @@
+//! The connection loop: accept, spawn a thread per connection, serve
+//! frames through a shared [`FrameEndpoint`], shut down gracefully.
+//!
+//! Connection-per-thread is deliberate: the serving engine is already
+//! `&self`-concurrent (snapshot readers never block), the paper's
+//! workload is request/response over long-lived connections, and a
+//! thread parked in a 25 ms poll costs nothing measurable at the
+//! hundreds-of-connections scale `BENCH_net.json` targets. Shutdown is
+//! cooperative — every loop checks an [`AtomicBool`] each
+//! [`POLL_INTERVAL`](super::transport::POLL_INTERVAL) — and
+//! [`NetServer::shutdown`] joins the accept thread, which joins every
+//! connection thread before returning, so no request is mid-flight
+//! when it returns.
+
+use super::endpoint::{ConnState, FrameEndpoint};
+use super::transport::{Conn, Listener};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters a serving loop maintains (all monotonically increasing).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: AtomicU64,
+    /// Frames served (one per inbound request frame).
+    pub frames: AtomicU64,
+    /// Connections torn down by I/O or stream-corruption errors (EOF —
+    /// a client hanging up — is not an error).
+    pub errors: AtomicU64,
+}
+
+/// A running frame server. Dropping it shuts it down.
+pub struct NetServer {
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    addr: String,
+}
+
+impl NetServer {
+    /// Start serving `endpoint` on `listener` with a thread per
+    /// connection.
+    pub fn spawn(listener: Box<dyn Listener>, endpoint: Arc<dyn FrameEndpoint>) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let addr = listener.local_addr();
+        let accept = std::thread::spawn({
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            move || accept_loop(listener, endpoint, shutdown, stats)
+        });
+        Self {
+            shutdown,
+            accept: Some(accept),
+            stats,
+            addr,
+        }
+    }
+
+    /// The bound address (dial this).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Live serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stop accepting, drain every connection thread, and return once
+    /// all of them exited.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    mut listener: Box<dyn Listener>,
+    endpoint: Arc<dyn FrameEndpoint>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let endpoint = Arc::clone(&endpoint);
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                conns.push(std::thread::spawn(move || {
+                    conn_loop(conn, endpoint, shutdown, stats)
+                }));
+                // Reap finished handlers so a long-lived server does not
+                // accumulate join handles for hung-up connections.
+                conns.retain(|h| !h.is_finished());
+            }
+            Ok(None) => {}
+            Err(_) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    for h in conns {
+        h.join().ok();
+    }
+}
+
+fn conn_loop(
+    mut conn: Box<dyn Conn>,
+    endpoint: Arc<dyn FrameEndpoint>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+) {
+    let mut state = ConnState::default();
+    while !shutdown.load(Ordering::SeqCst) {
+        match conn.recv() {
+            Ok(frame) => {
+                stats.frames.fetch_add(1, Ordering::Relaxed);
+                for reply in endpoint.serve_frame(&mut state, &frame) {
+                    if conn.send(&reply).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return,
+            Err(_) => {
+                // Corrupt stream or transport failure: count and drop.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}

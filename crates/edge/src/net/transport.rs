@@ -1,0 +1,382 @@
+//! The transport seam: blocking, framed, poll-friendly connections.
+//!
+//! A [`Conn`] moves whole [`Frame`]s; partial and interleaved reads are
+//! reassembled by the shared [`FrameBuffer`], so both implementations
+//! decode byte-identically. `recv` and `accept` block for at most
+//! [`POLL_INTERVAL`] and then report `TimedOut`/`None`, which is what
+//! lets connection threads notice a shutdown flag without async
+//! machinery.
+//!
+//! [`LoopbackTransport`] pairs `std::sync::mpsc` byte channels — every
+//! frame is still **encoded to bytes and decoded back**, so loopback
+//! exercises the exact codec path TCP does and serves as the
+//! differential oracle. [`TcpTransport`] is `std::net` with Nagle off
+//! and read timeouts.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use vbx_core::{Frame, FrameBuffer};
+
+/// How long `recv`/`accept` block before reporting "nothing yet"
+/// (`io::ErrorKind::TimedOut` / `Ok(None)`). Connection loops poll at
+/// this cadence to observe shutdown flags.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One framed, bidirectional connection.
+pub trait Conn: Send {
+    /// Send one frame (blocking until it is handed to the transport).
+    fn send(&mut self, frame: &Frame) -> io::Result<()>;
+
+    /// Receive the next frame. Blocks up to [`POLL_INTERVAL`], then
+    /// fails with `TimedOut` (retry); a closed peer is
+    /// `UnexpectedEof`, a corrupt stream `InvalidData`.
+    fn recv(&mut self) -> io::Result<Frame>;
+
+    /// Human-readable peer address (diagnostics only).
+    fn peer(&self) -> String;
+}
+
+/// Accepts inbound connections.
+pub trait Listener: Send {
+    /// Accept one connection, waiting up to [`POLL_INTERVAL`];
+    /// `Ok(None)` means nobody dialled in this interval.
+    fn accept(&mut self) -> io::Result<Option<Box<dyn Conn>>>;
+
+    /// The address peers dial, in the transport's own notation.
+    fn local_addr(&self) -> String;
+}
+
+/// A way to listen and connect — the seam the endpoints, tests, and
+/// benches are generic over.
+pub trait Transport: Send + Sync {
+    /// `"loopback"` or `"tcp"` (labels in benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// Bind a listener. For TCP, `addr` is `host:port` (`port` 0 picks
+    /// a free one — read the chosen address back via
+    /// [`Listener::local_addr`]); for loopback any string names the
+    /// in-process endpoint.
+    fn listen(&self, addr: &str) -> io::Result<Box<dyn Listener>>;
+
+    /// Dial a listener.
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Conn>>;
+}
+
+/// Pump raw bytes into a frame buffer and map decode failures onto the
+/// transports' shared error vocabulary.
+fn frame_from_buffer(buf: &mut FrameBuffer) -> io::Result<Option<Frame>> {
+    buf.try_frame()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// Real `std::net` TCP.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpTransport;
+
+struct TcpConn {
+    stream: TcpStream,
+    buf: FrameBuffer,
+    peer: String,
+}
+
+impl TcpConn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp:?".into());
+        Ok(Self {
+            stream,
+            buf: FrameBuffer::new(),
+            peer,
+        })
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&frame.encode())
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = frame_from_buffer(&mut self.buf)? {
+                return Ok(frame);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.buf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Err(io::ErrorKind::TimedOut.into())
+                }
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(e),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+struct TcpNetListener {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl Listener for TcpNetListener {
+    fn accept(&mut self) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => Ok(Some(Box::new(TcpConn::new(stream)?))),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Non-blocking accept: nobody waiting. Sleep one poll
+                // interval so the accept loop doesn't spin.
+                std::thread::sleep(POLL_INTERVAL);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn listen(&self, addr: &str) -> io::Result<Box<dyn Listener>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(Box::new(TcpNetListener { listener, addr }))
+    }
+
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(TcpConn::new(TcpStream::connect(addr)?)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+type AcceptTx = Sender<LoopbackConn>;
+type Registry = Arc<Mutex<HashMap<String, AcceptTx>>>;
+
+/// In-process transport: paired byte channels behind the same traits.
+/// Frames still cross an encode/decode boundary, so everything the
+/// codec could get wrong on TCP it gets wrong here too — which is the
+/// point: loopback runs are the differential oracle for TCP runs.
+#[derive(Clone, Default)]
+pub struct LoopbackTransport {
+    registry: Registry,
+}
+
+impl LoopbackTransport {
+    /// A transport with an empty listener registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+struct LoopbackConn {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    buf: FrameBuffer,
+    peer: String,
+}
+
+impl Conn for LoopbackConn {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.tx
+            .send(frame.encode())
+            .map_err(|_| io::ErrorKind::BrokenPipe.into())
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        loop {
+            if let Some(frame) = frame_from_buffer(&mut self.buf)? {
+                return Ok(frame);
+            }
+            match self.rx.recv_timeout(POLL_INTERVAL) {
+                Ok(bytes) => self.buf.extend(&bytes),
+                Err(RecvTimeoutError::Timeout) => return Err(io::ErrorKind::TimedOut.into()),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+struct LoopbackListener {
+    rx: Receiver<LoopbackConn>,
+    addr: String,
+    registry: Registry,
+}
+
+impl Listener for LoopbackListener {
+    fn accept(&mut self) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.rx.recv_timeout(POLL_INTERVAL) {
+            Ok(conn) => Ok(Some(Box::new(conn))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::ErrorKind::BrokenPipe.into()),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl Drop for LoopbackListener {
+    fn drop(&mut self) {
+        // Deregister so later connects fail with ConnectionRefused and
+        // queued-but-unaccepted dials drop cleanly.
+        self.registry.lock().unwrap().remove(&self.addr);
+        while let Ok(_conn) = self.rx.try_recv() {}
+        debug_assert!(matches!(
+            self.rx.try_recv(),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected)
+        ));
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn listen(&self, addr: &str) -> io::Result<Box<dyn Listener>> {
+        let mut reg = self.registry.lock().unwrap();
+        if reg.contains_key(addr) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("loopback address {addr:?} already bound"),
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        reg.insert(addr.to_string(), tx);
+        Ok(Box::new(LoopbackListener {
+            rx,
+            addr: addr.to_string(),
+            registry: Arc::clone(&self.registry),
+        }))
+    }
+
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Conn>> {
+        let accept_tx = {
+            let reg = self.registry.lock().unwrap();
+            reg.get(addr).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("no loopback listener at {addr:?}"),
+                )
+            })?
+        };
+        let (c2s_tx, c2s_rx) = mpsc::channel();
+        let (s2c_tx, s2c_rx) = mpsc::channel();
+        let server_side = LoopbackConn {
+            tx: s2c_tx,
+            rx: c2s_rx,
+            buf: FrameBuffer::new(),
+            peer: format!("loopback-client->{addr}"),
+        };
+        accept_tx.send(server_side).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("loopback listener at {addr:?} is gone"),
+            )
+        })?;
+        Ok(Box::new(LoopbackConn {
+            tx: c2s_tx,
+            rx: s2c_rx,
+            buf: FrameBuffer::new(),
+            peer: format!("loopback:{addr}"),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbx_core::NetMsg;
+
+    fn echo_once(transport: &dyn Transport, addr: &str) {
+        let mut listener = transport.listen(addr).unwrap();
+        let dial_addr = listener.local_addr();
+        let t = std::thread::spawn(move || {
+            let mut conn = loop {
+                if let Some(c) = listener.accept().unwrap() {
+                    break c;
+                }
+            };
+            let frame = loop {
+                match conn.recv() {
+                    Ok(f) => break f,
+                    Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+                    Err(e) => panic!("server recv: {e}"),
+                }
+            };
+            conn.send(&frame).unwrap();
+        });
+        let transport_conn = transport.connect(&dial_addr);
+        let mut conn = transport_conn.unwrap();
+        let msg = NetMsg::SqlReq {
+            sql: "SELECT * FROM t WHERE k BETWEEN 1 AND 5".into(),
+        };
+        conn.send(&msg.to_frame()).unwrap();
+        let back = loop {
+            match conn.recv() {
+                Ok(f) => break f,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => continue,
+                Err(e) => panic!("client recv: {e}"),
+            }
+        };
+        assert_eq!(NetMsg::from_frame(&back).unwrap(), msg);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn loopback_echo_roundtrip() {
+        echo_once(&LoopbackTransport::new(), "edge-0");
+    }
+
+    #[test]
+    fn tcp_echo_roundtrip() {
+        echo_once(&TcpTransport, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn loopback_connect_without_listener_refuses() {
+        let t = LoopbackTransport::new();
+        match t.connect("nobody") {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::ConnectionRefused),
+            Ok(_) => panic!("connect to unbound address must refuse"),
+        }
+    }
+}

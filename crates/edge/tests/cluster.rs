@@ -30,6 +30,7 @@ fn cluster(tables: usize, rows: u64, edges: usize) -> ClusterCoordinator<VbSchem
         ClusterConfig {
             edges,
             retention: 64,
+            ..ClusterConfig::default()
         },
     );
     for i in 0..tables {
@@ -293,6 +294,7 @@ where
         ClusterConfig {
             edges: 3,
             retention: 64,
+            ..ClusterConfig::default()
         },
     );
     let spec = WorkloadSpec::new(60, 4, 10);
@@ -501,6 +503,7 @@ fn coordinator_surfaces_truncated_subscriptions() {
         ClusterConfig {
             edges: 2,
             retention: 2,
+            ..ClusterConfig::default()
         },
     );
     let spec = WorkloadSpec {
@@ -521,4 +524,73 @@ fn coordinator_surfaces_truncated_subscriptions() {
             vbx_edge::DeltaLogError::Truncated { .. }
         ))
     ));
+}
+
+#[test]
+fn slow_edge_trips_queue_bound_and_recovers_by_resubscribing() {
+    let signer = Arc::new(MockSigner::with_version(SEED_VERSION, 1));
+    let scheme = VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(6));
+    let mut c = ClusterCoordinator::new(
+        scheme,
+        signer,
+        ClusterConfig {
+            edges: 2,
+            retention: 64,
+            max_queue: 3,
+        },
+    );
+    let spec = WorkloadSpec {
+        table: "t0".to_string(),
+        ..WorkloadSpec::new(40, 3, 8)
+    };
+    c.create_table(spec.build());
+    c.sync().unwrap();
+    let owner = c.route("t0").unwrap();
+    let other_edge = 1 - owner;
+    let schema = c.central().schema("t0").unwrap().clone();
+
+    // Commit past the bound while only the *other* replica keeps up:
+    // the owner's bounded queue trips (placeholders and deltas alike
+    // count), the backlog is dropped, and the edge is marked
+    // disconnected — the writer itself never blocks or errors.
+    for k in 0..6u64 {
+        c.insert("t0", fresh_tuple(&schema, 2_000 + k)).unwrap();
+        c.fan_out().unwrap();
+        c.drain_edge(other_edge, usize::MAX).unwrap();
+    }
+    let lag = c.lag_report()[owner];
+    assert!(lag.disconnected, "queue bound of 3 must trip on 6 deltas");
+    assert_eq!(lag.queued, 0, "a disconnected edge buffers nothing");
+
+    // Explicit error instead of silent growth: draining reports the
+    // disconnect, and further commits skip the edge entirely.
+    match c.drain_edge(owner, usize::MAX) {
+        Err(ClusterError::Disconnected { edge, bound, .. }) => {
+            assert_eq!(edge, owner);
+            assert_eq!(bound, 3);
+        }
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    c.insert("t0", fresh_tuple(&schema, 2_100)).unwrap();
+    assert_eq!(
+        c.sync().unwrap(),
+        1,
+        "sync serves the healthy edge, leaves the dead one alone"
+    );
+    assert_eq!(c.lag_report()[owner].queued, 0);
+
+    // The healthy edge kept replicating throughout.
+    assert!(!c.lag_report()[other_edge].disconnected);
+    assert_eq!(c.lag_report()[other_edge].lag, 0);
+
+    // Resubscribing re-provisions from the central's current state:
+    // cursor at head, fresh stores, strict verification green again.
+    c.resubscribe_edge(owner).unwrap();
+    let lag = c.lag_report()[owner];
+    assert!(!lag.disconnected);
+    assert_eq!(lag.lag, 0, "resubscribed edge snaps to the head");
+    let q = RangeQuery::select_all(0, 3_000);
+    let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict())
+        .expect("resubscribed edge must verify strictly");
+    assert_eq!(rows, 47, "40 seeded + 7 inserted rows");
 }

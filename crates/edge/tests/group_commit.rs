@@ -435,6 +435,7 @@ fn cluster_fans_a_batch_out_as_one_envelope() {
         ClusterConfig {
             edges: 3,
             retention: 64,
+            ..ClusterConfig::default()
         },
     );
     for i in 0..3 {
@@ -504,6 +505,7 @@ where
         ClusterConfig {
             edges: 2,
             retention: 64,
+            ..ClusterConfig::default()
         },
     );
     let name = table.schema().table.clone();

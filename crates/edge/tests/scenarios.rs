@@ -193,7 +193,7 @@ fn forged_delta_rejected() {
 
 #[test]
 fn tamper_modes_detected() {
-    let (central, mut edge, client) = setup(60);
+    let (central, edge, client) = setup(60);
     let sql = "SELECT * FROM items WHERE id BETWEEN 5 AND 45";
     for mode in [
         TamperMode::MutateValue,
@@ -233,7 +233,7 @@ fn reclassification_drop_is_the_documented_boundary() {
     // §3.1's trust model: edges don't maliciously drop qualifying
     // tuples. If a hacked edge does — moving the dropped tuple's signed
     // digest into D_S — the VO still balances.
-    let (central, mut edge, client) = setup(60);
+    let (central, edge, client) = setup(60);
     let sql = "SELECT * FROM items WHERE id BETWEEN 5 AND 45";
     edge.set_tamper(TamperMode::DropAndReclassify { key: 20 });
     let (_, resp) = edge.query_sql(sql).unwrap();

@@ -263,7 +263,7 @@ fn compact_cache_hits_byte_identical_with_live_freshness() {
 /// pipeline — and must never come from (or land in) the prefix cache.
 #[test]
 fn compact_tamper_bypasses_cache_and_is_detected() {
-    let (_central, mut edge) = setup(80);
+    let (_central, edge) = setup(80);
     let verifier = MockSigner::with_version(42, 1).verifier();
     let acc = Acc256::test_default();
     let schema = edge.schemas().get("items").unwrap().clone();

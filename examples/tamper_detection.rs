@@ -14,7 +14,7 @@ fn main() {
     let mut central = CentralServer::new(acc.clone(), signer, VbTreeConfig::default());
     central.create_table(WorkloadSpec::new(2_000, 6, 16).build());
 
-    let mut edge = EdgeServer::from_bundle(central.bundle());
+    let edge = EdgeServer::from_bundle(central.bundle());
     let client = EdgeClient::new(edge.schemas(), acc);
     let sql = "SELECT * FROM items WHERE id BETWEEN 500 AND 700";
 

@@ -69,8 +69,9 @@ pub mod prelude {
     pub use vbx_crypto::signer::{MockSigner, SigVerifier, Signer};
     pub use vbx_crypto::{rsa, Acc256, Accumulator, KeyRegistry};
     pub use vbx_edge::{
-        CentralServer, ClusterConfig, ClusterCoordinator, EdgeClient, EdgeServer,
-        KeyFreshnessPolicy, LockManager, LockMode, SchemeClient, ShardMap,
+        CentralEndpoint, CentralServer, ClusterConfig, ClusterCoordinator, EdgeClient,
+        EdgeEndpoint, EdgeServer, KeyFreshnessPolicy, LockManager, LockMode, LoopbackTransport,
+        NetClient, NetServer, SchemeClient, ShardMap, TcpTransport, Transport,
     };
     pub use vbx_query::{parse_select, AuthQueryEngine, ClientSession, JoinViewDef};
     pub use vbx_storage::workload::WorkloadSpec;
