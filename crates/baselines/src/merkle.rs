@@ -208,6 +208,13 @@ impl MerkleAuthStore {
         self.key_version
     }
 
+    /// Restore-time audit for a store received over an untrusted
+    /// channel: recompute the root from the tuples and check the stored
+    /// signature authenticates it under `verifier`.
+    pub fn verify_root_sig(&self, verifier: &dyn SigVerifier) -> bool {
+        verifier.verify(&root_msg(&self.schema, &self.root()), &self.root_sig)
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -241,6 +241,40 @@ impl<const L: usize> NaiveAuthStore<L> {
         self.entries.is_empty()
     }
 
+    /// Restore-time audit for a store received over an untrusted
+    /// channel: recompute every attribute exponent from the stored
+    /// values, check each tuple exponent is the product of its
+    /// attributes, and verify every signature under `verifier`.
+    pub fn check_signatures(
+        &self,
+        acc: &Accumulator<L>,
+        verifier: &dyn SigVerifier,
+    ) -> Result<(), NaiveError> {
+        for (&key, e) in &self.entries {
+            if e.tuple.key != key || e.attr_digests.len() != e.tuple.values.len() {
+                return Err(NaiveError::Malformed { key });
+            }
+            let mut tuple_exp = acc.identity();
+            for (col, (v, d)) in e.tuple.values.iter().zip(&e.attr_digests).enumerate() {
+                let input = self.schema.attribute_digest_input(col, key, v);
+                if acc.exp_from_bytes(&input) != d.exp {
+                    return Err(NaiveError::DigestMismatch { key });
+                }
+                if !acc.verify_digest(verifier, d) {
+                    return Err(NaiveError::BadSignature { key });
+                }
+                tuple_exp = acc.combine(&tuple_exp, &d.exp);
+            }
+            if tuple_exp != e.tuple_digest.exp {
+                return Err(NaiveError::DigestMismatch { key });
+            }
+            if !acc.verify_digest(verifier, &e.tuple_digest) {
+                return Err(NaiveError::BadSignature { key });
+            }
+        }
+        Ok(())
+    }
+
     /// Serialise the store (schema, key version, and every entry's
     /// tuple + signed digests) for a durability checkpoint.
     pub fn encode(&self) -> Vec<u8> {

@@ -5,13 +5,14 @@
 
 use crate::merkle::{MerkleAuthStore, MerkleError, MerkleResponse};
 use crate::naive::{NaiveAuthStore, NaiveError, NaiveResponse};
+use std::sync::Arc;
 use vbx_core::durable::DurableScheme;
 use vbx_core::scheme::{
     drop_middle_row, inject_duplicate_last, mutate_first_value, update_batch_atomic, AuthScheme,
     TamperMode, UpdateOp, VerifiedBatch,
 };
 use vbx_core::vo::{RangeQuery, ResultRow};
-use vbx_core::{CoreError, CostMeter, ResponseFreshness};
+use vbx_core::{CoreError, CostMeter, ResponseFreshness, StoreRestorer, SyncError};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{SigVerifier, Signature, Signer};
 use vbx_storage::{Schema, Table};
@@ -239,6 +240,41 @@ impl<const L: usize> AuthScheme for NaiveScheme<L> {
     fn proves_completeness(&self) -> bool {
         false
     }
+
+    fn sync_chunk_count(&self, _store: &NaiveAuthStore<L>) -> usize {
+        1
+    }
+
+    fn encode_sync_chunk(
+        &self,
+        store: &NaiveAuthStore<L>,
+        index: usize,
+    ) -> Result<Vec<u8>, SyncError> {
+        if index != 0 {
+            return Err(SyncError::NoSuchChunk {
+                index: index as u32,
+                total: 1,
+            });
+        }
+        Ok(DurableScheme::encode_store(self, store))
+    }
+
+    fn begin_restore(
+        &self,
+        verifier: Arc<dyn SigVerifier>,
+    ) -> Box<dyn StoreRestorer<NaiveAuthStore<L>>> {
+        let acc = self.acc.clone();
+        Box::new(BlobRestorer::new(move |bytes: &[u8]| {
+            let store = NaiveAuthStore::decode(bytes, &acc).map_err(SyncError::Wire)?;
+            store
+                .check_signatures(&acc, verifier.as_ref())
+                .map_err(|e| match e {
+                    NaiveError::BadSignature { .. } => SyncError::BadSignature(e.to_string()),
+                    other => SyncError::DigestMismatch(other.to_string()),
+                })?;
+            Ok(store)
+        }))
+    }
 }
 
 /// A Merkle response's detachable proof material.
@@ -419,6 +455,88 @@ impl AuthScheme for MerkleScheme {
 
     fn proves_completeness(&self) -> bool {
         true
+    }
+
+    fn sync_chunk_count(&self, _store: &MerkleAuthStore) -> usize {
+        1
+    }
+
+    fn encode_sync_chunk(
+        &self,
+        store: &MerkleAuthStore,
+        index: usize,
+    ) -> Result<Vec<u8>, SyncError> {
+        if index != 0 {
+            return Err(SyncError::NoSuchChunk {
+                index: index as u32,
+                total: 1,
+            });
+        }
+        Ok(DurableScheme::encode_store(self, store))
+    }
+
+    fn begin_restore(
+        &self,
+        verifier: Arc<dyn SigVerifier>,
+    ) -> Box<dyn StoreRestorer<MerkleAuthStore>> {
+        Box::new(BlobRestorer::new(move |bytes: &[u8]| {
+            let store = MerkleAuthStore::decode(bytes).map_err(SyncError::Wire)?;
+            if !store.verify_root_sig(verifier.as_ref()) {
+                return Err(SyncError::BadSignature(
+                    "merkle root signature does not authenticate restored tuples".into(),
+                ));
+            }
+            Ok(store)
+        }))
+    }
+}
+
+/// Single-chunk [`StoreRestorer`] shared by the baselines: their
+/// commitment granularity is the whole store (per-tuple signatures for
+/// Naive, one signed root for Merkle), so verified sync ships the
+/// durability codec's bytes as one chunk and audits all signatures in
+/// the decode closure before releasing the store.
+struct BlobRestorer<S, F> {
+    decode: F,
+    blob: Option<Vec<u8>>,
+    _store: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S, F> BlobRestorer<S, F>
+where
+    F: FnOnce(&[u8]) -> Result<S, SyncError> + Send,
+{
+    fn new(decode: F) -> Self {
+        Self {
+            decode,
+            blob: None,
+            _store: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F> StoreRestorer<S> for BlobRestorer<S, F>
+where
+    S: 'static,
+    F: FnOnce(&[u8]) -> Result<S, SyncError> + Send,
+{
+    fn ingest(&mut self, chunk: &[u8]) -> Result<(), SyncError> {
+        if self.blob.is_some() {
+            return Err(SyncError::ChunkOutOfOrder {
+                expected: 1,
+                got: 1,
+            });
+        }
+        self.blob = Some(chunk.to_vec());
+        Ok(())
+    }
+
+    fn finish(self: Box<Self>) -> Result<S, SyncError> {
+        let blob = self.blob.ok_or(SyncError::Incomplete {
+            ingested: 0,
+            expected: 1,
+        })?;
+        (self.decode)(&blob)
     }
 }
 

@@ -19,6 +19,8 @@
 //! cargo run -p vbx-bench --bin repro --release -- recover --smoke # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- net     # many-connection TCP serving
 //! cargo run -p vbx-bench --bin repro --release -- net --smoke # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- failover # verified sync + edge failover
+//! cargo run -p vbx-bench --bin repro --release -- failover --smoke # quick CI check
 //! ```
 //!
 //! The `perf` section (run only when named — it writes a file) measures
@@ -115,6 +117,26 @@ fn main() {
         vbx_bench::perf::write_bench_json("BENCH_recover.json", "recover", recover_rows, &records)
             .expect("write BENCH_recover.json");
         println!("\nwrote BENCH_recover.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "failover" {
+        // Named-only (writes BENCH_failover.json); not part of `all`.
+        // Verified chunked state sync + edge failover: restore
+        // throughput through the chunk-and-verify pipeline, promotion
+        // downtime when an edge is killed under load, and the headline
+        // invariant that zero unverified rows are served around the
+        // failover.
+        let failover_rows = explicit_rows.unwrap_or(if smoke { 400 } else { 3_000 });
+        let records = vbx_bench::failover::run_failover(failover_rows, smoke);
+        vbx_bench::perf::write_bench_json(
+            "BENCH_failover.json",
+            "failover",
+            failover_rows,
+            &records,
+        )
+        .expect("write BENCH_failover.json");
+        println!("\nwrote BENCH_failover.json ({} records)", records.len());
         return;
     }
 

@@ -1,0 +1,316 @@
+//! The `repro -- failover` section: a closed-loop benchmark of
+//! **verified chunked state sync** and **edge failover**.
+//!
+//! Two questions, measured on the real implementation:
+//!
+//! 1. *How fast is a verified restore?* The full chunk-and-verify
+//!    pipeline (`TreeChunks` → `Restorer`, the path `clone_verified`
+//!    and the wire restore share) is timed end to end: chunk encoding,
+//!    per-chunk signature/digest verification, and tree rebuild —
+//!    reported as ns per restore, rows/s, and stream bytes.
+//!
+//! 2. *What does failover cost under load?* Reader threads issue
+//!    strict freshness-verified routed queries while a writer commits
+//!    fanned-out deltas; at the midpoint the writer **kills the edge
+//!    owning `t0`** and promotes a standby via the verified-sync path.
+//!    Readers only ever observe the cluster before or after the
+//!    promotion (it runs under the coordinator's write lock), so the
+//!    headline invariant is `failover_verify_failures = 0`: **no
+//!    unverified or stale row is ever served**, and the downtime is
+//!    exactly the promotion latency. The report is written to
+//!    `BENCH_failover.json`.
+
+use crate::perf::{percentile, reader_threads, BenchRecord};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use vbx_core::scheme::AuthScheme;
+use vbx_core::{ClientVerifier, FreshnessPolicy, RangeQuery, VbScheme, VbTreeConfig};
+use vbx_crypto::signer::MockSigner;
+use vbx_crypto::Acc256;
+use vbx_edge::{clone_verified, ClusterConfig, ClusterCoordinator};
+use vbx_storage::workload::WorkloadSpec;
+use vbx_storage::{Schema, Tuple, Value};
+
+const EDGES: usize = 3;
+const TABLES: usize = 3;
+
+fn fresh_tuple(schema: &Schema, key: u64) -> Tuple {
+    Tuple::new(
+        schema,
+        key,
+        vec![
+            Value::from(format!("new{key}")),
+            Value::from("w"),
+            Value::from((key % 97) as i64),
+        ],
+    )
+    .expect("schema-conformant tuple")
+}
+
+type Cluster = ClusterCoordinator<VbScheme<4>>;
+
+/// Route a query and verify the response under a strict freshness
+/// policy against the current owner position.
+fn strict_routed_query(
+    cluster: &Cluster,
+    acc: &Acc256,
+    schemas: &[Schema],
+    table_idx: usize,
+    q: &RangeQuery,
+) -> Result<usize, vbx_core::VerifyError> {
+    let table = format!("t{table_idx}");
+    let routed = cluster.query(&table, q).expect("table is sharded");
+    let (owner_seq, owner_clock) = cluster.owner_position();
+    let verifier = cluster
+        .central()
+        .registry()
+        .verifier(routed.response.vo.key_version)
+        .expect("published key version");
+    ClientVerifier::new(acc, &schemas[table_idx])
+        .with_freshness(FreshnessPolicy::strict(), owner_seq, owner_clock)
+        .verify(verifier.as_ref(), q, &routed.response)
+        .map(|r| r.rows)
+}
+
+/// Run the failover benchmark at `rows` rows per table (`smoke` shrinks
+/// the workload for CI) and return the records written to
+/// `BENCH_failover.json`.
+pub fn run_failover(rows: u64, smoke: bool) -> Vec<BenchRecord> {
+    let deltas: u64 = (if smoke { 24 } else { 96 }).min(rows / 2);
+    let min_queries: u64 = if smoke { 16 } else { 120 };
+    let restore_iters: u32 = if smoke { 2 } else { 6 };
+
+    let acc = Acc256::test_default();
+    let signer = Arc::new(MockSigner::with_version(0xFA11, 1));
+    let mut cluster: Cluster = ClusterCoordinator::new(
+        VbScheme::new(acc.clone(), VbTreeConfig::default()),
+        signer,
+        ClusterConfig {
+            edges: EDGES,
+            retention: 8_192,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut schemas = Vec::with_capacity(TABLES);
+    for i in 0..TABLES {
+        let spec = WorkloadSpec {
+            table: format!("t{i}"),
+            ..WorkloadSpec::new(rows, 3, 8)
+        };
+        let table = spec.build();
+        schemas.push(table.schema().clone());
+        cluster.create_table(table);
+    }
+    cluster.sync().expect("initial sync");
+
+    let readers = reader_threads();
+    println!(
+        "# failover — {EDGES} edges × {TABLES} sharded tables, {readers} readers × \
+         strict-verified routed queries vs 1 writer × {deltas} deltas, edge killed at \
+         the midpoint ({rows} rows/table)"
+    );
+
+    // ---- verified restore throughput (the chunk-and-verify pipeline) ----
+    let (restore_ns, restore_chunks, restore_bytes) = {
+        let central = cluster.central();
+        let scheme = central.scheme().clone();
+        let store = central.store("t0").expect("t0 lives");
+        let verifier = central.verifier();
+        let chunks = scheme.sync_chunk_count(store);
+        let bytes: usize = (0..chunks)
+            .map(|i| scheme.encode_sync_chunk(store, i).expect("chunk").len())
+            .sum();
+        // Warm-up, then the timed loop: every iteration re-encodes the
+        // stream and verifies every chunk before releasing the tree.
+        let back =
+            clone_verified(&scheme, store, verifier.clone()).expect("central restores cleanly");
+        assert_eq!(back.root_digest(), store.root_digest(), "faithful restore");
+        let t0 = Instant::now();
+        for _ in 0..restore_iters {
+            clone_verified(&scheme, store, verifier.clone()).expect("verified restore");
+        }
+        (
+            t0.elapsed().as_nanos() as f64 / restore_iters as f64,
+            chunks,
+            bytes,
+        )
+    };
+    let restore_rows_per_s = rows as f64 / (restore_ns / 1e9);
+
+    // ---- closed loop with a mid-run edge kill + promotion ----
+    let victim = cluster.route("t0").expect("t0 is sharded");
+    let standby = (victim + 1) % EDGES;
+    let kill_at = deltas / 2;
+
+    let shared = RwLock::new(cluster);
+    let stop = AtomicBool::new(false);
+    let failures = AtomicU64::new(0);
+    let wall = Instant::now();
+    let (mut latencies, promotion) = std::thread::scope(|s| {
+        let shared = &shared;
+        let stop = &stop;
+        let failures = &failures;
+        let acc = &acc;
+        let schemas = &schemas[..];
+
+        let handles: Vec<_> = (0..readers as u64)
+            .map(|r| {
+                s.spawn(move || {
+                    let spans = [(rows / 100).max(1), (rows / 20).max(1)];
+                    let mut lat = Vec::with_capacity(4096);
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) || i < min_queries {
+                        let t_idx = ((r + i) % TABLES as u64) as usize;
+                        let span = spans[(i % 2) as usize];
+                        let lo = (r * 131 + i * 17) % rows;
+                        let q = RangeQuery::select_all(lo, lo + span);
+                        let t0 = Instant::now();
+                        let guard = shared.read();
+                        // The writer drains every queue before releasing
+                        // its lock, and the kill + promotion happen
+                        // atomically under the write lock — a strict
+                        // policy must always pass.
+                        let ok = strict_routed_query(&guard, acc, schemas, t_idx, &q).is_ok();
+                        drop(guard);
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        if !ok {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i += 1;
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        let writer = s.spawn(move || {
+            let mut promotion: Option<(f64, usize)> = None;
+            for i in 0..deltas {
+                let t_idx = (i % TABLES as u64) as usize;
+                let table = format!("t{t_idx}");
+                let mut guard = shared.write();
+                if i % 2 == 0 {
+                    let key = rows * 4 + i;
+                    guard
+                        .insert(&table, fresh_tuple(&schemas[t_idx], key))
+                        .expect("insert + fan-out");
+                } else {
+                    guard.delete(&table, i).expect("delete + fan-out");
+                }
+                guard.sync().expect("drain all subscriptions");
+                if i == kill_at {
+                    // Kill the owner of t0 and promote the standby via
+                    // the verified-sync path. The elapsed time is the
+                    // cluster's write-unavailability window for the
+                    // moved shards.
+                    let t0 = Instant::now();
+                    let moved = guard
+                        .promote_replica(victim, standby)
+                        .expect("promotion succeeds");
+                    let downtime = t0.elapsed().as_nanos() as f64;
+                    assert!(!moved.is_empty(), "the dead edge owned t0");
+                    promotion = Some((downtime, moved.len()));
+                }
+                drop(guard);
+            }
+            stop.store(true, Ordering::Relaxed);
+            promotion.expect("kill point inside the loop")
+        });
+
+        let lats: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader panicked"))
+            .collect();
+        (lats, writer.join().expect("writer panicked"))
+    });
+    let wall_ns = wall.elapsed().as_nanos() as f64;
+    let cluster = shared.into_inner();
+    let (promotion_ns, tables_moved) = promotion;
+
+    let verify_failures = failures.load(Ordering::Relaxed);
+    assert_eq!(
+        verify_failures, 0,
+        "a strict-verified routed query failed around the failover"
+    );
+    let new_owner = cluster.route("t0").expect("t0 still sharded");
+    assert_eq!(new_owner, standby, "t0 moved to the promoted standby");
+    let lags = cluster.lag_report();
+    assert!(
+        lags.iter().filter(|l| l.edge != victim).all(|l| l.lag == 0),
+        "live edges must end fully drained: {lags:?}"
+    );
+    // The promoted replica serves fresh, verifiable state right now.
+    let q = RangeQuery::select_all(0, rows / 4);
+    let promoted_rows = strict_routed_query(&cluster, &acc, &schemas, 0, &q)
+        .expect("promoted standby serves strictly-verified responses");
+
+    // ---- report ----
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let qps = total as f64 / (wall_ns / 1e9);
+
+    let mut recs = Vec::new();
+    let mut rec = |op: &str, n: u64, ns: f64| {
+        println!("{op:<28} {ns:>14.1} ns/op  (n = {n})");
+        recs.push(BenchRecord {
+            op: op.to_string(),
+            n,
+            ns_per_op: ns,
+        });
+    };
+    rec("failover_edges", EDGES as u64, 0.0);
+    rec("failover_tables", TABLES as u64, 0.0);
+    rec("restore_verified", rows, restore_ns);
+    rec("restore_rows_per_s", restore_rows_per_s as u64, 0.0);
+    rec("restore_chunks", restore_chunks as u64, 0.0);
+    rec("restore_stream_bytes", restore_bytes as u64, 0.0);
+    rec("promotion_downtime", tables_moved as u64, promotion_ns);
+    rec("failover_routed_mean", total, mean);
+    rec("failover_routed_p50", total, p50);
+    rec("failover_routed_p99", total, p99);
+    rec("failover_verify_failures", verify_failures, 0.0);
+    rec("failover_promoted_rows", promoted_rows as u64, 0.0);
+
+    println!();
+    println!("readers                : {readers} threads (+1 writer)");
+    println!("reader throughput      : {qps:.0} strict-verified routed queries/s");
+    println!(
+        "verified restore       : {rows} rows in {:.1} ms ({:.0} rows/s, {} chunks, {} B)",
+        restore_ns / 1e6,
+        restore_rows_per_s,
+        restore_chunks,
+        restore_bytes
+    );
+    println!(
+        "promotion              : edge {victim} killed, {tables_moved} table(s) moved to \
+         edge {standby} in {:.1} ms — 0 unverified rows served",
+        promotion_ns / 1e6
+    );
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_failover_promotes_without_unverified_reads() {
+        let recs = run_failover(400, true);
+        let get = |op: &str| {
+            recs.iter()
+                .find(|r| r.op == op)
+                .unwrap_or_else(|| panic!("missing record {op}"))
+        };
+        assert_eq!(get("failover_verify_failures").n, 0);
+        assert!(get("restore_verified").ns_per_op > 0.0);
+        assert!(get("restore_chunks").n >= 2, "skeleton plus leaf runs");
+        assert!(get("promotion_downtime").n >= 1, "t0 moved");
+        assert!(get("failover_promoted_rows").n > 0);
+        assert!(get("failover_routed_p99").ns_per_op >= get("failover_routed_p50").ns_per_op);
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod cluster;
 pub mod compact;
+pub mod failover;
 pub mod net;
 pub mod perf;
 pub mod recover;

@@ -1,0 +1,268 @@
+//! Chunked state sync (`VBC1`) — the producer half of verified
+//! bootstrap.
+//!
+//! The paper's trust model is that only the central DBMS signs; an edge
+//! server is never trusted. That has to hold during *recovery* too: a
+//! replica restoring a lost table must authenticate the state it
+//! installs, and it should be able to reject a corrupted or malicious
+//! source **mid-transfer**, not after buffering a full copy.
+//!
+//! `VBC1` therefore splits a [`VbTree`] into independently checkable
+//! chunks:
+//!
+//! * **chunk 0 (skeleton)** — the tree header (row count, height,
+//!   version, geometry, schema) plus every internal node and, for every
+//!   leaf in left-to-right order, its signed node digest. Every digest
+//!   in the skeleton carries the central's signature, so the restorer
+//!   can authenticate the whole *shape* of the tree — and pin down the
+//!   expected digest and key bounds of every leaf — before a single
+//!   tuple arrives.
+//! * **chunks 1..N (leaf runs)** — contiguous runs of full leaf
+//!   contents (tuples + attribute/tuple digests). Each run is checked
+//!   against the skeleton's pinned digests as it ingests: recomputed
+//!   attribute exponents, tuple products, leaf products, separator
+//!   bounds, and signatures all have to line up or the chunk is
+//!   rejected on the spot.
+//!
+//! Every chunk carries the tree version, so a source that commits
+//! between chunk requests is detected as [`SyncError::SourceChanged`]
+//! instead of silently splicing two states together. The consuming side
+//! is [`crate::restore::Restorer`]; schemes plug both halves into the
+//! generic [`crate::scheme::AuthScheme`] sync surface
+//! (`sync_chunk_count` / `encode_sync_chunk` / `begin_restore`).
+
+use crate::node::{Node, NodeId};
+use crate::tree::VbTree;
+use crate::tree_codec::put_digest;
+use crate::CoreError;
+use bytes::BufMut;
+
+pub(crate) const MAGIC: &[u8; 4] = b"VBC1";
+
+/// Default number of leaves shipped per leaf chunk.
+pub const DEFAULT_LEAVES_PER_CHUNK: usize = 64;
+
+/// Failures of the chunked-sync protocol, on either side.
+#[derive(Debug)]
+pub enum SyncError {
+    /// The scheme (named) does not support chunked sync.
+    Unsupported(&'static str),
+    /// A chunk index past the end of the stream was requested.
+    NoSuchChunk {
+        /// The requested index.
+        index: u32,
+        /// Chunks in the stream.
+        total: u32,
+    },
+    /// A chunk failed to decode (truncation, bad tags, bad counts).
+    Wire(CoreError),
+    /// Chunks must ingest in order; a gap or replay is rejected.
+    ChunkOutOfOrder {
+        /// The index the restorer expected next.
+        expected: u32,
+        /// The index the chunk claimed.
+        got: u32,
+    },
+    /// The source committed between chunks: the stream mixes two tree
+    /// versions and cannot be authenticated as one state.
+    SourceChanged {
+        /// Version pinned by chunk 0.
+        expected: u64,
+        /// Version the offending chunk carried.
+        got: u64,
+    },
+    /// A digest signature did not verify under the owner's key.
+    BadSignature(String),
+    /// Recomputed digests disagree with the signed material — the chunk
+    /// was tampered with (or the source is corrupt).
+    DigestMismatch(String),
+    /// Structurally invalid chunk content (ordering, bounds, counts).
+    Malformed(String),
+    /// The stream ended before every chunk arrived.
+    Incomplete {
+        /// Chunks ingested so far.
+        ingested: u32,
+        /// Chunks the stream declared.
+        expected: u32,
+    },
+}
+
+impl core::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SyncError::Unsupported(name) => {
+                write!(f, "scheme {name} does not support chunked sync")
+            }
+            SyncError::NoSuchChunk { index, total } => {
+                write!(f, "no chunk {index} in a {total}-chunk stream")
+            }
+            SyncError::Wire(e) => write!(f, "chunk decode: {e}"),
+            SyncError::ChunkOutOfOrder { expected, got } => {
+                write!(f, "chunk out of order: expected {expected}, got {got}")
+            }
+            SyncError::SourceChanged { expected, got } => write!(
+                f,
+                "source changed mid-stream: pinned tree version {expected}, chunk carries {got}"
+            ),
+            SyncError::BadSignature(m) => write!(f, "bad signature: {m}"),
+            SyncError::DigestMismatch(m) => write!(f, "digest mismatch: {m}"),
+            SyncError::Malformed(m) => write!(f, "malformed chunk: {m}"),
+            SyncError::Incomplete { ingested, expected } => {
+                write!(f, "restore incomplete: {ingested}/{expected} chunks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SyncError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SyncError {
+    fn from(e: CoreError) -> Self {
+        SyncError::Wire(e)
+    }
+}
+
+/// Streaming, verifying consumer of a chunked sync stream (the
+/// restoring side of [`crate::scheme::AuthScheme::begin_restore`]).
+/// Implementations authenticate every chunk against the scheme's signed
+/// commitment *as it ingests*, so tampering surfaces mid-stream.
+pub trait StoreRestorer<Store>: Send {
+    /// Feed the next chunk. Chunks must arrive in index order.
+    fn ingest(&mut self, chunk: &[u8]) -> Result<(), SyncError>;
+    /// All chunks ingested: produce the verified store.
+    fn finish(self: Box<Self>) -> Result<Store, SyncError>;
+}
+
+/// Chunk producer over a [`VbTree`] (the trusted/source side).
+pub struct TreeChunks<'a, const L: usize> {
+    tree: &'a VbTree<L>,
+    /// Leaf node ids in left-to-right key order.
+    leaves: Vec<NodeId>,
+    per_chunk: usize,
+}
+
+impl<'a, const L: usize> TreeChunks<'a, L> {
+    /// Chunk `tree` with [`DEFAULT_LEAVES_PER_CHUNK`] leaves per leaf
+    /// chunk.
+    pub fn new(tree: &'a VbTree<L>) -> Self {
+        Self::with_leaves_per_chunk(tree, DEFAULT_LEAVES_PER_CHUNK)
+    }
+
+    /// Chunk `tree` with an explicit leaf-run size (clamped to ≥ 1).
+    pub fn with_leaves_per_chunk(tree: &'a VbTree<L>, per_chunk: usize) -> Self {
+        let mut leaves = Vec::new();
+        collect_leaves(tree, tree.root_id(), &mut leaves);
+        Self {
+            tree,
+            leaves,
+            per_chunk: per_chunk.max(1),
+        }
+    }
+
+    /// Total chunks in the stream (skeleton + leaf runs); always ≥ 2,
+    /// since even an empty tree has a root leaf.
+    pub fn num_chunks(&self) -> usize {
+        1 + self.leaves.len().div_ceil(self.per_chunk)
+    }
+
+    /// Encode chunk `index` of the stream.
+    pub fn encode_chunk(&self, index: usize) -> Result<Vec<u8>, SyncError> {
+        let total = self.num_chunks();
+        if index >= total {
+            return Err(SyncError::NoSuchChunk {
+                index: index as u32,
+                total: total as u32,
+            });
+        }
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(MAGIC);
+        out.put_u32(index as u32);
+        out.put_u32(total as u32);
+        out.put_u64(self.tree.version());
+        if index == 0 {
+            self.encode_skeleton_chunk(&mut out);
+        } else {
+            self.encode_leaf_chunk(index, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn encode_skeleton_chunk(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.tree.len());
+        out.put_u32(self.tree.height());
+        out.put_u32(self.tree.key_version());
+        let g = self.tree.config().geometry;
+        out.put_u32(g.block_size as u32);
+        out.put_u32(g.key_len as u32);
+        out.put_u32(g.ptr_len as u32);
+        out.put_u32(g.digest_len as u32);
+        match self.tree.config().fanout_override {
+            Some(f) => {
+                out.push(1);
+                out.put_u32(f as u32);
+            }
+            None => out.push(0),
+        }
+        self.tree.schema().encode_into(out);
+        out.put_u32(self.per_chunk as u32);
+        self.encode_skeleton_node(self.tree.root_id(), out);
+    }
+
+    fn encode_skeleton_node(&self, id: NodeId, out: &mut Vec<u8>) {
+        match self.tree.node(id) {
+            Node::Leaf(n) => {
+                out.push(0);
+                put_digest(out, &n.digest);
+            }
+            Node::Internal(n) => {
+                out.push(1);
+                put_digest(out, &n.digest);
+                out.put_u32(n.children.len() as u32);
+                for &k in &n.keys {
+                    out.put_u64(k);
+                }
+                for &c in &n.children {
+                    self.encode_skeleton_node(c, out);
+                }
+            }
+        }
+    }
+
+    fn encode_leaf_chunk(&self, index: usize, out: &mut Vec<u8>) {
+        let start = (index - 1) * self.per_chunk;
+        let end = (start + self.per_chunk).min(self.leaves.len());
+        out.put_u32(start as u32);
+        out.put_u32((end - start) as u32);
+        for &id in &self.leaves[start..end] {
+            let Node::Leaf(n) = self.tree.node(id) else {
+                unreachable!("collect_leaves only records leaves");
+            };
+            out.put_u32(n.entries.len() as u32);
+            for e in &n.entries {
+                e.tuple.encode_into(out);
+                for d in &e.attr_digests {
+                    put_digest(out, d);
+                }
+                put_digest(out, &e.tuple_digest);
+            }
+        }
+    }
+}
+
+fn collect_leaves<const L: usize>(tree: &VbTree<L>, id: NodeId, out: &mut Vec<NodeId>) {
+    match tree.node(id) {
+        Node::Leaf(_) => out.push(id),
+        Node::Internal(n) => {
+            for &c in &n.children {
+                collect_leaves(tree, c, out);
+            }
+        }
+    }
+}

@@ -138,6 +138,8 @@ pub enum FrameKind {
     PollDeltas = 0x15,
     /// Ask the central for a freshly signed stamp.
     HeartbeatReq = 0x16,
+    /// Request chunk `index` of a table's verified sync stream.
+    ChunkRequest = 0x17,
     /// A `VBX2` query response, verbatim.
     QueryResp = 0x20,
     /// A `VBX4` compact response, verbatim.
@@ -156,6 +158,11 @@ pub enum FrameKind {
     SubAck = 0x27,
     /// Generic acknowledgement carrying the receiver's applied seq.
     Ack = 0x28,
+    /// One `VBC1` sync chunk, verbatim.
+    Chunk = 0x29,
+    /// Sync stream complete: chunk count plus the log head to subscribe
+    /// from for catch-up.
+    RestoreDone = 0x2A,
     /// Error reply; the request that caused it got no other answer.
     Error = 0x3F,
 }
@@ -173,6 +180,7 @@ impl FrameKind {
             0x14 => Self::Subscribe,
             0x15 => Self::PollDeltas,
             0x16 => Self::HeartbeatReq,
+            0x17 => Self::ChunkRequest,
             0x20 => Self::QueryResp,
             0x21 => Self::CompactResp,
             0x22 => Self::BundleResp,
@@ -182,6 +190,8 @@ impl FrameKind {
             0x26 => Self::Stamp,
             0x27 => Self::SubAck,
             0x28 => Self::Ack,
+            0x29 => Self::Chunk,
+            0x2A => Self::RestoreDone,
             0x3F => Self::Error,
             _ => return None,
         })
@@ -403,6 +413,13 @@ pub enum NetMsg {
     },
     /// Ask for a freshly signed owner stamp.
     HeartbeatReq,
+    /// Request chunk `index` of `table`'s verified sync stream.
+    ChunkRequest {
+        /// Table to restore.
+        table: String,
+        /// Zero-based chunk index.
+        index: u32,
+    },
     /// A `VBX2` response (decode with [`crate::wire::decode_response`]).
     QueryResp(
         /// Verbatim `VBX2` bytes.
@@ -455,6 +472,21 @@ pub enum NetMsg {
     Ack {
         /// Highest delta sequence applied after this message.
         applied_seq: u64,
+    },
+    /// One sync chunk (feed to a scheme's
+    /// [`StoreRestorer`](crate::chunks::StoreRestorer)).
+    Chunk(
+        /// Verbatim `VBC1` bytes.
+        Vec<u8>,
+    ),
+    /// The requested chunk index is past the end: the sync stream is
+    /// complete.
+    RestoreDone {
+        /// Chunks the stream comprised.
+        chunks: u32,
+        /// The source's log head (`next_seq`) — subscribe from here to
+        /// catch up on anything committed after the stream.
+        head: u64,
     },
     /// The request failed.
     Error {
@@ -517,6 +549,7 @@ impl NetMsg {
             NetMsg::Subscribe { .. } => FrameKind::Subscribe,
             NetMsg::PollDeltas { .. } => FrameKind::PollDeltas,
             NetMsg::HeartbeatReq => FrameKind::HeartbeatReq,
+            NetMsg::ChunkRequest { .. } => FrameKind::ChunkRequest,
             NetMsg::QueryResp(_) => FrameKind::QueryResp,
             NetMsg::CompactResp(_) => FrameKind::CompactResp,
             NetMsg::BundleResp(_) => FrameKind::BundleResp,
@@ -526,6 +559,8 @@ impl NetMsg {
             NetMsg::Stamp { .. } => FrameKind::Stamp,
             NetMsg::SubAck { .. } => FrameKind::SubAck,
             NetMsg::Ack { .. } => FrameKind::Ack,
+            NetMsg::Chunk(_) => FrameKind::Chunk,
+            NetMsg::RestoreDone { .. } => FrameKind::RestoreDone,
             NetMsg::Error { .. } => FrameKind::Error,
         }
     }
@@ -557,11 +592,20 @@ impl NetMsg {
             }
             NetMsg::Subscribe { cursor } => payload.put_u64(*cursor),
             NetMsg::PollDeltas { max } => payload.put_u32(*max),
+            NetMsg::ChunkRequest { table, index } => {
+                put_str(&mut payload, table);
+                payload.put_u32(*index);
+            }
             NetMsg::QueryResp(bytes)
             | NetMsg::CompactResp(bytes)
             | NetMsg::BundleResp(bytes)
             | NetMsg::DeltaOp(bytes)
-            | NetMsg::DeltaBatch(bytes) => payload.extend_from_slice(bytes),
+            | NetMsg::DeltaBatch(bytes)
+            | NetMsg::Chunk(bytes) => payload.extend_from_slice(bytes),
+            NetMsg::RestoreDone { chunks, head } => {
+                payload.put_u32(*chunks);
+                payload.put_u64(*head);
+            }
             NetMsg::SkipRange { start_seq, count } => {
                 payload.put_u64(*start_seq);
                 payload.put_u64(*count);
@@ -641,11 +685,27 @@ impl NetMsg {
                 NetMsg::PollDeltas { max: buf.get_u32() }
             }
             FrameKind::HeartbeatReq => NetMsg::HeartbeatReq,
+            FrameKind::ChunkRequest => {
+                let table = get_str(&mut buf, "table name")?;
+                need(&buf, 4, "chunk request")?;
+                NetMsg::ChunkRequest {
+                    table,
+                    index: buf.get_u32(),
+                }
+            }
             FrameKind::QueryResp => return Ok(NetMsg::QueryResp(frame.payload.clone())),
             FrameKind::CompactResp => return Ok(NetMsg::CompactResp(frame.payload.clone())),
             FrameKind::BundleResp => return Ok(NetMsg::BundleResp(frame.payload.clone())),
             FrameKind::DeltaOp => return Ok(NetMsg::DeltaOp(frame.payload.clone())),
             FrameKind::DeltaBatch => return Ok(NetMsg::DeltaBatch(frame.payload.clone())),
+            FrameKind::Chunk => return Ok(NetMsg::Chunk(frame.payload.clone())),
+            FrameKind::RestoreDone => {
+                need(&buf, 12, "restore done")?;
+                NetMsg::RestoreDone {
+                    chunks: buf.get_u32(),
+                    head: buf.get_u64(),
+                }
+            }
             FrameKind::SkipRange => {
                 need(&buf, 16, "skip range")?;
                 NetMsg::SkipRange {
@@ -733,6 +793,10 @@ mod tests {
             NetMsg::Subscribe { cursor: 42 },
             NetMsg::PollDeltas { max: 64 },
             NetMsg::HeartbeatReq,
+            NetMsg::ChunkRequest {
+                table: "orders".into(),
+                index: 7,
+            },
             NetMsg::QueryResp(vec![1, 2, 3]),
             NetMsg::CompactResp(vec![4, 5]),
             NetMsg::BundleResp(vec![6]),
@@ -753,6 +817,11 @@ mod tests {
             NetMsg::Stamp { stamp: None },
             NetMsg::SubAck { head: 9, oldest: 4 },
             NetMsg::Ack { applied_seq: 12 },
+            NetMsg::Chunk(vec![0xC5; 24]),
+            NetMsg::RestoreDone {
+                chunks: 5,
+                head: 99,
+            },
             NetMsg::Error {
                 code: ErrorCode::Lagging,
                 message: "cursor 3 below oldest 9".into(),

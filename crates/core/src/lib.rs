@@ -39,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunks;
 pub mod durable;
 pub mod frame;
 pub mod meter;
 pub mod node;
+pub mod restore;
 pub mod scheme;
 pub mod source;
 pub mod tree;
@@ -51,12 +53,14 @@ pub mod verify;
 pub mod vo;
 pub mod wire;
 
+pub use chunks::{StoreRestorer, SyncError, TreeChunks, DEFAULT_LEAVES_PER_CHUNK};
 pub use durable::{
     decode_wal_record, encode_wal_commit_batch, encode_wal_commit_op, encode_wal_heartbeat,
     DurableScheme, WalRecord,
 };
 pub use frame::{ErrorCode, Frame, FrameBuffer, FrameKind, NetMsg, MAX_FRAME_LEN};
 pub use meter::CostMeter;
+pub use restore::Restorer;
 pub use scheme::{
     AuthScheme, DeltaBatch, SignedDelta, TamperMode, UpdateOp, VbScheme, VbSchemeError,
     VerifiedBatch,

@@ -26,7 +26,9 @@
 //! schemes; `vbx_edge` builds the generic central/edge deployment on
 //! top; `vbx_bench` measures all three through the same entry points.
 
+use crate::chunks::{StoreRestorer, SyncError, TreeChunks};
 use crate::meter::CostMeter;
+use crate::restore::Restorer;
 use crate::source::{Capture, DeferredSource, ReplaySource};
 use crate::tree::{VbTree, VbTreeConfig};
 use crate::verify::{ClientVerifier, FreshnessStamp, ResponseFreshness, VerifyError};
@@ -161,7 +163,7 @@ pub trait AuthScheme {
     const NAME: &'static str;
 
     /// The authenticated server-side store (tree/table + digests).
-    type Store;
+    type Store: 'static;
     /// A query answer as shipped from edge server to client.
     type Response: Clone;
     /// The detachable verification object / proof part of a response.
@@ -328,6 +330,40 @@ pub trait AuthScheme {
     /// detected).
     fn proves_completeness(&self) -> bool {
         false
+    }
+
+    // -- Verified chunked state sync -----------------------------------
+
+    /// Number of chunks a verified sync stream of `store` comprises.
+    /// Zero means the scheme does not support chunked sync (the
+    /// default; every shipped scheme overrides).
+    fn sync_chunk_count(&self, _store: &Self::Store) -> usize {
+        0
+    }
+
+    /// Source side of verified sync: encode chunk `index` of `store`.
+    fn encode_sync_chunk(&self, _store: &Self::Store, _index: usize) -> Result<Vec<u8>, SyncError> {
+        Err(SyncError::Unsupported(Self::NAME))
+    }
+
+    /// Restoring side: a [`StoreRestorer`] that authenticates every
+    /// chunk against the scheme's signed commitment under `verifier`
+    /// (the owner's public key) **as it ingests** — a restoring edge
+    /// never installs state it has not verified.
+    fn begin_restore(
+        &self,
+        _verifier: std::sync::Arc<dyn SigVerifier>,
+    ) -> Box<dyn StoreRestorer<Self::Store>> {
+        struct Unsupported<Store>(&'static str, std::marker::PhantomData<fn() -> Store>);
+        impl<Store> StoreRestorer<Store> for Unsupported<Store> {
+            fn ingest(&mut self, _chunk: &[u8]) -> Result<(), SyncError> {
+                Err(SyncError::Unsupported(self.0))
+            }
+            fn finish(self: Box<Self>) -> Result<Store, SyncError> {
+                Err(SyncError::Unsupported(self.0))
+            }
+        }
+        Box::new(Unsupported(Self::NAME, std::marker::PhantomData))
     }
 }
 
@@ -785,6 +821,21 @@ impl<const L: usize> AuthScheme for VbScheme<L> {
 
     fn proves_completeness(&self) -> bool {
         false
+    }
+
+    fn sync_chunk_count(&self, store: &VbTree<L>) -> usize {
+        TreeChunks::new(store).num_chunks()
+    }
+
+    fn encode_sync_chunk(&self, store: &VbTree<L>, index: usize) -> Result<Vec<u8>, SyncError> {
+        TreeChunks::new(store).encode_chunk(index)
+    }
+
+    fn begin_restore(
+        &self,
+        verifier: std::sync::Arc<dyn SigVerifier>,
+    ) -> Box<dyn StoreRestorer<VbTree<L>>> {
+        Box::new(Restorer::new(self.acc.clone(), verifier))
     }
 }
 

@@ -17,14 +17,14 @@ use vbx_storage::{Geometry, Schema, Tuple};
 
 const MAGIC: &[u8; 4] = b"VBT1";
 
-fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
+pub(crate) fn put_digest<const L: usize>(out: &mut Vec<u8>, d: &SignedDigest<L>) {
     out.push(d.role.to_tag());
     out.extend_from_slice(&d.exp.to_be_bytes());
     out.put_u16(d.sig.len() as u16);
     out.extend_from_slice(d.sig.as_bytes());
 }
 
-fn get_digest<const L: usize>(
+pub(crate) fn get_digest<const L: usize>(
     buf: &mut &[u8],
     acc: &Accumulator<L>,
     expect_role: Option<DigestRole>,

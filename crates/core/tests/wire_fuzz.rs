@@ -771,6 +771,15 @@ fn frame_zoo() -> Vec<(NetMsg, Vec<u8>)> {
             oldest: 12,
         },
         NetMsg::Ack { applied_seq: 30 },
+        NetMsg::ChunkRequest {
+            table: "t".to_string(),
+            index: 3,
+        },
+        NetMsg::Chunk(vec![0xC4; 61]),
+        NetMsg::RestoreDone {
+            chunks: 5,
+            head: 88,
+        },
         NetMsg::Error {
             code: ErrorCode::Lagging,
             message: "subscription overflowed".to_string(),
@@ -857,7 +866,7 @@ fn frame_checksum_and_kind_corruption_is_rejected() {
     }
 
     // An unknown kind tag with a *correct* checksum still errors.
-    for tag in [0x00u8, 0x2A, 0x7F, 0xFF] {
+    for tag in [0x00u8, 0x2B, 0x7F, 0xFF] {
         assert!(
             FrameKind::from_tag(tag).is_none(),
             "tag {tag:#x} is unassigned"

@@ -577,6 +577,14 @@ impl<S: AuthScheme> CentralServer<S> {
         &self.registry
     }
 
+    /// Verifier for the *current* signing key. [`rotate_key`]
+    /// (Self::rotate_key) re-signs every store under the new key, so
+    /// this verifier always authenticates the central's live state —
+    /// the anchor a restoring edge checks chunk proofs against.
+    pub fn verifier(&self) -> Arc<dyn vbx_crypto::SigVerifier> {
+        self.signer.verifier()
+    }
+
     /// Logical clock (advances with every committed update).
     pub fn clock(&self) -> u64 {
         self.clock
@@ -596,6 +604,21 @@ impl<S: AuthScheme> CentralServer<S> {
         self.stores.insert(table.schema().table.clone(), store);
         self.catalog.put(table);
         self.durability_mark_ddl();
+    }
+
+    /// Drop a base table from the catalog and discard its store.
+    /// Returns `false` when no such table exists. DDL, like
+    /// [`create_table`](Self::create_table): forces a checkpoint so the
+    /// drop lands in a durable snapshot. Edges that still hold an
+    /// assignment for the table discover the drop on their next
+    /// (re)subscription and remove the stale replica.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        let existed = self.catalog.remove(name).is_some();
+        self.stores.remove(name);
+        if existed {
+            self.durability_mark_ddl();
+        }
+        existed
     }
 
     /// Authoritative store lookup.

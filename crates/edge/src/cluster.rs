@@ -66,20 +66,36 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Table → owning-edge assignment (least-loaded at creation, stable
-/// afterwards).
+/// Table → owning-edge assignment: least-loaded at creation, mutable
+/// afterwards ([`reassign`](Self::reassign) /
+/// [`promote_replica`](Self::promote_replica) /
+/// [`remove_table`](Self::remove_table) for failover and resharding).
+/// Every mutation bumps a monotone [`version`](Self::version) so
+/// routers holding a copy can detect a stale view.
 #[derive(Clone, Debug)]
 pub struct ShardMap {
     owners: BTreeMap<String, usize>,
     load: Vec<usize>,
+    version: u64,
 }
 
 impl ShardMap {
     /// An empty map over `num_edges` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num_edges` is zero — a shard map with no edges can
+    /// never hold an assignment, and silently clamping to one edge
+    /// would hand every table to a replica the caller never stood up.
     pub fn new(num_edges: usize) -> Self {
+        assert!(
+            num_edges > 0,
+            "ShardMap::new: a shard map needs at least one edge, got 0"
+        );
         Self {
             owners: BTreeMap::new(),
-            load: vec![0; num_edges.max(1)],
+            load: vec![0; num_edges],
+            version: 0,
         }
     }
 
@@ -95,6 +111,7 @@ impl ShardMap {
             .expect("at least one edge");
         self.owners.insert(table.to_string(), owner);
         self.load[owner] += 1;
+        self.version += 1;
         owner
     }
 
@@ -110,6 +127,66 @@ impl ShardMap {
             .filter(|(_, &o)| o == edge)
             .map(|(t, _)| t.as_str())
             .collect()
+    }
+
+    /// Monotone mutation counter: bumped by every
+    /// [`assign`](Self::assign), [`reassign`](Self::reassign),
+    /// [`promote_replica`](Self::promote_replica) and
+    /// [`remove_table`](Self::remove_table) that changed an
+    /// assignment.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Move `table` to `new_owner`, adjusting both edges' load counts.
+    /// Returns the previous owner; `None` when the table is unassigned
+    /// or `new_owner` is out of range (the map is left unchanged).
+    pub fn reassign(&mut self, table: &str, new_owner: usize) -> Option<usize> {
+        if new_owner >= self.load.len() {
+            return None;
+        }
+        let owner = self.owners.get_mut(table)?;
+        let old = *owner;
+        if old == new_owner {
+            return Some(old);
+        }
+        *owner = new_owner;
+        self.load[old] -= 1;
+        self.load[new_owner] += 1;
+        self.version += 1;
+        Some(old)
+    }
+
+    /// Move every table owned by `dead` to `standby` (edge failover).
+    /// Returns the moved table names in name order; empty when the ids
+    /// are invalid, equal, or `dead` owned nothing.
+    pub fn promote_replica(&mut self, dead: usize, standby: usize) -> Vec<String> {
+        let mut moved = Vec::new();
+        if dead == standby || dead >= self.load.len() || standby >= self.load.len() {
+            return moved;
+        }
+        for (table, owner) in self.owners.iter_mut() {
+            if *owner == dead {
+                *owner = standby;
+                moved.push(table.clone());
+            }
+        }
+        if !moved.is_empty() {
+            self.load[dead] -= moved.len();
+            self.load[standby] += moved.len();
+            self.version += 1;
+        }
+        moved
+    }
+
+    /// Drop `table`'s assignment (e.g. after the table was dropped
+    /// from the central catalog), shrinking its owner's load count.
+    /// Returns the former owner.
+    pub fn remove_table(&mut self, table: &str) -> Option<usize> {
+        let owner = self.owners.remove(table)?;
+        self.load[owner] -= 1;
+        self.version += 1;
+        Some(owner)
     }
 
     /// Number of edges in the map.
@@ -148,6 +225,11 @@ pub enum ClusterError<E> {
         /// The configured bound ([`ClusterConfig::max_queue`]).
         bound: usize,
     },
+    /// Verified state sync rejected a chunk stream while
+    /// (re)provisioning an edge: the bytes did not authenticate against
+    /// the central's signed root digest. The unverified replica is
+    /// **not** installed.
+    Sync(vbx_core::SyncError),
     /// A recovered central's head is *behind* an edge's subscription
     /// cursor: a commit that was acked and fanned out is missing from
     /// the recovered history. This is data loss — refusing the adoption
@@ -170,6 +252,7 @@ impl<E: core::fmt::Display> core::fmt::Display for ClusterError<E> {
             ClusterError::Central(e) => write!(f, "central: {e}"),
             ClusterError::Edge(e) => write!(f, "edge: {e}"),
             ClusterError::Truncated(e) => write!(f, "subscription lost: {e}"),
+            ClusterError::Sync(e) => write!(f, "verified sync rejected: {e}"),
             ClusterError::Disconnected {
                 edge,
                 queued,
@@ -197,6 +280,12 @@ impl<E> From<CentralError<E>> for ClusterError<E> {
 impl<E> From<EdgeError<E>> for ClusterError<E> {
     fn from(e: EdgeError<E>) -> Self {
         ClusterError::Edge(e)
+    }
+}
+
+impl<E> From<vbx_core::SyncError> for ClusterError<E> {
+    fn from(e: vbx_core::SyncError) -> Self {
+        ClusterError::Sync(e)
     }
 }
 
@@ -305,6 +394,7 @@ where
     pub fn from_central(central: CentralServer<S>, num_edges: usize) -> Self {
         let scheme = central.scheme().clone();
         let head = central.delta_log().next_seq();
+        let verifier = central.verifier();
         let mut shard_map = ShardMap::new(num_edges.max(1));
         let mut edges: Vec<EdgeSlot<S>> = (0..num_edges.max(1))
             .map(|_| EdgeSlot {
@@ -317,11 +407,12 @@ where
         for table in central.catalog.iter() {
             let name = table.schema().table.clone();
             let owner = shard_map.assign(&name);
-            let store = central
-                .stores
-                .get(&name)
-                .expect("catalog mirrors stores")
-                .clone();
+            let source = central.stores.get(&name).expect("catalog mirrors stores");
+            // Edges never install state they have not verified — even
+            // from a (crash-recovered) central in the same process, the
+            // replica is rebuilt through the chunk-and-verify pipeline.
+            let store = crate::sync::clone_verified(&scheme, source, verifier.clone())
+                .expect("central's own store must restore cleanly");
             edges[owner]
                 .server
                 .install_table(name, table.schema().clone(), store);
@@ -576,40 +667,127 @@ where
 
     /// Reconnect a disconnected edge by re-provisioning it from the
     /// central's *current* state instead of replaying the dropped
-    /// backlog: fresh clones of its owned stores, cursor and applied
-    /// position fast-forwarded to the owner's head, and the head's
-    /// attestation installed if the central retains one. Also works on
-    /// a healthy edge (it simply snaps to the head).
+    /// backlog: every owned store is rebuilt through the **verified
+    /// chunk-sync pipeline** (each chunk authenticated against the
+    /// signed root digest before anything is installed — never a
+    /// trusting clone), the cursor and applied position are
+    /// fast-forwarded to the owner's head, and the head's attestation
+    /// is installed if the central retains one. Also works on a healthy
+    /// edge (it simply snaps to the head).
+    ///
+    /// A table the shard map still assigns to this edge but that was
+    /// since dropped from the central catalog is not an error: the
+    /// stale assignment is removed (shrinking this edge's load count)
+    /// and the resubscribe continues.
     pub fn resubscribe_edge(&mut self, edge: usize) -> Result<(), ClusterError<S::Error>> {
+        if edge >= self.edges.len() {
+            return Err(ClusterError::UnknownEdge(edge));
+        }
         let head = self.central.delta_log().next_seq();
-        let slot = self
-            .edges
-            .get_mut(edge)
-            .ok_or(ClusterError::UnknownEdge(edge))?;
+        let verifier = self.central.verifier();
         // Replace the replica wholesale: its old stores may be
         // arbitrarily far behind the dropped backlog.
         let mut server = EdgeServer::with_seq(self.central.scheme().clone(), head);
-        for table in self.shard_map.tables_of(edge) {
-            let schema = self
-                .central
-                .schema(table)
-                .expect("shard map only holds cataloged tables")
-                .clone();
-            let store = self
-                .central
-                .store(table)
-                .expect("catalog mirrors stores")
-                .clone();
-            server.install_table(table.to_string(), schema, store);
+        let tables: Vec<String> = self
+            .shard_map
+            .tables_of(edge)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        for table in tables {
+            let Some(schema) = self.central.schema(&table).cloned() else {
+                self.shard_map.remove_table(&table);
+                continue;
+            };
+            let source = self.central.store(&table).expect("catalog mirrors stores");
+            let store =
+                crate::sync::clone_verified(self.central.scheme(), source, verifier.clone())?;
+            server.install_table(table, schema, store);
         }
         if let Some(stamp) = self.central.stamp_for_seq(head) {
             server.service().set_freshness_stamp(stamp);
         }
+        let slot = &mut self.edges[edge];
         slot.server = server;
         slot.queue.clear();
         slot.cursor = head;
         slot.disconnected = false;
         Ok(())
+    }
+
+    /// Take `edge` out of the serving set: drop its buffered
+    /// subscription queue and stop fanning out to it. The slot stays
+    /// (edge ids remain stable) and a later
+    /// [`resubscribe_edge`](Self::resubscribe_edge) revives it; its
+    /// tables keep routing to it until
+    /// [`promote_replica`](Self::promote_replica) moves them.
+    pub fn mark_edge_dead(&mut self, edge: usize) -> Result<(), ClusterError<S::Error>> {
+        let slot = self
+            .edges
+            .get_mut(edge)
+            .ok_or(ClusterError::UnknownEdge(edge))?;
+        slot.queue.clear();
+        slot.disconnected = true;
+        Ok(())
+    }
+
+    /// Fail over from `dead` to `standby`: mark the dead edge gone,
+    /// bring the standby current (a warm standby drains its queue to
+    /// the head; one that was itself disconnected is fully
+    /// re-provisioned), move the dead edge's tables to it in the shard
+    /// map (bumping the map's version so routers see the change), and
+    /// **chunk-restore each moved table through the verifying
+    /// restorer** — the standby never installs bytes it has not
+    /// authenticated against the central's signed root digests.
+    /// Queries route to the standby from the moment this returns.
+    /// Returns the moved table names.
+    pub fn promote_replica(
+        &mut self,
+        dead: usize,
+        standby: usize,
+    ) -> Result<Vec<String>, ClusterError<S::Error>> {
+        if dead >= self.edges.len() {
+            return Err(ClusterError::UnknownEdge(dead));
+        }
+        if standby >= self.edges.len() || standby == dead {
+            return Err(ClusterError::UnknownEdge(standby));
+        }
+        self.mark_edge_dead(dead)?;
+        if self.edges[standby].disconnected {
+            // The standby lost its own subscription at some point: move
+            // the assignments first, then rebuild the whole replica
+            // through the verified resubscribe path.
+            let moved = self.shard_map.promote_replica(dead, standby);
+            self.resubscribe_edge(standby)?;
+            return Ok(moved);
+        }
+        // Warm standby: catch its replica up to the head first, so its
+        // applied position agrees with the restored trees (which are
+        // snapshots of the central's state at the head).
+        self.fan_out()?;
+        self.drain_edge(standby, usize::MAX)?;
+        let moved = self.shard_map.promote_replica(dead, standby);
+        let verifier = self.central.verifier();
+        for table in &moved {
+            let Some(schema) = self.central.schema(table).cloned() else {
+                self.shard_map.remove_table(table);
+                continue;
+            };
+            let source = self.central.store(table).expect("catalog mirrors stores");
+            let store =
+                crate::sync::clone_verified(self.central.scheme(), source, verifier.clone())?;
+            self.edges[standby]
+                .server
+                .install_table(table.clone(), schema, store);
+        }
+        let pos = self.edges[standby].server.applied_seq();
+        if let Some(stamp) = self.central.stamp_for_seq(pos) {
+            self.edges[standby]
+                .server
+                .service()
+                .set_freshness_stamp(stamp);
+        }
+        Ok(moved)
     }
 
     /// Fan out and fully drain every healthy edge (the steady state

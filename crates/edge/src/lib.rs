@@ -51,6 +51,7 @@ pub mod locks;
 pub mod net;
 pub mod service;
 pub mod snapshot;
+pub mod sync;
 
 pub use central::{
     CentralError, CentralServer, CommittedBatches, DeltaLog, DeltaLogError, EdgeBundle, FlushError,
@@ -69,6 +70,7 @@ pub use net::{
 };
 pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};
 pub use snapshot::ServingReplica;
+pub use sync::{clone_verified, restore_table, RestoredTable};
 // Data-freshness verification surface (the cluster's client side).
 pub use vbx_core::{FreshnessPolicy, FreshnessStamp, ResponseFreshness};
 // The scheme layer the deployment is generic over (re-exported so edge

@@ -16,7 +16,9 @@ use std::io;
 use std::time::{Duration, Instant};
 use vbx_core::scheme::VbScheme;
 use vbx_core::verify::FreshnessStamp;
-use vbx_core::{decode_delta_batch, decode_signed_delta, CoreError, ErrorCode, NetMsg, RangeQuery};
+use vbx_core::{
+    decode_delta_batch, decode_signed_delta, CoreError, ErrorCode, NetMsg, RangeQuery, SyncError,
+};
 use vbx_crypto::accum::Accumulator;
 
 /// How long a call waits for its response before giving up.
@@ -36,9 +38,19 @@ pub enum NetError {
         /// Server-provided detail.
         message: String,
     },
-    /// The server answered with an unexpected message kind, or the
-    /// local apply of a replicated delta failed.
+    /// The server answered with an unexpected message kind.
     Protocol(String),
+    /// The local apply of a replicated entry failed partway through a
+    /// poll round: `applied` entries landed before `source` stopped the
+    /// round, so the edge's cursor has still advanced by that much.
+    Apply {
+        /// Entries applied before the failure.
+        applied: usize,
+        /// The typed apply failure.
+        source: EdgeError<vbx_core::scheme::VbSchemeError>,
+    },
+    /// Verified state sync rejected a chunk stream.
+    Sync(SyncError),
 }
 
 impl From<io::Error> for NetError {
@@ -51,6 +63,29 @@ impl From<CoreError> for NetError {
     fn from(e: CoreError) -> Self {
         NetError::Wire(e)
     }
+}
+
+impl From<SyncError> for NetError {
+    fn from(e: SyncError) -> Self {
+        NetError::Sync(e)
+    }
+}
+
+/// One step of a chunked state-sync fetch.
+#[derive(Debug)]
+pub enum ChunkFetch {
+    /// The next chunk's bytes — feed them to the restorer, then ask for
+    /// the next index.
+    Chunk(Vec<u8>),
+    /// The requested index is past the end: the table has `chunks`
+    /// chunks in total and the central's delta log head was `head` when
+    /// it answered (the cursor a fresh subscription should start from).
+    Done {
+        /// Total chunks in the stream.
+        chunks: u32,
+        /// Central's delta-log head at answer time.
+        head: u64,
+    },
 }
 
 /// A typed frame-protocol client over any transport.
@@ -207,6 +242,21 @@ impl NetClient {
         }
     }
 
+    /// Request chunk `index` of `table`'s verified sync stream. The
+    /// bytes come back verbatim for the scheme's restorer to
+    /// authenticate — the client does not interpret them.
+    pub fn fetch_chunk(&mut self, table: &str, index: u32) -> Result<ChunkFetch, NetError> {
+        let resp = self.call(&NetMsg::ChunkRequest {
+            table: table.to_string(),
+            index,
+        })?;
+        Self::expect(resp, "Chunk or RestoreDone", |m| match m {
+            NetMsg::Chunk(bytes) => Some(ChunkFetch::Chunk(bytes)),
+            NetMsg::RestoreDone { chunks, head } => Some(ChunkFetch::Done { chunks, head }),
+            _ => None,
+        })
+    }
+
     /// Push one replication message (a `VBX3`/`VBX6` envelope, skip, or
     /// stamp) to an edge and return its applied sequence from the Ack.
     pub fn push_replication(&mut self, msg: &NetMsg) -> Result<u64, NetError> {
@@ -242,27 +292,21 @@ pub fn replicate_once<const L: usize>(
     max: u32,
 ) -> Result<usize, NetError> {
     let (entries, _head, _oldest) = client.poll_deltas(max)?;
-    let apply_err =
-        |e: EdgeError<vbx_core::scheme::VbSchemeError>| NetError::Protocol(format!("{e:?}"));
     let mut applied = 0usize;
     for entry in entries {
-        match entry {
+        let res = match entry {
             NetMsg::DeltaOp(bytes) => {
                 let delta = decode_signed_delta(&bytes, &edge.scheme().acc)?;
                 edge.apply_log_entry(&LogEntry::Op(delta))
-                    .map_err(apply_err)?;
             }
             NetMsg::DeltaBatch(bytes) => {
                 let batch = decode_delta_batch(&bytes, &edge.scheme().acc)?;
-                edge.apply_delta_batch(&batch).map_err(apply_err)?;
+                edge.apply_delta_batch(&batch)
             }
-            NetMsg::SkipRange { start_seq, count } => {
-                edge.service()
-                    .skip_deltas(start_seq, count)
-                    .map_err(apply_err)?;
-            }
+            NetMsg::SkipRange { start_seq, count } => edge.service().skip_deltas(start_seq, count),
             _ => unreachable!("poll_deltas only returns replication entries"),
-        }
+        };
+        res.map_err(|source| NetError::Apply { applied, source })?;
         applied += 1;
     }
     Ok(applied)

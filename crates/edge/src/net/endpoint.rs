@@ -21,7 +21,7 @@ use crate::central::{CentralServer, LogEntry};
 use crate::edge_server::EdgeServer;
 use crate::service::EdgeError;
 use std::sync::{Arc, Mutex};
-use vbx_core::scheme::VbScheme;
+use vbx_core::scheme::{AuthScheme, VbScheme};
 use vbx_core::{
     decode_delta_batch, decode_signed_delta, encode_delta_batch, encode_response,
     encode_signed_delta, ErrorCode, Frame, NetMsg,
@@ -310,6 +310,26 @@ impl<const L: usize> FrameEndpoint for CentralEndpoint<L> {
                 // the log shape, so an empty poll still answers.
                 frames.push(NetMsg::SubAck { head, oldest }.to_frame());
                 frames
+            }
+            NetMsg::ChunkRequest { table, index } => {
+                let Some(store) = central.store(&table) else {
+                    return err_frame(ErrorCode::UnknownTable, format!("table {table:?}"));
+                };
+                let total = central.scheme().sync_chunk_count(store);
+                if (index as usize) >= total {
+                    // Past the end (or a scheme without sync support,
+                    // total 0): report the stream shape and the log
+                    // head to subscribe from.
+                    return vec![NetMsg::RestoreDone {
+                        chunks: total as u32,
+                        head: central.delta_log().next_seq(),
+                    }
+                    .to_frame()];
+                }
+                match central.scheme().encode_sync_chunk(store, index as usize) {
+                    Ok(bytes) => vec![NetMsg::Chunk(bytes).to_frame()],
+                    Err(e) => err_frame(ErrorCode::Internal, format!("{e}")),
+                }
             }
             _ => err_frame(
                 ErrorCode::BadRequest,

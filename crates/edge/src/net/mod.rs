@@ -28,7 +28,9 @@ pub mod endpoint;
 pub mod server;
 pub mod transport;
 
-pub use client::{bootstrap_edge, replicate_once, sync_stamp, NetClient, NetError, CALL_TIMEOUT};
+pub use client::{
+    bootstrap_edge, replicate_once, sync_stamp, ChunkFetch, NetClient, NetError, CALL_TIMEOUT,
+};
 pub use endpoint::{CentralEndpoint, ConnState, EdgeEndpoint, FrameEndpoint, DEFAULT_MAX_BACKLOG};
 pub use server::{NetServer, ServerStats};
 pub use transport::{Conn, Listener, LoopbackTransport, TcpTransport, Transport, POLL_INTERVAL};

@@ -10,7 +10,7 @@ use vbx_core::{
     AuthScheme, ClientVerifier, FreshnessPolicy, RangeQuery, TamperMode, VbScheme, VbTreeConfig,
     VerifyError,
 };
-use vbx_crypto::signer::MockSigner;
+use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
 use vbx_edge::{
     ClusterConfig, ClusterCoordinator, ClusterError, DeltaLog, KeyFreshnessPolicy, SchemeClient,
@@ -593,4 +593,226 @@ fn slow_edge_trips_queue_bound_and_recovers_by_resubscribing() {
     let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict())
         .expect("resubscribed edge must verify strictly");
     assert_eq!(rows, 47, "40 seeded + 7 inserted rows");
+}
+
+// ---------------------------------------------------------------------
+// Verified sync + failover (shard-map mutation, promotion, dropped
+// tables)
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "at least one edge")]
+fn shard_map_with_zero_edges_panics_instead_of_clamping() {
+    let _ = vbx_edge::ShardMap::new(0);
+}
+
+#[test]
+fn shard_map_mutations_bump_version_and_keep_load_counts() {
+    let mut m = vbx_edge::ShardMap::new(3);
+    assert_eq!(m.version(), 0);
+    assert_eq!(m.assign("a"), 0);
+    assert_eq!(m.assign("b"), 1);
+    assert_eq!(m.assign("c"), 2);
+    assert_eq!(m.assign("d"), 0);
+    let v_after_assign = m.version();
+    assert_eq!(v_after_assign, 4, "every fresh assignment bumps");
+    assert_eq!(m.assign("a"), 0, "re-assign is a no-op");
+    assert_eq!(m.version(), v_after_assign);
+
+    // Reassign moves load with the table.
+    assert_eq!(m.reassign("d", 1), Some(0));
+    assert_eq!(m.version(), v_after_assign + 1);
+    assert_eq!(m.tables_of(0), vec!["a"]);
+    assert_eq!(m.tables_of(1), vec!["b", "d"]);
+    assert_eq!(m.reassign("nope", 1), None, "unknown table");
+    assert_eq!(m.reassign("a", 99), None, "owner out of range");
+    assert_eq!(
+        m.version(),
+        v_after_assign + 1,
+        "failed reassigns do not bump"
+    );
+
+    // Promote moves everything the dead edge owned.
+    let moved = m.promote_replica(1, 2);
+    assert_eq!(moved, vec!["b".to_string(), "d".to_string()]);
+    assert!(m.tables_of(1).is_empty());
+    assert_eq!(m.tables_of(2), vec!["b", "c", "d"]);
+    assert_eq!(m.version(), v_after_assign + 2);
+    assert!(
+        m.promote_replica(1, 1).is_empty(),
+        "self-promotion is a no-op"
+    );
+
+    // Remove shrinks the owner's load so later assignments rebalance.
+    assert_eq!(m.remove_table("c"), Some(2));
+    assert_eq!(m.remove_table("c"), None);
+    assert_eq!(m.num_tables(), 3);
+    assert_eq!(m.version(), v_after_assign + 3);
+}
+
+#[test]
+fn killing_an_edge_under_load_promotes_a_verified_standby() {
+    let mut c = cluster(2, 40, 3);
+    c.sync().unwrap();
+    let schema0 = c.central().schema("t0").unwrap().clone();
+    let schema1 = c.central().schema("t1").unwrap().clone();
+    let dead = c.route("t0").unwrap();
+    let standby = 2usize;
+    assert_ne!(dead, standby, "t0/t1 land on edges 0/1, standby is 2");
+
+    // Load phase: commits land while replication is in flight (the
+    // queues are deliberately not fully drained).
+    for k in 0..8u64 {
+        c.insert("t0", fresh_tuple(&schema0, 3_000 + k)).unwrap();
+        c.insert("t1", fresh_tuple(&schema1, 3_000 + k)).unwrap();
+        if k % 2 == 0 {
+            c.sync().unwrap();
+        }
+    }
+
+    // Kill the owner of t0 mid-stream and fail over to the standby.
+    let shard_version_before = c.shard_map().version();
+    let moved = c.promote_replica(dead, standby).unwrap();
+    assert_eq!(moved, vec!["t0".to_string()]);
+    assert_eq!(c.route("t0").unwrap(), standby, "queries reroute at once");
+    assert!(
+        c.shard_map().version() > shard_version_before,
+        "promotion must bump the shard map version"
+    );
+    assert!(c.lag_report()[dead].disconnected);
+
+    // The promoted standby serves fresh, fully verified responses —
+    // zero unverified rows cross a client (a response that fails
+    // verification is rejected wholesale, so a strict-policy success
+    // here means every row was authenticated).
+    let q = RangeQuery::select_all(0, 5_000);
+    let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict())
+        .expect("promoted standby must serve verifiable responses");
+    assert_eq!(rows, 48, "40 seeded + 8 inserted");
+
+    // Replication continues over the standby's existing cursor
+    // subscription: later commits flow to it as the new owner.
+    for k in 0..4u64 {
+        c.insert("t0", fresh_tuple(&schema0, 4_000 + k)).unwrap();
+    }
+    c.sync().unwrap();
+    let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict())
+        .expect("post-failover replication must keep verifying");
+    assert_eq!(rows, 52);
+    assert_eq!(c.lag_report()[standby].lag, 0);
+
+    // t1's owner is untouched by the failover.
+    let rows = verify_routed(&c, "t1", &q, FreshnessPolicy::strict()).unwrap();
+    assert_eq!(rows, 48);
+}
+
+#[test]
+fn promotion_of_a_disconnected_standby_reprovisions_it_verified() {
+    let signer = Arc::new(MockSigner::with_version(SEED_VERSION, 1));
+    let scheme = VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(6));
+    let mut c = ClusterCoordinator::new(
+        scheme,
+        signer,
+        ClusterConfig {
+            edges: 2,
+            retention: 64,
+            max_queue: 2,
+        },
+    );
+    let spec = WorkloadSpec {
+        table: "t0".to_string(),
+        ..WorkloadSpec::new(30, 3, 8)
+    };
+    c.create_table(spec.build());
+    c.sync().unwrap();
+    let owner = c.route("t0").unwrap();
+    let standby = 1 - owner;
+    let schema = c.central().schema("t0").unwrap().clone();
+
+    // Trip the standby's bounded queue so it is itself disconnected,
+    // then kill the owner: promotion must rebuild the standby through
+    // the verified resubscribe path.
+    for k in 0..5u64 {
+        c.insert("t0", fresh_tuple(&schema, 6_000 + k)).unwrap();
+        c.fan_out().unwrap();
+        c.drain_edge(owner, usize::MAX).unwrap();
+    }
+    assert!(c.lag_report()[standby].disconnected);
+
+    let moved = c.promote_replica(owner, standby).unwrap();
+    assert_eq!(moved, vec!["t0".to_string()]);
+    let lag = c.lag_report()[standby];
+    assert!(!lag.disconnected);
+    assert_eq!(lag.lag, 0);
+    let q = RangeQuery::select_all(0, 7_000);
+    let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict()).unwrap();
+    assert_eq!(rows, 35);
+}
+
+#[test]
+fn promote_replica_rejects_bad_edge_ids() {
+    let mut c = cluster(1, 10, 2);
+    assert!(matches!(
+        c.promote_replica(7, 0),
+        Err(ClusterError::UnknownEdge(7))
+    ));
+    assert!(matches!(
+        c.promote_replica(0, 7),
+        Err(ClusterError::UnknownEdge(7))
+    ));
+    assert!(matches!(
+        c.promote_replica(1, 1),
+        Err(ClusterError::UnknownEdge(1))
+    ));
+}
+
+#[test]
+fn resubscribe_after_dropped_table_removes_the_stale_assignment() {
+    let mut c = cluster(2, 20, 1);
+    c.sync().unwrap();
+    assert_eq!(c.shard_map().num_tables(), 2);
+
+    // Drop t1 from the central catalog while the shard map still
+    // assigns it, then force the edge through resubscription. The old
+    // code panicked on the missing schema; now the stale assignment is
+    // removed and the load count shrinks.
+    assert!(c.central_mut().drop_table("t1"));
+    assert!(!c.central_mut().drop_table("t1"), "second drop is a no-op");
+    let version_before = c.shard_map().version();
+    c.resubscribe_edge(0).unwrap();
+    assert_eq!(c.shard_map().num_tables(), 1);
+    assert_eq!(c.shard_map().owner("t1"), None);
+    assert!(c.shard_map().version() > version_before);
+
+    // The surviving table still serves verified reads, and the freed
+    // load slot is reused by the next assignment.
+    let q = RangeQuery::select_all(0, 1_000);
+    let rows = verify_routed(&c, "t0", &q, FreshnessPolicy::strict()).unwrap();
+    assert_eq!(rows, 20);
+    let spec = WorkloadSpec {
+        table: "t2".to_string(),
+        ..WorkloadSpec::new(10, 3, 8)
+    };
+    c.create_table(spec.build());
+    assert_eq!(c.shard_map().num_tables(), 2);
+}
+
+#[test]
+fn clone_verified_reproduces_the_store_and_rejects_a_foreign_key() {
+    let c = cluster(1, 50, 1);
+    let scheme = c.central().scheme().clone();
+    let source = c.central().store("t0").unwrap();
+    let copy = vbx_edge::clone_verified(&scheme, source, c.central().verifier()).unwrap();
+    assert_eq!(copy.len(), source.len());
+    assert_eq!(copy.version(), source.version());
+    assert_eq!(copy.root_digest().exp, source.root_digest().exp);
+
+    // A verifier holding a different public key refuses the stream on
+    // the first chunk — nothing unverified is ever installed.
+    let stranger = MockSigner::new(4_242);
+    match vbx_edge::clone_verified(&scheme, source, stranger.verifier()) {
+        Err(vbx_core::SyncError::BadSignature(_)) => {}
+        Err(other) => panic!("expected BadSignature, got {other}"),
+        Ok(_) => panic!("a foreign key must not verify the stream"),
+    }
 }

@@ -13,10 +13,10 @@ use vbx_core::{
 };
 use vbx_crypto::signer::{MockSigner, Signer};
 use vbx_crypto::Acc256;
-use vbx_edge::net::{bootstrap_edge, replicate_once, sync_stamp};
+use vbx_edge::net::{bootstrap_edge, replicate_once, sync_stamp, ChunkFetch};
 use vbx_edge::{
-    CentralEndpoint, CentralServer, EdgeEndpoint, FrameEndpoint, LoopbackTransport, NetClient,
-    NetError, NetServer, TamperMode, TcpTransport, Transport,
+    restore_table, CentralEndpoint, CentralServer, EdgeEndpoint, EdgeError, FrameEndpoint,
+    LoopbackTransport, NetClient, NetError, NetServer, TamperMode, TcpTransport, Transport,
 };
 use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{Schema, Tuple, Value};
@@ -280,4 +280,195 @@ fn tcp_shutdown_is_graceful_and_connections_drain() {
     if let Ok(mut c) = NetClient::connect(&TcpTransport, &addr) {
         assert!(c.ping().is_err(), "no one is serving after shutdown");
     }
+}
+
+// ---------------------------------------------------------------------
+// Verified chunked state sync over the wire.
+// ---------------------------------------------------------------------
+
+/// Drive a full verified restore of `t0` over `transport`: record the
+/// verbatim chunk bytes (the conformance transcript), rebuild through
+/// [`restore_table`], and check the replica and the resume cursor.
+fn run_restore(
+    transport: &dyn Transport,
+    addr: &str,
+) -> (Vec<Vec<u8>>, vbx_edge::RestoredTable<4>) {
+    let (central, signer) = central_fixture();
+    let schema = central.schema("t0").expect("seeded table").clone();
+    let central_ep = Arc::new(CentralEndpoint::new(central));
+    let srv = NetServer::spawn(
+        transport.listen(addr).expect("bind central"),
+        central_ep.clone() as Arc<dyn FrameEndpoint>,
+    );
+    // Commit a couple of updates first, so the restored state is not
+    // just the bulk-loaded seed and the log head is past genesis.
+    central_ep.with_central(|c| {
+        c.insert("t0", fresh_tuple(&schema, 800)).expect("insert");
+        c.delete("t0", 7).expect("delete");
+    });
+
+    let mut client = NetClient::connect(transport, srv.addr()).expect("dial central");
+
+    // Raw fetch loop — keeps the verbatim chunk bytes so the two
+    // transports can be compared byte-for-byte.
+    let mut raw: Vec<Vec<u8>> = Vec::new();
+    loop {
+        match client
+            .fetch_chunk("t0", raw.len() as u32)
+            .expect("fetch chunk")
+        {
+            ChunkFetch::Chunk(bytes) => raw.push(bytes),
+            ChunkFetch::Done { chunks, head } => {
+                assert_eq!(chunks as usize, raw.len(), "stream length is stable");
+                assert_eq!(head, 2, "two committed ops ahead of the seed");
+                break;
+            }
+        }
+    }
+
+    // The library path: restore, verifying every chunk as it ingests.
+    let scheme = VbScheme::new(Acc256::test_default(), VbTreeConfig::with_fanout(6));
+    let restored =
+        restore_table(&mut client, &scheme, signer.verifier(), "t0").expect("verified restore");
+
+    // The restored replica matches the central's live store exactly and
+    // passes a full audit, signatures included.
+    let (len, version, root) = central_ep.with_central(|c| {
+        let s = c.store("t0").expect("t0 lives");
+        (s.len(), s.version(), s.root_digest().clone())
+    });
+    assert_eq!(restored.tree.len(), len);
+    assert_eq!(restored.tree.version(), version);
+    assert_eq!(*restored.tree.root_digest(), root);
+    restored
+        .tree
+        .check_integrity(Some(signer.verifier().as_ref()))
+        .expect("restored replica passes a full audit");
+
+    // `head` is the exact cursor to subscribe from: no gap, no replay.
+    let (h, _oldest) = client.subscribe(restored.head).expect("subscribe at head");
+    assert_eq!(h, restored.head);
+    let (entries, _, _) = client.poll_deltas(16).expect("healthy poll");
+    assert!(
+        entries.is_empty(),
+        "restored-at-head replica has no backlog"
+    );
+
+    // Error surface: an unknown table is a remote error, and an index
+    // past the end is the Done marker, not a failure.
+    match client.fetch_chunk("nope", 0) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, vbx_core::ErrorCode::UnknownTable),
+        other => panic!("expected UnknownTable, got {other:?}"),
+    }
+    match client.fetch_chunk("t0", 1_000).expect("past-end fetch") {
+        ChunkFetch::Done { chunks, .. } => assert_eq!(chunks as usize, raw.len()),
+        ChunkFetch::Chunk(_) => panic!("index past the end must answer Done"),
+    }
+
+    srv.shutdown();
+    (raw, restored)
+}
+
+#[test]
+fn chunk_streams_are_verified_and_byte_identical_across_transports() {
+    let loopback = LoopbackTransport::new();
+    let (raw_a, restored_a) = run_restore(&loopback, "restore-central");
+    let (raw_b, restored_b) = run_restore(&TcpTransport, "127.0.0.1:0");
+
+    assert_eq!(raw_a, raw_b, "loopback and TCP chunk streams diverged");
+    assert_eq!(restored_a.chunks as usize, raw_a.len());
+    assert_eq!(restored_a.head, restored_b.head);
+    assert_eq!(
+        restored_a.tree.root_digest(),
+        restored_b.tree.root_digest(),
+        "both transports restored the same tree"
+    );
+}
+
+#[test]
+fn a_tampered_chunk_off_the_wire_is_rejected_mid_restore() {
+    let (central, signer) = central_fixture();
+    let central_ep = Arc::new(CentralEndpoint::new(central));
+    let transport = LoopbackTransport::new();
+    let srv = NetServer::spawn(
+        transport.listen("tamper-restore").unwrap(),
+        central_ep.clone() as Arc<dyn FrameEndpoint>,
+    );
+    let mut client = NetClient::connect(&transport, srv.addr()).unwrap();
+
+    let fetch = |client: &mut NetClient, i: u32| match client.fetch_chunk("t0", i).unwrap() {
+        ChunkFetch::Chunk(bytes) => bytes,
+        ChunkFetch::Done { .. } => panic!("chunk {i} exists"),
+    };
+    let skeleton = fetch(&mut client, 0);
+    let mut leaves = fetch(&mut client, 1);
+
+    // An on-path attacker flips one bit in a leaf run: the restorer
+    // rejects the chunk the moment it ingests it — never at finish(),
+    // never by installing the state.
+    let mid = leaves.len() / 2;
+    leaves[mid] ^= 0x08;
+    let mut r = vbx_core::Restorer::new(Acc256::test_default(), signer.verifier());
+    r.ingest(&skeleton).expect("honest skeleton");
+    assert!(
+        r.ingest(&leaves).is_err(),
+        "a flipped bit in a wire chunk must be rejected as it ingests"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn replicate_once_reports_typed_apply_failures_with_progress() {
+    // Two tables; the edge's t1 replica is silently diverged (it
+    // already holds key 999), so the second replicated entry must fail
+    // with the *typed* apply error — not flattened into a protocol
+    // error — and report how far the cursor advanced first.
+    let (mut central, signer) = central_fixture();
+    central.create_table(
+        WorkloadSpec {
+            table: "t1".to_string(),
+            ..WorkloadSpec::new(30, 3, 8)
+        }
+        .build(),
+    );
+    let schema0 = central.schema("t0").unwrap().clone();
+    let schema1 = central.schema("t1").unwrap().clone();
+    let central_ep = Arc::new(CentralEndpoint::new(central));
+    let transport = LoopbackTransport::new();
+    let srv = NetServer::spawn(
+        transport.listen("apply-central").unwrap(),
+        central_ep.clone() as Arc<dyn FrameEndpoint>,
+    );
+    let mut feed = NetClient::connect(&transport, srv.addr()).unwrap();
+
+    let acc = Acc256::test_default();
+    let mut edge = bootstrap_edge(&mut feed, &acc).expect("bootstrap");
+
+    // Diverge: pre-install a t1 replica that already contains key 999.
+    let mut diverged = (*edge.store("t1").expect("t1 replica")).clone();
+    diverged
+        .insert(fresh_tuple(&schema1, 999), signer.as_ref())
+        .expect("local divergence");
+    edge.install_table("t1", schema1.clone(), diverged);
+
+    // The central commits two ops; the first applies cleanly, the
+    // second collides with the divergence.
+    central_ep.with_central(|c| {
+        c.insert("t0", fresh_tuple(&schema0, 800)).expect("t0 op");
+        c.insert("t1", fresh_tuple(&schema1, 999)).expect("t1 op");
+    });
+    feed.subscribe(edge.applied_seq()).expect("subscribe");
+    match replicate_once(&mut feed, &edge, 64) {
+        Err(NetError::Apply {
+            applied,
+            source: EdgeError::Scheme(_),
+        }) => assert_eq!(applied, 1, "the t0 op landed before the failure"),
+        other => panic!("expected a typed Apply failure, got {other:?}"),
+    }
+    assert_eq!(
+        edge.applied_seq(),
+        1,
+        "the cursor advanced exactly past the good op"
+    );
+    srv.shutdown();
 }

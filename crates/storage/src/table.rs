@@ -135,6 +135,11 @@ impl Catalog {
         self.tables.get_mut(name)
     }
 
+    /// Drop a table, returning it if it was registered.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
     /// Iterate over tables in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Table> {
         self.tables.values()
