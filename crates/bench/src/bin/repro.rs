@@ -17,6 +17,8 @@
 //! cargo run -p vbx-bench --bin repro --release -- serve --write-batch 1,4,16 # group-commit sweep
 //! cargo run -p vbx-bench --bin repro --release -- recover # durability: fsync cost + replay rate
 //! cargo run -p vbx-bench --bin repro --release -- recover --smoke # quick CI check
+//! cargo run -p vbx-bench --bin repro --release -- txn     # atomic multi-table commit vs split
+//! cargo run -p vbx-bench --bin repro --release -- txn --smoke # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- net     # many-connection TCP serving
 //! cargo run -p vbx-bench --bin repro --release -- net --smoke # quick CI check
 //! cargo run -p vbx-bench --bin repro --release -- failover # verified sync + edge failover
@@ -117,6 +119,20 @@ fn main() {
         vbx_bench::perf::write_bench_json("BENCH_recover.json", "recover", recover_rows, &records)
             .expect("write BENCH_recover.json");
         println!("\nwrote BENCH_recover.json ({} records)", records.len());
+        return;
+    }
+
+    if section == "txn" {
+        // Named-only (writes BENCH_txn.json); not part of `all`. The
+        // transaction benchmark: one CommitTxn fsync for a whole
+        // multi-table atom vs k per-table commits, recovery replay,
+        // and the two invariants CI gates on — zero divergences and
+        // zero partially-recovered txns.
+        let txn_rows = explicit_rows.unwrap_or(if smoke { 500 } else { 4_000 });
+        let records = vbx_bench::txn::run_txn(txn_rows, smoke);
+        vbx_bench::perf::write_bench_json("BENCH_txn.json", "txn", txn_rows, &records)
+            .expect("write BENCH_txn.json");
+        println!("\nwrote BENCH_txn.json ({} records)", records.len());
         return;
     }
 

@@ -16,6 +16,7 @@ pub mod net;
 pub mod perf;
 pub mod recover;
 pub mod serve;
+pub mod txn;
 pub mod write_batch;
 
 use vbx_analysis::Params;

@@ -15,6 +15,9 @@
 //! kind 1 (commit batch) := start_seq:u64 table key_version:u32
 //!                          n_ops:u32 op* n_payloads:u32 payload* stamp?
 //! kind 2 (heartbeat)    := stamp?
+//! kind 3 (commit txn)   := n_sections:u32 section* stamp?
+//! section               := start_seq:u64 table key_version:u32
+//!                          n_ops:u32 op* n_payloads:u32 payload*
 //! ```
 //!
 //! `table` is a `u32`-length-prefixed UTF-8 string, `op` is the shared
@@ -28,7 +31,7 @@
 //! and bad tags all surface as [`CoreError::Wire`] (fuzzed in
 //! `tests/wire_fuzz.rs`).
 
-use crate::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme};
+use crate::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, VbScheme};
 use crate::tree_codec;
 use crate::verify::FreshnessStamp;
 use crate::wire;
@@ -41,6 +44,7 @@ const MAGIC: &[u8; 4] = b"VBW1";
 const KIND_COMMIT_OP: u8 = 0;
 const KIND_COMMIT_BATCH: u8 = 1;
 const KIND_HEARTBEAT: u8 = 2;
+const KIND_COMMIT_TXN: u8 = 3;
 
 /// A scheme whose store and delta payloads have byte encodings, making
 /// the central recoverable: checkpoints persist `encode_store`, WAL
@@ -153,6 +157,16 @@ pub enum WalRecord<S: AuthScheme> {
         /// The signed stamp issued by the tick.
         stamp: FreshnessStamp,
     },
+    /// An atomic multi-table transaction: **one** record carries every
+    /// touched table's packed sweep, fsync'd before *any* table's state
+    /// is acked. Recovery treats the record all-or-nothing — a torn
+    /// tail rolls back the whole txn, never a table subset.
+    CommitTxn {
+        /// Owner logical clock when the txn committed.
+        clock: u64,
+        /// The txn envelope (carries its own optional stamp).
+        txn: TxnBatch<S::Delta>,
+    },
 }
 
 impl<S: AuthScheme> WalRecord<S> {
@@ -161,7 +175,8 @@ impl<S: AuthScheme> WalRecord<S> {
         match self {
             WalRecord::CommitOp { clock, .. }
             | WalRecord::CommitBatch { clock, .. }
-            | WalRecord::Heartbeat { clock, .. } => *clock,
+            | WalRecord::Heartbeat { clock, .. }
+            | WalRecord::CommitTxn { clock, .. } => *clock,
         }
     }
 }
@@ -226,6 +241,65 @@ pub fn encode_wal_commit_op<S: DurableScheme>(
     out
 }
 
+/// Encode one batch section (everything in a batch record except the
+/// trailing stamp) — shared by the batch and txn record codecs.
+fn put_batch_section<S: DurableScheme>(
+    out: &mut Vec<u8>,
+    scheme: &S,
+    batch: &DeltaBatch<S::Delta>,
+) {
+    out.put_u64(batch.start_seq);
+    put_str(out, &batch.table);
+    out.put_u32(batch.key_version);
+    out.put_u32(batch.ops.len() as u32);
+    for op in &batch.ops {
+        wire::put_update_op(out, op);
+    }
+    out.put_u32(batch.payloads.len() as u32);
+    for payload in &batch.payloads {
+        put_payload(out, &scheme.encode_delta(payload));
+    }
+}
+
+/// Decode one batch section written by [`put_batch_section`], advancing
+/// `buf`. The returned batch carries no stamp.
+fn get_batch_section<S: DurableScheme>(
+    scheme: &S,
+    buf: &mut &[u8],
+) -> Result<DeltaBatch<S::Delta>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 8 {
+        return Err(corrupt("batch start seq truncated"));
+    }
+    let start_seq = buf.get_u64();
+    let table = get_str(buf)?;
+    if buf.remaining() < 8 {
+        return Err(corrupt("batch header truncated"));
+    }
+    let key_version = buf.get_u32();
+    let n_ops = buf.get_u32() as usize;
+    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+    for _ in 0..n_ops {
+        ops.push(wire::get_update_op(buf)?);
+    }
+    if buf.remaining() < 4 {
+        return Err(corrupt("batch payload count truncated"));
+    }
+    let n_payloads = buf.get_u32() as usize;
+    let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
+    for _ in 0..n_payloads {
+        payloads.push(scheme.decode_delta(get_payload(buf)?)?);
+    }
+    Ok(DeltaBatch {
+        start_seq,
+        table,
+        ops,
+        payloads,
+        key_version,
+        stamp: None,
+    })
+}
+
 /// Encode a batch commit record.
 pub fn encode_wal_commit_batch<S: DurableScheme>(
     scheme: &S,
@@ -236,18 +310,28 @@ pub fn encode_wal_commit_batch<S: DurableScheme>(
     out.extend_from_slice(MAGIC);
     out.push(KIND_COMMIT_BATCH);
     out.put_u64(clock);
-    out.put_u64(batch.start_seq);
-    put_str(&mut out, &batch.table);
-    out.put_u32(batch.key_version);
-    out.put_u32(batch.ops.len() as u32);
-    for op in &batch.ops {
-        wire::put_update_op(&mut out, op);
-    }
-    out.put_u32(batch.payloads.len() as u32);
-    for payload in &batch.payloads {
-        put_payload(&mut out, &scheme.encode_delta(payload));
-    }
+    put_batch_section(&mut out, scheme, batch);
     wire::put_stamp(&mut out, batch.stamp.as_ref());
+    out
+}
+
+/// Encode a multi-table txn commit record: **one** record, one fsync,
+/// covering every touched table's packed sweep plus one freshness
+/// stamp attesting the txn's end seq.
+pub fn encode_wal_commit_txn<S: DurableScheme>(
+    scheme: &S,
+    clock: u64,
+    txn: &TxnBatch<S::Delta>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024 * txn.sections.len().max(1));
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_COMMIT_TXN);
+    out.put_u64(clock);
+    out.put_u32(txn.sections.len() as u32);
+    for section in &txn.sections {
+        put_batch_section(&mut out, scheme, section);
+    }
+    wire::put_stamp(&mut out, txn.stamp.as_ref());
     out
 }
 
@@ -304,40 +388,25 @@ pub fn decode_wal_record<S: DurableScheme>(
             }
         }
         KIND_COMMIT_BATCH => {
-            if buf.remaining() < 8 {
-                return Err(corrupt("batch start seq truncated"));
-            }
-            let start_seq = buf.get_u64();
-            let table = get_str(&mut buf)?;
-            if buf.remaining() < 8 {
-                return Err(corrupt("batch header truncated"));
-            }
-            let key_version = buf.get_u32();
-            let n_ops = buf.get_u32() as usize;
-            let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
-            for _ in 0..n_ops {
-                ops.push(wire::get_update_op(&mut buf)?);
-            }
+            let mut batch = get_batch_section(scheme, &mut buf)?;
+            batch.stamp = wire::get_stamp(&mut buf)?;
+            WalRecord::CommitBatch { clock, batch }
+        }
+        KIND_COMMIT_TXN => {
             if buf.remaining() < 4 {
-                return Err(corrupt("batch payload count truncated"));
+                return Err(corrupt("txn section count truncated"));
             }
-            let n_payloads = buf.get_u32() as usize;
-            let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
-            for _ in 0..n_payloads {
-                payloads.push(scheme.decode_delta(get_payload(&mut buf)?)?);
+            let n_sections = buf.get_u32() as usize;
+            let mut sections = Vec::with_capacity(n_sections.min(1 << 12));
+            for _ in 0..n_sections {
+                sections.push(get_batch_section(scheme, &mut buf)?);
             }
             let stamp = wire::get_stamp(&mut buf)?;
-            WalRecord::CommitBatch {
-                clock,
-                batch: DeltaBatch {
-                    start_seq,
-                    table,
-                    ops,
-                    payloads,
-                    key_version,
-                    stamp,
-                },
+            let txn = TxnBatch { sections, stamp };
+            if !txn.is_contiguous() {
+                return Err(corrupt("txn sections not contiguous"));
             }
+            WalRecord::CommitTxn { clock, txn }
         }
         KIND_HEARTBEAT => {
             let stamp = wire::get_stamp(&mut buf)?
@@ -435,6 +504,96 @@ mod tests {
             }
             _ => panic!("wrong record kind"),
         }
+    }
+
+    #[test]
+    fn commit_txn_roundtrip_and_truncation() {
+        let s = scheme();
+        let signer = MockSigner::new(10);
+        let table = WorkloadSpec::new(20, 2, 8).build();
+        let mut store = s.build(&table, &signer);
+        let tuple = Tuple::new(
+            table.schema(),
+            600,
+            vec![Value::from("txn-a"), Value::from(1i64)],
+        )
+        .unwrap();
+        let op_a = UpdateOp::Insert(tuple);
+        let pay_a = s.update(&mut store, &op_a, &signer).unwrap();
+        let op_b = UpdateOp::Delete(600);
+        let pay_b = s.update(&mut store, &op_b, &signer).unwrap();
+        let txn = TxnBatch {
+            sections: vec![
+                DeltaBatch {
+                    start_seq: 5,
+                    table: "a".to_string(),
+                    ops: vec![op_a],
+                    payloads: vec![pay_a],
+                    key_version: 2,
+                    stamp: None,
+                },
+                DeltaBatch {
+                    start_seq: 6,
+                    table: "b".to_string(),
+                    ops: vec![op_b],
+                    payloads: vec![pay_b],
+                    key_version: 2,
+                    stamp: None,
+                },
+            ],
+            stamp: Some(sample_stamp(&signer)),
+        };
+        let bytes = encode_wal_commit_txn(&s, 13, &txn);
+        match decode_wal_record(&s, &bytes).unwrap() {
+            WalRecord::CommitTxn { clock, txn: got } => {
+                assert_eq!(clock, 13);
+                assert_eq!(got.sections.len(), 2);
+                assert_eq!(got.start_seq(), 5);
+                assert_eq!(got.end_seq(), 7);
+                assert_eq!(got.stamp, txn.stamp);
+                assert_eq!(got.sections[0].table, "a");
+                assert_eq!(got.sections[1].table, "b");
+            }
+            _ => panic!("wrong record kind"),
+        }
+        for cut in 0..bytes.len() {
+            assert!(decode_wal_record(&s, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn commit_txn_rejects_gapped_sections() {
+        let s = scheme();
+        let signer = MockSigner::new(11);
+        let table = WorkloadSpec::new(20, 2, 8).build();
+        let mut store = s.build(&table, &signer);
+        let op = UpdateOp::Delete(4);
+        let payload = s.update(&mut store, &op, &signer).unwrap();
+        let txn: TxnBatch<_> = TxnBatch {
+            sections: vec![
+                DeltaBatch {
+                    start_seq: 5,
+                    table: "a".to_string(),
+                    ops: vec![op.clone()],
+                    payloads: vec![payload.clone()],
+                    key_version: 0,
+                    stamp: None,
+                },
+                DeltaBatch {
+                    // Gap: the previous section ends at seq 6.
+                    start_seq: 7,
+                    table: "b".to_string(),
+                    ops: vec![op],
+                    payloads: vec![payload],
+                    key_version: 0,
+                    stamp: None,
+                },
+            ],
+            stamp: None,
+        };
+        assert!(!txn.is_contiguous());
+        let bytes = encode_wal_commit_txn(&s, 1, &txn);
+        assert!(decode_wal_record(&s, &bytes).is_err());
     }
 
     #[test]

@@ -163,6 +163,8 @@ pub enum FrameKind {
     /// Sync stream complete: chunk count plus the log head to subscribe
     /// from for catch-up.
     RestoreDone = 0x2A,
+    /// A `VBX7` atomic multi-table txn, verbatim.
+    DeltaTxn = 0x2B,
     /// Error reply; the request that caused it got no other answer.
     Error = 0x3F,
 }
@@ -192,6 +194,7 @@ impl FrameKind {
             0x28 => Self::Ack,
             0x29 => Self::Chunk,
             0x2A => Self::RestoreDone,
+            0x2B => Self::DeltaTxn,
             0x3F => Self::Error,
             _ => return None,
         })
@@ -448,6 +451,12 @@ pub enum NetMsg {
         /// Verbatim `VBX3` bytes.
         Vec<u8>,
     ),
+    /// An atomic multi-table txn
+    /// (decode with [`crate::wire::decode_txn_batch`]).
+    DeltaTxn(
+        /// Verbatim `VBX7` bytes.
+        Vec<u8>,
+    ),
     /// `count` sequence numbers from `start_seq` carry no deltas for
     /// the receiver's tables; advance the cursor without applying.
     SkipRange {
@@ -555,6 +564,7 @@ impl NetMsg {
             NetMsg::BundleResp(_) => FrameKind::BundleResp,
             NetMsg::DeltaOp(_) => FrameKind::DeltaOp,
             NetMsg::DeltaBatch(_) => FrameKind::DeltaBatch,
+            NetMsg::DeltaTxn(_) => FrameKind::DeltaTxn,
             NetMsg::SkipRange { .. } => FrameKind::SkipRange,
             NetMsg::Stamp { .. } => FrameKind::Stamp,
             NetMsg::SubAck { .. } => FrameKind::SubAck,
@@ -601,6 +611,7 @@ impl NetMsg {
             | NetMsg::BundleResp(bytes)
             | NetMsg::DeltaOp(bytes)
             | NetMsg::DeltaBatch(bytes)
+            | NetMsg::DeltaTxn(bytes)
             | NetMsg::Chunk(bytes) => payload.extend_from_slice(bytes),
             NetMsg::RestoreDone { chunks, head } => {
                 payload.put_u32(*chunks);
@@ -698,6 +709,7 @@ impl NetMsg {
             FrameKind::BundleResp => return Ok(NetMsg::BundleResp(frame.payload.clone())),
             FrameKind::DeltaOp => return Ok(NetMsg::DeltaOp(frame.payload.clone())),
             FrameKind::DeltaBatch => return Ok(NetMsg::DeltaBatch(frame.payload.clone())),
+            FrameKind::DeltaTxn => return Ok(NetMsg::DeltaTxn(frame.payload.clone())),
             FrameKind::Chunk => return Ok(NetMsg::Chunk(frame.payload.clone())),
             FrameKind::RestoreDone => {
                 need(&buf, 12, "restore done")?;
@@ -802,6 +814,7 @@ mod tests {
             NetMsg::BundleResp(vec![6]),
             NetMsg::DeltaOp(vec![7, 8]),
             NetMsg::DeltaBatch(vec![9]),
+            NetMsg::DeltaTxn(vec![0xB7; 12]),
             NetMsg::SkipRange {
                 start_seq: 3,
                 count: 11,

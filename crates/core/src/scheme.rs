@@ -142,6 +142,79 @@ impl<P> DeltaBatch<P> {
     }
 }
 
+/// An atomic multi-table transaction: one envelope carrying every
+/// touched table's group-committed batch, covering **one** contiguous
+/// sequence range with **one** optional owner freshness stamp
+/// attesting the txn's end position.
+///
+/// Sections sit in commit order and chain seamlessly: section `i+1`
+/// starts exactly where section `i` ends, so the txn occupies
+/// `[start_seq(), end_seq())` with no gaps. The whole envelope commits
+/// (and is logged, replicated and applied) **all-or-nothing** — no
+/// observer may ever see table A at the txn's end seq while table B is
+/// still at the pre-txn seq.
+#[derive(Clone, Debug)]
+pub struct TxnBatch<P> {
+    /// Per-table batch sections, in commit order. Each section's
+    /// `stamp` is `None`; the txn-level [`stamp`](Self::stamp) covers
+    /// the whole envelope.
+    pub sections: Vec<DeltaBatch<P>>,
+    /// Owner stamp attesting `end_seq()` committed deltas (present in
+    /// cluster deployments, where commits are stamped).
+    pub stamp: Option<FreshnessStamp>,
+}
+
+impl<P> TxnBatch<P> {
+    /// Sequence number of the txn's first op.
+    ///
+    /// # Panics
+    /// Panics on an empty txn — commit paths never produce one.
+    pub fn start_seq(&self) -> u64 {
+        self.sections
+            .first()
+            .expect("a TxnBatch carries at least one section")
+            .start_seq
+    }
+
+    /// Sequence number one past the txn's last op.
+    ///
+    /// # Panics
+    /// Panics on an empty txn — commit paths never produce one.
+    pub fn end_seq(&self) -> u64 {
+        self.sections
+            .last()
+            .expect("a TxnBatch carries at least one section")
+            .end_seq()
+    }
+
+    /// Total ops across all sections.
+    pub fn ops(&self) -> u64 {
+        self.sections.iter().map(|s| s.ops.len() as u64).sum()
+    }
+
+    /// The tables touched, in commit order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|s| s.table.as_str())
+    }
+
+    /// True when the sections chain into one contiguous seq range and
+    /// none is empty — the shape every commit path guarantees and every
+    /// decode/apply path checks before trusting wire bytes.
+    pub fn is_contiguous(&self) -> bool {
+        if self.sections.is_empty() {
+            return false;
+        }
+        let mut next = self.sections[0].start_seq;
+        for section in &self.sections {
+            if section.is_empty() || section.start_seq != next {
+                return false;
+            }
+            next = section.end_seq();
+        }
+        true
+    }
+}
+
 /// Successful scheme verification: the authenticated rows plus the
 /// dominant cost statistic.
 #[derive(Clone, Debug)]

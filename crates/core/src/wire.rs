@@ -13,7 +13,7 @@
 //! message types coexist on the wire, distinguished by magic.
 
 use crate::frame::{get_sig, get_str, put_sig, put_str};
-use crate::scheme::{DeltaBatch, SignedDelta, UpdateOp};
+use crate::scheme::{DeltaBatch, SignedDelta, TxnBatch, UpdateOp};
 use crate::verify::{FreshnessStamp, ResponseFreshness};
 use crate::vo::{CompactPart, CompactResponse, QueryResponse, ResultRow, VerificationObject, VoOp};
 use crate::CoreError;
@@ -38,6 +38,11 @@ const COMPACT_MAGIC: &[u8; 4] = b"VBX4";
 /// counterpart of `VBX3` for the framed subscription stream. (`VBX5`
 /// is the frame layer itself, in [`crate::frame`].)
 const DELTA_MAGIC: &[u8; 4] = b"VBX6";
+
+/// Format version 7: the atomic multi-table [`TxnBatch`] envelope —
+/// every touched table's `VBX3`-shaped section under **one** magic,
+/// one contiguous seq range, and one trailing freshness stamp.
+const TXN_MAGIC: &[u8; 4] = b"VBX7";
 
 /// `VBX4` op tags.
 const OP_BEGIN: u8 = 0x01;
@@ -273,6 +278,77 @@ pub(crate) fn get_update_op(buf: &mut &[u8]) -> Result<UpdateOp, CoreError> {
     })
 }
 
+/// Encode one stamp-less batch section (the `VBX3` body between magic
+/// and stamp) — shared by the batch and txn envelopes.
+fn put_batch_section<const L: usize>(out: &mut Vec<u8>, batch: &DeltaBatch<Vec<SignedDigest<L>>>) {
+    out.put_u64(batch.start_seq);
+    put_str(out, &batch.table);
+    out.put_u32(batch.key_version);
+
+    out.put_u32(batch.ops.len() as u32);
+    for op in &batch.ops {
+        put_update_op(out, op);
+    }
+
+    out.put_u32(batch.payloads.len() as u32);
+    for payload in &batch.payloads {
+        out.put_u32(payload.len() as u32);
+        for d in payload {
+            put_digest(out, d);
+        }
+    }
+}
+
+/// Decode one batch section written by [`put_batch_section`], advancing
+/// `buf`. The returned batch carries no stamp.
+fn get_batch_section<const L: usize>(
+    buf: &mut &[u8],
+    acc: &Accumulator<L>,
+) -> Result<DeltaBatch<Vec<SignedDigest<L>>>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    if buf.remaining() < 8 {
+        return Err(corrupt("batch header truncated"));
+    }
+    let start_seq = buf.get_u64();
+    let table = get_str(buf, "table name")?;
+    if buf.remaining() < 8 {
+        return Err(corrupt("batch key version truncated"));
+    }
+    let key_version = buf.get_u32();
+
+    let n_ops = buf.get_u32() as usize;
+    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+    for _ in 0..n_ops {
+        ops.push(get_update_op(buf)?);
+    }
+
+    if buf.remaining() < 4 {
+        return Err(corrupt("payload header truncated"));
+    }
+    let n_payloads = buf.get_u32() as usize;
+    let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
+    for _ in 0..n_payloads {
+        if buf.remaining() < 4 {
+            return Err(corrupt("payload digest count truncated"));
+        }
+        let n_digests = buf.get_u32() as usize;
+        let mut digests = Vec::with_capacity(n_digests.min(1 << 20));
+        for _ in 0..n_digests {
+            digests.push(get_digest(buf, acc)?);
+        }
+        payloads.push(digests);
+    }
+
+    Ok(DeltaBatch {
+        start_seq,
+        table,
+        ops,
+        payloads,
+        key_version,
+        stamp: None,
+    })
+}
+
 /// Serialize a group-committed delta batch — the `VBX3` envelope the
 /// central server ships over the subscription transport: `k` update ops,
 /// the scheme's packed signed-digest payload stream, and the optional
@@ -280,23 +356,7 @@ pub(crate) fn get_update_op(buf: &mut &[u8]) -> Result<UpdateOp, CoreError> {
 pub fn encode_delta_batch<const L: usize>(batch: &DeltaBatch<Vec<SignedDigest<L>>>) -> Vec<u8> {
     let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(BATCH_MAGIC);
-    out.put_u64(batch.start_seq);
-    put_str(&mut out, &batch.table);
-    out.put_u32(batch.key_version);
-
-    out.put_u32(batch.ops.len() as u32);
-    for op in &batch.ops {
-        put_update_op(&mut out, op);
-    }
-
-    out.put_u32(batch.payloads.len() as u32);
-    for payload in &batch.payloads {
-        out.put_u32(payload.len() as u32);
-        for d in payload {
-            put_digest(&mut out, d);
-        }
-    }
-
+    put_batch_section(&mut out, batch);
     put_stamp(&mut out, batch.stamp.as_ref());
     out
 }
@@ -316,51 +376,61 @@ pub fn decode_delta_batch<const L: usize>(
         return Err(corrupt("bad batch magic"));
     }
     buf.advance(4);
-    if buf.remaining() < 8 {
-        return Err(corrupt("batch header truncated"));
-    }
-    let start_seq = buf.get_u64();
-    let table = get_str(&mut buf, "table name")?;
-    if buf.remaining() < 8 {
-        return Err(corrupt("batch key version truncated"));
-    }
-    let key_version = buf.get_u32();
-
-    let n_ops = buf.get_u32() as usize;
-    let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
-    for _ in 0..n_ops {
-        ops.push(get_update_op(&mut buf)?);
-    }
-
-    if buf.remaining() < 4 {
-        return Err(corrupt("payload header truncated"));
-    }
-    let n_payloads = buf.get_u32() as usize;
-    let mut payloads = Vec::with_capacity(n_payloads.min(1 << 16));
-    for _ in 0..n_payloads {
-        if buf.remaining() < 4 {
-            return Err(corrupt("payload digest count truncated"));
-        }
-        let n_digests = buf.get_u32() as usize;
-        let mut digests = Vec::with_capacity(n_digests.min(1 << 20));
-        for _ in 0..n_digests {
-            digests.push(get_digest(&mut buf, acc)?);
-        }
-        payloads.push(digests);
-    }
-
-    let stamp = get_stamp(&mut buf)?;
+    let mut batch = get_batch_section(&mut buf, acc)?;
+    batch.stamp = get_stamp(&mut buf)?;
     if buf.has_remaining() {
         return Err(corrupt("trailing bytes in batch"));
     }
-    Ok(DeltaBatch {
-        start_seq,
-        table,
-        ops,
-        payloads,
-        key_version,
-        stamp,
-    })
+    Ok(batch)
+}
+
+/// Serialize an atomic multi-table transaction — the `VBX7` envelope
+/// the central ships so every shard owner receives the whole txn as
+/// **one** message: each touched table's packed sweep as a stamp-less
+/// `VBX3`-shaped section, plus one trailing owner stamp attesting the
+/// txn's end sequence.
+pub fn encode_txn_batch<const L: usize>(txn: &TxnBatch<Vec<SignedDigest<L>>>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024 * txn.sections.len().max(1));
+    out.extend_from_slice(TXN_MAGIC);
+    out.put_u32(txn.sections.len() as u32);
+    for section in &txn.sections {
+        put_batch_section(&mut out, section);
+    }
+    put_stamp(&mut out, txn.stamp.as_ref());
+    out
+}
+
+/// Decode a `VBX7` txn envelope. Same hostile-input contract as
+/// [`decode_delta_batch`]; additionally rejects envelopes whose
+/// sections do not chain into one contiguous seq range — an edge must
+/// never apply a gapped or empty txn.
+pub fn decode_txn_batch<const L: usize>(
+    bytes: &[u8],
+    acc: &Accumulator<L>,
+) -> Result<TxnBatch<Vec<SignedDigest<L>>>, CoreError> {
+    let corrupt = |m: &str| CoreError::Wire(m.to_string());
+    let mut buf = bytes;
+    if buf.remaining() < 4 || &buf[..4] != TXN_MAGIC {
+        return Err(corrupt("bad txn magic"));
+    }
+    buf.advance(4);
+    if buf.remaining() < 4 {
+        return Err(corrupt("txn section count truncated"));
+    }
+    let n_sections = buf.get_u32() as usize;
+    let mut sections = Vec::with_capacity(n_sections.min(1 << 12));
+    for _ in 0..n_sections {
+        sections.push(get_batch_section(&mut buf, acc)?);
+    }
+    let stamp = get_stamp(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in txn"));
+    }
+    let txn = TxnBatch { sections, stamp };
+    if !txn.is_contiguous() {
+        return Err(corrupt("txn sections not contiguous"));
+    }
+    Ok(txn)
 }
 
 /// Serialize a single [`SignedDelta`] — the `VBX6` envelope one

@@ -760,6 +760,7 @@ fn frame_zoo() -> Vec<(NetMsg, Vec<u8>)> {
         NetMsg::BundleResp(vec![0xAB; 97]),
         NetMsg::DeltaOp(vec![1, 2, 3]),
         NetMsg::DeltaBatch(batch_fixture().3),
+        NetMsg::DeltaTxn(vec![4, 5, 6, 7]),
         NetMsg::SkipRange {
             start_seq: 9,
             count: 4,
@@ -866,7 +867,7 @@ fn frame_checksum_and_kind_corruption_is_rejected() {
     }
 
     // An unknown kind tag with a *correct* checksum still errors.
-    for tag in [0x00u8, 0x2B, 0x7F, 0xFF] {
+    for tag in [0x00u8, 0x2C, 0x7F, 0xFF] {
         assert!(
             FrameKind::from_tag(tag).is_none(),
             "tag {tag:#x} is unassigned"

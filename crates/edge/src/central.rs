@@ -12,7 +12,7 @@
 use crate::locks::{LockManager, LockMode};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp, VbScheme};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, UpdateOp, VbScheme};
 use vbx_core::{CoreError, FreshnessStamp, VbTree, VbTreeConfig};
 use vbx_crypto::accum::{Accumulator, SignedDigest};
 use vbx_crypto::{KeyRegistry, Signer};
@@ -61,16 +61,21 @@ impl core::fmt::Display for DeltaLogError {
 
 impl std::error::Error for DeltaLogError {}
 
-/// One retained unit of the signed-delta log: either a single-op
-/// [`SignedDelta`] or a group-committed [`DeltaBatch`] occupying a whole
-/// sequence *range*. Batches are shared out as `Arc`s so fanning one
-/// out to N subscribers clones a pointer, not `k` ops and payloads.
+/// One retained unit of the signed-delta log: a single-op
+/// [`SignedDelta`], a group-committed [`DeltaBatch`] occupying a whole
+/// sequence *range*, or an atomic multi-table [`TxnBatch`]. Batches and
+/// txns are shared out as `Arc`s so fanning one out to N subscribers
+/// clones a pointer, not `k` ops and payloads.
 #[derive(Clone, Debug)]
 pub enum LogEntry<P> {
     /// One update op under its own signed payload.
     Op(SignedDelta<P>),
     /// `k` ops group-committed under one payload stream + stamp.
     Batch(Arc<DeltaBatch<P>>),
+    /// An atomic multi-table transaction: its sections were committed
+    /// as one unit and travel (and are applied, skipped, or evicted
+    /// downstream) as one unit.
+    Txn(Arc<TxnBatch<P>>),
 }
 
 impl<P> LogEntry<P> {
@@ -79,6 +84,7 @@ impl<P> LogEntry<P> {
         match self {
             LogEntry::Op(d) => d.seq,
             LogEntry::Batch(b) => b.start_seq,
+            LogEntry::Txn(t) => t.start_seq(),
         }
     }
 
@@ -87,6 +93,7 @@ impl<P> LogEntry<P> {
         match self {
             LogEntry::Op(d) => d.seq + 1,
             LogEntry::Batch(b) => b.end_seq(),
+            LogEntry::Txn(t) => t.end_seq(),
         }
     }
 
@@ -95,14 +102,27 @@ impl<P> LogEntry<P> {
         match self {
             LogEntry::Op(_) => 1,
             LogEntry::Batch(b) => b.len(),
+            LogEntry::Txn(t) => t.ops() as usize,
         }
     }
 
-    /// Table the entry's ops apply to.
-    pub fn table(&self) -> &str {
+    /// Table the entry's ops apply to; `None` for a multi-table txn
+    /// (use [`tables`](Self::tables)).
+    pub fn table(&self) -> Option<&str> {
         match self {
-            LogEntry::Op(d) => &d.table,
-            LogEntry::Batch(b) => &b.table,
+            LogEntry::Op(d) => Some(&d.table),
+            LogEntry::Batch(b) => Some(&b.table),
+            LogEntry::Txn(_) => None,
+        }
+    }
+
+    /// Every table the entry touches: one for `Op`/`Batch`, each
+    /// section's table (in commit order, repeats possible) for a `Txn`.
+    pub fn tables(&self) -> Box<dyn Iterator<Item = &str> + '_> {
+        match self {
+            LogEntry::Op(d) => Box::new(core::iter::once(d.table.as_str())),
+            LogEntry::Batch(b) => Box::new(core::iter::once(b.table.as_str())),
+            LogEntry::Txn(t) => Box::new(t.tables()),
         }
     }
 }
@@ -201,6 +221,32 @@ impl<P: Clone> DeltaLog<P> {
         }
         let shared = Arc::new(batch);
         self.push_entry(LogEntry::Batch(shared.clone()));
+        Ok(shared)
+    }
+
+    /// Append an atomic multi-table transaction covering
+    /// `[txn.start_seq(), txn.end_seq())`, evicting past the retention
+    /// window (a txn is evicted as the single unit it arrived as, like
+    /// every entry). Returns the shared handle also kept in the log.
+    /// Rejects txns with no (or empty) sections, and any section chain
+    /// that does not start exactly at [`next_seq`](Self::next_seq) and
+    /// stay gap-free section to section.
+    pub fn push_txn(&mut self, txn: TxnBatch<P>) -> Result<Arc<TxnBatch<P>>, DeltaLogError> {
+        if txn.sections.is_empty() || txn.sections.iter().any(|s| s.is_empty()) {
+            return Err(DeltaLogError::EmptyBatch);
+        }
+        let mut next = self.next_seq();
+        for section in &txn.sections {
+            if section.start_seq != next {
+                return Err(DeltaLogError::NonContiguous {
+                    expected: next,
+                    got: section.start_seq,
+                });
+            }
+            next = section.end_seq();
+        }
+        let shared = Arc::new(txn);
+        self.push_entry(LogEntry::Txn(shared.clone()));
         Ok(shared)
     }
 
@@ -484,6 +530,97 @@ impl<S: AuthScheme> core::fmt::Display for FlushError<S> {
 
 impl<S: AuthScheme> std::error::Error for FlushError<S> {}
 
+/// A staged multi-table update transaction (see
+/// [`CentralServer::begin_txn`]). Ops buffer in arrival order; nothing
+/// locks, signs, logs, or hits the WAL until
+/// [`CentralServer::commit_txn`] — staging is free, and a dropped `Txn`
+/// simply never happened.
+#[derive(Clone, Debug, Default)]
+pub struct Txn {
+    staged: Vec<(String, UpdateOp)>,
+}
+
+impl Txn {
+    /// Stage one update against `table`.
+    pub fn stage(&mut self, table: impl Into<String>, op: UpdateOp) -> &mut Self {
+        self.staged.push((table.into(), op));
+        self
+    }
+
+    /// Number of staged ops.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+}
+
+/// What one group-commit flush committed: per-table batches through the
+/// legacy single-table path, or — when the pending queue spanned more
+/// than one table — a single atomic [`TxnBatch`] through
+/// [`CentralServer::commit_txn`], which cannot partially flush.
+pub enum Flushed<S: AuthScheme> {
+    /// Batches committed by the legacy per-table path (the pending
+    /// queue held at most one table).
+    Batches(CommittedBatches<S>),
+    /// One atomic multi-table transaction covering every pending run.
+    Txn(Arc<TxnBatch<S::Delta>>),
+}
+
+impl<S: AuthScheme> Flushed<S> {
+    /// True when this call committed nothing.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Flushed::Batches(batches) => batches.is_empty(),
+            Flushed::Txn(txn) => txn.sections.is_empty(),
+        }
+    }
+
+    /// Total update ops committed by this call.
+    pub fn ops(&self) -> u64 {
+        match self {
+            Flushed::Batches(batches) => batches.iter().map(|b| b.len() as u64).sum(),
+            Flushed::Txn(txn) => txn.ops(),
+        }
+    }
+
+    /// The committed per-table batches, when this flush stayed on the
+    /// legacy single-table path.
+    pub fn batches(&self) -> Option<&CommittedBatches<S>> {
+        match self {
+            Flushed::Batches(batches) => Some(batches),
+            Flushed::Txn(_) => None,
+        }
+    }
+
+    /// The committed txn, when this flush rerouted through
+    /// [`CentralServer::commit_txn`].
+    pub fn txn(&self) -> Option<&Arc<TxnBatch<S::Delta>>> {
+        match self {
+            Flushed::Batches(_) => None,
+            Flushed::Txn(txn) => Some(txn),
+        }
+    }
+}
+
+impl<S: AuthScheme> core::fmt::Debug for Flushed<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Flushed::Batches(batches) => f
+                .debug_struct("Flushed::Batches")
+                .field("batches", &batches.len())
+                .finish(),
+            Flushed::Txn(txn) => f
+                .debug_struct("Flushed::Txn")
+                .field("sections", &txn.sections.len())
+                .finish(),
+        }
+    }
+}
+
 /// The trusted central DBMS, generic over the authentication scheme.
 pub struct CentralServer<S: AuthScheme> {
     pub(crate) scheme: S,
@@ -712,8 +849,30 @@ impl<S: AuthScheme> CentralServer<S> {
     /// owner's liveness heartbeat. Edges that receive (via their
     /// subscription) this stamp prove recent contact; a partitioned
     /// edge keeps an aging stamp and trips `FreshnessPolicy::max_age`.
-    pub fn heartbeat(&mut self) -> FreshnessStamp {
+    ///
+    /// The heartbeat also **flushes aged group-commit runs**: the
+    /// enqueue-side age trigger only fires on the *next* enqueue, so a
+    /// queue that goes quiet would otherwise hold its pending ops
+    /// hostage indefinitely. The heartbeat — the one event guaranteed
+    /// to keep happening — commits any run whose oldest op has waited
+    /// past `commit_interval`. A failing flush follows
+    /// [`flush_group_commit`](Self::flush_group_commit)'s documented
+    /// semantics (the failing ops are dropped; anything committed is in
+    /// the delta log for the next fan-out; a durability failure poisons
+    /// the engine and resurfaces on the next commit), and the stamp
+    /// signed below attests the *post-flush* position.
+    pub fn heartbeat(&mut self) -> FreshnessStamp
+    where
+        S::Store: Clone,
+    {
         self.clock += 1;
+        if let Some(config) = self.group_commit {
+            let aged = !self.pending.is_empty()
+                && self.clock.saturating_sub(self.pending_since_clock) >= config.commit_interval;
+            if aged {
+                let _ = self.flush_group_commit();
+            }
+        }
         let stamp = FreshnessStamp::sign(self.signer.as_ref(), self.log.next_seq(), self.clock);
         self.stamps.insert(self.log.next_seq(), stamp.clone());
         self.prune_stamps();
@@ -951,26 +1110,207 @@ impl<S: AuthScheme> CentralServer<S> {
         Ok(batch)
     }
 
+    /// Begin staging an atomic multi-table transaction. Stage ops with
+    /// [`Txn::stage`], then commit the whole set with
+    /// [`commit_txn`](Self::commit_txn).
+    pub fn begin_txn(&self) -> Txn {
+        Txn::default()
+    }
+
+    /// Commit a staged multi-table transaction **atomically**: X-lock
+    /// the union of every touched table's lock targets, mirror every op
+    /// into staged clones of the catalog tables (validating conflicts
+    /// before anything mutates), run every per-table
+    /// [`AuthScheme::update_batch`] signing sweep, then log one
+    /// [`TxnBatch`] and append **one** checksummed `CommitTxn` WAL
+    /// record — fsync'd before *any* table's state is acked.
+    ///
+    /// All-or-nothing: on any failure — an unknown table, a catalog
+    /// conflict, a failing sweep, a WAL append — no store, catalog
+    /// table, log entry, or durable record changes at all. Stores
+    /// already swept when a later run fails are restored from snapshots
+    /// taken under the txn's locks. (A WAL failure additionally poisons
+    /// the durability engine, exactly like every other commit path.)
+    ///
+    /// Consecutive same-table runs become the txn's sections, chained
+    /// over one contiguous sequence range in arrival order, and one
+    /// freshness stamp attests the txn's end position (cluster mode).
+    /// Committing an empty txn is a no-op returning a sectionless
+    /// `TxnBatch`.
+    pub fn commit_txn(
+        &mut self,
+        txn: Txn,
+    ) -> Result<Arc<TxnBatch<S::Delta>>, CentralError<S::Error>>
+    where
+        S::Store: Clone,
+    {
+        if txn.staged.is_empty() {
+            return Ok(Arc::new(TxnBatch {
+                sections: Vec::new(),
+                stamp: None,
+            }));
+        }
+        // Group staged ops into consecutive same-table runs — the
+        // txn's sections, committing in arrival order.
+        let mut runs: Vec<(String, Vec<UpdateOp>)> = Vec::new();
+        for (table, op) in txn.staged {
+            match runs.last_mut() {
+                Some((t, run)) if *t == table => run.push(op),
+                _ => runs.push((table, vec![op])),
+            }
+        }
+        // Validate every table before anything mutates.
+        for (table, _) in &runs {
+            if !self.stores.contains_key(table) {
+                return Err(CentralError::UnknownTable(table.clone()));
+            }
+        }
+        // Union of every run's lock targets across all touched tables.
+        let lock_txn = self.next_txn();
+        let mut resources: Vec<(String, usize)> = Vec::new();
+        for (table, ops) in &runs {
+            let store = self.stores.get(table).expect("validated above");
+            for op in ops {
+                for target in self.scheme.lock_targets(store, op) {
+                    resources.push((table.clone(), target));
+                }
+            }
+        }
+        resources.sort_unstable();
+        resources.dedup();
+        self.locks
+            .try_acquire_all(lock_txn, &resources, LockMode::Exclusive)
+            .expect("single-threaded central server cannot conflict with itself");
+
+        let result = (|| {
+            // 1. Mirror every op into clones of the touched catalog
+            //    tables: catalog-level conflicts (duplicate keys,
+            //    missing keys) surface here, before any store mutates.
+            let mut staged_cat: BTreeMap<String, Table> = BTreeMap::new();
+            for (table, ops) in &runs {
+                if !staged_cat.contains_key(table) {
+                    let cat = self
+                        .catalog
+                        .get(table)
+                        .expect("catalog mirrors stores")
+                        .clone();
+                    staged_cat.insert(table.clone(), cat);
+                }
+                let cat = staged_cat.get_mut(table).expect("inserted above");
+                for op in ops {
+                    match op {
+                        UpdateOp::Insert(tuple) => {
+                            cat.insert(tuple.clone())?;
+                        }
+                        UpdateOp::Delete(key) => {
+                            cat.delete(*key)?;
+                        }
+                        UpdateOp::DeleteRange(lo, hi) => {
+                            let doomed: Vec<u64> = cat.range(*lo, *hi).map(|t| t.key).collect();
+                            for k in doomed {
+                                cat.delete(k)?;
+                            }
+                        }
+                    }
+                }
+            }
+            // 2. Every per-table signing sweep, with undo snapshots so
+            //    a failing run rolls the whole txn back — never a table
+            //    subset.
+            let mut undo: BTreeMap<String, S::Store> = BTreeMap::new();
+            let mut run_payloads: Vec<Vec<S::Delta>> = Vec::with_capacity(runs.len());
+            for (table, ops) in &runs {
+                if !undo.contains_key(table) {
+                    let snapshot = self.stores.get(table).expect("validated above").clone();
+                    undo.insert(table.clone(), snapshot);
+                }
+                let store = self.stores.get_mut(table).expect("validated above");
+                match self.scheme.update_batch(store, ops, self.signer.as_ref()) {
+                    Ok(payloads) => run_payloads.push(payloads),
+                    Err(e) => {
+                        for (t, snapshot) in undo {
+                            self.stores.insert(t, snapshot);
+                        }
+                        return Err(CentralError::Scheme(e));
+                    }
+                }
+            }
+            // 3. Install the staged catalog tables (infallible).
+            for (_, table) in staged_cat {
+                self.catalog.put(table);
+            }
+            Ok(run_payloads)
+        })();
+        self.locks.release_all(lock_txn);
+        let run_payloads = result?;
+
+        let mut touched: Vec<String> = runs.iter().map(|(t, _)| t.clone()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for table in &touched {
+            self.refresh_views_for(table)?;
+        }
+        self.clock += 1;
+        let key_version = self.signer.key_version();
+        let mut seq = self.log.next_seq();
+        let mut sections = Vec::with_capacity(runs.len());
+        for ((table, ops), payloads) in runs.into_iter().zip(run_payloads) {
+            let start_seq = seq;
+            seq += ops.len() as u64;
+            sections.push(DeltaBatch {
+                start_seq,
+                table,
+                ops,
+                payloads,
+                key_version,
+                // The txn-level stamp covers the whole envelope; the
+                // sections carry none of their own.
+                stamp: None,
+            });
+        }
+        let end_seq = seq;
+        // One stamp for the whole txn, attesting its end position.
+        let stamp = self.stamp_commits.then(|| {
+            let stamp = FreshnessStamp::sign(self.signer.as_ref(), end_seq, self.clock);
+            self.stamps.insert(end_seq, stamp.clone());
+            stamp
+        });
+        let committed = self
+            .log
+            .push_txn(TxnBatch { sections, stamp })
+            .expect("commit path issues contiguous seqs");
+        if self.stamp_commits {
+            self.prune_stamps();
+        }
+        // Append-before-ack: one CommitTxn WAL record (and one fsync)
+        // covers every table's sweep — no table's state is acked before
+        // the whole txn is durable.
+        self.durability_commit_txn(&committed)?;
+        Ok(committed)
+    }
+
     /// Enqueue one update into the group-commit queue, committing
     /// whatever the queue's flush rules say is due: without
     /// [`with_group_commit`](Self::with_group_commit) the op commits
     /// immediately as a batch of one; with it, ops coalesce until
     /// `max_batch` are pending or the oldest has waited
-    /// `commit_interval` clock ticks. Returns the batches committed by
-    /// *this* call (often none — the op just joined the queue).
+    /// `commit_interval` clock ticks. Returns what *this* call
+    /// committed (often nothing — the op just joined the queue).
     ///
     /// Per-table conflict handling is preserved: a flush groups
-    /// **consecutive same-table runs** into batches, so commit order
-    /// across tables is exactly arrival order and every batch takes the
-    /// Section 3.4 locks for its own table's ops.
-    pub fn enqueue_update(
-        &mut self,
-        table: &str,
-        op: UpdateOp,
-    ) -> Result<CommittedBatches<S>, FlushError<S>> {
+    /// **consecutive same-table runs**, so commit order across tables
+    /// is exactly arrival order and every run takes the Section 3.4
+    /// locks for its own table's ops. A flush whose pending queue spans
+    /// more than one table commits as one atomic
+    /// [`commit_txn`](Self::commit_txn) — see
+    /// [`flush_group_commit`](Self::flush_group_commit).
+    pub fn enqueue_update(&mut self, table: &str, op: UpdateOp) -> Result<Flushed<S>, FlushError<S>>
+    where
+        S::Store: Clone,
+    {
         let Some(config) = self.group_commit else {
             return match self.execute_update_batch(table, vec![op]) {
-                Ok(batch) => Ok(vec![batch]),
+                Ok(batch) => Ok(Flushed::Batches(vec![batch])),
                 Err(error) => Err(FlushError {
                     committed: Vec::new(),
                     error,
@@ -986,22 +1326,44 @@ impl<S: AuthScheme> CentralServer<S> {
         if due {
             self.flush_group_commit()
         } else {
-            Ok(Vec::new())
+            Ok(Flushed::Batches(Vec::new()))
         }
     }
 
-    /// Commit every pending group-commit op now, grouping consecutive
-    /// same-table runs into one [`DeltaBatch`] each (arrival order is
-    /// preserved across tables). Call this to bound commit latency when
-    /// the enqueue-side triggers have not fired.
+    /// Commit every pending group-commit op now. Call this to bound
+    /// commit latency when the enqueue-side triggers have not fired.
     ///
-    /// On a failed run (e.g. a duplicate key) the failing run's ops are
-    /// dropped with the error — exactly like a failed single-op commit
-    /// — runs not yet attempted go back into the queue, and the
-    /// returned [`FlushError`] carries the batches runs *before* the
-    /// failure already committed, so the caller can still apply / fan
-    /// them out.
-    pub fn flush_group_commit(&mut self) -> Result<CommittedBatches<S>, FlushError<S>> {
+    /// A pending queue that touches **more than one table** reroutes
+    /// through [`commit_txn`](Self::commit_txn): every consecutive
+    /// same-table run becomes a section of one atomic [`TxnBatch`] —
+    /// one WAL record, one stamp, all-or-nothing. The partial-flush
+    /// surface is gone for grouped runs: on failure *nothing* commits,
+    /// the whole txn's ops are dropped with the error (the atomic
+    /// analogue of dropping a failing run), and
+    /// [`FlushError::committed`] is empty.
+    ///
+    /// A **single-table** queue keeps the legacy per-table path: it
+    /// commits as one [`DeltaBatch`] through
+    /// [`execute_update_batch`](Self::execute_update_batch), and a
+    /// failure drops that run's ops with the error, exactly like a
+    /// failed single-op commit.
+    pub fn flush_group_commit(&mut self) -> Result<Flushed<S>, FlushError<S>>
+    where
+        S::Store: Clone,
+    {
+        let multi_table = self.pending.windows(2).any(|w| w[0].0 != w[1].0);
+        if multi_table {
+            let txn = Txn {
+                staged: std::mem::take(&mut self.pending),
+            };
+            return match self.commit_txn(txn) {
+                Ok(txn) => Ok(Flushed::Txn(txn)),
+                Err(error) => Err(FlushError {
+                    committed: Vec::new(),
+                    error,
+                }),
+            };
+        }
         let mut runs: Vec<(String, Vec<UpdateOp>)> = Vec::new();
         for (table, op) in std::mem::take(&mut self.pending) {
             match runs.last_mut() {
@@ -1026,7 +1388,7 @@ impl<S: AuthScheme> CentralServer<S> {
                 }
             }
         }
-        Ok(batches)
+        Ok(Flushed::Batches(batches))
     }
 
     /// Ops waiting in the group-commit queue.

@@ -31,12 +31,12 @@
 //! [`sync`](ClusterCoordinator::sync)): tests and benchmarks induce a
 //! lagging replica simply by not draining it.
 
-use crate::central::{CentralError, CentralServer, DeltaLogError, LogEntry};
+use crate::central::{CentralError, CentralServer, DeltaLogError, LogEntry, Txn};
 use crate::edge_server::EdgeServer;
 use crate::service::EdgeError;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, UpdateOp};
 use vbx_core::RangeQuery;
 use vbx_storage::{Table, Tuple};
 
@@ -298,6 +298,7 @@ impl<E> From<vbx_core::SyncError> for ClusterError<E> {
 enum QueueItem<P> {
     Apply(SignedDelta<P>),
     ApplyBatch(Arc<DeltaBatch<P>>),
+    ApplyTxn(Arc<TxnBatch<P>>),
     Skip { start_seq: u64, count: u64 },
 }
 
@@ -605,10 +606,15 @@ where
                     slot.disconnected = true;
                     break;
                 }
-                let item = if self.shard_map.owner(entry.table()) == Some(id) {
+                // A txn entry is owned by every edge that owns *any* of
+                // its tables — each such edge receives the whole atom
+                // (applied all-or-none), never a per-table slice.
+                let owned = entry.tables().any(|t| self.shard_map.owner(t) == Some(id));
+                let item = if owned {
                     match entry {
                         LogEntry::Op(delta) => QueueItem::Apply(delta.clone()),
                         LogEntry::Batch(batch) => QueueItem::ApplyBatch(batch.clone()),
+                        LogEntry::Txn(txn) => QueueItem::ApplyTxn(txn.clone()),
                     }
                 } else {
                     QueueItem::Skip {
@@ -649,6 +655,7 @@ where
             match item {
                 QueueItem::Apply(delta) => slot.server.apply_delta(&delta)?,
                 QueueItem::ApplyBatch(batch) => slot.server.apply_delta_batch(&batch)?,
+                QueueItem::ApplyTxn(txn) => slot.server.apply_txn(&txn)?,
                 QueueItem::Skip { start_seq, count } => {
                     slot.server.service().skip_deltas(start_seq, count)?
                 }
@@ -810,13 +817,43 @@ where
     /// current position, and deliver the stamp to every edge that is
     /// exactly caught up (a lagging or partitioned edge keeps its aging
     /// stamp and trips `FreshnessPolicy::max_age`).
-    pub fn broadcast_heartbeat(&mut self) {
+    ///
+    /// Since the heartbeat also flushes pending group-commit runs that
+    /// have aged past `commit_interval`, the flushed entries are fanned
+    /// out to the subscription queues before the stamp is offered — an
+    /// edge with freshly queued work keeps its old stamp until it
+    /// drains.
+    pub fn broadcast_heartbeat(&mut self) -> Result<(), ClusterError<S::Error>> {
         let stamp = self.central.heartbeat();
+        self.fan_out()?;
         for slot in &mut self.edges {
             if slot.server.applied_seq() == stamp.seq && slot.queue.is_empty() {
                 slot.server.service().set_freshness_stamp(stamp.clone());
             }
         }
+        Ok(())
+    }
+
+    /// Start staging an atomic multi-table transaction (see
+    /// [`CentralServer::begin_txn`]).
+    pub fn begin_txn(&self) -> Txn {
+        self.central.begin_txn()
+    }
+
+    /// Commit a staged multi-table transaction at the owner — one union
+    /// lock scope, every per-table signing sweep, **one** checksummed
+    /// `CommitTxn` WAL record — and fan the single txn envelope out:
+    /// every edge owning any touched table receives the whole atom (one
+    /// shared `Arc`, applied all-or-none), every other edge one range
+    /// placeholder. A scatter-gather read across the txn's tables never
+    /// observes one table at `end_seq` with another still behind.
+    pub fn commit_txn(
+        &mut self,
+        txn: Txn,
+    ) -> Result<Arc<TxnBatch<S::Delta>>, ClusterError<S::Error>> {
+        let committed = self.central.commit_txn(txn)?;
+        self.fan_out()?;
+        Ok(committed)
     }
 
     /// The edge owning `table`.

@@ -41,10 +41,10 @@ use crate::locks::LockManager;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use vbx_core::durable::{decode_stamp, encode_stamp};
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, UpdateOp};
 use vbx_core::{
-    decode_wal_record, encode_wal_commit_batch, encode_wal_commit_op, encode_wal_heartbeat,
-    CoreError, DurableScheme, FreshnessStamp, WalRecord,
+    decode_wal_record, encode_wal_commit_batch, encode_wal_commit_op, encode_wal_commit_txn,
+    encode_wal_heartbeat, CoreError, DurableScheme, FreshnessStamp, WalRecord,
 };
 use vbx_crypto::{KeyRegistry, Signer};
 use vbx_query::JoinViewDef;
@@ -110,6 +110,7 @@ pub(crate) struct DurabilityEngine<S: AuthScheme> {
     failed: Option<StorageError>,
     encode_op: EncodeOpFn<S>,
     encode_batch: fn(&S, u64, &DeltaBatch<S::Delta>) -> Vec<u8>,
+    encode_txn: fn(&S, u64, &TxnBatch<S::Delta>) -> Vec<u8>,
     build_image: fn(&CentralServer<S>, usize) -> Vec<u8>,
 }
 
@@ -207,6 +208,29 @@ impl<S: AuthScheme> CentralServer<S> {
         result.map_err(CentralError::Durability)
     }
 
+    /// WAL-log one committed multi-table transaction: **one** record,
+    /// one fsync for every table's sweep — the all-or-nothing unit
+    /// recovery rolls back as a whole when its append tore.
+    pub(crate) fn durability_commit_txn(
+        &mut self,
+        txn: &TxnBatch<S::Delta>,
+    ) -> Result<(), CentralError<S::Error>> {
+        let Some(mut eng) = self.durability.take() else {
+            return Ok(());
+        };
+        let result = (|| {
+            eng.check()?;
+            let bytes = (eng.encode_txn)(&self.scheme, self.clock, txn);
+            eng.wal.append_sync(&bytes)?;
+            eng.note_commit(self, txn.ops())
+        })();
+        if let Err(e) = &result {
+            eng.failed = Some(e.clone());
+        }
+        self.durability = Some(eng);
+        result.map_err(CentralError::Durability)
+    }
+
     /// WAL-log a heartbeat's clock advance + stamp. `heartbeat()` keeps
     /// its infallible signature, so a failure here only poisons the
     /// engine — the *next* commit fails instead of acking state that a
@@ -272,6 +296,7 @@ impl<S: DurableScheme> CentralServer<S> {
             failed: None,
             encode_op: encode_wal_commit_op::<S>,
             encode_batch: encode_wal_commit_batch::<S>,
+            encode_txn: encode_wal_commit_txn::<S>,
             build_image: checkpoint_image::<S>,
         };
         eng.write_checkpoint(&self)?;
@@ -381,6 +406,7 @@ impl<S: DurableScheme> CentralServer<S> {
             failed: None,
             encode_op: encode_wal_commit_op::<S>,
             encode_batch: encode_wal_commit_batch::<S>,
+            encode_txn: encode_wal_commit_txn::<S>,
             build_image: checkpoint_image::<S>,
         });
         Ok(server)
@@ -435,6 +461,38 @@ impl<S: DurableScheme> CentralServer<S> {
                 self.log
                     .push_batch(batch)
                     .map_err(|e| corrupt(e.to_string()))?;
+                self.prune_stamps();
+                Ok(ops)
+            }
+            WalRecord::CommitTxn { clock, txn } => {
+                let next = self.log.next_seq();
+                if txn.end_seq() <= next {
+                    return Ok(0);
+                }
+                if txn.start_seq() != next {
+                    return Err(corrupt(format!(
+                        "WAL gap: txn at seq {} but log expects {next}",
+                        txn.start_seq()
+                    )));
+                }
+                // All-or-nothing at the record level: a torn CommitTxn
+                // append fails its CRC and lands in the torn tail — the
+                // *whole* txn rolls back, never a table subset. Here the
+                // record is intact, so every section replays.
+                for section in &txn.sections {
+                    self.replay_ops(
+                        &section.table,
+                        &section.ops,
+                        &section.payloads,
+                        section.key_version,
+                    )?;
+                }
+                self.clock = self.clock.max(clock);
+                if let Some(stamp) = &txn.stamp {
+                    self.stamps.insert(stamp.seq, stamp.clone());
+                }
+                let ops = txn.ops();
+                self.log.push_txn(txn).map_err(|e| corrupt(e.to_string()))?;
                 self.prune_stamps();
                 Ok(ops)
             }
@@ -620,6 +678,7 @@ fn checkpoint_image<S: DurableScheme>(central: &CentralServer<S>, page_size: usi
         let record = match entry {
             LogEntry::Op(delta) => encode_wal_commit_op(&central.scheme, 0, None, delta),
             LogEntry::Batch(batch) => encode_wal_commit_batch(&central.scheme, 0, batch),
+            LogEntry::Txn(txn) => encode_wal_commit_txn(&central.scheme, 0, txn),
         };
         put_bytes(&mut log, &record);
     }
@@ -711,6 +770,7 @@ fn restore_from_checkpoint<S: DurableScheme>(
             WalRecord::CommitBatch { batch, .. } => {
                 entries.push_back(LogEntry::Batch(Arc::new(batch)))
             }
+            WalRecord::CommitTxn { txn, .. } => entries.push_back(LogEntry::Txn(Arc::new(txn))),
             WalRecord::Heartbeat { .. } => {
                 return Err(corrupt("heartbeat record in checkpoint log section"))
             }

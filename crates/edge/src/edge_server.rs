@@ -21,7 +21,7 @@ use crate::service::EdgeService;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, VbScheme, VbSchemeError};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, VbScheme, VbSchemeError};
 use vbx_core::{
     compact_response_bytes, encode_compact_prefix, encode_compact_response, execute, QueryResponse,
     RangeQuery, VbTree,
@@ -157,7 +157,14 @@ where
         self.service.apply_delta_batch(batch)
     }
 
-    /// Apply one subscription log entry (single-op delta or batch).
+    /// Apply one atomic multi-table [`TxnBatch`] all-or-none (see
+    /// [`EdgeService::apply_txn`]).
+    pub fn apply_txn(&self, txn: &TxnBatch<S::Delta>) -> Result<(), EdgeError<S::Error>> {
+        self.service.apply_txn(txn)
+    }
+
+    /// Apply one subscription log entry (single-op delta, batch, or
+    /// atomic multi-table txn).
     pub fn apply_log_entry(&self, entry: &LogEntry<S::Delta>) -> Result<(), EdgeError<S::Error>> {
         self.service.apply_log_entry(entry)
     }

@@ -55,7 +55,7 @@ pub mod sync;
 
 pub use central::{
     CentralError, CentralServer, CommittedBatches, DeltaLog, DeltaLogError, EdgeBundle, FlushError,
-    GroupCommitConfig, LogEntry, UpdateDelta,
+    Flushed, GroupCommitConfig, LogEntry, Txn, UpdateDelta,
 };
 pub use client::{ClientError, EdgeClient, KeyFreshnessPolicy, SchemeClient, SchemeClientError};
 pub use cluster::{
@@ -66,7 +66,7 @@ pub use edge_server::{EdgeServer, TamperMode};
 pub use locks::{LockConflict, LockManager, LockMode, LockStats};
 pub use net::{
     CentralEndpoint, Conn, ConnState, EdgeEndpoint, FrameEndpoint, Listener, LoopbackTransport,
-    NetClient, NetError, NetServer, ServerStats, TcpTransport, Transport,
+    NetClient, NetError, NetServer, RetryPolicy, ServerStats, TcpTransport, Transport,
 };
 pub use service::{CacheStats, EdgeError, EdgeService, ResponseCache};
 pub use snapshot::ServingReplica;
@@ -76,4 +76,4 @@ pub use vbx_core::{FreshnessPolicy, FreshnessStamp, ResponseFreshness};
 // The scheme layer the deployment is generic over (re-exported so edge
 // users need only this crate).
 pub use vbx_baselines::{MerkleScheme, NaiveScheme};
-pub use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, UpdateOp, VbScheme};
+pub use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch, UpdateOp, VbScheme};

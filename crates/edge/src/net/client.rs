@@ -17,7 +17,8 @@ use std::time::{Duration, Instant};
 use vbx_core::scheme::VbScheme;
 use vbx_core::verify::FreshnessStamp;
 use vbx_core::{
-    decode_delta_batch, decode_signed_delta, CoreError, ErrorCode, NetMsg, RangeQuery, SyncError,
+    decode_delta_batch, decode_signed_delta, decode_txn_batch, CoreError, ErrorCode, NetMsg,
+    RangeQuery, SyncError,
 };
 use vbx_crypto::accum::Accumulator;
 
@@ -51,6 +52,13 @@ pub enum NetError {
     },
     /// Verified state sync rejected a chunk stream.
     Sync(SyncError),
+    /// Bounded retries of a transiently failing call ran out.
+    RetriesExhausted {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The last transient failure observed.
+        last: Box<NetError>,
+    },
 }
 
 impl From<io::Error> for NetError {
@@ -69,6 +77,70 @@ impl From<SyncError> for NetError {
     fn from(e: SyncError) -> Self {
         NetError::Sync(e)
     }
+}
+
+/// Bounded retry policy for the replication helpers: transient
+/// transport failures (`NetError::Io` — dial refused, timeout, peer
+/// reset) are retried with exponential backoff; every other failure
+/// (protocol violations, remote errors, verification rejects) is
+/// deterministic and surfaces immediately. When the budget runs out
+/// the caller gets [`NetError::RetriesExhausted`] carrying the final
+/// transport error.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff before retry `n` is `base_delay << (n - 1)`.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt whose failure surfaces verbatim.
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+        }
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        self.base_delay.saturating_mul(1u32 << retry.min(16))
+    }
+}
+
+fn is_transient(e: &NetError) -> bool {
+    matches!(e, NetError::Io(_))
+}
+
+fn with_retries<T>(
+    policy: &RetryPolicy,
+    mut f: impl FnMut() -> Result<T, NetError>,
+) -> Result<T, NetError> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Option<NetError> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff(attempt - 1));
+        }
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(NetError::RetriesExhausted {
+        attempts,
+        last: Box::new(last.expect("loop ran at least once")),
+    })
 }
 
 /// One step of a chunked state-sync fetch.
@@ -91,6 +163,7 @@ pub enum ChunkFetch {
 /// A typed frame-protocol client over any transport.
 pub struct NetClient {
     conn: Box<dyn Conn>,
+    retry: RetryPolicy,
 }
 
 impl NetClient {
@@ -98,12 +171,29 @@ impl NetClient {
     pub fn connect(transport: &dyn Transport, addr: &str) -> Result<Self, NetError> {
         Ok(Self {
             conn: transport.connect(addr)?,
+            retry: RetryPolicy::default(),
         })
     }
 
     /// Wrap an existing connection.
     pub fn from_conn(conn: Box<dyn Conn>) -> Self {
-        Self { conn }
+        Self {
+            conn,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Override the retry budget the replication helpers
+    /// ([`fetch_chunk`](Self::fetch_chunk), [`replicate_once`],
+    /// [`bootstrap_edge`]) spend on transient transport failures.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The client's current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn recv_msg(&mut self) -> Result<NetMsg, NetError> {
@@ -229,9 +319,10 @@ impl NetClient {
             match self.recv_msg()? {
                 NetMsg::SubAck { head, oldest } => return Ok((entries, head, oldest)),
                 NetMsg::Error { code, message } => return Err(NetError::Remote { code, message }),
-                entry @ (NetMsg::DeltaOp(_) | NetMsg::DeltaBatch(_) | NetMsg::SkipRange { .. }) => {
-                    entries.push(entry)
-                }
+                entry @ (NetMsg::DeltaOp(_)
+                | NetMsg::DeltaBatch(_)
+                | NetMsg::DeltaTxn(_)
+                | NetMsg::SkipRange { .. }) => entries.push(entry),
                 other => {
                     return Err(NetError::Protocol(format!(
                         "unexpected {:?} in poll stream",
@@ -244,11 +335,17 @@ impl NetClient {
 
     /// Request chunk `index` of `table`'s verified sync stream. The
     /// bytes come back verbatim for the scheme's restorer to
-    /// authenticate — the client does not interpret them.
+    /// authenticate — the client does not interpret them. Transient
+    /// transport failures are retried per the client's
+    /// [`RetryPolicy`] — the request is idempotent, so a replay after
+    /// a dropped response is harmless.
     pub fn fetch_chunk(&mut self, table: &str, index: u32) -> Result<ChunkFetch, NetError> {
-        let resp = self.call(&NetMsg::ChunkRequest {
-            table: table.to_string(),
-            index,
+        let policy = self.retry;
+        let resp = with_retries(&policy, || {
+            self.call(&NetMsg::ChunkRequest {
+                table: table.to_string(),
+                index,
+            })
         })?;
         Self::expect(resp, "Chunk or RestoreDone", |m| match m {
             NetMsg::Chunk(bytes) => Some(ChunkFetch::Chunk(bytes)),
@@ -276,7 +373,8 @@ pub fn bootstrap_edge<const L: usize>(
     client: &mut NetClient,
     acc: &Accumulator<L>,
 ) -> Result<EdgeServer<VbScheme<L>>, NetError> {
-    let bytes = client.fetch_bundle()?;
+    let policy = client.retry_policy();
+    let bytes = with_retries(&policy, || client.fetch_bundle())?;
     let bundle = EdgeBundle::from_bytes(&bytes, acc)?;
     Ok(EdgeServer::from_bundle(bundle))
 }
@@ -291,7 +389,11 @@ pub fn replicate_once<const L: usize>(
     edge: &EdgeServer<VbScheme<L>>,
     max: u32,
 ) -> Result<usize, NetError> {
-    let (entries, _head, _oldest) = client.poll_deltas(max)?;
+    // Only the poll itself retries: a transient transport failure before
+    // any entry was handed over is safely re-issued, while apply and
+    // decode failures are deterministic and surface immediately.
+    let policy = client.retry_policy();
+    let (entries, _head, _oldest) = with_retries(&policy, || client.poll_deltas(max))?;
     let mut applied = 0usize;
     for entry in entries {
         let res = match entry {
@@ -302,6 +404,10 @@ pub fn replicate_once<const L: usize>(
             NetMsg::DeltaBatch(bytes) => {
                 let batch = decode_delta_batch(&bytes, &edge.scheme().acc)?;
                 edge.apply_delta_batch(&batch)
+            }
+            NetMsg::DeltaTxn(bytes) => {
+                let txn = decode_txn_batch(&bytes, &edge.scheme().acc)?;
+                edge.apply_txn(&txn)
             }
             NetMsg::SkipRange { start_seq, count } => edge.service().skip_deltas(start_seq, count),
             _ => unreachable!("poll_deltas only returns replication entries"),

@@ -23,8 +23,8 @@ use crate::service::EdgeError;
 use std::sync::{Arc, Mutex};
 use vbx_core::scheme::{AuthScheme, VbScheme};
 use vbx_core::{
-    decode_delta_batch, decode_signed_delta, encode_delta_batch, encode_response,
-    encode_signed_delta, ErrorCode, Frame, NetMsg,
+    decode_delta_batch, decode_signed_delta, decode_txn_batch, encode_delta_batch, encode_response,
+    encode_signed_delta, encode_txn_batch, ErrorCode, Frame, NetMsg,
 };
 use vbx_crypto::SigVerifier;
 
@@ -154,6 +154,16 @@ impl<const L: usize> FrameEndpoint for EdgeEndpoint<L> {
                     Err(e) => err_frame(ErrorCode::BadRequest, format!("{e:?}")),
                 }
             }
+            NetMsg::DeltaTxn(bytes) => {
+                let acc = &self.server.scheme().acc;
+                match decode_txn_batch(&bytes, acc) {
+                    Ok(txn) => match self.server.apply_txn(&txn) {
+                        Ok(()) => vec![self.ack()],
+                        Err(e) => edge_err_frame(&e),
+                    },
+                    Err(e) => err_frame(ErrorCode::BadRequest, format!("{e:?}")),
+                }
+            }
             NetMsg::SkipRange { start_seq, count } => {
                 match self.server.service().skip_deltas(start_seq, count) {
                     Ok(()) => vec![self.ack()],
@@ -225,7 +235,11 @@ impl<const L: usize> CentralEndpoint<L> {
     /// Run `f` against the wrapped central (commits in tests/benches
     /// while connections are being served).
     pub fn with_central<R>(&self, f: impl FnOnce(&mut CentralServer<VbScheme<L>>) -> R) -> R {
-        f(&mut self.central.lock().unwrap())
+        // Recover a poisoned lock: a connection thread that panicked
+        // mid-frame must not cascade panics across every other
+        // connection (the central's write path keeps its own
+        // atomicity — a failed commit rolls back before unwinding).
+        f(&mut self.central.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -235,7 +249,9 @@ impl<const L: usize> FrameEndpoint for CentralEndpoint<L> {
             Ok(msg) => msg,
             Err(e) => return err_frame(ErrorCode::BadRequest, format!("{e:?}")),
         };
-        let mut central = self.central.lock().unwrap();
+        // See `with_central` for why the lock is recovered, not
+        // propagated.
+        let mut central = self.central.lock().unwrap_or_else(|e| e.into_inner());
         match msg {
             NetMsg::Ping => {
                 let head = central.delta_log().next_seq();
@@ -302,6 +318,9 @@ impl<const L: usize> FrameEndpoint for CentralEndpoint<L> {
                         }
                         LogEntry::Batch(batch) => {
                             NetMsg::DeltaBatch(encode_delta_batch(batch.as_ref())).to_frame()
+                        }
+                        LogEntry::Txn(txn) => {
+                            NetMsg::DeltaTxn(encode_txn_batch(txn.as_ref())).to_frame()
                         }
                     });
                 }

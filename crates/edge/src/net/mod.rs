@@ -29,7 +29,8 @@ pub mod server;
 pub mod transport;
 
 pub use client::{
-    bootstrap_edge, replicate_once, sync_stamp, ChunkFetch, NetClient, NetError, CALL_TIMEOUT,
+    bootstrap_edge, replicate_once, sync_stamp, ChunkFetch, NetClient, NetError, RetryPolicy,
+    CALL_TIMEOUT,
 };
 pub use endpoint::{CentralEndpoint, ConnState, EdgeEndpoint, FrameEndpoint, DEFAULT_MAX_BACKLOG};
 pub use server::{NetServer, ServerStats};

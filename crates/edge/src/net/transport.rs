@@ -256,8 +256,14 @@ impl Listener for LoopbackListener {
 impl Drop for LoopbackListener {
     fn drop(&mut self) {
         // Deregister so later connects fail with ConnectionRefused and
-        // queued-but-unaccepted dials drop cleanly.
-        self.registry.lock().unwrap().remove(&self.addr);
+        // queued-but-unaccepted dials drop cleanly. Recover a poisoned
+        // registry: one connection thread panicking must not cascade
+        // into every later bind/dial (the registry is a plain map —
+        // no invariant spans the panic).
+        self.registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.addr);
         while let Ok(_conn) = self.rx.try_recv() {}
         debug_assert!(matches!(
             self.rx.try_recv(),
@@ -272,7 +278,8 @@ impl Transport for LoopbackTransport {
     }
 
     fn listen(&self, addr: &str) -> io::Result<Box<dyn Listener>> {
-        let mut reg = self.registry.lock().unwrap();
+        // See `LoopbackListener::drop` for why the lock is recovered.
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
         if reg.contains_key(addr) {
             return Err(io::Error::new(
                 io::ErrorKind::AddrInUse,
@@ -290,7 +297,9 @@ impl Transport for LoopbackTransport {
 
     fn connect(&self, addr: &str) -> io::Result<Box<dyn Conn>> {
         let accept_tx = {
-            let reg = self.registry.lock().unwrap();
+            // See `LoopbackListener::drop` for why the lock is
+            // recovered.
+            let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
             reg.get(addr).cloned().ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::ConnectionRefused,

@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta};
+use vbx_core::scheme::{AuthScheme, DeltaBatch, SignedDelta, TxnBatch};
 use vbx_core::{FreshnessStamp, RangeQuery, ResponseFreshness};
 use vbx_storage::Schema;
 
@@ -640,8 +640,112 @@ impl<S: AuthScheme> EdgeService<S> {
         Ok(())
     }
 
-    /// Apply one subscription log entry — a single-op delta or a
-    /// group-committed batch — through the matching replay path.
+    /// Apply one atomic multi-table transaction **all-or-none**: verify
+    /// the txn starts at this replica's position, X-lock the union of
+    /// every section's affected digests across all served tables, build
+    /// every table's successor snapshot off to the side, and only when
+    /// *every* section replayed cleanly swap them all in and invalidate
+    /// each touched table's cache once. On any divergence nothing is
+    /// published and the position does not advance — a reader scanning
+    /// two tables of the txn never observes table A at seq n+1 with
+    /// table B still at seq n. Installs the txn's owner stamp (if any)
+    /// after the swaps.
+    ///
+    /// A section whose table this edge does not serve is a foreign
+    /// placeholder — its ops advance the position without local replay,
+    /// exactly like a `SkipRange` (a sharded edge receives the whole
+    /// atom even when it owns only some of its tables; the router never
+    /// reads the unserved tables here).
+    pub fn apply_txn(&self, txn: &TxnBatch<S::Delta>) -> Result<(), EdgeError<S::Error>>
+    where
+        S::Store: Clone,
+    {
+        if txn.sections.is_empty() {
+            return Ok(());
+        }
+        let mut seq = self.applied_seq.lock();
+        if txn.start_seq() != *seq {
+            return Err(EdgeError::OutOfOrder {
+                expected: *seq,
+                got: txn.start_seq(),
+            });
+        }
+        // Resolve the served replicas up front; unserved tables replay
+        // as placeholders.
+        let mut replicas: BTreeMap<&str, Arc<ServingReplica<S>>> = BTreeMap::new();
+        for section in &txn.sections {
+            if !replicas.contains_key(section.table.as_str()) {
+                if let Some(replica) = self.replica(&section.table) {
+                    replicas.insert(section.table.as_str(), replica);
+                }
+            }
+        }
+        let lock_txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        let mut resources: Vec<Resource> = Vec::new();
+        {
+            let mut snaps: BTreeMap<&str, Arc<S::Store>> = BTreeMap::new();
+            for section in &txn.sections {
+                let Some(replica) = replicas.get(section.table.as_str()) else {
+                    continue;
+                };
+                let snap = snaps
+                    .entry(section.table.as_str())
+                    .or_insert_with(|| replica.snapshot());
+                for op in &section.ops {
+                    for target in self.scheme.lock_targets(snap, op) {
+                        resources.push((section.table.clone(), target));
+                    }
+                }
+            }
+        }
+        resources.sort_unstable();
+        resources.dedup();
+        self.acquire_with_retry(lock_txn, &resources, LockMode::Exclusive);
+        // Build every successor store aside; a table touched by several
+        // sections chains them on one working copy.
+        let result = (|| {
+            let mut successors: BTreeMap<&str, S::Store> = BTreeMap::new();
+            for section in &txn.sections {
+                let Some(replica) = replicas.get(section.table.as_str()) else {
+                    continue;
+                };
+                let store = successors
+                    .entry(section.table.as_str())
+                    .or_insert_with(|| (*replica.snapshot()).clone());
+                self.scheme
+                    .apply_delta_batch(store, &section.ops, &section.payloads, section.key_version)
+                    .map_err(EdgeError::Scheme)?;
+            }
+            Ok(successors)
+        })();
+        let successors = match result {
+            Ok(successors) => successors,
+            Err(e) => {
+                self.locks.release_all(lock_txn);
+                return Err(e);
+            }
+        };
+        // Every section replayed: swap all tables, then invalidate each
+        // touched table's cache exactly once.
+        for (table, store) in successors {
+            let replica = &replicas[table];
+            replica.publish(store);
+            let floor = replica.published_count();
+            self.cache.invalidate_table(table, floor);
+            self.compact_cache.invalidate_table(table, floor);
+        }
+        self.locks.release_all(lock_txn);
+        *seq += txn.ops();
+        drop(seq);
+        if let Some(stamp) = &txn.stamp {
+            self.set_freshness_stamp(stamp.clone());
+        }
+        Ok(())
+    }
+
+    /// Apply one subscription log entry — a single-op delta, a
+    /// group-committed batch, or an atomic multi-table txn — through
+    /// the matching replay path.
     pub fn apply_log_entry(&self, entry: &LogEntry<S::Delta>) -> Result<(), EdgeError<S::Error>>
     where
         S::Store: Clone,
@@ -649,6 +753,7 @@ impl<S: AuthScheme> EdgeService<S> {
         match entry {
             LogEntry::Op(delta) => self.apply_delta(delta),
             LogEntry::Batch(batch) => self.apply_delta_batch(batch),
+            LogEntry::Txn(txn) => self.apply_txn(txn),
         }
     }
 }

@@ -171,7 +171,7 @@ fn missing_stamp_is_stale_under_policy() {
 fn heartbeats_bound_stamp_age() {
     let mut c = cluster(2, 40, 3);
     c.sync().unwrap();
-    c.broadcast_heartbeat();
+    c.broadcast_heartbeat().unwrap();
     let q = RangeQuery::select_all(0, 20);
     verify_routed(&c, "t0", &q, FreshnessPolicy::strict()).expect("just heartbeated");
 
@@ -185,7 +185,7 @@ fn heartbeats_bound_stamp_age() {
         "expected Stale with age 2, got {err:?}"
     );
     // Contact restored: the broadcast delivers the fresh stamp.
-    c.broadcast_heartbeat();
+    c.broadcast_heartbeat().unwrap();
     verify_routed(&c, "t0", &q, FreshnessPolicy::max_age(0)).expect("stamp refreshed");
 }
 
@@ -814,5 +814,101 @@ fn clone_verified_reproduces_the_store_and_rejects_a_foreign_key() {
         Err(vbx_core::SyncError::BadSignature(_)) => {}
         Err(other) => panic!("expected BadSignature, got {other}"),
         Ok(_) => panic!("a foreign key must not verify the stream"),
+    }
+}
+
+#[test]
+fn killing_an_edge_mid_txn_never_exposes_cross_table_skew() {
+    // Atomic multi-table txns under failover: every edge owning a txn
+    // table receives the WHOLE atom and applies it all-or-none, so no
+    // replica — and no scatter-gather reader — ever observes t0 at the
+    // txn's end seq while t1 is still behind (or vice versa).
+    let mut c = cluster(2, 40, 4);
+    c.sync().unwrap();
+    let schema0 = c.central().schema("t0").unwrap().clone();
+    let schema1 = c.central().schema("t1").unwrap().clone();
+    let (own0, own1) = (c.route("t0").unwrap(), c.route("t1").unwrap());
+    assert_ne!(own0, own1, "t0/t1 land on distinct owners");
+
+    // Txn 1: inserts on both tables, one envelope. Drain only t1's
+    // owner — t0's owner holds the atom in its queue, "mid-txn".
+    let mut txn = c.begin_txn();
+    txn.stage("t0", UpdateOp::Insert(fresh_tuple(&schema0, 9_000)))
+        .stage("t1", UpdateOp::Insert(fresh_tuple(&schema1, 9_001)));
+    let committed = c.commit_txn(txn).expect("txn commit");
+    assert_eq!(committed.sections.len(), 2);
+    c.drain_edge(own1, usize::MAX).unwrap();
+
+    // The drained owner applied the whole atom: its served table shows
+    // the txn key and its position covers the txn's end seq (the t0
+    // section advanced it as a placeholder). The undrained owner
+    // applied nothing: no txn key, position still before the txn — so
+    // a strict freshness check flags that leg as stale rather than
+    // ever serving one table of the txn without the other.
+    let end_seq = committed.end_seq();
+    let drained = c.edge(own1).unwrap();
+    assert!(drained.tree("t1").unwrap().get(9_001).is_some());
+    assert_eq!(drained.applied_seq(), end_seq);
+    let undrained = c.edge(own0).unwrap();
+    assert!(undrained.tree("t0").unwrap().get(9_000).is_none());
+    assert!(undrained.applied_seq() < committed.start_seq() + 1);
+
+    // Kill t0's owner with the atom still queued and fail over to a
+    // standby: the promoted replica rebuilds from the central's
+    // post-txn state through verified chunk sync.
+    let standby = (0..c.num_edges())
+        .find(|e| *e != own0 && *e != own1)
+        .unwrap();
+    c.mark_edge_dead(own0).unwrap();
+    let moved = c.promote_replica(own0, standby).unwrap();
+    assert_eq!(moved, vec!["t0".to_string()]);
+
+    // Txn 2 lands after the failover and flows to the new owner.
+    let mut txn = c.begin_txn();
+    txn.stage("t0", UpdateOp::Insert(fresh_tuple(&schema0, 9_100)))
+        .stage("t1", UpdateOp::Insert(fresh_tuple(&schema1, 9_101)))
+        .stage("t0", UpdateOp::Delete(3));
+    c.commit_txn(txn).expect("post-failover txn");
+    c.sync().unwrap();
+
+    // Scatter-gather both tables and verify each leg strictly against
+    // the owner position: a leg lagging behind the txn would fail as
+    // Stale, so two strict passes prove the reader saw NO skew.
+    let q = RangeQuery::select_all(0, 10_000);
+    let legs = vec![("t0".to_string(), q.clone()), ("t1".to_string(), q.clone())];
+    let acc = c.central().accumulator().clone();
+    let (owner_seq, owner_clock) = c.owner_position();
+    for routed in c.scatter_gather(&legs).expect("scatter-gather") {
+        let schema = c.central().schema(&routed.table).unwrap().clone();
+        let verifier = c
+            .central()
+            .registry()
+            .verifier(routed.response.vo.key_version)
+            .expect("published key");
+        let report = ClientVerifier::new(&acc, &schema)
+            .with_freshness(FreshnessPolicy::strict(), owner_seq, owner_clock)
+            .verify(verifier.as_ref(), &q, &routed.response)
+            .unwrap_or_else(|e| panic!("leg {} failed strict verify: {e}", routed.table));
+        // t0: 40 seeded + 2 inserts - 1 delete; t1: 40 seeded + 2 inserts.
+        let want = if routed.table == "t0" { 41 } else { 42 };
+        assert_eq!(report.rows, want, "leg {} row count", routed.table);
+    }
+
+    // Both txns are fully visible on the serving edges, never a subset.
+    for (edge, table, key) in [
+        (standby, "t0", 9_000),
+        (standby, "t0", 9_100),
+        (own1, "t1", 9_001),
+        (own1, "t1", 9_101),
+    ] {
+        assert!(
+            c.edge(edge)
+                .unwrap()
+                .tree(table)
+                .unwrap()
+                .get(key)
+                .is_some(),
+            "edge {edge} missing {table}/{key} after failover"
+        );
     }
 }

@@ -274,18 +274,22 @@ fn group_commit_queue_coalesces_to_max_batch() {
     let flushed = central
         .enqueue_update("items", UpdateOp::Delete(7))
         .unwrap();
-    assert_eq!(flushed.len(), 1);
-    assert_eq!(flushed[0].len(), 4);
+    let batches = flushed
+        .batches()
+        .expect("a single-table flush commits plain batches");
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].len(), 4);
+    let batch = batches[0].clone();
     assert_eq!(central.pending_commits(), 0);
     assert_eq!(central.delta_log().next_seq(), 4);
-    edge.apply_delta_batch(&flushed[0]).unwrap();
+    edge.apply_delta_batch(&batch).unwrap();
     assert_eq!(edge.applied_seq(), 4);
     assert!(edge.tree("items").unwrap().get(700).is_some());
     assert!(edge.tree("items").unwrap().get(7).is_none());
 }
 
 #[test]
-fn group_commit_flush_splits_per_table_runs() {
+fn group_commit_flush_groups_multi_table_runs_into_one_txn() {
     let signer = Arc::new(MockSigner::with_version(0x6F, 1));
     let mut central =
         CentralServer::new(Acc256::test_default(), signer, VbTreeConfig::with_fanout(6))
@@ -320,16 +324,24 @@ fn group_commit_flush_splits_per_table_runs() {
     central
         .enqueue_update("items", UpdateOp::Delete(5))
         .unwrap();
-    let batches = central.flush_group_commit().unwrap();
+    let flushed = central.flush_group_commit().unwrap();
+    let txn = flushed
+        .txn()
+        .expect("a multi-table flush commits one atomic txn");
     assert_eq!(
-        batches
+        txn.sections
             .iter()
             .map(|b| (b.table.as_str(), b.len(), b.start_seq))
             .collect::<Vec<_>>(),
         vec![("items", 2, 0), ("other", 3, 2), ("items", 1, 5)],
-        "flush must group consecutive same-table runs in arrival order"
+        "txn sections keep consecutive same-table runs in arrival order"
+    );
+    assert!(
+        txn.is_contiguous(),
+        "sections must chain seamlessly through the seq space"
     );
     assert_eq!(central.pending_commits(), 0);
+    assert_eq!(central.delta_log().next_seq(), 6);
 }
 
 #[test]
@@ -348,20 +360,33 @@ fn group_commit_interval_flushes_aged_ops() {
         .enqueue_update("items", UpdateOp::Insert(fresh_tuple(&schema, 820)))
         .unwrap();
     assert_eq!(central.pending_commits(), 1);
-    // Two clock ticks age the pending op past the interval…
+    // One clock tick is below the interval: the op stays queued.
     central.heartbeat();
+    assert_eq!(central.pending_commits(), 1);
+    // The second tick ages it past the interval and the heartbeat
+    // itself flushes the run — a quiet queue no longer holds a pending
+    // op hostage until the next enqueue arrives.
     central.heartbeat();
-    // …and the next enqueue flushes both ops as one batch.
-    let flushed = central
+    assert_eq!(central.pending_commits(), 0);
+    assert_eq!(central.delta_log().next_seq(), 1);
+
+    // The enqueue-side trigger still works when the clock advances
+    // through commits rather than heartbeats.
+    central
         .enqueue_update("items", UpdateOp::Insert(fresh_tuple(&schema, 821)))
         .unwrap();
-    assert_eq!(flushed.len(), 1);
-    assert_eq!(flushed[0].len(), 2);
-    assert_eq!(central.pending_commits(), 0);
+    central.heartbeat();
+    central.heartbeat();
+    assert_eq!(
+        central.pending_commits(),
+        0,
+        "every aged run flushes without an enqueue"
+    );
+    assert_eq!(central.delta_log().next_seq(), 2);
 }
 
 #[test]
-fn failed_flush_surfaces_already_committed_batches() {
+fn failed_multi_table_flush_drops_the_whole_txn() {
     let signer = Arc::new(MockSigner::with_version(0x74, 1));
     let mut central =
         CentralServer::new(Acc256::test_default(), signer, VbTreeConfig::with_fanout(6))
@@ -373,8 +398,9 @@ fn failed_flush_surfaces_already_committed_batches() {
     let schema = central.tree("items").unwrap().schema().clone();
     let edge = EdgeServer::from_bundle(central.bundle());
 
-    // Run 1 (items) commits; run 2 (missing table) fails; run 3
-    // (items again) must go back into the queue.
+    // Run 1 (items), run 2 (missing table), run 3 (items again): the
+    // grouped flush is one atomic txn, so the bad middle run aborts
+    // the *whole* thing — no partial-flush surface, no half-commit.
     central
         .enqueue_update("items", UpdateOp::Insert(fresh_tuple(&schema, 840)))
         .unwrap();
@@ -385,25 +411,37 @@ fn failed_flush_surfaces_already_committed_batches() {
         .enqueue_update("items", UpdateOp::Delete(7))
         .unwrap();
     let err = central.flush_group_commit().unwrap_err();
-
-    // The error still hands over run 1's committed batch — an edge fed
-    // from flush results stays in sync across the failure…
-    assert_eq!(err.committed.len(), 1);
+    assert!(
+        err.committed.is_empty(),
+        "a grouped flush commits all-or-nothing, got {} stray batches",
+        err.committed.len()
+    );
     assert!(matches!(
         err.error,
         vbx_edge::CentralError::UnknownTable(ref t) if t == "ghost"
     ));
-    for batch in &err.committed {
-        edge.apply_delta_batch(batch).unwrap();
-    }
-    assert_eq!(edge.applied_seq(), central.delta_log().next_seq());
-    // …and the unattempted run is still queued, committing on the next
-    // flush.
-    assert_eq!(central.pending_commits(), 1);
+    assert_eq!(central.delta_log().next_seq(), 0, "nothing may be logged");
+    assert_eq!(
+        central.pending_commits(),
+        0,
+        "the failed txn's ops are dropped as a unit, not re-queued"
+    );
+
+    // The untouched central accepts a clean commit afterwards, and the
+    // dropped txn's insert never surfaces.
+    central
+        .enqueue_update("items", UpdateOp::Delete(7))
+        .unwrap();
     let retried = central.flush_group_commit().unwrap();
-    assert_eq!(retried.len(), 1);
-    edge.apply_delta_batch(&retried[0]).unwrap();
+    let batches = retried.batches().expect("single-table flush");
+    assert_eq!(batches.len(), 1);
+    edge.apply_delta_batch(&batches[0]).unwrap();
     assert!(edge.tree("items").unwrap().get(7).is_none());
+    assert!(
+        edge.tree("items").unwrap().get(840).is_none(),
+        "an op from the aborted txn must never commit"
+    );
+    assert_eq!(edge.applied_seq(), central.delta_log().next_seq());
 }
 
 #[test]
@@ -416,8 +454,9 @@ fn enqueue_without_group_commit_commits_immediately() {
     let flushed = central
         .enqueue_update("items", UpdateOp::Insert(fresh_tuple(&schema, 830)))
         .unwrap();
-    assert_eq!(flushed.len(), 1);
-    assert_eq!(flushed[0].len(), 1);
+    let batches = flushed.batches().expect("immediate commit");
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].len(), 1);
     assert_eq!(central.delta_log().next_seq(), 1);
 }
 

@@ -24,11 +24,19 @@ use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{FailPoint, FailpointFs, Schema, Tuple, Value, Vfs};
 
 const TABLE: &str = "t0";
+const TABLE2: &str = "t1";
 const RETENTION: usize = 64;
 
 fn spec() -> WorkloadSpec {
     WorkloadSpec {
         table: TABLE.into(),
+        ..WorkloadSpec::new(8, 2, 8)
+    }
+}
+
+fn spec2() -> WorkloadSpec {
+    WorkloadSpec {
+        table: TABLE2.into(),
         ..WorkloadSpec::new(8, 2, 8)
     }
 }
@@ -58,6 +66,10 @@ enum Step {
     Batch(Vec<u64>),
     RangeDelete(u64, u64),
     Heartbeat,
+    /// Atomic multi-table txn: each `(table_sel, key)` stages an insert
+    /// on `t0` (sel 0) or `t1` (sel 1); the whole list commits as ONE
+    /// `CommitTxn` WAL record.
+    Txn(Vec<(u8, u64)>),
 }
 
 fn script() -> Vec<Step> {
@@ -72,8 +84,10 @@ fn script() -> Vec<Step> {
         Heartbeat,
         RangeDelete(0, 3),
         Batch(vec![106, 107]),
+        Txn(vec![(0, 140), (1, 141), (0, 142), (1, 143)]),
         Insert(108),
         Delete(101),
+        Txn(vec![(1, 150), (0, 151)]),
         Insert(109),
         Heartbeat,
         Insert(110),
@@ -83,7 +97,10 @@ fn script() -> Vec<Step> {
 fn run_step<S: DurableScheme>(
     central: &mut CentralServer<S>,
     step: &Step,
-) -> Result<(), CentralError<S::Error>> {
+) -> Result<(), CentralError<S::Error>>
+where
+    S::Store: Clone,
+{
     let schema = central.schema(TABLE).expect("table exists").clone();
     match step {
         Step::Insert(k) => central.insert(TABLE, tuple(&schema, *k)).map(drop),
@@ -100,6 +117,18 @@ fn run_step<S: DurableScheme>(
         Step::Heartbeat => {
             central.heartbeat();
             Ok(())
+        }
+        Step::Txn(stages) => {
+            let schema2 = central.schema(TABLE2).expect("table exists").clone();
+            let mut txn = central.begin_txn();
+            for (sel, k) in stages {
+                let (name, schema) = match sel {
+                    0 => (TABLE, &schema),
+                    _ => (TABLE2, &schema2),
+                };
+                txn.stage(name, UpdateOp::Insert(tuple(schema, *k)));
+            }
+            central.commit_txn(txn).map(drop)
         }
     }
 }
@@ -134,6 +163,13 @@ fn matrix_points() -> Vec<FailPoint> {
             file: "wal".into(),
             keep: 20,
         },
+        // Deep into a `CommitTxn` record's payload — between per-table
+        // sections of the txn, proving a torn multi-table append never
+        // recovers a table subset.
+        FailPoint::TornAppend {
+            file: "wal".into(),
+            keep: 150,
+        },
         FailPoint::AfterAppend { file: "wal".into() },
         FailPoint::BeforeSync { file: "wal".into() },
         FailPoint::TornAtomicWrite {
@@ -156,7 +192,10 @@ fn matrix_points() -> Vec<FailPoint> {
 /// Run one crash case: execute the script with `point` armed at step
 /// `arm_at`, crash, recover from the surviving image, and check the
 /// recovered state against a never-crashed control.
-fn run_case<S: DurableScheme + Clone>(scheme: S, label: &str, arm_at: usize, point: &FailPoint) {
+fn run_case<S: DurableScheme + Clone>(scheme: S, label: &str, arm_at: usize, point: &FailPoint)
+where
+    S::Store: Clone,
+{
     let ctx = format!("[{label} {point:?} arm@{arm_at}]");
     let signer: Arc<dyn Signer> = Arc::new(MockSigner::new(7));
     let fps = Arc::new(FailpointFs::new());
@@ -165,6 +204,7 @@ fn run_case<S: DurableScheme + Clone>(scheme: S, label: &str, arm_at: usize, poi
         .with_durability(fps.clone(), config())
         .expect("durability init");
     victim.create_table(spec().build());
+    victim.create_table(spec2().build());
 
     // Drive the script until the process dies or durability poisons.
     // `acked` tracks the owner position after each *delivered* ack — a
@@ -202,6 +242,7 @@ fn run_case<S: DurableScheme + Clone>(scheme: S, label: &str, arm_at: usize, poi
     let mut control =
         CentralServer::with_scheme(scheme.clone(), signer.clone()).with_delta_retention(RETENTION);
     control.create_table(spec().build());
+    control.create_table(spec2().build());
     let mut matched = (control.encode_state() == target).then_some(0usize);
     for (i, step) in script().iter().enumerate() {
         if matched.is_some() {
@@ -258,9 +299,14 @@ fn run_case<S: DurableScheme + Clone>(scheme: S, label: &str, arm_at: usize, poi
     );
 }
 
-fn crash_matrix<S: DurableScheme + Clone>(scheme: S, label: &str) {
+fn crash_matrix<S: DurableScheme + Clone>(scheme: S, label: &str)
+where
+    S::Store: Clone,
+{
+    // Arm points cover plain ops (0, 3, 7) and both txn steps (9, 12),
+    // so every fault fires at least once inside a `CommitTxn` append.
     for point in &matrix_points() {
-        for arm_at in [0, 3, 7] {
+        for arm_at in [0, 3, 7, 9, 12] {
             run_case(scheme.clone(), label, arm_at, point);
         }
     }
@@ -439,4 +485,76 @@ fn cluster_resubscribes_without_gaps_or_duplicates() {
         cluster.adopt_central(stale),
         Err(ClusterError::RolledBack { .. })
     ));
+}
+
+#[test]
+fn torn_commit_txn_never_recovers_a_table_subset() {
+    // Direct all-or-nothing proof: a txn touching t0 AND t1 whose
+    // single `CommitTxn` append tears at any offset — before, inside
+    // the checksum, inside section one, between sections, or at the
+    // very end — recovers either with BOTH tables advanced or with
+    // NEITHER. A recovered image holding the t0 keys without the t1
+    // keys (or vice versa) would be exactly the partial-flush bug the
+    // txn protocol exists to kill.
+    for keep in [0usize, 4, 6, 20, 80, 150, 300] {
+        let ctx = format!("[torn txn keep={keep}]");
+        let signer: Arc<dyn Signer> = Arc::new(MockSigner::new(29));
+        let fps = Arc::new(FailpointFs::new());
+        let mut central = CentralServer::with_scheme(vb(), signer.clone())
+            .with_delta_retention(RETENTION)
+            .with_durability(fps.clone(), config())
+            .expect("durability init");
+        central.create_table(spec().build());
+        central.create_table(spec2().build());
+        let s0 = central.schema(TABLE).unwrap().clone();
+        let s1 = central.schema(TABLE2).unwrap().clone();
+
+        // A fully durable baseline txn first, so recovery has a real
+        // committed txn to replay in front of the torn one.
+        let mut base = central.begin_txn();
+        base.stage(TABLE, UpdateOp::Insert(tuple(&s0, 400)))
+            .stage(TABLE2, UpdateOp::Insert(tuple(&s1, 401)));
+        central.commit_txn(base).expect("baseline txn");
+
+        fps.arm(FailPoint::TornAppend {
+            file: "wal".into(),
+            keep,
+        });
+        let mut doomed = central.begin_txn();
+        doomed
+            .stage(TABLE, UpdateOp::Insert(tuple(&s0, 410)))
+            .stage(TABLE2, UpdateOp::Insert(tuple(&s1, 411)))
+            .stage(TABLE, UpdateOp::Insert(tuple(&s0, 412)));
+        let _ = central.commit_txn(doomed); // dies at the append
+        drop(central);
+
+        let recovered = CentralServer::recover(
+            vb(),
+            signer,
+            Arc::new(fps.crash_image()) as Arc<dyn Vfs>,
+            config(),
+        )
+        .unwrap_or_else(|e| panic!("{ctx} recovery failed: {e}"));
+
+        // The baseline txn is acked and fully durable on both tables.
+        let t0 = recovered.store(TABLE).unwrap();
+        let t1 = recovered.store(TABLE2).unwrap();
+        assert!(t0.get(400).is_some(), "{ctx} baseline t0 key lost");
+        assert!(t1.get(401).is_some(), "{ctx} baseline t1 key lost");
+
+        // The torn txn is all-or-nothing across tables.
+        let t0_in = t0.get(410).is_some() && t0.get(412).is_some();
+        let t1_in = t1.get(411).is_some();
+        assert_eq!(
+            t0_in, t1_in,
+            "{ctx} recovered a table subset of the torn txn (t0={t0_in}, t1={t1_in})"
+        );
+        // And the log position agrees with whichever side survived.
+        let expect_seq = if t0_in { 5 } else { 2 };
+        assert_eq!(
+            recovered.delta_log().next_seq(),
+            expect_seq,
+            "{ctx} log head disagrees with recovered stores"
+        );
+    }
 }

@@ -22,6 +22,7 @@ use vbx_storage::workload::WorkloadSpec;
 use vbx_storage::{FailpointFs, MemVfs, Schema, Tuple, Value, Vfs};
 
 const TABLE: &str = "t0";
+const TABLE2: &str = "t1";
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -30,6 +31,9 @@ enum Op {
     DeleteRange(u64, u64),
     Batch(Vec<u64>),
     Heartbeat,
+    /// Atomic multi-table txn: each `(table_sel, key)` stages an insert
+    /// on `t0` (even sel) or `t1` (odd sel) — one `CommitTxn` record.
+    Txn(Vec<(u8, u64)>),
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -39,6 +43,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         1 => (0u64..200, 0u64..30).prop_map(|(lo, span)| Op::DeleteRange(lo, lo + span)),
         2 => proptest::collection::vec(0u64..200, 1..4).prop_map(Op::Batch),
         1 => Just(Op::Heartbeat),
+        2 => proptest::collection::vec((0u8..2, 0u64..200), 1..6).prop_map(Op::Txn),
     ]
 }
 
@@ -56,7 +61,10 @@ fn tuple(schema: &Schema, key: u64) -> Tuple {
 
 /// Apply one op; `Ok(false)` means the central rejected it (duplicate
 /// key, missing key, duplicate inside a batch) and committed nothing.
-fn apply<S: DurableScheme>(central: &mut CentralServer<S>, op: &Op) -> bool {
+fn apply<S: DurableScheme>(central: &mut CentralServer<S>, op: &Op) -> bool
+where
+    S::Store: Clone,
+{
     let schema = central.schema(TABLE).expect("table exists").clone();
     match op {
         Op::Insert(k) => central.insert(TABLE, tuple(&schema, *k)).is_ok(),
@@ -74,10 +82,26 @@ fn apply<S: DurableScheme>(central: &mut CentralServer<S>, op: &Op) -> bool {
             central.heartbeat();
             true
         }
+        Op::Txn(stages) => {
+            let schema2 = central.schema(TABLE2).expect("table exists").clone();
+            let mut txn = central.begin_txn();
+            for (sel, k) in stages {
+                let (name, schema) = if sel % 2 == 0 {
+                    (TABLE, &schema)
+                } else {
+                    (TABLE2, &schema2)
+                };
+                txn.stage(name, UpdateOp::Insert(tuple(schema, *k)));
+            }
+            central.commit_txn(txn).is_ok()
+        }
     }
 }
 
-fn check_scheme<S: DurableScheme + Clone>(scheme: S, ops: &[Op], checkpoint_every: u64) {
+fn check_scheme<S: DurableScheme + Clone>(scheme: S, ops: &[Op], checkpoint_every: u64)
+where
+    S::Store: Clone,
+{
     let signer: Arc<dyn Signer> = Arc::new(MockSigner::new(23));
     let config = DurabilityConfig {
         checkpoint_every,
@@ -92,6 +116,13 @@ fn check_scheme<S: DurableScheme + Clone>(scheme: S, ops: &[Op], checkpoint_ever
     durable.create_table(
         WorkloadSpec {
             table: TABLE.into(),
+            ..WorkloadSpec::new(8, 2, 8)
+        }
+        .build(),
+    );
+    durable.create_table(
+        WorkloadSpec {
+            table: TABLE2.into(),
             ..WorkloadSpec::new(8, 2, 8)
         }
         .build(),
@@ -118,6 +149,13 @@ fn check_scheme<S: DurableScheme + Clone>(scheme: S, ops: &[Op], checkpoint_ever
     control.create_table(
         WorkloadSpec {
             table: TABLE.into(),
+            ..WorkloadSpec::new(8, 2, 8)
+        }
+        .build(),
+    );
+    control.create_table(
+        WorkloadSpec {
+            table: TABLE2.into(),
             ..WorkloadSpec::new(8, 2, 8)
         }
         .build(),
